@@ -1,0 +1,99 @@
+// Ablation: measurement error with and without counter multiplexing.
+//
+// The abstraction layer's slot-aware scheduling matters because requesting
+// more events than the PMU has programmable counters forces round-robin
+// multiplexing, and multiplexed counts are extrapolations.  This ablation
+// quantifies that cost: the same trace is read with 2, 4, 8 and 12 events
+// configured, on Intel (4 slots with SMT, 8 without) and AMD (2 slots).
+#include <cstdio>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+#include "pmu/pmu.hpp"
+#include "topology/machine.hpp"
+#include "workload/counter_source.hpp"
+
+using namespace pmove;
+
+namespace {
+
+double max_relative_error(const pmu::SimulatedPmu& pmu,
+                          const char* probe_event,
+                          const workload::ActivityTrace& trace) {
+  double worst = 0.0;
+  for (int i = 1; i <= 64; ++i) {
+    const TimeNs t = trace.end() * i / 64;
+    auto value = pmu.read(probe_event, 0, t);
+    auto exact = pmu.read_exact(probe_event, 0, t);
+    if (value.has_value() && exact.has_value() && exact.value() > 0.0) {
+      worst = std::max(worst,
+                       std::abs(value.value() - exact.value()) /
+                           exact.value());
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION: counter multiplexing error\n\n");
+
+  // A real kernel run provides the trace.
+  auto skx = topology::machine_preset("skx").value();
+  kernels::KernelSpec spec;
+  spec.kind = kernels::KernelKind::kTriad;
+  spec.n = 1u << 16;
+  spec.iterations = 50;
+  auto run = kernels::run_kernel(spec, skx, nullptr);
+  auto trace = kernels::trace_from_run(run, spec, "triad");
+  workload::TraceSource source(&trace);
+
+  const std::vector<std::string> intel_pool = {
+      "FP_ARITH:SCALAR_DOUBLE",      "MEM_INST_RETIRED:ALL_LOADS",
+      "MEM_INST_RETIRED:ALL_STORES", "L1D:REPLACEMENT",
+      "L2_RQSTS:MISS",               "LONGEST_LAT_CACHE:MISS",
+      "LONGEST_LAT_CACHE:REFERENCE", "BRANCH_INSTRUCTIONS_RETIRED",
+      "MISPREDICTED_BRANCH_RETIRED", "UOPS_DISPATCHED",
+      "FP_ARITH:128B_PACKED_DOUBLE", "FP_ARITH:256B_PACKED_DOUBLE"};
+
+  std::printf("%-8s %-8s %-7s %-8s %s\n", "machine", "#events", "groups",
+              "smt", "max |rel err| of FP_ARITH:SCALAR_DOUBLE");
+  for (bool smt : {true, false}) {
+    for (int count : {2, 4, 8, 12}) {
+      std::vector<std::string> events(intel_pool.begin(),
+                                      intel_pool.begin() + count);
+      pmu::SimulatedPmu pmu(skx, &source);
+      if (!pmu.configure(events, smt).is_ok()) continue;
+      std::printf("%-8s %-8d %-7d %-8s %.6f\n", "skx", count,
+                  pmu.schedule().group_count(), smt ? "on" : "off",
+                  max_relative_error(pmu, "FP_ARITH:SCALAR_DOUBLE", trace));
+    }
+  }
+
+  // AMD: two slots, so even three events multiplex.
+  auto zen3 = topology::machine_preset("zen3").value();
+  auto zrun = kernels::run_kernel(spec, zen3, nullptr);
+  auto ztrace = kernels::trace_from_run(zrun, spec, "triad");
+  workload::TraceSource zsource(&ztrace);
+  const std::vector<std::string> amd_pool = {
+      "RETIRED_SSE_AVX_FLOPS:ANY", "LS_DISPATCH:LD_DISPATCH",
+      "LS_DISPATCH:STORE_DISPATCH", "L1_DATA_CACHE_MISS", "L2_CACHE_MISS",
+      "LONGEST_LAT_CACHE:MISS"};
+  for (int count : {2, 4, 6}) {
+    std::vector<std::string> events(amd_pool.begin(),
+                                    amd_pool.begin() + count);
+    pmu::SimulatedPmu pmu(zen3, &zsource);
+    if (!pmu.configure(events).is_ok()) continue;
+    std::printf("%-8s %-8d %-7d %-8s %.6f\n", "zen3", count,
+                pmu.schedule().group_count(), "on",
+                max_relative_error(pmu, "RETIRED_SSE_AVX_FLOPS:ANY", ztrace));
+  }
+
+  std::printf(
+      "\nTakeaway: error is flat while events fit the slots and grows with\n"
+      "every extra multiplexing group; AMD's 2 slots multiplex at 3+ events\n"
+      "where Intel still measures directly — the abstraction layer's\n"
+      "slot-aware scheduling avoids silently degraded counts.\n");
+  return 0;
+}

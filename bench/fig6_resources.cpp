@@ -1,0 +1,75 @@
+// Fig 6: system resource usage of metric shipment with kernel and PMU
+// metrics on skx — per-agent CPU and memory plus network and disk rates,
+// across sampling frequencies, for the paper's 50-metric / ~15.9k-point
+// workload (and a smaller 10-metric mix for contrast).
+#include <cstdio>
+
+#include "sampler/resources.hpp"
+
+using namespace pmove;
+
+namespace {
+
+void print_sweep(const char* label,
+                 const std::vector<sampler::MetricGroup>& mix) {
+  int points = 0, metrics = 0;
+  for (const auto& group : mix) {
+    points += group.points();
+    metrics += group.metric_count;
+  }
+  std::printf("\n== %s: %d metrics, %d data points per round ==\n", label,
+              metrics, points);
+  // The paper labels the x axis 1/k = k samples per second.
+  const double kFreqs[] = {1.0 / 60, 1.0 / 30, 1.0 / 10, 1.0, 2.0, 4.0, 8.0};
+  std::printf("%-8s", "freq");
+  for (sampler::AgentKind kind : sampler::all_agents()) {
+    std::printf(" %14s", std::string(to_string(kind)).c_str());
+  }
+  std::printf(" %10s %10s\n", "net KB/s", "disk KB/s");
+  std::printf("%-8s", "");
+  for (int i = 0; i < 4; ++i) std::printf(" %8s %5s", "cpu%", "MB");
+  std::printf("\n");
+  for (double freq : kFreqs) {
+    auto usage = sampler::estimate_resources(mix, freq);
+    if (freq >= 1.0) {
+      std::printf("%-8.0f", freq);
+    } else {
+      std::printf("1/%-6.0f", 1.0 / freq);
+    }
+    for (sampler::AgentKind kind : sampler::all_agents()) {
+      const sampler::AgentUsage* agent = usage.agent(kind);
+      std::printf(" %8.3f %5.1f", agent->cpu_pct, agent->rss_bytes / 1e6);
+    }
+    std::printf(" %10.1f %10.1f\n", usage.total_net_bytes_per_s / 1024.0,
+                usage.disk_bytes_per_s / 1024.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FIG 6: resource usage of metric shipment on skx\n");
+  std::printf("(paper: memory constant per agent regardless of frequency; "
+              "CPU and network linear in frequency;\n pmdaproc largest RSS; "
+              "imperfect scaling around 4-8 reports/s)\n");
+  print_sweep("Fig 6 workload", sampler::fig6_metric_mix(88));
+
+  // 10-metric contrast case mentioned in the paper's discussion.
+  std::vector<sampler::MetricGroup> small_mix = {
+      {sampler::AgentKind::kPerfevent, 2, 88},
+      {sampler::AgentKind::kLinux, 8, 30},
+  };
+  print_sweep("10-metric mix", small_mix);
+
+  std::printf("\nP-MoVE's own default footprint: ~20 pmdalinux metrics + 2 "
+              "pmdaperfevent metrics at 1-second intervals:\n");
+  std::vector<sampler::MetricGroup> pmove_mix = {
+      {sampler::AgentKind::kPerfevent, 2, 88},
+      {sampler::AgentKind::kLinux, 20, 30},
+  };
+  auto usage = sampler::estimate_resources(pmove_mix, 1.0);
+  std::printf("total cpu: %.3f%%  net: %.1f KB/s  disk: %.1f KB/s\n",
+              usage.total_cpu_pct, usage.total_net_bytes_per_s / 1024.0,
+              usage.disk_bytes_per_s / 1024.0);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Fig 7: monitoring live performance events during SpMV execution on the
+// Intel CSL system — Intel-MKL-style and merge-based SpMV over the five
+// Table IV matrices, original and RCM-reordered, with
+// SCALAR_DOUBLE / AVX512_DOUBLE / TOTAL_MEMORY / RAPL_POWER events sampled
+// at runtime.
+//
+// Matrices are generated at a scale where the x vector exceeds the host's
+// outer caches, so the RCM locality effect is a real cache effect, not a
+// model artifact.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "spmv/algorithms.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/reorder.hpp"
+
+using namespace pmove;
+
+namespace {
+
+struct PhaseResult {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double scalar_flops = 0.0;
+  double avx512_flops = 0.0;
+  double mem_instructions = 0.0;
+  double energy_j = 0.0;
+  std::size_t sampled_rows = 0;
+};
+
+constexpr double kScale = 6.0;
+constexpr int kIterations = 4;
+
+}  // namespace
+
+int main() {
+  core::Daemon daemon;
+  if (!daemon.attach_target("csl").is_ok()) return 1;
+  const auto& machine = daemon.knowledge_base().machine();
+
+  std::printf("FIG 7: live PMU events during SpMV on csl\n");
+  std::printf("(MKL-style kernel exercises AVX-512; Merge exercises scalar "
+              "FP; Merge issues more memory instructions and draws more "
+              "power — paper Section V-D)\n\n");
+
+  std::map<std::string, double> total_seconds;  // per ordering
+  std::printf("%-18s %-6s %-6s %9s %8s %8s %12s %12s %12s %8s %6s\n",
+              "matrix", "order", "alg", "time_ms", "GFLOP/s", "watts",
+              "scalar_fp", "avx512_fp", "mem_instr", "energy_J", "rows");
+
+  for (const auto& name : spmv::matrix_preset_names()) {
+    auto preset = spmv::matrix_preset(name, kScale);
+    if (!preset.has_value()) continue;
+    std::map<std::string, spmv::Csr> variants;
+    variants.emplace("none", preset->matrix);
+    variants.emplace(
+        "rcm",
+        preset->matrix.permute_symmetric(spmv::rcm_order(preset->matrix))
+            .value());
+    std::printf("  -- %s: %d rows, %lld nnz, mean-bw none=%.0f rcm=%.0f\n",
+                name.c_str(), preset->matrix.rows(),
+                static_cast<long long>(preset->matrix.nnz()),
+                variants.at("none").mean_bandwidth(),
+                variants.at("rcm").mean_bandwidth());
+
+    for (const char* ordering : {"none", "rcm"}) {
+      const spmv::Csr& matrix = variants.at(ordering);
+      for (spmv::Algorithm algorithm :
+           {spmv::Algorithm::kMklLike, spmv::Algorithm::kMerge}) {
+        core::ScenarioBRequest request;
+        request.command = "./spmv --matrix=" + name + " --alg=" +
+                          std::string(spmv::to_string(algorithm)) +
+                          " --order=" + ordering;
+        request.events = {"FLOPS_SCALAR_DP", "FLOPS_AVX512_DP",
+                          "TOTAL_MEMORY_OPERATIONS", "RAPL_ENERGY_PKG"};
+        request.frequency_hz = 50.0;
+        PhaseResult phase;
+        auto obs = daemon.run_scenario_b(
+            request, [&](workload::LiveCounters& live) {
+              std::vector<double> x(
+                  static_cast<std::size_t>(matrix.cols()), 1.0);
+              std::vector<double> y;
+              spmv::SpmvConfig config;
+              config.algorithm = algorithm;
+              config.iterations = kIterations;
+              auto run =
+                  spmv::run_spmv(matrix, x, y, machine, config, &live);
+              if (run.has_value()) {
+                phase.seconds = run->seconds;
+                phase.gflops = run->gflops();
+                phase.scalar_flops =
+                    run->totals.get(workload::Quantity::kScalarFlops);
+                phase.avx512_flops =
+                    run->totals.get(workload::Quantity::kAvx512Flops);
+                phase.mem_instructions =
+                    run->totals.get(workload::Quantity::kLoads) +
+                    run->totals.get(workload::Quantity::kStores);
+                phase.energy_j =
+                    run->totals.get(workload::Quantity::kEnergyPkgJoules);
+              }
+              return phase.seconds;
+            });
+        if (!obs.has_value()) continue;
+        // Sampled rows: evidence the live stream is replayable.
+        auto queries = obs->generate_queries();
+        if (!queries.empty()) {
+          auto rows = daemon.timeseries().query(queries.front());
+          phase.sampled_rows =
+              rows.has_value() ? rows->rows.size() : 0u;
+        }
+        total_seconds[ordering] += phase.seconds;
+        std::printf(
+            "%-18s %-6s %-6s %9.2f %8.3f %8.2f %12.3e %12.3e %12.3e %8.4f "
+            "%6zu\n",
+            name.c_str(), ordering,
+            std::string(spmv::to_string(algorithm)).c_str(),
+            phase.seconds * 1e3, phase.gflops,
+            phase.seconds > 0 ? phase.energy_j / phase.seconds : 0.0,
+            phase.scalar_flops, phase.avx512_flops, phase.mem_instructions,
+            phase.energy_j, phase.sampled_rows);
+      }
+    }
+  }
+
+  const double none_total = total_seconds["none"];
+  const double rcm_total = total_seconds["rcm"];
+  std::printf("\ntotal time original: %.1f ms   rcm: %.1f ms   "
+              "(rcm %.1f%% %s)\n",
+              none_total * 1e3, rcm_total * 1e3,
+              std::abs(1.0 - rcm_total / none_total) * 100.0,
+              rcm_total < none_total ? "faster" : "slower");
+  std::printf("observations in KB: %zu\n",
+              daemon.knowledge_base().observations().size());
+  std::printf(
+      "\nPaper shape check: AVX512 events only under mkl, scalar FP only\n"
+      "under merge; merge issues ~8x the memory instructions and draws\n"
+      "more power; RCM reduces total processing time (paper: ~22%%).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the hot components: JSON codec,
+// TSDB ingest/query, KB construction, SpMV kernels and RCM.
+#include <benchmark/benchmark.h>
+
+#include "json/value.hpp"
+#include "kb/kb.hpp"
+#include "spmv/algorithms.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/reorder.hpp"
+#include "topology/machine.hpp"
+#include "tsdb/db.hpp"
+
+using namespace pmove;
+
+namespace {
+
+const char* kDashboardJson =
+    R"({"id":1,"panels":[{"id":1,"targets":[{"datasource":{"type":"influxdb","uid":"UUkm188l"},"measurement":"perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value","params":"_cpu0"}]}],"time":{"from":"now-5m","to":"now"}})";
+
+void BM_JsonParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto value = json::Value::parse(kDashboardJson);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_JsonDump(benchmark::State& state) {
+  auto value = json::Value::parse(kDashboardJson).value();
+  for (auto _ : state) {
+    std::string text = value.dump();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_JsonDump);
+
+void BM_TsdbWrite(benchmark::State& state) {
+  tsdb::TimeSeriesDb db;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    tsdb::Point point;
+    point.measurement = "m";
+    point.tags["tag"] = "bench";
+    point.time = ++t;
+    for (int cpu = 0; cpu < state.range(0); ++cpu) {
+      point.fields["_cpu" + std::to_string(cpu)] = 1.0;
+    }
+    benchmark::DoNotOptimize(db.write(std::move(point)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TsdbWrite)->Arg(16)->Arg(88);
+
+void BM_TsdbQuery(benchmark::State& state) {
+  tsdb::TimeSeriesDb db;
+  for (int i = 0; i < 2000; ++i) {
+    tsdb::Point point;
+    point.measurement = "m";
+    point.tags["tag"] = i % 2 == 0 ? "a" : "b";
+    point.time = i;
+    point.fields["_cpu0"] = i;
+    (void)db.write(std::move(point));
+  }
+  for (auto _ : state) {
+    auto result = db.query("SELECT \"_cpu0\" FROM \"m\" WHERE tag=\"a\"");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TsdbQuery);
+
+void BM_KbBuild(benchmark::State& state) {
+  auto spec = topology::machine_preset(state.range(0) == 0 ? "icl" : "skx")
+                  .value();
+  for (auto _ : state) {
+    auto kb = kb::KnowledgeBase::build(spec);
+    benchmark::DoNotOptimize(kb.interfaces().size());
+  }
+}
+BENCHMARK(BM_KbBuild)->Arg(0)->Arg(1);
+
+void BM_SpmvMkl(benchmark::State& state) {
+  spmv::Csr a = spmv::make_mesh_matrix(20000, 5, 40, 3);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();
+  spmv::SpmvConfig config;
+  config.algorithm = spmv::Algorithm::kMklLike;
+  config.iterations = 1;
+  for (auto _ : state) {
+    auto run = spmv::run_spmv(a, x, y, machine, config);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvMkl);
+
+void BM_SpmvMerge(benchmark::State& state) {
+  spmv::Csr a = spmv::make_mesh_matrix(20000, 5, 40, 3);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();
+  spmv::SpmvConfig config;
+  config.algorithm = spmv::Algorithm::kMerge;
+  config.iterations = 1;
+  for (auto _ : state) {
+    auto run = spmv::run_spmv(a, x, y, machine, config);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpmvMerge);
+
+void BM_RcmOrder(benchmark::State& state) {
+  spmv::Csr a = spmv::make_mesh_matrix(
+      static_cast<int>(state.range(0)), 4, 8, 5);
+  for (auto _ : state) {
+    auto perm = spmv::rcm_order(a);
+    benchmark::DoNotOptimize(perm);
+  }
+}
+BENCHMARK(BM_RcmOrder)->Arg(5000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

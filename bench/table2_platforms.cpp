@@ -1,0 +1,42 @@
+// Table II: specifications of the platforms used in the experiments,
+// regenerated from the machine preset registry (the probe substrate).
+#include <cstdio>
+
+#include "topology/machine.hpp"
+#include "topology/prober.hpp"
+
+using namespace pmove;
+
+int main() {
+  std::printf("TABLE II: Specifications of platforms used in experiments\n");
+  for (const auto& name : topology::machine_preset_names()) {
+    auto spec = topology::machine_preset(name).value();
+    std::printf("\n%s\n", std::string(70, '=').c_str());
+    std::printf("%-8s %s\n", "Host", spec.hostname.c_str());
+    std::printf("%-8s %s\n", "OS", spec.os.c_str());
+    std::printf("%-8s %s\n", "Kernel", spec.kernel.c_str());
+    std::printf("%-8s %s (%dc/%dt)\n", "CPU", spec.cpu_model.c_str(),
+                spec.total_cores(), spec.total_threads());
+    std::printf("%-8s %s\n", "Arch",
+                std::string(topology::to_string(spec.uarch)).c_str());
+    std::printf("%-8s %zu GB DDR4 @ %d MHz\n", "Mem",
+                spec.memory_bytes >> 30, spec.memory_mhz);
+    std::printf("%-8s %s\n", "Env.", spec.pcp_version.c_str());
+    std::printf("%-8s", "Caches");
+    for (const auto& level : spec.cache_levels) {
+      std::printf(" %s=%zuKB%s", level.name.c_str(),
+                  level.size_bytes >> 10, level.shared ? "(shared)" : "");
+    }
+    std::printf("\n%-8s scalar=%.0f sse=%.0f avx2=%.0f avx512=%.0f "
+                "FLOP/cycle/core\n",
+                "ISA", spec.isa.scalar, spec.isa.sse, spec.isa.avx2,
+                spec.isa.avx512);
+  }
+
+  // The probe substrate also handles the machine we actually run on.
+  auto local = topology::probe_local_machine();
+  std::printf("\n%s\nLocal host probe (best effort): %s, %d threads, %zu MB\n",
+              std::string(70, '=').c_str(), local.cpu_model.c_str(),
+              local.total_threads(), local.memory_bytes >> 20);
+  return 0;
+}

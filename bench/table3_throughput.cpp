@@ -1,0 +1,51 @@
+// Table III: data points expected vs. observed at the host DB w.r.t.
+// sampling frequency (#samples/second) and #metrics, on skx and icl.
+//
+// Regenerates the paper's 18 rows via the virtual-time sampling session:
+// each report flows through the unbuffered transport pipeline; losses come
+// from pipeline-busy drops, zeros from stale perfevent counters.
+#include <cstdio>
+
+#include "sampler/session.hpp"
+#include "topology/machine.hpp"
+#include "util/strings.hpp"
+
+using namespace pmove;
+
+int main() {
+  std::printf(
+      "TABLE III: #data points expected and observed at the host DB\n");
+  std::printf("(10-second sessions; Tput = inserted points/s, A.Tput = "
+              "non-zero points/s)\n\n");
+  for (const char* host : {"skx", "icl"}) {
+    auto machine = topology::machine_preset(host).value();
+    std::printf("%-5s %-5s %-4s %-9s %-9s %-9s %-5s %-5s %-8s %-8s\n",
+                "Host", "Freq", "#mt", "Expected", "Inserted", "Zeros",
+                "%L", "L+Z%", "Tput", "A.Tput");
+    for (double freq : {2.0, 8.0, 32.0}) {
+      for (int metrics : {4, 5, 6}) {
+        sampler::SessionConfig config;
+        config.frequency_hz = freq;
+        config.metric_count = metrics;
+        config.duration_s = 10.0;
+        // Vary the seed with the configuration, as run-to-run variation
+        // does in the paper's testbed.
+        config.seed = static_cast<std::uint64_t>(freq * 100 + metrics);
+        auto stats = sampler::run_sampling_session(machine, config, nullptr);
+        std::printf(
+            "%-5s %-5.0f %-4d %-9s %-9s %-9s %-5.1f %-5.1f %-8.1f %-8.1f\n",
+            host, freq, metrics,
+            strings::format_sci(static_cast<double>(stats.expected)).c_str(),
+            strings::format_sci(static_cast<double>(stats.inserted)).c_str(),
+            strings::format_sci(static_cast<double>(stats.zeros)).c_str(),
+            stats.loss_pct(), stats.loss_plus_zero_pct(), stats.throughput,
+            stats.actual_throughput);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper shape check: losses negligible at 2 Hz, heavy at 32 Hz; skx\n"
+      "(88-point domain) loses more than icl (16); zeros batch at 32 Hz.\n");
+  return 0;
+}

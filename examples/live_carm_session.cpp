@@ -1,0 +1,83 @@
+// Live-CARM session (the paper's Section IV-B workflow).
+//
+//   1. run the CARM microbenchmark campaign for the target and store every
+//      model in the KB (BenchmarkInterface entries),
+//   2. reconstruct the CARM plot from the KB — no re-running,
+//   3. profile kernels under Scenario B and overlay their live (AI, GFLOPS)
+//      points on the roofline, in the terminal.
+//
+// Also demonstrates host mode: real microbenchmarks of the machine this
+// process runs on.
+//
+// Build & run:  ./build/examples/live_carm_session
+#include <cstdio>
+
+#include "carm/live_panel.hpp"
+#include "carm/microbench.hpp"
+#include "core/daemon.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace pmove;
+
+int main() {
+  core::Daemon daemon;
+  if (!daemon.attach_target("csl").is_ok()) return 1;
+  const auto& machine = daemon.knowledge_base().machine();
+
+  // 1. microbenchmark campaign: every supported ISA x representative
+  // thread count, recorded into the KB.
+  auto recorded = carm::record_carm_campaign(daemon.knowledge_base());
+  if (!recorded.has_value()) return 1;
+  std::printf("CARM campaign recorded %d models into the KB\n", *recorded);
+
+  // 2. reconstruct one model from the KB (no re-run) and build the panel.
+  auto layer = abstraction::AbstractionLayer::with_builtin_configs();
+  auto panel = carm::make_live_panel(daemon.knowledge_base(), &layer,
+                                     topology::Isa::kScalar, 1);
+  if (!panel.has_value()) return 1;
+  auto events = panel->required_events();
+  std::printf("panel needs %zu hardware events:", events->size());
+  for (const auto& event : *events) std::printf(" %s", event.c_str());
+  std::printf("\n\n");
+
+  // 3. profile two kernels and overlay their points.
+  std::vector<carm::PlotPoint> overlay;
+  for (kernels::KernelKind kind :
+       {kernels::KernelKind::kTriad, kernels::KernelKind::kDdot}) {
+    core::ScenarioBRequest request;
+    request.command = std::string("likwid-bench -t ") +
+                      std::string(kernels::to_string(kind));
+    request.events = {"FLOPS_ALL_DP", "TOTAL_MEMORY_OPERATIONS"};
+    request.frequency_hz = 50.0;
+    auto obs = daemon.run_scenario_b(
+        request, [&machine, kind](workload::LiveCounters& live) {
+          kernels::KernelSpec spec;
+          spec.kind = kind;
+          spec.n = 1u << 16;
+          spec.iterations = 400;
+          return kernels::run_kernel(spec, machine, &live).seconds;
+        });
+    if (!obs.has_value()) continue;
+    auto points = panel->points_from_observation(daemon.timeseries(), *obs);
+    if (!points.has_value()) continue;
+    const char symbol = kind == kernels::KernelKind::kTriad ? 'T' : 'D';
+    for (const auto& p : *points) overlay.push_back({p.ai, p.gflops, symbol});
+    std::printf("%s: %zu live points\n",
+                std::string(kernels::to_string(kind)).c_str(),
+                points->size());
+  }
+  std::printf("\n%s\n",
+              render_carm_ascii(panel->model(), overlay).c_str());
+
+  // Bonus: host mode — measure the machine we actually run on.
+  auto host = carm::run_carm_host_mode();
+  if (host.has_value()) {
+    std::printf("host-mode microbenchmarks of this machine:\n");
+    for (const auto& roof : host->model.roofs()) {
+      std::printf("  %-5s %8.2f GB/s\n", roof.name.c_str(), roof.gbs);
+    }
+    std::printf("  peak  %8.2f GFLOP/s (scalar-coded FMA chains)\n",
+                host->model.peak_gflops());
+  }
+  return 0;
+}

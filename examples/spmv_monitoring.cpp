@@ -1,0 +1,106 @@
+// SpMV monitoring session (the paper's Section V-D workflow).
+//
+// Profiles MKL-style vs merge-based SpMV on a Table IV matrix class with
+// and without RCM reordering, all through Scenario B, then reports the
+// observations to SUPERDB in aggregated form and exports the ML-training
+// CSV.
+//
+// Build & run:  ./build/examples/spmv_monitoring [matrix-name]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "spmv/algorithms.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/reorder.hpp"
+#include "superdb/superdb.hpp"
+
+using namespace pmove;
+
+int main(int argc, char** argv) {
+  const std::string matrix_name =
+      argc > 1 ? argv[1] : "hugetrace-00020";
+
+  core::Daemon daemon;
+  if (!daemon.attach_target("csl").is_ok()) return 1;
+  const auto& machine = daemon.knowledge_base().machine();
+
+  auto preset = spmv::matrix_preset(matrix_name, 2.0);
+  if (!preset.has_value()) {
+    std::fprintf(stderr, "unknown matrix '%s'; options:", matrix_name.c_str());
+    for (const auto& name : spmv::matrix_preset_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  std::printf("%s (%s class): %d rows, %lld nnz, paper-scale %lld rows\n\n",
+              preset->name.c_str(), preset->group.c_str(),
+              preset->matrix.rows(),
+              static_cast<long long>(preset->matrix.nnz()),
+              static_cast<long long>(preset->paper_rows));
+
+  superdb::SuperDb global;
+  std::vector<kb::ObservationInterface> observations;
+
+  for (const char* ordering : {"none", "rcm"}) {
+    auto perm = spmv::order_by_name(preset->matrix, ordering);
+    auto matrix = preset->matrix.permute_symmetric(*perm).value();
+    std::printf("ordering %-5s (mean bandwidth %.0f)\n", ordering,
+                matrix.mean_bandwidth());
+    for (spmv::Algorithm algorithm :
+         {spmv::Algorithm::kMklLike, spmv::Algorithm::kMerge}) {
+      core::ScenarioBRequest request;
+      request.command = "./spmv --matrix=" + matrix_name + " --order=" +
+                        ordering + " --alg=" +
+                        std::string(spmv::to_string(algorithm));
+      request.events = {"FLOPS_ALL_DP", "TOTAL_MEMORY_OPERATIONS",
+                        "RAPL_ENERGY_PKG"};
+      request.frequency_hz = 50.0;
+      double gflops = 0.0;
+      auto obs = daemon.run_scenario_b(
+          request, [&](workload::LiveCounters& live) {
+            std::vector<double> x(
+                static_cast<std::size_t>(matrix.cols()), 1.0);
+            std::vector<double> y;
+            spmv::SpmvConfig config;
+            config.algorithm = algorithm;
+            config.iterations = 8;
+            auto run = spmv::run_spmv(matrix, x, y, machine, config, &live);
+            if (run.has_value()) gflops = run->gflops();
+            return run.has_value() ? run->seconds : 0.0;
+          });
+      if (!obs.has_value()) {
+        std::fprintf(stderr, "  %s failed: %s\n",
+                     std::string(spmv::to_string(algorithm)).c_str(),
+                     obs.status().to_string().c_str());
+        continue;
+      }
+      std::printf("  %-6s %7.2f ms  %6.3f GFLOP/s  (%d samples)\n",
+                  std::string(spmv::to_string(algorithm)).c_str(),
+                  to_seconds(obs->end - obs->start) * 1e3, gflops,
+                  static_cast<int>(obs->report.find("samples")->as_int()));
+      observations.push_back(*obs);
+    }
+  }
+
+  // Report everything to the global performance database (Section III-E).
+  if (!global.report_system(daemon.knowledge_base()).is_ok()) return 1;
+  for (const auto& obs : observations) {
+    (void)global.report_observation_agg(daemon.knowledge_base(),
+                                        daemon.timeseries(), obs);
+  }
+  std::printf("\nSUPERDB now holds %zu systems and %zu observations\n",
+              global.systems().size(), global.observations().size());
+  const std::string csv = global.export_csv();
+  std::printf("ML-training export (%zu bytes):\n", csv.size());
+  // Print header + first three rows.
+  std::size_t pos = 0;
+  for (int line = 0; line < 4 && pos != std::string::npos; ++line) {
+    const std::size_t next = csv.find('\n', pos);
+    std::printf("  %s\n", csv.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "abstraction/formula.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace pmove::abstraction {
+
+namespace {
+
+bool is_operator(std::string_view token) {
+  return token == "+" || token == "-" || token == "*" || token == "/";
+}
+
+bool is_constant(std::string_view token) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  std::string s(token);
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool is_event_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '.';
+}
+
+int precedence(std::string_view op) {
+  return (op == "*" || op == "/") ? 2 : 1;
+}
+
+Expected<std::vector<std::string>> tokenize(std::string_view expr) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    char c = expr[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '+' || c == '-' || c == '*' || c == '/' || c == '(' ||
+        c == ')') {
+      tokens.emplace_back(1, c);
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < expr.size() &&
+             (std::isdigit(static_cast<unsigned char>(expr[i])) ||
+              expr[i] == '.' || expr[i] == 'e' || expr[i] == 'E' ||
+              ((expr[i] == '+' || expr[i] == '-') && i > start &&
+               (expr[i - 1] == 'e' || expr[i - 1] == 'E')))) {
+        ++i;
+      }
+      tokens.emplace_back(expr.substr(start, i - start));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < expr.size() && is_event_char(expr[i])) ++i;
+      tokens.emplace_back(expr.substr(start, i - start));
+      continue;
+    }
+    return Status::parse_error(std::string("unexpected character '") + c +
+                               "' in formula");
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Expected<Formula> Formula::parse(std::string_view expr) {
+  Formula formula;
+  std::string_view trimmed = strings::trim(expr);
+  if (strings::to_lower(trimmed) == "unsupported" ||
+      strings::to_lower(trimmed) == "not supported") {
+    formula.unsupported_ = true;
+    formula.tokens_ = {"unsupported"};
+    return formula;
+  }
+  auto tokens = tokenize(trimmed);
+  if (!tokens) return tokens.status();
+  if (tokens->empty()) return Status::parse_error("empty formula");
+
+  // Shunting-yard to RPN, validating structure as we go.
+  std::vector<std::string> output;
+  std::vector<std::string> ops;
+  bool expect_operand = true;
+  for (const auto& token : *tokens) {
+    if (token == "(") {
+      if (!expect_operand) {
+        return Status::parse_error("misplaced '(' in formula");
+      }
+      ops.push_back(token);
+    } else if (token == ")") {
+      if (expect_operand) {
+        return Status::parse_error("misplaced ')' in formula");
+      }
+      while (!ops.empty() && ops.back() != "(") {
+        output.push_back(ops.back());
+        ops.pop_back();
+      }
+      if (ops.empty()) return Status::parse_error("unbalanced ')'");
+      ops.pop_back();
+    } else if (is_operator(token)) {
+      if (expect_operand) {
+        return Status::parse_error("operator '" + token +
+                                   "' missing left operand");
+      }
+      while (!ops.empty() && ops.back() != "(" &&
+             precedence(ops.back()) >= precedence(token)) {
+        output.push_back(ops.back());
+        ops.pop_back();
+      }
+      ops.push_back(token);
+      expect_operand = true;
+      continue;
+    } else {
+      if (!expect_operand) {
+        return Status::parse_error("two operands without operator near '" +
+                                   token + "'");
+      }
+      output.push_back(token);
+    }
+    expect_operand = (token == "(");
+  }
+  if (expect_operand) return Status::parse_error("formula ends mid-term");
+  while (!ops.empty()) {
+    if (ops.back() == "(") return Status::parse_error("unbalanced '('");
+    output.push_back(ops.back());
+    ops.pop_back();
+  }
+
+  formula.tokens_ = std::move(*tokens);
+  formula.rpn_ = std::move(output);
+  return formula;
+}
+
+std::vector<std::string> Formula::hw_events() const {
+  std::vector<std::string> events;
+  for (const auto& token : rpn_) {
+    if (is_operator(token) || is_constant(token)) continue;
+    if (std::find(events.begin(), events.end(), token) == events.end()) {
+      events.push_back(token);
+    }
+  }
+  return events;
+}
+
+Expected<double> Formula::evaluate(
+    const std::function<Expected<double>(std::string_view)>& resolve) const {
+  if (unsupported_) {
+    return Status::unsupported("generic event unsupported on this PMU");
+  }
+  std::vector<double> stack;
+  for (const auto& token : rpn_) {
+    if (is_operator(token)) {
+      if (stack.size() < 2) {
+        return Status::internal("formula stack underflow");
+      }
+      const double b = stack.back();
+      stack.pop_back();
+      const double a = stack.back();
+      stack.pop_back();
+      double r = 0.0;
+      if (token == "+") r = a + b;
+      else if (token == "-") r = a - b;
+      else if (token == "*") r = a * b;
+      else r = (b == 0.0) ? 0.0 : a / b;
+      stack.push_back(r);
+    } else if (is_constant(token)) {
+      stack.push_back(std::strtod(token.c_str(), nullptr));
+    } else {
+      auto value = resolve(token);
+      if (!value) return value.status();
+      stack.push_back(value.value());
+    }
+  }
+  if (stack.size() != 1) return Status::internal("formula stack imbalance");
+  return stack.back();
+}
+
+std::string Formula::to_string() const {
+  return strings::join(tokens_, " ");
+}
+
+}  // namespace pmove::abstraction

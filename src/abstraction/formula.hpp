@@ -1,0 +1,61 @@
+// Event formulas.
+//
+// The abstraction layer maps a generic event to an arithmetic expression
+// over hardware PMU events and constants (paper, Section IV-A):
+//
+//   [pmu_name | alias]
+//   <generic_event>:<hardware_event_1> [op]
+//   [op] : ((+|-|*|/) (<hw_event> | <const>)) [op]
+//
+// A Formula is the parsed expression: it exposes the infix token list (the
+// paper's pmu_utils.get(...) returns exactly this list) and evaluates given
+// a resolver for hardware-event values.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pmove::abstraction {
+
+class Formula {
+ public:
+  /// Parses "EVT_A + EVT_B * 8" style expressions.  Supports + - * /,
+  /// parentheses, floating-point constants and event names that may contain
+  /// ':' and '.'.  The special expression "unsupported" yields a formula
+  /// whose unsupported() is true.
+  static Expected<Formula> parse(std::string_view expr);
+
+  /// Infix tokens, e.g. ["MEM_INST_RETIRED:ALL_LOADS", "+",
+  /// "MEM_INST_RETIRED:ALL_STORES"].
+  [[nodiscard]] const std::vector<std::string>& tokens() const {
+    return tokens_;
+  }
+
+  /// Distinct hardware event names referenced by the formula, in first-use
+  /// order (what the sampler must program the PMU with).
+  [[nodiscard]] std::vector<std::string> hw_events() const;
+
+  /// Evaluates the formula; `resolve` supplies the value of each hardware
+  /// event.  Division by zero yields 0 (counters read at t=0 are all zero —
+  /// a ratio formula must not blow up the sampler).
+  [[nodiscard]] Expected<double> evaluate(
+      const std::function<Expected<double>(std::string_view)>& resolve) const;
+
+  /// True when the generic event is marked unavailable on this PMU
+  /// (Table I: "Not Supported").
+  [[nodiscard]] bool unsupported() const { return unsupported_; }
+
+  /// Reconstructed source text, tokens joined by spaces.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> tokens_;  ///< infix form
+  std::vector<std::string> rpn_;     ///< postfix form for evaluation
+  bool unsupported_ = false;
+};
+
+}  // namespace pmove::abstraction

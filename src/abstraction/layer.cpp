@@ -1,0 +1,254 @@
+#include "abstraction/layer.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace pmove::abstraction {
+
+std::vector<std::string> common_generic_events() {
+  return {
+      "UNHALTED_CYCLES",
+      "INSTRUCTIONS_RETIRED",
+      "TOTAL_MEMORY_OPERATIONS",
+      "TOTAL_MEMORY_BYTES",
+      "FLOPS_SCALAR_DP",
+      "FLOPS_ALL_DP",
+      "FLOPS_AVX512_DP",
+      "L1_CACHE_DATA_MISS",
+      "L2_CACHE_MISS",
+      "L3_CACHE_MISS",
+      "L3_CACHE_HIT",
+      "RAPL_ENERGY_PKG",
+      "RAPL_ENERGY_DRAM",
+      "BRANCHES_RETIRED",
+      "BRANCH_MISSES_RETIRED",
+  };
+}
+
+Status AbstractionLayer::load_config(std::string_view text) {
+  std::string current_pmu;
+  std::vector<std::string> current_aliases;
+  int line_no = 0;
+  for (const auto& raw_line : strings::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = strings::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::parse_error("line " + std::to_string(line_no) +
+                                   ": unterminated section header");
+      }
+      auto names =
+          strings::split_trimmed(line.substr(1, line.size() - 2), '|');
+      if (names.empty()) {
+        return Status::parse_error("line " + std::to_string(line_no) +
+                                   ": empty section header");
+      }
+      current_pmu = names.front();
+      for (std::size_t i = 1; i < names.size(); ++i) {
+        add_alias(names[i], current_pmu);
+      }
+      continue;
+    }
+    if (current_pmu.empty()) {
+      return Status::parse_error("line " + std::to_string(line_no) +
+                                 ": mapping before any [pmu] section");
+    }
+    // generic names contain no ':', hardware events do — split on the first.
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::parse_error("line " + std::to_string(line_no) +
+                                 ": expected '<generic>:<formula>'");
+    }
+    std::string_view generic = strings::trim(line.substr(0, colon));
+    std::string_view formula_text = strings::trim(line.substr(colon + 1));
+    if (generic.empty()) {
+      return Status::parse_error("line " + std::to_string(line_no) +
+                                 ": empty generic event name");
+    }
+    Status status = register_mapping(current_pmu, generic, formula_text);
+    if (!status.is_ok()) {
+      return Status::parse_error("line " + std::to_string(line_no) + ": " +
+                                 status.message());
+    }
+  }
+  return Status::ok();
+}
+
+Status AbstractionLayer::load_config_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::not_found("cannot open config file: " + path);
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  Status status = load_config(text.str());
+  if (!status.is_ok()) {
+    return Status::parse_error(path + ": " + status.message());
+  }
+  return Status::ok();
+}
+
+Expected<int> AbstractionLayer::write_builtin_configs(
+    const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::unavailable("cannot create directory " + directory +
+                               ": " + ec.message());
+  }
+  int written = 0;
+  const std::pair<const char*, std::string_view> configs[] = {
+      {"intel.pmuconf", builtin_intel_config()},
+      {"zen3.pmuconf", builtin_zen3_config()},
+  };
+  for (const auto& [name, text] : configs) {
+    const std::string path = directory + "/" + name;
+    std::ofstream file(path);
+    if (!file) return Status::unavailable("cannot write " + path);
+    file << text;
+    ++written;
+  }
+  return written;
+}
+
+Status AbstractionLayer::register_mapping(std::string_view pmu,
+                                          std::string_view generic,
+                                          std::string_view formula_text) {
+  auto formula = Formula::parse(formula_text);
+  if (!formula) return formula.status();
+  mappings_[resolve_pmu(pmu)][std::string(generic)] =
+      std::move(formula.value());
+  return Status::ok();
+}
+
+void AbstractionLayer::add_alias(std::string_view alias,
+                                 std::string_view pmu) {
+  aliases_[std::string(alias)] = std::string(pmu);
+}
+
+std::string AbstractionLayer::resolve_pmu(std::string_view pmu) const {
+  auto it = aliases_.find(pmu);
+  return it == aliases_.end() ? std::string(pmu) : it->second;
+}
+
+Expected<Formula> AbstractionLayer::get(std::string_view pmu,
+                                        std::string_view generic) const {
+  auto table_it = mappings_.find(resolve_pmu(pmu));
+  if (table_it == mappings_.end()) {
+    return Status::not_found("no mappings registered for PMU: " +
+                             std::string(pmu));
+  }
+  auto it = table_it->second.find(std::string(generic));
+  if (it == table_it->second.end()) {
+    return Status::not_found("no mapping for generic event '" +
+                             std::string(generic) + "' on PMU '" +
+                             std::string(pmu) + "'");
+  }
+  return it->second;
+}
+
+bool AbstractionLayer::supports(std::string_view pmu,
+                                std::string_view generic) const {
+  auto formula = get(pmu, generic);
+  return formula.has_value() && !formula->unsupported();
+}
+
+std::vector<std::string> AbstractionLayer::generic_events(
+    std::string_view pmu) const {
+  std::vector<std::string> out;
+  auto it = mappings_.find(resolve_pmu(pmu));
+  if (it == mappings_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [generic, formula] : it->second) out.push_back(generic);
+  return out;
+}
+
+std::vector<std::string> AbstractionLayer::pmus() const {
+  std::vector<std::string> out;
+  out.reserve(mappings_.size());
+  for (const auto& [pmu, table] : mappings_) out.push_back(pmu);
+  return out;
+}
+
+Status AbstractionLayer::validate(std::string_view pmu,
+                                  const pmu::EventTable& table) const {
+  auto it = mappings_.find(resolve_pmu(pmu));
+  if (it == mappings_.end()) {
+    return Status::not_found("no mappings registered for PMU: " +
+                             std::string(pmu));
+  }
+  for (const auto& [generic, formula] : it->second) {
+    if (formula.unsupported()) continue;
+    for (const auto& event : formula.hw_events()) {
+      if (!table.supports(event)) {
+        return Status::invalid_argument(
+            "mapping '" + generic + "' on PMU '" + std::string(pmu) +
+            "' references unknown hardware event '" + event + "'");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+// The Intel FP_ARITH events count vector *instructions*; the byte/FLOP
+// conversions below are the "specialized expressions" Section IV-B.2
+// describes.  Memory bytes assume double-precision data (8 bytes per scalar
+// element), matching the paper's Fig 4 volume formula.
+std::string_view builtin_intel_config() {
+  return R"(# Built-in generic-event mappings for Intel Skylake-X / Cascade Lake / Ice Lake.
+[skx | skl | skylake_x | csl | cascade_lake | icl | ice_lake | intel]
+UNHALTED_CYCLES: UNHALTED_CORE_CYCLES
+INSTRUCTIONS_RETIRED: INSTRUCTION_RETIRED
+TOTAL_MEMORY_OPERATIONS: MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES
+TOTAL_MEMORY_BYTES: (MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES) * 8
+FLOPS_SCALAR_DP: FP_ARITH:SCALAR_DOUBLE
+FLOPS_ALL_DP: FP_ARITH:SCALAR_DOUBLE + FP_ARITH:128B_PACKED_DOUBLE * 2 + FP_ARITH:256B_PACKED_DOUBLE * 4 + FP_ARITH:512B_PACKED_DOUBLE * 8
+FLOPS_AVX512_DP: FP_ARITH:512B_PACKED_DOUBLE * 8
+L1_CACHE_DATA_MISS: L1D:REPLACEMENT
+L2_CACHE_MISS: L2_RQSTS:MISS
+L3_CACHE_MISS: LONGEST_LAT_CACHE:MISS
+L3_CACHE_HIT: unsupported
+RAPL_ENERGY_PKG: RAPL_ENERGY_PKG
+RAPL_ENERGY_DRAM: RAPL_ENERGY_DRAM
+BRANCHES_RETIRED: BRANCH_INSTRUCTIONS_RETIRED
+BRANCH_MISSES_RETIRED: MISPREDICTED_BRANCH_RETIRED
+)";
+}
+
+std::string_view builtin_zen3_config() {
+  return R"(# Built-in generic-event mappings for AMD Zen3.
+[zen3 | amd64_fam19h_zen3 | amd]
+UNHALTED_CYCLES: CYCLES_NOT_IN_HALT
+INSTRUCTIONS_RETIRED: RETIRED_INSTRUCTIONS
+TOTAL_MEMORY_OPERATIONS: LS_DISPATCH:STORE_DISPATCH + LS_DISPATCH:LD_DISPATCH
+TOTAL_MEMORY_BYTES: (LS_DISPATCH:STORE_DISPATCH + LS_DISPATCH:LD_DISPATCH) * 8
+FLOPS_SCALAR_DP: RETIRED_SSE_AVX_FLOPS:ANY
+FLOPS_ALL_DP: RETIRED_SSE_AVX_FLOPS:ANY
+FLOPS_AVX512_DP: unsupported
+L1_CACHE_DATA_MISS: L1_DATA_CACHE_MISS
+L2_CACHE_MISS: L2_CACHE_MISS
+L3_CACHE_MISS: LONGEST_LAT_CACHE:MISS
+L3_CACHE_HIT: LONGEST_LAT_CACHE:RETIRED
+RAPL_ENERGY_PKG: RAPL_ENERGY_PKG
+RAPL_ENERGY_DRAM: RAPL_ENERGY_DRAM
+BRANCHES_RETIRED: RETIRED_BRANCH_INSTRUCTIONS
+BRANCH_MISSES_RETIRED: RETIRED_BRANCH_INSTRUCTIONS_MISPREDICTED
+)";
+}
+
+AbstractionLayer AbstractionLayer::with_builtin_configs() {
+  AbstractionLayer layer;
+  // Built-in configs are well-formed by construction; a failure here is a
+  // programming error surfaced in tests.
+  Status status = layer.load_config(builtin_intel_config());
+  if (status.is_ok()) status = layer.load_config(builtin_zen3_config());
+  (void)status;
+  return layer;
+}
+
+}  // namespace pmove::abstraction

@@ -1,0 +1,90 @@
+// The Abstraction Layer (paper, Section IV-A).
+//
+// Maps generic event names to per-PMU hardware event formulas so callers can
+// monitor events "in a CPU agnostic manner":
+//
+//   pmu_utils.get("skl", "TOTAL_MEMORY_OPERATIONS")
+//     -> ["MEM_INST_RETIRED:ALL_LOADS", "+", "MEM_INST_RETIRED:ALL_STORES"]
+//
+// Mappings come from configuration files with the paper's grammar; built-in
+// configs cover the four evaluation platforms.  validate() cross-checks a
+// mapping against a PMU's event table so a bad config fails at registration
+// time, not in the middle of a sampling session.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "abstraction/formula.hpp"
+#include "pmu/events.hpp"
+#include "util/status.hpp"
+
+namespace pmove::abstraction {
+
+/// The set of common generic events P-MoVE assumes every commodity CPU
+/// supports (Section IV-A).
+std::vector<std::string> common_generic_events();
+
+class AbstractionLayer {
+ public:
+  /// Parses a config file (possibly containing several [pmu | alias...]
+  /// sections) and registers all mappings.  Later sections override earlier
+  /// ones for the same (pmu, generic) pair.
+  Status load_config(std::string_view text);
+
+  /// Reads and parses a config file from disk ("Upon registering the
+  /// desired configuration files within P-MoVE...").
+  Status load_config_file(const std::string& path);
+
+  /// Writes the built-in configs into `directory` (intel.pmuconf,
+  /// zen3.pmuconf) as the starting point for user customization.  Returns
+  /// the number of files written.
+  static Expected<int> write_builtin_configs(const std::string& directory);
+
+  /// Registers one mapping programmatically.
+  Status register_mapping(std::string_view pmu, std::string_view generic,
+                          std::string_view formula_text);
+
+  /// Adds an alias so get("skl", ...) and get("skx", ...) resolve the same
+  /// mapping table.
+  void add_alias(std::string_view alias, std::string_view pmu);
+
+  /// The paper's pmu_utils.get(HW_PMU_NAME, COMMON_EVENT_NAME).
+  [[nodiscard]] Expected<Formula> get(std::string_view pmu,
+                                      std::string_view generic) const;
+
+  /// True when the pair resolves to a usable (supported) formula.
+  [[nodiscard]] bool supports(std::string_view pmu,
+                              std::string_view generic) const;
+
+  /// All generic events registered for a PMU, sorted.
+  [[nodiscard]] std::vector<std::string> generic_events(
+      std::string_view pmu) const;
+
+  /// All registered PMU names (canonical, no aliases), sorted.
+  [[nodiscard]] std::vector<std::string> pmus() const;
+
+  /// Verifies every hardware event referenced by `pmu`'s mappings exists in
+  /// `table`; returns the first offender otherwise.
+  [[nodiscard]] Status validate(std::string_view pmu,
+                                const pmu::EventTable& table) const;
+
+  /// Layer pre-loaded with the built-in configs for skx / csl / icl / zen3.
+  static AbstractionLayer with_builtin_configs();
+
+ private:
+  [[nodiscard]] std::string resolve_pmu(std::string_view pmu) const;
+
+  std::map<std::string, std::map<std::string, Formula>, std::less<>>
+      mappings_;
+  std::map<std::string, std::string, std::less<>> aliases_;
+};
+
+/// Built-in config text (exposed for tests and for writing to disk as a
+/// starting point for user customization).
+std::string_view builtin_intel_config();
+std::string_view builtin_zen3_config();
+
+}  // namespace pmove::abstraction

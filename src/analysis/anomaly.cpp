@@ -1,0 +1,62 @@
+#include "analysis/anomaly.hpp"
+
+#include <cmath>
+
+namespace pmove::analysis {
+
+std::vector<std::pair<std::size_t, double>> score_series(
+    const std::vector<double>& values, const AnomalyConfig& config) {
+  std::vector<std::pair<std::size_t, double>> out;
+  const std::size_t window = static_cast<std::size_t>(
+      std::max(2, config.window));
+  if (values.size() <= window) return out;
+  for (std::size_t i = window; i < values.size(); ++i) {
+    double mean = 0.0;
+    for (std::size_t j = i - window; j < i; ++j) mean += values[j];
+    mean /= static_cast<double>(window);
+    double variance = 0.0;
+    for (std::size_t j = i - window; j < i; ++j) {
+      variance += (values[j] - mean) * (values[j] - mean);
+    }
+    variance /= static_cast<double>(window - 1);
+    const double floor = std::abs(mean) * config.min_rel_sigma;
+    const double sigma = std::max(std::sqrt(variance), floor);
+    if (sigma <= 0.0) continue;
+    const double z = (values[i] - mean) / sigma;
+    if (std::abs(z) >= config.z_threshold) out.emplace_back(i, z);
+  }
+  return out;
+}
+
+Expected<std::vector<Anomaly>> detect_anomalies(
+    const tsdb::TimeSeriesDb& db, std::string_view measurement,
+    std::string_view field, std::string_view tag,
+    const AnomalyConfig& config) {
+  std::string query = "SELECT \"" + std::string(field) + "\" FROM \"" +
+                      std::string(measurement) + "\"";
+  if (!tag.empty()) query += " WHERE tag=\"" + std::string(tag) + "\"";
+  auto result = db.query(query);
+  if (!result) return result.status();
+  std::vector<TimeNs> times;
+  std::vector<double> values;
+  times.reserve(result->rows.size());
+  values.reserve(result->rows.size());
+  for (const auto& row : result->rows) {
+    if (row.size() < 2 || std::isnan(row[1])) continue;
+    times.push_back(static_cast<TimeNs>(row[0]));
+    values.push_back(row[1]);
+  }
+  std::vector<Anomaly> anomalies;
+  for (const auto& [index, score] : score_series(values, config)) {
+    Anomaly anomaly;
+    anomaly.time = times[index];
+    anomaly.value = values[index];
+    anomaly.score = score;
+    anomaly.measurement = std::string(measurement);
+    anomaly.field = std::string(field);
+    anomalies.push_back(std::move(anomaly));
+  }
+  return anomalies;
+}
+
+}  // namespace pmove::analysis

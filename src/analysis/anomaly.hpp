@@ -1,0 +1,48 @@
+// Anomaly detection over KB-linked telemetry.
+//
+// The paper (Section III-B): a tree-structured KB "enables fully automated
+// performance monitoring, anomaly detection and dashboards".  This module
+// is that detector: a rolling-statistics scorer over TSDB series that flags
+// points deviating from their recent history, plus helpers to run it over
+// every telemetry entry of a KB component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tsdb/db.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::analysis {
+
+struct AnomalyConfig {
+  int window = 16;        ///< trailing samples forming the baseline
+  double z_threshold = 4.0;  ///< |z| above which a point is anomalous
+  /// Minimum baseline spread as a fraction of the baseline mean — guards
+  /// against zero-variance windows flagging trivial jitter.
+  double min_rel_sigma = 0.01;
+};
+
+struct Anomaly {
+  TimeNs time = 0;
+  double value = 0.0;
+  double score = 0.0;     ///< signed z-score against the trailing window
+  std::string measurement;
+  std::string field;
+};
+
+/// Scores one numeric series; returns the points whose |z| exceeds the
+/// threshold, in time order.  The series is the (time, value) rows of
+/// `SELECT "<field>" FROM "<measurement>" [WHERE tag="<tag>"]`.
+Expected<std::vector<Anomaly>> detect_anomalies(
+    const tsdb::TimeSeriesDb& db, std::string_view measurement,
+    std::string_view field, std::string_view tag = "",
+    const AnomalyConfig& config = {});
+
+/// Pure scoring core (exposed for tests): values in time order; returns
+/// indices and scores of anomalous points.
+std::vector<std::pair<std::size_t, double>> score_series(
+    const std::vector<double>& values, const AnomalyConfig& config);
+
+}  // namespace pmove::analysis

@@ -1,0 +1,90 @@
+#include "analysis/rootcause.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace pmove::analysis {
+
+std::vector<PathFinding> RootCauseReport::ranked() const {
+  std::vector<PathFinding> out = path;
+  std::sort(out.begin(), out.end(),
+            [](const PathFinding& a, const PathFinding& b) {
+              return std::abs(a.worst_score) > std::abs(b.worst_score);
+            });
+  return out;
+}
+
+std::string RootCauseReport::render() const {
+  std::string out = "root-cause path analysis (focus -> root):\n";
+  for (const auto& finding : path) {
+    out += "  depth " + std::to_string(finding.depth) + " " +
+           finding.component;
+    if (finding.measurement.empty()) {
+      out += ": no telemetry\n";
+      continue;
+    }
+    out += ": worst z=" + strings::format_double(finding.worst_score, 2) +
+           " on " + finding.measurement + "[" + finding.field + "] (" +
+           std::to_string(finding.anomaly_count) + " anomalous points)\n";
+  }
+  auto suspects = ranked();
+  if (!suspects.empty() && std::abs(suspects.front().worst_score) > 0.0) {
+    out += "prime suspect: " + suspects.front().component + " via " +
+           suspects.front().measurement + "\n";
+  }
+  return out;
+}
+
+Expected<RootCauseReport> analyze_root_cause(
+    const kb::KnowledgeBase& knowledge_base, const tsdb::TimeSeriesDb& db,
+    std::string_view dtmi, std::string_view tag,
+    const AnomalyConfig& config) {
+  const topology::Component* component = knowledge_base.component_for(dtmi);
+  if (component == nullptr) {
+    return Status::not_found("no component for DTMI: " + std::string(dtmi));
+  }
+  RootCauseReport report;
+  int depth = 0;
+  for (const topology::Component* node : component->path_to_root()) {
+    auto node_dtmi = knowledge_base.dtmi_for(*node);
+    if (!node_dtmi) return node_dtmi.status();
+    PathFinding finding;
+    finding.dtmi = *node_dtmi;
+    finding.component = node->name();
+    finding.depth = depth++;
+    for (const auto& telemetry : knowledge_base.telemetry_of(*node_dtmi)) {
+      const json::Value* db_name = telemetry.find("DBName");
+      const json::Value* field = telemetry.find("FieldName");
+      if (db_name == nullptr) continue;
+      const std::string measurement = db_name->string_or("");
+      // Scalar (non-instanced) metrics are stored under the conventional
+      // "value" field.
+      std::string field_name =
+          field != nullptr ? field->string_or("") : "";
+      if (field_name.empty()) field_name = "value";
+      if (measurement.empty()) continue;
+      auto anomalies =
+          detect_anomalies(db, measurement, field_name, tag, config);
+      if (!anomalies) continue;  // series absent from the DB: skip
+      for (const auto& anomaly : *anomalies) {
+        ++finding.anomaly_count;
+        if (std::abs(anomaly.score) > std::abs(finding.worst_score)) {
+          finding.worst_score = anomaly.score;
+          finding.measurement = measurement;
+          finding.field = field_name;
+        }
+      }
+      if (finding.measurement.empty()) {
+        // Remember that telemetry existed even when nothing deviated.
+        finding.measurement = measurement;
+        finding.field = field_name;
+      }
+    }
+    report.path.push_back(std::move(finding));
+  }
+  return report;
+}
+
+}  // namespace pmove::analysis

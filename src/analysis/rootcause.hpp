@@ -1,0 +1,50 @@
+// Root-cause path analysis.
+//
+// The paper's focus view "can be extended to focus on the path from the
+// root (whole system) to a unique component to investigate the root cause
+// of anomalies or performance drawbacks.  That is the path navigating from
+// a component perspective to a more generalized system perspective is
+// analyzed, aiding in tracing and isolating performance issues."
+//
+// Given a component where an anomaly surfaced, this walks its path to the
+// KB root, scoring every telemetry series of every ancestor in the anomaly
+// window — the component whose own telemetry deviates most is the likely
+// root cause.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/anomaly.hpp"
+#include "kb/kb.hpp"
+#include "tsdb/db.hpp"
+#include "util/status.hpp"
+
+namespace pmove::analysis {
+
+struct PathFinding {
+  std::string dtmi;          ///< component on the path
+  std::string component;     ///< its name
+  int depth = 0;             ///< 0 = the focus component, increasing upward
+  std::string measurement;   ///< worst-deviating telemetry series
+  std::string field;
+  double worst_score = 0.0;  ///< signed z of the worst point in the window
+  int anomaly_count = 0;     ///< anomalous points in the window
+};
+
+struct RootCauseReport {
+  std::vector<PathFinding> path;  ///< focus component first, root last
+
+  /// Findings ranked by |worst_score| descending (the suspects).
+  [[nodiscard]] std::vector<PathFinding> ranked() const;
+  [[nodiscard]] std::string render() const;
+};
+
+/// Walks `dtmi`'s path to the root, scoring each ancestor's telemetry
+/// series over `db` (optionally restricted to an observation `tag`).
+Expected<RootCauseReport> analyze_root_cause(
+    const kb::KnowledgeBase& knowledge_base, const tsdb::TimeSeriesDb& db,
+    std::string_view dtmi, std::string_view tag = "",
+    const AnomalyConfig& config = {});
+
+}  // namespace pmove::analysis

@@ -1,0 +1,145 @@
+#include "carm/live_panel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "carm/microbench.hpp"
+#include "kb/ids.hpp"
+
+namespace pmove::carm {
+
+LiveCarmPanel::LiveCarmPanel(CarmModel model,
+                             const abstraction::AbstractionLayer* layer,
+                             std::string pmu_name)
+    : model_(std::move(model)),
+      layer_(layer),
+      pmu_name_(std::move(pmu_name)) {}
+
+Expected<std::vector<std::string>> LiveCarmPanel::required_events() const {
+  auto flops = layer_->get(pmu_name_, "FLOPS_ALL_DP");
+  if (!flops) return flops.status();
+  auto mem_ops = layer_->get(pmu_name_, "TOTAL_MEMORY_OPERATIONS");
+  if (!mem_ops) return mem_ops.status();
+  std::vector<std::string> events = flops->hw_events();
+  for (const auto& event : mem_ops->hw_events()) {
+    if (std::find(events.begin(), events.end(), event) == events.end()) {
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+namespace {
+
+/// Bytes moved by one memory instruction of code dominated by the given FP
+/// event: the paper infers transfer width "from the ratios of different FP
+/// instructions (scalar, SSE, AVX2, AVX512), which are applied to the total
+/// amount of store and load events".
+double event_width_bytes(std::string_view event) {
+  if (event.find("512B") != std::string_view::npos) return 64.0;
+  if (event.find("256B") != std::string_view::npos) return 32.0;
+  if (event.find("128B") != std::string_view::npos) return 16.0;
+  return 8.0;  // scalar / merged AMD flop events
+}
+
+}  // namespace
+
+Expected<std::vector<LivePoint>> LiveCarmPanel::points_from_observation(
+    const tsdb::TimeSeriesDb& db,
+    const kb::ObservationInterface& observation) const {
+  auto flop_formula = layer_->get(pmu_name_, "FLOPS_ALL_DP");
+  if (!flop_formula) return flop_formula.status();
+  auto mem_ops_formula = layer_->get(pmu_name_, "TOTAL_MEMORY_OPERATIONS");
+  if (!mem_ops_formula) return mem_ops_formula.status();
+  if (flop_formula->unsupported() || mem_ops_formula->unsupported()) {
+    return Status::unsupported("CARM formulas unavailable on " + pmu_name_);
+  }
+
+  auto events = required_events();
+  if (!events) return events.status();
+
+  // Per event: time -> sum of per-CPU delta fields.
+  std::map<std::string, std::map<TimeNs, double>> series;
+  for (const auto& event : *events) {
+    const std::string query = "SELECT * FROM \"" + kb::hw_measurement(event) +
+                              "\" WHERE tag=\"" + observation.tag + "\"";
+    auto result = db.query(query);
+    if (!result) return result.status();
+    auto& per_time = series[event];
+    for (const auto& row : result->rows) {
+      const TimeNs t = static_cast<TimeNs>(row[0]);
+      double sum = 0.0;
+      for (std::size_t i = 1; i < row.size(); ++i) {
+        if (!std::isnan(row[i])) sum += row[i];
+      }
+      per_time[t] += sum;
+    }
+  }
+
+  // Timestamps come from the first FLOP event's series.
+  const auto& anchor_events = flop_formula->hw_events();
+  if (anchor_events.empty()) {
+    return Status::internal("FLOP formula references no events");
+  }
+  const auto& anchor = series[anchor_events.front()];
+  std::vector<LivePoint> points;
+  TimeNs prev_time = observation.start;
+  for (const auto& [t, anchor_value] : anchor) {
+    auto resolve = [&series, t](std::string_view event) -> Expected<double> {
+      auto it = series.find(std::string(event));
+      if (it == series.end()) return 0.0;
+      auto row = it->second.find(t);
+      return row == it->second.end() ? 0.0 : row->second;
+    };
+    auto flops = flop_formula->evaluate(resolve);
+    if (!flops) return flops.status();
+    auto mem_ops = mem_ops_formula->evaluate(resolve);
+    if (!mem_ops) return mem_ops.status();
+    // Width-weighted byte estimate: average transfer size per memory
+    // instruction, weighted by this interval's FP-instruction mix.
+    double width_weight = 0.0;
+    double instruction_total = 0.0;
+    for (const auto& event : flop_formula->hw_events()) {
+      auto value = resolve(event);
+      if (!value || value.value() <= 0.0) continue;
+      width_weight += value.value() * event_width_bytes(event);
+      instruction_total += value.value();
+    }
+    const double width_bytes =
+        instruction_total > 0.0 ? width_weight / instruction_total : 8.0;
+    LivePoint point;
+    point.time = t;
+    point.flops = flops.value();
+    point.bytes = mem_ops.value() * width_bytes;
+    const double dt = to_seconds(std::max<TimeNs>(1, t - prev_time));
+    point.gflops = point.flops / dt / 1e9;
+    point.ai = point.bytes > 0.0 ? point.flops / point.bytes : 0.0;
+    prev_time = t;
+    if (point.flops > 0.0 && point.bytes > 0.0) points.push_back(point);
+  }
+  return points;
+}
+
+std::string LiveCarmPanel::render(const std::vector<LivePoint>& points,
+                                  char symbol) const {
+  std::vector<PlotPoint> plot_points;
+  plot_points.reserve(points.size());
+  for (const auto& p : points) {
+    plot_points.push_back({p.ai, p.gflops, symbol});
+  }
+  return render_carm_ascii(model_, plot_points);
+}
+
+Expected<LiveCarmPanel> make_live_panel(
+    const kb::KnowledgeBase& knowledge_base,
+    const abstraction::AbstractionLayer* layer, topology::Isa isa,
+    int threads) {
+  auto model = carm_from_kb(knowledge_base, isa, threads);
+  if (!model) return model.status();
+  return LiveCarmPanel(
+      std::move(model.value()), layer,
+      std::string(pmu::pmu_short_name(knowledge_base.machine().uarch)));
+}
+
+}  // namespace pmove::carm

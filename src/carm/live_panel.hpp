@@ -1,0 +1,71 @@
+// The live-CARM panel (paper, Sections II and IV-B.2).
+//
+// "Takes performance-counter data and automatically calculates CARM-related
+// metrics, displaying them in conjunction with other metrics to give users
+// an immediate idea of how their application performs relative to
+// architectural limits."
+//
+// The panel is wired from the KB: the CARM plot is reconstructed from the
+// stored microbenchmark results, the FLOP and byte formulas come from the
+// abstraction layer for the target's PMU, and application points are
+// computed per sample interval from the TSDB rows of an observation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "abstraction/layer.hpp"
+#include "carm/model.hpp"
+#include "kb/kb.hpp"
+#include "kb/observation.hpp"
+#include "tsdb/db.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::carm {
+
+struct LivePoint {
+  TimeNs time = 0;
+  double ai = 0.0;       ///< FLOP / byte over the interval
+  double gflops = 0.0;   ///< FLOPs / interval seconds
+  double flops = 0.0;    ///< raw interval FLOPs
+  double bytes = 0.0;    ///< raw interval bytes
+};
+
+class LiveCarmPanel {
+ public:
+  /// `pmu_name` selects the abstraction-layer mapping (e.g. "skx",
+  /// "zen3").
+  LiveCarmPanel(CarmModel model, const abstraction::AbstractionLayer* layer,
+                std::string pmu_name);
+
+  [[nodiscard]] const CarmModel& model() const { return model_; }
+
+  /// The hardware events the PMU must be programmed with to feed this
+  /// panel (union of the FLOP and byte formulas).
+  [[nodiscard]] Expected<std::vector<std::string>> required_events() const;
+
+  /// Computes one live point per sample timestamp of the observation: the
+  /// stored fields are interval deltas, so each row yields interval FLOPs /
+  /// bytes directly.
+  [[nodiscard]] Expected<std::vector<LivePoint>> points_from_observation(
+      const tsdb::TimeSeriesDb& db,
+      const kb::ObservationInterface& observation) const;
+
+  /// Renders the panel: the CARM plot with the points overlaid.
+  [[nodiscard]] std::string render(const std::vector<LivePoint>& points,
+                                   char symbol = '*') const;
+
+ private:
+  CarmModel model_;
+  const abstraction::AbstractionLayer* layer_;
+  std::string pmu_name_;
+};
+
+/// Convenience: panel for (isa, threads) built entirely from the KB.
+Expected<LiveCarmPanel> make_live_panel(
+    const kb::KnowledgeBase& knowledge_base,
+    const abstraction::AbstractionLayer* layer, topology::Isa isa,
+    int threads);
+
+}  // namespace pmove::carm

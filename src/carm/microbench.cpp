@@ -1,0 +1,165 @@
+#include "carm/microbench.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace pmove::carm {
+
+using topology::Isa;
+using topology::MachineSpec;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline void do_not_optimize(double& value) { asm volatile("" : "+x"(value)); }
+
+/// Streaming read bandwidth over a working set of `bytes`.
+double measure_bandwidth_gbs(std::size_t bytes, int repetitions) {
+  const std::size_t n = std::max<std::size_t>(bytes / sizeof(double), 1024);
+  std::vector<double> data(n, 1.0);
+  // Warm the cache level.
+  double warm = std::accumulate(data.begin(), data.end(), 0.0);
+  do_not_optimize(warm);
+  double best = 0.0;
+  // Sweep enough times that the timer resolution is irrelevant.
+  const int sweeps = std::max<int>(
+      1, static_cast<int>((32u << 20) / std::max<std::size_t>(bytes, 1)));
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const double t0 = now_seconds();
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        s0 += data[i];
+        s1 += data[i + 1];
+        s2 += data[i + 2];
+        s3 += data[i + 3];
+      }
+      for (; i < n; ++i) s0 += data[i];
+    }
+    double guard = s0 + s1 + s2 + s3;
+    do_not_optimize(guard);
+    const double dt = now_seconds() - t0;
+    if (dt > 0.0) {
+      best = std::max(best, static_cast<double>(n) * sizeof(double) *
+                                sweeps / dt / 1e9);
+    }
+  }
+  return best;
+}
+
+/// Peak FLOPs via independent FMA chains (scalar code; the compiler's
+/// vectorization determines what the host actually sustains).
+double measure_peak_gflops(int repetitions) {
+  double best = 0.0;
+  constexpr std::int64_t kSteps = 8'000'000;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    double r0 = 1.0, r1 = 1.1, r2 = 1.2, r3 = 1.3;
+    double r4 = 1.4, r5 = 1.5, r6 = 1.6, r7 = 1.7;
+    const double x = 1.0000001, y = 0.9999999;
+    const double t0 = now_seconds();
+    for (std::int64_t i = 0; i < kSteps; ++i) {
+      r0 = r0 * x + y;
+      r1 = r1 * x + y;
+      r2 = r2 * x + y;
+      r3 = r3 * x + y;
+      r4 = r4 * x + y;
+      r5 = r5 * x + y;
+      r6 = r6 * x + y;
+      r7 = r7 * x + y;
+    }
+    const double dt = now_seconds() - t0;
+    double guard = r0 + r1 + r2 + r3 + r4 + r5 + r6 + r7;
+    do_not_optimize(guard);
+    if (dt > 0.0) best = std::max(best, 16.0 * kSteps / dt / 1e9);
+  }
+  return best;
+}
+
+}  // namespace
+
+Expected<CarmModel> run_carm_machine_mode(const MachineSpec& machine,
+                                          const MicrobenchOptions& options) {
+  auto analytic = build_carm_analytic(machine, options.isa, options.threads);
+  if (!analytic) return analytic.status();
+  Rng rng(mix_seed(options.seed,
+                   static_cast<std::uint64_t>(options.threads) * 10 +
+                       static_cast<std::uint64_t>(options.isa)));
+  std::vector<MemoryRoof> roofs;
+  for (const auto& roof : analytic->roofs()) {
+    roofs.push_back(
+        {roof.name,
+         roof.gbs * rng.gaussian(1.0, options.noise_rel_sigma)});
+  }
+  const double peak =
+      analytic->peak_gflops() * rng.gaussian(1.0, options.noise_rel_sigma);
+  return CarmModel(std::move(roofs), peak, options.isa, options.threads);
+}
+
+Expected<HostMicrobenchResult> run_carm_host_mode(
+    std::vector<std::size_t> working_sets, int repetitions) {
+  if (working_sets.empty()) {
+    working_sets = {16u << 10, 256u << 10, 4u << 20, 64u << 20};
+  }
+  if (repetitions < 1) {
+    return Status::invalid_argument("repetitions must be >= 1");
+  }
+  static const char* kLevelNames[] = {"L1", "L2", "L3", "DRAM"};
+  HostMicrobenchResult result;
+  std::vector<MemoryRoof> roofs;
+  for (std::size_t i = 0; i < working_sets.size(); ++i) {
+    const std::string name =
+        i < 4 ? kLevelNames[i] : "LVL" + std::to_string(i);
+    roofs.push_back(
+        {name, measure_bandwidth_gbs(working_sets[i], repetitions)});
+    result.working_sets.push_back(static_cast<double>(working_sets[i]));
+  }
+  const double peak = measure_peak_gflops(repetitions);
+  result.model = CarmModel(std::move(roofs), peak, Isa::kScalar, 1);
+  return result;
+}
+
+Expected<int> record_carm_campaign(kb::KnowledgeBase& knowledge_base,
+                                   std::uint64_t seed) {
+  const MachineSpec& machine = knowledge_base.machine();
+  int recorded = 0;
+  for (Isa isa : {Isa::kScalar, Isa::kSse, Isa::kAvx2, Isa::kAvx512}) {
+    if (!machine.isa.supports(isa)) continue;
+    for (int threads : representative_thread_counts(machine)) {
+      MicrobenchOptions options;
+      options.isa = isa;
+      options.threads = threads;
+      options.seed = seed;
+      auto model = run_carm_machine_mode(machine, options);
+      if (!model) return model.status();
+      knowledge_base.attach_benchmark(
+          model->to_benchmark(machine.hostname));
+      ++recorded;
+    }
+  }
+  return recorded;
+}
+
+Expected<CarmModel> carm_from_kb(const kb::KnowledgeBase& knowledge_base,
+                                 Isa isa, int threads) {
+  for (const auto& bench : knowledge_base.benchmarks()) {
+    if (bench.benchmark != "CARM") continue;
+    auto model = CarmModel::from_benchmark(bench);
+    if (!model) continue;
+    if (model->isa() == isa && model->threads() == threads) return model;
+  }
+  return Status::not_found(
+      "no CARM entry in KB for " + std::string(topology::to_string(isa)) +
+      " with " + std::to_string(threads) + " threads");
+}
+
+}  // namespace pmove::carm

@@ -1,0 +1,58 @@
+// CARM microbenchmarks (paper, Section IV-B.1).
+//
+// Two modes:
+//  - *machine mode*: analytic measurement of a target MachineSpec — the
+//    spec's sustainable bandwidths/peaks perturbed by a seeded measurement
+//    noise, standing in for running the x86-assembly microbenchmarks on the
+//    (unavailable) target hardware.  "Thanks to KB, CARM microbenchmarks
+//    are automatically configured for a target system, taking into account
+//    cache sizes and available ISAs."
+//  - *host mode*: real microbenchmarks on the machine this process runs on
+//    (TSC-style timing of streaming sweeps sized per cache level and an FMA
+//    chain for peak throughput).
+//
+// Both produce BenchmarkInterface entries for the KB so the CARM plot can
+// be reconstructed later without re-running.
+#pragma once
+
+#include <vector>
+
+#include "carm/model.hpp"
+#include "kb/kb.hpp"
+#include "topology/machine.hpp"
+#include "util/status.hpp"
+
+namespace pmove::carm {
+
+struct MicrobenchOptions {
+  topology::Isa isa = topology::Isa::kScalar;
+  int threads = 1;
+  std::uint64_t seed = 2024;     ///< machine-mode measurement noise seed
+  double noise_rel_sigma = 0.02; ///< +-2% run-to-run variation
+};
+
+/// Machine mode: "runs" the microbenchmark campaign against a spec.
+Expected<CarmModel> run_carm_machine_mode(const topology::MachineSpec& machine,
+                                          const MicrobenchOptions& options);
+
+/// Host mode: genuinely measures the local machine.  `bytes_per_level`
+/// chooses the working-set sizes; defaults to 16KB/256KB/4MB/64MB sweeps.
+struct HostMicrobenchResult {
+  CarmModel model;
+  std::vector<double> working_sets;  ///< bytes per measured level
+};
+Expected<HostMicrobenchResult> run_carm_host_mode(
+    std::vector<std::size_t> working_sets = {}, int repetitions = 3);
+
+/// Full campaign for a machine: every supported ISA x representative thread
+/// count, every model appended to the KB as a BenchmarkInterface entry.
+/// Returns the number of models recorded.
+Expected<int> record_carm_campaign(kb::KnowledgeBase& knowledge_base,
+                                   std::uint64_t seed = 2024);
+
+/// Reconstructs the CARM for (isa, threads) from KB benchmark entries
+/// without re-running microbenchmarks.
+Expected<CarmModel> carm_from_kb(const kb::KnowledgeBase& knowledge_base,
+                                 topology::Isa isa, int threads);
+
+}  // namespace pmove::carm

@@ -1,0 +1,191 @@
+#include "carm/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace pmove::carm {
+
+using topology::Isa;
+using topology::MachineSpec;
+
+CarmModel::CarmModel(std::vector<MemoryRoof> roofs, double peak_gflops,
+                     Isa isa, int threads)
+    : roofs_(std::move(roofs)),
+      peak_gflops_(peak_gflops),
+      isa_(isa),
+      threads_(threads) {}
+
+double CarmModel::attainable(double ai, const MemoryRoof& roof) const {
+  return std::min(peak_gflops_, ai * roof.gbs);
+}
+
+double CarmModel::attainable_best(double ai) const {
+  double best = 0.0;
+  for (const auto& roof : roofs_) {
+    best = std::max(best, attainable(ai, roof));
+  }
+  return best;
+}
+
+double CarmModel::ridge_ai(const MemoryRoof& roof) const {
+  return roof.gbs > 0.0 ? peak_gflops_ / roof.gbs : 0.0;
+}
+
+const MemoryRoof* CarmModel::roof(std::string_view name) const {
+  for (const auto& roof : roofs_) {
+    if (roof.name == name) return &roof;
+  }
+  return nullptr;
+}
+
+kb::BenchmarkInterface CarmModel::to_benchmark(std::string host) const {
+  kb::BenchmarkInterface bench;
+  bench.host = std::move(host);
+  bench.benchmark = "CARM";
+  bench.compiler = "gcc";
+  bench.parameters["isa"] = std::string(topology::to_string(isa_));
+  bench.parameters["threads"] = std::to_string(threads_);
+  for (const auto& roof : roofs_) {
+    bench.results.push_back({roof.name + "_gbps", roof.gbs, "GB/s"});
+  }
+  bench.results.push_back({"peak_gflops", peak_gflops_, "GFLOP/s"});
+  return bench;
+}
+
+Expected<CarmModel> CarmModel::from_benchmark(
+    const kb::BenchmarkInterface& bench) {
+  if (bench.benchmark != "CARM") {
+    return Status::invalid_argument("not a CARM benchmark entry: " +
+                                    bench.benchmark);
+  }
+  std::vector<MemoryRoof> roofs;
+  double peak = 0.0;
+  for (const auto& result : bench.results) {
+    if (result.name == "peak_gflops") {
+      peak = result.value;
+    } else if (strings::ends_with(result.name, "_gbps")) {
+      roofs.push_back(
+          {result.name.substr(0, result.name.size() - 5), result.value});
+    }
+  }
+  if (roofs.empty() || peak <= 0.0) {
+    return Status::parse_error("CARM entry missing roofs or peak");
+  }
+  Isa isa = Isa::kScalar;
+  if (auto it = bench.parameters.find("isa"); it != bench.parameters.end()) {
+    for (Isa candidate :
+         {Isa::kScalar, Isa::kSse, Isa::kAvx2, Isa::kAvx512}) {
+      if (topology::to_string(candidate) == it->second) isa = candidate;
+    }
+  }
+  int threads = 1;
+  if (auto it = bench.parameters.find("threads");
+      it != bench.parameters.end()) {
+    threads = std::max(1, std::atoi(it->second.c_str()));
+  }
+  return CarmModel(std::move(roofs), peak, isa, threads);
+}
+
+Expected<CarmModel> build_carm_analytic(const MachineSpec& machine,
+                                        Isa isa, int threads) {
+  if (threads < 1) return Status::invalid_argument("threads must be >= 1");
+  if (!machine.isa.supports(isa)) {
+    return Status::unsupported(std::string(topology::to_string(isa)) +
+                               " not supported on " + machine.hostname);
+  }
+  const int cores_engaged = std::min(threads, machine.total_cores());
+  const double ghz = machine.base_ghz;
+  std::vector<MemoryRoof> roofs;
+  for (const auto& level : machine.cache_levels) {
+    double gbs = level.bytes_per_cycle_per_core * ghz * cores_engaged;
+    if (level.shared) {
+      // A shared level saturates: per-core bandwidth does not scale past
+      // roughly half the socket's cores.
+      const double cap = level.bytes_per_cycle_per_core * ghz *
+                         std::max(1.0, machine.cores_per_socket * 0.5) *
+                         machine.sockets;
+      gbs = std::min(gbs, cap);
+    }
+    roofs.push_back({level.name, gbs});
+  }
+  const double dram =
+      std::min(machine.dram_bytes_per_cycle_per_core() * ghz * cores_engaged,
+               machine.dram_gbs_per_socket * machine.sockets);
+  roofs.push_back({"DRAM", dram});
+  const double peak = machine.isa.at(isa) * ghz * cores_engaged;
+  return CarmModel(std::move(roofs), peak, isa, threads);
+}
+
+std::vector<int> representative_thread_counts(const MachineSpec& machine) {
+  std::vector<int> counts = {1, std::max(1, machine.total_cores() / 2),
+                             machine.total_cores(),
+                             machine.total_threads()};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+std::string render_carm_ascii(const CarmModel& model,
+                              const std::vector<PlotPoint>& points,
+                              int width, int height) {
+  // Log-log canvas covering AI 2^-6..2^6 and 0.1..2x peak GFLOPS.
+  const double ai_min = std::pow(2.0, -6), ai_max = std::pow(2.0, 6);
+  double g_max = model.peak_gflops() * 2.0;
+  double g_min = g_max / 1e5;
+  for (const auto& p : points) {
+    if (p.gflops > 0.0) g_min = std::min(g_min, p.gflops / 2.0);
+  }
+  auto col_of = [&](double ai) {
+    const double f = (std::log10(ai) - std::log10(ai_min)) /
+                     (std::log10(ai_max) - std::log10(ai_min));
+    return static_cast<int>(f * (width - 1));
+  };
+  auto row_of = [&](double gflops) {
+    const double f = (std::log10(gflops) - std::log10(g_min)) /
+                     (std::log10(g_max) - std::log10(g_min));
+    return (height - 1) - static_cast<int>(f * (height - 1));
+  };
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width),
+                                              ' '));
+  auto plot = [&](double ai, double gflops, char symbol) {
+    if (ai <= 0.0 || gflops <= 0.0) return;
+    const int col = col_of(ai);
+    const int row = row_of(std::min(gflops, g_max));
+    if (col >= 0 && col < width && row >= 0 && row < height) {
+      canvas[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          symbol;
+    }
+  };
+  // Roofs: '-' for the compute ceiling, '/' for bandwidth slopes.
+  for (int c = 0; c < width; ++c) {
+    const double ai =
+        std::pow(10.0, std::log10(ai_min) +
+                           (std::log10(ai_max) - std::log10(ai_min)) * c /
+                               (width - 1));
+    for (const auto& roof : model.roofs()) {
+      const double g = model.attainable(ai, roof);
+      plot(ai, g, g >= model.peak_gflops() * 0.999 ? '-' : '/');
+    }
+  }
+  for (const auto& p : points) plot(p.ai, p.gflops, p.symbol);
+
+  std::string out;
+  out += "GFLOP/s (log)  peak=" +
+         strings::format_double(model.peak_gflops(), 1) + " [" +
+         std::string(topology::to_string(model.isa())) + ", t=" +
+         std::to_string(model.threads()) + "]\n";
+  for (const auto& line : canvas) out += "|" + line + "\n";
+  out += "+" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += " AI = FLOP/byte (log), 2^-6 .. 2^6   roofs:";
+  for (const auto& roof : model.roofs()) {
+    out += " " + roof.name + "=" + strings::format_double(roof.gbs, 0) +
+           "GB/s";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace pmove::carm

@@ -1,0 +1,90 @@
+// Cache-Aware Roofline Model (paper, Section IV-B).
+//
+// A CarmModel holds the sustainable bandwidth of every memory level (L1,
+// L2, L3, DRAM — CARM characterizes the system "considering all memory
+// levels") and the peak FP throughput for one ISA extension and thread
+// count.  Models are built from machine specs (analytic mode), from real
+// host microbenchmarks, or reconstructed from BenchmarkInterface results
+// stored in the KB — "allowing for a re-construction of the CARM plot
+// without the need to re-run all the microbenchmarks".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kb/observation.hpp"
+#include "topology/machine.hpp"
+#include "util/status.hpp"
+
+namespace pmove::carm {
+
+struct MemoryRoof {
+  std::string name;   ///< "L1", "L2", "L3", "DRAM"
+  double gbs = 0.0;   ///< sustainable bandwidth
+};
+
+class CarmModel {
+ public:
+  CarmModel() = default;
+  CarmModel(std::vector<MemoryRoof> roofs, double peak_gflops,
+            topology::Isa isa, int threads);
+
+  [[nodiscard]] const std::vector<MemoryRoof>& roofs() const {
+    return roofs_;
+  }
+  [[nodiscard]] double peak_gflops() const { return peak_gflops_; }
+  [[nodiscard]] topology::Isa isa() const { return isa_; }
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Attainable GFLOPS at arithmetic intensity `ai` against one roof:
+  /// min(peak, ai x bandwidth).
+  [[nodiscard]] double attainable(double ai, const MemoryRoof& roof) const;
+
+  /// Attainable against the *best* (fastest) memory level — the upper
+  /// envelope of the CARM plot.
+  [[nodiscard]] double attainable_best(double ai) const;
+
+  /// AI at which a roof meets the compute ceiling (ridge point).
+  [[nodiscard]] double ridge_ai(const MemoryRoof& roof) const;
+
+  [[nodiscard]] const MemoryRoof* roof(std::string_view name) const;
+
+  /// Serialization to/from BenchmarkInterface results, e.g.
+  /// {"L1_gbps": 540, ..., "peak_gflops": 230} with parameters
+  /// {"isa": "avx512", "threads": "16"}.
+  [[nodiscard]] kb::BenchmarkInterface to_benchmark(
+      std::string host) const;
+  static Expected<CarmModel> from_benchmark(
+      const kb::BenchmarkInterface& bench);
+
+ private:
+  std::vector<MemoryRoof> roofs_;
+  double peak_gflops_ = 0.0;
+  topology::Isa isa_ = topology::Isa::kScalar;
+  int threads_ = 1;
+};
+
+/// Analytic CARM for a machine spec: per-level bandwidth =
+/// bytes/cycle/core x GHz x cores engaged (shared levels capped at the
+/// socket aggregate; DRAM capped at the measured socket bandwidth), peak =
+/// FLOPs/cycle(isa) x GHz x cores engaged.
+Expected<CarmModel> build_carm_analytic(const topology::MachineSpec& machine,
+                                        topology::Isa isa, int threads);
+
+/// The representative thread counts P-MoVE benchmarks instead of every
+/// possible count: 1, half the cores, all cores, all hardware threads.
+std::vector<int> representative_thread_counts(
+    const topology::MachineSpec& machine);
+
+/// ASCII log-log CARM plot with application points overlaid (used by the
+/// live-CARM panel and the figure benches).
+struct PlotPoint {
+  double ai = 0.0;
+  double gflops = 0.0;
+  char symbol = '*';
+};
+std::string render_carm_ascii(const CarmModel& model,
+                              const std::vector<PlotPoint>& points,
+                              int width = 72, int height = 24);
+
+}  // namespace pmove::carm

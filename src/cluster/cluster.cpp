@@ -1,0 +1,165 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "json/jsonld.hpp"
+
+namespace pmove::cluster {
+
+ClusterDaemon::ClusterDaemon(std::uint64_t seed) : rng_(seed) {}
+
+Status ClusterDaemon::add_node(std::string_view preset) {
+  auto spec = topology::machine_preset(preset);
+  if (!spec) return spec.status();
+  // Unique hostname: second skx joins as skx-2, etc.
+  std::string hostname = spec->hostname;
+  int suffix = 1;
+  while (std::find(hostnames_.begin(), hostnames_.end(), hostname) !=
+         hostnames_.end()) {
+    hostname = spec->hostname + "-" + std::to_string(++suffix);
+  }
+  spec->hostname = hostname;
+  auto daemon = std::make_unique<core::Daemon>();
+  if (Status s = daemon->attach_target(*spec); !s.is_ok()) return s;
+  daemons_.push_back(std::move(daemon));
+  hostnames_.push_back(std::move(hostname));
+  return Status::ok();
+}
+
+std::vector<std::string> ClusterDaemon::nodes() const { return hostnames_; }
+
+Expected<core::Daemon*> ClusterDaemon::node(std::string_view hostname) {
+  for (std::size_t i = 0; i < hostnames_.size(); ++i) {
+    if (hostnames_[i] == hostname) return daemons_[i].get();
+  }
+  return Status::not_found("no such node: " + std::string(hostname));
+}
+
+Expected<const core::Daemon*> ClusterDaemon::node(
+    std::string_view hostname) const {
+  for (std::size_t i = 0; i < hostnames_.size(); ++i) {
+    if (hostnames_[i] == hostname) return daemons_[i].get();
+  }
+  return Status::not_found("no such node: " + std::string(hostname));
+}
+
+Expected<std::map<std::string, sampler::SessionStats>>
+ClusterDaemon::run_scenario_a(double frequency_hz, int metric_count,
+                              double duration_s) {
+  if (daemons_.empty()) return Status::unavailable("cluster has no nodes");
+  std::map<std::string, sampler::SessionStats> stats;
+  for (std::size_t i = 0; i < daemons_.size(); ++i) {
+    auto result =
+        daemons_[i]->run_scenario_a(frequency_hz, metric_count, duration_s);
+    if (!result) return result.status();
+    stats[hostnames_[i]] = result->stats;
+  }
+  return stats;
+}
+
+std::vector<LinkSample> ClusterDaemon::sample_fabric(
+    const std::vector<std::string>& hosts, double seconds) {
+  // Synthetic fat-tree-ish fabric: every pair exchanges traffic with a
+  // volume drawn around a nominal all-to-all share of a 100 Gbit link.
+  std::vector<LinkSample> samples;
+  const double nominal_bytes =
+      100e9 / 8.0 * seconds /
+      std::max<std::size_t>(1, hosts.size() - 1);
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      LinkSample sample;
+      sample.from = hosts[i];
+      sample.to = hosts[j];
+      sample.bytes =
+          std::max(0.0, rng_.gaussian(nominal_bytes, nominal_bytes * 0.2));
+      samples.push_back(sample);
+    }
+  }
+  fabric_clock_ += from_seconds(std::max(1e-6, seconds));
+  for (const auto& sample : samples) {
+    tsdb::Point point;
+    point.measurement = "network_link_bytes";
+    point.tags["from"] = sample.from;
+    point.tags["to"] = sample.to;
+    point.time = fabric_clock_;
+    point.fields["bytes"] = sample.bytes;
+    (void)fabric_ts_.write(std::move(point));
+  }
+  return samples;
+}
+
+Expected<JobInterface> ClusterDaemon::submit_job(
+    const JobRequest& request, const NodeWorkload& workload) {
+  if (daemons_.empty()) return Status::unavailable("cluster has no nodes");
+  std::vector<std::string> hosts =
+      request.nodes.empty() ? hostnames_ : request.nodes;
+  JobInterface job;
+  job.job_id = request.job_id.empty()
+                   ? "job-" + std::to_string(++job_counter_)
+                   : request.job_id;
+  job.id = json::make_dtmi({"dt", "cluster", "job", job.job_id});
+  job.user = request.user;
+  job.command = request.command;
+  job.nodes = hosts;
+  job.start = 0;
+
+  double longest = 0.0;
+  for (const auto& hostname : hosts) {
+    auto daemon = node(hostname);
+    if (!daemon) return daemon.status();
+    core::ScenarioBRequest scenario;
+    scenario.command = request.command + " (" + job.job_id + ")";
+    scenario.events = request.events;
+    scenario.frequency_hz = request.frequency_hz;
+    auto observation = (*daemon)->run_scenario_b(
+        scenario, [&](workload::LiveCounters& live) {
+          return workload(**daemon, live);
+        });
+    if (!observation) return observation.status();
+    job.observation_tags.push_back(observation->tag);
+    longest = std::max(
+        longest, to_seconds(observation->end - observation->start));
+  }
+  job.end = from_seconds(longest);
+
+  // Communication telemetry for the job's span (conclusion: "communication
+  // telemetry and job-specific metadata").
+  sample_fabric(hosts, longest);
+
+  if (auto id = docs_.upsert("jobs", job.to_json()); !id) {
+    return id.status();
+  }
+  return job;
+}
+
+std::vector<JobInterface> ClusterDaemon::jobs() const {
+  std::vector<JobInterface> out;
+  for (const auto& doc : docs_.all("jobs")) {
+    if (auto job = JobInterface::from_json(doc); job.has_value()) {
+      out.push_back(std::move(job.value()));
+    }
+  }
+  return out;
+}
+
+Expected<JobInterface> ClusterDaemon::find_job(
+    std::string_view job_id) const {
+  for (const auto& doc :
+       docs_.find("jobs", "job_id", json::Value(job_id))) {
+    return JobInterface::from_json(doc);
+  }
+  return Status::not_found("no such job: " + std::string(job_id));
+}
+
+Expected<dashboard::Dashboard> ClusterDaemon::cluster_level_view(
+    topology::ComponentKind kind, std::string_view metric) const {
+  std::vector<const kb::KnowledgeBase*> kbs;
+  kbs.reserve(daemons_.size());
+  for (const auto& daemon : daemons_) {
+    kbs.push_back(&daemon->knowledge_base());
+  }
+  return dashboard::cross_system_level_view(kbs, kind, metric);
+}
+
+}  // namespace pmove::cluster

@@ -1,0 +1,110 @@
+// Cluster-level P-MoVE (the paper's conclusion: "Based on the proposed
+// design in this paper, we are on the verge of developing a cluster-level
+// P-MoVE that encapsulates meticulous performance analysis and monitoring
+// capabilities, in conjunction with communication telemetry and job-specific
+// metadata emitted from HPC clusters").
+//
+// A ClusterDaemon federates per-node Daemons behind one front end:
+//  - nodes attach by machine preset/spec, each with its own KB;
+//  - cluster-wide Scenario A runs the monitoring session on every node;
+//  - jobs are submitted against a node set: the job's workload is profiled
+//    on each node (Scenario B), and a JobInterface linking every
+//    observation tag is recorded in the cluster's document store;
+//  - communication telemetry: a synthetic network matrix samples per-link
+//    transfer volumes into the cluster TSDB;
+//  - cross-node dashboards come from the existing cross-system level view.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "core/daemon.hpp"
+#include "dashboard/views.hpp"
+#include "docdb/store.hpp"
+#include "tsdb/db.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace pmove::cluster {
+
+struct JobRequest {
+  std::string job_id;
+  std::string user = "user";
+  std::string command;
+  std::vector<std::string> nodes;  ///< hostnames; empty = every node
+  std::vector<std::string> events = {"FLOPS_SCALAR_DP",
+                                     "TOTAL_MEMORY_OPERATIONS"};
+  double frequency_hz = 40.0;
+};
+
+/// Per-link communication sample of the synthetic fabric.
+struct LinkSample {
+  std::string from;
+  std::string to;
+  double bytes = 0.0;
+};
+
+class ClusterDaemon {
+ public:
+  explicit ClusterDaemon(std::uint64_t seed = 99);
+
+  /// Adds a node by preset name; the hostname must be unique (a numeric
+  /// suffix is appended when the same preset joins twice).
+  Status add_node(std::string_view preset);
+
+  [[nodiscard]] std::vector<std::string> nodes() const;
+  [[nodiscard]] std::size_t size() const { return daemons_.size(); }
+
+  [[nodiscard]] Expected<core::Daemon*> node(std::string_view hostname);
+  [[nodiscard]] Expected<const core::Daemon*> node(
+      std::string_view hostname) const;
+
+  /// Cluster-wide Scenario A: one monitoring session per node; returns the
+  /// per-node stats keyed by hostname.
+  Expected<std::map<std::string, sampler::SessionStats>> run_scenario_a(
+      double frequency_hz, int metric_count, double duration_s);
+
+  /// Runs `workload` on every requested node under Scenario B, records the
+  /// JobInterface with all observation tags, and samples the communication
+  /// fabric for the job's duration.  The workload callback receives the
+  /// node's daemon so it can use the node's machine spec.
+  using NodeWorkload =
+      std::function<double(core::Daemon&, workload::LiveCounters&)>;
+  Expected<JobInterface> submit_job(const JobRequest& request,
+                                    const NodeWorkload& workload);
+
+  /// Jobs recorded so far (also persisted in the cluster document store).
+  [[nodiscard]] std::vector<JobInterface> jobs() const;
+  [[nodiscard]] Expected<JobInterface> find_job(
+      std::string_view job_id) const;
+
+  /// Cross-node dashboard over one metric (Fig 2(d) at cluster scale).
+  [[nodiscard]] Expected<dashboard::Dashboard> cluster_level_view(
+      topology::ComponentKind kind, std::string_view metric) const;
+
+  /// Communication telemetry sampled during jobs (measurement
+  /// "network_link_bytes", tags from/to, in the cluster TSDB).
+  [[nodiscard]] const tsdb::TimeSeriesDb& fabric_telemetry() const {
+    return fabric_ts_;
+  }
+  [[nodiscard]] const docdb::DocumentStore& documents() const {
+    return docs_;
+  }
+
+ private:
+  std::vector<LinkSample> sample_fabric(const std::vector<std::string>& hosts,
+                                        double seconds);
+
+  std::vector<std::unique_ptr<core::Daemon>> daemons_;
+  std::vector<std::string> hostnames_;
+  docdb::DocumentStore docs_;
+  tsdb::TimeSeriesDb fabric_ts_;
+  Rng rng_;
+  TimeNs fabric_clock_ = 0;
+  int job_counter_ = 0;
+};
+
+}  // namespace pmove::cluster

@@ -1,0 +1,58 @@
+#include "cluster/job.hpp"
+
+namespace pmove::cluster {
+
+json::Value JobInterface::to_json() const {
+  json::Object obj;
+  obj.set("@id", id);
+  obj.set("@type", "JobInterface");
+  obj.set("job_id", job_id);
+  obj.set("user", user);
+  obj.set("command", command);
+  json::Array node_array;
+  node_array.reserve(nodes.size());
+  for (const auto& node : nodes) node_array.push_back(node);
+  obj.set("nodes", std::move(node_array));
+  obj.set("start_ns", start);
+  obj.set("end_ns", end);
+  json::Array tags;
+  tags.reserve(observation_tags.size());
+  for (const auto& tag : observation_tags) tags.push_back(tag);
+  obj.set("observation_tags", std::move(tags));
+  return obj;
+}
+
+Expected<JobInterface> JobInterface::from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::parse_error("job entry must be an object");
+  }
+  JobInterface job;
+  auto str = [&doc](std::string_view key) {
+    const json::Value* v = doc.find(key);
+    return v != nullptr ? v->string_or("") : std::string();
+  };
+  job.id = str("@id");
+  job.job_id = str("job_id");
+  if (job.job_id.empty()) {
+    return Status::parse_error("job entry missing job_id");
+  }
+  job.user = str("user");
+  job.command = str("command");
+  if (const json::Value* nodes = doc.find("nodes");
+      nodes != nullptr && nodes->is_array()) {
+    for (const auto& node : nodes->as_array()) {
+      job.nodes.push_back(node.string_or(""));
+    }
+  }
+  job.start = doc.find("start_ns") ? doc.find("start_ns")->int_or(0) : 0;
+  job.end = doc.find("end_ns") ? doc.find("end_ns")->int_or(0) : 0;
+  if (const json::Value* tags = doc.find("observation_tags");
+      tags != nullptr && tags->is_array()) {
+    for (const auto& tag : tags->as_array()) {
+      job.observation_tags.push_back(tag.string_or(""));
+    }
+  }
+  return job;
+}
+
+}  // namespace pmove::cluster

@@ -1,0 +1,36 @@
+// Job metadata (paper, Section I: "The KB also contains historical job
+// metadata linked to the sampled performance metrics"; conclusion:
+// "cluster-level P-MoVE ... in conjunction with communication telemetry and
+// job-specific metadata emitted from HPC clusters").
+//
+// A JobInterface records one scheduled job: which nodes it ran on, its
+// command, its time window, and the observation tags that link it to the
+// per-node time-series data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::cluster {
+
+struct JobInterface {
+  std::string id;        ///< DTMI of the entry
+  std::string job_id;    ///< scheduler id, e.g. "184221"
+  std::string user;
+  std::string command;
+  std::vector<std::string> nodes;  ///< hostnames the job ran on
+  TimeNs start = 0;
+  TimeNs end = 0;
+  /// Observation tags collected on the job's behalf, linking the job to
+  /// the sampled metrics (one or more per node).
+  std::vector<std::string> observation_tags;
+
+  [[nodiscard]] json::Value to_json() const;
+  static Expected<JobInterface> from_json(const json::Value& doc);
+};
+
+}  // namespace pmove::cluster

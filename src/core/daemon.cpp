@@ -1,0 +1,310 @@
+#include "core/daemon.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "carm/microbench.hpp"
+#include "json/jsonld.hpp"
+#include "kb/metrics_catalog.hpp"
+#include "kernels/kernels.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace pmove::core {
+
+DaemonConfig DaemonConfig::from_env(
+    const std::map<std::string, std::string>& env) {
+  DaemonConfig config;
+  auto lookup = [&env](const char* key) -> std::string {
+    if (auto it = env.find(key); it != env.end()) return it->second;
+    if (const char* value = std::getenv(key)) return value;
+    return "";
+  };
+  if (auto v = lookup("PMOVE_INFLUX_HOST"); !v.empty()) {
+    config.influx_host = v;
+  }
+  if (auto v = lookup("PMOVE_MONGO_HOST"); !v.empty()) config.mongo_host = v;
+  if (auto v = lookup("PMOVE_GRAFANA_TOKEN"); !v.empty()) {
+    config.grafana_token = v;
+  }
+  return config;
+}
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      layer_(abstraction::AbstractionLayer::with_builtin_configs()),
+      ts_(tsdb::RetentionPolicy{config_.retention_ns}),
+      uuids_(config_.seed) {}
+
+Status Daemon::attach_target(std::string_view preset) {
+  auto spec = topology::machine_preset(preset);
+  if (!spec) return spec.status();
+  return attach_target(spec.value());
+}
+
+Status Daemon::attach_target(const topology::MachineSpec& spec) {
+  // Fig 3, steps 1-2: probing runs "on the target" and the report comes
+  // back as JSON; we round-trip through the report to exercise the same
+  // path.
+  json::Value report = topology::probe_report(spec);
+  auto knowledge_base = kb::KnowledgeBase::from_probe_report(report);
+  if (!knowledge_base) return knowledge_base.status();
+  kb_ = std::move(knowledge_base.value());
+  // Validate the abstraction layer against the target's PMU up front.
+  const std::string pmu_name{pmu::pmu_short_name(kb_->machine().uarch)};
+  if (Status s = layer_.validate(pmu_name, pmu::event_table(kb_->machine().uarch));
+      !s.is_ok()) {
+    log_warn("daemon") << "abstraction layer incomplete for " << pmu_name
+                       << ": " << s.message();
+  }
+  return sync_kb();  // step 3
+}
+
+Expected<int> Daemon::run_benchmark(std::string_view name) {
+  if (!kb_) return Status::unavailable("no target attached");
+  const std::string benchmark = strings::to_upper(name);
+  if (benchmark == "CARM") {
+    auto recorded = carm::record_carm_campaign(*kb_, config_.seed);
+    if (!recorded) return recorded.status();
+    if (Status s = sync_kb(); !s.is_ok()) return s;
+    return recorded;
+  }
+  if (benchmark == "STREAM") {
+    auto result = kernels::run_stream(1u << 21, 3);
+    kb::BenchmarkInterface entry;
+    entry.benchmark = "STREAM";
+    entry.compiler = "gcc";
+    entry.parameters["n"] = std::to_string(1u << 21);
+    entry.results = {{"copy_gbs", result.copy_gbs, "GB/s"},
+                     {"scale_gbs", result.scale_gbs, "GB/s"},
+                     {"add_gbs", result.add_gbs, "GB/s"},
+                     {"triad_gbs", result.triad_gbs, "GB/s"}};
+    kb_->attach_benchmark(std::move(entry));
+    if (Status s = sync_kb(); !s.is_ok()) return s;
+    return 1;
+  }
+  if (benchmark == "HPCG") {
+    auto result = kernels::run_hpcg_lite(96, 300, 1e-8);
+    if (!result) return result.status();
+    kb::BenchmarkInterface entry;
+    entry.benchmark = "HPCG";
+    entry.compiler = "gcc";
+    entry.parameters["grid"] = "96";
+    entry.results = {
+        {"gflops", result->gflops, "GFLOP/s"},
+        {"iterations", static_cast<double>(result->iterations), "count"},
+        {"final_residual", result->final_residual, "relative"},
+        {"seconds", result->seconds, "s"}};
+    kb_->attach_benchmark(std::move(entry));
+    if (Status s = sync_kb(); !s.is_ok()) return s;
+    return 1;
+  }
+  return Status::not_found("unknown benchmark campaign: " +
+                           std::string(name));
+}
+
+Status Daemon::save_dashboard(std::string_view name,
+                              const dashboard::Dashboard& dash) {
+  json::Value doc = dash.to_json();
+  doc.as_object().set("_id", "dashboard:" + std::string(name));
+  auto id = docs_.upsert("dashboards", std::move(doc));
+  return id ? Status::ok() : id.status();
+}
+
+Expected<dashboard::Dashboard> Daemon::load_dashboard(
+    std::string_view name) const {
+  auto doc = docs_.get("dashboards", "dashboard:" + std::string(name));
+  if (!doc) return doc.status();
+  return dashboard::Dashboard::from_json(doc.value());
+}
+
+std::vector<std::string> Daemon::saved_dashboards() const {
+  std::vector<std::string> names;
+  for (const auto& doc : docs_.all("dashboards")) {
+    if (const json::Value* id = doc.find("_id")) {
+      const std::string text = id->string_or("");
+      if (text.rfind("dashboard:", 0) == 0) {
+        names.push_back(text.substr(10));
+      }
+    }
+  }
+  return names;
+}
+
+std::size_t Daemon::enforce_retention(TimeNs now) {
+  return ts_.enforce_retention(now);
+}
+
+Status Daemon::save_session(const std::string& directory) const {
+  if (!kb_) return Status::unavailable("no target attached");
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::unavailable("cannot create " + directory + ": " +
+                               ec.message());
+  }
+  if (Status s = docs_.dump_to_file(directory + "/documents.json");
+      !s.is_ok()) {
+    return s;
+  }
+  return ts_.dump_to_file(directory + "/timeseries.lp");
+}
+
+Status Daemon::load_session(const std::string& directory,
+                            std::string_view hostname) {
+  if (Status s = docs_.load_from_file(directory + "/documents.json");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = ts_.load_from_file(directory + "/timeseries.lp");
+      !s.is_ok()) {
+    return s;
+  }
+  auto knowledge_base = kb::KnowledgeBase::load(docs_, hostname);
+  if (!knowledge_base) return knowledge_base.status();
+  kb_ = std::move(knowledge_base.value());
+  return Status::ok();
+}
+
+Status Daemon::sync_kb() {
+  if (!kb_) return Status::unavailable("no target attached");
+  return kb_->store(docs_);
+}
+
+Expected<Daemon::ScenarioAResult> Daemon::run_scenario_a(double frequency_hz,
+                                                         int metric_count,
+                                                         double duration_s) {
+  if (!kb_) return Status::unavailable("no target attached");
+  if (frequency_hz <= 0.0 || duration_s <= 0.0 || metric_count <= 0) {
+    return Status::invalid_argument(
+        "frequency, metric count and duration must be positive");
+  }
+  // (A1)/(A2) happen together: dashboards are generated from the KB while
+  // the target starts reporting.
+  dashboard::ViewBuilder builder(&*kb_);
+  auto dash = builder.subtree_view(kb_->system_dtmi());
+  if (!dash) return dash.status();
+
+  sampler::SessionConfig session;
+  session.frequency_hz = frequency_hz;
+  session.metric_count = metric_count;
+  session.duration_s = duration_s;
+  session.seed = config_.seed;
+  ScenarioAResult result;
+  result.stats = sampler::run_sampling_session(kb_->machine(), session, &ts_);
+  result.dashboard = std::move(dash.value());
+  return result;
+}
+
+Expected<std::vector<std::string>> Daemon::resolve_events(
+    const std::vector<std::string>& events, bool generic) const {
+  if (!kb_) return Status::unavailable("no target attached");
+  if (!generic) return events;
+  const std::string pmu_name{pmu::pmu_short_name(kb_->machine().uarch)};
+  std::vector<std::string> raw;
+  for (const auto& generic_event : events) {
+    auto formula = layer_.get(pmu_name, generic_event);
+    if (!formula) return formula.status();
+    if (formula->unsupported()) {
+      // Skip rather than fail: a dashboard on AMD simply lacks the
+      // AVX-512 panel (Table I: some generic events are vendor-exclusive).
+      log_info("daemon") << generic_event << " unsupported on " << pmu_name
+                         << ", skipped";
+      continue;
+    }
+    for (const auto& hw_event : formula->hw_events()) {
+      if (std::find(raw.begin(), raw.end(), hw_event) == raw.end()) {
+        raw.push_back(hw_event);
+      }
+    }
+  }
+  if (raw.empty()) {
+    return Status::invalid_argument(
+        "no requested event is supported on this target");
+  }
+  return raw;
+}
+
+Expected<kb::ObservationInterface> Daemon::run_scenario_b(
+    const ScenarioBRequest& request, const Workload& workload) {
+  if (!kb_) return Status::unavailable("no target attached");
+  const topology::MachineSpec& machine = kb_->machine();
+
+  // (B1) resolve + program the PMUs.
+  auto events = resolve_events(request.events, request.generic);
+  if (!events) return events.status();
+  auto cpus = pin_cpus(machine, request.affinity, request.threads);
+  if (!cpus) return cpus.status();
+
+  workload::LiveCounters live(machine.total_threads());
+  pmu::SimulatedPmu pmu(machine, &live);
+  if (Status s = pmu.configure(*events); !s.is_ok()) return s;
+
+  kb::ObservationInterface observation;
+  observation.tag = uuids_.next();
+  observation.id = json::make_dtmi(
+      {"dt", machine.hostname, "observation", observation.tag});
+  observation.host = machine.hostname;
+  observation.command = request.command;
+  observation.affinity = std::string(to_string(request.affinity));
+  observation.cpus = *cpus;
+  observation.sampling_hz = request.frequency_hz;
+
+  sampler::LiveSamplerConfig sampler_config;
+  sampler_config.frequency_hz = request.frequency_hz;
+  sampler_config.events = *events;
+  sampler_config.cpus = *cpus;
+  sampler_config.tag = observation.tag;
+  sampler_config.host = machine.hostname;
+  sampler::LiveSampler live_sampler(pmu, &ts_, sampler_config);
+
+  // (B2..B7) start sampling, execute the kernel, stop as it halts.
+  observation.start = 0;
+  if (Status s = live_sampler.start(); !s.is_ok()) return s;
+  const double seconds = workload(live);
+  live_sampler.stop();
+  observation.end = from_seconds(seconds);
+
+  for (const auto& event : *events) {
+    kb::SampledMetric metric;
+    metric.pmu_name = std::string(pmu::pmu_short_name(machine.uarch));
+    metric.sampler_name = event;
+    metric.db_name = kb::hw_measurement(event);
+    for (int cpu : *cpus) {
+      metric.fields.push_back("_cpu" + std::to_string(cpu));
+    }
+    observation.metrics.push_back(std::move(metric));
+  }
+
+  // Report generated on the fly and added to the entry (Listing 2).
+  json::Object report;
+  report.set("wall_seconds", seconds);
+  report.set("samples", live_sampler.samples_taken());
+  report.set("ticks_missed", live_sampler.ticks_missed());
+  json::Object totals;
+  for (const auto& event : *events) {
+    totals.set(event, live_sampler.accumulated(event));
+  }
+  report.set("accumulated", std::move(totals));
+  observation.report = std::move(report);
+
+  // The profiled execution is itself a process: re-instantiate its
+  // ProcessInterface (Section III-C) and link it from the report.
+  kb::ProcessSpec process;
+  process.pid = next_pid_++;
+  process.name = request.command.substr(0, request.command.find(' '));
+  process.command = request.command;
+  process.cpus = *cpus;
+  process.start = 0;
+  if (auto instance = kb_->instantiate_process(process); instance) {
+    observation.report.as_object().set("process", instance->dtmi);
+  }
+
+  // (B8) append to the KB and re-sync the store.
+  kb_->attach_observation(observation);
+  if (Status s = sync_kb(); !s.is_ok()) return s;
+  return observation;
+}
+
+}  // namespace pmove::core

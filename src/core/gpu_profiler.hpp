@@ -1,0 +1,58 @@
+// GPU kernel profiling through the ncu wrapper path (paper, Section III-D).
+//
+// "The latest GPUs lack the capability for real-time HW telemetry reporting
+// without source code modifications.  ...  P-MoVE is tasked with creating a
+// wrapper script for initiating the kernel launch and configuring ncu to
+// record runtime HW performance events.  Following these executions, it
+// analyzes the output from ncu, integrating these comprehensive performance
+// metrics into the KB through the ObservationInterface."
+//
+// Without CUDA hardware, the launch is simulated: a GpuKernelSpec describes
+// the kernel's work; the profiler renders the ncu-style report the wrapper
+// would capture, parses it back (the same code path a real report would
+// take), stores the metric values as tagged TSDB points and appends the
+// ObservationInterface to the KB.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "kb/kb.hpp"
+#include "tsdb/db.hpp"
+#include "util/status.hpp"
+
+namespace pmove::core {
+
+struct GpuKernelSpec {
+  std::string name;        ///< kernel symbol, e.g. "spmv_csr_vector"
+  int gpu_index = 0;       ///< which of the machine's GPUs
+  double flops = 0.0;      ///< double-precision FLOPs executed
+  double dram_bytes = 0.0; ///< bytes moved through device memory
+  double duration_s = 0.0; ///< kernel execution time
+};
+
+/// ncu's per-kernel report: metric name -> value (percent-of-peak
+/// throughputs, instruction and byte counts).
+struct NcuReport {
+  std::string kernel;
+  std::map<std::string, double> metrics;
+
+  /// The textual report the wrapper script captures (CSV-ish, one metric
+  /// per line: "<name>,<value>").
+  [[nodiscard]] std::string render() const;
+  static Expected<NcuReport> parse(std::string_view text);
+};
+
+/// Simulates the wrapped launch: builds the ncu report for `spec` against
+/// the GPU's capabilities (from the machine spec).
+Expected<NcuReport> run_ncu_wrapper(const topology::MachineSpec& machine,
+                                    const GpuKernelSpec& spec);
+
+/// Full Section III-D flow: run the wrapper, parse the report, write one
+/// tagged point per metric into `db`, and append an ObservationInterface
+/// (PMUName "ncu") to the KB.  Returns the observation.
+Expected<kb::ObservationInterface> profile_gpu_kernel(
+    kb::KnowledgeBase& knowledge_base, tsdb::TimeSeriesDb& db,
+    const GpuKernelSpec& spec, std::string tag);
+
+}  // namespace pmove::core

@@ -1,0 +1,102 @@
+#include "core/pinning.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pmove::core {
+
+std::string_view to_string(PinStrategy strategy) {
+  switch (strategy) {
+    case PinStrategy::kBalanced: return "balanced";
+    case PinStrategy::kCompact: return "compact";
+    case PinStrategy::kNumaBalanced: return "numa balanced";
+    case PinStrategy::kNumaCompact: return "numa compact";
+  }
+  return "balanced";
+}
+
+Expected<PinStrategy> pin_strategy_from_name(std::string_view name) {
+  if (name == "balanced") return PinStrategy::kBalanced;
+  if (name == "compact") return PinStrategy::kCompact;
+  if (name == "numa balanced" || name == "numa_balanced") {
+    return PinStrategy::kNumaBalanced;
+  }
+  if (name == "numa compact" || name == "numa_compact") {
+    return PinStrategy::kNumaCompact;
+  }
+  return Status::not_found("unknown pin strategy: " + std::string(name));
+}
+
+namespace {
+
+/// Physical core ids grouped by the unit (socket or NUMA node) they belong
+/// to, in the prober's global core numbering.
+std::vector<std::vector<int>> cores_by_unit(
+    const topology::MachineSpec& machine, bool numa_granularity) {
+  const int units = numa_granularity ? machine.total_numa() : machine.sockets;
+  const int cores_per_unit = machine.total_cores() / std::max(1, units);
+  std::vector<std::vector<int>> groups(static_cast<std::size_t>(units));
+  for (int core = 0; core < machine.total_cores(); ++core) {
+    const int unit = std::min(units - 1, core / std::max(1, cores_per_unit));
+    groups[static_cast<std::size_t>(unit)].push_back(core);
+  }
+  return groups;
+}
+
+}  // namespace
+
+Expected<std::vector<int>> pin_cpus(const topology::MachineSpec& machine,
+                                    PinStrategy strategy, int threads) {
+  if (threads < 1) return Status::invalid_argument("threads must be >= 1");
+  if (threads > machine.total_threads()) {
+    return Status::out_of_range(
+        "requested " + std::to_string(threads) + " threads on a machine with " +
+        std::to_string(machine.total_threads()) + " hardware threads");
+  }
+  const bool numa = strategy == PinStrategy::kNumaBalanced ||
+                    strategy == PinStrategy::kNumaCompact;
+  const bool balanced = strategy == PinStrategy::kBalanced ||
+                        strategy == PinStrategy::kNumaBalanced;
+  auto groups = cores_by_unit(machine, numa);
+  const int total_cores = machine.total_cores();
+
+  std::vector<int> cpus;
+  cpus.reserve(static_cast<std::size_t>(threads));
+  if (balanced) {
+    // Round-robin across units, physical cores first, then SMT siblings.
+    for (int smt = 0; smt < machine.threads_per_core &&
+                      static_cast<int>(cpus.size()) < threads;
+         ++smt) {
+      std::vector<std::size_t> cursor(groups.size(), 0);
+      bool any = true;
+      while (any && static_cast<int>(cpus.size()) < threads) {
+        any = false;
+        for (std::size_t g = 0;
+             g < groups.size() && static_cast<int>(cpus.size()) < threads;
+             ++g) {
+          if (cursor[g] < groups[g].size()) {
+            const int core = groups[g][cursor[g]++];
+            cpus.push_back(smt == 0 ? core : total_cores + core);
+            any = true;
+          }
+        }
+      }
+    }
+  } else {
+    // Compact: exhaust one unit (cores then siblings) before the next.
+    for (std::size_t g = 0;
+         g < groups.size() && static_cast<int>(cpus.size()) < threads; ++g) {
+      for (int smt = 0; smt < machine.threads_per_core &&
+                        static_cast<int>(cpus.size()) < threads;
+           ++smt) {
+        for (int core : groups[g]) {
+          if (static_cast<int>(cpus.size()) >= threads) break;
+          cpus.push_back(smt == 0 ? core : total_cores + core);
+        }
+      }
+    }
+  }
+  return cpus;
+}
+
+}  // namespace pmove::core

@@ -1,0 +1,31 @@
+// Thread-pinning strategies (paper, Section IV, Scenario B).
+//
+// "This script bounds the threads to the cores using one of the balanced,
+// compact, numa balanced, numa compact strategies based on the probed
+// target system topology."  Each strategy maps a thread count to the list
+// of logical CPUs, under the prober's numbering (cpu k = first thread of
+// core k; SMT siblings start at total_cores).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "topology/machine.hpp"
+#include "util/status.hpp"
+
+namespace pmove::core {
+
+enum class PinStrategy { kBalanced, kCompact, kNumaBalanced, kNumaCompact };
+
+std::string_view to_string(PinStrategy strategy);
+Expected<PinStrategy> pin_strategy_from_name(std::string_view name);
+
+/// CPUs for `threads` worker threads:
+///  - balanced: spread across sockets round-robin, physical cores first;
+///  - compact: fill socket 0's cores, then its SMT siblings, then socket 1;
+///  - numa balanced / numa compact: like the above but spreading/filling at
+///    NUMA-node granularity.
+Expected<std::vector<int>> pin_cpus(const topology::MachineSpec& machine,
+                                    PinStrategy strategy, int threads);
+
+}  // namespace pmove::core

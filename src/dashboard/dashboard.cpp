@@ -1,0 +1,135 @@
+#include "dashboard/dashboard.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace pmove::dashboard {
+
+json::Value Target::to_json() const {
+  json::Object datasource;
+  datasource.set("type", datasource_type);
+  datasource.set("uid", datasource_uid);
+  json::Object obj;
+  obj.set("datasource", std::move(datasource));
+  obj.set("measurement", measurement);
+  obj.set("params", params);
+  if (!tag.empty()) obj.set("tag", tag);
+  return obj;
+}
+
+Expected<Target> Target::from_json(const json::Value& doc) {
+  if (!doc.is_object()) return Status::parse_error("target must be object");
+  Target target;
+  if (const json::Value* ds = doc.find("datasource");
+      ds != nullptr && ds->is_object()) {
+    target.datasource_type =
+        ds->find("type") ? ds->find("type")->string_or("influxdb")
+                         : "influxdb";
+    target.datasource_uid =
+        ds->find("uid") ? ds->find("uid")->string_or("") : "";
+  }
+  target.measurement =
+      doc.find("measurement") ? doc.find("measurement")->string_or("") : "";
+  if (target.measurement.empty()) {
+    return Status::parse_error("target missing measurement");
+  }
+  target.params = doc.find("params") ? doc.find("params")->string_or("") : "";
+  target.tag = doc.find("tag") ? doc.find("tag")->string_or("") : "";
+  return target;
+}
+
+std::string Target::to_query() const {
+  std::string query = "SELECT ";
+  query += params.empty() ? "*" : "\"" + params + "\"";
+  query += " FROM \"" + measurement + "\"";
+  if (!tag.empty()) query += " WHERE tag=\"" + tag + "\"";
+  return query;
+}
+
+json::Value Panel::to_json() const {
+  json::Object obj;
+  obj.set("id", id);
+  if (!title.empty()) obj.set("title", title);
+  json::Array target_array;
+  target_array.reserve(targets.size());
+  for (const auto& target : targets) target_array.push_back(target.to_json());
+  obj.set("targets", std::move(target_array));
+  return obj;
+}
+
+Expected<Panel> Panel::from_json(const json::Value& doc) {
+  if (!doc.is_object()) return Status::parse_error("panel must be object");
+  Panel panel;
+  panel.id = doc.find("id") ? static_cast<int>(doc.find("id")->int_or(0)) : 0;
+  panel.title = doc.find("title") ? doc.find("title")->string_or("") : "";
+  if (const json::Value* targets = doc.find("targets");
+      targets != nullptr && targets->is_array()) {
+    for (const auto& t : targets->as_array()) {
+      auto target = Target::from_json(t);
+      if (!target) return target.status();
+      panel.targets.push_back(std::move(target.value()));
+    }
+  }
+  return panel;
+}
+
+json::Value Dashboard::to_json() const {
+  json::Object obj;
+  obj.set("id", id);
+  if (!title.empty()) obj.set("title", title);
+  json::Array panel_array;
+  panel_array.reserve(panels.size());
+  for (const auto& panel : panels) panel_array.push_back(panel.to_json());
+  obj.set("panels", std::move(panel_array));
+  json::Object time;
+  time.set("from", time_from);
+  time.set("to", time_to);
+  obj.set("time", std::move(time));
+  return obj;
+}
+
+Expected<Dashboard> Dashboard::from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::parse_error("dashboard must be object");
+  }
+  Dashboard dash;
+  dash.id = doc.find("id") ? static_cast<int>(doc.find("id")->int_or(0)) : 0;
+  dash.title = doc.find("title") ? doc.find("title")->string_or("") : "";
+  if (const json::Value* panels = doc.find("panels");
+      panels != nullptr && panels->is_array()) {
+    for (const auto& p : panels->as_array()) {
+      auto panel = Panel::from_json(p);
+      if (!panel) return panel.status();
+      dash.panels.push_back(std::move(panel.value()));
+    }
+  }
+  if (const json::Value* time = doc.find("time");
+      time != nullptr && time->is_object()) {
+    dash.time_from =
+        time->find("from") ? time->find("from")->string_or("now-5m")
+                           : "now-5m";
+    dash.time_to = time->find("to") ? time->find("to")->string_or("now")
+                                    : "now";
+  }
+  return dash;
+}
+
+Status Dashboard::save_to_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::unavailable("cannot write " + path);
+  out << to_json().dump_pretty() << "\n";
+  return out.good() ? Status::ok()
+                    : Status::unavailable("write failed: " + path);
+}
+
+Expected<Dashboard> Dashboard::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = json::Value::parse(text.str());
+  if (!doc) return doc.status();
+  return from_json(*doc);
+}
+
+}  // namespace pmove::dashboard

@@ -1,0 +1,57 @@
+// Dashboards (paper, Section III-B).
+//
+// "In P-MoVE, each dashboard is only a simple JSON file."  The JSON schema
+// mirrors the paper's Listing 1: a dashboard has an id, panels with targets
+// (datasource + measurement + params/field), and a time range.  Dashboards
+// can be serialized, edited, shared and re-loaded; the renderer executes a
+// dashboard against the TSDB the way the Grafana plugin would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "util/status.hpp"
+
+namespace pmove::dashboard {
+
+struct Target {
+  std::string datasource_type = "influxdb";
+  std::string datasource_uid = "UUkm188l";
+  std::string measurement;
+  std::string params;  ///< field name, e.g. "_cpu0"
+  std::string tag;     ///< optional observation tag filter
+
+  [[nodiscard]] json::Value to_json() const;
+  static Expected<Target> from_json(const json::Value& doc);
+
+  /// The TSDB query this target executes.
+  [[nodiscard]] std::string to_query() const;
+};
+
+struct Panel {
+  int id = 0;
+  std::string title;
+  std::vector<Target> targets;
+
+  [[nodiscard]] json::Value to_json() const;
+  static Expected<Panel> from_json(const json::Value& doc);
+};
+
+struct Dashboard {
+  int id = 0;
+  std::string title;
+  std::vector<Panel> panels;
+  std::string time_from = "now-5m";
+  std::string time_to = "now";
+
+  [[nodiscard]] json::Value to_json() const;
+  static Expected<Dashboard> from_json(const json::Value& doc);
+
+  /// File round trip — "the corresponding JSON file can be shared by
+  /// multiple users".
+  Status save_to_file(const std::string& path) const;
+  static Expected<Dashboard> load_from_file(const std::string& path);
+};
+
+}  // namespace pmove::dashboard

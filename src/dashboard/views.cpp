@@ -1,0 +1,210 @@
+#include "dashboard/views.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsdb/db.hpp"
+#include "util/strings.hpp"
+
+namespace pmove::dashboard {
+
+namespace {
+
+/// Builds one target from a telemetry entry document.
+Target target_from_telemetry(const json::Value& telemetry) {
+  Target target;
+  target.measurement =
+      telemetry.find("DBName") ? telemetry.find("DBName")->string_or("") : "";
+  target.params = telemetry.find("FieldName")
+                      ? telemetry.find("FieldName")->string_or("")
+                      : "";
+  return target;
+}
+
+std::string telemetry_sampler(const json::Value& telemetry) {
+  return telemetry.find("SamplerName")
+             ? telemetry.find("SamplerName")->string_or("")
+             : "";
+}
+
+}  // namespace
+
+Expected<Dashboard> ViewBuilder::focus_view(std::string_view dtmi,
+                                            bool extend_to_root) const {
+  const topology::Component* component = kb_->component_for(dtmi);
+  if (component == nullptr) {
+    return Status::not_found("no component for DTMI: " + std::string(dtmi));
+  }
+  Dashboard dash;
+  dash.id = 1;
+  dash.title = "focus: " + component->name();
+  int panel_id = 1;
+  auto add_panels_for = [this, &dash, &panel_id](
+                            const topology::Component& c) -> Status {
+    auto id = kb_->dtmi_for(c);
+    if (!id) return id.status();
+    for (const auto& telemetry : kb_->telemetry_of(id.value())) {
+      Panel panel;
+      panel.id = panel_id++;
+      panel.title = c.name() + ": " + telemetry_sampler(telemetry);
+      panel.targets.push_back(target_from_telemetry(telemetry));
+      dash.panels.push_back(std::move(panel));
+    }
+    return Status::ok();
+  };
+  if (Status s = add_panels_for(*component); !s.is_ok()) return s;
+  if (extend_to_root) {
+    for (const topology::Component* ancestor = component->parent();
+         ancestor != nullptr; ancestor = ancestor->parent()) {
+      if (Status s = add_panels_for(*ancestor); !s.is_ok()) return s;
+    }
+  }
+  return dash;
+}
+
+Expected<Dashboard> ViewBuilder::subtree_view(std::string_view dtmi) const {
+  const topology::Component* root = kb_->component_for(dtmi);
+  if (root == nullptr) {
+    return Status::not_found("no component for DTMI: " + std::string(dtmi));
+  }
+  Dashboard dash;
+  dash.id = 1;
+  dash.title = "subtree: " + root->name();
+  int panel_id = 1;
+  for (const topology::Component* component : root->subtree()) {
+    auto id = kb_->dtmi_for(*component);
+    if (!id) return id.status();
+    auto telemetry = kb_->telemetry_of(id.value());
+    if (telemetry.empty()) continue;
+    Panel panel;
+    panel.id = panel_id++;
+    panel.title = component->path();
+    for (const auto& entry : telemetry) {
+      panel.targets.push_back(target_from_telemetry(entry));
+    }
+    dash.panels.push_back(std::move(panel));
+  }
+  return dash;
+}
+
+Expected<Dashboard> ViewBuilder::level_view(topology::ComponentKind kind,
+                                            std::string_view metric) const {
+  Dashboard dash;
+  dash.id = 1;
+  dash.title = "level: " + std::string(topology::to_string(kind));
+  int panel_id = 1;
+  for (const topology::Component* component : kb_->root().find_all(kind)) {
+    auto id = kb_->dtmi_for(*component);
+    if (!id) return id.status();
+    for (const auto& telemetry : kb_->telemetry_of(id.value())) {
+      if (!metric.empty() && telemetry_sampler(telemetry) != metric) {
+        continue;
+      }
+      Panel panel;
+      panel.id = panel_id++;
+      panel.title = component->name() + ": " + telemetry_sampler(telemetry);
+      panel.targets.push_back(target_from_telemetry(telemetry));
+      dash.panels.push_back(std::move(panel));
+      if (metric.empty()) break;  // first telemetry only
+    }
+  }
+  if (dash.panels.empty()) {
+    return Status::not_found("no telemetry for level view of " +
+                             std::string(topology::to_string(kind)));
+  }
+  return dash;
+}
+
+Expected<Dashboard> cross_system_level_view(
+    const std::vector<const kb::KnowledgeBase*>& kbs,
+    topology::ComponentKind kind, std::string_view metric) {
+  Dashboard dash;
+  dash.id = 1;
+  dash.title = "level (cross-system): " +
+               std::string(topology::to_string(kind)) + " / " +
+               std::string(metric);
+  int panel_id = 1;
+  for (const kb::KnowledgeBase* knowledge_base : kbs) {
+    ViewBuilder builder(knowledge_base);
+    auto per_machine = builder.level_view(kind, metric);
+    if (!per_machine) return per_machine.status();
+    for (auto& panel : per_machine->panels) {
+      panel.id = panel_id++;
+      panel.title = knowledge_base->hostname() + "/" + panel.title;
+      dash.panels.push_back(std::move(panel));
+    }
+  }
+  return dash;
+}
+
+namespace {
+
+std::string sparkline(const std::vector<double>& values, int width) {
+  static const char kLevels[] = " .:-=+*#%@";
+  if (values.empty()) return std::string("(no data)");
+  double lo = values.front(), hi = values.front();
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi - lo;
+  std::string out;
+  const int n = static_cast<int>(values.size());
+  for (int c = 0; c < width; ++c) {
+    // Bucket-average the series into `width` columns.
+    const int begin = static_cast<int>(static_cast<double>(c) * n / width);
+    const int end = std::max(
+        begin + 1, static_cast<int>(static_cast<double>(c + 1) * n / width));
+    double sum = 0.0;
+    int count = 0;
+    for (int i = begin; i < end && i < n; ++i) {
+      sum += values[static_cast<std::size_t>(i)];
+      ++count;
+    }
+    if (count == 0) {
+      out += ' ';
+      continue;
+    }
+    const double v = sum / count;
+    const int level =
+        range <= 0.0 ? 5
+                     : static_cast<int>((v - lo) / range * 9.0);
+    out += kLevels[std::clamp(level, 0, 9)];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_dashboard(const Dashboard& dashboard,
+                             const tsdb::TimeSeriesDb& db, int width) {
+  std::string out = "== " +
+                    (dashboard.title.empty() ? "dashboard" : dashboard.title) +
+                    " ==\n";
+  for (const auto& panel : dashboard.panels) {
+    out += "[" + std::to_string(panel.id) + "] " + panel.title + "\n";
+    for (const auto& target : panel.targets) {
+      auto result = db.query(target.to_query());
+      std::vector<double> values;
+      if (result) {
+        for (const auto& row : result->rows) {
+          double sum = 0.0;
+          bool have = false;
+          for (std::size_t i = 1; i < row.size(); ++i) {
+            if (!std::isnan(row[i])) {
+              sum += row[i];
+              have = true;
+            }
+          }
+          if (have) values.push_back(sum);
+        }
+      }
+      out += "  " + target.measurement +
+             (target.params.empty() ? "" : "[" + target.params + "]") + "\n";
+      out += "  |" + sparkline(values, width) + "|\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pmove::dashboard

@@ -1,0 +1,151 @@
+#include "docdb/store.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace pmove::docdb {
+
+std::string DocumentStore::document_id(const json::Value& document,
+                                       std::size_t* sequence) {
+  if (document.is_object()) {
+    if (const json::Value* id = document.find("@id");
+        id != nullptr && id->is_string() && !id->as_string().empty()) {
+      return id->as_string();
+    }
+    if (const json::Value* id = document.find("_id");
+        id != nullptr && id->is_string() && !id->as_string().empty()) {
+      return id->as_string();
+    }
+  }
+  return "doc-" + std::to_string((*sequence)++);
+}
+
+Expected<std::string> DocumentStore::insert(std::string_view collection,
+                                            json::Value document) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string id = document_id(document, &sequence_);
+  auto& coll = collections_[std::string(collection)];
+  if (coll.find(id) != coll.end()) {
+    return Status::already_exists("document already exists: " + id);
+  }
+  coll.emplace(id, std::move(document));
+  return id;
+}
+
+Expected<std::string> DocumentStore::upsert(std::string_view collection,
+                                            json::Value document) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string id = document_id(document, &sequence_);
+  collections_[std::string(collection)][id] = std::move(document);
+  return id;
+}
+
+Expected<json::Value> DocumentStore::get(std::string_view collection,
+                                         std::string_view id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto coll = collections_.find(collection);
+  if (coll == collections_.end()) {
+    return Status::not_found("no such collection: " + std::string(collection));
+  }
+  auto doc = coll->second.find(std::string(id));
+  if (doc == coll->second.end()) {
+    return Status::not_found("no such document: " + std::string(id));
+  }
+  return doc->second;
+}
+
+bool DocumentStore::erase(std::string_view collection, std::string_view id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto coll = collections_.find(collection);
+  if (coll == collections_.end()) return false;
+  return coll->second.erase(std::string(id)) > 0;
+}
+
+std::vector<json::Value> DocumentStore::find(std::string_view collection,
+                                             std::string_view path,
+                                             const json::Value& value) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<json::Value> out;
+  auto coll = collections_.find(collection);
+  if (coll == collections_.end()) return out;
+  for (const auto& [id, doc] : coll->second) {
+    if (const json::Value* v = doc.at_path(path);
+        v != nullptr && *v == value) {
+      out.push_back(doc);
+    }
+  }
+  return out;
+}
+
+std::vector<json::Value> DocumentStore::all(
+    std::string_view collection) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<json::Value> out;
+  auto coll = collections_.find(collection);
+  if (coll == collections_.end()) return out;
+  out.reserve(coll->second.size());
+  for (const auto& [id, doc] : coll->second) out.push_back(doc);
+  return out;
+}
+
+std::size_t DocumentStore::count(std::string_view collection) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto coll = collections_.find(collection);
+  return coll == collections_.end() ? 0 : coll->second.size();
+}
+
+std::vector<std::string> DocumentStore::collections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(collections_.size());
+  for (const auto& [name, docs] : collections_) out.push_back(name);
+  return out;
+}
+
+Status DocumentStore::dump_to_file(const std::string& path) const {
+  json::Object root;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [collection, docs] : collections_) {
+      json::Object coll;
+      for (const auto& [id, doc] : docs) coll.set(id, doc);
+      root.set(collection, std::move(coll));
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Status::unavailable("cannot write " + path);
+  out << json::Value(std::move(root)).dump_pretty() << "\n";
+  return out.good() ? Status::ok()
+                    : Status::unavailable("write failed: " + path);
+}
+
+Status DocumentStore::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = json::Value::parse(text.str());
+  if (!doc) return doc.status();
+  if (!doc->is_object()) {
+    return Status::parse_error("store dump must be a JSON object");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [collection, docs] : doc->as_object()) {
+    if (!docs.is_object()) {
+      return Status::parse_error("collection '" + collection +
+                                 "' must be an object");
+    }
+    for (const auto& [id, document] : docs.as_object()) {
+      collections_[collection][id] = document;
+    }
+  }
+  return Status::ok();
+}
+
+void DocumentStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collections_.clear();
+  sequence_ = 0;
+}
+
+}  // namespace pmove::docdb

@@ -1,0 +1,65 @@
+// In-memory document database (MongoDB substrate).
+//
+// Holds the KB: JSON-LD interface documents, observation entries and
+// benchmark results, organized in named collections.  Documents are keyed by
+// their "@id" (DTMI) when present, by "_id" otherwise, or by a generated
+// sequence id.  Queries are path-equality finds — all the KB parsing needs.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.hpp"
+#include "util/status.hpp"
+
+namespace pmove::docdb {
+
+class DocumentStore {
+ public:
+  /// Inserts a document; fails if a document with the same id exists.
+  /// Returns the id under which it was stored.
+  Expected<std::string> insert(std::string_view collection,
+                               json::Value document);
+
+  /// Inserts or replaces.
+  Expected<std::string> upsert(std::string_view collection,
+                               json::Value document);
+
+  [[nodiscard]] Expected<json::Value> get(std::string_view collection,
+                                          std::string_view id) const;
+
+  bool erase(std::string_view collection, std::string_view id);
+
+  /// All documents whose value at `path` (dotted, see json::Value::at_path)
+  /// equals `value`.
+  [[nodiscard]] std::vector<json::Value> find(std::string_view collection,
+                                              std::string_view path,
+                                              const json::Value& value) const;
+
+  [[nodiscard]] std::vector<json::Value> all(
+      std::string_view collection) const;
+
+  [[nodiscard]] std::size_t count(std::string_view collection) const;
+  [[nodiscard]] std::vector<std::string> collections() const;
+
+  /// Recorded-data support: the whole store as one JSON document
+  /// ({collection: {id: doc, ...}, ...}) and back.
+  Status dump_to_file(const std::string& path) const;
+  Status load_from_file(const std::string& path);
+
+  void clear();
+
+ private:
+  static std::string document_id(const json::Value& document,
+                                 std::size_t* sequence);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::map<std::string, json::Value>, std::less<>>
+      collections_;
+  std::size_t sequence_ = 0;
+};
+
+}  // namespace pmove::docdb

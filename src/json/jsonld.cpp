@@ -1,0 +1,87 @@
+#include "json/jsonld.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace pmove::json {
+
+std::string make_dtmi(const std::vector<std::string>& segments, int version) {
+  std::string out = "dtmi";
+  for (const auto& s : segments) {
+    out += ':';
+    out += s;
+  }
+  out += ';';
+  out += std::to_string(version);
+  return out;
+}
+
+Expected<std::vector<std::string>> parse_dtmi(std::string_view dtmi) {
+  if (!strings::starts_with(dtmi, "dtmi:")) {
+    return Status::parse_error("DTMI must start with 'dtmi:'");
+  }
+  std::size_t semi = dtmi.rfind(';');
+  if (semi == std::string_view::npos) {
+    return Status::parse_error("DTMI missing ';version' suffix");
+  }
+  std::string_view body = dtmi.substr(5, semi - 5);
+  if (body.empty()) return Status::parse_error("DTMI has no path");
+  auto segments = strings::split(body, ':');
+  for (const auto& s : segments) {
+    if (s.empty()) return Status::parse_error("DTMI has empty segment");
+  }
+  return segments;
+}
+
+Expected<int> dtmi_version(std::string_view dtmi) {
+  std::size_t semi = dtmi.rfind(';');
+  if (semi == std::string_view::npos || semi + 1 >= dtmi.size()) {
+    return Status::parse_error("DTMI missing version");
+  }
+  std::string_view num = dtmi.substr(semi + 1);
+  int version = 0;
+  auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(),
+                                   version);
+  if (ec != std::errc() || ptr != num.data() + num.size()) {
+    return Status::parse_error("DTMI version is not an integer");
+  }
+  return version;
+}
+
+bool is_valid_dtmi(std::string_view id) {
+  return parse_dtmi(id).has_value() && dtmi_version(id).has_value();
+}
+
+std::string entity_type(const Value& entity) {
+  if (const Value* t = entity.find("@type"); t && t->is_string()) {
+    return t->as_string();
+  }
+  return "";
+}
+
+std::string entity_id(const Value& entity) {
+  if (const Value* t = entity.find("@id"); t && t->is_string()) {
+    return t->as_string();
+  }
+  return "";
+}
+
+Status validate_entity(const Value& entity) {
+  if (!entity.is_object()) {
+    return Status::invalid_argument("DTDL entity must be a JSON object");
+  }
+  const std::string id = entity_id(entity);
+  if (id.empty()) return Status::invalid_argument("entity missing @id");
+  if (!is_valid_dtmi(id)) {
+    return Status::invalid_argument("entity @id is not a valid DTMI: " + id);
+  }
+  const std::string type = entity_type(entity);
+  if (type.empty()) return Status::invalid_argument("entity missing @type");
+  if (type == "Interface" && !entity.as_object().contains("@context")) {
+    return Status::invalid_argument("Interface missing @context: " + id);
+  }
+  return Status::ok();
+}
+
+}  // namespace pmove::json

@@ -1,0 +1,45 @@
+// JSON-LD / DTDL helpers.
+//
+// The KB documents follow DTDL v2 conventions (a JSON-LD dialect): every
+// entity has "@id" (a DTMI), "@type", and interfaces carry "@context".
+// These helpers build and validate such documents without a full JSON-LD
+// processor — P-MoVE only needs the structural subset the paper uses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/value.hpp"
+#include "util/status.hpp"
+
+namespace pmove::json {
+
+/// DTDL context identifier used by all P-MoVE interfaces.
+inline constexpr std::string_view kDtdlContext = "dtmi:dtdl:context;2";
+
+/// Builds a DTMI: "dtmi:dt:<segment>:<segment>...;<version>".
+std::string make_dtmi(const std::vector<std::string>& segments,
+                      int version = 1);
+
+/// Splits a DTMI into its path segments (without the "dtmi:" scheme and the
+/// ";version" suffix).  Returns an error for malformed identifiers.
+Expected<std::vector<std::string>> parse_dtmi(std::string_view dtmi);
+
+/// Version suffix of a DTMI (the ";N" part), or error.
+Expected<int> dtmi_version(std::string_view dtmi);
+
+/// True when `id` is a structurally valid DTMI.
+bool is_valid_dtmi(std::string_view id);
+
+/// Structural validation of a DTDL entity: must be an object with "@id"
+/// (valid DTMI) and "@type"; interfaces must also carry "@context".
+Status validate_entity(const Value& entity);
+
+/// Returns the "@type" of an entity ("" when missing).
+std::string entity_type(const Value& entity);
+
+/// Returns the "@id" of an entity ("" when missing).
+std::string entity_id(const Value& entity);
+
+}  // namespace pmove::json

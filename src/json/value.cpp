@@ -1,0 +1,521 @@
+#include "json/value.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace pmove::json {
+
+// ---------------------------------------------------------------- Object
+
+Object::Object(std::initializer_list<std::pair<std::string, Value>> items) {
+  for (auto& [k, v] : items) set(k, v);
+}
+
+Value& Object::set(std::string key, Value value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    items_[it->second].second = std::move(value);
+    return items_[it->second].second;
+  }
+  index_.emplace(key, items_.size());
+  items_.emplace_back(std::move(key), std::move(value));
+  return items_.back().second;
+}
+
+bool Object::contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+const Value* Object::find(std::string_view key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &items_[it->second].second;
+}
+
+Value* Object::find(std::string_view key) {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &items_[it->second].second;
+}
+
+const Value& Object::at(std::string_view key) const {
+  const Value* v = find(key);
+  assert(v && "Object::at: missing key");
+  return *v;
+}
+
+Value& Object::at(std::string_view key) {
+  Value* v = find(key);
+  assert(v && "Object::at: missing key");
+  return *v;
+}
+
+Value& Object::operator[](std::string_view key) {
+  if (Value* v = find(key)) return *v;
+  return set(std::string(key), Value());
+}
+
+bool Object::erase(std::string_view key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  std::size_t pos = it->second;
+  items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [k, idx] : index_) {
+    if (idx > pos) --idx;
+  }
+  return true;
+}
+
+bool operator==(const Object& a, const Object& b) {
+  return a.items_ == b.items_;
+}
+
+// ---------------------------------------------------------------- Value
+
+std::string_view to_string(Type type) {
+  switch (type) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "unknown";
+}
+
+bool Value::as_bool() const {
+  assert(is_bool());
+  return bool_;
+}
+double Value::as_double() const {
+  assert(is_number());
+  return number_;
+}
+std::int64_t Value::as_int() const {
+  assert(is_number());
+  return static_cast<std::int64_t>(std::llround(number_));
+}
+const std::string& Value::as_string() const {
+  assert(is_string());
+  return string_;
+}
+const Array& Value::as_array() const {
+  assert(is_array());
+  return array_;
+}
+Array& Value::as_array() {
+  assert(is_array());
+  return array_;
+}
+const Object& Value::as_object() const {
+  assert(is_object());
+  return object_;
+}
+Object& Value::as_object() {
+  assert(is_object());
+  return object_;
+}
+
+bool Value::bool_or(bool fallback) const {
+  return is_bool() ? bool_ : fallback;
+}
+double Value::double_or(double fallback) const {
+  return is_number() ? number_ : fallback;
+}
+std::int64_t Value::int_or(std::int64_t fallback) const {
+  return is_number() ? as_int() : fallback;
+}
+std::string Value::string_or(std::string fallback) const {
+  return is_string() ? string_ : fallback;
+}
+
+const Value* Value::find(std::string_view key) const {
+  return is_object() ? object_.find(key) : nullptr;
+}
+
+const Value* Value::at_path(std::string_view path) const {
+  const Value* cur = this;
+  for (const auto& part : strings::split(path, '.')) {
+    if (cur == nullptr) return nullptr;
+    if (cur->is_object()) {
+      cur = cur->object_.find(part);
+    } else if (cur->is_array()) {
+      std::size_t idx = 0;
+      auto [ptr, ec] =
+          std::from_chars(part.data(), part.data() + part.size(), idx);
+      if (ec != std::errc() || ptr != part.data() + part.size() ||
+          idx >= cur->array_.size()) {
+        return nullptr;
+      }
+      cur = &cur->array_[idx];
+    } else {
+      return nullptr;
+    }
+  }
+  return cur;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return a.bool_ == b.bool_;
+    case Type::kNumber: return a.number_ == b.number_;
+    case Type::kString: return a.string_ == b.string_;
+    case Type::kArray: return a.array_ == b.array_;
+    case Type::kObject: return a.object_ == b.object_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- serialize
+
+namespace {
+
+void escape_into(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(double d, bool integral, std::string& out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    out += "null";  // JSON has no NaN/Inf; match common serializer behaviour
+    return;
+  }
+  char buf[32];
+  if (integral && d >= -9.2e18 && d <= 9.2e18 &&
+      d == std::floor(d)) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  out += buf;
+}
+
+void dump_into(const Value& v, std::string& out, int indent, int depth);
+
+void dump_object(const Object& obj, std::string& out, int indent, int depth) {
+  if (obj.empty()) {
+    out += "{}";
+    return;
+  }
+  out += '{';
+  bool first = true;
+  for (const auto& [k, val] : obj) {
+    if (!first) out += ',';
+    first = false;
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    }
+    escape_into(k, out);
+    out += ':';
+    if (indent > 0) out += ' ';
+    dump_into(val, out, indent, depth + 1);
+  }
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+  out += '}';
+}
+
+void dump_array(const Array& arr, std::string& out, int indent, int depth) {
+  if (arr.empty()) {
+    out += "[]";
+    return;
+  }
+  out += '[';
+  bool first = true;
+  for (const auto& val : arr) {
+    if (!first) out += ',';
+    first = false;
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    }
+    dump_into(val, out, indent, depth + 1);
+  }
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+  out += ']';
+}
+
+void dump_into(const Value& v, std::string& out, int indent, int depth) {
+  switch (v.type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Type::kNumber: number_into(v.as_double(), v.is_integer(), out); break;
+    case Type::kString: escape_into(v.as_string(), out); break;
+    case Type::kArray: dump_array(v.as_array(), out, indent, depth); break;
+    case Type::kObject: dump_object(v.as_object(), out, indent, depth); break;
+  }
+}
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_into(*this, out, 0, 0);
+  return out;
+}
+
+std::string Value::dump_pretty(int indent) const {
+  std::string out;
+  dump_into(*this, out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------- parse
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> parse() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status make_error(const std::string& what) const {
+    return Status::parse_error(what + " at offset " + std::to_string(pos_));
+  }
+  Expected<Value> fail(const std::string& what) const {
+    return make_error(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Value> parse_value() {
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.status();
+        return Value(std::move(s.value()));
+      }
+      case 't':
+        if (consume("true")) return Value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consume("false")) return Value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consume("null")) return Value(nullptr);
+        return fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Expected<Value> parse_object() {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      auto key = parse_string();
+      if (!key) return key.status();
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      auto val = parse_value();
+      if (!val) return val;
+      obj.set(std::move(key.value()), std::move(val.value()));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value(std::move(obj));
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Expected<Value> parse_array() {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      auto val = parse_value();
+      if (!val) return val;
+      arr.push_back(std::move(val.value()));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Value(std::move(arr));
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Expected<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (eof()) return Status::parse_error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) return Status::parse_error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Status::parse_error("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return Status::parse_error("bad \\u escape digit");
+            }
+            // UTF-8 encode (BMP only; surrogate pairs are rare in our data
+            // but handled by emitting the replacement char).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return Status::parse_error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Expected<Value> parse_number() {
+    std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    bool integral = true;
+    while (!eof()) {
+      char c = peek();
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        integral = false;
+        ++pos_;
+        if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("bad number");
+    Value v(d);
+    v.set_integral(integral);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> Value::parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace pmove::json

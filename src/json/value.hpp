@@ -1,0 +1,150 @@
+// JSON document model.
+//
+// The KB, dashboards and the document database are all JSON(-LD); this is
+// the single in-memory representation used across P-MoVE.  Design notes:
+//  - Object preserves insertion order (DTDL interface listings in the paper
+//    are ordered; re-serialization should be stable).
+//  - Numbers are stored as double with an integer flag so that integral
+//    values round-trip as "5" not "5.0".
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pmove::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Order-preserving string->Value map with O(log n) lookup via an index.
+class Object {
+ public:
+  Object() = default;
+  Object(std::initializer_list<std::pair<std::string, Value>> items);
+
+  /// Insert or overwrite.
+  Value& set(std::string key, Value value);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] Value* find(std::string_view key);
+
+  /// Checked access; asserts the key exists.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  [[nodiscard]] Value& at(std::string_view key);
+
+  /// Access-or-insert-null, like std::map::operator[].
+  Value& operator[](std::string_view key);
+
+  bool erase(std::string_view key);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  using Item = std::pair<std::string, Value>;
+  [[nodiscard]] const std::vector<Item>& items() const { return items_; }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  friend bool operator==(const Object& a, const Object& b);
+
+ private:
+  std::vector<Item> items_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+std::string_view to_string(Type type);
+
+class Value {
+ public:
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}              // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  Value(double d) : type_(Type::kNumber), number_(d) {}      // NOLINT
+  Value(int i)                                               // NOLINT
+      : type_(Type::kNumber), number_(i), integral_(true) {}
+  Value(std::int64_t i)                                      // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)),
+        integral_(true) {}
+  Value(std::uint64_t i)                                     // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)),
+        integral_(true) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Value(std::string s)                                        // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s)                                   // NOLINT
+      : type_(Type::kString), string_(s) {}
+  Value(Array a)                                              // NOLINT
+      : type_(Type::kArray), array_(std::move(a)) {}
+  Value(Object o)                                             // NOLINT
+      : type_(Type::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_integer() const {
+    return type_ == Type::kNumber && integral_;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Checked accessors (assert in debug builds).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  // Lenient accessors with fallback.
+  [[nodiscard]] bool bool_or(bool fallback) const;
+  [[nodiscard]] double double_or(double fallback) const;
+  [[nodiscard]] std::int64_t int_or(std::int64_t fallback) const;
+  [[nodiscard]] std::string string_or(std::string fallback) const;
+
+  /// Object member lookup; returns nullptr when not an object / not present.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Dotted-path lookup with array indices, e.g. "panels.0.targets.1.uid".
+  [[nodiscard]] const Value* at_path(std::string_view path) const;
+
+  /// Compact single-line JSON.
+  [[nodiscard]] std::string dump() const;
+  /// Pretty-printed JSON with the given indent width.
+  [[nodiscard]] std::string dump_pretty(int indent = 2) const;
+
+  static Expected<Value> parse(std::string_view text);
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Mark a number as integral/non-integral (affects serialization only).
+  void set_integral(bool integral) { integral_ = integral; }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  bool integral_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace pmove::json

@@ -1,0 +1,70 @@
+#include "kb/dtdl.hpp"
+
+#include "json/jsonld.hpp"
+
+namespace pmove::kb {
+
+json::Value make_property(std::string_view id, std::string_view name,
+                          json::Value description) {
+  json::Object obj;
+  obj.set("@id", std::string(id));
+  obj.set("@type", "Property");
+  obj.set("name", std::string(name));
+  obj.set("description", std::move(description));
+  return obj;
+}
+
+json::Value make_sw_telemetry(std::string_view id, std::string_view name,
+                              std::string_view sampler_name,
+                              std::string_view db_name_,
+                              std::string_view field_name,
+                              std::string_view description) {
+  json::Object obj;
+  obj.set("@id", std::string(id));
+  obj.set("@type", "SWTelemetry");
+  obj.set("name", std::string(name));
+  obj.set("SamplerName", std::string(sampler_name));
+  obj.set("DBName", std::string(db_name_));
+  if (!field_name.empty()) obj.set("FieldName", std::string(field_name));
+  if (!description.empty()) obj.set("description", std::string(description));
+  return obj;
+}
+
+json::Value make_hw_telemetry(std::string_view id, std::string_view name,
+                              std::string_view pmu_name,
+                              std::string_view sampler_name,
+                              std::string_view db_name_,
+                              std::string_view field_name,
+                              std::string_view description) {
+  json::Object obj;
+  obj.set("@id", std::string(id));
+  obj.set("@type", "HWTelemetry");
+  obj.set("name", std::string(name));
+  obj.set("PMUName", std::string(pmu_name));
+  obj.set("SamplerName", std::string(sampler_name));
+  obj.set("DBName", std::string(db_name_));
+  obj.set("FieldName", std::string(field_name));
+  if (!description.empty()) obj.set("description", std::string(description));
+  return obj;
+}
+
+json::Value make_relationship(std::string_view id, std::string_view name,
+                              std::string_view target_dtmi) {
+  json::Object obj;
+  obj.set("@id", std::string(id));
+  obj.set("@type", "Relationship");
+  obj.set("name", std::string(name));
+  obj.set("target", std::string(target_dtmi));
+  return obj;
+}
+
+json::Value make_interface(std::string_view dtmi) {
+  json::Object obj;
+  obj.set("@type", "Interface");
+  obj.set("@id", std::string(dtmi));
+  obj.set("@context", std::string(json::kDtdlContext));
+  obj.set("contents", json::Array{});
+  return obj;
+}
+
+}  // namespace pmove::kb

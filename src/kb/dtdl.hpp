@@ -1,0 +1,45 @@
+// DTDL entry builders.
+//
+// DTDL (Digital Twins Definition Language, a JSON-LD derivation) models each
+// component as an Interface whose "contents" hold Properties, Telemetry and
+// Relationships (paper, Section II).  These helpers construct the exact JSON
+// shapes shown in the paper's Listing 4.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "json/value.hpp"
+
+namespace pmove::kb {
+
+/// {"@id": ..., "@type": "Property", "name": ..., "description": ...}
+json::Value make_property(std::string_view id, std::string_view name,
+                          json::Value description);
+
+/// {"@id", "@type": "SWTelemetry", "name", "SamplerName", "DBName"
+///  [, "FieldName"] [, "description"]}
+json::Value make_sw_telemetry(std::string_view id, std::string_view name,
+                              std::string_view sampler_name,
+                              std::string_view db_name_,
+                              std::string_view field_name = "",
+                              std::string_view description = "");
+
+/// {"@id", "@type": "HWTelemetry", "name", "PMUName", "SamplerName",
+///  "DBName", "FieldName", "description"}
+json::Value make_hw_telemetry(std::string_view id, std::string_view name,
+                              std::string_view pmu_name,
+                              std::string_view sampler_name,
+                              std::string_view db_name_,
+                              std::string_view field_name,
+                              std::string_view description = "");
+
+/// {"@id", "@type": "Relationship", "name", "target"}
+json::Value make_relationship(std::string_view id, std::string_view name,
+                              std::string_view target_dtmi);
+
+/// Interface skeleton: {"@type": "Interface", "@id", "@context",
+/// "contents": []}.  Append entries to obj["contents"].
+json::Value make_interface(std::string_view dtmi);
+
+}  // namespace pmove::kb

@@ -1,0 +1,45 @@
+#include "kb/ids.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace pmove::kb {
+
+std::string UuidGenerator::next() {
+  // Four 32-bit chunks from successive mixes; formatted as 8-4-4-4-12.
+  std::uint64_t a = mix_seed(state_, 1);
+  std::uint64_t b = mix_seed(state_, 2);
+  state_ = mix_seed(state_, 3);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%08x-%04x-4%03x-%04x-%012llx",
+                static_cast<unsigned>(a & 0xffffffffu),
+                static_cast<unsigned>((a >> 32) & 0xffffu),
+                static_cast<unsigned>((a >> 48) & 0xfffu),
+                static_cast<unsigned>(0x8000u | ((b >> 1) & 0x3fffu)),
+                static_cast<unsigned long long>(b >> 16) & 0xffffffffffffULL);
+  return buf;
+}
+
+std::string db_name(std::string_view metric_name) {
+  std::string out;
+  out.reserve(metric_name.size());
+  for (char c : metric_name) {
+    if (c == '.' || c == ':' || c == '-' || c == ' ') {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string hw_measurement(std::string_view event_name) {
+  return "perfevent_hwcounters_" + db_name(event_name) + "_value";
+}
+
+std::string sw_measurement(std::string_view sampler_name) {
+  return db_name(sampler_name);
+}
+
+}  // namespace pmove::kb

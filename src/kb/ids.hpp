@@ -1,0 +1,36 @@
+// Identifier helpers for the KB: observation UUIDs and database-safe metric
+// names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pmove::kb {
+
+/// UUID-v4-shaped identifier (e.g. "278e26c2-3fd3-45e4-862b-5646dc9e7aa0")
+/// derived from a seeded generator — observations are tagged with these and
+/// the tag links KB entries to time-series data.
+class UuidGenerator {
+ public:
+  explicit UuidGenerator(std::uint64_t seed = 0xA11CE5EEDULL) : state_(seed) {}
+  std::string next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Sanitizes a PMU/PCP metric name into an InfluxDB measurement name:
+/// "perfevent.hwcounters.FP_ARITH:SCALAR_DOUBLE" ->
+/// "perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE".
+std::string db_name(std::string_view metric_name);
+
+/// Measurement name for a hardware counter event, matching the paper's
+/// "perfevent_hwcounters_<EVENT>_value" convention (Listing 1).
+std::string hw_measurement(std::string_view event_name);
+
+/// Measurement name for a PCP software metric ("kernel.percpu.cpu.idle" ->
+/// "kernel_percpu_cpu_idle").
+std::string sw_measurement(std::string_view sampler_name);
+
+}  // namespace pmove::kb

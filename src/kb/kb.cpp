@@ -1,0 +1,284 @@
+#include "kb/kb.hpp"
+
+#include <algorithm>
+
+#include "json/jsonld.hpp"
+#include "kb/dtdl.hpp"
+#include "kb/ids.hpp"
+#include "kb/metrics_catalog.hpp"
+#include "pmu/events.hpp"
+#include "util/log.hpp"
+
+namespace pmove::kb {
+
+using topology::Component;
+using topology::ComponentKind;
+
+KnowledgeBase KnowledgeBase::build(const topology::MachineSpec& spec) {
+  KnowledgeBase kb;
+  kb.machine_ = spec;
+  kb.root_ = topology::build_component_tree(spec);
+  kb.system_dtmi_ = json::make_dtmi({"dt", spec.hostname});
+  kb.index_components();
+  kb.build_interfaces();
+  return kb;
+}
+
+Expected<KnowledgeBase> KnowledgeBase::from_probe_report(
+    const json::Value& report) {
+  auto spec = topology::spec_from_report(report);
+  if (!spec) return spec.status();
+  return build(spec.value());
+}
+
+void KnowledgeBase::index_components() {
+  dtmi_to_component_.clear();
+  component_to_dtmi_.clear();
+  root_->visit([this](const Component& c) {
+    std::string dtmi =
+        c.parent() == nullptr
+            ? system_dtmi_
+            : json::make_dtmi({"dt", machine_.hostname, c.name()});
+    dtmi_to_component_[dtmi] = &c;
+    component_to_dtmi_[&c] = std::move(dtmi);
+  });
+}
+
+void KnowledgeBase::build_interfaces() {
+  interfaces_ = json::Object();
+  const auto& table = pmu::event_table(machine_.uarch);
+  const std::string pmu_name{pmu::pmu_short_name(machine_.uarch)};
+  int telemetry_counter = 0;
+  int metric_counter = 0;
+
+  root_->visit([&](const Component& c) {
+    const std::string& dtmi = component_to_dtmi_.at(&c);
+    json::Value iface = make_interface(dtmi);
+    json::Array& contents = iface.as_object().at("contents").as_array();
+    const std::string id_prefix = dtmi.substr(0, dtmi.rfind(';'));
+
+    int property_counter = 0;
+    auto property_id = [&]() {
+      return id_prefix + ":property" + std::to_string(property_counter++) +
+             ";1";
+    };
+    contents.push_back(
+        make_property(property_id(), "kind",
+                      std::string(topology::to_string(c.kind()))));
+    for (const auto& [key, value] : c.properties()) {
+      contents.push_back(make_property(property_id(), key, value));
+    }
+
+    int relationship_counter = 0;
+    auto relationship_id = [&]() {
+      return id_prefix + ":relationship" +
+             std::to_string(relationship_counter++) + ";1";
+    };
+    if (c.parent() != nullptr) {
+      contents.push_back(make_relationship(
+          relationship_id(), "belongs_to",
+          component_to_dtmi_.at(c.parent())));
+    }
+    for (const auto& child : c.children()) {
+      contents.push_back(make_relationship(relationship_id(), "contains",
+                                           component_to_dtmi_.at(child.get())));
+    }
+
+    // Software telemetry from the catalog.
+    for (const auto& metric : sw_metrics_for(c.kind())) {
+      const std::string field =
+          metric.per_instance ? field_name_for(c) : std::string();
+      contents.push_back(make_sw_telemetry(
+          id_prefix + ":telemetry" + std::to_string(telemetry_counter++) +
+              ";1",
+          "metric" + std::to_string(metric_counter++), metric.sampler_name,
+          sw_measurement(metric.sampler_name), field, metric.description));
+    }
+
+    // Hardware telemetry: PMU events attach to thread components...
+    if (c.kind() == ComponentKind::kThread) {
+      for (const auto& event_name : table.event_names()) {
+        auto def = table.lookup(event_name);
+        if (!def) continue;
+        if (def->scope == pmu::EventScope::kPackage) continue;
+        contents.push_back(make_hw_telemetry(
+            id_prefix + ":telemetry" + std::to_string(telemetry_counter++) +
+                ";1",
+            "metric" + std::to_string(metric_counter++), pmu_name, event_name,
+            hw_measurement(event_name), field_name_for(c),
+            def->description));
+      }
+    }
+    // ...package-scope events (RAPL) attach to sockets...
+    if (c.kind() == ComponentKind::kSocket) {
+      for (const auto& event_name : table.event_names()) {
+        auto def = table.lookup(event_name);
+        if (!def || def->scope != pmu::EventScope::kPackage) continue;
+        contents.push_back(make_hw_telemetry(
+            id_prefix + ":telemetry" + std::to_string(telemetry_counter++) +
+                ";1",
+            "metric" + std::to_string(metric_counter++), pmu_name, event_name,
+            hw_measurement(event_name), field_name_for(c),
+            def->description));
+      }
+    }
+    // ...and ncu-path metrics attach to GPUs (Section III-D).
+    if (c.kind() == ComponentKind::kGpu) {
+      for (const auto& metric : gpu_hw_metrics()) {
+        contents.push_back(make_hw_telemetry(
+            id_prefix + ":telemetry" + std::to_string(telemetry_counter++) +
+                ";1",
+            "metric" + std::to_string(metric_counter++), "ncu",
+            metric.sampler_name, "ncu_" + db_name(metric.sampler_name),
+            field_name_for(c), metric.description));
+      }
+    }
+
+    interfaces_.set(dtmi, std::move(iface));
+  });
+}
+
+Expected<std::string> KnowledgeBase::dtmi_for(
+    const Component& component) const {
+  auto it = component_to_dtmi_.find(&component);
+  if (it == component_to_dtmi_.end()) {
+    return Status::not_found("component not part of this KB: " +
+                             component.name());
+  }
+  return it->second;
+}
+
+const Component* KnowledgeBase::component_for(std::string_view dtmi) const {
+  auto it = dtmi_to_component_.find(dtmi);
+  return it == dtmi_to_component_.end() ? nullptr : it->second;
+}
+
+std::vector<json::Value> KnowledgeBase::telemetry_of(
+    std::string_view dtmi, std::string_view type) const {
+  std::vector<json::Value> out;
+  const json::Value* iface = interfaces_.find(dtmi);
+  if (iface == nullptr) return out;
+  const json::Value* contents = iface->find("contents");
+  if (contents == nullptr || !contents->is_array()) return out;
+  for (const auto& entry : contents->as_array()) {
+    const std::string entry_type = json::entity_type(entry);
+    const bool is_telemetry =
+        entry_type == "SWTelemetry" || entry_type == "HWTelemetry";
+    if (!is_telemetry) continue;
+    if (!type.empty() && entry_type != type) continue;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+void KnowledgeBase::attach_observation(ObservationInterface observation) {
+  if (observation.id.empty()) {
+    observation.id = json::make_dtmi(
+        {"dt", machine_.hostname, "observation", observation.tag});
+  }
+  if (observation.host.empty()) observation.host = machine_.hostname;
+  observations_.push_back(std::move(observation));
+}
+
+void KnowledgeBase::attach_benchmark(BenchmarkInterface benchmark) {
+  if (benchmark.id.empty()) {
+    benchmark.id = json::make_dtmi(
+        {"dt", machine_.hostname, "benchmark", benchmark.benchmark,
+         std::to_string(benchmarks_.size())});
+  }
+  if (benchmark.host.empty()) benchmark.host = machine_.hostname;
+  benchmarks_.push_back(std::move(benchmark));
+}
+
+Expected<ObservationInterface> KnowledgeBase::find_observation(
+    std::string_view tag) const {
+  for (const auto& obs : observations_) {
+    if (obs.tag == tag) return obs;
+  }
+  return Status::not_found("no observation with tag: " + std::string(tag));
+}
+
+Expected<BenchmarkInterface> KnowledgeBase::find_benchmark(
+    std::string_view benchmark_name) const {
+  for (auto it = benchmarks_.rbegin(); it != benchmarks_.rend(); ++it) {
+    if (it->benchmark == benchmark_name) return *it;
+  }
+  return Status::not_found("no benchmark entry: " +
+                           std::string(benchmark_name));
+}
+
+Status KnowledgeBase::store(docdb::DocumentStore& store) const {
+  // Probe report under a stable id so load() can rebuild deterministically.
+  json::Value report = topology::probe_report(machine_);
+  report.as_object().set(
+      "@id", json::make_dtmi({"dt", machine_.hostname, "probe_report"}));
+  report.as_object().set("@type", "ProbeReport");
+  if (auto r = store.upsert("kb_meta", std::move(report)); !r) {
+    return r.status();
+  }
+  for (const auto& [dtmi, iface] : interfaces_) {
+    if (auto r = store.upsert("kb", iface); !r) return r.status();
+  }
+  for (const auto& obs : observations_) {
+    if (auto r = store.upsert("observations", obs.to_json()); !r) {
+      return r.status();
+    }
+  }
+  for (const auto& bench : benchmarks_) {
+    if (auto r = store.upsert("benchmarks", bench.to_json()); !r) {
+      return r.status();
+    }
+  }
+  return Status::ok();
+}
+
+Expected<KnowledgeBase> KnowledgeBase::load(
+    const docdb::DocumentStore& store, std::string_view hostname) {
+  const std::string report_id =
+      json::make_dtmi({"dt", std::string(hostname), "probe_report"});
+  auto report = store.get("kb_meta", report_id);
+  if (!report) return report.status();
+  auto kb = from_probe_report(report.value());
+  if (!kb) return kb.status();
+  for (const auto& doc :
+       store.find("observations", "host", json::Value(hostname))) {
+    auto obs = ObservationInterface::from_json(doc);
+    if (!obs) {
+      log_warn("kb") << "skipping malformed observation: "
+                     << obs.status().message();
+      continue;
+    }
+    kb->observations_.push_back(std::move(obs.value()));
+  }
+  for (const auto& doc :
+       store.find("benchmarks", "host", json::Value(hostname))) {
+    auto bench = BenchmarkInterface::from_json(doc);
+    if (!bench) {
+      log_warn("kb") << "skipping malformed benchmark: "
+                     << bench.status().message();
+      continue;
+    }
+    kb->benchmarks_.push_back(std::move(bench.value()));
+  }
+  return kb;
+}
+
+json::Value KnowledgeBase::to_json() const {
+  json::Object out;
+  out.set("hostname", machine_.hostname);
+  out.set("system", system_dtmi_);
+  out.set("interfaces", interfaces_);
+  json::Array obs_array;
+  obs_array.reserve(observations_.size());
+  for (const auto& obs : observations_) obs_array.push_back(obs.to_json());
+  out.set("observations", std::move(obs_array));
+  json::Array bench_array;
+  bench_array.reserve(benchmarks_.size());
+  for (const auto& bench : benchmarks_) {
+    bench_array.push_back(bench.to_json());
+  }
+  out.set("benchmarks", std::move(bench_array));
+  return out;
+}
+
+}  // namespace pmove::kb

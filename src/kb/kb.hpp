@@ -1,0 +1,144 @@
+// The Knowledge Base (paper, Section III).
+//
+// "Capturing the target system and its component hierarchy, the KB can be
+// parsed to acquire any information from topology to database parameters."
+//
+// A KnowledgeBase owns:
+//  - the machine spec and component tree (from the probe report),
+//  - one DTDL Interface document per component, with Properties,
+//    Relationships and SW/HW Telemetry entries,
+//  - the growing set of ObservationInterface / BenchmarkInterface entries
+//    that link executions to time-series data.
+//
+// It is the single parameter handed to every other P-MoVE function: the
+// sampler configures metric collection from it, the dashboard generator
+// derives views from it, CARM stores its microbenchmark results into it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "docdb/store.hpp"
+#include "json/value.hpp"
+#include "kb/observation.hpp"
+#include "kb/process.hpp"
+#include "topology/component.hpp"
+#include "topology/machine.hpp"
+#include "topology/prober.hpp"
+#include "util/status.hpp"
+
+namespace pmove::kb {
+
+class KnowledgeBase {
+ public:
+  /// Builds the KB from a machine spec (host side of Fig 3, step 2->3).
+  static KnowledgeBase build(const topology::MachineSpec& spec);
+
+  /// Builds the KB from a probe report JSON (the artifact shipped from the
+  /// target system).
+  static Expected<KnowledgeBase> from_probe_report(const json::Value& report);
+
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  [[nodiscard]] const topology::MachineSpec& machine() const {
+    return machine_;
+  }
+  [[nodiscard]] const topology::Component& root() const { return *root_; }
+  [[nodiscard]] const std::string& system_dtmi() const {
+    return system_dtmi_;
+  }
+  [[nodiscard]] std::string hostname() const { return machine_.hostname; }
+
+  // ---- interface documents ----
+
+  /// All interfaces keyed by DTMI (the KB document, Listing 4's outer
+  /// shape).
+  [[nodiscard]] const json::Object& interfaces() const { return interfaces_; }
+
+  [[nodiscard]] const json::Value* interface(std::string_view dtmi) const {
+    return interfaces_.find(dtmi);
+  }
+
+  /// DTMI of a component in the tree.
+  [[nodiscard]] Expected<std::string> dtmi_for(
+      const topology::Component& component) const;
+
+  /// Component behind a DTMI (nullptr for observation/benchmark ids).
+  [[nodiscard]] const topology::Component* component_for(
+      std::string_view dtmi) const;
+
+  /// Telemetry entries of an interface filtered by type ("SWTelemetry",
+  /// "HWTelemetry", or "" for both).
+  [[nodiscard]] std::vector<json::Value> telemetry_of(
+      std::string_view dtmi, std::string_view type = "") const;
+
+  // ---- live growth (Section III-C) ----
+
+  /// Creates (or re-creates) the process interface for `spec.pid`.  Every
+  /// invocation produces a fresh instance with a bumped DTMI version and a
+  /// new process component in the tree — processes are the one dynamic
+  /// component class.
+  Expected<ProcessInstance> instantiate_process(const ProcessSpec& spec);
+
+  /// All process instances created so far, in instantiation order.
+  [[nodiscard]] const std::vector<ProcessInstance>& processes() const {
+    return processes_;
+  }
+
+  void attach_observation(ObservationInterface observation);
+  void attach_benchmark(BenchmarkInterface benchmark);
+
+  [[nodiscard]] const std::vector<ObservationInterface>& observations()
+      const {
+    return observations_;
+  }
+  [[nodiscard]] const std::vector<BenchmarkInterface>& benchmarks() const {
+    return benchmarks_;
+  }
+
+  [[nodiscard]] Expected<ObservationInterface> find_observation(
+      std::string_view tag) const;
+
+  /// Most recent benchmark entry with the given name, if any.
+  [[nodiscard]] Expected<BenchmarkInterface> find_benchmark(
+      std::string_view benchmark_name) const;
+
+  // ---- persistence (Fig 3, step 3: KB -> MongoDB) ----
+
+  /// Stores the probe report, interfaces, observations and benchmarks into
+  /// the document store (collections "kb_meta", "kb", "observations",
+  /// "benchmarks").  Re-storing replaces existing documents, mirroring the
+  /// paper's "step 3 re-occurs every time KB changes".
+  Status store(docdb::DocumentStore& store) const;
+
+  /// Rebuilds a KB for `hostname` previously stored with store().
+  static Expected<KnowledgeBase> load(const docdb::DocumentStore& store,
+                                      std::string_view hostname);
+
+  /// Whole KB as one JSON document.
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  KnowledgeBase() = default;
+
+  void build_interfaces();
+  void index_components();
+
+  topology::MachineSpec machine_;
+  std::unique_ptr<topology::Component> root_;
+  std::string system_dtmi_;
+  json::Object interfaces_;
+  std::map<std::string, const topology::Component*, std::less<>>
+      dtmi_to_component_;
+  std::map<const topology::Component*, std::string> component_to_dtmi_;
+  std::vector<ObservationInterface> observations_;
+  std::vector<BenchmarkInterface> benchmarks_;
+  std::vector<ProcessInstance> processes_;
+  std::map<int, int> process_instantiations_;  ///< pid -> count
+};
+
+}  // namespace pmove::kb

@@ -1,0 +1,100 @@
+#include "kb/linked_query.hpp"
+
+#include <algorithm>
+
+#include "json/jsonld.hpp"
+
+namespace pmove::kb {
+
+namespace {
+
+bool is_wildcard(std::string_view term) {
+  return term.empty() || term == "?";
+}
+
+std::string value_to_text(const json::Value& value) {
+  if (value.is_string()) return value.as_string();
+  return value.dump();
+}
+
+}  // namespace
+
+TripleStore TripleStore::from_kb(const KnowledgeBase& knowledge_base) {
+  TripleStore store;
+  for (const auto& [dtmi, iface] : knowledge_base.interfaces()) {
+    store.triples_.push_back({dtmi, "a", json::entity_type(iface)});
+    const json::Value* contents = iface.find("contents");
+    if (contents == nullptr || !contents->is_array()) continue;
+    for (const auto& entry : contents->as_array()) {
+      const std::string type = json::entity_type(entry);
+      const json::Value* name = entry.find("name");
+      if (type == "Relationship") {
+        const json::Value* target = entry.find("target");
+        if (name != nullptr && target != nullptr) {
+          store.triples_.push_back(
+              {dtmi, name->string_or(""), target->string_or("")});
+        }
+      } else if (type == "Property") {
+        const json::Value* description = entry.find("description");
+        if (name != nullptr && description != nullptr) {
+          store.triples_.push_back({dtmi,
+                                    "property:" + name->string_or(""),
+                                    value_to_text(*description)});
+        }
+      } else if (type == "SWTelemetry" || type == "HWTelemetry") {
+        const json::Value* db_name = entry.find("DBName");
+        if (db_name != nullptr) {
+          const std::string measurement = db_name->string_or("");
+          store.triples_.push_back({dtmi, "telemetry", measurement});
+          store.triples_.push_back({measurement, "a", type});
+        }
+      }
+    }
+  }
+  return store;
+}
+
+std::vector<Triple> TripleStore::match(std::string_view subject,
+                                       std::string_view predicate,
+                                       std::string_view object) const {
+  std::vector<Triple> out;
+  for (const Triple& triple : triples_) {
+    if (!is_wildcard(subject) && triple.subject != subject) continue;
+    if (!is_wildcard(predicate) && triple.predicate != predicate) continue;
+    if (!is_wildcard(object) && triple.object != object) continue;
+    out.push_back(triple);
+  }
+  return out;
+}
+
+std::vector<std::string> TripleStore::follow(
+    std::string_view start, const std::vector<std::string>& path) const {
+  std::vector<std::string> frontier{std::string(start)};
+  for (const auto& predicate : path) {
+    std::vector<std::string> next;
+    for (const auto& node : frontier) {
+      for (const Triple& triple : match(node, predicate, "?")) {
+        if (std::find(next.begin(), next.end(), triple.object) ==
+            next.end()) {
+          next.push_back(triple.object);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+std::vector<std::string> TripleStore::subjects_where(
+    std::string_view predicate, std::string_view object) const {
+  std::vector<std::string> out;
+  for (const Triple& triple : match("?", predicate, object)) {
+    if (std::find(out.begin(), out.end(), triple.subject) == out.end()) {
+      out.push_back(triple.subject);
+    }
+  }
+  return out;
+}
+
+}  // namespace pmove::kb

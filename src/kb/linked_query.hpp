@@ -1,0 +1,66 @@
+// Linked-data queries over the KB.
+//
+// The paper grounds the KB in RDF: "a standardized approach for organizing
+// data as triples, a source node (the subject), an edge name (the
+// predicate), and a target node (the object)" — and generates "queries for
+// advanced analysis" from the encoded knowledge.  This module materializes
+// the KB's interface documents as a triple store and answers triple
+// patterns with wildcards, the primitive all linked-data analysis builds
+// on.
+//
+// Triples extracted per interface:
+//   (dtmi, "a", @type)                      type assertion
+//   (dtmi, <relationship name>, target)     contains / belongs_to / pinned_to
+//   (dtmi, "property:<name>", value-text)   properties
+//   (dtmi, "telemetry", <DBName>)           telemetry linkage
+//   (<DBName>, "a", SWTelemetry|HWTelemetry)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kb/kb.hpp"
+#include "util/status.hpp"
+
+namespace pmove::kb {
+
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+class TripleStore {
+ public:
+  /// Materializes all triples from the KB's interfaces.
+  static TripleStore from_kb(const KnowledgeBase& knowledge_base);
+
+  [[nodiscard]] std::size_t size() const { return triples_.size(); }
+  [[nodiscard]] const std::vector<Triple>& triples() const {
+    return triples_;
+  }
+
+  /// Triple-pattern match; "?" (or empty) in any position is a wildcard.
+  [[nodiscard]] std::vector<Triple> match(std::string_view subject,
+                                          std::string_view predicate,
+                                          std::string_view object) const;
+
+  /// Follows a predicate path from `start`, e.g. subjects reachable via
+  /// {"contains", "contains"} are grandchildren.  Returns the frontier
+  /// after consuming every path element.
+  [[nodiscard]] std::vector<std::string> follow(
+      std::string_view start, const std::vector<std::string>& path) const;
+
+  /// Subjects whose `predicate` equals `object` — e.g.
+  /// subjects_where("a", "Interface") or
+  /// subjects_where("property:kind", "cache").
+  [[nodiscard]] std::vector<std::string> subjects_where(
+      std::string_view predicate, std::string_view object) const;
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+}  // namespace pmove::kb

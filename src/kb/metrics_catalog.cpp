@@ -1,0 +1,97 @@
+#include "kb/metrics_catalog.hpp"
+
+#include "util/strings.hpp"
+
+namespace pmove::kb {
+
+using topology::ComponentKind;
+
+const std::vector<SwMetricSpec>& sw_metrics_for(ComponentKind kind) {
+  static const std::vector<SwMetricSpec> kNone;
+  static const std::vector<SwMetricSpec> kSystem = {
+      {"kernel.all.load", "1-minute load average", false},
+      {"kernel.all.nprocs", "Number of processes", false},
+      {"kernel.all.pswitch", "Context switches per interval", false},
+      {"mem.util.used", "Used system memory (KB)", false},
+      {"mem.util.free", "Free system memory (KB)", false},
+  };
+  static const std::vector<SwMetricSpec> kThread = {
+      {"kernel.percpu.cpu.idle", "Per-CPU idle time (ms)", true},
+      {"kernel.percpu.cpu.user", "Per-CPU user time (ms)", true},
+      {"kernel.percpu.cpu.sys", "Per-CPU system time (ms)", true},
+      {"kernel.percpu.intr", "Per-CPU interrupts", true},
+  };
+  static const std::vector<SwMetricSpec> kNuma = {
+      {"mem.numa.alloc.hit", "NUMA allocations on intended node", true},
+      {"mem.numa.alloc.miss", "NUMA allocations off intended node", true},
+      {"mem.numa.util.used", "Memory used on NUMA node (KB)", true},
+  };
+  static const std::vector<SwMetricSpec> kDisk = {
+      {"disk.dev.read_bytes", "Bytes read from device", true},
+      {"disk.dev.write_bytes", "Bytes written to device", true},
+      {"disk.dev.avactive", "Device active time (ms)", true},
+  };
+  static const std::vector<SwMetricSpec> kNic = {
+      {"network.interface.in.bytes", "Bytes received", true},
+      {"network.interface.out.bytes", "Bytes transmitted", true},
+      {"network.interface.in.packets", "Packets received", true},
+      {"network.interface.out.packets", "Packets transmitted", true},
+  };
+  static const std::vector<SwMetricSpec> kProcess = {
+      {"proc.psinfo.utime", "Process user time (ms)", true},
+      {"proc.psinfo.stime", "Process system time (ms)", true},
+      {"proc.psinfo.rss", "Process resident set size (KB)", true},
+      {"proc.io.read_bytes", "Process bytes read", true},
+      {"proc.io.write_bytes", "Process bytes written", true},
+  };
+  static const std::vector<SwMetricSpec> kGpu = {
+      {"nvidia.memused", "GPU memory used (MB)", true},
+      {"nvidia.gpuactive", "GPU utilization (%)", true},
+      {"nvidia.memactive", "GPU memory utilization (%)", true},
+      {"nvidia.energy", "GPU energy (mJ)", true},
+  };
+  switch (kind) {
+    case ComponentKind::kSystem:
+    case ComponentKind::kNode: return kSystem;
+    case ComponentKind::kThread: return kThread;
+    case ComponentKind::kNumaNode: return kNuma;
+    case ComponentKind::kDisk: return kDisk;
+    case ComponentKind::kNic: return kNic;
+    case ComponentKind::kProcess: return kProcess;
+    case ComponentKind::kGpu: return kGpu;
+    case ComponentKind::kSocket:
+    case ComponentKind::kCore:
+    case ComponentKind::kCache:
+    case ComponentKind::kMemory: return kNone;
+  }
+  return kNone;
+}
+
+const std::vector<GpuHwMetricSpec>& gpu_hw_metrics() {
+  static const std::vector<GpuHwMetricSpec> kMetrics = {
+      {"gpu__compute_memory_access_throughput",
+       "Compute Memory Pipeline: throughput of internal activity within "
+       "caches and DRAM"},
+      {"sm__throughput", "Streaming multiprocessor throughput"},
+      {"dram__bytes", "Bytes accessed in device memory"},
+      {"smsp__sass_thread_inst_executed_op_dfma_pred_on",
+       "Double-precision FMA instructions executed"},
+  };
+  return kMetrics;
+}
+
+std::string field_name_for(const topology::Component& component) {
+  switch (component.kind()) {
+    case ComponentKind::kNumaNode: {
+      // "numanode1" -> "_node1"
+      std::string name = component.name();
+      const std::string digits =
+          name.substr(name.find_first_of("0123456789"));
+      return "_node" + digits;
+    }
+    default:
+      return "_" + component.name();
+  }
+}
+
+}  // namespace pmove::kb

@@ -1,0 +1,39 @@
+// Metric catalog: which telemetry each component kind can emit.
+//
+// The paper (Section III-C): "The available PMU metrics via libpfm4 and
+// software telemetry via PCP are filtered and mapped with the components."
+// This catalog is that filter — the PCP-style software metrics relevant per
+// component kind, and the rule attaching hardware counter events to thread
+// components (plus ncu-style metrics to GPUs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/component.hpp"
+
+namespace pmove::kb {
+
+struct SwMetricSpec {
+  std::string sampler_name;  ///< PCP metric name, e.g. "kernel.percpu.cpu.idle"
+  std::string description;
+  bool per_instance;  ///< field per component instance ("_cpu0") vs scalar
+};
+
+/// Software metrics a component of this kind emits.
+const std::vector<SwMetricSpec>& sw_metrics_for(
+    topology::ComponentKind kind);
+
+/// GPU hardware metrics collected through the ncu wrapper path
+/// (Section III-D); {sampler_name, description} pairs.
+struct GpuHwMetricSpec {
+  std::string sampler_name;
+  std::string description;
+};
+const std::vector<GpuHwMetricSpec>& gpu_hw_metrics();
+
+/// Instance field name for a component: thread "cpu3" -> "_cpu3",
+/// numanode "numanode1" -> "_node1", disk "sda" -> "_sda".
+std::string field_name_for(const topology::Component& component);
+
+}  // namespace pmove::kb

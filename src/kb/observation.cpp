@@ -1,0 +1,191 @@
+#include "kb/observation.hpp"
+
+namespace pmove::kb {
+
+namespace {
+
+json::Value metric_to_json(const SampledMetric& metric) {
+  json::Object obj;
+  if (!metric.pmu_name.empty()) obj.set("PMUName", metric.pmu_name);
+  obj.set("SamplerName", metric.sampler_name);
+  obj.set("DBName", metric.db_name);
+  json::Array fields;
+  fields.reserve(metric.fields.size());
+  for (const auto& f : metric.fields) fields.push_back(f);
+  obj.set("FieldNames", std::move(fields));
+  return obj;
+}
+
+Expected<SampledMetric> metric_from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::parse_error("sampled metric must be an object");
+  }
+  SampledMetric metric;
+  if (const json::Value* v = doc.find("PMUName")) {
+    metric.pmu_name = v->string_or("");
+  }
+  metric.sampler_name =
+      doc.find("SamplerName") ? doc.find("SamplerName")->string_or("") : "";
+  metric.db_name = doc.find("DBName") ? doc.find("DBName")->string_or("") : "";
+  if (metric.db_name.empty()) {
+    return Status::parse_error("sampled metric missing DBName");
+  }
+  if (const json::Value* fields = doc.find("FieldNames");
+      fields != nullptr && fields->is_array()) {
+    for (const auto& f : fields->as_array()) {
+      metric.fields.push_back(f.string_or(""));
+    }
+  }
+  return metric;
+}
+
+}  // namespace
+
+json::Value ObservationInterface::to_json() const {
+  json::Object obj;
+  obj.set("@id", id);
+  obj.set("@type", "ObservationInterface");
+  obj.set("tag", tag);
+  obj.set("host", host);
+  obj.set("command", command);
+  obj.set("affinity", affinity);
+  json::Array cpu_array;
+  cpu_array.reserve(cpus.size());
+  for (int c : cpus) cpu_array.push_back(c);
+  obj.set("cpus", std::move(cpu_array));
+  obj.set("start_ns", start);
+  obj.set("end_ns", end);
+  obj.set("sampling_hz", sampling_hz);
+  json::Array metric_array;
+  metric_array.reserve(metrics.size());
+  for (const auto& m : metrics) metric_array.push_back(metric_to_json(m));
+  obj.set("metrics", std::move(metric_array));
+  if (!report.is_null()) obj.set("report", report);
+  return obj;
+}
+
+Expected<ObservationInterface> ObservationInterface::from_json(
+    const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::parse_error("observation must be an object");
+  }
+  ObservationInterface obs;
+  auto str = [&doc](std::string_view key) {
+    const json::Value* v = doc.find(key);
+    return v != nullptr ? v->string_or("") : std::string();
+  };
+  obs.id = str("@id");
+  obs.tag = str("tag");
+  if (obs.tag.empty()) {
+    return Status::parse_error("observation missing tag");
+  }
+  obs.host = str("host");
+  obs.command = str("command");
+  obs.affinity = str("affinity");
+  if (const json::Value* cpus = doc.find("cpus");
+      cpus != nullptr && cpus->is_array()) {
+    for (const auto& c : cpus->as_array()) {
+      obs.cpus.push_back(static_cast<int>(c.int_or(0)));
+    }
+  }
+  obs.start = doc.find("start_ns") ? doc.find("start_ns")->int_or(0) : 0;
+  obs.end = doc.find("end_ns") ? doc.find("end_ns")->int_or(0) : 0;
+  obs.sampling_hz =
+      doc.find("sampling_hz") ? doc.find("sampling_hz")->double_or(0.0) : 0.0;
+  if (const json::Value* metrics = doc.find("metrics");
+      metrics != nullptr && metrics->is_array()) {
+    for (const auto& m : metrics->as_array()) {
+      auto metric = metric_from_json(m);
+      if (!metric) return metric.status();
+      obs.metrics.push_back(std::move(metric.value()));
+    }
+  }
+  if (const json::Value* report = doc.find("report")) obs.report = *report;
+  return obs;
+}
+
+std::vector<std::string> ObservationInterface::generate_queries() const {
+  std::vector<std::string> queries;
+  queries.reserve(metrics.size());
+  for (const auto& metric : metrics) {
+    std::string q = "SELECT ";
+    if (metric.fields.empty()) {
+      q += "*";
+    } else {
+      for (std::size_t i = 0; i < metric.fields.size(); ++i) {
+        if (i > 0) q += ", ";
+        q += '"' + metric.fields[i] + '"';
+      }
+    }
+    q += " FROM \"" + metric.db_name + "\" WHERE tag=\"" + tag + "\"";
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+json::Value BenchmarkResult::to_json() const {
+  json::Object obj;
+  obj.set("@type", "BenchmarkResult");
+  obj.set("name", name);
+  obj.set("value", value);
+  obj.set("unit", unit);
+  return obj;
+}
+
+json::Value BenchmarkInterface::to_json() const {
+  json::Object obj;
+  obj.set("@id", id);
+  obj.set("@type", "BenchmarkInterface");
+  obj.set("host", host);
+  obj.set("benchmark", benchmark);
+  obj.set("compiler", compiler);
+  json::Object params;
+  for (const auto& [k, v] : parameters) params.set(k, v);
+  obj.set("parameters", std::move(params));
+  json::Array result_array;
+  result_array.reserve(results.size());
+  for (const auto& r : results) result_array.push_back(r.to_json());
+  obj.set("results", std::move(result_array));
+  obj.set("timestamp_ns", timestamp);
+  return obj;
+}
+
+Expected<BenchmarkInterface> BenchmarkInterface::from_json(
+    const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::parse_error("benchmark entry must be an object");
+  }
+  BenchmarkInterface bench;
+  auto str = [&doc](std::string_view key) {
+    const json::Value* v = doc.find(key);
+    return v != nullptr ? v->string_or("") : std::string();
+  };
+  bench.id = str("@id");
+  bench.host = str("host");
+  bench.benchmark = str("benchmark");
+  if (bench.benchmark.empty()) {
+    return Status::parse_error("benchmark entry missing benchmark name");
+  }
+  bench.compiler = str("compiler");
+  if (const json::Value* params = doc.find("parameters");
+      params != nullptr && params->is_object()) {
+    for (const auto& [k, v] : params->as_object()) {
+      bench.parameters[k] = v.string_or("");
+    }
+  }
+  if (const json::Value* results = doc.find("results");
+      results != nullptr && results->is_array()) {
+    for (const auto& r : results->as_array()) {
+      BenchmarkResult result;
+      result.name = r.find("name") ? r.find("name")->string_or("") : "";
+      result.value = r.find("value") ? r.find("value")->double_or(0.0) : 0.0;
+      result.unit = r.find("unit") ? r.find("unit")->string_or("") : "";
+      bench.results.push_back(std::move(result));
+    }
+  }
+  bench.timestamp =
+      doc.find("timestamp_ns") ? doc.find("timestamp_ns")->int_or(0) : 0;
+  return bench;
+}
+
+}  // namespace pmove::kb

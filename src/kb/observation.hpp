@@ -1,0 +1,74 @@
+// Observation and benchmark entries (paper, Section III-C).
+//
+// ObservationInterface entries encode one profiled execution: the command,
+// thread affinity, time window, the sampled metrics, and the unique tag that
+// links the entry to the time-series rows in the TSDB.  From an entry,
+// P-MoVE auto-generates the retrieval queries (Listing 3).
+// BenchmarkInterface entries record benchmark campaigns (CARM, STREAM,
+// HPCG) with their BenchmarkResult values.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::kb {
+
+/// One sampled metric inside an observation: which measurement holds it and
+/// which fields (instances) were recorded.
+struct SampledMetric {
+  std::string pmu_name;      ///< "skx", "zen3", "ncu"; empty for SW metrics
+  std::string sampler_name;  ///< PMU event or PCP metric name
+  std::string db_name;       ///< TSDB measurement name
+  std::vector<std::string> fields;  ///< "_cpu0", "_node1", ...
+};
+
+struct ObservationInterface {
+  std::string id;    ///< DTMI of the entry
+  std::string tag;   ///< UUID linking to time-series rows
+  std::string host;  ///< target system hostname
+  std::string command;
+  std::string affinity;      ///< "balanced" | "compact" | "numa balanced" | ...
+  std::vector<int> cpus;     ///< pinned CPUs
+  TimeNs start = 0;
+  TimeNs end = 0;
+  double sampling_hz = 0.0;
+  std::vector<SampledMetric> metrics;
+  /// Report generated on the fly and added before appending to KB
+  /// (aggregates, notes).
+  json::Value report;
+
+  [[nodiscard]] json::Value to_json() const;
+  static Expected<ObservationInterface> from_json(const json::Value& doc);
+
+  /// The auto-generated retrieval queries, one per metric (Listing 3):
+  ///   SELECT "_cpu0", "_cpu1" FROM "measurement" WHERE tag="<uuid>"
+  [[nodiscard]] std::vector<std::string> generate_queries() const;
+};
+
+struct BenchmarkResult {
+  std::string name;  ///< e.g. "L1_bandwidth_gbps", "peak_gflops"
+  double value = 0.0;
+  std::string unit;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+struct BenchmarkInterface {
+  std::string id;
+  std::string host;
+  std::string benchmark;  ///< "CARM" | "STREAM" | "HPCG"
+  std::string compiler;   ///< preferred compiler used on the target
+  std::map<std::string, std::string> parameters;  ///< isa, threads, ...
+  std::vector<BenchmarkResult> results;
+  TimeNs timestamp = 0;
+
+  [[nodiscard]] json::Value to_json() const;
+  static Expected<BenchmarkInterface> from_json(const json::Value& doc);
+};
+
+}  // namespace pmove::kb

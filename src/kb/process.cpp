@@ -1,0 +1,104 @@
+#include "kb/process.hpp"
+
+#include "json/jsonld.hpp"
+#include "kb/dtdl.hpp"
+#include "kb/ids.hpp"
+#include "kb/kb.hpp"
+#include "kb/metrics_catalog.hpp"
+
+namespace pmove::kb {
+
+Expected<ProcessInstance> KnowledgeBase::instantiate_process(
+    const ProcessSpec& spec) {
+  if (spec.pid <= 0) {
+    return Status::invalid_argument("process pid must be positive");
+  }
+  if (spec.name.empty()) {
+    return Status::invalid_argument("process needs a name");
+  }
+  const int version = ++process_instantiations_[spec.pid];
+
+  // Attach a fresh process component under node0 (processes belong to the
+  // node, not to a fixed CPU — pinning is a Relationship, not containment).
+  topology::Component* node = nullptr;
+  // The tree is owned by this KB; the root's first child is node0.
+  if (!root_->children().empty()) node = root_->children().front().get();
+  if (node == nullptr) return Status::internal("KB tree has no node");
+  const std::string component_name =
+      "pid" + std::to_string(spec.pid) + "_v" + std::to_string(version);
+  topology::Component& process =
+      node->add_child(component_name, topology::ComponentKind::kProcess);
+  process.set_property("pid", std::to_string(spec.pid));
+  process.set_property("name", spec.name);
+  process.set_property("command", spec.command);
+
+  // Versioned DTMI: "re-instantiated each time it is invoked".
+  const std::string dtmi = json::make_dtmi(
+      {"dt", machine_.hostname, "process", std::to_string(spec.pid)},
+      version);
+  dtmi_to_component_[dtmi] = &process;
+  component_to_dtmi_[&process] = dtmi;
+
+  json::Value iface = make_interface(dtmi);
+  json::Array& contents = iface.as_object().at("contents").as_array();
+  const std::string id_prefix = dtmi.substr(0, dtmi.rfind(';'));
+  int property_counter = 0;
+  auto property_id = [&]() {
+    return id_prefix + ":property" + std::to_string(property_counter++) +
+           ";" + std::to_string(version);
+  };
+  contents.push_back(make_property(property_id(), "kind", "process"));
+  contents.push_back(make_property(property_id(), "pid", spec.pid));
+  contents.push_back(make_property(property_id(), "name", spec.name));
+  contents.push_back(make_property(property_id(), "command", spec.command));
+  contents.push_back(
+      make_property(property_id(), "start_ns", spec.start));
+
+  int relationship_counter = 0;
+  contents.push_back(make_relationship(
+      id_prefix + ":relationship" + std::to_string(relationship_counter++) +
+          ";" + std::to_string(version),
+      "belongs_to", component_to_dtmi_.at(node)));
+  for (int cpu : spec.cpus) {
+    const topology::Component* thread =
+        root_->find_by_name("cpu" + std::to_string(cpu));
+    if (thread == nullptr) {
+      return Status::out_of_range("process pinned to unknown cpu" +
+                                  std::to_string(cpu));
+    }
+    contents.push_back(make_relationship(
+        id_prefix + ":relationship" +
+            std::to_string(relationship_counter++) + ";" +
+            std::to_string(version),
+        "pinned_to", component_to_dtmi_.at(thread)));
+  }
+
+  // Per-process telemetry: fields are per-pid instances ("_12345").
+  int telemetry_counter = 0;
+  const std::string field = "_" + std::to_string(spec.pid);
+  for (const auto& metric :
+       sw_metrics_for(topology::ComponentKind::kProcess)) {
+    const int metric_index = telemetry_counter++;
+    contents.push_back(make_sw_telemetry(
+        id_prefix + ":telemetry" + std::to_string(metric_index) + ";" +
+            std::to_string(version),
+        "metric" + std::to_string(metric_index), metric.sampler_name,
+        sw_measurement(metric.sampler_name), field, metric.description));
+  }
+
+  ProcessInstance instance;
+  instance.dtmi = dtmi;
+  instance.instantiation = version;
+  instance.spec = spec;
+  instance.interface_doc = iface;
+  interfaces_.set(dtmi, std::move(iface));
+  processes_.push_back(instance);
+  return instance;
+}
+
+Expected<ProcessInstance> instantiate_process(KnowledgeBase& knowledge_base,
+                                              const ProcessSpec& spec) {
+  return knowledge_base.instantiate_process(spec);
+}
+
+}  // namespace pmove::kb

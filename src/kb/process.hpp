@@ -1,0 +1,49 @@
+// ProcessInterface (paper, Section III-C).
+//
+// "Except for a ProcessInterface entry, all classes/interfaces have their
+// values assigned as constants during the generation phase.  In contrast, a
+// ProcessInterface is re-instantiated each time it is invoked, reflecting
+// the processes' dynamic nature."
+//
+// A ProcessSpec describes one invocation; instantiating it against a KB
+// creates a fresh process Interface (new DTMI version per instantiation)
+// carrying the per-process telemetry (proc.psinfo.*, proc.io.*) plus
+// Relationships to the CPUs the process is pinned to.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::kb {
+
+class KnowledgeBase;
+
+struct ProcessSpec {
+  int pid = 0;
+  std::string name;     ///< executable name, e.g. "spmv"
+  std::string command;  ///< full command line
+  std::vector<int> cpus;
+  TimeNs start = 0;
+};
+
+/// A registered process instance: its interface document plus bookkeeping.
+struct ProcessInstance {
+  std::string dtmi;     ///< versioned per instantiation
+  int instantiation = 1;
+  ProcessSpec spec;
+  json::Value interface_doc;
+};
+
+/// Instantiates (or re-instantiates) a process in the KB: builds the
+/// Interface document with Properties (pid, command, start), per-process
+/// SWTelemetry entries (field "_<pid>") and pinned_to Relationships, and
+/// registers it under the KB's interfaces.  Re-invoking with the same pid
+/// bumps the DTMI version — the paper's "re-instantiated each time".
+Expected<ProcessInstance> instantiate_process(KnowledgeBase& knowledge_base,
+                                              const ProcessSpec& spec);
+
+}  // namespace pmove::kb

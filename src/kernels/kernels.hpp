@@ -1,0 +1,95 @@
+// Instrumented compute kernels (the likwid-bench role in the paper).
+//
+// Six kernels — sum, stream, triad, peakflops, ddot, daxpy — execute real
+// floating-point loops and publish exact per-chunk operation counts to a
+// LiveCounters bank while they run.  Because the op counts are analytic
+// (likwid-bench "executes a pre-determined, fixed number of instruction
+// streams and can report ground truth"), the accuracy experiment (Fig 4)
+// can compare PMU-sampled totals against exact truth, and the overhead
+// experiment (Fig 5) can time the same kernel with and without a live
+// sampler attached.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/machine.hpp"
+#include "util/status.hpp"
+#include "workload/activity.hpp"
+#include "workload/counter_source.hpp"
+
+namespace pmove::kernels {
+
+enum class KernelKind { kSum, kStream, kTriad, kPeakflops, kDdot, kDaxpy };
+
+std::string_view to_string(KernelKind kind);
+Expected<KernelKind> kernel_from_name(std::string_view name);
+std::vector<KernelKind> all_kernels();
+
+struct KernelSpec {
+  KernelKind kind = KernelKind::kTriad;
+  std::size_t n = 1u << 20;  ///< vector length (doubles)
+  int iterations = 50;       ///< sweeps over the vectors
+  int chunks = 64;           ///< progress-publication granularity
+  int cpu = 0;               ///< logical CPU the counts are attributed to
+};
+
+/// Exact per-run operation counts plus the measured wall time.
+struct KernelRun {
+  workload::QuantitySet totals;  ///< analytic ground truth
+  double seconds = 0.0;          ///< measured
+  double checksum = 0.0;         ///< defeats dead-code elimination
+
+  [[nodiscard]] double gflops() const {
+    return seconds > 0.0 ? totals.total_flops() / seconds / 1e9 : 0.0;
+  }
+};
+
+/// Analytic per-element costs of one kernel iteration (ground truth basis).
+struct KernelCosts {
+  double flops_per_elem = 0.0;
+  double loads_per_elem = 0.0;
+  double stores_per_elem = 0.0;
+  /// Arithmetic intensity flops / (8 bytes x (loads+stores)).
+  [[nodiscard]] double theoretical_ai() const {
+    const double bytes = 8.0 * (loads_per_elem + stores_per_elem);
+    return bytes > 0.0 ? flops_per_elem / bytes : 0.0;
+  }
+};
+KernelCosts kernel_costs(KernelKind kind);
+
+/// Runs the kernel, bumping `live` (when non-null) once per chunk so a
+/// concurrent sampler observes progress.  The energy quantities are charged
+/// using `machine`'s power model; cycles use its base clock.
+KernelRun run_kernel(const KernelSpec& spec,
+                     const topology::MachineSpec& machine,
+                     workload::LiveCounters* live = nullptr);
+
+/// Converts a finished run into a one-phase ActivityTrace starting at 0.
+workload::ActivityTrace trace_from_run(const KernelRun& run,
+                                       const KernelSpec& spec,
+                                       std::string name);
+
+// ---- benchmark campaigns recorded via BenchmarkInterface ----
+
+/// STREAM (McCalpin): copy/scale/add/triad bandwidths in GB/s.
+struct StreamResult {
+  double copy_gbs = 0.0;
+  double scale_gbs = 0.0;
+  double add_gbs = 0.0;
+  double triad_gbs = 0.0;
+};
+StreamResult run_stream(std::size_t n = 1u << 22, int repetitions = 5);
+
+/// HPCG-lite: conjugate gradient on a 2-D five-point Poisson stencil.
+struct HpcgResult {
+  int iterations = 0;
+  double final_residual = 0.0;
+  double gflops = 0.0;
+  double seconds = 0.0;
+};
+Expected<HpcgResult> run_hpcg_lite(int grid = 128, int max_iterations = 50,
+                                   double tolerance = 1e-8);
+
+}  // namespace pmove::kernels

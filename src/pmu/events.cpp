@@ -1,0 +1,231 @@
+#include "pmu/events.hpp"
+
+#include <algorithm>
+
+namespace pmove::pmu {
+
+using workload::Quantity;
+
+std::string_view to_string(EventScope scope) {
+  switch (scope) {
+    case EventScope::kThread: return "thread";
+    case EventScope::kCore: return "core";
+    case EventScope::kPackage: return "package";
+  }
+  return "thread";
+}
+
+EventTable::EventTable(PmuHardwareInfo hw, std::vector<EventDef> events)
+    : hw_(std::move(hw)) {
+  for (auto& e : events) {
+    std::string name = e.name;
+    events_.emplace(std::move(name), std::move(e));
+  }
+}
+
+bool EventTable::supports(std::string_view event) const {
+  return events_.find(event) != events_.end();
+}
+
+Expected<EventDef> EventTable::lookup(std::string_view event) const {
+  auto it = events_.find(event);
+  if (it == events_.end()) {
+    return Status::not_found("PMU event not supported: " +
+                             std::string(event));
+  }
+  return it->second;
+}
+
+std::vector<std::string> EventTable::event_names() const {
+  std::vector<std::string> names;
+  names.reserve(events_.size());
+  for (const auto& [name, def] : events_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+// Intel core events.  FP_ARITH events count *instructions*, so packed
+// variants divide the FLOP quantity by the vector width; FMA counts as one
+// instruction producing two FLOPs, which the workload layer already folds
+// into the FLOP totals — the instruction counts here use the non-FMA
+// convention (flops / lanes), matching how likwid derives FLOPs from them.
+std::vector<EventDef> intel_core_events() {
+  return {
+      {"UNHALTED_CORE_CYCLES", "Core cycles when not halted",
+       EventScope::kThread, {{Quantity::kCycles, 1.0}}, true},
+      {"UNHALTED_REFERENCE_CYCLES", "Reference cycles at TSC rate",
+       EventScope::kThread, {{Quantity::kCycles, 1.0}}, true},
+      {"INSTRUCTION_RETIRED", "Instructions retired",
+       EventScope::kThread, {{Quantity::kInstructions, 1.0}}, true},
+      {"INSTRUCTIONS_RETIRED", "Instructions retired (alias)",
+       EventScope::kThread, {{Quantity::kInstructions, 1.0}}, true},
+      {"UOPS_DISPATCHED", "Micro-ops dispatched",
+       EventScope::kThread, {{Quantity::kUops, 1.0}}},
+      {"UOPS_RETIRED", "Micro-ops retired",
+       EventScope::kThread, {{Quantity::kUops, 1.0}}},
+
+      {"FP_ARITH:SCALAR_DOUBLE", "Scalar DP FP instructions",
+       EventScope::kThread, {{Quantity::kScalarFlops, 1.0}}},
+      {"FP_ARITH:SCALAR_SINGLE", "Scalar SP FP instructions",
+       EventScope::kThread, {}},
+      {"FP_ARITH:128B_PACKED_DOUBLE", "SSE packed DP FP instructions",
+       EventScope::kThread, {{Quantity::kSseFlops, 1.0 / 2}}},
+      {"FP_ARITH:256B_PACKED_DOUBLE", "AVX2 packed DP FP instructions",
+       EventScope::kThread, {{Quantity::kAvx2Flops, 1.0 / 4}}},
+      {"FP_ARITH:512B_PACKED_DOUBLE", "AVX-512 packed DP FP instructions",
+       EventScope::kThread, {{Quantity::kAvx512Flops, 1.0 / 8}}},
+
+      {"MEM_INST_RETIRED:ALL_LOADS", "All retired load instructions",
+       EventScope::kThread, {{Quantity::kLoads, 1.0}}},
+      {"MEM_INST_RETIRED:ALL_STORES", "All retired store instructions",
+       EventScope::kThread, {{Quantity::kStores, 1.0}}},
+      {"MEM_UOPS_RETIRED:ALL_LOADS", "All retired load uops",
+       EventScope::kThread, {{Quantity::kLoads, 1.0}}},
+      {"MEM_UOPS_RETIRED:ALL_STORES", "All retired store uops",
+       EventScope::kThread, {{Quantity::kStores, 1.0}}},
+
+      {"L1D:REPLACEMENT", "L1D cache lines replaced",
+       EventScope::kThread, {{Quantity::kL1Miss, 1.0}}},
+      {"L2_RQSTS:MISS", "L2 cache misses",
+       EventScope::kThread, {{Quantity::kL2Miss, 1.0}}},
+      {"LONGEST_LAT_CACHE:MISS", "LLC (L3) misses",
+       EventScope::kThread, {{Quantity::kL3Miss, 1.0}}},
+      {"LONGEST_LAT_CACHE:REFERENCE", "LLC (L3) references",
+       EventScope::kThread, {{Quantity::kL3Access, 1.0}}},
+      // Note: no L3-hit event on Intel — the paper's Table I marks "L3 Hit"
+      // as Not Supported for Intel Cascade Lake.
+
+      {"BRANCH_INSTRUCTIONS_RETIRED", "Branch instructions retired",
+       EventScope::kThread, {{Quantity::kBranches, 1.0}}},
+      {"MISPREDICTED_BRANCH_RETIRED", "Mispredicted branches retired",
+       EventScope::kThread, {{Quantity::kBranchMisses, 1.0}}},
+
+      {"RAPL_ENERGY_PKG", "Package energy in joules (RAPL)",
+       EventScope::kPackage, {{Quantity::kEnergyPkgJoules, 1.0}}},
+      {"RAPL_ENERGY_DRAM", "DRAM energy in joules (RAPL)",
+       EventScope::kPackage, {{Quantity::kEnergyDramJoules, 1.0}}},
+  };
+}
+
+// AMD Zen3 events.  RETIRED_SSE_AVX_FLOPS:ANY counts FLOPs directly (merged
+// flop event), LS_DISPATCH counts dispatched load/store ops, and the L3
+// events mirror the paper's Table I (MISS + RETIRED available; Intel's
+// REFERENCE missing).
+std::vector<EventDef> zen3_events() {
+  return {
+      {"CYCLES_NOT_IN_HALT", "Core cycles not in halt",
+       EventScope::kThread, {{Quantity::kCycles, 1.0}}},
+      {"RETIRED_INSTRUCTIONS", "Instructions retired",
+       EventScope::kThread, {{Quantity::kInstructions, 1.0}}},
+      {"RETIRED_UOPS", "Micro-ops retired",
+       EventScope::kThread, {{Quantity::kUops, 1.0}}},
+
+      {"RETIRED_SSE_AVX_FLOPS:ANY", "All SSE/AVX FLOPs retired (FLOP count)",
+       EventScope::kThread,
+       {{Quantity::kScalarFlops, 1.0},
+        {Quantity::kSseFlops, 1.0},
+        {Quantity::kAvx2Flops, 1.0}}},
+      {"RETIRED_SSE_AVX_FLOPS:ADD_SUB_FLOPS", "Add/sub FLOPs retired",
+       EventScope::kThread, {{Quantity::kScalarFlops, 0.5},
+                             {Quantity::kSseFlops, 0.5},
+                             {Quantity::kAvx2Flops, 0.5}}},
+      {"RETIRED_SSE_AVX_FLOPS:MULT_FLOPS", "Multiply FLOPs retired",
+       EventScope::kThread, {{Quantity::kScalarFlops, 0.5},
+                             {Quantity::kSseFlops, 0.5},
+                             {Quantity::kAvx2Flops, 0.5}}},
+
+      {"LS_DISPATCH:LD_DISPATCH", "Load operations dispatched",
+       EventScope::kThread, {{Quantity::kLoads, 1.0}}},
+      {"LS_DISPATCH:STORE_DISPATCH", "Store operations dispatched",
+       EventScope::kThread, {{Quantity::kStores, 1.0}}},
+
+      {"L1_DATA_CACHE_MISS", "L1 data cache misses",
+       EventScope::kThread, {{Quantity::kL1Miss, 1.0}}},
+      {"L2_CACHE_MISS", "L2 cache misses",
+       EventScope::kThread, {{Quantity::kL2Miss, 1.0}}},
+      {"LONGEST_LAT_CACHE:MISS", "L3 misses",
+       EventScope::kThread, {{Quantity::kL3Miss, 1.0}}},
+      {"LONGEST_LAT_CACHE:RETIRED", "L3 requests retired as hits",
+       EventScope::kThread,
+       {{Quantity::kL3Access, 1.0}, {Quantity::kL3Miss, -1.0}}},
+
+      {"RETIRED_BRANCH_INSTRUCTIONS", "Branch instructions retired",
+       EventScope::kThread, {{Quantity::kBranches, 1.0}}},
+      {"RETIRED_BRANCH_INSTRUCTIONS_MISPREDICTED", "Mispredicted branches",
+       EventScope::kThread, {{Quantity::kBranchMisses, 1.0}}},
+
+      {"RAPL_ENERGY_PKG", "Package energy in joules (RAPL)",
+       EventScope::kPackage, {{Quantity::kEnergyPkgJoules, 1.0}}},
+      {"RAPL_ENERGY_DRAM", "DRAM energy in joules (RAPL)",
+       EventScope::kPackage, {{Quantity::kEnergyDramJoules, 1.0}}},
+  };
+}
+
+EventTable make_intel_table(std::string pmu_name) {
+  PmuHardwareInfo hw;
+  hw.programmable_counters = 4;
+  hw.programmable_counters_smt_off = 8;
+  hw.fixed_counters = 3;
+  hw.pmu_name = std::move(pmu_name);
+  return EventTable(std::move(hw), intel_core_events());
+}
+
+EventTable make_zen3_table() {
+  PmuHardwareInfo hw;
+  // The paper (Section IV-A): "AMD has two internal counters, one for each
+  // sampling flag".
+  hw.programmable_counters = 2;
+  hw.programmable_counters_smt_off = 2;
+  hw.fixed_counters = 0;
+  hw.pmu_name = "zen3";
+  return EventTable(std::move(hw), zen3_events());
+}
+
+EventTable make_generic_table() {
+  PmuHardwareInfo hw;
+  hw.programmable_counters = 4;
+  hw.programmable_counters_smt_off = 4;
+  hw.fixed_counters = 2;
+  hw.pmu_name = "generic";
+  // A generic machine supports the architectural subset.
+  std::vector<EventDef> events = {
+      {"UNHALTED_CORE_CYCLES", "Core cycles", EventScope::kThread,
+       {{Quantity::kCycles, 1.0}}, true},
+      {"INSTRUCTION_RETIRED", "Instructions retired", EventScope::kThread,
+       {{Quantity::kInstructions, 1.0}}, true},
+      {"FP_ARITH:SCALAR_DOUBLE", "Scalar DP FP instructions",
+       EventScope::kThread, {{Quantity::kScalarFlops, 1.0}}},
+      {"MEM_INST_RETIRED:ALL_LOADS", "Loads", EventScope::kThread,
+       {{Quantity::kLoads, 1.0}}},
+      {"MEM_INST_RETIRED:ALL_STORES", "Stores", EventScope::kThread,
+       {{Quantity::kStores, 1.0}}},
+      {"RAPL_ENERGY_PKG", "Package energy (J)", EventScope::kPackage,
+       {{Quantity::kEnergyPkgJoules, 1.0}}},
+  };
+  return EventTable(std::move(hw), std::move(events));
+}
+
+}  // namespace
+
+const EventTable& event_table(topology::Microarch uarch) {
+  static const EventTable skx = make_intel_table("skx");
+  static const EventTable icl = make_intel_table("icl");
+  static const EventTable csl = make_intel_table("csl");
+  static const EventTable zen3 = make_zen3_table();
+  static const EventTable generic = make_generic_table();
+  switch (uarch) {
+    case topology::Microarch::kSkylakeX: return skx;
+    case topology::Microarch::kIceLake: return icl;
+    case topology::Microarch::kCascadeLake: return csl;
+    case topology::Microarch::kZen3: return zen3;
+    case topology::Microarch::kGeneric: return generic;
+  }
+  return generic;
+}
+
+std::string_view pmu_short_name(topology::Microarch uarch) {
+  return event_table(uarch).hardware().pmu_name;
+}
+
+}  // namespace pmove::pmu

@@ -1,0 +1,84 @@
+// PMU event definitions per microarchitecture.
+//
+// Plays the role of libpfm4 in the paper: a registry that "recognizes
+// model-specific registers (and events) of virtually every x86 processor".
+// Each event is defined by its semantics — a linear combination of
+// ground-truth workload quantities — so that the simulated PMU can derive a
+// count for any event from an ActivityTrace.  The vendor differences the
+// paper's Table I highlights (same/similar/different/exclusive names for the
+// same generic event, flop-counting vs instruction-counting events, AMD's
+// missing L3-hit event on Intel and vice versa) are encoded here.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/machine.hpp"
+#include "util/status.hpp"
+#include "workload/activity.hpp"
+
+namespace pmove::pmu {
+
+/// Granularity at which an event is counted.
+enum class EventScope { kThread, kCore, kPackage };
+std::string_view to_string(EventScope scope);
+
+/// One term of an event's semantic: `multiplier` x workload quantity.
+struct SemanticTerm {
+  workload::Quantity quantity;
+  double multiplier = 1.0;
+};
+
+struct EventDef {
+  std::string name;         ///< canonical PMU name, e.g. "MEM_INST_RETIRED:ALL_LOADS"
+  std::string description;
+  EventScope scope = EventScope::kThread;
+  /// count(event) = sum_i multiplier_i * quantity_i
+  std::vector<SemanticTerm> semantics;
+  /// Fixed-counter events (cycles/instructions on Intel) don't occupy a
+  /// programmable slot.
+  bool fixed_counter = false;
+};
+
+/// Number of counters the microarchitecture exposes (paper, Section IV-A:
+/// Intel has 4 programmable counters per core, 8 when SMT is off; AMD has
+/// 2; Intel additionally has 3 fixed counters).
+struct PmuHardwareInfo {
+  int programmable_counters = 4;
+  int programmable_counters_smt_off = 8;
+  int fixed_counters = 3;
+  std::string pmu_name;  ///< libpfm4-style PMU identifier, e.g. "skl"
+};
+
+/// Event registry for one microarchitecture.
+class EventTable {
+ public:
+  EventTable(PmuHardwareInfo hw, std::vector<EventDef> events);
+
+  [[nodiscard]] const PmuHardwareInfo& hardware() const { return hw_; }
+
+  [[nodiscard]] bool supports(std::string_view event) const;
+  [[nodiscard]] Expected<EventDef> lookup(std::string_view event) const;
+
+  /// All event names, sorted.
+  [[nodiscard]] std::vector<std::string> event_names() const;
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+ private:
+  PmuHardwareInfo hw_;
+  std::map<std::string, EventDef, std::less<>> events_;
+};
+
+/// Registry entry point: the event table for a microarchitecture.
+/// Skylake-X / Cascade Lake / Ice Lake share the Intel core events (with
+/// per-uarch PMU names); Zen3 uses the AMD table.
+const EventTable& event_table(topology::Microarch uarch);
+
+/// libpfm4-style short PMU name for a microarchitecture ("skx", "icl",
+/// "csl", "zen3", "generic").
+std::string_view pmu_short_name(topology::Microarch uarch);
+
+}  // namespace pmove::pmu

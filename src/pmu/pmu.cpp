@@ -1,0 +1,209 @@
+#include "pmu/pmu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace pmove::pmu {
+
+int CounterSchedule::group_of(std::string_view event) const {
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (std::find(groups[i].begin(), groups[i].end(), event) !=
+        groups[i].end()) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Expected<CounterSchedule> schedule_events(
+    const EventTable& table, const std::vector<std::string>& events,
+    bool smt_active) {
+  CounterSchedule schedule;
+  const int slots = smt_active
+                        ? table.hardware().programmable_counters
+                        : table.hardware().programmable_counters_smt_off;
+  std::vector<std::string> programmable;
+  for (const auto& name : events) {
+    auto def = table.lookup(name);
+    if (!def) return def.status();
+    if (def->fixed_counter) {
+      schedule.fixed.push_back(name);
+    } else {
+      programmable.push_back(name);
+    }
+  }
+  for (std::size_t i = 0; i < programmable.size();
+       i += static_cast<std::size_t>(slots)) {
+    std::vector<std::string> group(
+        programmable.begin() + static_cast<std::ptrdiff_t>(i),
+        programmable.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(i + static_cast<std::size_t>(slots),
+                         programmable.size())));
+    schedule.groups.push_back(std::move(group));
+  }
+  if (schedule.groups.empty()) schedule.groups.emplace_back();
+  return schedule;
+}
+
+SimulatedPmu::SimulatedPmu(const topology::MachineSpec& machine,
+                           const workload::CounterSource* source,
+                           PmuNoiseModel noise)
+    : machine_(machine),
+      source_(source),
+      noise_(noise),
+      table_(&event_table(machine.uarch)) {}
+
+Status SimulatedPmu::configure(const std::vector<std::string>& events,
+                               bool smt_active) {
+  auto schedule = schedule_events(*table_, events, smt_active);
+  if (!schedule) return schedule.status();
+  schedule_ = std::move(schedule.value());
+  configured_ = true;
+  return Status::ok();
+}
+
+int SimulatedPmu::package_of(int cpu) const {
+  const int cores = machine_.total_cores();
+  if (cores <= 0) return 0;
+  const int core = cpu % cores;
+  return core / std::max(1, machine_.cores_per_socket);
+}
+
+Expected<double> SimulatedPmu::read_exact(std::string_view event, int cpu,
+                                          TimeNs t) const {
+  auto def = table_->lookup(event);
+  if (!def) return def.status();
+  double count = 0.0;
+  if (def->scope == EventScope::kPackage) {
+    // Sum the quantity over every CPU in the package.
+    const int pkg = package_of(cpu);
+    if (source_ != nullptr) {
+      for (int c = 0; c < machine_.total_threads(); ++c) {
+        if (package_of(c) != pkg) continue;
+        for (const auto& term : def->semantics) {
+          count += term.multiplier *
+                   source_->cumulative(term.quantity, c, t);
+        }
+      }
+    }
+    // RAPL integrates idle power too.
+    const bool is_energy =
+        std::any_of(def->semantics.begin(), def->semantics.end(),
+                    [](const SemanticTerm& term) {
+                      return term.quantity ==
+                                 workload::Quantity::kEnergyPkgJoules ||
+                             term.quantity ==
+                                 workload::Quantity::kEnergyDramJoules;
+                    });
+    if (is_energy) {
+      count += noise_.idle_watts_per_package * to_seconds(t);
+    }
+    return count;
+  }
+  if (source_ == nullptr) return 0.0;
+  for (const auto& term : def->semantics) {
+    count += term.multiplier * source_->cumulative(term.quantity, cpu, t);
+  }
+  return count;
+}
+
+double SimulatedPmu::noise_factor(std::string_view event, int cpu,
+                                  TimeNs t) const {
+  std::uint64_t salt;
+  if (noise_.deterministic) {
+    // Hash-derived noise: the same (event, cpu, t) read always returns the
+    // same value, so repeated queries are consistent and tests reproducible.
+    salt = std::hash<std::string_view>{}(event);
+    salt = mix_seed(salt, static_cast<std::uint64_t>(cpu) * 0x1000193 +
+                              static_cast<std::uint64_t>(t));
+  } else {
+    salt = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+  }
+  Rng rng(mix_seed(noise_.seed, salt));
+  double sigma = noise_.relative_sigma;
+  const int group = schedule_.group_of(event);
+  if (group >= 0 && schedule_.multiplexed()) {
+    sigma += noise_.multiplex_extra_sigma *
+             static_cast<double>(schedule_.group_count() - 1);
+  }
+  return rng.gaussian(1.0, sigma);
+}
+
+Expected<double> SimulatedPmu::read(std::string_view event, int cpu,
+                                    TimeNs t) const {
+  if (!configured_) {
+    return Status::unavailable("PMU not configured; call configure() first");
+  }
+  auto def = table_->lookup(event);
+  if (!def) return def.status();
+  if (!def->fixed_counter && schedule_.group_of(event) < 0) {
+    return Status::invalid_argument("event not in configured set: " +
+                                    std::string(event));
+  }
+  auto exact = read_exact(event, cpu, t);
+  if (!exact) return exact.status();
+  double value = exact.value() * noise_factor(event, cpu, t);
+  // Reading the PMU executes instructions that the PMU itself counts: a
+  // small, cumulative overcount bias for instruction-like events.
+  const bool instruction_like = std::any_of(
+      def->semantics.begin(), def->semantics.end(),
+      [](const SemanticTerm& term) {
+        return term.quantity == workload::Quantity::kInstructions ||
+               term.quantity == workload::Quantity::kUops ||
+               term.quantity == workload::Quantity::kCycles;
+      });
+  if (instruction_like) value += noise_.read_bias_events;
+  return std::max(0.0, value);
+}
+
+Expected<double> SimulatedPmu::read_delta(std::string_view event, int cpu,
+                                          TimeNs t0, TimeNs t1) const {
+  auto exact0 = read_exact(event, cpu, t0);
+  if (!exact0) return exact0.status();
+  auto exact1 = read_exact(event, cpu, t1);
+  if (!exact1) return exact1.status();
+  const double interval_s = to_seconds(std::max<TimeNs>(1, t1 - t0));
+  return perturb_delta(event, cpu, t1, exact1.value() - exact0.value(),
+                       interval_s);
+}
+
+Expected<double> SimulatedPmu::perturb_delta(std::string_view event, int cpu,
+                                             TimeNs t1, double exact_delta,
+                                             double interval_s) const {
+  if (!configured_) {
+    return Status::unavailable("PMU not configured; call configure() first");
+  }
+  auto def = table_->lookup(event);
+  if (!def) return def.status();
+  if (!def->fixed_counter && schedule_.group_of(event) < 0) {
+    return Status::invalid_argument("event not in configured set: " +
+                                    std::string(event));
+  }
+  // Per-read timing jitter mis-attributes rate x dt events to this
+  // interval; it neither cancels nor telescopes across reads, which is why
+  // error accumulated over a run grows with sampling frequency.
+  const double rate =
+      interval_s > 0.0 ? exact_delta / interval_s : 0.0;
+  double delta = exact_delta * noise_factor(event, cpu, t1);
+  {
+    std::uint64_t salt = std::hash<std::string_view>{}(event);
+    salt = mix_seed(salt, 0x9d7f ^ (static_cast<std::uint64_t>(cpu) << 32) ^
+                              static_cast<std::uint64_t>(t1));
+    Rng rng(mix_seed(noise_.seed + 1, salt));
+    delta += rate * rng.gaussian(0.0, noise_.read_jitter_sigma_ns) / 1e9;
+  }
+  const bool instruction_like = std::any_of(
+      def->semantics.begin(), def->semantics.end(),
+      [](const SemanticTerm& term) {
+        return term.quantity == workload::Quantity::kInstructions ||
+               term.quantity == workload::Quantity::kUops ||
+               term.quantity == workload::Quantity::kCycles;
+      });
+  if (instruction_like) delta += noise_.read_bias_events;
+  return std::max(0.0, delta);
+}
+
+}  // namespace pmove::pmu

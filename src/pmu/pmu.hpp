@@ -1,0 +1,131 @@
+// Simulated performance-monitoring unit.
+//
+// Models the pieces of a real PMU that the paper's evaluation depends on:
+//  - a limited number of programmable counter slots per core (Intel 4 with
+//    SMT / 8 without, AMD 2), with round-robin *multiplexing* when more
+//    events are requested than slots — multiplexed counts are extrapolated
+//    estimates and carry extra variance;
+//  - per-read noise and a small measurement-overhead bias (PMUs over- and
+//    under-count; see Weaver et al. [28] cited by the paper);
+//  - package-scope events (RAPL energy) that integrate idle power on top of
+//    the workload's active energy.
+//
+// Counts are derived from an ActivityTrace — the exact ground truth — so
+// accuracy experiments can compare "what the PMU reported" against "what the
+// workload actually did" (Fig 4).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmu/events.hpp"
+#include "topology/machine.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "workload/activity.hpp"
+#include "workload/counter_source.hpp"
+
+namespace pmove::pmu {
+
+/// Tunables for the PMU imperfection model.  Defaults are calibrated to the
+/// error magnitudes in the paper's Fig 4 (fractions of a percent).
+struct PmuNoiseModel {
+  double relative_sigma = 4e-4;   ///< per-read multiplicative noise
+  double read_bias_events = 40.0; ///< counted overhead per read (instructions-like events)
+  double multiplex_extra_sigma = 2e-3;  ///< extra noise per extra group
+  double idle_watts_per_package = 18.0; ///< baseline RAPL power
+  /// Timing uncertainty of one read (ns): the fetch is timestamped on the
+  /// host after crossing the network, so a delta read mis-attributes
+  /// rate x jitter events to the interval.  This per-sample additive error
+  /// is what makes accumulated error grow with sampling frequency (Fig 4).
+  double read_jitter_sigma_ns = 400'000.0;
+  bool deterministic = true;  ///< derive noise from (event,cpu,t) hash
+  std::uint64_t seed = 42;
+};
+
+/// Result of scheduling requested events onto counter slots.
+struct CounterSchedule {
+  /// groups[i] = event names counted simultaneously in time slice i.
+  std::vector<std::vector<std::string>> groups;
+  /// Events on fixed counters (always counted, no slot used).
+  std::vector<std::string> fixed;
+
+  [[nodiscard]] int group_count() const {
+    return static_cast<int>(groups.size());
+  }
+  /// True when more than one group exists (counts are extrapolated).
+  [[nodiscard]] bool multiplexed() const { return groups.size() > 1; }
+  /// Index of the group containing `event`, or -1 for fixed/absent.
+  [[nodiscard]] int group_of(std::string_view event) const;
+};
+
+/// Packs events into counter slots; fixed-counter events ride for free.
+/// `smt_active` selects the reduced slot count on Intel.
+Expected<CounterSchedule> schedule_events(
+    const EventTable& table, const std::vector<std::string>& events,
+    bool smt_active = true);
+
+/// A configured, readable PMU for one machine running one workload trace.
+class SimulatedPmu {
+ public:
+  SimulatedPmu(const topology::MachineSpec& machine,
+               const workload::CounterSource* source,
+               PmuNoiseModel noise = {});
+
+  /// Programs the PMU with the given raw event names.  More events than
+  /// slots triggers multiplexing (allowed; quality degrades), unknown events
+  /// fail.
+  Status configure(const std::vector<std::string>& events,
+                   bool smt_active = true);
+
+  [[nodiscard]] const CounterSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const EventTable& table() const { return *table_; }
+
+  /// Cumulative count of `event` on logical CPU `cpu` at time `t` as the
+  /// hardware would report it (ground truth + noise + multiplexing
+  /// extrapolation).  Package-scope events ignore `cpu`'s thread and use its
+  /// package.  `t` is relative to the trace's time origin.
+  Expected<double> read(std::string_view event, int cpu, TimeNs t) const;
+
+  /// Interval read, the way PCP's perfevent agent consumes counters: the
+  /// event delta over [t0, t1] plus per-read imperfections (timing jitter x
+  /// event rate, measurement-overhead bias, multiplexing noise).  Summing
+  /// deltas over a run accumulates per-sample error — the mechanism behind
+  /// the paper's frequency-dependent accuracy results.
+  Expected<double> read_delta(std::string_view event, int cpu, TimeNs t0,
+                              TimeNs t1) const;
+
+  /// Applies the per-read imperfection model to an externally computed
+  /// exact interval delta (used by live samplers, which difference
+  /// successive reads of a live counter source themselves).  `t1` keys the
+  /// deterministic noise; `interval_s` scales the timing-jitter term.
+  Expected<double> perturb_delta(std::string_view event, int cpu, TimeNs t1,
+                                 double exact_delta,
+                                 double interval_s) const;
+
+  /// Exact cumulative count (no imperfections) — ground truth hook for
+  /// accuracy experiments.
+  Expected<double> read_exact(std::string_view event, int cpu,
+                              TimeNs t) const;
+
+  /// Package index of a logical CPU under the prober's numbering scheme.
+  [[nodiscard]] int package_of(int cpu) const;
+
+  /// Number of logical CPUs on the machine.
+  [[nodiscard]] int cpu_count() const { return machine_.total_threads(); }
+
+ private:
+  [[nodiscard]] double noise_factor(std::string_view event, int cpu,
+                                    TimeNs t) const;
+
+  topology::MachineSpec machine_;
+  const workload::CounterSource* source_;  // not owned; may be nullptr (idle)
+  PmuNoiseModel noise_;
+  const EventTable* table_;
+  CounterSchedule schedule_;
+  bool configured_ = false;
+};
+
+}  // namespace pmove::pmu

@@ -1,0 +1,48 @@
+#include "sampler/agents.hpp"
+
+#include "util/strings.hpp"
+
+namespace pmove::sampler {
+
+std::string_view to_string(AgentKind kind) {
+  switch (kind) {
+    case AgentKind::kPmcd: return "pmcd";
+    case AgentKind::kPerfevent: return "pmdaperfevent";
+    case AgentKind::kLinux: return "pmdalinux";
+    case AgentKind::kProc: return "pmdaproc";
+  }
+  return "pmcd";
+}
+
+const AgentCostModel& agent_cost_model(AgentKind kind) {
+  static const AgentCostModel kPmcd{
+      AgentKind::kPmcd, 4.2e6, 0.6, 120.0, 4.0, 96.0};
+  static const AgentCostModel kPerfevent{
+      AgentKind::kPerfevent, 2.8e6, 1.4, 180.0, 24.0, 64.0};
+  static const AgentCostModel kLinux{
+      AgentKind::kLinux, 6.1e6, 0.8, 150.0, 22.0, 64.0};
+  static const AgentCostModel kProc{
+      AgentKind::kProc, 26.5e6, 1.1, 450.0, 26.0, 64.0};
+  switch (kind) {
+    case AgentKind::kPmcd: return kPmcd;
+    case AgentKind::kPerfevent: return kPerfevent;
+    case AgentKind::kLinux: return kLinux;
+    case AgentKind::kProc: return kProc;
+  }
+  return kPmcd;
+}
+
+std::vector<AgentKind> all_agents() {
+  return {AgentKind::kPmcd, AgentKind::kPerfevent, AgentKind::kLinux,
+          AgentKind::kProc};
+}
+
+AgentKind agent_for_metric(std::string_view sampler_name) {
+  if (strings::starts_with(sampler_name, "perfevent")) {
+    return AgentKind::kPerfevent;
+  }
+  if (strings::starts_with(sampler_name, "proc.")) return AgentKind::kProc;
+  return AgentKind::kLinux;
+}
+
+}  // namespace pmove::sampler

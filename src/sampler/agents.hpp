@@ -1,0 +1,45 @@
+// PCP agent model.
+//
+// PCP ships metrics through a set of agents on the target (paper, Fig 6):
+//   - pmcd        : manages the other agents and reports their readings
+//   - pmdaperfevent: samples PMUs via the Linux perf interface
+//   - pmdalinux   : software-sourced system state metrics
+//   - pmdaproc    : per-process metrics (largest instance domain)
+//
+// Each agent has a constant resident-set size and a CPU cost proportional to
+// the data points it handles per second — exactly the behaviour measured in
+// the paper ("regardless of the reported metrics or sampling frequency, all
+// agents maintain constant memory usage"; CPU scales linearly).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmove::sampler {
+
+enum class AgentKind { kPmcd, kPerfevent, kLinux, kProc };
+
+std::string_view to_string(AgentKind kind);
+
+struct AgentCostModel {
+  AgentKind kind = AgentKind::kPmcd;
+  double rss_bytes = 0.0;            ///< constant resident set
+  double cpu_us_per_point = 0.0;     ///< CPU microseconds per data point
+  double cpu_us_per_report = 0.0;    ///< fixed CPU per sampling round
+  double wire_bytes_per_point = 0.0; ///< serialized size contribution
+  double wire_bytes_per_report = 0.0;///< per-round protocol overhead
+};
+
+/// Cost model for one agent kind (values calibrated against Fig 6's
+/// magnitudes: MBs of RSS, sub-percent CPU at 1 Hz).
+const AgentCostModel& agent_cost_model(AgentKind kind);
+
+/// All four agents in display order.
+std::vector<AgentKind> all_agents();
+
+/// The agent responsible for a PCP metric name ("perfevent.*" ->
+/// perfevent, "proc.*" -> proc, everything else -> linux).
+AgentKind agent_for_metric(std::string_view sampler_name);
+
+}  // namespace pmove::sampler

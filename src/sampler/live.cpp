@@ -1,0 +1,125 @@
+#include "sampler/live.hpp"
+
+#include <chrono>
+
+#include "kb/ids.hpp"
+#include "util/log.hpp"
+
+namespace pmove::sampler {
+
+LiveSampler::LiveSampler(const pmu::SimulatedPmu& pmu, tsdb::TimeSeriesDb* db,
+                         LiveSamplerConfig config)
+    : pmu_(pmu), db_(db), config_(std::move(config)) {}
+
+LiveSampler::~LiveSampler() {
+  if (running_.load()) stop();
+}
+
+Status LiveSampler::start() {
+  if (running_.load()) {
+    return Status::already_exists("sampler already running");
+  }
+  if (config_.frequency_hz <= 0.0) {
+    return Status::invalid_argument("sampling frequency must be positive");
+  }
+  if (config_.events.empty()) {
+    return Status::invalid_argument("no events configured");
+  }
+  stop_requested_.store(false);
+  samples_.store(0);
+  missed_.store(0);
+  {
+    std::lock_guard<std::mutex> lock(accum_mutex_);
+    accumulated_.clear();
+    prev_exact_.clear();
+  }
+  origin_ = clock_.now();
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+  return Status::ok();
+}
+
+void LiveSampler::stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+double LiveSampler::accumulated(std::string_view event) const {
+  std::lock_guard<std::mutex> lock(accum_mutex_);
+  auto it = accumulated_.find(event);
+  return it == accumulated_.end() ? 0.0 : it->second;
+}
+
+void LiveSampler::run() {
+  const TimeNs period = from_seconds(1.0 / config_.frequency_hz);
+  TimeNs t_prev = 0;
+  TimeNs next_tick = period;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const TimeNs now = clock_.now() - origin_;
+    if (now < next_tick) {
+      const TimeNs wait = std::min<TimeNs>(next_tick - now, 2'000'000);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+      continue;
+    }
+    sample_once(t_prev, now);
+    t_prev = now;
+    // Skip ticks we overran rather than bursting to catch up (PCP has no
+    // buffering; a late sample is a lost sample).
+    TimeNs scheduled = next_tick + period;
+    while (scheduled <= now) {
+      scheduled += period;
+      missed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    next_tick = scheduled;
+  }
+  // Final read covers the tail of the run.
+  sample_once(t_prev, clock_.now() - origin_);
+  running_.store(false);
+}
+
+void LiveSampler::sample_once(TimeNs t_prev, TimeNs t_now) {
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  const double interval_s = to_seconds(std::max<TimeNs>(1, t_now - t_prev));
+  for (const auto& event : config_.events) {
+    tsdb::Point point;
+    point.measurement = kb::hw_measurement(event);
+    if (!config_.tag.empty()) point.tags["tag"] = config_.tag;
+    if (!config_.host.empty()) point.tags["host"] = config_.host;
+    point.time = t_now;
+    double event_total = 0.0;
+    for (int cpu : config_.cpus) {
+      // Difference successive exact readings ourselves (a live counter
+      // source has no past), then let the PMU model perturb the interval.
+      auto exact = pmu_.read_exact(event, cpu, t_now);
+      if (!exact) {
+        log_warn("live_sampler")
+            << "read failed for " << event << ": "
+            << exact.status().to_string();
+        continue;
+      }
+      double& prev = prev_exact_[event + "#" + std::to_string(cpu)];
+      const double exact_delta = exact.value() - prev;
+      prev = exact.value();
+      auto delta =
+          pmu_.perturb_delta(event, cpu, t_now, exact_delta, interval_s);
+      if (!delta) {
+        log_warn("live_sampler")
+            << "perturb_delta failed for " << event << ": "
+            << delta.status().to_string();
+        continue;
+      }
+      point.fields["_cpu" + std::to_string(cpu)] = delta.value();
+      event_total += delta.value();
+    }
+    {
+      std::lock_guard<std::mutex> lock(accum_mutex_);
+      accumulated_[event] += event_total;
+    }
+    if (db_ != nullptr && !point.fields.empty()) {
+      (void)db_->write(std::move(point));
+    }
+  }
+}
+
+}  // namespace pmove::sampler

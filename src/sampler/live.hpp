@@ -1,0 +1,77 @@
+// Live sampler (Scenario B of Fig 3).
+//
+// A real background thread that wakes at the configured frequency, takes
+// interval reads from a SimulatedPmu, and inserts one tagged point per event
+// into the TSDB.  Because the thread really runs while an instrumented
+// kernel executes (publishing to LiveCounters), the interference it causes
+// is genuine — Fig 5's overhead measurement needs nothing synthetic on top.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pmu/pmu.hpp"
+#include "tsdb/db.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::sampler {
+
+struct LiveSamplerConfig {
+  double frequency_hz = 10.0;
+  std::vector<std::string> events;  ///< raw PMU event names
+  std::vector<int> cpus;            ///< CPUs whose fields are recorded
+  std::string tag;                  ///< observation UUID for WHERE tag=...
+  std::string host;
+};
+
+class LiveSampler {
+ public:
+  /// The PMU must already be configured with (at least) `config.events`.
+  LiveSampler(const pmu::SimulatedPmu& pmu, tsdb::TimeSeriesDb* db,
+              LiveSamplerConfig config);
+  ~LiveSampler();
+
+  LiveSampler(const LiveSampler&) = delete;
+  LiveSampler& operator=(const LiveSampler&) = delete;
+
+  /// Starts the sampling thread; `t=0` is the moment of this call.
+  Status start();
+
+  /// Takes a final sample, stops the thread and joins it.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] int samples_taken() const { return samples_.load(); }
+  /// Ticks missed because the previous round overran the period.
+  [[nodiscard]] int ticks_missed() const { return missed_.load(); }
+
+  /// Accumulated (sum of interval deltas) value per event, summed over the
+  /// configured CPUs — what PCP would report as the run's total.
+  [[nodiscard]] double accumulated(std::string_view event) const;
+
+ private:
+  void run();
+  void sample_once(TimeNs t_prev, TimeNs t_now);
+
+  const pmu::SimulatedPmu& pmu_;
+  tsdb::TimeSeriesDb* db_;  ///< may be nullptr: accumulate only
+  LiveSamplerConfig config_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<int> samples_{0};
+  std::atomic<int> missed_{0};
+  TimeNs origin_ = 0;
+  WallClock clock_;
+  mutable std::mutex accum_mutex_;
+  std::map<std::string, double, std::less<>> accumulated_;
+  /// Last exact reading per "event#cpu" (sampler-thread only).
+  std::map<std::string, double, std::less<>> prev_exact_;
+};
+
+}  // namespace pmove::sampler

@@ -1,0 +1,83 @@
+#include "sampler/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmove::sampler {
+
+std::vector<MetricGroup> fig6_metric_mix(int cpu_threads) {
+  // 2 perfevent metrics per CPU + 20 linux metrics (~30 instances each) +
+  // 28 per-process metrics over ~540 processes: 176 + 600 + 15,120 with 88
+  // threads = 15,896 points per round, within 0.3% of the paper's 15,937.
+  return {
+      {AgentKind::kPerfevent, 2, cpu_threads},
+      {AgentKind::kLinux, 20, 30},
+      {AgentKind::kProc, 28, 540},
+  };
+}
+
+const AgentUsage* ResourceUsage::agent(AgentKind kind) const {
+  for (const auto& usage : agents) {
+    if (usage.agent == kind) return &usage;
+  }
+  return nullptr;
+}
+
+ResourceUsage estimate_resources(const std::vector<MetricGroup>& groups,
+                                 double frequency_hz,
+                                 const TransportModel& transport) {
+  ResourceUsage usage;
+  int total_points = 0;
+  std::map<AgentKind, int> points_per_agent;
+  std::map<AgentKind, int> reports_per_agent;
+  for (const auto& group : groups) {
+    points_per_agent[group.agent] += group.points();
+    reports_per_agent[group.agent] += group.metric_count > 0 ? 1 : 0;
+    total_points += group.points();
+  }
+
+  // Imperfect scaling around 4-8 reports/s: pipeline stalls waste cycles
+  // waiting, so effective per-sample cost is derated (the paper: "PCP does
+  // not scale perfectly for 4/8 reports per sec., with varying network
+  // traffic").  The derating peaks where the stall duration is commensurate
+  // with the sampling period.
+  const double period_s = 1.0 / frequency_hz;
+  const double stall_s = transport.stall_mean_us / 1e6;
+  const double ratio = stall_s / period_s;  // ~0.36 at 4 Hz, ~0.72 at 8 Hz
+  const double derate =
+      1.0 - 0.18 * std::exp(-(ratio - 0.5) * (ratio - 0.5) / 0.08);
+
+  for (AgentKind kind : all_agents()) {
+    const AgentCostModel& model = agent_cost_model(kind);
+    AgentUsage agent_usage;
+    agent_usage.agent = kind;
+    agent_usage.rss_bytes = model.rss_bytes;  // constant by construction
+
+    // pmcd relays every agent's points; the others handle their own.
+    const int points = kind == AgentKind::kPmcd
+                           ? total_points
+                           : points_per_agent[kind];
+    const int reports =
+        kind == AgentKind::kPmcd
+            ? static_cast<int>(groups.size())
+            : std::max(1, reports_per_agent.count(kind)
+                              ? reports_per_agent[kind]
+                              : 0);
+    const double cpu_us_per_round =
+        model.cpu_us_per_report * reports + model.cpu_us_per_point * points;
+    agent_usage.cpu_pct = cpu_us_per_round * frequency_hz / 1e6 * 100.0;
+    agent_usage.net_bytes_per_s =
+        (model.wire_bytes_per_report * reports +
+         model.wire_bytes_per_point * points) *
+        frequency_hz * derate;
+    usage.agents.push_back(agent_usage);
+    usage.total_cpu_pct += agent_usage.cpu_pct;
+    usage.total_net_bytes_per_s += agent_usage.net_bytes_per_s;
+  }
+
+  // Host-side DB writes: one line-protocol row per point.
+  usage.disk_bytes_per_s = 30.0 * total_points * frequency_hz;
+  return usage;
+}
+
+}  // namespace pmove::sampler

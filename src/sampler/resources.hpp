@@ -1,0 +1,61 @@
+// Agent resource usage model (Fig 6).
+//
+// Predicts CPU, memory, network and disk usage of the PCP agents for a given
+// metric mix and sampling frequency.  The qualitative behaviour the paper
+// measures and this model reproduces:
+//   - memory (RSS) constant regardless of metrics or frequency, pmdaproc
+//     largest (bigger instance domain);
+//   - CPU and network scale linearly with frequency;
+//   - disk write rate grows with frequency (host-side DB);
+//   - imperfect scaling at 4-8 samples/s from pipeline stalls (modelled as a
+//     derating factor derived from the transport model).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sampler/agents.hpp"
+#include "sampler/transport.hpp"
+
+namespace pmove::sampler {
+
+/// One metric group: how many metrics an agent serves and the size of each
+/// metric's instance domain (fields per report).
+struct MetricGroup {
+  AgentKind agent = AgentKind::kLinux;
+  int metric_count = 0;
+  int instances_per_metric = 1;
+
+  [[nodiscard]] int points() const {
+    return metric_count * instances_per_metric;
+  }
+};
+
+/// The paper's Fig 6 workload: 50 metrics comprising 15,937 data points on
+/// skx (2 perfevent metrics over 88 CPUs, 20 pmdalinux metrics, per-process
+/// metrics making up the rest).
+std::vector<MetricGroup> fig6_metric_mix(int cpu_threads);
+
+struct AgentUsage {
+  AgentKind agent = AgentKind::kPmcd;
+  double cpu_pct = 0.0;      ///< of one core
+  double rss_bytes = 0.0;
+  double net_bytes_per_s = 0.0;
+};
+
+struct ResourceUsage {
+  std::vector<AgentUsage> agents;
+  double total_cpu_pct = 0.0;
+  double total_net_bytes_per_s = 0.0;
+  double disk_bytes_per_s = 0.0;  ///< host-side DB writes
+
+  [[nodiscard]] const AgentUsage* agent(AgentKind kind) const;
+};
+
+/// Predicts resource usage for sampling `groups` at `frequency_hz`.
+ResourceUsage estimate_resources(const std::vector<MetricGroup>& groups,
+                                 double frequency_hz,
+                                 const TransportModel& transport = {});
+
+}  // namespace pmove::sampler

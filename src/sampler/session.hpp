@@ -1,0 +1,61 @@
+// High-frequency sampling session simulation (Table III).
+//
+// Drives a virtual-time sampling session: `metric_count` PMU metrics sampled
+// at `frequency_hz` over `duration`, each report carrying one field per
+// logical CPU of the target machine (the paper: "skx has 88 threads,
+// therefore there are 88 data points in each report").  Reports flow through
+// the TransportPipeline and land in the TSDB; the session accounts expected
+// vs. inserted vs. zero points and the achieved throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sampler/transport.hpp"
+#include "topology/machine.hpp"
+#include "tsdb/db.hpp"
+#include "util/status.hpp"
+
+namespace pmove::sampler {
+
+struct SessionConfig {
+  double frequency_hz = 2.0;
+  int metric_count = 4;
+  double duration_s = 10.0;
+  /// Metric (measurement) names; generated when empty.
+  std::vector<std::string> metrics;
+  TransportModel transport;
+  std::uint64_t seed = 7;
+};
+
+struct SessionStats {
+  std::int64_t expected = 0;  ///< freq * duration * metrics * domain
+  std::int64_t inserted = 0;  ///< points that reached the DB
+  std::int64_t zeros = 0;     ///< inserted points carrying zero values
+  [[nodiscard]] std::int64_t lost() const { return expected - inserted; }
+  [[nodiscard]] double loss_pct() const {
+    return expected == 0 ? 0.0
+                         : 100.0 * static_cast<double>(lost()) /
+                               static_cast<double>(expected);
+  }
+  /// %L+Z: fraction of expected points that are lost or zero.
+  [[nodiscard]] double loss_plus_zero_pct() const {
+    return expected == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(lost() + zeros) /
+                     static_cast<double>(expected);
+  }
+  /// Inserted data points per second.
+  double throughput = 0.0;
+  /// Actual (non-zero) data points per second.
+  double actual_throughput = 0.0;
+};
+
+/// Runs the virtual-time session against `db` (points are really inserted,
+/// so downstream queries behave like the paper's host DB).  Pass nullptr to
+/// skip storage and only account.
+SessionStats run_sampling_session(const topology::MachineSpec& machine,
+                                  const SessionConfig& config,
+                                  tsdb::TimeSeriesDb* db);
+
+}  // namespace pmove::sampler

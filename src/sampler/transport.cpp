@@ -1,0 +1,106 @@
+#include "sampler/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pmove::sampler {
+
+TransportPipeline::TransportPipeline(TransportModel model,
+                                     int points_per_report,
+                                     std::uint64_t seed_salt)
+    : model_(model),
+      points_per_report_(points_per_report),
+      rng_(mix_seed(model.seed, seed_salt)) {
+  schedule_stall(0);
+  next_refresh_gap_ = draw_refresh_gap();
+}
+
+double TransportPipeline::report_bytes() const {
+  // ~30 bytes of line protocol per point plus a protocol header.
+  return 30.0 * points_per_report_ + 220.0;
+}
+
+TimeNs TransportPipeline::nominal_processing_ns() const {
+  const double serialize_us =
+      model_.serialize_us_per_point * points_per_report_;
+  const double insert_us = model_.db_insert_us_per_point * points_per_report_;
+  const double network_us =
+      report_bytes() * 8.0 / (model_.network_mbit * 1e6) * 1e6;
+  return from_seconds(
+      (model_.base_latency_us + serialize_us + insert_us + network_us) / 1e6);
+}
+
+TimeNs TransportPipeline::draw_processing_ns() {
+  const double nominal = static_cast<double>(nominal_processing_ns());
+  // Multiplicative lognormal jitter centred on 1.
+  const double jitter = std::exp(rng_.gaussian(0.0, model_.jitter_rel_sigma));
+  return static_cast<TimeNs>(nominal * jitter);
+}
+
+void TransportPipeline::schedule_stall(TimeNs after) {
+  if (model_.stall_per_second <= 0.0) {
+    next_stall_ = std::numeric_limits<TimeNs>::max();
+    return;
+  }
+  // Exponential inter-arrival.
+  const double gap_s =
+      -std::log(std::max(1e-12, rng_.uniform(0.0, 1.0))) /
+      model_.stall_per_second;
+  next_stall_ = after + from_seconds(gap_s);
+}
+
+TimeNs TransportPipeline::draw_refresh_gap() {
+  // Mixture: mostly a jittered nominal cadence, with occasional long
+  // hiccups (scheduler preemption on the target) that surface as zero
+  // batches even at moderate frequencies.
+  if (rng_.chance(0.03)) {
+    return from_seconds(rng_.uniform(100e-3, 300e-3));
+  }
+  const double gap_us = std::max(
+      5000.0, rng_.gaussian(model_.refresh_mean_us, model_.refresh_sigma_us));
+  return from_seconds(gap_us / 1e6);
+}
+
+ReportFate TransportPipeline::offer(TimeNs t) {
+  // The perfevent counter refresh is an autonomous process on the target:
+  // advance it to `t` regardless of what happens to this report.
+  while (last_refresh_ + next_refresh_gap_ <= t) {
+    last_refresh_ += next_refresh_gap_;
+    next_refresh_gap_ = draw_refresh_gap();
+  }
+  const bool fresh = last_refresh_ > last_read_;
+  last_read_ = t;
+
+  // Connection warm-up: early reports never make it.
+  if (t < model_.warmup_ns) return ReportFate::kDropped;
+
+  // Transient stalls extend the busy window.
+  while (next_stall_ <= t) {
+    const double stall_us =
+        -std::log(std::max(1e-12, rng_.uniform(0.0, 1.0))) *
+        model_.stall_mean_us;
+    busy_until_ = std::max(busy_until_, next_stall_) +
+                  from_seconds(stall_us / 1e6);
+    schedule_stall(next_stall_);
+  }
+
+  // No buffering: a sample that fires while the pipeline is busy is lost —
+  // unless the ablation's bounded buffer has room (queue depth approximated
+  // by the backlog divided by the nominal per-report processing time).
+  if (t < busy_until_) {
+    const TimeNs nominal = std::max<TimeNs>(1, nominal_processing_ns());
+    const TimeNs backlog = busy_until_ - t;
+    const int depth = static_cast<int>((backlog + nominal - 1) / nominal);
+    if (depth > model_.buffer_capacity) return ReportFate::kDropped;
+    busy_until_ += draw_processing_ns();
+  } else {
+    busy_until_ = t + draw_processing_ns();
+  }
+
+  // Counter staleness: the report is inserted, but carries zero deltas when
+  // no refresh happened since the previous read.
+  return fresh ? ReportFate::kDelivered : ReportFate::kDeliveredZero;
+}
+
+}  // namespace pmove::sampler

@@ -1,0 +1,82 @@
+// Metric shipment pipeline model.
+//
+// PCP "performs sampling instead of recording performance events over time
+// ... There is no buffer or queue mechanism to keep data points until their
+// insertion into the DB" (paper, Section V-A).  This class models that
+// pipeline in virtual time: each sampling round produces one report whose
+// end-to-end processing time is
+//
+//   serialize(points) + network(bytes / bandwidth) + db_insert(points)
+//                     + jitter (+ occasional stall)
+//
+// A report fired while the pipeline is still busy with the previous one is
+// DROPPED — the loss mechanism behind Table III.  Independently, the
+// perfevent agent refreshes its counters on its own cadence; a report read
+// before the next refresh carries ZERO deltas — the "batched zero values"
+// the paper observes at high frequency.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace pmove::sampler {
+
+struct TransportModel {
+  double network_mbit = 100.0;        ///< host<->target link (paper: 100 Mbit)
+  double serialize_us_per_point = 18.0;
+  double db_insert_us_per_point = 32.0;
+  double base_latency_us = 4500.0;    ///< per-report fixed cost
+  double jitter_rel_sigma = 0.35;     ///< lognormal-ish processing jitter
+  double stall_per_second = 0.12;     ///< Poisson rate of transient stalls
+  double stall_mean_us = 90'000.0;    ///< mean stall duration
+  TimeNs warmup_ns = 350'000'000;     ///< connection warm-up: reports dropped
+  double refresh_mean_us = 45'000.0;  ///< perfevent counter refresh cadence
+  double refresh_sigma_us = 9'000.0;
+  /// PCP has no buffering (capacity 0 — the paper's behaviour).  A positive
+  /// capacity lets up to that many reports queue behind a busy pipeline
+  /// instead of being dropped; used by the buffering ablation.
+  int buffer_capacity = 0;
+  std::uint64_t seed = 1234;
+};
+
+/// Outcome of offering one report to the pipeline.
+enum class ReportFate {
+  kDelivered,      ///< inserted with real values
+  kDeliveredZero,  ///< inserted, but all points are zero (stale counters)
+  kDropped,        ///< pipeline busy / warm-up — points lost
+};
+
+class TransportPipeline {
+ public:
+  TransportPipeline(TransportModel model, int points_per_report,
+                    std::uint64_t seed_salt = 0);
+
+  /// Offers the report sampled at virtual time `t` (ns).  Points-per-report
+  /// is fixed per session (#metrics x instance-domain size).
+  ReportFate offer(TimeNs t);
+
+  /// Processing time of one report, excluding jitter (for capacity
+  /// planning / tests).
+  [[nodiscard]] TimeNs nominal_processing_ns() const;
+
+  /// Wire size of one report in bytes.
+  [[nodiscard]] double report_bytes() const;
+
+ private:
+  TransportModel model_;
+  int points_per_report_;
+  Rng rng_;
+  TimeNs busy_until_ = 0;
+  TimeNs next_stall_ = 0;
+  TimeNs last_refresh_ = 0;
+  TimeNs next_refresh_gap_ = 0;
+  TimeNs last_read_ = -1;
+
+  [[nodiscard]] TimeNs draw_processing_ns();
+  void schedule_stall(TimeNs after);
+  [[nodiscard]] TimeNs draw_refresh_gap();
+};
+
+}  // namespace pmove::sampler

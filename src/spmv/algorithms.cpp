@@ -1,0 +1,357 @@
+#include "spmv/algorithms.hpp"
+
+#ifdef __AVX512F__
+#include <immintrin.h>
+// gcc's unmasked-gather intrinsic expands through a masked builtin whose
+// pass-through register is intentionally uninitialized; silence the
+// resulting false-positive -Wmaybe-uninitialized from the intrinsic header.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <cmath>
+#include <thread>
+
+#include "workload/power_model.hpp"
+
+namespace pmove::spmv {
+
+using workload::LiveCounters;
+using workload::Quantity;
+using workload::QuantitySet;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline void do_not_optimize(double& value) { asm volatile("" : "+x"(value)); }
+
+/// Ground-truth charge for one chunk of SpMV work.
+struct ChunkCharger {
+  const topology::MachineSpec* machine;
+  GatherLocality locality;
+  bool vectorized;      ///< wide-ISA kernel (mkl-like)
+  int vector_width = 8; ///< doubles per vector instruction
+  int cpu = 0;
+
+  void charge(QuantitySet* totals, LiveCounters* live, double nnz,
+              double rows, double seconds) const {
+    const double flops = 2.0 * nnz;
+    double loads;      // memory instructions, not bytes
+    double stores;
+    Quantity flop_quantity;
+    if (vectorized) {
+      const double w = static_cast<double>(vector_width);
+      // Wide loads for values+columns, one gather instruction per vector of
+      // x elements, scalar row-pointer reads.
+      loads = 2.0 * nnz / w + nnz / w + rows;
+      stores = rows / w;
+      flop_quantity = machine->isa.avx512 > 0.0 ? Quantity::kAvx512Flops
+                                                : Quantity::kAvx2Flops;
+    } else {
+      loads = 3.0 * nnz + rows;  // value, column, x per element + row_ptr
+      stores = rows;
+      flop_quantity = Quantity::kScalarFlops;
+    }
+    const double flop_instructions =
+        vectorized ? flops / vector_width : flops;
+    const double branches = vectorized ? nnz / vector_width + rows
+                                       : nnz + rows;
+    const double instructions =
+        flop_instructions + loads + stores + 2.0 * branches;
+    const double cycles = seconds * machine->base_ghz * 1e9;
+
+    // Bytes actually moved: streaming arrays + gathered x lines.
+    const double streamed_bytes = nnz * 12.0 + rows * 12.0;  // vals+cols+ptr+y
+    const double gather_l1_misses = nnz * locality.l1_miss_prob;
+    const double l1_miss = streamed_bytes / 64.0 + gather_l1_misses;
+    const double l2_miss = streamed_bytes / 64.0 + nnz * locality.l2_miss_prob;
+    const double l3_miss =
+        streamed_bytes / 64.0 * 0.9 + nnz * locality.l3_miss_prob;
+
+    const auto& power = workload::default_power_model();
+    const double moved_bytes = streamed_bytes + gather_l1_misses * 64.0;
+    const double energy =
+        power.chunk_energy(vectorized ? 0.0 : flops,
+                           vectorized ? flops : 0.0, moved_bytes, seconds);
+
+    auto add = [&](Quantity q, double v) {
+      totals->add(q, v);
+      if (live != nullptr) live->add(q, cpu, v);
+    };
+    add(flop_quantity, flops);
+    add(Quantity::kLoads, loads);
+    add(Quantity::kStores, stores);
+    add(Quantity::kBranches, branches);
+    add(Quantity::kBranchMisses, branches * 0.01);
+    add(Quantity::kInstructions, instructions);
+    add(Quantity::kUops, instructions * 1.3);
+    add(Quantity::kCycles, cycles);
+    add(Quantity::kL1Miss, l1_miss);
+    add(Quantity::kL2Miss, l2_miss);
+    add(Quantity::kL3Miss, l3_miss);
+    add(Quantity::kL3Access, l2_miss);
+    add(Quantity::kEnergyPkgJoules, energy);
+    add(Quantity::kEnergyDramJoules,
+        l3_miss * 64.0 * power.dram_joules_per_byte);
+  }
+};
+
+// ---------------------------------------------------------------- mkl-like
+
+/// Row-parallel kernel in the shape a vendor library ships: a genuine
+/// AVX-512 gather + FMA inner loop when the build machine supports it,
+/// otherwise an unrolled multi-accumulator loop the compiler can vectorize.
+double mkl_like_rows(const Csr& a, const std::vector<double>& x,
+                     std::vector<double>& y, int row_begin, int row_end) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  double guard = 0.0;
+#ifdef __AVX512F__
+  for (int r = row_begin; r < row_end; ++r) {
+    const int begin = row_ptr[r], end = row_ptr[r + 1];
+    int k = begin;
+    double sum = 0.0;
+    if (end - begin >= 8) {  // short rows skip the vector setup entirely
+      __m512d acc = _mm512_setzero_pd();
+      for (; k + 8 <= end; k += 8) {
+        const __m256i cols = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(&col_idx[k]));
+        const __m512d vals = _mm512_loadu_pd(&values[k]);
+        const __m512d gathered = _mm512_i32gather_pd(cols, x.data(), 8);
+        acc = _mm512_fmadd_pd(vals, gathered, acc);
+      }
+      sum = _mm512_reduce_add_pd(acc);
+    }
+    for (; k < end; ++k) {
+      sum += values[k] * x[static_cast<std::size_t>(col_idx[k])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+#else
+  for (int r = row_begin; r < row_end; ++r) {
+    const int begin = row_ptr[r], end = row_ptr[r + 1];
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    int k = begin;
+    for (; k + 4 <= end; k += 4) {
+      s0 += values[k] * x[static_cast<std::size_t>(col_idx[k])];
+      s1 += values[k + 1] * x[static_cast<std::size_t>(col_idx[k + 1])];
+      s2 += values[k + 2] * x[static_cast<std::size_t>(col_idx[k + 2])];
+      s3 += values[k + 3] * x[static_cast<std::size_t>(col_idx[k + 3])];
+    }
+    for (; k < end; ++k) {
+      s0 += values[k] * x[static_cast<std::size_t>(col_idx[k])];
+    }
+    y[static_cast<std::size_t>(r)] = (s0 + s1) + (s2 + s3);
+  }
+#endif
+  if (row_end > row_begin) guard = y[static_cast<std::size_t>(row_begin)];
+  do_not_optimize(guard);
+  return guard;
+}
+
+// ------------------------------------------------------------------ merge
+
+/// Merge-path coordinate: `row` rows and `nz` nonzeros consumed.
+struct Coord {
+  int row;
+  int nz;
+};
+
+Coord merge_path_search(int diagonal, const std::vector<int>& row_end,
+                        int rows, std::int64_t nnz) {
+  int lo = std::max(0, diagonal - static_cast<int>(nnz));
+  int hi = std::min(diagonal, rows);
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    // A[mid] = row_end[mid]; B[diagonal - 1 - mid] = diagonal - 1 - mid.
+    if (row_end[static_cast<std::size_t>(mid)] <= diagonal - 1 - mid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {lo, diagonal - lo};
+}
+
+struct MergeCarry {
+  int row = -1;
+  double partial = 0.0;
+};
+
+/// Processes merge-path segment [d0, d1); rows fully contained are written
+/// to y, the trailing partial row is returned as a carry to fix up later.
+MergeCarry merge_segment(const Csr& a, const std::vector<double>& x,
+                         std::vector<double>& y,
+                         const std::vector<int>& row_end, int d0, int d1) {
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  const Coord start = merge_path_search(d0, row_end, a.rows(), a.nnz());
+  const Coord stop = merge_path_search(d1, row_end, a.rows(), a.nnz());
+  int row = start.row;
+  int nz = start.nz;
+  double sum = 0.0;
+  for (; row < stop.row; ++row) {
+    for (; nz < row_end[static_cast<std::size_t>(row)]; ++nz) {
+      sum += values[static_cast<std::size_t>(nz)] *
+             x[static_cast<std::size_t>(
+                 col_idx[static_cast<std::size_t>(nz)])];
+    }
+    y[static_cast<std::size_t>(row)] = sum;
+    sum = 0.0;
+  }
+  for (; nz < stop.nz; ++nz) {  // partial tail row
+    sum += values[static_cast<std::size_t>(nz)] *
+           x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(nz)])];
+  }
+  return {row < a.rows() ? row : -1, sum};
+}
+
+}  // namespace
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMklLike: return "mkl";
+    case Algorithm::kMerge: return "merge";
+  }
+  return "mkl";
+}
+
+GatherLocality estimate_gather_locality(
+    const Csr& a, const topology::MachineSpec& machine) {
+  // The working span touched by gathers of one row neighbourhood is
+  // ~2 x mean bandwidth x 8 bytes; a level whose capacity is below the span
+  // misses proportionally.  This is the standard reuse-distance argument
+  // for banded matrices.
+  const double span_bytes = std::max(64.0, 2.0 * a.mean_bandwidth() * 8.0);
+  GatherLocality locality;
+  auto miss_prob = [span_bytes](double level_bytes) {
+    if (span_bytes <= level_bytes) return 0.0;
+    return std::min(1.0, 1.0 - level_bytes / span_bytes);
+  };
+  for (const auto& level : machine.cache_levels) {
+    if (level.name == "L1") {
+      locality.l1_miss_prob =
+          miss_prob(static_cast<double>(level.size_bytes));
+    } else if (level.name == "L2") {
+      locality.l2_miss_prob =
+          miss_prob(static_cast<double>(level.size_bytes));
+    } else if (level.name == "L3") {
+      locality.l3_miss_prob =
+          miss_prob(static_cast<double>(level.size_bytes));
+    }
+  }
+  return locality;
+}
+
+Expected<SpmvRun> run_spmv(const Csr& a, const std::vector<double>& x,
+                           std::vector<double>& y,
+                           const topology::MachineSpec& machine,
+                           const SpmvConfig& config, LiveCounters* live) {
+  if (static_cast<int>(x.size()) != a.cols()) {
+    return Status::invalid_argument("x size does not match matrix columns");
+  }
+  if (config.threads < 1) {
+    return Status::invalid_argument("threads must be >= 1");
+  }
+  if (static_cast<int>(config.cpus.size()) < config.threads) {
+    return Status::invalid_argument("need one attribution CPU per thread");
+  }
+  y.assign(static_cast<std::size_t>(a.rows()), 0.0);
+
+  SpmvRun run;
+  ChunkCharger charger;
+  charger.machine = &machine;
+  charger.locality = estimate_gather_locality(a, machine);
+  charger.vectorized = config.algorithm == Algorithm::kMklLike;
+  charger.vector_width = machine.isa.avx512 > 0.0 ? 8 : 4;
+
+  std::vector<int> row_end(a.row_ptr().begin() + 1, a.row_ptr().end());
+
+  std::mutex totals_mutex;
+  const double t_start = now_seconds();
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(config.threads));
+    std::vector<MergeCarry> carries(
+        static_cast<std::size_t>(config.threads) *
+        static_cast<std::size_t>(config.chunks_per_iteration));
+    for (int t = 0; t < config.threads; ++t) {
+      workers.emplace_back([&, t] {
+        ChunkCharger local_charger = charger;
+        local_charger.cpu = config.cpus[static_cast<std::size_t>(t)];
+        QuantitySet local_totals;
+        double local_checksum = 0.0;
+        const int chunks = std::max(1, config.chunks_per_iteration);
+        if (config.algorithm == Algorithm::kMklLike) {
+          const int rows_per_thread =
+              (a.rows() + config.threads - 1) / config.threads;
+          const int begin = t * rows_per_thread;
+          const int end = std::min(a.rows(), begin + rows_per_thread);
+          const int step = std::max(1, (end - begin + chunks - 1) / chunks);
+          for (int r = begin; r < end; r += step) {
+            const int stop = std::min(end, r + step);
+            const double c0 = now_seconds();
+            local_checksum += mkl_like_rows(a, x, y, r, stop);
+            const double c1 = now_seconds();
+            const double nnz_chunk = static_cast<double>(
+                a.row_ptr()[stop] - a.row_ptr()[r]);
+            local_charger.charge(&local_totals, live, nnz_chunk,
+                                 static_cast<double>(stop - r), c1 - c0);
+          }
+        } else {
+          const int total_work = a.rows() + static_cast<int>(a.nnz());
+          const int work_per_thread =
+              (total_work + config.threads - 1) / config.threads;
+          const int seg_begin = std::min(total_work, t * work_per_thread);
+          const int seg_end =
+              std::min(total_work, seg_begin + work_per_thread);
+          const int step =
+              std::max(1, (seg_end - seg_begin + chunks - 1) / chunks);
+          int chunk_index = 0;
+          for (int d = seg_begin; d < seg_end; d += step, ++chunk_index) {
+            const int stop = std::min(seg_end, d + step);
+            const double c0 = now_seconds();
+            MergeCarry carry =
+                merge_segment(a, x, y, row_end, d, stop);
+            const double c1 = now_seconds();
+            carries[static_cast<std::size_t>(t) *
+                        static_cast<std::size_t>(chunks) +
+                    static_cast<std::size_t>(
+                        std::min(chunk_index, chunks - 1))] = carry;
+            const double work = static_cast<double>(stop - d);
+            // Work items split ~ nnz/(rows+nnz) nonzeros.
+            const double nnz_chunk =
+                work * static_cast<double>(a.nnz()) /
+                static_cast<double>(std::max(1, total_work));
+            local_charger.charge(&local_totals, live, nnz_chunk,
+                                 work - nnz_chunk, c1 - c0);
+          }
+        }
+        std::lock_guard<std::mutex> lock(totals_mutex);
+        run.totals += local_totals;
+        run.checksum += local_checksum;
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    // Fix up partial rows left at chunk boundaries by the merge kernel.
+    if (config.algorithm == Algorithm::kMerge) {
+      for (const auto& carry : carries) {
+        if (carry.row >= 0) {
+          y[static_cast<std::size_t>(carry.row)] += carry.partial;
+        }
+      }
+    }
+  }
+  run.seconds = now_seconds() - t_start;
+  return run;
+}
+
+}  // namespace pmove::spmv

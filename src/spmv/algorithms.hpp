@@ -1,0 +1,68 @@
+// SpMV algorithms (paper, Section V-D): a vendor-library-style vectorized
+// row kernel ("mkl") and merge-based CSR SpMV (Merrill & Garland).
+//
+// Both are real implementations operating on real data; instrumented runs
+// publish exact operation counts to LiveCounters while executing so the
+// live monitoring pipeline observes them.  The vectorized kernel's FLOPs
+// are attributed to the widest ISA the target machine supports (AVX-512 on
+// the Intel presets) and its memory traffic to correspondingly fewer, wider
+// memory instructions — reproducing the Fig 7 contrast: AVX512 FP events
+// only during MKL, scalar FP + more memory instructions + more power during
+// Merge.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spmv/csr.hpp"
+#include "topology/machine.hpp"
+#include "util/status.hpp"
+#include "workload/activity.hpp"
+#include "workload/counter_source.hpp"
+
+namespace pmove::spmv {
+
+enum class Algorithm { kMklLike, kMerge };
+std::string_view to_string(Algorithm algorithm);
+
+struct SpmvConfig {
+  Algorithm algorithm = Algorithm::kMklLike;
+  int threads = 1;
+  int iterations = 10;
+  /// Instrumentation granularity: progress publications per iteration.
+  int chunks_per_iteration = 32;
+  /// Logical CPUs the work is attributed to (size >= threads).
+  std::vector<int> cpus = {0};
+};
+
+struct SpmvRun {
+  workload::QuantitySet totals;  ///< exact ground truth
+  double seconds = 0.0;
+  double checksum = 0.0;
+
+  [[nodiscard]] double gflops() const {
+    return seconds > 0.0 ? totals.total_flops() / seconds / 1e9 : 0.0;
+  }
+};
+
+/// Computes y = A x `iterations` times.  `y` holds the final product.
+/// Counts are charged to `live` (when non-null) chunk by chunk while the
+/// kernel runs.
+Expected<SpmvRun> run_spmv(const Csr& a, const std::vector<double>& x,
+                           std::vector<double>& y,
+                           const topology::MachineSpec& machine,
+                           const SpmvConfig& config,
+                           workload::LiveCounters* live = nullptr);
+
+/// Cache-miss probability of the x-vector gathers for a matrix on a
+/// machine, per level — the structural locality model behind the RCM
+/// speed-up (exposed for tests and ablations).
+struct GatherLocality {
+  double l1_miss_prob = 0.0;
+  double l2_miss_prob = 0.0;
+  double l3_miss_prob = 0.0;
+};
+GatherLocality estimate_gather_locality(const Csr& a,
+                                        const topology::MachineSpec& machine);
+
+}  // namespace pmove::spmv

@@ -1,0 +1,167 @@
+#include "spmv/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmove::spmv {
+
+Csr::Csr(int rows, int cols, std::vector<int> row_ptr,
+         std::vector<int> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {}
+
+Expected<Csr> Csr::from_coo(int rows, int cols,
+                            std::vector<Triplet> triplets) {
+  if (rows < 0 || cols < 0) {
+    return Status::invalid_argument("negative matrix dimensions");
+  }
+  for (const auto& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::out_of_range(
+          "triplet (" + std::to_string(t.row) + "," + std::to_string(t.col) +
+          ") outside " + std::to_string(rows) + "x" + std::to_string(cols));
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::vector<int> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<int> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(triplets.size());
+  values.reserve(triplets.size());
+  for (std::size_t i = 0; i < triplets.size(); ++i) {
+    if (!col_idx.empty() && i > 0 && triplets[i].row == triplets[i - 1].row &&
+        triplets[i].col == triplets[i - 1].col) {
+      values.back() += triplets[i].value;  // merge duplicates
+      continue;
+    }
+    ++row_ptr[static_cast<std::size_t>(triplets[i].row) + 1];
+    col_idx.push_back(triplets[i].col);
+    values.push_back(triplets[i].value);
+  }
+  for (int r = 0; r < rows; ++r) {
+    row_ptr[static_cast<std::size_t>(r) + 1] +=
+        row_ptr[static_cast<std::size_t>(r)];
+  }
+  return Csr(rows, cols, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+double Csr::mean_bandwidth() const {
+  if (nnz() == 0) return 0.0;
+  double sum = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      sum += std::abs(col_idx_[static_cast<std::size_t>(k)] - r);
+    }
+  }
+  return sum / static_cast<double>(nnz());
+}
+
+int Csr::max_bandwidth() const {
+  int max_bw = 0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      max_bw = std::max(max_bw,
+                        std::abs(col_idx_[static_cast<std::size_t>(k)] - r));
+    }
+  }
+  return max_bw;
+}
+
+Expected<Csr> Csr::permute_symmetric(const std::vector<int>& perm) const {
+  if (rows_ != cols_) {
+    return Status::invalid_argument(
+        "symmetric permutation requires a square matrix");
+  }
+  if (static_cast<int>(perm.size()) != rows_) {
+    return Status::invalid_argument("permutation size mismatch");
+  }
+  std::vector<int> inverse(perm.size(), -1);
+  for (int i = 0; i < rows_; ++i) {
+    const int p = perm[static_cast<std::size_t>(i)];
+    if (p < 0 || p >= rows_ || inverse[static_cast<std::size_t>(p)] != -1) {
+      return Status::invalid_argument("perm is not a permutation");
+    }
+    inverse[static_cast<std::size_t>(p)] = i;
+  }
+  // Result row i = original row perm[i]; columns relabelled by inverse.
+  std::vector<int> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  for (int i = 0; i < rows_; ++i) {
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] +
+        row_degree(perm[static_cast<std::size_t>(i)]);
+  }
+  std::vector<int> col_idx(static_cast<std::size_t>(nnz()));
+  std::vector<double> values(static_cast<std::size_t>(nnz()));
+  for (int i = 0; i < rows_; ++i) {
+    const int src = perm[static_cast<std::size_t>(i)];
+    int out = row_ptr[static_cast<std::size_t>(i)];
+    // Gather the relabelled row, then sort by column for CSR canonical form.
+    std::vector<std::pair<int, double>> entries;
+    entries.reserve(static_cast<std::size_t>(row_degree(src)));
+    for (int k = row_ptr_[src]; k < row_ptr_[src + 1]; ++k) {
+      entries.emplace_back(
+          inverse[static_cast<std::size_t>(
+              col_idx_[static_cast<std::size_t>(k)])],
+          values_[static_cast<std::size_t>(k)]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [col, value] : entries) {
+      col_idx[static_cast<std::size_t>(out)] = col;
+      values[static_cast<std::size_t>(out)] = value;
+      ++out;
+    }
+  }
+  return Csr(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+             std::move(values));
+}
+
+Status Csr::validate() const {
+  if (static_cast<int>(row_ptr_.size()) != rows_ + 1) {
+    return Status::internal("row_ptr size mismatch");
+  }
+  if (row_ptr_.front() != 0 ||
+      row_ptr_.back() != static_cast<int>(col_idx_.size())) {
+    return Status::internal("row_ptr endpoints invalid");
+  }
+  if (col_idx_.size() != values_.size()) {
+    return Status::internal("col_idx/values size mismatch");
+  }
+  for (int r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) {
+      return Status::internal("row_ptr not monotone at row " +
+                              std::to_string(r));
+    }
+  }
+  for (int col : col_idx_) {
+    if (col < 0 || col >= cols_) {
+      return Status::internal("column index out of range: " +
+                              std::to_string(col));
+    }
+  }
+  return Status::ok();
+}
+
+void spmv_reference(const Csr& a, const std::vector<double>& x,
+                    std::vector<double>& y) {
+  y.assign(static_cast<std::size_t>(a.rows()), 0.0);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    double sum = 0.0;
+    for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      sum += values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+}  // namespace pmove::spmv

@@ -1,0 +1,167 @@
+#include "spmv/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace pmove::spmv {
+
+namespace {
+
+/// Deduplicating triplet collector that always includes the diagonal (keeps
+/// the symmetrized graph connected enough for BFS orderings).
+std::vector<Triplet> with_diagonal(std::vector<Triplet> triplets, int rows) {
+  triplets.reserve(triplets.size() + static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) triplets.push_back({r, r, 4.0});
+  return triplets;
+}
+
+}  // namespace
+
+Csr make_mesh_matrix(int rows, int avg_degree, int band, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(rows) *
+                   static_cast<std::size_t>(avg_degree + 1));
+  for (int r = 0; r < rows; ++r) {
+    const int degree = std::max(
+        1, static_cast<int>(rng.gaussian(avg_degree, avg_degree * 0.25)));
+    for (int k = 0; k < degree; ++k) {
+      const int offset =
+          static_cast<int>(rng.gaussian(0.0, static_cast<double>(band)));
+      const int c = std::clamp(r + offset, 0, rows - 1);
+      triplets.push_back({r, c, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  auto csr = Csr::from_coo(rows, rows, with_diagonal(std::move(triplets),
+                                                     rows));
+  return std::move(csr.value());
+}
+
+Csr make_stiffness_matrix(int rows, int block, int blocks_coupled,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  const int block_count = (rows + block - 1) / block;
+  std::vector<Triplet> triplets;
+  for (int b = 0; b < block_count; ++b) {
+    const int begin = b * block;
+    const int end = std::min(rows, begin + block);
+    // Dense-ish intra-block coupling.
+    for (int r = begin; r < end; ++r) {
+      for (int c = begin; c < end; ++c) {
+        if (r != c && rng.chance(0.65)) {
+          triplets.push_back({r, c, rng.uniform(-1.0, 1.0)});
+        }
+      }
+    }
+    // Sparse coupling to a few neighbouring blocks.
+    for (int nb = 1; nb <= blocks_coupled; ++nb) {
+      const int other = b + nb;
+      if (other >= block_count) break;
+      const int obegin = other * block;
+      const int oend = std::min(rows, obegin + block);
+      for (int r = begin; r < end; ++r) {
+        if (!rng.chance(0.35)) continue;
+        const int c =
+            static_cast<int>(rng.uniform_int(obegin, oend - 1));
+        triplets.push_back({r, c, rng.uniform(-1.0, 1.0)});
+        triplets.push_back({c, r, rng.uniform(-1.0, 1.0)});
+      }
+    }
+  }
+  auto csr = Csr::from_coo(rows, rows, with_diagonal(std::move(triplets),
+                                                     rows));
+  return std::move(csr.value());
+}
+
+Csr make_powerlaw_matrix(int rows, int avg_degree, double skew,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  const double total_edges =
+      static_cast<double>(rows) * static_cast<double>(avg_degree);
+  // Zipf-ish degree assignment: row i gets degree ~ C / (i+1)^skew.
+  double norm = 0.0;
+  for (int r = 0; r < rows; ++r) norm += std::pow(r + 1.0, -skew);
+  for (int r = 0; r < rows; ++r) {
+    const int degree = std::max(
+        1, static_cast<int>(total_edges * std::pow(r + 1.0, -skew) / norm));
+    for (int k = 0; k < degree; ++k) {
+      // Preferential attachment to low indices (the dense core).
+      const double u = rng.uniform(0.0, 1.0);
+      const int c = std::min(
+          rows - 1,
+          static_cast<int>(std::pow(u, 1.0 + skew) * rows));
+      triplets.push_back({r, c, rng.uniform(-1.0, 1.0)});
+    }
+  }
+  auto csr = Csr::from_coo(rows, rows, with_diagonal(std::move(triplets),
+                                                     rows));
+  return std::move(csr.value());
+}
+
+Expected<Csr> scramble(const Csr& a, int stride) {
+  const int n = a.rows();
+  if (std::gcd(stride, n) != 1) {
+    return Status::invalid_argument(
+        "stride must be coprime with the dimension");
+  }
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    perm[static_cast<std::size_t>(i)] =
+        static_cast<int>((static_cast<std::int64_t>(i) * stride) % n);
+  }
+  return a.permute_symmetric(perm);
+}
+
+Expected<MatrixPreset> matrix_preset(std::string_view name, double scale) {
+  auto scaled = [scale](int v) {
+    return std::max(64, static_cast<int>(v * scale));
+  };
+  MatrixPreset preset;
+  Csr base;
+  if (name == "adaptive") {
+    // DIMACS10 mesh: 6.8M rows, deg ~4.
+    preset = {"adaptive", "DIMACS10", {}, 6'815'744, 27'200'000};
+    base = make_mesh_matrix(scaled(68'000), 4, 8, 11);
+  } else if (name == "audikw_1") {
+    // GHS_psdef stiffness: 943k rows, deg ~82.
+    preset = {"audikw_1", "GHS_psdef", {}, 943'695, 77'700'000};
+    base = make_stiffness_matrix(scaled(9'600), 24, 2, 22);
+  } else if (name == "dielFilterV3real") {
+    // Dziekonski FEM: 1.1M rows, deg ~81.
+    preset = {"dielFilterV3real", "Dziekonski", {}, 1'102'824, 89'300'000};
+    base = make_stiffness_matrix(scaled(11'000), 20, 3, 33);
+  } else if (name == "hugetrace-00020") {
+    // DIMACS10 trace: 16M rows, deg ~3.
+    preset = {"hugetrace-00020", "DIMACS10", {}, 16'002'413, 48'000'000};
+    base = make_mesh_matrix(scaled(160'000), 3, 6, 44);
+  } else if (name == "human_gene1") {
+    // Belcastro gene network: 22k rows, deg ~1100 (kept at full row count,
+    // degree scaled).
+    preset = {"human_gene1", "Belcastro", {}, 22'283, 24'700'000};
+    base = make_powerlaw_matrix(
+        22'283, std::max(8, static_cast<int>(110 * scale)), 0.7, 55);
+  } else {
+    return Status::not_found("unknown matrix preset: " + std::string(name));
+  }
+  // The paper's originals are not bandwidth-optimal; scramble moderately so
+  // "none" has realistic (poor) locality and RCM has something to recover.
+  auto scrambled = scramble(base, 101);
+  if (!scrambled) {
+    // Fall back to a coprime stride.
+    scrambled = scramble(base, 103);
+    if (!scrambled) return scrambled.status();
+  }
+  preset.matrix = std::move(scrambled.value());
+  return preset;
+}
+
+std::vector<std::string> matrix_preset_names() {
+  return {"adaptive", "audikw_1", "dielFilterV3real", "hugetrace-00020",
+          "human_gene1"};
+}
+
+}  // namespace pmove::spmv

@@ -1,0 +1,56 @@
+// Synthetic sparse-matrix generators.
+//
+// The paper evaluates on five SuiteSparse matrices (Table IV).  Those files
+// are not available offline, so each generator reproduces the structural
+// class of its namesake at a scaled dimension: degree profile, bandwidth
+// character and locality behaviour under reordering are what Fig 7/8 depend
+// on, and those are preserved.  The "original" ordering of each preset is
+// deliberately scrambled with a stride permutation so RCM has realistic
+// locality to recover (SuiteSparse originals are likewise not
+// bandwidth-optimal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spmv/csr.hpp"
+#include "util/status.hpp"
+
+namespace pmove::spmv {
+
+/// Banded mesh-like matrix: every row has ~avg_degree neighbours within
+/// +-band of the diagonal (adaptive / hugetrace class).
+Csr make_mesh_matrix(int rows, int avg_degree, int band, std::uint64_t seed);
+
+/// Block-structured stiffness matrix: dense blocks of `block` rows coupled
+/// to a few neighbouring blocks (audikw_1 / dielFilter class).
+Csr make_stiffness_matrix(int rows, int block, int blocks_coupled,
+                          std::uint64_t seed);
+
+/// Power-law matrix with a dense core: few very dense rows, many sparse
+/// ones (human_gene1 class).
+Csr make_powerlaw_matrix(int rows, int avg_degree, double skew,
+                         std::uint64_t seed);
+
+/// Applies a stride permutation p(i) = (i * stride) mod rows symmetric to
+/// both sides — destroys banded locality without changing the pattern
+/// class.
+Expected<Csr> scramble(const Csr& a, int stride);
+
+struct MatrixPreset {
+  std::string name;   ///< SuiteSparse name it mirrors
+  std::string group;  ///< SuiteSparse group
+  Csr matrix;
+  std::int64_t paper_rows = 0;  ///< dimensions in the paper's Table IV
+  std::int64_t paper_nnz = 0;
+};
+
+/// The five Table IV matrices at ~1/100 scale:
+///   adaptive, audikw_1, dielFilterV3real, hugetrace-00020, human_gene1.
+Expected<MatrixPreset> matrix_preset(std::string_view name,
+                                     double scale = 1.0);
+std::vector<std::string> matrix_preset_names();
+
+}  // namespace pmove::spmv

@@ -1,0 +1,124 @@
+#include "spmv/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace pmove::spmv {
+
+Expected<Csr> read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::parse_error("empty Matrix Market stream");
+  }
+  // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+  auto header = strings::split_trimmed(line, ' ');
+  if (header.size() < 5 ||
+      strings::to_lower(header[0]) != "%%matrixmarket" ||
+      strings::to_lower(header[1]) != "matrix" ||
+      strings::to_lower(header[2]) != "coordinate") {
+    return Status::parse_error(
+        "expected '%%MatrixMarket matrix coordinate ...' header");
+  }
+  const std::string field = strings::to_lower(header[3]);
+  const std::string symmetry = strings::to_lower(header[4]);
+  if (field != "real" && field != "integer" && field != "pattern") {
+    return Status::unsupported("unsupported MM field type: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    return Status::unsupported("unsupported MM symmetry: " + symmetry);
+  }
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  int rows = 0, cols = 0;
+  long long entries = 0;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = strings::trim(line);
+    if (trimmed.empty() || trimmed.front() == '%') continue;
+    std::istringstream size_line{std::string(trimmed)};
+    if (!(size_line >> rows >> cols >> entries)) {
+      return Status::parse_error("malformed MM size line: " + line);
+    }
+    break;
+  }
+  if (rows <= 0 || cols <= 0 || entries < 0) {
+    return Status::parse_error("invalid MM dimensions");
+  }
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(symmetric ? 2 * entries
+                                                      : entries));
+  long long seen = 0;
+  while (seen < entries && std::getline(in, line)) {
+    std::string_view trimmed = strings::trim(line);
+    if (trimmed.empty() || trimmed.front() == '%') continue;
+    std::istringstream entry{std::string(trimmed)};
+    int r = 0, c = 0;
+    double value = 1.0;
+    if (!(entry >> r >> c)) {
+      return Status::parse_error("malformed MM entry: " + line);
+    }
+    if (!pattern && !(entry >> value)) {
+      return Status::parse_error("MM entry missing value: " + line);
+    }
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      return Status::out_of_range("MM entry index out of bounds: " + line);
+    }
+    triplets.push_back({r - 1, c - 1, value});
+    if (symmetric && r != c) triplets.push_back({c - 1, r - 1, value});
+    ++seen;
+  }
+  if (seen != entries) {
+    return Status::parse_error(
+        "MM stream ended after " + std::to_string(seen) + " of " +
+        std::to_string(entries) + " entries");
+  }
+  return Csr::from_coo(rows, cols, std::move(triplets));
+}
+
+Expected<Csr> read_matrix_market_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return read_matrix_market(in);
+}
+
+Expected<Csr> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+std::string write_matrix_market(const Csr& matrix,
+                                std::string_view comment) {
+  std::string out = "%%MatrixMarket matrix coordinate real general\n";
+  if (!comment.empty()) {
+    out += "% " + std::string(comment) + "\n";
+  }
+  out += std::to_string(matrix.rows()) + " " + std::to_string(matrix.cols()) +
+         " " + std::to_string(matrix.nnz()) + "\n";
+  for (int r = 0; r < matrix.rows(); ++r) {
+    for (int k = matrix.row_ptr()[r]; k < matrix.row_ptr()[r + 1]; ++k) {
+      out += std::to_string(r + 1) + " " +
+             std::to_string(matrix.col_idx()[static_cast<std::size_t>(k)] +
+                            1) +
+             " " +
+             strings::format_double(
+                 matrix.values()[static_cast<std::size_t>(k)], 12) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+Status write_matrix_market_file(const Csr& matrix, const std::string& path,
+                                std::string_view comment) {
+  std::ofstream out(path);
+  if (!out) return Status::unavailable("cannot write " + path);
+  out << write_matrix_market(matrix, comment);
+  return out.good() ? Status::ok()
+                    : Status::unavailable("write failed: " + path);
+}
+
+}  // namespace pmove::spmv

@@ -1,0 +1,30 @@
+// Matrix Market (.mtx) I/O.
+//
+// The paper evaluates on SuiteSparse matrices distributed in Matrix Market
+// format; this reader lets the real files drop into the SpMV pipeline when
+// they are available, and the writer round-trips the synthetic generators
+// for external tools.  Supported: `matrix coordinate real|integer|pattern
+// general|symmetric` (the SuiteSparse common cases).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spmv/csr.hpp"
+#include "util/status.hpp"
+
+namespace pmove::spmv {
+
+/// Parses Matrix Market text.  Symmetric matrices are expanded (both
+/// triangles materialized); pattern matrices get value 1.0 per entry.
+Expected<Csr> read_matrix_market(std::istream& in);
+Expected<Csr> read_matrix_market_text(std::string_view text);
+Expected<Csr> read_matrix_market_file(const std::string& path);
+
+/// Writes `coordinate real general` with 1-based indices.
+std::string write_matrix_market(const Csr& matrix,
+                                std::string_view comment = "");
+Status write_matrix_market_file(const Csr& matrix, const std::string& path,
+                                std::string_view comment = "");
+
+}  // namespace pmove::spmv

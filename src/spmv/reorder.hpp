@@ -1,0 +1,36 @@
+// Matrix reorderings (paper, Section V-D: none, rcm, degree, random).
+//
+// Each function returns a permutation `perm` such that the reordered matrix
+// is A[perm, perm] (see Csr::permute_symmetric): perm[i] = index of the
+// original row placed at position i.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "spmv/csr.hpp"
+#include "util/status.hpp"
+
+namespace pmove::spmv {
+
+/// Reverse Cuthill-McKee (real BFS implementation): starts from a
+/// pseudo-peripheral vertex of each connected component, visits neighbours
+/// in increasing-degree order, reverses the final order.  Works on the
+/// symmetrized pattern A | A^T.
+std::vector<int> rcm_order(const Csr& a);
+
+/// Rows sorted by ascending degree (stable).
+std::vector<int> degree_order(const Csr& a);
+
+/// Uniformly random permutation (seeded).
+std::vector<int> random_order(int rows, std::uint64_t seed = 1);
+
+/// Identity.
+std::vector<int> identity_order(int rows);
+
+/// By name: "none" | "rcm" | "degree" | "random".
+Expected<std::vector<int>> order_by_name(const Csr& a, std::string_view name,
+                                         std::uint64_t seed = 1);
+
+}  // namespace pmove::spmv

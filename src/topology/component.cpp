@@ -1,0 +1,88 @@
+#include "topology/component.hpp"
+
+namespace pmove::topology {
+
+std::string_view to_string(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kSystem: return "system";
+    case ComponentKind::kNode: return "node";
+    case ComponentKind::kSocket: return "socket";
+    case ComponentKind::kNumaNode: return "numanode";
+    case ComponentKind::kCore: return "core";
+    case ComponentKind::kThread: return "thread";
+    case ComponentKind::kCache: return "cache";
+    case ComponentKind::kMemory: return "memory";
+    case ComponentKind::kDisk: return "disk";
+    case ComponentKind::kNic: return "nic";
+    case ComponentKind::kGpu: return "gpu";
+    case ComponentKind::kProcess: return "process";
+  }
+  return "unknown";
+}
+
+std::string Component::property_or(std::string_view key,
+                                   std::string fallback) const {
+  auto it = properties_.find(std::string(key));
+  return it == properties_.end() ? std::move(fallback) : it->second;
+}
+
+Component& Component::add_child(std::string name, ComponentKind kind) {
+  auto child = std::make_unique<Component>(std::move(name), kind);
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+std::vector<const Component*> Component::path_to_root() const {
+  std::vector<const Component*> path;
+  for (const Component* c = this; c != nullptr; c = c->parent_) {
+    path.push_back(c);
+  }
+  return path;
+}
+
+std::vector<const Component*> Component::subtree() const {
+  std::vector<const Component*> out;
+  visit([&out](const Component& c) { out.push_back(&c); });
+  return out;
+}
+
+std::vector<const Component*> Component::find_all(ComponentKind kind) const {
+  std::vector<const Component*> out;
+  visit([&out, kind](const Component& c) {
+    if (c.kind() == kind) out.push_back(&c);
+  });
+  return out;
+}
+
+const Component* Component::find_by_name(std::string_view name) const {
+  const Component* found = nullptr;
+  visit([&found, name](const Component& c) {
+    if (found == nullptr && c.name() == name) found = &c;
+  });
+  return found;
+}
+
+void Component::visit(
+    const std::function<void(const Component&)>& fn) const {
+  fn(*this);
+  for (const auto& child : children_) child->visit(fn);
+}
+
+int Component::depth() const {
+  int d = 0;
+  for (const Component* c = parent_; c != nullptr; c = c->parent_) ++d;
+  return d;
+}
+
+std::string Component::path() const {
+  auto up = path_to_root();
+  std::string out;
+  for (auto it = up.rbegin(); it != up.rend(); ++it) {
+    if (!out.empty()) out += '/';
+    out += (*it)->name();
+  }
+  return out;
+}
+
+}  // namespace pmove::topology

@@ -1,0 +1,98 @@
+// Hardware component tree.
+//
+// The KB models an HPC system as a tree of components (Fig 1 of the paper):
+// system -> node -> socket -> NUMA node -> core -> thread, with caches,
+// memory, disks, NICs and GPUs attached at the appropriate levels.  The
+// three dashboard views (focus / subtree / level) are tree navigations, so
+// the tree exposes exactly those traversals.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmove::topology {
+
+enum class ComponentKind {
+  kSystem,
+  kNode,
+  kSocket,
+  kNumaNode,
+  kCore,
+  kThread,
+  kCache,
+  kMemory,
+  kDisk,
+  kNic,
+  kGpu,
+  kProcess,
+};
+
+std::string_view to_string(ComponentKind kind);
+
+class Component {
+ public:
+  Component(std::string name, ComponentKind kind)
+      : name_(std::move(name)), kind_(kind) {}
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ComponentKind kind() const { return kind_; }
+  [[nodiscard]] Component* parent() const { return parent_; }
+
+  /// Free-form metadata, e.g. {"model": "Intel Xeon Gold 6152"}.
+  [[nodiscard]] const std::map<std::string, std::string>& properties() const {
+    return properties_;
+  }
+  void set_property(std::string key, std::string value) {
+    properties_[std::move(key)] = std::move(value);
+  }
+  [[nodiscard]] std::string property_or(std::string_view key,
+                                        std::string fallback) const;
+
+  /// Adds a child and returns a reference to it (ownership stays here).
+  Component& add_child(std::string name, ComponentKind kind);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Component>>& children()
+      const {
+    return children_;
+  }
+
+  // ---- traversals backing the three dashboard views ----
+
+  /// Path from this component up to the root (focus view extension).
+  [[nodiscard]] std::vector<const Component*> path_to_root() const;
+
+  /// This component and all descendants, pre-order (subtree view).
+  [[nodiscard]] std::vector<const Component*> subtree() const;
+
+  /// All descendants (including self) of the given kind (level view).
+  [[nodiscard]] std::vector<const Component*> find_all(
+      ComponentKind kind) const;
+
+  /// First descendant (including self) with the given name, or nullptr.
+  [[nodiscard]] const Component* find_by_name(std::string_view name) const;
+
+  /// Pre-order visit.
+  void visit(const std::function<void(const Component&)>& fn) const;
+
+  /// Depth from root (root is 0); levels in the KB tree.
+  [[nodiscard]] int depth() const;
+
+  /// "node0/socket0/core3/thread3" style path (names joined by '/').
+  [[nodiscard]] std::string path() const;
+
+ private:
+  std::string name_;
+  ComponentKind kind_;
+  Component* parent_ = nullptr;
+  std::map<std::string, std::string> properties_;
+  std::vector<std::unique_ptr<Component>> children_;
+};
+
+}  // namespace pmove::topology

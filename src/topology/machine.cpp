@@ -1,0 +1,267 @@
+#include "topology/machine.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/strings.hpp"
+
+namespace pmove::topology {
+
+std::string_view to_string(Vendor vendor) {
+  switch (vendor) {
+    case Vendor::kIntel: return "Intel";
+    case Vendor::kAmd: return "AMD";
+    case Vendor::kOther: return "Other";
+  }
+  return "Other";
+}
+
+std::string_view to_string(Microarch uarch) {
+  switch (uarch) {
+    case Microarch::kSkylakeX: return "Skylake X";
+    case Microarch::kIceLake: return "Ice Lake";
+    case Microarch::kCascadeLake: return "Cascade Lake";
+    case Microarch::kZen3: return "Zen3";
+    case Microarch::kGeneric: return "Generic";
+  }
+  return "Generic";
+}
+
+std::string_view to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse: return "sse";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+int lanes_per_vector(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return 1;
+    case Isa::kSse: return 2;
+    case Isa::kAvx2: return 4;
+    case Isa::kAvx512: return 8;
+  }
+  return 1;
+}
+
+double IsaThroughput::at(Isa isa) const {
+  switch (isa) {
+    case Isa::kScalar: return scalar;
+    case Isa::kSse: return sse;
+    case Isa::kAvx2: return avx2;
+    case Isa::kAvx512: return avx512;
+  }
+  return 0.0;
+}
+
+double MachineSpec::dram_bytes_per_cycle_per_core() const {
+  if (cores_per_socket <= 0 || base_ghz <= 0.0) return 0.0;
+  const double bytes_per_sec = dram_gbs_per_socket * 1e9;
+  const double cycles_per_sec = base_ghz * 1e9;
+  return bytes_per_sec / cycles_per_sec / cores_per_socket;
+}
+
+namespace {
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMiB = 1024 * kKiB;
+constexpr std::size_t kGiB = 1024 * kMiB;
+
+MachineSpec make_skx() {
+  MachineSpec m;
+  m.hostname = "skx";
+  m.os = "Ubuntu 20.04.3 LTS x86_64";
+  m.kernel = "5.15.0-73-generic";
+  m.cpu_model = "Intel Xeon Gold 6152 @3.7GHz x2";
+  m.vendor = Vendor::kIntel;
+  m.uarch = Microarch::kSkylakeX;
+  m.sockets = 2;
+  m.cores_per_socket = 22;
+  m.threads_per_core = 2;
+  m.numa_per_socket = 1;
+  m.base_ghz = 2.1;  // base clock; 3.7 is max turbo
+  m.memory_bytes = 1024 * kGiB;
+  m.memory_mhz = 2666;
+  m.dram_gbs_per_socket = 6 * 2.666 * 8;  // 6 channels DDR4-2666
+  m.cache_levels = {
+      {"L1", 32 * kKiB, 128.0, false},
+      {"L2", 1 * kMiB, 52.0, false},
+      {"L3", 30 * kMiB + 256 * kKiB, 15.0, true},
+  };
+  // Two AVX-512 FMA units per core.
+  m.isa = {4.0, 8.0, 16.0, 32.0};
+  m.disks = {{"sda", 2048ULL * kGiB, "INTEL SSDSC2KB"},
+             {"sdb", 2048ULL * kGiB, "INTEL SSDSC2KB"},
+             {"sdc", 4096ULL * kGiB, "ST4000NM0025"},
+             {"sdd", 4096ULL * kGiB, "ST4000NM0025"}};
+  m.nics = {{"eno1", 100.0}};
+  return m;
+}
+
+MachineSpec make_icl() {
+  MachineSpec m;
+  m.hostname = "icl";
+  m.os = "Linux Mint 21.1 x86_64";
+  m.kernel = "5.15.0-56-generic";
+  m.cpu_model = "Intel i9-11900K @5.1GHz";
+  m.vendor = Vendor::kIntel;
+  m.uarch = Microarch::kIceLake;
+  m.sockets = 1;
+  m.cores_per_socket = 8;
+  m.threads_per_core = 2;
+  m.numa_per_socket = 1;
+  m.base_ghz = 3.5;
+  m.memory_bytes = 64 * kGiB;
+  m.memory_mhz = 2133;
+  m.dram_gbs_per_socket = 2 * 2.133 * 8;  // 2 channels DDR4-2133
+  m.cache_levels = {
+      {"L1", 48 * kKiB, 96.0, false},
+      {"L2", 512 * kKiB, 48.0, false},
+      {"L3", 16 * kMiB, 18.0, true},
+  };
+  // One 512-bit FMA unit (fused from two 256-bit ports).
+  m.isa = {4.0, 8.0, 16.0, 16.0};
+  m.disks = {{"nvme0n1", 1024ULL * kGiB, "Samsung SSD 980"}};
+  m.nics = {{"enp5s0", 100.0}};
+  return m;
+}
+
+MachineSpec make_csl() {
+  MachineSpec m;
+  m.hostname = "csl";
+  m.os = "CentOS Linux release 7.9.2009 (Core) x86_64";
+  m.kernel = "3.10.0-1160.90.1.el7.x86_64";
+  m.cpu_model = "Intel Xeon Gold 6258R @2.7GHz";
+  m.vendor = Vendor::kIntel;
+  m.uarch = Microarch::kCascadeLake;
+  m.sockets = 1;
+  m.cores_per_socket = 28;
+  m.threads_per_core = 2;
+  m.numa_per_socket = 1;
+  m.base_ghz = 2.7;
+  m.memory_bytes = 64 * kGiB;
+  m.memory_mhz = 3200;
+  m.dram_gbs_per_socket = 6 * 3.2 * 8;  // 6 channels DDR4-3200
+  m.cache_levels = {
+      {"L1", 32 * kKiB, 128.0, false},
+      {"L2", 1 * kMiB, 52.0, false},
+      {"L3", 38 * kMiB + 512 * kKiB, 15.0, true},
+  };
+  m.isa = {4.0, 8.0, 16.0, 32.0};
+  m.disks = {{"sda", 1024ULL * kGiB, "SEAGATE ST1000NX"}};
+  m.nics = {{"em1", 100.0}};
+  return m;
+}
+
+MachineSpec make_zen3() {
+  MachineSpec m;
+  m.hostname = "zen3";
+  m.os = "Ubuntu 22.04.3 LTS x86_64";
+  m.kernel = "6.2.0-33-generic";
+  m.cpu_model = "AMD EPYC 7313 @3GHz";
+  m.vendor = Vendor::kAmd;
+  m.uarch = Microarch::kZen3;
+  m.sockets = 1;
+  m.cores_per_socket = 16;
+  m.threads_per_core = 2;
+  m.numa_per_socket = 1;
+  m.base_ghz = 3.0;
+  m.memory_bytes = 128 * kGiB;
+  m.memory_mhz = 2933;
+  m.dram_gbs_per_socket = 8 * 2.933 * 8;  // 8 channels DDR4-2933
+  m.cache_levels = {
+      {"L1", 32 * kKiB, 64.0, false},
+      {"L2", 512 * kKiB, 32.0, false},
+      {"L3", 128 * kMiB, 28.0, true},
+  };
+  // Two 256-bit FMA pipes; no AVX-512 on Zen3.
+  m.isa = {4.0, 8.0, 16.0, 0.0};
+  m.disks = {{"nvme0n1", 2048ULL * kGiB, "WD_BLACK SN850"}};
+  m.nics = {{"enp65s0", 100.0}};
+  return m;
+}
+
+}  // namespace
+
+Expected<MachineSpec> machine_preset(std::string_view name) {
+  const std::string key = strings::to_lower(name);
+  if (key == "skx") return make_skx();
+  if (key == "icl") return make_icl();
+  if (key == "csl") return make_csl();
+  if (key == "zen3") return make_zen3();
+  return Status::not_found("unknown machine preset: " + std::string(name));
+}
+
+std::vector<std::string> machine_preset_names() {
+  return {"skx", "icl", "csl", "zen3"};
+}
+
+MachineSpec probe_local_machine() {
+  MachineSpec m;
+  m.hostname = "localhost";
+  m.os = "Linux x86_64";
+  m.kernel = "unknown";
+  m.cpu_model = "Generic CPU";
+  m.vendor = Vendor::kOther;
+  m.uarch = Microarch::kGeneric;
+  m.sockets = 1;
+  m.cores_per_socket = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  m.threads_per_core = 1;
+  m.base_ghz = 2.0;
+  m.memory_bytes = 8ULL * kGiB;
+  m.memory_mhz = 2400;
+  m.dram_gbs_per_socket = 20.0;
+  m.cache_levels = {
+      {"L1", 32 * kKiB, 64.0, false},
+      {"L2", 512 * kKiB, 32.0, false},
+      {"L3", 8 * kMiB, 16.0, true},
+  };
+  m.isa = {2.0, 4.0, 8.0, 0.0};
+  m.nics = {{"eth0", 1000.0}};
+
+  // Best-effort enrichment from /proc and sysfs.
+  if (std::ifstream cpuinfo("/proc/cpuinfo"); cpuinfo) {
+    std::string line;
+    int processors = 0;
+    while (std::getline(cpuinfo, line)) {
+      if (strings::starts_with(line, "processor")) ++processors;
+      if (strings::starts_with(line, "model name") &&
+          m.cpu_model == "Generic CPU") {
+        auto pos = line.find(':');
+        if (pos != std::string::npos) {
+          m.cpu_model = std::string(strings::trim(line.substr(pos + 1)));
+          const std::string lower = strings::to_lower(m.cpu_model);
+          if (lower.find("intel") != std::string::npos) {
+            m.vendor = Vendor::kIntel;
+          } else if (lower.find("amd") != std::string::npos) {
+            m.vendor = Vendor::kAmd;
+          }
+        }
+      }
+    }
+    if (processors > 0) m.cores_per_socket = processors;
+  }
+  if (std::ifstream version("/proc/sys/kernel/osrelease"); version) {
+    std::getline(version, m.kernel);
+  }
+  if (std::ifstream meminfo("/proc/meminfo"); meminfo) {
+    std::string line;
+    while (std::getline(meminfo, line)) {
+      if (strings::starts_with(line, "MemTotal:")) {
+        std::istringstream iss(line.substr(9));
+        std::size_t kb = 0;
+        iss >> kb;
+        if (kb > 0) m.memory_bytes = kb * kKiB;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace pmove::topology

@@ -1,0 +1,126 @@
+// Machine specifications.
+//
+// A MachineSpec is the declarative description of a target platform: CPU
+// model/topology, cache hierarchy with sustainable bandwidths, per-ISA FP
+// throughput, memory, disks, NICs and GPUs.  The paper probes real machines
+// (lshw, likwid-topology, cpuid, libpfm4); here the same information comes
+// from a preset registry covering the paper's four targets (Table II), plus
+// best-effort probing of the local host.  Everything downstream — the KB,
+// the PMU model, CARM roof construction — derives from a MachineSpec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace pmove::topology {
+
+enum class Vendor { kIntel, kAmd, kOther };
+std::string_view to_string(Vendor vendor);
+
+enum class Microarch {
+  kSkylakeX,
+  kIceLake,
+  kCascadeLake,
+  kZen3,
+  kGeneric,
+};
+std::string_view to_string(Microarch uarch);
+
+enum class Isa { kScalar, kSse, kAvx2, kAvx512 };
+std::string_view to_string(Isa isa);
+
+/// Width of one vector register in doubles.
+int lanes_per_vector(Isa isa);
+
+/// Peak double-precision FLOPs per cycle per core for each ISA extension
+/// (FMA counted as two FLOPs).  avx512 == 0 means the ISA is unsupported.
+struct IsaThroughput {
+  double scalar = 0.0;
+  double sse = 0.0;
+  double avx2 = 0.0;
+  double avx512 = 0.0;
+
+  [[nodiscard]] double at(Isa isa) const;
+  [[nodiscard]] bool supports(Isa isa) const { return at(isa) > 0.0; }
+};
+
+/// One level of the memory hierarchy as CARM sees it.
+struct MemLevelSpec {
+  std::string name;            ///< "L1", "L2", "L3", "DRAM"
+  std::size_t size_bytes = 0;  ///< capacity (0 for DRAM == spec.memory_bytes)
+  double bytes_per_cycle_per_core = 0.0;  ///< sustainable per-core bandwidth
+  bool shared = false;  ///< shared across the socket (L3, DRAM)
+};
+
+struct DiskSpec {
+  std::string name;      ///< "sda"
+  std::size_t bytes = 0;
+  std::string model;
+};
+
+struct NicSpec {
+  std::string name;  ///< "eth0"
+  double mbit = 0.0;
+};
+
+struct GpuSpec {
+  std::string name;   ///< "gpu0"
+  std::string model;  ///< "NVIDIA Quadro GV100"
+  std::size_t memory_bytes = 0;
+  int sm_count = 0;
+  int numa_node = 0;
+};
+
+struct MachineSpec {
+  std::string hostname;
+  std::string os;
+  std::string kernel;
+  std::string cpu_model;
+  Vendor vendor = Vendor::kOther;
+  Microarch uarch = Microarch::kGeneric;
+
+  int sockets = 1;
+  int cores_per_socket = 1;
+  int threads_per_core = 1;
+  int numa_per_socket = 1;
+  double base_ghz = 1.0;
+
+  std::size_t memory_bytes = 0;
+  int memory_mhz = 0;
+  double dram_gbs_per_socket = 0.0;  ///< sustainable DRAM bandwidth
+
+  /// L1..L3; size_bytes is per-core for private levels, per-socket for
+  /// shared ones.
+  std::vector<MemLevelSpec> cache_levels;
+
+  IsaThroughput isa;
+
+  std::vector<DiskSpec> disks;
+  std::vector<NicSpec> nics;
+  std::vector<GpuSpec> gpus;
+
+  std::string pcp_version = "pcp 5.3.6-1";
+
+  [[nodiscard]] int total_cores() const { return sockets * cores_per_socket; }
+  [[nodiscard]] int total_threads() const {
+    return total_cores() * threads_per_core;
+  }
+  [[nodiscard]] int total_numa() const { return sockets * numa_per_socket; }
+  /// DRAM bandwidth expressed as bytes/cycle/core (used by CARM).
+  [[nodiscard]] double dram_bytes_per_cycle_per_core() const;
+};
+
+/// Preset registry.  Names: "skx", "icl", "csl", "zen3" (Table II).
+Expected<MachineSpec> machine_preset(std::string_view name);
+std::vector<std::string> machine_preset_names();
+
+/// Best-effort probe of the machine we are actually running on (reads
+/// /proc/cpuinfo and sysfs).  Falls back to a generic spec on failure;
+/// never errors — probing must not block KB construction.
+MachineSpec probe_local_machine();
+
+}  // namespace pmove::topology

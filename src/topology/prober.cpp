@@ -1,0 +1,345 @@
+#include "topology/prober.hpp"
+
+#include <cinttypes>
+
+#include "util/strings.hpp"
+
+namespace pmove::topology {
+
+namespace {
+
+std::string human_bytes(std::size_t bytes) {
+  constexpr std::size_t kKiB = 1024;
+  constexpr std::size_t kMiB = 1024 * kKiB;
+  constexpr std::size_t kGiB = 1024 * kMiB;
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    return std::to_string(bytes / kGiB) + " GiB";
+  }
+  if (bytes >= kMiB) return std::to_string(bytes / kMiB) + " MiB";
+  if (bytes >= kKiB) return std::to_string(bytes / kKiB) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+}  // namespace
+
+std::unique_ptr<Component> build_component_tree(const MachineSpec& spec) {
+  auto root =
+      std::make_unique<Component>(spec.hostname, ComponentKind::kSystem);
+  root->set_property("os", spec.os);
+  root->set_property("kernel", spec.kernel);
+
+  Component& node = root->add_child("node0", ComponentKind::kNode);
+  node.set_property("cpu_model", spec.cpu_model);
+  node.set_property("vendor", std::string(to_string(spec.vendor)));
+  node.set_property("uarch", std::string(to_string(spec.uarch)));
+
+  int global_core = 0;
+  int global_thread = 0;
+  int global_numa = 0;
+  for (int s = 0; s < spec.sockets; ++s) {
+    Component& socket =
+        node.add_child("socket" + std::to_string(s), ComponentKind::kSocket);
+    socket.set_property("base_ghz",
+                        strings::format_double(spec.base_ghz, 2));
+
+    // Shared caches (L3) live at socket level.
+    for (const auto& level : spec.cache_levels) {
+      if (!level.shared) continue;
+      Component& cache = socket.add_child(
+          strings::to_lower(level.name) + "_s" + std::to_string(s),
+          ComponentKind::kCache);
+      cache.set_property("level", level.name);
+      cache.set_property("size", human_bytes(level.size_bytes));
+      cache.set_property("size_bytes", std::to_string(level.size_bytes));
+      cache.set_property("shared", "true");
+    }
+
+    for (int n = 0; n < spec.numa_per_socket; ++n, ++global_numa) {
+      Component& numa = socket.add_child(
+          "numanode" + std::to_string(global_numa), ComponentKind::kNumaNode);
+      Component& mem = numa.add_child(
+          "mem" + std::to_string(global_numa), ComponentKind::kMemory);
+      const std::size_t numa_bytes =
+          spec.memory_bytes / static_cast<std::size_t>(spec.total_numa());
+      mem.set_property("size", human_bytes(numa_bytes));
+      mem.set_property("size_bytes", std::to_string(numa_bytes));
+      mem.set_property("mhz", std::to_string(spec.memory_mhz));
+
+      const int cores_per_numa = spec.cores_per_socket / spec.numa_per_socket;
+      for (int c = 0; c < cores_per_numa; ++c, ++global_core) {
+        Component& core = numa.add_child(
+            "core" + std::to_string(global_core), ComponentKind::kCore);
+        // Private caches (L1/L2) live at core level.
+        for (const auto& level : spec.cache_levels) {
+          if (level.shared) continue;
+          Component& cache = core.add_child(
+              strings::to_lower(level.name) + "_c" +
+                  std::to_string(global_core),
+              ComponentKind::kCache);
+          cache.set_property("level", level.name);
+          cache.set_property("size", human_bytes(level.size_bytes));
+          cache.set_property("size_bytes", std::to_string(level.size_bytes));
+          cache.set_property("shared", "false");
+        }
+        for (int t = 0; t < spec.threads_per_core; ++t, ++global_thread) {
+          // Linux-style numbering: first thread of core k is cpu k; the
+          // hyperthread siblings come after all physical cores.
+          const int cpu_id =
+              t == 0 ? global_core : spec.total_cores() + global_core;
+          Component& thread = core.add_child("cpu" + std::to_string(cpu_id),
+                                             ComponentKind::kThread);
+          thread.set_property("smt", std::to_string(t));
+        }
+      }
+    }
+  }
+
+  for (const auto& disk : spec.disks) {
+    Component& d = node.add_child(disk.name, ComponentKind::kDisk);
+    d.set_property("model", disk.model);
+    d.set_property("size", human_bytes(disk.bytes));
+  }
+  for (const auto& nic : spec.nics) {
+    Component& n = node.add_child(nic.name, ComponentKind::kNic);
+    n.set_property("mbit", strings::format_double(nic.mbit, 0));
+  }
+  for (const auto& gpu : spec.gpus) {
+    Component& g = node.add_child(gpu.name, ComponentKind::kGpu);
+    g.set_property("model", gpu.model);
+    g.set_property("memory", std::to_string(gpu.memory_bytes / (1024 * 1024)) +
+                                 " Mb");
+    g.set_property("sm_count", std::to_string(gpu.sm_count));
+    g.set_property("numa_node", std::to_string(gpu.numa_node));
+  }
+  return root;
+}
+
+namespace {
+
+json::Value component_to_json(const Component& c) {
+  json::Object obj;
+  obj.set("name", c.name());
+  obj.set("kind", std::string(to_string(c.kind())));
+  if (!c.properties().empty()) {
+    json::Object props;
+    for (const auto& [k, v] : c.properties()) props.set(k, v);
+    obj.set("properties", std::move(props));
+  }
+  if (!c.children().empty()) {
+    json::Array children;
+    children.reserve(c.children().size());
+    for (const auto& child : c.children()) {
+      children.push_back(component_to_json(*child));
+    }
+    obj.set("children", std::move(children));
+  }
+  return obj;
+}
+
+}  // namespace
+
+json::Value probe_report(const MachineSpec& spec) {
+  json::Object report;
+  json::Object machine;
+  machine.set("hostname", spec.hostname);
+  machine.set("os", spec.os);
+  machine.set("kernel", spec.kernel);
+  machine.set("cpu_model", spec.cpu_model);
+  machine.set("vendor", std::string(to_string(spec.vendor)));
+  machine.set("uarch", std::string(to_string(spec.uarch)));
+  machine.set("sockets", spec.sockets);
+  machine.set("cores_per_socket", spec.cores_per_socket);
+  machine.set("threads_per_core", spec.threads_per_core);
+  machine.set("numa_per_socket", spec.numa_per_socket);
+  machine.set("base_ghz", spec.base_ghz);
+  machine.set("memory_bytes", static_cast<std::int64_t>(spec.memory_bytes));
+  machine.set("memory_mhz", spec.memory_mhz);
+  machine.set("dram_gbs_per_socket", spec.dram_gbs_per_socket);
+  machine.set("pcp_version", spec.pcp_version);
+
+  json::Array caches;
+  for (const auto& level : spec.cache_levels) {
+    json::Object l;
+    l.set("name", level.name);
+    l.set("size_bytes", static_cast<std::int64_t>(level.size_bytes));
+    l.set("bytes_per_cycle_per_core", level.bytes_per_cycle_per_core);
+    l.set("shared", level.shared);
+    caches.push_back(std::move(l));
+  }
+  machine.set("cache_levels", std::move(caches));
+
+  json::Object isa;
+  isa.set("scalar", spec.isa.scalar);
+  isa.set("sse", spec.isa.sse);
+  isa.set("avx2", spec.isa.avx2);
+  isa.set("avx512", spec.isa.avx512);
+  machine.set("isa_flops_per_cycle", std::move(isa));
+
+  json::Array disks;
+  for (const auto& d : spec.disks) {
+    json::Object o;
+    o.set("name", d.name);
+    o.set("bytes", static_cast<std::int64_t>(d.bytes));
+    o.set("model", d.model);
+    disks.push_back(std::move(o));
+  }
+  machine.set("disks", std::move(disks));
+
+  json::Array nics;
+  for (const auto& n : spec.nics) {
+    json::Object o;
+    o.set("name", n.name);
+    o.set("mbit", n.mbit);
+    nics.push_back(std::move(o));
+  }
+  machine.set("nics", std::move(nics));
+
+  json::Array gpus;
+  for (const auto& g : spec.gpus) {
+    json::Object o;
+    o.set("name", g.name);
+    o.set("model", g.model);
+    o.set("memory_bytes", static_cast<std::int64_t>(g.memory_bytes));
+    o.set("sm_count", g.sm_count);
+    o.set("numa_node", g.numa_node);
+    gpus.push_back(std::move(o));
+  }
+  machine.set("gpus", std::move(gpus));
+
+  report.set("machine", std::move(machine));
+  auto tree = build_component_tree(spec);
+  report.set("topology", component_to_json(*tree));
+  return report;
+}
+
+Expected<MachineSpec> spec_from_report(const json::Value& report) {
+  const json::Value* machine = report.find("machine");
+  if (machine == nullptr || !machine->is_object()) {
+    return Status::parse_error("probe report missing 'machine' object");
+  }
+  const auto& mo = machine->as_object();
+  MachineSpec m;
+  auto str = [&mo](std::string_view key) {
+    const json::Value* v = mo.find(key);
+    return v != nullptr ? v->string_or("") : std::string();
+  };
+  auto num = [&mo](std::string_view key, double fallback) {
+    const json::Value* v = mo.find(key);
+    return v != nullptr ? v->double_or(fallback) : fallback;
+  };
+  m.hostname = str("hostname");
+  if (m.hostname.empty()) {
+    return Status::parse_error("probe report missing hostname");
+  }
+  m.os = str("os");
+  m.kernel = str("kernel");
+  m.cpu_model = str("cpu_model");
+  const std::string vendor = str("vendor");
+  m.vendor = vendor == "Intel" ? Vendor::kIntel
+             : vendor == "AMD" ? Vendor::kAmd
+                               : Vendor::kOther;
+  const std::string uarch = str("uarch");
+  if (uarch == "Skylake X") m.uarch = Microarch::kSkylakeX;
+  else if (uarch == "Ice Lake") m.uarch = Microarch::kIceLake;
+  else if (uarch == "Cascade Lake") m.uarch = Microarch::kCascadeLake;
+  else if (uarch == "Zen3") m.uarch = Microarch::kZen3;
+  else m.uarch = Microarch::kGeneric;
+
+  m.sockets = static_cast<int>(num("sockets", 1));
+  m.cores_per_socket = static_cast<int>(num("cores_per_socket", 1));
+  m.threads_per_core = static_cast<int>(num("threads_per_core", 1));
+  m.numa_per_socket = static_cast<int>(num("numa_per_socket", 1));
+  m.base_ghz = num("base_ghz", 1.0);
+  m.memory_bytes = static_cast<std::size_t>(num("memory_bytes", 0));
+  m.memory_mhz = static_cast<int>(num("memory_mhz", 0));
+  m.dram_gbs_per_socket = num("dram_gbs_per_socket", 0.0);
+  m.pcp_version = str("pcp_version");
+
+  if (const json::Value* caches = mo.find("cache_levels");
+      caches != nullptr && caches->is_array()) {
+    for (const auto& c : caches->as_array()) {
+      MemLevelSpec level;
+      level.name = c.find("name") ? c.find("name")->string_or("") : "";
+      level.size_bytes = static_cast<std::size_t>(
+          c.find("size_bytes") ? c.find("size_bytes")->int_or(0) : 0);
+      level.bytes_per_cycle_per_core =
+          c.find("bytes_per_cycle_per_core")
+              ? c.find("bytes_per_cycle_per_core")->double_or(0.0)
+              : 0.0;
+      level.shared = c.find("shared") && c.find("shared")->bool_or(false);
+      m.cache_levels.push_back(std::move(level));
+    }
+  }
+  if (const json::Value* isa = mo.find("isa_flops_per_cycle");
+      isa != nullptr && isa->is_object()) {
+    m.isa.scalar = isa->find("scalar")->double_or(0.0);
+    m.isa.sse = isa->find("sse")->double_or(0.0);
+    m.isa.avx2 = isa->find("avx2")->double_or(0.0);
+    m.isa.avx512 = isa->find("avx512")->double_or(0.0);
+  }
+  if (const json::Value* disks = mo.find("disks");
+      disks != nullptr && disks->is_array()) {
+    for (const auto& d : disks->as_array()) {
+      DiskSpec spec;
+      spec.name = d.find("name") ? d.find("name")->string_or("") : "";
+      spec.bytes = static_cast<std::size_t>(
+          d.find("bytes") ? d.find("bytes")->int_or(0) : 0);
+      spec.model = d.find("model") ? d.find("model")->string_or("") : "";
+      m.disks.push_back(std::move(spec));
+    }
+  }
+  if (const json::Value* nics = mo.find("nics");
+      nics != nullptr && nics->is_array()) {
+    for (const auto& n : nics->as_array()) {
+      NicSpec spec;
+      spec.name = n.find("name") ? n.find("name")->string_or("") : "";
+      spec.mbit = n.find("mbit") ? n.find("mbit")->double_or(0.0) : 0.0;
+      m.nics.push_back(std::move(spec));
+    }
+  }
+  if (const json::Value* gpus = mo.find("gpus");
+      gpus != nullptr && gpus->is_array()) {
+    for (const auto& g : gpus->as_array()) {
+      GpuSpec spec;
+      spec.name = g.find("name") ? g.find("name")->string_or("") : "";
+      spec.model = g.find("model") ? g.find("model")->string_or("") : "";
+      spec.memory_bytes = static_cast<std::size_t>(
+          g.find("memory_bytes") ? g.find("memory_bytes")->int_or(0) : 0);
+      spec.sm_count = static_cast<int>(
+          g.find("sm_count") ? g.find("sm_count")->int_or(0) : 0);
+      spec.numa_node = static_cast<int>(
+          g.find("numa_node") ? g.find("numa_node")->int_or(0) : 0);
+      m.gpus.push_back(std::move(spec));
+    }
+  }
+  return m;
+}
+
+namespace {
+
+void render_into(const Component& c, std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += c.name();
+  out += " [";
+  out += to_string(c.kind());
+  out += ']';
+  if (auto model = c.property_or("model", ""); !model.empty()) {
+    out += " (" + model + ")";
+  } else if (auto size = c.property_or("size", ""); !size.empty()) {
+    out += " (" + size + ")";
+  }
+  out += '\n';
+  for (const auto& child : c.children()) {
+    render_into(*child, out, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string render_tree(const Component& root) {
+  std::string out;
+  render_into(root, out, 0);
+  return out;
+}
+
+}  // namespace pmove::topology

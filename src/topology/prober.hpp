@@ -1,0 +1,40 @@
+// System prober.
+//
+// In the paper, probing runs on the target machine (lshw, likwid-topology,
+// cpuid, /sys/block, smartctl, libpfm4) and emits a JSON description that is
+// copied back to the host to build the KB (Fig 3, steps 1-2).  Here the
+// prober expands a MachineSpec into the full component tree and serializes
+// it as the "probe report" JSON that the KB builder consumes, exercising the
+// same host-side code path.
+#pragma once
+
+#include <memory>
+
+#include "json/value.hpp"
+#include "topology/component.hpp"
+#include "topology/machine.hpp"
+
+namespace pmove::topology {
+
+/// Expands a machine spec into its component tree:
+///   system(hostname)
+///     node0
+///       socket0..S
+///         numa0..N (memory attached)
+///           core0..C (L1/L2 caches attached)
+///             thread0..T
+///       l3 per socket
+///       disks, nics, gpus at node level
+std::unique_ptr<Component> build_component_tree(const MachineSpec& spec);
+
+/// The "probe report": machine spec + component tree as one JSON document,
+/// the artifact shipped from target to host in Fig 3 step 2.
+json::Value probe_report(const MachineSpec& spec);
+
+/// Reconstructs a MachineSpec from a probe report (host side).
+Expected<MachineSpec> spec_from_report(const json::Value& report);
+
+/// Renders the component tree as an indented text diagram (Fig 1 style).
+std::string render_tree(const Component& root);
+
+}  // namespace pmove::topology

@@ -1,0 +1,80 @@
+// In-memory time-series database (InfluxDB 1.x substrate).
+//
+// Stores points per measurement, supports the query subset the KB generates
+// (Listing 3 of the paper):
+//
+//   SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"
+//     WHERE tag="278e26c2-..." [AND time >= a AND time <= b]
+//
+// plus aggregate selectors (mean/min/max/sum/count/stddev/first/last) needed
+// by SUPERDB's AGGObservationInterface, and a retention policy (Section V-B:
+// "we rely on the retention policy of InfluxDB").  Thread-safe writes: the
+// sampler pipeline inserts from its own thread.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsdb/point.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::tsdb {
+
+struct QueryResult {
+  /// "time" followed by the selected field names (or "agg(field)" labels).
+  std::vector<std::string> columns;
+  /// One row per matching point (or a single row for aggregate queries);
+  /// row[0] is the timestamp, NaN marks a missing field.
+  std::vector<std::vector<double>> rows;
+
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+};
+
+/// Retention policy: points older than `duration` (relative to the max time
+/// in the DB or an explicit "now") are dropped by enforce_retention().
+struct RetentionPolicy {
+  TimeNs duration = 0;  ///< 0 = keep forever
+};
+
+class TimeSeriesDb {
+ public:
+  TimeSeriesDb() = default;
+  explicit TimeSeriesDb(RetentionPolicy retention)
+      : retention_(retention) {}
+
+  Status write(Point point);
+  Status write_line(std::string_view line);
+
+  /// Executes a query string (see header comment for the grammar subset).
+  [[nodiscard]] Expected<QueryResult> query(std::string_view text) const;
+
+  /// Drops points older than the retention window; returns #dropped.
+  std::size_t enforce_retention(TimeNs now);
+
+  [[nodiscard]] std::vector<std::string> measurements() const;
+  [[nodiscard]] std::size_t point_count() const;
+  [[nodiscard]] std::size_t point_count(std::string_view measurement) const;
+
+  /// Total bytes written in line-protocol form (disk-usage accounting).
+  [[nodiscard]] std::size_t bytes_written() const { return bytes_written_; }
+
+  /// Recorded-data support (the paper monitors "live and/or recorded"
+  /// performance data): dump every point as line protocol, one per line,
+  /// and load such a file back (appending to current contents).
+  Status dump_to_file(const std::string& path) const;
+  Status load_from_file(const std::string& path);
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<Point>, std::less<>> series_;
+  RetentionPolicy retention_;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace pmove::tsdb

@@ -1,0 +1,34 @@
+// Time-series data point and line-protocol codec.
+//
+// Mirrors the InfluxDB 1.x data model the paper's KB queries target: a
+// point belongs to a measurement, carries a tag set (indexed metadata like
+// the observation UUID) and a field set (the sampled values, e.g. one field
+// per CPU: "_cpu0", "_cpu1", ...).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::tsdb {
+
+struct Point {
+  std::string measurement;
+  std::map<std::string, std::string> tags;
+  std::map<std::string, double> fields;
+  TimeNs time = 0;
+
+  /// InfluxDB line protocol:
+  ///   measurement,tag=v field1=1.5,field2=2 1690000000000000000
+  [[nodiscard]] std::string to_line() const;
+  static Expected<Point> from_line(std::string_view line);
+
+  /// Serialized size in bytes — the unit of network/disk accounting in the
+  /// resource model (Fig 6).
+  [[nodiscard]] std::size_t wire_size() const { return to_line().size(); }
+};
+
+}  // namespace pmove::tsdb

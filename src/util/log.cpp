@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace pmove {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (level < level_) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%s] %s: %s\n", tag, component.c_str(),
+               message.c_str());
+}
+
+}  // namespace pmove

@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// The daemon and agents log to stderr; tests raise the threshold to silence
+// output.  Thread-safe: each log call writes one formatted line atomically.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pmove {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug(std::string component) {
+  return {LogLevel::kDebug, std::move(component)};
+}
+inline detail::LogLine log_info(std::string component) {
+  return {LogLevel::kInfo, std::move(component)};
+}
+inline detail::LogLine log_warn(std::string component) {
+  return {LogLevel::kWarn, std::move(component)};
+}
+inline detail::LogLine log_error(std::string component) {
+  return {LogLevel::kError, std::move(component)};
+}
+
+}  // namespace pmove

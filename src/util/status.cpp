@@ -1,0 +1,28 @@
+#include "util/status.hpp"
+
+namespace pmove {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string out{pmove::to_string(code_)};
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace pmove

@@ -1,0 +1,122 @@
+// Lightweight Status / Expected error-handling primitives.
+//
+// P-MoVE is a long-running daemon: failures in probing, sampling or query
+// generation must be reportable without exceptions crossing module
+// boundaries.  Status carries an error code + message; Expected<T> carries
+// either a value or a Status.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pmove {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnavailable,
+  kParseError,
+  kInternal,
+  kUnsupported,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "not_found", ...).
+std::string_view to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+  static Status invalid_argument(std::string msg) {
+    return {ErrorCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {ErrorCode::kNotFound, std::move(msg)};
+  }
+  static Status already_exists(std::string msg) {
+    return {ErrorCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status out_of_range(std::string msg) {
+    return {ErrorCode::kOutOfRange, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {ErrorCode::kUnavailable, std::move(msg)};
+  }
+  static Status parse_error(std::string msg) {
+    return {ErrorCode::kParseError, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {ErrorCode::kInternal, std::move(msg)};
+  }
+  static Status unsupported(std::string msg) {
+    return {ErrorCode::kUnsupported, std::move(msg)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status result.  Deliberately minimal: the only accessors are
+/// checked (assert in debug) so misuse is loud.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}           // NOLINT implicit
+  Expected(Status status) : status_(std::move(status)) {    // NOLINT implicit
+    assert(!status_.is_ok() && "Expected constructed from OK status");
+  }
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pmove

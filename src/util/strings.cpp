@@ -1,0 +1,110 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace pmove::strings {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_trimmed(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (const auto& part : split(text, sep)) {
+    std::string_view t = trim(part);
+    if (!t.empty()) out.emplace_back(t);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string to_upper(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      break;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*E", precision, value);
+  return buf;
+}
+
+}  // namespace pmove::strings

@@ -1,0 +1,41 @@
+// Small string helpers shared across modules (no locale surprises, ASCII
+// semantics — metric names, event names and config files are all ASCII).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmove::strings {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on a character, dropping empty fields and trimming whitespace.
+std::vector<std::string> split_trimmed(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Join parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// printf-style double with fixed precision, e.g. format_double(1.5, 2) ==
+/// "1.50".
+std::string format_double(double value, int precision);
+
+/// Scientific notation matching the paper's tables, e.g. "7.04E+03".
+std::string format_sci(double value, int precision = 2);
+
+}  // namespace pmove::strings

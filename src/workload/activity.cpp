@@ -1,0 +1,121 @@
+#include "workload/activity.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pmove::workload {
+
+std::string_view to_string(Quantity q) {
+  switch (q) {
+    case Quantity::kCycles: return "cycles";
+    case Quantity::kInstructions: return "instructions";
+    case Quantity::kUops: return "uops";
+    case Quantity::kScalarFlops: return "scalar_flops";
+    case Quantity::kSseFlops: return "sse_flops";
+    case Quantity::kAvx2Flops: return "avx2_flops";
+    case Quantity::kAvx512Flops: return "avx512_flops";
+    case Quantity::kLoads: return "loads";
+    case Quantity::kStores: return "stores";
+    case Quantity::kL1Miss: return "l1_miss";
+    case Quantity::kL2Miss: return "l2_miss";
+    case Quantity::kL3Miss: return "l3_miss";
+    case Quantity::kL3Access: return "l3_access";
+    case Quantity::kBranches: return "branches";
+    case Quantity::kBranchMisses: return "branch_misses";
+    case Quantity::kEnergyPkgJoules: return "energy_pkg_j";
+    case Quantity::kEnergyDramJoules: return "energy_dram_j";
+    case Quantity::kCount_: break;
+  }
+  return "unknown";
+}
+
+double Phase::cpu_share(int cpu) const {
+  auto it = std::find(cpus.begin(), cpus.end(), cpu);
+  if (it == cpus.end()) return 0.0;
+  if (cpu_weights.empty()) {
+    return cpus.empty() ? 0.0 : 1.0 / static_cast<double>(cpus.size());
+  }
+  return cpu_weights[static_cast<std::size_t>(it - cpus.begin())];
+}
+
+ActivityTrace::ActivityTrace(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {}
+
+TimeNs ActivityTrace::start() const {
+  return phases_.empty() ? 0 : phases_.front().start;
+}
+
+TimeNs ActivityTrace::end() const {
+  return phases_.empty() ? 0 : phases_.back().end;
+}
+
+double ActivityTrace::cumulative(Quantity q, int cpu, TimeNs t) const {
+  double sum = 0.0;
+  for (const Phase& phase : phases_) {
+    if (t <= phase.start) break;
+    const double share = phase.cpu_share(cpu);
+    if (share == 0.0) continue;
+    const double phase_total = phase.totals.get(q) * share;
+    if (t >= phase.end || phase.duration() <= 0) {
+      sum += phase_total;
+    } else {
+      const double frac = static_cast<double>(t - phase.start) /
+                          static_cast<double>(phase.duration());
+      sum += phase_total * frac;
+    }
+  }
+  return sum;
+}
+
+double ActivityTrace::cumulative_all(Quantity q, TimeNs t) const {
+  double sum = 0.0;
+  for (const Phase& phase : phases_) {
+    if (t <= phase.start) break;
+    const double phase_total = phase.totals.get(q);
+    if (t >= phase.end || phase.duration() <= 0) {
+      sum += phase_total;
+    } else {
+      const double frac = static_cast<double>(t - phase.start) /
+                          static_cast<double>(phase.duration());
+      sum += phase_total * frac;
+    }
+  }
+  return sum;
+}
+
+double ActivityTrace::total(Quantity q) const {
+  double sum = 0.0;
+  for (const Phase& phase : phases_) sum += phase.totals.get(q);
+  return sum;
+}
+
+double ActivityTrace::total_for_cpu(Quantity q, int cpu) const {
+  double sum = 0.0;
+  for (const Phase& phase : phases_) {
+    sum += phase.totals.get(q) * phase.cpu_share(cpu);
+  }
+  return sum;
+}
+
+TimeNs TraceBuilder::add_phase(std::string name, TimeNs duration,
+                               std::vector<int> cpus, QuantitySet totals,
+                               std::vector<double> weights) {
+  assert(duration >= 0);
+  assert(weights.empty() || weights.size() == cpus.size());
+  Phase phase;
+  phase.name = std::move(name);
+  phase.start = cursor_;
+  phase.end = cursor_ + duration;
+  phase.cpus = std::move(cpus);
+  phase.totals = totals;
+  phase.cpu_weights = std::move(weights);
+  cursor_ = phase.end;
+  phases_.push_back(std::move(phase));
+  return phases_.back().start;
+}
+
+ActivityTrace TraceBuilder::build() && {
+  return ActivityTrace(std::move(phases_));
+}
+
+}  // namespace pmove::workload

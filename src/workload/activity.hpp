@@ -1,0 +1,149 @@
+// Activity traces: the ground-truth substrate behind the simulated PMUs.
+//
+// On a real system, PMUs count micro-architectural events produced by the
+// running code.  Here, workloads (instrumented kernels, SpMV runs, synthetic
+// phases) publish an ActivityTrace: a timeline of phases, each with exact
+// per-quantity totals distributed over the participating CPUs.  The
+// simulated PMU integrates the trace to answer "what is the cumulative count
+// of event E on cpu C at time t?" — ground truth is exact by construction,
+// which is precisely what Fig 4 of the paper needs (likwid-bench plays this
+// role there).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::workload {
+
+/// Micro-architectural quantities a workload can produce.  FLOP quantities
+/// are in FLOPs (not instructions); loads/stores are instruction counts;
+/// energy is in joules.
+enum class Quantity : std::uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kUops,
+  kScalarFlops,
+  kSseFlops,
+  kAvx2Flops,
+  kAvx512Flops,
+  kLoads,
+  kStores,
+  kL1Miss,
+  kL2Miss,
+  kL3Miss,
+  kL3Access,
+  kBranches,
+  kBranchMisses,
+  kEnergyPkgJoules,
+  kEnergyDramJoules,
+  kCount_,  // sentinel
+};
+
+constexpr std::size_t kQuantityCount = static_cast<std::size_t>(
+    Quantity::kCount_);
+
+std::string_view to_string(Quantity q);
+
+/// Totals for one phase, summed over all participating CPUs.
+class QuantitySet {
+ public:
+  [[nodiscard]] double get(Quantity q) const {
+    return values_[static_cast<std::size_t>(q)];
+  }
+  void set(Quantity q, double v) { values_[static_cast<std::size_t>(q)] = v; }
+  void add(Quantity q, double v) { values_[static_cast<std::size_t>(q)] += v; }
+
+  /// Total FLOPs across all ISA classes.
+  [[nodiscard]] double total_flops() const {
+    return get(Quantity::kScalarFlops) + get(Quantity::kSseFlops) +
+           get(Quantity::kAvx2Flops) + get(Quantity::kAvx512Flops);
+  }
+
+  QuantitySet& operator+=(const QuantitySet& other) {
+    for (std::size_t i = 0; i < kQuantityCount; ++i) {
+      values_[i] += other.values_[i];
+    }
+    return *this;
+  }
+
+ private:
+  std::array<double, kQuantityCount> values_{};
+};
+
+/// One contiguous span of activity: [start, end) with totals spread evenly
+/// over `cpus` and evenly over time (rates are constant within a phase).
+struct Phase {
+  std::string name;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  std::vector<int> cpus;   ///< participating logical CPUs
+  QuantitySet totals;      ///< summed over all participating CPUs
+  /// Per-CPU share of the totals; empty means an even split.  When present,
+  /// must be the same length as `cpus` and sum to ~1 (used for modelling
+  /// load imbalance).
+  std::vector<double> cpu_weights;
+
+  [[nodiscard]] TimeNs duration() const { return end - start; }
+  [[nodiscard]] double cpu_share(int cpu) const;
+};
+
+/// An immutable timeline of phases.  Phases may not overlap in time on the
+/// same CPU (enforced by TraceBuilder).
+class ActivityTrace {
+ public:
+  ActivityTrace() = default;
+  explicit ActivityTrace(std::vector<Phase> phases);
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+  [[nodiscard]] TimeNs start() const;
+  [[nodiscard]] TimeNs end() const;
+
+  /// Cumulative count of `q` on `cpu` from trace start until time `t`
+  /// (linear interpolation inside phases).
+  [[nodiscard]] double cumulative(Quantity q, int cpu, TimeNs t) const;
+
+  /// Cumulative count of `q` summed across all CPUs until time `t`.
+  [[nodiscard]] double cumulative_all(Quantity q, TimeNs t) const;
+
+  /// Exact total of `q` over the whole trace (all CPUs).
+  [[nodiscard]] double total(Quantity q) const;
+
+  /// Exact total of `q` over the whole trace for one CPU.
+  [[nodiscard]] double total_for_cpu(Quantity q, int cpu) const;
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+/// Incremental trace construction; phases are appended in time order.
+class TraceBuilder {
+ public:
+  /// Starts the timeline at `origin`.
+  explicit TraceBuilder(TimeNs origin = 0) : cursor_(origin) {}
+
+  /// Appends a phase of `duration` on `cpus` with the given totals and
+  /// returns the phase start time.  Weights, when given, must match `cpus`.
+  TimeNs add_phase(std::string name, TimeNs duration, std::vector<int> cpus,
+                   QuantitySet totals, std::vector<double> weights = {});
+
+  /// Appends an idle gap (no activity).
+  void add_gap(TimeNs duration) { cursor_ += duration; }
+
+  [[nodiscard]] TimeNs cursor() const { return cursor_; }
+
+  [[nodiscard]] ActivityTrace build() &&;
+
+ private:
+  TimeNs cursor_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace pmove::workload

@@ -1,0 +1,40 @@
+#include "workload/counter_source.hpp"
+
+#include <cassert>
+
+namespace pmove::workload {
+
+LiveCounters::LiveCounters(int cpu_count)
+    : cpu_count_(cpu_count),
+      cells_(static_cast<std::size_t>(cpu_count) * kQuantityCount) {
+  assert(cpu_count > 0);
+  for (auto& cell : cells_) cell.store(0.0, std::memory_order_relaxed);
+}
+
+void LiveCounters::add(Quantity q, int cpu, double delta) {
+  if (cpu < 0 || cpu >= cpu_count_) return;
+  auto& cell = cells_[index(q, cpu)];
+  double current = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double LiveCounters::cumulative(Quantity q, int cpu, TimeNs /*t*/) const {
+  if (cpu < 0 || cpu >= cpu_count_) return 0.0;
+  return cells_[index(q, cpu)].load(std::memory_order_relaxed);
+}
+
+double LiveCounters::total(Quantity q) const {
+  double sum = 0.0;
+  for (int cpu = 0; cpu < cpu_count_; ++cpu) {
+    sum += cells_[index(q, cpu)].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void LiveCounters::reset() {
+  for (auto& cell : cells_) cell.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace pmove::workload

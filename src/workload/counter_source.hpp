@@ -1,0 +1,71 @@
+// Counter sources: where the simulated PMU gets its ground truth.
+//
+// Two implementations:
+//  - TraceSource wraps an ActivityTrace (post-hoc or synthetic timelines,
+//    virtual-time experiments);
+//  - LiveCounters is a bank of atomics that instrumented kernels bump while
+//    they run, so a sampler thread can observe genuinely concurrent progress
+//    (real interference, real variance — what Fig 5 measures).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "workload/activity.hpp"
+
+namespace pmove::workload {
+
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+  /// Cumulative count of `q` on `cpu` at time `t` (ns since source origin).
+  [[nodiscard]] virtual double cumulative(Quantity q, int cpu,
+                                          TimeNs t) const = 0;
+};
+
+/// Adapts an ActivityTrace.
+class TraceSource final : public CounterSource {
+ public:
+  explicit TraceSource(const ActivityTrace* trace) : trace_(trace) {}
+  [[nodiscard]] double cumulative(Quantity q, int cpu,
+                                  TimeNs t) const override {
+    return trace_ == nullptr ? 0.0 : trace_->cumulative(q, cpu, t);
+  }
+
+ private:
+  const ActivityTrace* trace_;
+};
+
+/// Live, thread-safe counter bank.  Ignores the query time: "cumulative so
+/// far" is whatever the workers have published.
+class LiveCounters final : public CounterSource {
+ public:
+  explicit LiveCounters(int cpu_count);
+
+  /// Adds `delta` to quantity `q` on `cpu` (relaxed; counters are
+  /// statistical).
+  void add(Quantity q, int cpu, double delta);
+
+  [[nodiscard]] double cumulative(Quantity q, int cpu,
+                                  TimeNs t) const override;
+
+  /// Exact total across all CPUs.
+  [[nodiscard]] double total(Quantity q) const;
+
+  void reset();
+
+  [[nodiscard]] int cpu_count() const { return cpu_count_; }
+
+ private:
+  [[nodiscard]] std::size_t index(Quantity q, int cpu) const {
+    return static_cast<std::size_t>(cpu) * kQuantityCount +
+           static_cast<std::size_t>(q);
+  }
+
+  int cpu_count_;
+  std::vector<std::atomic<double>> cells_;
+};
+
+}  // namespace pmove::workload

@@ -1,0 +1,35 @@
+// Shared power/energy model for instrumented workloads.
+//
+// RAPL-style package energy is charged per chunk of work:
+//   E = flops_scalar*e_s + flops_vector*e_v + bytes*e_b + P_static*t
+// Scalar FLOPs cost ~3x more energy than vector FLOPs — wide SIMD amortizes
+// front-end and scheduling energy — which is what makes scalar codes draw
+// more package power for the same useful work (paper, Fig 7 discussion).
+#pragma once
+
+namespace pmove::workload {
+
+struct PowerModel {
+  double joules_per_scalar_flop = 1.1e-9;
+  double joules_per_vector_flop = 0.35e-9;
+  double joules_per_byte = 0.25e-10;
+  double static_watts_per_core = 6.0;
+  /// DRAM energy per byte that misses the last-level cache.
+  double dram_joules_per_byte = 4.0e-10;
+
+  [[nodiscard]] double chunk_energy(double scalar_flops, double vector_flops,
+                                    double streamed_bytes,
+                                    double seconds) const {
+    return scalar_flops * joules_per_scalar_flop +
+           vector_flops * joules_per_vector_flop +
+           streamed_bytes * joules_per_byte +
+           static_watts_per_core * seconds;
+  }
+};
+
+inline const PowerModel& default_power_model() {
+  static const PowerModel model;
+  return model;
+}
+
+}  // namespace pmove::workload

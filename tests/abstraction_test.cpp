@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "abstraction/formula.hpp"
+#include "abstraction/layer.hpp"
+#include "pmu/events.hpp"
+
+namespace pmove::abstraction {
+namespace {
+
+Expected<double> resolve_from(const std::map<std::string, double>& values,
+                              std::string_view event) {
+  auto it = values.find(std::string(event));
+  if (it == values.end()) {
+    return Status::not_found("no value for " + std::string(event));
+  }
+  return it->second;
+}
+
+// --------------------------------------------------------------- formulas
+
+TEST(FormulaTest, SingleEvent) {
+  auto f = Formula::parse("RAPL_ENERGY_PKG");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->tokens(), std::vector<std::string>{"RAPL_ENERGY_PKG"});
+  EXPECT_EQ(f->hw_events(), std::vector<std::string>{"RAPL_ENERGY_PKG"});
+  auto v = f->evaluate([](std::string_view) -> Expected<double> {
+    return 42.0;
+  });
+  EXPECT_DOUBLE_EQ(*v, 42.0);
+}
+
+TEST(FormulaTest, PaperExampleTokens) {
+  // pmu_utils.get("skl", "TOTAL_MEMORY_OPERATIONS") returns
+  // ["MEM_INST_RETIRED:ALL_LOADS", "+", "MEM_INST_RETIRED:ALL_STORES"].
+  auto f = Formula::parse(
+      "MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->tokens(),
+            (std::vector<std::string>{"MEM_INST_RETIRED:ALL_LOADS", "+",
+                                      "MEM_INST_RETIRED:ALL_STORES"}));
+}
+
+TEST(FormulaTest, ArithmeticPrecedence) {
+  auto f = Formula::parse("A + B * 2");
+  std::map<std::string, double> values{{"A", 10}, {"B", 5}};
+  auto v = f->evaluate([&](std::string_view e) {
+    return resolve_from(values, e);
+  });
+  EXPECT_DOUBLE_EQ(*v, 20.0);
+}
+
+TEST(FormulaTest, ParenthesesOverridePrecedence) {
+  auto f = Formula::parse("(A + B) * 2");
+  std::map<std::string, double> values{{"A", 10}, {"B", 5}};
+  auto v = f->evaluate([&](std::string_view e) {
+    return resolve_from(values, e);
+  });
+  EXPECT_DOUBLE_EQ(*v, 30.0);
+}
+
+TEST(FormulaTest, SubtractionAndDivision) {
+  auto f = Formula::parse("A - B / 4");
+  std::map<std::string, double> values{{"A", 10}, {"B", 8}};
+  auto v = f->evaluate([&](std::string_view e) {
+    return resolve_from(values, e);
+  });
+  EXPECT_DOUBLE_EQ(*v, 8.0);
+}
+
+TEST(FormulaTest, DivisionByZeroYieldsZero) {
+  auto f = Formula::parse("A / B");
+  std::map<std::string, double> values{{"A", 10}, {"B", 0}};
+  auto v = f->evaluate([&](std::string_view e) {
+    return resolve_from(values, e);
+  });
+  EXPECT_DOUBLE_EQ(*v, 0.0);
+}
+
+TEST(FormulaTest, FloatingConstants) {
+  auto f = Formula::parse("A * 0.5 + 1.25");
+  std::map<std::string, double> values{{"A", 8}};
+  auto v = f->evaluate([&](std::string_view e) {
+    return resolve_from(values, e);
+  });
+  EXPECT_DOUBLE_EQ(*v, 5.25);
+}
+
+TEST(FormulaTest, HwEventsDeduplicated) {
+  auto f = Formula::parse("A + A * B");
+  EXPECT_EQ(f->hw_events(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(FormulaTest, UnsupportedMarker) {
+  auto f = Formula::parse("unsupported");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->unsupported());
+  auto v = f->evaluate([](std::string_view) -> Expected<double> {
+    return 0.0;
+  });
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.status().code(), ErrorCode::kUnsupported);
+}
+
+TEST(FormulaTest, ParseErrors) {
+  for (const char* bad : {"", "+ A", "A +", "A B", "(A", "A)", "A @ B",
+                          "* 5", "A + ()"}) {
+    auto f = Formula::parse(bad);
+    EXPECT_FALSE(f.has_value()) << "should reject: " << bad;
+  }
+}
+
+TEST(FormulaTest, ResolverErrorPropagates) {
+  auto f = Formula::parse("A + B");
+  std::map<std::string, double> values{{"A", 1}};
+  auto v = f->evaluate([&](std::string_view e) {
+    return resolve_from(values, e);
+  });
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FormulaTest, ToStringJoinsTokens) {
+  auto f = Formula::parse("A+B*2");
+  EXPECT_EQ(f->to_string(), "A + B * 2");
+}
+
+
+TEST(FormulaTest, DeeplyNestedParentheses) {
+  std::string expr;
+  for (int i = 0; i < 50; ++i) expr += "(";
+  expr += "A";
+  for (int i = 0; i < 50; ++i) expr += " + 1)";
+  auto f = Formula::parse(expr);
+  ASSERT_TRUE(f.has_value());
+  auto v = f->evaluate([](std::string_view) -> Expected<double> {
+    return 0.0;
+  });
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 50.0);
+}
+
+TEST(FormulaTest, LongChainAssociatesLeft) {
+  std::string expr = "A";
+  for (int i = 0; i < 200; ++i) expr += " - A";
+  auto f = Formula::parse(expr);
+  ASSERT_TRUE(f.has_value());
+  auto v = f->evaluate([](std::string_view) -> Expected<double> {
+    return 1.0;
+  });
+  EXPECT_DOUBLE_EQ(*v, 1.0 - 200.0);
+}
+
+// ------------------------------------------------------------ config files
+
+TEST(ConfigTest, ParsesSectionsAndAliases) {
+  AbstractionLayer layer;
+  ASSERT_TRUE(layer
+                  .load_config(
+                      "# comment\n"
+                      "[skl | skx | skylake]\n"
+                      "TOTAL_MEMORY_OPERATIONS: MEM_INST_RETIRED:ALL_LOADS + "
+                      "MEM_INST_RETIRED:ALL_STORES\n"
+                      "\n"
+                      "[zen3]\n"
+                      "TOTAL_MEMORY_OPERATIONS: LS_DISPATCH:STORE_DISPATCH + "
+                      "LS_DISPATCH:LD_DISPATCH\n")
+                  .is_ok());
+  // Canonical name and both aliases resolve.
+  for (const char* pmu : {"skl", "skx", "skylake"}) {
+    auto f = layer.get(pmu, "TOTAL_MEMORY_OPERATIONS");
+    ASSERT_TRUE(f.has_value()) << pmu;
+    EXPECT_EQ(f->hw_events().front(), "MEM_INST_RETIRED:ALL_LOADS");
+  }
+  auto zen = layer.get("zen3", "TOTAL_MEMORY_OPERATIONS");
+  EXPECT_EQ(zen->hw_events().front(), "LS_DISPATCH:STORE_DISPATCH");
+}
+
+TEST(ConfigTest, PaperGetExample) {
+  // The exact example from Section IV-A.
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  auto f = layer.get("skl", "TOTAL_MEMORY_OPERATIONS");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->tokens(),
+            (std::vector<std::string>{"MEM_INST_RETIRED:ALL_LOADS", "+",
+                                      "MEM_INST_RETIRED:ALL_STORES"}));
+}
+
+TEST(ConfigTest, RejectsMalformedConfigs) {
+  AbstractionLayer layer;
+  EXPECT_FALSE(layer.load_config("[unterminated\nX: Y\n").is_ok());
+  EXPECT_FALSE(layer.load_config("X: Y\n").is_ok());  // mapping before section
+  EXPECT_FALSE(layer.load_config("[p]\nno_colon_line\n").is_ok());
+  EXPECT_FALSE(layer.load_config("[p]\n: EMPTY_GENERIC\n").is_ok());
+  EXPECT_FALSE(layer.load_config("[]\nX: Y\n").is_ok());
+}
+
+TEST(ConfigTest, LaterSectionsOverride) {
+  AbstractionLayer layer;
+  ASSERT_TRUE(layer.load_config("[p]\nX: A\n[p]\nX: B\n").is_ok());
+  EXPECT_EQ(layer.get("p", "X")->hw_events().front(), "B");
+}
+
+// --------------------------------------------------------- builtin configs
+
+TEST(BuiltinTest, CoversCommonEventsOnAllPlatforms) {
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  for (const char* pmu : {"skx", "csl", "icl", "zen3"}) {
+    for (const auto& generic : common_generic_events()) {
+      auto f = layer.get(pmu, generic);
+      EXPECT_TRUE(f.has_value())
+          << generic << " missing on " << pmu << ": "
+          << f.status().to_string();
+    }
+  }
+}
+
+TEST(BuiltinTest, ValidatesAgainstEventTables) {
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  EXPECT_TRUE(
+      layer.validate("skx", pmu::event_table(topology::Microarch::kSkylakeX))
+          .is_ok());
+  EXPECT_TRUE(
+      layer.validate("icl", pmu::event_table(topology::Microarch::kIceLake))
+          .is_ok());
+  EXPECT_TRUE(
+      layer.validate("zen3", pmu::event_table(topology::Microarch::kZen3))
+          .is_ok());
+}
+
+TEST(BuiltinTest, ValidateCatchesUnknownHwEvent) {
+  AbstractionLayer layer;
+  ASSERT_TRUE(layer.register_mapping("skx", "BOGUS", "NOT_A_REAL_EVENT")
+                  .is_ok());
+  EXPECT_FALSE(
+      layer.validate("skx", pmu::event_table(topology::Microarch::kSkylakeX))
+          .is_ok());
+}
+
+TEST(BuiltinTest, Table1VendorDifferences) {
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  // Energy: same name on both vendors.
+  EXPECT_TRUE(layer.supports("skx", "RAPL_ENERGY_PKG"));
+  EXPECT_TRUE(layer.supports("zen3", "RAPL_ENERGY_PKG"));
+  // Tot. Mem. Op.: different event names, both supported.
+  EXPECT_NE(layer.get("skx", "TOTAL_MEMORY_OPERATIONS")->to_string(),
+            layer.get("zen3", "TOTAL_MEMORY_OPERATIONS")->to_string());
+  // L3 Hit: Not Supported on Intel, available on AMD.
+  EXPECT_FALSE(layer.supports("skx", "L3_CACHE_HIT"));
+  EXPECT_TRUE(layer.supports("zen3", "L3_CACHE_HIT"));
+  // AVX-512 FLOPs: Intel only.
+  EXPECT_TRUE(layer.supports("skx", "FLOPS_AVX512_DP"));
+  EXPECT_FALSE(layer.supports("zen3", "FLOPS_AVX512_DP"));
+}
+
+TEST(BuiltinTest, GenericEventsListingIsSorted) {
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  auto generics = layer.generic_events("zen3");
+  EXPECT_FALSE(generics.empty());
+  EXPECT_TRUE(std::is_sorted(generics.begin(), generics.end()));
+  EXPECT_TRUE(layer.generic_events("nonexistent").empty());
+}
+
+TEST(BuiltinTest, PmusListsCanonicalNames) {
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  auto pmus = layer.pmus();
+  ASSERT_EQ(pmus.size(), 2u);  // one Intel table (aliased), one AMD
+  EXPECT_EQ(pmus[0], "skx");
+  EXPECT_EQ(pmus[1], "zen3");
+}
+
+TEST(LayerTest, MissingLookupsError) {
+  AbstractionLayer layer = AbstractionLayer::with_builtin_configs();
+  EXPECT_EQ(layer.get("nope", "X").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(layer.get("skx", "NOT_A_GENERIC").status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_FALSE(layer.supports("skx", "NOT_A_GENERIC"));
+  EXPECT_EQ(layer.validate("nope", pmu::event_table(
+                                        topology::Microarch::kSkylakeX))
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace pmove::abstraction

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/rootcause.hpp"
+#include "kb/kb.hpp"
+#include "topology/machine.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::analysis {
+namespace {
+
+void seed_series(tsdb::TimeSeriesDb& db, const std::string& measurement,
+                 const std::string& field,
+                 const std::vector<double>& values,
+                 const std::string& tag = "") {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    tsdb::Point p;
+    p.measurement = measurement;
+    p.time = static_cast<TimeNs>(i) * 1000;
+    p.fields[field] = values[i];
+    if (!tag.empty()) p.tags["tag"] = tag;
+    ASSERT_TRUE(db.write(std::move(p)).is_ok());
+  }
+}
+
+std::vector<double> steady_then_spike(int n, int spike_at, double spike) {
+  std::vector<double> values;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(i == spike_at ? spike : 100.0 + (i % 3));
+  }
+  return values;
+}
+
+// ---------------------------------------------------------- score_series
+
+TEST(ScoreSeriesTest, FlagsSpike) {
+  AnomalyConfig config;
+  config.window = 8;
+  auto values = steady_then_spike(40, 30, 500.0);
+  auto hits = score_series(values, config);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 30u);
+  EXPECT_GT(hits[0].second, config.z_threshold);
+}
+
+TEST(ScoreSeriesTest, FlagsNegativeDeviation) {
+  AnomalyConfig config;
+  config.window = 8;
+  auto values = steady_then_spike(40, 25, 1.0);
+  auto hits = score_series(values, config);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_LT(hits[0].second, -config.z_threshold);
+}
+
+TEST(ScoreSeriesTest, SteadySeriesIsClean) {
+  AnomalyConfig config;
+  auto values = steady_then_spike(60, -1, 0.0);
+  EXPECT_TRUE(score_series(values, config).empty());
+}
+
+TEST(ScoreSeriesTest, ShortSeriesIsClean) {
+  AnomalyConfig config;
+  config.window = 16;
+  std::vector<double> values(10, 1.0);
+  EXPECT_TRUE(score_series(values, config).empty());
+}
+
+TEST(ScoreSeriesTest, MinRelSigmaGuardsZeroVariance) {
+  // Constant baseline then a value 2% off: below the min_rel_sigma floor's
+  // threshold, it must not trigger with the default 1% floor and z=4.
+  AnomalyConfig config;
+  config.window = 8;
+  std::vector<double> values(20, 100.0);
+  values.push_back(102.0);  // 2% off, z against floored sigma = 2 < 4
+  EXPECT_TRUE(score_series(values, config).empty());
+  values.push_back(150.0);  // 50% off -> z = 50 with the 1% floor
+  EXPECT_EQ(score_series(values, config).size(), 1u);
+}
+
+// -------------------------------------------------------- detect_anomalies
+
+TEST(DetectTest, FindsSpikeInDb) {
+  tsdb::TimeSeriesDb db;
+  seed_series(db, "kernel_percpu_cpu_idle", "_cpu0",
+              steady_then_spike(50, 40, 900.0));
+  auto anomalies =
+      detect_anomalies(db, "kernel_percpu_cpu_idle", "_cpu0");
+  ASSERT_TRUE(anomalies.has_value());
+  ASSERT_EQ(anomalies->size(), 1u);
+  EXPECT_EQ(anomalies->front().time, 40 * 1000);
+  EXPECT_DOUBLE_EQ(anomalies->front().value, 900.0);
+  EXPECT_EQ(anomalies->front().measurement, "kernel_percpu_cpu_idle");
+}
+
+TEST(DetectTest, TagFilterRestricts) {
+  tsdb::TimeSeriesDb db;
+  seed_series(db, "m", "_cpu0", steady_then_spike(50, 40, 900.0), "run-a");
+  seed_series(db, "m", "_cpu0", steady_then_spike(50, -1, 0.0), "run-b");
+  auto run_a = detect_anomalies(db, "m", "_cpu0", "run-a");
+  auto run_b = detect_anomalies(db, "m", "_cpu0", "run-b");
+  EXPECT_EQ(run_a->size(), 1u);
+  EXPECT_TRUE(run_b->empty());
+}
+
+TEST(DetectTest, MissingMeasurementErrors) {
+  tsdb::TimeSeriesDb db;
+  EXPECT_FALSE(detect_anomalies(db, "absent", "_cpu0").has_value());
+}
+
+// -------------------------------------------------------------- root cause
+
+class RootCauseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = std::make_unique<kb::KnowledgeBase>(
+        kb::KnowledgeBase::build(topology::machine_preset("icl").value()));
+    // Healthy per-cpu series everywhere; a spike on cpu0's idle metric and
+    // a bigger one on the node-level load metric (the "root cause").
+    seed_series(db_, "kernel_percpu_cpu_idle", "_cpu0",
+                steady_then_spike(50, 40, 400.0));
+    seed_series(db_, "kernel_all_load", "",
+                steady_then_spike(50, 40, 2500.0));
+  }
+
+  // kernel_all_load is a node-level scalar metric with no FieldName; give
+  // it a field so the path walk can query it.
+  void seed_node_metric() {
+    for (int i = 0; i < 50; ++i) {
+      tsdb::Point p;
+      p.measurement = "kernel_all_load";
+      p.time = static_cast<TimeNs>(i) * 1000;
+      p.fields["_node"] = i == 40 ? 2500.0 : 1.0 + (i % 2);
+      ASSERT_TRUE(db_.write(std::move(p)).is_ok());
+    }
+  }
+
+  std::unique_ptr<kb::KnowledgeBase> kb_;
+  tsdb::TimeSeriesDb db_;
+};
+
+TEST_F(RootCauseTest, WalksPathToRoot) {
+  const auto* cpu0 = kb_->root().find_by_name("cpu0");
+  auto report = analyze_root_cause(*kb_, db_, *kb_->dtmi_for(*cpu0));
+  ASSERT_TRUE(report.has_value());
+  // cpu0 -> core0 -> numanode0 -> socket0 -> node0 -> system.
+  ASSERT_EQ(report->path.size(), 6u);
+  EXPECT_EQ(report->path.front().component, "cpu0");
+  EXPECT_EQ(report->path.front().depth, 0);
+  EXPECT_EQ(report->path.back().component, "icl");
+}
+
+TEST_F(RootCauseTest, FindsAnomalyOnFocusComponent) {
+  const auto* cpu0 = kb_->root().find_by_name("cpu0");
+  auto report = analyze_root_cause(*kb_, db_, *kb_->dtmi_for(*cpu0));
+  ASSERT_TRUE(report.has_value());
+  const auto& focus = report->path.front();
+  EXPECT_GT(focus.anomaly_count, 0);
+  EXPECT_EQ(focus.measurement, "kernel_percpu_cpu_idle");
+  EXPECT_GT(std::abs(focus.worst_score), 4.0);
+  auto ranked = report->ranked();
+  EXPECT_EQ(ranked.front().component, "cpu0");
+}
+
+TEST_F(RootCauseTest, RenderMentionsSuspect) {
+  const auto* cpu0 = kb_->root().find_by_name("cpu0");
+  auto report = analyze_root_cause(*kb_, db_, *kb_->dtmi_for(*cpu0));
+  const std::string text = report->render();
+  EXPECT_NE(text.find("prime suspect: cpu0"), std::string::npos);
+  EXPECT_NE(text.find("depth 0 cpu0"), std::string::npos);
+  EXPECT_NE(text.find("depth 5 icl"), std::string::npos);
+}
+
+TEST_F(RootCauseTest, UnknownDtmiErrors) {
+  EXPECT_FALSE(
+      analyze_root_cause(*kb_, db_, "dtmi:dt:ghost;1").has_value());
+}
+
+TEST_F(RootCauseTest, CleanSeriesYieldsNoSuspect) {
+  tsdb::TimeSeriesDb clean;
+  seed_series(clean, "kernel_percpu_cpu_idle", "_cpu3",
+              steady_then_spike(50, -1, 0.0));
+  const auto* cpu3 = kb_->root().find_by_name("cpu3");
+  auto report = analyze_root_cause(*kb_, clean, *kb_->dtmi_for(*cpu3));
+  ASSERT_TRUE(report.has_value());
+  for (const auto& finding : report->path) {
+    EXPECT_EQ(finding.anomaly_count, 0) << finding.component;
+  }
+}
+
+}  // namespace
+}  // namespace pmove::analysis

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "abstraction/layer.hpp"
+#include "carm/live_panel.hpp"
+#include "carm/microbench.hpp"
+#include "carm/model.hpp"
+#include "kb/ids.hpp"
+#include "kb/kb.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::carm {
+namespace {
+
+using topology::Isa;
+
+// ------------------------------------------------------------------ model
+
+TEST(CarmModelTest, AttainableIsMinOfRoofAndPeak) {
+  CarmModel model({{"L1", 100.0}, {"DRAM", 10.0}}, 50.0, Isa::kAvx2, 4);
+  const MemoryRoof& l1 = model.roofs()[0];
+  EXPECT_DOUBLE_EQ(model.attainable(0.1, l1), 10.0);   // bandwidth-bound
+  EXPECT_DOUBLE_EQ(model.attainable(10.0, l1), 50.0);  // compute-bound
+  EXPECT_DOUBLE_EQ(model.ridge_ai(l1), 0.5);
+  EXPECT_DOUBLE_EQ(model.attainable_best(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(model.attainable_best(0.1), 10.0);  // L1 wins at low AI
+  EXPECT_NE(model.roof("DRAM"), nullptr);
+  EXPECT_EQ(model.roof("L9"), nullptr);
+}
+
+TEST(CarmAnalyticTest, RoofsOrderedByHierarchy) {
+  auto machine = topology::machine_preset("skx").value();
+  auto model = build_carm_analytic(machine, Isa::kAvx512, 1);
+  ASSERT_TRUE(model.has_value());
+  const auto& roofs = model->roofs();
+  ASSERT_EQ(roofs.size(), 4u);  // L1, L2, L3, DRAM
+  EXPECT_GT(roofs[0].gbs, roofs[1].gbs);  // L1 > L2
+  EXPECT_GT(roofs[1].gbs, roofs[2].gbs);  // L2 > L3
+  EXPECT_GT(roofs[2].gbs, roofs[3].gbs);  // L3 > DRAM (1 core)
+  EXPECT_GT(model->peak_gflops(), 0.0);
+}
+
+TEST(CarmAnalyticTest, PeakScalesWithThreadsAndIsa) {
+  auto machine = topology::machine_preset("skx").value();
+  auto scalar1 = build_carm_analytic(machine, Isa::kScalar, 1);
+  auto avx1 = build_carm_analytic(machine, Isa::kAvx512, 1);
+  auto avx8 = build_carm_analytic(machine, Isa::kAvx512, 8);
+  EXPECT_GT(avx1->peak_gflops(), scalar1->peak_gflops() * 4);
+  EXPECT_NEAR(avx8->peak_gflops(), avx1->peak_gflops() * 8, 1e-9);
+  // Peak stops scaling past physical cores (SMT adds no FLOPs).
+  auto all_cores = build_carm_analytic(machine, Isa::kAvx512, 44);
+  auto all_threads = build_carm_analytic(machine, Isa::kAvx512, 88);
+  EXPECT_DOUBLE_EQ(all_cores->peak_gflops(), all_threads->peak_gflops());
+}
+
+TEST(CarmAnalyticTest, DramRoofCapsAtSocketBandwidth) {
+  auto machine = topology::machine_preset("skx").value();
+  auto many = build_carm_analytic(machine, Isa::kAvx512, 44);
+  const MemoryRoof* dram = many->roof("DRAM");
+  ASSERT_NE(dram, nullptr);
+  EXPECT_LE(dram->gbs,
+            machine.dram_gbs_per_socket * machine.sockets + 1e-9);
+}
+
+TEST(CarmAnalyticTest, UnsupportedIsaRejected) {
+  auto zen3 = topology::machine_preset("zen3").value();
+  auto model = build_carm_analytic(zen3, Isa::kAvx512, 1);
+  EXPECT_FALSE(model.has_value());
+  EXPECT_EQ(model.status().code(), ErrorCode::kUnsupported);
+  EXPECT_FALSE(build_carm_analytic(zen3, Isa::kAvx2, 0).has_value());
+}
+
+TEST(CarmModelTest, BenchmarkRoundTrip) {
+  auto machine = topology::machine_preset("icl").value();
+  auto model = build_carm_analytic(machine, Isa::kAvx2, 4).value();
+  kb::BenchmarkInterface bench = model.to_benchmark("icl");
+  EXPECT_EQ(bench.benchmark, "CARM");
+  EXPECT_EQ(bench.parameters.at("isa"), "avx2");
+  EXPECT_EQ(bench.parameters.at("threads"), "4");
+  auto restored = CarmModel::from_benchmark(bench);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->isa(), Isa::kAvx2);
+  EXPECT_EQ(restored->threads(), 4);
+  EXPECT_DOUBLE_EQ(restored->peak_gflops(), model.peak_gflops());
+  ASSERT_EQ(restored->roofs().size(), model.roofs().size());
+  for (std::size_t i = 0; i < model.roofs().size(); ++i) {
+    EXPECT_EQ(restored->roofs()[i].name, model.roofs()[i].name);
+    EXPECT_DOUBLE_EQ(restored->roofs()[i].gbs, model.roofs()[i].gbs);
+  }
+}
+
+TEST(CarmModelTest, FromBenchmarkRejectsWrongKind) {
+  kb::BenchmarkInterface bench;
+  bench.benchmark = "STREAM";
+  EXPECT_FALSE(CarmModel::from_benchmark(bench).has_value());
+  bench.benchmark = "CARM";  // but no results
+  EXPECT_FALSE(CarmModel::from_benchmark(bench).has_value());
+}
+
+TEST(RepresentativeThreadsTest, SubsetIsSortedUnique) {
+  auto machine = topology::machine_preset("skx").value();
+  auto counts = representative_thread_counts(machine);
+  // Paper: a representative subset, not all 88 combinations.
+  EXPECT_LE(counts.size(), 4u);
+  EXPECT_EQ(counts.front(), 1);
+  EXPECT_EQ(counts.back(), 88);
+  EXPECT_TRUE(std::is_sorted(counts.begin(), counts.end()));
+}
+
+// ------------------------------------------------------------ microbench
+
+TEST(MicrobenchMachineModeTest, NoisedButClose) {
+  auto machine = topology::machine_preset("csl").value();
+  MicrobenchOptions options;
+  options.isa = Isa::kAvx512;
+  options.threads = 4;
+  auto measured = run_carm_machine_mode(machine, options);
+  ASSERT_TRUE(measured.has_value());
+  auto analytic = build_carm_analytic(machine, Isa::kAvx512, 4).value();
+  EXPECT_NEAR(measured->peak_gflops(), analytic.peak_gflops(),
+              analytic.peak_gflops() * 0.1);
+  EXPECT_NE(measured->peak_gflops(), analytic.peak_gflops());
+  // Deterministic per seed.
+  auto again = run_carm_machine_mode(machine, options);
+  EXPECT_DOUBLE_EQ(measured->peak_gflops(), again->peak_gflops());
+}
+
+TEST(MicrobenchHostModeTest, MeasuresRealHardware) {
+  auto result = run_carm_host_mode({16u << 10, 4u << 20}, 2);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->model.roofs().size(), 2u);
+  EXPECT_GT(result->model.roofs()[0].gbs, 0.5);  // L1-sized sweep
+  EXPECT_GT(result->model.peak_gflops(), 0.05);
+  // Smaller working set should not be slower than a much larger one.
+  EXPECT_GE(result->model.roofs()[0].gbs, result->model.roofs()[1].gbs * 0.5);
+  EXPECT_FALSE(run_carm_host_mode({}, 0).has_value());
+}
+
+TEST(CampaignTest, RecordsAllIsaThreadCombinations) {
+  auto kb = kb::KnowledgeBase::build(topology::machine_preset("zen3").value());
+  auto recorded = record_carm_campaign(kb);
+  ASSERT_TRUE(recorded.has_value());
+  // zen3: 3 ISAs (no AVX-512) x 4 thread counts.
+  EXPECT_EQ(*recorded, 12);
+  EXPECT_EQ(kb.benchmarks().size(), 12u);
+  // Reconstruction from the KB without re-running (Section IV-B.1).
+  auto model = carm_from_kb(kb, Isa::kAvx2, 16);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->threads(), 16);
+  EXPECT_FALSE(carm_from_kb(kb, Isa::kAvx512, 16).has_value());
+}
+
+// ------------------------------------------------------------- live panel
+
+class LivePanelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = std::make_unique<kb::KnowledgeBase>(
+        kb::KnowledgeBase::build(topology::machine_preset("csl").value()));
+    ASSERT_TRUE(record_carm_campaign(*kb_).has_value());
+    layer_ = abstraction::AbstractionLayer::with_builtin_configs();
+  }
+
+  /// Synthesizes an observation + TSDB rows for a constant-rate kernel.
+  kb::ObservationInterface seed_observation(double flops_per_interval,
+                                            double memops_per_interval,
+                                            int intervals) {
+    kb::ObservationInterface obs;
+    obs.tag = "carm-test-tag";
+    obs.host = "csl";
+    obs.start = 0;
+    obs.end = from_seconds(0.1 * intervals);
+    for (const char* event :
+         {"FP_ARITH:SCALAR_DOUBLE", "FP_ARITH:128B_PACKED_DOUBLE",
+          "FP_ARITH:256B_PACKED_DOUBLE", "FP_ARITH:512B_PACKED_DOUBLE",
+          "MEM_INST_RETIRED:ALL_LOADS", "MEM_INST_RETIRED:ALL_STORES"}) {
+      kb::SampledMetric metric;
+      metric.pmu_name = "csl";
+      metric.sampler_name = event;
+      metric.db_name = kb::hw_measurement(event);
+      metric.fields = {"_cpu0"};
+      obs.metrics.push_back(metric);
+      for (int i = 1; i <= intervals; ++i) {
+        tsdb::Point point;
+        point.measurement = metric.db_name;
+        point.tags["tag"] = obs.tag;
+        point.time = from_seconds(0.1 * i);
+        double value = 0.0;
+        if (std::string(event) == "FP_ARITH:SCALAR_DOUBLE") {
+          value = flops_per_interval;
+        } else if (std::string(event) == "MEM_INST_RETIRED:ALL_LOADS") {
+          value = memops_per_interval;
+        }
+        point.fields["_cpu0"] = value;
+        EXPECT_TRUE(db_.write(std::move(point)).is_ok());
+      }
+    }
+    return obs;
+  }
+
+  std::unique_ptr<kb::KnowledgeBase> kb_;
+  abstraction::AbstractionLayer layer_;
+  tsdb::TimeSeriesDb db_;
+};
+
+TEST_F(LivePanelTest, MakeFromKb) {
+  auto panel = make_live_panel(*kb_, &layer_, Isa::kAvx512, 1);
+  ASSERT_TRUE(panel.has_value());
+  auto events = panel->required_events();
+  ASSERT_TRUE(events.has_value());
+  // FLOP formula events + memory events, deduplicated.
+  EXPECT_EQ(events->size(), 6u);
+}
+
+TEST_F(LivePanelTest, PointsComputeAiAndGflops) {
+  auto panel = make_live_panel(*kb_, &layer_, Isa::kAvx512, 1);
+  ASSERT_TRUE(panel.has_value());
+  // 2e8 scalar FLOPs and 1e8 loads per 0.1 s interval:
+  // bytes = 1e8 * 8 = 8e8 -> AI = 0.25; GFLOPS = 2e8 / 0.1 / 1e9 = 2.
+  auto obs = seed_observation(2e8, 1e8, 5);
+  auto points = panel->points_from_observation(db_, obs);
+  ASSERT_TRUE(points.has_value());
+  ASSERT_EQ(points->size(), 5u);
+  for (const auto& p : *points) {
+    EXPECT_NEAR(p.ai, 0.25, 1e-9);
+    EXPECT_NEAR(p.gflops, 2.0, 1e-6);
+  }
+}
+
+TEST_F(LivePanelTest, RenderShowsRoofsAndPoints) {
+  auto panel = make_live_panel(*kb_, &layer_, Isa::kAvx512, 1);
+  auto obs = seed_observation(2e8, 1e8, 5);
+  auto points = panel->points_from_observation(db_, obs);
+  const std::string text = panel->render(*points, '*');
+  EXPECT_NE(text.find("GFLOP/s"), std::string::npos);
+  EXPECT_NE(text.find("L1="), std::string::npos);
+  EXPECT_NE(text.find("DRAM="), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);  // compute roof
+}
+
+TEST_F(LivePanelTest, Zen3PanelUnsupportedFormulasFailCleanly) {
+  auto kb_zen =
+      kb::KnowledgeBase::build(topology::machine_preset("zen3").value());
+  ASSERT_TRUE(record_carm_campaign(kb_zen).has_value());
+  auto panel = make_live_panel(kb_zen, &layer_, Isa::kAvx2, 1);
+  ASSERT_TRUE(panel.has_value());
+  auto events = panel->required_events();
+  ASSERT_TRUE(events.has_value());  // zen3 formulas exist (FLOPS_ALL_DP)
+  EXPECT_EQ(events->size(), 3u);    // RETIRED_SSE_AVX_FLOPS + LS_DISPATCH x2
+}
+
+TEST(RenderCarmTest, EmptyPointsStillPlotsRoofs) {
+  CarmModel model({{"L1", 100.0}, {"DRAM", 10.0}}, 50.0, Isa::kSse, 2);
+  const std::string text = render_carm_ascii(model, {});
+  EXPECT_NE(text.find("peak=50.0"), std::string::npos);
+  EXPECT_NE(text.find("sse"), std::string::npos);
+  EXPECT_NE(text.find('/'), std::string::npos);  // bandwidth slopes
+}
+
+}  // namespace
+}  // namespace pmove::carm

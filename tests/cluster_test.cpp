@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "kernels/kernels.hpp"
+
+namespace pmove::cluster {
+namespace {
+
+// -------------------------------------------------------------------- job
+
+TEST(JobInterfaceTest, JsonRoundTrip) {
+  JobInterface job;
+  job.id = "dtmi:dt:cluster:job:184221;1";
+  job.job_id = "184221";
+  job.user = "alice";
+  job.command = "srun ./spmv";
+  job.nodes = {"skx", "icl"};
+  job.start = 0;
+  job.end = from_seconds(12.5);
+  job.observation_tags = {"tag-a", "tag-b"};
+  auto restored = JobInterface::from_json(job.to_json());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->job_id, "184221");
+  EXPECT_EQ(restored->nodes, job.nodes);
+  EXPECT_EQ(restored->observation_tags, job.observation_tags);
+  EXPECT_EQ(restored->end, job.end);
+}
+
+TEST(JobInterfaceTest, FromJsonRejectsMissingJobId) {
+  json::Object obj;
+  obj.set("@id", "x;1");
+  EXPECT_FALSE(JobInterface::from_json(json::Value(std::move(obj)))
+                   .has_value());
+  EXPECT_FALSE(JobInterface::from_json(json::Value(1)).has_value());
+}
+
+// ----------------------------------------------------------------- cluster
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cluster_.add_node("icl").is_ok());
+    ASSERT_TRUE(cluster_.add_node("zen3").is_ok());
+  }
+  ClusterDaemon cluster_;
+};
+
+TEST_F(ClusterTest, NodesAttachWithUniqueHostnames) {
+  EXPECT_EQ(cluster_.nodes(), (std::vector<std::string>{"icl", "zen3"}));
+  // A second icl joins under a suffixed hostname.
+  ASSERT_TRUE(cluster_.add_node("icl").is_ok());
+  EXPECT_EQ(cluster_.nodes().back(), "icl-2");
+  auto daemon = cluster_.node("icl-2");
+  ASSERT_TRUE(daemon.has_value());
+  EXPECT_EQ((*daemon)->knowledge_base().hostname(), "icl-2");
+  EXPECT_FALSE(cluster_.node("ghost").has_value());
+  EXPECT_FALSE(cluster_.add_node("cray").is_ok());
+}
+
+TEST_F(ClusterTest, ClusterScenarioARunsPerNode) {
+  auto stats = cluster_.run_scenario_a(8.0, 4, 5.0);
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(stats->size(), 2u);
+  // Expected counts follow each node's domain (icl 16, zen3 32 threads).
+  EXPECT_EQ(stats->at("icl").expected, 8 * 4 * 16 * 5);
+  EXPECT_EQ(stats->at("zen3").expected, 8 * 4 * 32 * 5);
+}
+
+TEST_F(ClusterTest, SubmitJobProfilesEveryNodeAndLinksTags) {
+  JobRequest request;
+  request.job_id = "184221";
+  request.user = "alice";
+  request.command = "srun ./triad";
+  auto job = cluster_.submit_job(
+      request, [](core::Daemon& daemon, workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = kernels::KernelKind::kTriad;
+        spec.n = 1u << 14;
+        spec.iterations = 20;
+        return kernels::run_kernel(spec, daemon.knowledge_base().machine(),
+                                   &live)
+            .seconds;
+      });
+  ASSERT_TRUE(job.has_value()) << job.status().to_string();
+  EXPECT_EQ(job->nodes, (std::vector<std::string>{"icl", "zen3"}));
+  ASSERT_EQ(job->observation_tags.size(), 2u);
+  EXPECT_GT(job->end, 0);
+  // Each node's KB holds its observation; the tag links job -> metrics.
+  for (std::size_t i = 0; i < job->nodes.size(); ++i) {
+    auto daemon = cluster_.node(job->nodes[i]);
+    auto obs = (*daemon)->knowledge_base().find_observation(
+        job->observation_tags[i]);
+    ASSERT_TRUE(obs.has_value()) << job->nodes[i];
+    EXPECT_NE(obs->command.find("184221"), std::string::npos);
+  }
+  // Job persisted and findable.
+  EXPECT_EQ(cluster_.jobs().size(), 1u);
+  auto found = cluster_.find_job("184221");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->user, "alice");
+  EXPECT_FALSE(cluster_.find_job("0").has_value());
+}
+
+TEST_F(ClusterTest, JobOnNodeSubset) {
+  JobRequest request;
+  request.command = "srun -w zen3 ./ddot";
+  request.nodes = {"zen3"};
+  auto job = cluster_.submit_job(
+      request, [](core::Daemon& daemon, workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = kernels::KernelKind::kDdot;
+        spec.n = 1u << 12;
+        spec.iterations = 10;
+        return kernels::run_kernel(spec, daemon.knowledge_base().machine(),
+                                   &live)
+            .seconds;
+      });
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->nodes, std::vector<std::string>{"zen3"});
+  EXPECT_EQ(job->observation_tags.size(), 1u);
+  EXPECT_EQ(job->job_id, "job-1");  // auto-assigned
+  // Unknown node fails cleanly.
+  JobRequest bad;
+  bad.nodes = {"ghost"};
+  auto failed = cluster_.submit_job(
+      bad, [](core::Daemon&, workload::LiveCounters&) { return 0.0; });
+  EXPECT_FALSE(failed.has_value());
+}
+
+TEST_F(ClusterTest, FabricTelemetryRecordedPerJob) {
+  JobRequest request;
+  request.command = "srun ./alltoall";
+  auto job = cluster_.submit_job(
+      request, [](core::Daemon&, workload::LiveCounters&) { return 0.01; });
+  ASSERT_TRUE(job.has_value());
+  // 2 nodes -> 2 directed links sampled once.
+  EXPECT_EQ(cluster_.fabric_telemetry().point_count("network_link_bytes"),
+            2u);
+  auto result = cluster_.fabric_telemetry().query(
+      "SELECT \"bytes\" FROM \"network_link_bytes\" WHERE from=\"icl\"");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_GT(result->rows[0][1], 0.0);
+}
+
+TEST_F(ClusterTest, ClusterLevelView) {
+  auto dash = cluster_.cluster_level_view(topology::ComponentKind::kThread,
+                                          "kernel.percpu.cpu.idle");
+  ASSERT_TRUE(dash.has_value());
+  EXPECT_EQ(dash->panels.size(), 16u + 32u);  // icl + zen3 threads
+  EXPECT_EQ(dash->panels.front().title.rfind("icl/", 0), 0u);
+}
+
+TEST(EmptyClusterTest, OperationsFailGracefully) {
+  ClusterDaemon cluster;
+  EXPECT_FALSE(cluster.run_scenario_a(1, 1, 1).has_value());
+  JobRequest request;
+  auto job = cluster.submit_job(
+      request, [](core::Daemon&, workload::LiveCounters&) { return 0.0; });
+  EXPECT_FALSE(job.has_value());
+  EXPECT_TRUE(cluster.jobs().empty());
+}
+
+}  // namespace
+}  // namespace pmove::cluster

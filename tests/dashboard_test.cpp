@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/daemon.hpp"
+#include "dashboard/dashboard.hpp"
+#include "dashboard/views.hpp"
+#include "kb/kb.hpp"
+#include "kb/process.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::dashboard {
+namespace {
+
+// ---------------------------------------------------------- JSON schema
+
+TEST(DashboardJsonTest, MatchesListing1Shape) {
+  Dashboard dash;
+  dash.id = 1;
+  Panel panel;
+  panel.id = 1;
+  Target target;
+  target.datasource_uid = "UUkm188l";
+  target.measurement = "perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value";
+  target.params = "_cpu0";
+  panel.targets.push_back(target);
+  dash.panels.push_back(panel);
+
+  json::Value doc = dash.to_json();
+  EXPECT_EQ(doc.at_path("id")->as_int(), 1);
+  EXPECT_EQ(doc.at_path("panels.0.id")->as_int(), 1);
+  EXPECT_EQ(doc.at_path("panels.0.targets.0.datasource.type")->as_string(),
+            "influxdb");
+  EXPECT_EQ(doc.at_path("panels.0.targets.0.datasource.uid")->as_string(),
+            "UUkm188l");
+  EXPECT_EQ(doc.at_path("panels.0.targets.0.measurement")->as_string(),
+            "perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value");
+  EXPECT_EQ(doc.at_path("panels.0.targets.0.params")->as_string(), "_cpu0");
+  EXPECT_EQ(doc.at_path("time.from")->as_string(), "now-5m");
+  EXPECT_EQ(doc.at_path("time.to")->as_string(), "now");
+}
+
+TEST(DashboardJsonTest, RoundTrip) {
+  Dashboard dash;
+  dash.id = 7;
+  dash.title = "spmv run";
+  dash.time_from = "now-1h";
+  Panel panel;
+  panel.id = 3;
+  panel.title = "cpu0";
+  Target target;
+  target.measurement = "m";
+  target.params = "_cpu0";
+  target.tag = "uuid-1";
+  panel.targets.push_back(target);
+  dash.panels.push_back(panel);
+  auto restored = Dashboard::from_json(dash.to_json());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->id, 7);
+  EXPECT_EQ(restored->title, "spmv run");
+  EXPECT_EQ(restored->time_from, "now-1h");
+  ASSERT_EQ(restored->panels.size(), 1u);
+  EXPECT_EQ(restored->panels[0].targets[0].tag, "uuid-1");
+}
+
+TEST(DashboardJsonTest, UserEditedJsonLoads) {
+  // "A dashboard can be modified by the users and saved for the next
+  // sessions" — a hand-written file parses.
+  auto doc = json::Value::parse(R"({
+    "id": 1,
+    "panels": [{"id": 1, "targets": [
+      {"datasource": {"type": "influxdb", "uid": "X"},
+       "measurement": "m1", "params": "_cpu0"}]}],
+    "time": {"from": "now-5m", "to": "now"}})");
+  ASSERT_TRUE(doc.has_value());
+  auto dash = Dashboard::from_json(*doc);
+  ASSERT_TRUE(dash.has_value());
+  EXPECT_EQ(dash->panels[0].targets[0].measurement, "m1");
+}
+
+TEST(TargetTest, QueryGeneration) {
+  Target target;
+  target.measurement = "m";
+  target.params = "_cpu0";
+  EXPECT_EQ(target.to_query(), "SELECT \"_cpu0\" FROM \"m\"");
+  target.tag = "abc";
+  EXPECT_EQ(target.to_query(),
+            "SELECT \"_cpu0\" FROM \"m\" WHERE tag=\"abc\"");
+  target.params.clear();
+  EXPECT_EQ(target.to_query(), "SELECT * FROM \"m\" WHERE tag=\"abc\"");
+}
+
+TEST(TargetTest, FromJsonRejectsMissingMeasurement) {
+  auto doc = json::Value::parse(R"({"params": "_cpu0"})");
+  EXPECT_FALSE(Target::from_json(*doc).has_value());
+  EXPECT_FALSE(Target::from_json(json::Value(3)).has_value());
+}
+
+
+TEST(DashboardFileTest, SaveLoadRoundTrip) {
+  Dashboard dash;
+  dash.id = 3;
+  dash.title = "shared";
+  Panel panel;
+  panel.id = 1;
+  Target target;
+  target.measurement = "m";
+  target.params = "_cpu0";
+  panel.targets.push_back(target);
+  dash.panels.push_back(panel);
+  const std::string path =
+      std::string("/tmp/pmove_dash_") + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(dash.save_to_file(path).is_ok());
+  auto loaded = Dashboard::load_from_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->to_json(), dash.to_json());
+  std::remove(path.c_str());
+  EXPECT_FALSE(Dashboard::load_from_file("/no/such/dash.json").has_value());
+}
+
+// ---------------------------------------------------------------- views
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = std::make_unique<kb::KnowledgeBase>(
+        kb::KnowledgeBase::build(topology::machine_preset("icl").value()));
+    builder_ = std::make_unique<ViewBuilder>(kb_.get());
+  }
+  std::unique_ptr<kb::KnowledgeBase> kb_;
+  std::unique_ptr<ViewBuilder> builder_;
+};
+
+TEST_F(ViewTest, FocusViewCoversComponentTelemetry) {
+  const auto* cpu0 = kb_->root().find_by_name("cpu0");
+  auto dtmi = kb_->dtmi_for(*cpu0);
+  auto dash = builder_->focus_view(*dtmi);
+  ASSERT_TRUE(dash.has_value());
+  EXPECT_EQ(dash->panels.size(), kb_->telemetry_of(*dtmi).size());
+  for (const auto& panel : dash->panels) {
+    ASSERT_EQ(panel.targets.size(), 1u);
+    EXPECT_FALSE(panel.targets[0].measurement.empty());
+  }
+}
+
+TEST_F(ViewTest, FocusViewExtendsToRoot) {
+  const auto* cpu0 = kb_->root().find_by_name("cpu0");
+  auto dtmi = kb_->dtmi_for(*cpu0);
+  auto plain = builder_->focus_view(*dtmi, false);
+  auto extended = builder_->focus_view(*dtmi, true);
+  // The root (system) has telemetry, so the extended view has more panels.
+  EXPECT_GT(extended->panels.size(), plain->panels.size());
+}
+
+TEST_F(ViewTest, SubtreeViewWalksDescendants) {
+  const auto* socket0 = kb_->root().find_by_name("socket0");
+  auto dtmi = kb_->dtmi_for(*socket0);
+  auto dash = builder_->subtree_view(*dtmi);
+  ASSERT_TRUE(dash.has_value());
+  // icl: socket + 16 threads with telemetry + 1 numa node (socket itself
+  // carries RAPL telemetry; cores/caches/memory have none).
+  EXPECT_GT(dash->panels.size(), 16u);
+  for (const auto& panel : dash->panels) {
+    EXPECT_FALSE(panel.targets.empty());
+  }
+}
+
+TEST_F(ViewTest, LevelViewIsolatesOneKind) {
+  auto dash = builder_->level_view(topology::ComponentKind::kThread,
+                                   "kernel.percpu.cpu.idle");
+  ASSERT_TRUE(dash.has_value());
+  EXPECT_EQ(dash->panels.size(), 16u);  // one panel per icl hardware thread
+  for (const auto& panel : dash->panels) {
+    EXPECT_EQ(panel.targets[0].measurement, "kernel_percpu_cpu_idle");
+  }
+}
+
+TEST_F(ViewTest, LevelViewDefaultsToFirstTelemetry) {
+  auto dash = builder_->level_view(topology::ComponentKind::kDisk);
+  ASSERT_TRUE(dash.has_value());
+  EXPECT_EQ(dash->panels.size(), 1u);  // icl has one disk
+}
+
+
+TEST_F(ViewTest, LevelViewOverProcesses) {
+  // Fig 2(c): level-view dashboards for different processes.
+  kb::ProcessSpec one;
+  one.pid = 100;
+  one.name = "spmv-mkl";
+  kb::ProcessSpec two;
+  two.pid = 200;
+  two.name = "spmv-merge";
+  ASSERT_TRUE(kb_->instantiate_process(one).has_value());
+  ASSERT_TRUE(kb_->instantiate_process(two).has_value());
+  auto dash = builder_->level_view(topology::ComponentKind::kProcess,
+                                   "proc.psinfo.utime");
+  ASSERT_TRUE(dash.has_value()) << dash.status().to_string();
+  EXPECT_EQ(dash->panels.size(), 2u);
+  EXPECT_EQ(dash->panels[0].targets[0].measurement, "proc_psinfo_utime");
+  EXPECT_EQ(dash->panels[0].targets[0].params, "_100");
+  EXPECT_EQ(dash->panels[1].targets[0].params, "_200");
+}
+
+TEST_F(ViewTest, ErrorsOnUnknownDtmiOrEmptyLevel) {
+  EXPECT_FALSE(builder_->focus_view("dtmi:dt:ghost;1").has_value());
+  EXPECT_FALSE(builder_->subtree_view("dtmi:dt:ghost;1").has_value());
+  EXPECT_FALSE(
+      builder_->level_view(topology::ComponentKind::kGpu).has_value());
+}
+
+TEST(CrossSystemTest, LevelViewAcrossMachines) {
+  // Paper Fig 2(d): level view over different servers (skx, icl).
+  auto kb_skx =
+      kb::KnowledgeBase::build(topology::machine_preset("skx").value());
+  auto kb_icl =
+      kb::KnowledgeBase::build(topology::machine_preset("icl").value());
+  auto dash = cross_system_level_view({&kb_skx, &kb_icl},
+                                      topology::ComponentKind::kThread,
+                                      "kernel.percpu.cpu.idle");
+  ASSERT_TRUE(dash.has_value());
+  EXPECT_EQ(dash->panels.size(), 88u + 16u);
+  EXPECT_EQ(dash->panels.front().title.rfind("skx/", 0), 0u);
+  EXPECT_EQ(dash->panels.back().title.rfind("icl/", 0), 0u);
+}
+
+// --------------------------------------------------------------- renderer
+
+TEST(RenderTest, RendersSparklinesFromDb) {
+  tsdb::TimeSeriesDb db;
+  for (int i = 0; i < 30; ++i) {
+    tsdb::Point p;
+    p.measurement = "m";
+    p.time = i;
+    p.fields["_cpu0"] = static_cast<double>(i % 10);
+    ASSERT_TRUE(db.write(std::move(p)).is_ok());
+  }
+  Dashboard dash;
+  dash.title = "demo";
+  Panel panel;
+  panel.id = 1;
+  panel.title = "cpu0 idle";
+  Target target;
+  target.measurement = "m";
+  target.params = "_cpu0";
+  panel.targets.push_back(target);
+  dash.panels.push_back(panel);
+  const std::string text = render_dashboard(dash, db, 40);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("cpu0 idle"), std::string::npos);
+  EXPECT_NE(text.find("m[_cpu0]"), std::string::npos);
+  EXPECT_NE(text.find('|'), std::string::npos);
+}
+
+TEST(RenderTest, MissingMeasurementRendersNoData) {
+  tsdb::TimeSeriesDb db;
+  Dashboard dash;
+  Panel panel;
+  Target target;
+  target.measurement = "absent";
+  panel.targets.push_back(target);
+  dash.panels.push_back(panel);
+  const std::string text = render_dashboard(dash, db);
+  EXPECT_NE(text.find("(no data)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmove::dashboard

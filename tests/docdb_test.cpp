@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "docdb/store.hpp"
+#include "json/value.hpp"
+
+namespace pmove::docdb {
+namespace {
+
+json::Value doc_with_id(std::string id, std::string host = "skx") {
+  json::Object obj;
+  obj.set("@id", std::move(id));
+  obj.set("@type", "Interface");
+  obj.set("host", std::move(host));
+  return obj;
+}
+
+TEST(DocumentStoreTest, InsertUsesAtId) {
+  DocumentStore store;
+  auto id = store.insert("kb", doc_with_id("dtmi:dt:skx;1"));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, "dtmi:dt:skx;1");
+  auto doc = store.get("kb", "dtmi:dt:skx;1");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("host")->as_string(), "skx");
+}
+
+TEST(DocumentStoreTest, InsertRejectsDuplicates) {
+  DocumentStore store;
+  ASSERT_TRUE(store.insert("kb", doc_with_id("a;1")).has_value());
+  auto dup = store.insert("kb", doc_with_id("a;1"));
+  EXPECT_FALSE(dup.has_value());
+  EXPECT_EQ(dup.status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(DocumentStoreTest, UpsertReplaces) {
+  DocumentStore store;
+  ASSERT_TRUE(store.upsert("kb", doc_with_id("a;1", "old")).has_value());
+  ASSERT_TRUE(store.upsert("kb", doc_with_id("a;1", "new")).has_value());
+  EXPECT_EQ(store.count("kb"), 1u);
+  EXPECT_EQ(store.get("kb", "a;1")->find("host")->as_string(), "new");
+}
+
+TEST(DocumentStoreTest, UnderscoreIdFallback) {
+  DocumentStore store;
+  json::Object obj;
+  obj.set("_id", "custom-id");
+  auto id = store.insert("c", json::Value(std::move(obj)));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, "custom-id");
+}
+
+TEST(DocumentStoreTest, GeneratedIdsAreUnique) {
+  DocumentStore store;
+  auto a = store.insert("c", json::Value(json::Object{}));
+  auto b = store.insert("c", json::Value(json::Object{}));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(store.count("c"), 2u);
+}
+
+TEST(DocumentStoreTest, GetMissing) {
+  DocumentStore store;
+  EXPECT_EQ(store.get("nope", "x").status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(store.insert("c", doc_with_id("a;1")).has_value());
+  EXPECT_EQ(store.get("c", "missing").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(DocumentStoreTest, Erase) {
+  DocumentStore store;
+  ASSERT_TRUE(store.insert("c", doc_with_id("a;1")).has_value());
+  EXPECT_TRUE(store.erase("c", "a;1"));
+  EXPECT_FALSE(store.erase("c", "a;1"));
+  EXPECT_FALSE(store.erase("nope", "a;1"));
+  EXPECT_EQ(store.count("c"), 0u);
+}
+
+TEST(DocumentStoreTest, FindByPath) {
+  DocumentStore store;
+  ASSERT_TRUE(store.insert("obs", doc_with_id("a;1", "skx")).has_value());
+  ASSERT_TRUE(store.insert("obs", doc_with_id("b;1", "icl")).has_value());
+  ASSERT_TRUE(store.insert("obs", doc_with_id("c;1", "skx")).has_value());
+  auto matches = store.find("obs", "host", json::Value("skx"));
+  EXPECT_EQ(matches.size(), 2u);
+  EXPECT_TRUE(store.find("obs", "host", json::Value("zen3")).empty());
+  EXPECT_TRUE(store.find("nope", "host", json::Value("skx")).empty());
+}
+
+TEST(DocumentStoreTest, FindByNestedPath) {
+  DocumentStore store;
+  auto doc = json::Value::parse(
+      R"({"@id":"x;1","meta":{"level":[{"deep":7}]}})");
+  ASSERT_TRUE(store.insert("c", *doc).has_value());
+  auto matches = store.find("c", "meta.level.0.deep", json::Value(7));
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(DocumentStoreTest, AllAndCollections) {
+  DocumentStore store;
+  ASSERT_TRUE(store.insert("b_coll", doc_with_id("a;1")).has_value());
+  ASSERT_TRUE(store.insert("a_coll", doc_with_id("b;1")).has_value());
+  EXPECT_EQ(store.collections(),
+            (std::vector<std::string>{"a_coll", "b_coll"}));
+  EXPECT_EQ(store.all("b_coll").size(), 1u);
+  EXPECT_TRUE(store.all("nope").empty());
+}
+
+
+TEST(DocumentStoreTest, DumpLoadRoundTrip) {
+  DocumentStore store;
+  ASSERT_TRUE(store.insert("kb", doc_with_id("a;1", "skx")).has_value());
+  ASSERT_TRUE(store.insert("obs", doc_with_id("b;1", "icl")).has_value());
+  const std::string path =
+      "/tmp/pmove_docdb_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(store.dump_to_file(path).is_ok());
+  DocumentStore restored;
+  ASSERT_TRUE(restored.load_from_file(path).is_ok());
+  EXPECT_EQ(restored.collections(), store.collections());
+  EXPECT_EQ(restored.get("kb", "a;1")->dump(),
+            store.get("kb", "a;1")->dump());
+  std::remove(path.c_str());
+  EXPECT_FALSE(restored.load_from_file("/no/such.json").is_ok());
+}
+
+TEST(DocumentStoreTest, ClearResets) {
+  DocumentStore store;
+  ASSERT_TRUE(store.insert("c", doc_with_id("a;1")).has_value());
+  store.clear();
+  EXPECT_TRUE(store.collections().empty());
+  EXPECT_EQ(store.count("c"), 0u);
+}
+
+}  // namespace
+}  // namespace pmove::docdb

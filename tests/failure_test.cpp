@@ -1,0 +1,178 @@
+// Failure injection: every store/pipeline keeps working (or fails loudly
+// and cleanly) when fed corrupted documents, saturated transports, and
+// hostile inputs.
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "docdb/store.hpp"
+#include "kb/kb.hpp"
+#include "sampler/session.hpp"
+#include "sampler/transport.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove {
+namespace {
+
+// ------------------------------------------------- corrupted KB documents
+
+TEST(FailureTest, KbLoadSkipsCorruptedObservations) {
+  auto kb = kb::KnowledgeBase::build(topology::machine_preset("icl").value());
+  kb::ObservationInterface good;
+  good.tag = "good-tag";
+  good.host = "icl";
+  kb.attach_observation(good);
+  docdb::DocumentStore store;
+  ASSERT_TRUE(kb.store(store).is_ok());
+
+  // Corrupt documents in the observations collection: one with no tag, one
+  // that is not even an object-shaped observation.
+  json::Object no_tag;
+  no_tag.set("@id", "dtmi:dt:icl:observation:broken;1");
+  no_tag.set("host", "icl");
+  ASSERT_TRUE(store.upsert("observations", json::Value(std::move(no_tag)))
+                  .has_value());
+  json::Object wrong_shape;
+  wrong_shape.set("@id", "dtmi:dt:icl:observation:weird;1");
+  wrong_shape.set("host", "icl");
+  wrong_shape.set("tag", 12345);  // tag must be a string
+  ASSERT_TRUE(
+      store.upsert("observations", json::Value(std::move(wrong_shape)))
+          .has_value());
+
+  auto loaded = kb::KnowledgeBase::load(store, "icl");
+  ASSERT_TRUE(loaded.has_value());
+  // The good observation survives; the corrupted ones are skipped (the
+  // empty-string tag one parses as malformed).
+  EXPECT_TRUE(loaded->find_observation("good-tag").has_value());
+  EXPECT_LE(loaded->observations().size(), 2u);
+}
+
+TEST(FailureTest, KbLoadRejectsCorruptedProbeReport) {
+  docdb::DocumentStore store;
+  json::Object junk;
+  junk.set("@id", "dtmi:dt:ghost:probe_report;1");
+  junk.set("machine", "not an object");
+  ASSERT_TRUE(store.upsert("kb_meta", json::Value(std::move(junk)))
+                  .has_value());
+  EXPECT_FALSE(kb::KnowledgeBase::load(store, "ghost").has_value());
+}
+
+// ------------------------------------------------ saturated transports
+
+TEST(FailureTest, FullySaturatedPipelineLosesAlmostEverything) {
+  auto machine = topology::machine_preset("skx").value();
+  sampler::SessionConfig config;
+  config.frequency_hz = 32.0;
+  config.metric_count = 6;
+  config.duration_s = 10.0;
+  // Pathological link: dial the DB insert cost up 100x.
+  config.transport.db_insert_us_per_point = 3200.0;
+  auto stats = sampler::run_sampling_session(machine, config, nullptr);
+  EXPECT_GT(stats.loss_pct(), 90.0);
+  EXPECT_GE(stats.inserted, 0);
+  // Accounting still consistent under saturation.
+  EXPECT_LE(stats.inserted, stats.expected);
+  EXPECT_LE(stats.zeros, stats.inserted);
+}
+
+TEST(FailureTest, PermanentStallDropsEverythingAfterOnset) {
+  sampler::TransportModel model;
+  model.warmup_ns = 0;
+  model.stall_per_second = 1000.0;   // stalls arrive continuously
+  model.stall_mean_us = 1e7;         // each lasts ~10 s
+  sampler::TransportPipeline pipeline(model, 8);
+  int delivered = 0;
+  for (int i = 1; i <= 100; ++i) {
+    if (pipeline.offer(i * from_seconds(0.1)) !=
+        sampler::ReportFate::kDropped) {
+      ++delivered;
+    }
+  }
+  EXPECT_LT(delivered, 5);
+}
+
+// ----------------------------------------------------- hostile DB inputs
+
+TEST(FailureTest, TsdbSurvivesHostileQueries) {
+  tsdb::TimeSeriesDb db;
+  ASSERT_TRUE(db.write_line("m value=1 1").is_ok());
+  // Structurally invalid queries must be rejected with an error.
+  for (const char* rejected : {
+           "SELECT mean() FROM \"m\"",
+           "SELECT \"v\" FROM \"m\" GROUP BY time(((((",
+           "SELECT \"v\",,, FROM \"m\"",
+           "select from where and or",
+           "SELECT \"v\" FROM",
+       }) {
+    auto result = db.query(rejected);
+    EXPECT_FALSE(result.has_value()) << rejected;  // error, not crash
+  }
+  // Lenient-by-design inputs (InfluxDB-style): overflowing time literals
+  // saturate, unknown fields select as NaN — both succeed without crashing.
+  for (const char* lenient : {
+           "SELECT \"v\" FROM \"m\" WHERE time >= 99999999999999999999",
+           "SELECT \"no_such_field\" FROM \"m\"",
+       }) {
+    auto result = db.query(lenient);
+    EXPECT_TRUE(result.has_value()) << lenient;
+  }
+}
+
+TEST(FailureTest, TsdbHandlesExtremeTimestamps) {
+  tsdb::TimeSeriesDb db;
+  tsdb::Point early;
+  early.measurement = "m";
+  early.time = std::numeric_limits<TimeNs>::min() / 2;
+  early.fields["v"] = 1.0;
+  ASSERT_TRUE(db.write(std::move(early)).is_ok());
+  tsdb::Point late;
+  late.measurement = "m";
+  late.time = std::numeric_limits<TimeNs>::max() / 2;
+  late.fields["v"] = 2.0;
+  ASSERT_TRUE(db.write(std::move(late)).is_ok());
+  auto result = db.query("SELECT \"v\" FROM \"m\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST(FailureTest, JsonParserSurvivesDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 2000; ++i) deep += "]";
+  auto value = json::Value::parse(deep);
+  // Either parses or errors — must not crash.  (Recursive descent: the
+  // depth here stays well within default stack limits.)
+  if (value.has_value()) {
+    EXPECT_TRUE(value->is_array());
+  }
+}
+
+// ------------------------------------------------ daemon misconfiguration
+
+TEST(FailureTest, ScenarioBUnknownGenericEventFails) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("icl").is_ok());
+  core::ScenarioBRequest request;
+  request.events = {"NOT_A_GENERIC_EVENT"};
+  auto result = daemon.run_scenario_b(
+      request, [](workload::LiveCounters&) { return 0.0; });
+  EXPECT_FALSE(result.has_value());
+  // The KB gained no observation from the failed request.
+  EXPECT_TRUE(daemon.knowledge_base().observations().empty());
+}
+
+TEST(FailureTest, ScenarioBImpossibleAffinityFails) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("icl").is_ok());
+  core::ScenarioBRequest request;
+  request.events = {"FLOPS_SCALAR_DP"};
+  request.threads = 1000;  // icl has 16 hardware threads
+  auto result = daemon.run_scenario_b(
+      request, [](workload::LiveCounters&) { return 0.0; });
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status().code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pmove

@@ -1,0 +1,252 @@
+// End-to-end scenarios spanning every subsystem: the paper's Fig 3 flows,
+// the live-CARM pipeline (Figs 8/9), the SpMV monitoring pipeline (Fig 7)
+// and the SUPERDB reporting path, all through the public APIs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "carm/live_panel.hpp"
+#include "carm/microbench.hpp"
+#include "core/daemon.hpp"
+#include "dashboard/views.hpp"
+#include "kernels/kernels.hpp"
+#include "spmv/algorithms.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/reorder.hpp"
+#include "superdb/superdb.hpp"
+
+namespace pmove {
+namespace {
+
+// Fig 3 Scenario B + live-CARM (Fig 9): profile a kernel, reconstruct the
+// CARM from the KB, and compute live points from the observation's rows.
+TEST(Integration, KernelToLiveCarmPipeline) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("csl").is_ok());
+  ASSERT_TRUE(carm::record_carm_campaign(daemon.knowledge_base()).has_value());
+
+  core::ScenarioBRequest request;
+  request.command = "likwid-bench -t triad";
+  request.events = {"FLOPS_ALL_DP", "TOTAL_MEMORY_BYTES"};
+  request.frequency_hz = 60.0;
+  const auto& machine = daemon.knowledge_base().machine();
+  auto obs = daemon.run_scenario_b(
+      request, [&machine](workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = kernels::KernelKind::kTriad;
+        spec.n = 1u << 15;
+        spec.iterations = 3000;  // a few hundred ms: many sampling intervals
+        return kernels::run_kernel(spec, machine, &live).seconds;
+      });
+  ASSERT_TRUE(obs.has_value()) << obs.status().to_string();
+
+  auto layer = abstraction::AbstractionLayer::with_builtin_configs();
+  auto panel = carm::make_live_panel(daemon.knowledge_base(), &layer,
+                                     topology::Isa::kScalar, 1);
+  ASSERT_TRUE(panel.has_value()) << panel.status().to_string();
+  auto points = panel->points_from_observation(daemon.timeseries(), *obs);
+  ASSERT_TRUE(points.has_value()) << points.status().to_string();
+  ASSERT_GT(points->size(), 2u);
+  // Triad's AI is 2 flops / 32 bytes = 0.0625; live points should land near
+  // it (sampling noise allowed).
+  double mean_ai = 0.0;
+  for (const auto& p : *points) mean_ai += p.ai;
+  mean_ai /= static_cast<double>(points->size());
+  EXPECT_NEAR(mean_ai, 0.0625, 0.02);
+  // Points sit at or below the roofline envelope.
+  for (const auto& p : *points) {
+    EXPECT_LE(p.gflops, panel->model().attainable_best(p.ai) * 1.5);
+  }
+  const std::string rendered = panel->render(*points);
+  EXPECT_NE(rendered.find('*'), std::string::npos);
+}
+
+// Fig 7 pipeline: SpMV (mkl vs merge, none vs rcm) under live monitoring.
+TEST(Integration, SpmvLiveMonitoring) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("csl").is_ok());
+  const auto& machine = daemon.knowledge_base().machine();
+
+  auto preset = spmv::matrix_preset("hugetrace-00020", 0.02);
+  ASSERT_TRUE(preset.has_value());
+  const spmv::Csr& original = preset->matrix;
+  auto rcm = original.permute_symmetric(spmv::rcm_order(original));
+  ASSERT_TRUE(rcm.has_value());
+
+  auto run_one = [&](const spmv::Csr& matrix, spmv::Algorithm algorithm) {
+    core::ScenarioBRequest request;
+    request.command = std::string("./spmv --alg=") +
+                      std::string(spmv::to_string(algorithm));
+    request.events = {"FLOPS_ALL_DP", "FLOPS_AVX512_DP", "FLOPS_SCALAR_DP",
+                      "TOTAL_MEMORY_OPERATIONS", "RAPL_ENERGY_PKG"};
+    request.frequency_hz = 40.0;
+    return daemon.run_scenario_b(
+        request, [&](workload::LiveCounters& live) {
+          std::vector<double> x(static_cast<std::size_t>(matrix.cols()), 1.0);
+          std::vector<double> y;
+          spmv::SpmvConfig config;
+          config.algorithm = algorithm;
+          config.iterations = 3;
+          auto run = spmv::run_spmv(matrix, x, y, machine, config, &live);
+          return run.has_value() ? run->seconds : 0.0;
+        });
+  };
+
+  auto mkl_obs = run_one(original, spmv::Algorithm::kMklLike);
+  auto merge_obs = run_one(original, spmv::Algorithm::kMerge);
+  ASSERT_TRUE(mkl_obs.has_value());
+  ASSERT_TRUE(merge_obs.has_value());
+
+  // Fig 7: AVX-512 FP events only during MKL; scalar FP during Merge.
+  const std::string avx_m =
+      kb::hw_measurement("FP_ARITH:512B_PACKED_DOUBLE");
+  const std::string scalar_m = kb::hw_measurement("FP_ARITH:SCALAR_DOUBLE");
+  auto sum_for = [&](const std::string& measurement, const std::string& tag) {
+    auto result = daemon.timeseries().query(
+        "SELECT sum(\"_cpu0\") FROM \"" + measurement + "\" WHERE tag=\"" +
+        tag + "\"");
+    return result.has_value() && !result->rows.empty() &&
+                   !std::isnan(result->rows[0][1])
+               ? result->rows[0][1]
+               : 0.0;
+  };
+  EXPECT_GT(sum_for(avx_m, mkl_obs->tag), 0.0);
+  EXPECT_NEAR(sum_for(scalar_m, mkl_obs->tag), 0.0, 1.0);
+  EXPECT_GT(sum_for(scalar_m, merge_obs->tag), 0.0);
+  EXPECT_NEAR(sum_for(avx_m, merge_obs->tag), 0.0, 1.0);
+
+  // Both observations are in the KB; their queries replay.
+  EXPECT_EQ(daemon.knowledge_base().observations().size(), 2u);
+}
+
+// Fig 2 pipeline: auto-generated dashboards render against live data.
+TEST(Integration, ScenarioADashboards) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("icl").is_ok());
+  auto result = daemon.run_scenario_a(8.0, 4, 3.0);
+  ASSERT_TRUE(result.has_value());
+  dashboard::ViewBuilder builder(&daemon.knowledge_base());
+  const auto* cpu0 = daemon.knowledge_base().root().find_by_name("cpu0");
+  auto focus =
+      builder.focus_view(*daemon.knowledge_base().dtmi_for(*cpu0), true);
+  ASSERT_TRUE(focus.has_value());
+  const std::string text =
+      dashboard::render_dashboard(*focus, daemon.timeseries());
+  EXPECT_NE(text.find("focus: cpu0"), std::string::npos);
+}
+
+// SUPERDB flow: local observation reported globally in both forms.
+TEST(Integration, SuperDbRoundTrip) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("icl").is_ok());
+  core::ScenarioBRequest request;
+  request.command = "./daxpy";
+  request.events = {"FLOPS_SCALAR_DP"};
+  request.frequency_hz = 80.0;
+  const auto& machine = daemon.knowledge_base().machine();
+  auto obs = daemon.run_scenario_b(
+      request, [&machine](workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = kernels::KernelKind::kDaxpy;
+        spec.n = 1u << 14;
+        spec.iterations = 25;
+        return kernels::run_kernel(spec, machine, &live).seconds;
+      });
+  ASSERT_TRUE(obs.has_value());
+
+  superdb::SuperDb super;
+  ASSERT_TRUE(super.report_system(daemon.knowledge_base()).is_ok());
+  ASSERT_TRUE(super
+                  .report_observation_ts(daemon.knowledge_base(),
+                                         daemon.timeseries(), *obs)
+                  .is_ok());
+  ASSERT_TRUE(super
+                  .report_observation_agg(daemon.knowledge_base(),
+                                          daemon.timeseries(), *obs)
+                  .is_ok());
+  EXPECT_EQ(super.systems(), std::vector<std::string>{"icl"});
+  EXPECT_EQ(super.observations("icl").size(), 2u);
+  EXPECT_GT(super.timeseries().point_count(), 0u);
+  const std::string csv = super.export_csv();
+  EXPECT_NE(csv.find("icl"), std::string::npos);
+  EXPECT_NE(csv.find("./daxpy"), std::string::npos);
+}
+
+
+// Recorded sessions: a profiled run saved to disk replays in a fresh
+// daemon — queries, reports and the live-CARM panel all work offline
+// ("monitor and visualize live and/or recorded performance data").
+TEST(Integration, RecordedSessionReplay) {
+  const std::string dir =
+      "/tmp/pmove_session_" + std::to_string(::getpid());
+  std::string tag;
+  {
+    core::Daemon recorder;
+    ASSERT_TRUE(recorder.attach_target("csl").is_ok());
+    ASSERT_TRUE(
+        carm::record_carm_campaign(recorder.knowledge_base()).has_value());
+    ASSERT_TRUE(recorder.sync_kb().is_ok());
+    core::ScenarioBRequest request;
+    request.command = "recorded triad";
+    request.events = {"FLOPS_ALL_DP", "TOTAL_MEMORY_OPERATIONS"};
+    request.frequency_hz = 60.0;
+    const auto& machine = recorder.knowledge_base().machine();
+    auto obs = recorder.run_scenario_b(
+        request, [&machine](workload::LiveCounters& live) {
+          kernels::KernelSpec spec;
+          spec.kind = kernels::KernelKind::kTriad;
+          spec.n = 1u << 15;
+          spec.iterations = 2000;
+          return kernels::run_kernel(spec, machine, &live).seconds;
+        });
+    ASSERT_TRUE(obs.has_value());
+    tag = obs->tag;
+    ASSERT_TRUE(recorder.save_session(dir).is_ok());
+  }  // recorder gone — only the files remain
+
+  core::Daemon replayer;
+  ASSERT_TRUE(replayer.load_session(dir, "csl").is_ok());
+  EXPECT_TRUE(replayer.attached());
+  auto obs = replayer.knowledge_base().find_observation(tag);
+  ASSERT_TRUE(obs.has_value());
+  // Queries replay against the restored TSDB.
+  int rows = 0;
+  for (const auto& query : obs->generate_queries()) {
+    auto result = replayer.timeseries().query(query);
+    if (result.has_value()) rows += static_cast<int>(result->rows.size());
+  }
+  EXPECT_GT(rows, 0);
+  // The live-CARM panel reconstructs from the recorded KB and points from
+  // the recorded rows.
+  auto layer = abstraction::AbstractionLayer::with_builtin_configs();
+  auto panel = carm::make_live_panel(replayer.knowledge_base(), &layer,
+                                     topology::Isa::kScalar, 1);
+  ASSERT_TRUE(panel.has_value()) << panel.status().to_string();
+  auto points = panel->points_from_observation(replayer.timeseries(), *obs);
+  ASSERT_TRUE(points.has_value());
+  EXPECT_GT(points->size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+// KB persistence across daemon restarts: "Step 3 re-occurs every time KB
+// changes or P-MoVE is restarted."
+TEST(Integration, KbSurvivesRestart) {
+  core::Daemon daemon;
+  ASSERT_TRUE(daemon.attach_target("zen3").is_ok());
+  kb::ObservationInterface obs;
+  obs.tag = "persisted-tag";
+  obs.host = "zen3";
+  daemon.knowledge_base().attach_observation(obs);
+  ASSERT_TRUE(daemon.sync_kb().is_ok());
+
+  auto reloaded = kb::KnowledgeBase::load(daemon.documents(), "zen3");
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->hostname(), "zen3");
+  EXPECT_TRUE(reloaded->find_observation("persisted-tag").has_value());
+  EXPECT_EQ(reloaded->interfaces().size(),
+            daemon.knowledge_base().interfaces().size());
+}
+
+}  // namespace
+}  // namespace pmove

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "json/jsonld.hpp"
+#include "json/value.hpp"
+
+namespace pmove::json {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(1.5).is_number());
+  EXPECT_FALSE(Value(1.5).is_integer());
+  EXPECT_TRUE(Value(5).is_integer());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(ValueTest, LenientAccessors) {
+  EXPECT_EQ(Value("x").string_or("y"), "x");
+  EXPECT_EQ(Value(5).string_or("y"), "y");
+  EXPECT_EQ(Value(5).int_or(0), 5);
+  EXPECT_EQ(Value("x").int_or(9), 9);
+  EXPECT_TRUE(Value(true).bool_or(false));
+  EXPECT_FALSE(Value("x").bool_or(false));
+}
+
+TEST(ObjectTest, PreservesInsertionOrder) {
+  Object obj;
+  obj.set("zebra", 1);
+  obj.set("apple", 2);
+  obj.set("mango", 3);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : obj) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"zebra", "apple", "mango"}));
+}
+
+TEST(ObjectTest, SetOverwritesInPlace) {
+  Object obj;
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 10);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.at("a").as_int(), 10);
+  EXPECT_EQ(obj.items().front().first, "a");  // position unchanged
+}
+
+TEST(ObjectTest, EraseReindexes) {
+  Object obj;
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("c", 3);
+  EXPECT_TRUE(obj.erase("b"));
+  EXPECT_FALSE(obj.erase("b"));
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.at("c").as_int(), 3);  // index still valid after erase
+}
+
+TEST(ObjectTest, BracketInsertsNull) {
+  Object obj;
+  Value& v = obj["fresh"];
+  EXPECT_TRUE(v.is_null());
+  v = Value(7);
+  EXPECT_EQ(obj.at("fresh").as_int(), 7);
+}
+
+TEST(ValueTest, AtPathTraversesObjectsAndArrays) {
+  auto doc = Value::parse(
+      R"({"panels": [{"id": 1, "targets": [{"uid": "UUkm188l"}]}]})");
+  ASSERT_TRUE(doc.has_value());
+  const Value* uid = doc->at_path("panels.0.targets.0.uid");
+  ASSERT_NE(uid, nullptr);
+  EXPECT_EQ(uid->as_string(), "UUkm188l");
+  EXPECT_EQ(doc->at_path("panels.1"), nullptr);
+  EXPECT_EQ(doc->at_path("panels.x"), nullptr);
+  EXPECT_EQ(doc->at_path("nope.deep"), nullptr);
+}
+
+// ----------------------------------------------------------------- parse
+
+TEST(ParseTest, Scalars) {
+  EXPECT_TRUE(Value::parse("null")->is_null());
+  EXPECT_EQ(Value::parse("true")->as_bool(), true);
+  EXPECT_EQ(Value::parse("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(Value::parse("3.25")->as_double(), 3.25);
+  EXPECT_EQ(Value::parse("-17")->as_int(), -17);
+  EXPECT_TRUE(Value::parse("-17")->is_integer());
+  EXPECT_FALSE(Value::parse("1e3")->is_integer());
+  EXPECT_DOUBLE_EQ(Value::parse("1e3")->as_double(), 1000.0);
+}
+
+TEST(ParseTest, StringEscapes) {
+  auto v = Value::parse(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\nd" "A");
+}
+
+TEST(ParseTest, UnicodeEscapeMultibyte) {
+  auto v = Value::parse(R"("é")");  // é
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xc3\xa9");
+}
+
+TEST(ParseTest, NestedStructures) {
+  auto v = Value::parse(R"({"a": [1, {"b": [true, null]}], "c": {}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at_path("a.1.b.0")->as_bool(), true);
+  EXPECT_TRUE(v->at_path("a.1.b.1")->is_null());
+  EXPECT_TRUE(v->at_path("c")->as_object().empty());
+}
+
+TEST(ParseTest, WhitespaceTolerant) {
+  auto v = Value::parse(" {\n\t\"k\" :  [ 1 , 2 ]\r\n} ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at_path("k.1")->as_int(), 2);
+}
+
+TEST(ParseTest, ErrorCases) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2", "{'a':1}",
+        "[1,]", "{\"a\":1,}", "\"unterminated", "nul"}) {
+    auto v = Value::parse(bad);
+    EXPECT_FALSE(v.has_value()) << "should reject: " << bad;
+    EXPECT_EQ(v.status().code(), ErrorCode::kParseError) << bad;
+  }
+}
+
+
+TEST(ParseTest, DuplicateKeysLastWins) {
+  auto v = Value::parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_object().size(), 1u);
+  EXPECT_EQ(v->at_path("k")->as_int(), 2);
+}
+
+TEST(ParseTest, LargeFlatDocument) {
+  std::string text = "{";
+  for (int i = 0; i < 5000; ++i) {
+    if (i) text += ",";
+    text += "\"k" + std::to_string(i) + "\":" + std::to_string(i);
+  }
+  text += "}";
+  auto v = Value::parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_object().size(), 5000u);
+  EXPECT_EQ(v->at_path("k4999")->as_int(), 4999);
+}
+
+// ------------------------------------------------------------- serialize
+
+TEST(DumpTest, RoundTripCompact) {
+  const std::string text =
+      R"({"id":1,"panels":[{"id":1,"targets":[{"datasource":{"type":"influxdb","uid":"UUkm188l"},"measurement":"perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value","params":"_cpu0"}]}],"time":{"from":"now-5m","to":"now"}})";
+  auto v = Value::parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->dump(), text);
+}
+
+TEST(DumpTest, IntegersStayIntegers) {
+  EXPECT_EQ(Value(5).dump(), "5");
+  EXPECT_EQ(Value(5.5).dump(), "5.5");
+  EXPECT_EQ(Value(std::int64_t{1700000000000000000}).dump(),
+            "1700000000000000000");
+}
+
+TEST(DumpTest, SpecialDoublesBecomeNull) {
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(Value(1.0 / 0.0 * 1.0).dump(), "null");
+}
+
+TEST(DumpTest, EscapesControlCharacters) {
+  EXPECT_EQ(Value("a\tb\n").dump(), R"("a\tb\n")");
+  EXPECT_EQ(Value(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(DumpTest, PrettyIsReparsable) {
+  auto v = Value::parse(R"({"a":[1,2],"b":{"c":true}})");
+  ASSERT_TRUE(v.has_value());
+  auto re = Value::parse(v->dump_pretty());
+  ASSERT_TRUE(re.has_value());
+  EXPECT_EQ(*re, *v);
+}
+
+TEST(EqualityTest, DeepCompare) {
+  auto a = Value::parse(R"({"x":[1,{"y":2}]})");
+  auto b = Value::parse(R"({"x":[1,{"y":2}]})");
+  auto c = Value::parse(R"({"x":[1,{"y":3}]})");
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+// ---------------------------------------------------------------- JSON-LD
+
+TEST(JsonLdTest, MakeAndParseDtmi) {
+  const std::string dtmi = make_dtmi({"dt", "cn1", "gpu0"});
+  EXPECT_EQ(dtmi, "dtmi:dt:cn1:gpu0;1");
+  auto segments = parse_dtmi(dtmi);
+  ASSERT_TRUE(segments.has_value());
+  EXPECT_EQ(*segments, (std::vector<std::string>{"dt", "cn1", "gpu0"}));
+  EXPECT_EQ(*dtmi_version(dtmi), 1);
+}
+
+TEST(JsonLdTest, DtmiVersioning) {
+  EXPECT_EQ(*dtmi_version("dtmi:dt:x;42"), 42);
+  EXPECT_FALSE(dtmi_version("dtmi:dt:x").has_value());
+  EXPECT_FALSE(dtmi_version("dtmi:dt:x;").has_value());
+  EXPECT_FALSE(dtmi_version("dtmi:dt:x;abc").has_value());
+}
+
+TEST(JsonLdTest, InvalidDtmis) {
+  EXPECT_FALSE(is_valid_dtmi("dt:x;1"));
+  EXPECT_FALSE(is_valid_dtmi("dtmi:;1"));
+  EXPECT_FALSE(is_valid_dtmi("dtmi:a::b;1"));
+  EXPECT_TRUE(is_valid_dtmi("dtmi:dt:cn1:gpu0:telemetry1337;1"));
+}
+
+TEST(JsonLdTest, ValidateEntity) {
+  auto good = Value::parse(
+      R"({"@id":"dtmi:dt:cn1;1","@type":"Interface","@context":"dtmi:dtdl:context;2"})");
+  EXPECT_TRUE(validate_entity(*good).is_ok());
+
+  auto no_context = Value::parse(
+      R"({"@id":"dtmi:dt:cn1;1","@type":"Interface"})");
+  EXPECT_FALSE(validate_entity(*no_context).is_ok());
+
+  auto property = Value::parse(
+      R"({"@id":"dtmi:dt:cn1:p0;1","@type":"Property","name":"model"})");
+  EXPECT_TRUE(validate_entity(*property).is_ok());  // only Interfaces need @context
+
+  auto bad_id = Value::parse(R"({"@id":"nope","@type":"Property"})");
+  EXPECT_FALSE(validate_entity(*bad_id).is_ok());
+
+  EXPECT_FALSE(validate_entity(Value(5)).is_ok());
+}
+
+TEST(JsonLdTest, EntityAccessors) {
+  auto entity = Value::parse(R"({"@id":"dtmi:dt:a;1","@type":"SWTelemetry"})");
+  EXPECT_EQ(entity_id(*entity), "dtmi:dt:a;1");
+  EXPECT_EQ(entity_type(*entity), "SWTelemetry");
+  EXPECT_EQ(entity_id(Value(Object{})), "");
+}
+
+}  // namespace
+}  // namespace pmove::json

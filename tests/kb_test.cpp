@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include "docdb/store.hpp"
+#include "json/jsonld.hpp"
+#include "kb/dtdl.hpp"
+#include "kb/ids.hpp"
+#include "kb/kb.hpp"
+#include "kb/metrics_catalog.hpp"
+#include "kb/observation.hpp"
+#include "topology/prober.hpp"
+
+namespace pmove::kb {
+namespace {
+
+using topology::ComponentKind;
+
+// -------------------------------------------------------------------- ids
+
+TEST(UuidTest, ShapeAndUniqueness) {
+  UuidGenerator gen(7);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    std::string uuid = gen.next();
+    ASSERT_EQ(uuid.size(), 36u);
+    EXPECT_EQ(uuid[8], '-');
+    EXPECT_EQ(uuid[13], '-');
+    EXPECT_EQ(uuid[14], '4');  // version nibble
+    EXPECT_EQ(uuid[18], '-');
+    EXPECT_EQ(uuid[23], '-');
+    seen.insert(std::move(uuid));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(UuidTest, DeterministicPerSeed) {
+  UuidGenerator a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(IdsTest, DbNameSanitizesSeparators) {
+  EXPECT_EQ(db_name("kernel.percpu.cpu.idle"), "kernel_percpu_cpu_idle");
+  EXPECT_EQ(db_name("FP_ARITH:SCALAR_DOUBLE"), "FP_ARITH_SCALAR_DOUBLE");
+  EXPECT_EQ(hw_measurement("FP_ARITH:SCALAR_SINGLE"),
+            "perfevent_hwcounters_FP_ARITH_SCALAR_SINGLE_value");
+  EXPECT_EQ(sw_measurement("mem.numa.alloc.hit"), "mem_numa_alloc_hit");
+}
+
+// ------------------------------------------------------------------- DTDL
+
+TEST(DtdlTest, BuildersMatchListing4Shapes) {
+  json::Value prop = make_property("dtmi:dt:cn1:gpu0:property0;1", "model",
+                                   "NVIDIA Quadro GV100");
+  EXPECT_TRUE(json::validate_entity(prop).is_ok());
+  EXPECT_EQ(prop.find("@type")->as_string(), "Property");
+  EXPECT_EQ(prop.find("description")->as_string(), "NVIDIA Quadro GV100");
+
+  json::Value sw = make_sw_telemetry("dtmi:dt:cn1:gpu0:telemetry1337;1",
+                                     "metric4", "nvidia.memused",
+                                     "nvidia_memused");
+  EXPECT_EQ(sw.find("@type")->as_string(), "SWTelemetry");
+  EXPECT_EQ(sw.find("SamplerName")->as_string(), "nvidia.memused");
+  EXPECT_EQ(sw.find("DBName")->as_string(), "nvidia_memused");
+
+  json::Value hw = make_hw_telemetry(
+      "dtmi:dt:cn1:gpu0:telemetry1404;1", "metric137", "ncu",
+      "gpu__compute_memory_access_throughput",
+      "ncu_gpu__compute_memory_access_throughput", "_gpu0",
+      "Compute Memory Pipeline");
+  EXPECT_EQ(hw.find("@type")->as_string(), "HWTelemetry");
+  EXPECT_EQ(hw.find("PMUName")->as_string(), "ncu");
+  EXPECT_EQ(hw.find("FieldName")->as_string(), "_gpu0");
+
+  json::Value iface = make_interface("dtmi:dt:cn1:gpu0;1");
+  EXPECT_TRUE(json::validate_entity(iface).is_ok());
+  EXPECT_EQ(iface.find("@context")->as_string(), "dtmi:dtdl:context;2");
+  EXPECT_TRUE(iface.find("contents")->is_array());
+}
+
+// --------------------------------------------------------- metrics catalog
+
+TEST(CatalogTest, ThreadsGetPerCpuMetrics) {
+  const auto& metrics = sw_metrics_for(ComponentKind::kThread);
+  ASSERT_FALSE(metrics.empty());
+  bool has_idle = false;
+  for (const auto& m : metrics) {
+    if (m.sampler_name == "kernel.percpu.cpu.idle") has_idle = true;
+    EXPECT_TRUE(m.per_instance);
+  }
+  EXPECT_TRUE(has_idle);
+}
+
+TEST(CatalogTest, KindsWithoutTelemetryAreEmpty) {
+  EXPECT_TRUE(sw_metrics_for(ComponentKind::kCore).empty());
+  EXPECT_TRUE(sw_metrics_for(ComponentKind::kCache).empty());
+  EXPECT_FALSE(sw_metrics_for(ComponentKind::kGpu).empty());
+  EXPECT_FALSE(sw_metrics_for(ComponentKind::kDisk).empty());
+}
+
+TEST(CatalogTest, FieldNames) {
+  topology::Component cpu("cpu7", ComponentKind::kThread);
+  EXPECT_EQ(field_name_for(cpu), "_cpu7");
+  topology::Component numa("numanode1", ComponentKind::kNumaNode);
+  EXPECT_EQ(field_name_for(numa), "_node1");
+  topology::Component disk("sda", ComponentKind::kDisk);
+  EXPECT_EQ(field_name_for(disk), "_sda");
+}
+
+// ----------------------------------------------------------- KB building
+
+class KbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = topology::machine_preset("icl").value();
+    kb_ = std::make_unique<KnowledgeBase>(KnowledgeBase::build(spec));
+  }
+  std::unique_ptr<KnowledgeBase> kb_;
+};
+
+TEST_F(KbTest, SystemDtmi) {
+  EXPECT_EQ(kb_->system_dtmi(), "dtmi:dt:icl;1");
+  EXPECT_EQ(kb_->hostname(), "icl");
+}
+
+TEST_F(KbTest, OneInterfacePerComponent) {
+  const std::size_t component_count = kb_->root().subtree().size();
+  EXPECT_EQ(kb_->interfaces().size(), component_count);
+}
+
+TEST_F(KbTest, EveryInterfaceIsValidDtdl) {
+  for (const auto& [dtmi, iface] : kb_->interfaces()) {
+    EXPECT_TRUE(json::is_valid_dtmi(dtmi)) << dtmi;
+    EXPECT_TRUE(json::validate_entity(iface).is_ok()) << dtmi;
+    // Every content entry is itself a valid entity.
+    for (const auto& entry : iface.find("contents")->as_array()) {
+      EXPECT_TRUE(json::validate_entity(entry).is_ok())
+          << dtmi << ": " << entry.dump();
+    }
+  }
+}
+
+TEST_F(KbTest, RelationshipsLinkParentAndChildren) {
+  const json::Value* system = kb_->interface(kb_->system_dtmi());
+  ASSERT_NE(system, nullptr);
+  int contains = 0;
+  for (const auto& entry : system->find("contents")->as_array()) {
+    if (json::entity_type(entry) == "Relationship") {
+      EXPECT_EQ(entry.find("name")->as_string(), "contains");
+      ++contains;
+    }
+  }
+  EXPECT_EQ(contains, 1);  // system contains node0
+
+  // A thread interface points back at its core.
+  const topology::Component* cpu0 = kb_->root().find_by_name("cpu0");
+  auto cpu_dtmi = kb_->dtmi_for(*cpu0);
+  ASSERT_TRUE(cpu_dtmi.has_value());
+  const json::Value* cpu_iface = kb_->interface(*cpu_dtmi);
+  bool belongs = false;
+  for (const auto& entry : cpu_iface->find("contents")->as_array()) {
+    if (json::entity_type(entry) == "Relationship" &&
+        entry.find("name")->as_string() == "belongs_to") {
+      belongs = true;
+      EXPECT_EQ(*kb_->dtmi_for(*cpu0->parent()),
+                entry.find("target")->as_string());
+    }
+  }
+  EXPECT_TRUE(belongs);
+}
+
+TEST_F(KbTest, ThreadsCarryHwTelemetry) {
+  const topology::Component* cpu0 = kb_->root().find_by_name("cpu0");
+  auto dtmi = kb_->dtmi_for(*cpu0);
+  auto hw = kb_->telemetry_of(*dtmi, "HWTelemetry");
+  EXPECT_GT(hw.size(), 10u);  // Intel thread-scope events
+  auto sw = kb_->telemetry_of(*dtmi, "SWTelemetry");
+  EXPECT_EQ(sw.size(), sw_metrics_for(ComponentKind::kThread).size());
+  for (const auto& entry : hw) {
+    EXPECT_EQ(entry.find("PMUName")->as_string(), "icl");
+    EXPECT_EQ(entry.find("FieldName")->as_string(), "_cpu0");
+  }
+}
+
+TEST_F(KbTest, SocketsCarryRaplTelemetry) {
+  const topology::Component* socket0 = kb_->root().find_by_name("socket0");
+  auto dtmi = kb_->dtmi_for(*socket0);
+  auto hw = kb_->telemetry_of(*dtmi, "HWTelemetry");
+  bool has_rapl = false;
+  for (const auto& entry : hw) {
+    if (entry.find("SamplerName")->as_string() == "RAPL_ENERGY_PKG") {
+      has_rapl = true;
+    }
+  }
+  EXPECT_TRUE(has_rapl);
+}
+
+TEST_F(KbTest, ComponentDtmiRoundTrip) {
+  const topology::Component* cpu3 = kb_->root().find_by_name("cpu3");
+  ASSERT_NE(cpu3, nullptr);
+  auto dtmi = kb_->dtmi_for(*cpu3);
+  ASSERT_TRUE(dtmi.has_value());
+  EXPECT_EQ(kb_->component_for(*dtmi), cpu3);
+  EXPECT_EQ(kb_->component_for("dtmi:dt:unknown;1"), nullptr);
+  topology::Component foreign("alien", ComponentKind::kThread);
+  EXPECT_FALSE(kb_->dtmi_for(foreign).has_value());
+}
+
+TEST_F(KbTest, GpuInterfaceMirrorsListing4) {
+  auto spec = topology::machine_preset("icl").value();
+  topology::GpuSpec gpu;
+  gpu.name = "gpu0";
+  gpu.model = "NVIDIA Quadro GV100";
+  gpu.memory_bytes = 34359ull << 20;
+  gpu.sm_count = 80;
+  spec.gpus.push_back(gpu);
+  KnowledgeBase kb = KnowledgeBase::build(spec);
+  const topology::Component* g = kb.root().find_by_name("gpu0");
+  ASSERT_NE(g, nullptr);
+  auto dtmi = kb.dtmi_for(*g);
+  auto hw = kb.telemetry_of(*dtmi, "HWTelemetry");
+  ASSERT_FALSE(hw.empty());
+  for (const auto& entry : hw) {
+    EXPECT_EQ(entry.find("PMUName")->as_string(), "ncu");
+    EXPECT_EQ(entry.find("FieldName")->as_string(), "_gpu0");
+    EXPECT_EQ(entry.find("DBName")->as_string().rfind("ncu_", 0), 0u);
+  }
+  auto sw = kb.telemetry_of(*dtmi, "SWTelemetry");
+  bool memused = false;
+  for (const auto& entry : sw) {
+    if (entry.find("SamplerName")->as_string() == "nvidia.memused") {
+      memused = true;
+      EXPECT_EQ(entry.find("DBName")->as_string(), "nvidia_memused");
+    }
+  }
+  EXPECT_TRUE(memused);
+}
+
+// --------------------------------------------------------- observations
+
+ObservationInterface sample_observation() {
+  ObservationInterface obs;
+  obs.tag = "278e26c2-3fd3-45e4-862b-5646dc9e7aa0";
+  obs.host = "icl";
+  obs.command = "./spmv hugetrace-00020.mtx";
+  obs.affinity = "balanced";
+  obs.cpus = {0, 1, 22, 23};
+  obs.start = 0;
+  obs.end = from_seconds(2.0);
+  obs.sampling_hz = 8.0;
+  SampledMetric cpu_idle;
+  cpu_idle.sampler_name = "kernel.percpu.cpu.idle";
+  cpu_idle.db_name = "kernel_percpu_cpu_idle";
+  cpu_idle.fields = {"_cpu0", "_cpu1", "_cpu22", "_cpu23"};
+  obs.metrics.push_back(cpu_idle);
+  SampledMetric numa;
+  numa.sampler_name = "mem.numa.alloc.hit";
+  numa.db_name = "mem_numa_alloc_hit";
+  numa.fields = {"_node0", "_node1"};
+  obs.metrics.push_back(numa);
+  return obs;
+}
+
+TEST(ObservationTest, JsonRoundTrip) {
+  ObservationInterface obs = sample_observation();
+  obs.id = "dtmi:dt:icl:observation:x;1";
+  json::Object report;
+  report.set("wall_seconds", 2.0);
+  obs.report = json::Value(std::move(report));
+  auto restored = ObservationInterface::from_json(obs.to_json());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->tag, obs.tag);
+  EXPECT_EQ(restored->command, obs.command);
+  EXPECT_EQ(restored->cpus, obs.cpus);
+  EXPECT_EQ(restored->metrics.size(), 2u);
+  EXPECT_EQ(restored->metrics[1].fields,
+            (std::vector<std::string>{"_node0", "_node1"}));
+  EXPECT_DOUBLE_EQ(restored->report.find("wall_seconds")->as_double(), 2.0);
+}
+
+TEST(ObservationTest, GeneratedQueriesMatchListing3) {
+  ObservationInterface obs = sample_observation();
+  auto queries = obs.generate_queries();
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0],
+            "SELECT \"_cpu0\", \"_cpu1\", \"_cpu22\", \"_cpu23\" FROM "
+            "\"kernel_percpu_cpu_idle\" WHERE "
+            "tag=\"278e26c2-3fd3-45e4-862b-5646dc9e7aa0\"");
+  EXPECT_EQ(queries[1],
+            "SELECT \"_node0\", \"_node1\" FROM \"mem_numa_alloc_hit\" WHERE "
+            "tag=\"278e26c2-3fd3-45e4-862b-5646dc9e7aa0\"");
+}
+
+TEST(ObservationTest, FromJsonRejectsMissingTag) {
+  json::Object obj;
+  obj.set("@id", "x;1");
+  EXPECT_FALSE(ObservationInterface::from_json(json::Value(std::move(obj)))
+                   .has_value());
+  EXPECT_FALSE(ObservationInterface::from_json(json::Value(5)).has_value());
+}
+
+TEST(BenchmarkTest, JsonRoundTrip) {
+  BenchmarkInterface bench;
+  bench.host = "skx";
+  bench.benchmark = "STREAM";
+  bench.compiler = "gcc";
+  bench.parameters["n"] = "4194304";
+  bench.results.push_back({"triad_gbs", 102.4, "GB/s"});
+  auto restored = BenchmarkInterface::from_json(bench.to_json());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->benchmark, "STREAM");
+  EXPECT_EQ(restored->parameters.at("n"), "4194304");
+  ASSERT_EQ(restored->results.size(), 1u);
+  EXPECT_DOUBLE_EQ(restored->results[0].value, 102.4);
+}
+
+TEST_F(KbTest, AttachAndFindObservation) {
+  ObservationInterface obs = sample_observation();
+  kb_->attach_observation(obs);
+  ASSERT_EQ(kb_->observations().size(), 1u);
+  EXPECT_FALSE(kb_->observations()[0].id.empty());
+  auto found = kb_->find_observation(obs.tag);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->command, obs.command);
+  EXPECT_FALSE(kb_->find_observation("missing-tag").has_value());
+}
+
+TEST_F(KbTest, AttachAndFindBenchmark) {
+  BenchmarkInterface bench;
+  bench.benchmark = "CARM";
+  kb_->attach_benchmark(bench);
+  BenchmarkInterface newer;
+  newer.benchmark = "CARM";
+  newer.compiler = "icc";
+  kb_->attach_benchmark(newer);
+  auto found = kb_->find_benchmark("CARM");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->compiler, "icc");  // latest wins
+  EXPECT_FALSE(kb_->find_benchmark("HPCG").has_value());
+}
+
+// ---------------------------------------------------------- store / load
+
+TEST_F(KbTest, StoreAndLoadRoundTrip) {
+  kb_->attach_observation(sample_observation());
+  BenchmarkInterface bench;
+  bench.benchmark = "STREAM";
+  bench.results.push_back({"triad_gbs", 50.0, "GB/s"});
+  kb_->attach_benchmark(bench);
+  docdb::DocumentStore store;
+  ASSERT_TRUE(kb_->store(store).is_ok());
+  EXPECT_EQ(store.count("kb"), kb_->interfaces().size());
+  EXPECT_EQ(store.count("observations"), 1u);
+  EXPECT_EQ(store.count("benchmarks"), 1u);
+  EXPECT_EQ(store.count("kb_meta"), 1u);
+
+  auto loaded = KnowledgeBase::load(store, "icl");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->hostname(), "icl");
+  EXPECT_EQ(loaded->interfaces().size(), kb_->interfaces().size());
+  ASSERT_EQ(loaded->observations().size(), 1u);
+  EXPECT_EQ(loaded->observations()[0].tag,
+            "278e26c2-3fd3-45e4-862b-5646dc9e7aa0");
+  ASSERT_EQ(loaded->benchmarks().size(), 1u);
+  EXPECT_EQ(loaded->benchmarks()[0].benchmark, "STREAM");
+}
+
+TEST_F(KbTest, ReStoreIsIdempotent) {
+  docdb::DocumentStore store;
+  ASSERT_TRUE(kb_->store(store).is_ok());
+  const std::size_t first = store.count("kb");
+  ASSERT_TRUE(kb_->store(store).is_ok());  // step 3 re-occurs
+  EXPECT_EQ(store.count("kb"), first);
+}
+
+TEST(KbLoadTest, LoadMissingHostFails) {
+  docdb::DocumentStore store;
+  EXPECT_FALSE(KnowledgeBase::load(store, "ghost").has_value());
+}
+
+TEST_F(KbTest, ToJsonContainsEverything) {
+  kb_->attach_observation(sample_observation());
+  json::Value doc = kb_->to_json();
+  EXPECT_EQ(doc.find("hostname")->as_string(), "icl");
+  EXPECT_EQ(doc.find("interfaces")->as_object().size(),
+            kb_->interfaces().size());
+  EXPECT_EQ(doc.find("observations")->as_array().size(), 1u);
+}
+
+TEST(KbFromReportTest, BuildsFromProbeReportJson) {
+  auto spec = topology::machine_preset("zen3").value();
+  auto kb = KnowledgeBase::from_probe_report(topology::probe_report(spec));
+  ASSERT_TRUE(kb.has_value());
+  EXPECT_EQ(kb->hostname(), "zen3");
+  // Zen3 thread interfaces reference the zen3 PMU.
+  const topology::Component* cpu0 = kb->root().find_by_name("cpu0");
+  auto hw = kb->telemetry_of(*kb->dtmi_for(*cpu0), "HWTelemetry");
+  ASSERT_FALSE(hw.empty());
+  EXPECT_EQ(hw.front().find("PMUName")->as_string(), "zen3");
+  EXPECT_FALSE(KnowledgeBase::from_probe_report(json::Value(1)).has_value());
+}
+
+}  // namespace
+}  // namespace pmove::kb

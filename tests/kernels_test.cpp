@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/kernels.hpp"
+#include "topology/machine.hpp"
+#include "workload/counter_source.hpp"
+
+namespace pmove::kernels {
+namespace {
+
+using workload::Quantity;
+
+topology::MachineSpec machine() {
+  return topology::machine_preset("icl").value();
+}
+
+TEST(KernelNamesTest, RoundTrip) {
+  for (KernelKind kind : all_kernels()) {
+    auto parsed = kernel_from_name(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(kernel_from_name("nope").has_value());
+  EXPECT_EQ(all_kernels().size(), 6u);  // the paper's six likwid kernels
+}
+
+TEST(KernelCostsTest, TheoreticalAisMatchPaper) {
+  // Fig 9: triad AI 0.625, ddot AI 0.125 (peakflops conventionally 2).
+  EXPECT_NEAR(kernel_costs(KernelKind::kTriad).theoretical_ai(), 0.0625, 1e-9);
+  EXPECT_NEAR(kernel_costs(KernelKind::kDdot).theoretical_ai(), 0.125, 1e-9);
+  EXPECT_NEAR(kernel_costs(KernelKind::kStream).theoretical_ai(), 1.0 / 12,
+              1e-9);
+}
+
+class KernelRunTest : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(KernelRunTest, GroundTruthMatchesAnalyticCounts) {
+  KernelSpec spec;
+  spec.kind = GetParam();
+  spec.n = 1u << 14;
+  spec.iterations = 3;
+  auto run = run_kernel(spec, machine());
+  const KernelCosts costs = kernel_costs(spec.kind);
+  const double elems = static_cast<double>(spec.n) * spec.iterations;
+  EXPECT_DOUBLE_EQ(run.totals.total_flops(), costs.flops_per_elem * elems);
+  EXPECT_DOUBLE_EQ(run.totals.get(Quantity::kLoads),
+                   costs.loads_per_elem * elems);
+  EXPECT_DOUBLE_EQ(run.totals.get(Quantity::kStores),
+                   costs.stores_per_elem * elems);
+  EXPECT_GT(run.seconds, 0.0);
+  EXPECT_GT(run.totals.get(Quantity::kEnergyPkgJoules), 0.0);
+  EXPECT_GT(run.totals.get(Quantity::kInstructions),
+            run.totals.total_flops());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelRunTest,
+                         ::testing::ValuesIn(all_kernels()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(KernelRunTest, SumComputesCorrectChecksum) {
+  KernelSpec spec;
+  spec.kind = KernelKind::kSum;
+  spec.n = 1000;
+  spec.iterations = 2;
+  spec.chunks = 7;
+  auto run = run_kernel(spec, machine());
+  // Vector of ones summed twice.
+  EXPECT_NEAR(run.checksum, 2000.0, 1e-9);
+}
+
+TEST(KernelRunTest, DdotComputesDotProduct) {
+  KernelSpec spec;
+  spec.kind = KernelKind::kDdot;
+  spec.n = 500;
+  spec.iterations = 1;
+  spec.chunks = 3;
+  auto run = run_kernel(spec, machine());
+  // a=1.0, b=2.0 -> dot = 1000.
+  EXPECT_NEAR(run.checksum, 1000.0, 1e-9);
+}
+
+TEST(KernelRunTest, LiveCountersSeeProgress) {
+  workload::LiveCounters live(4);
+  KernelSpec spec;
+  spec.kind = KernelKind::kDaxpy;
+  spec.n = 1u << 12;
+  spec.iterations = 2;
+  spec.cpu = 3;
+  auto run = run_kernel(spec, machine(), &live);
+  EXPECT_DOUBLE_EQ(live.cumulative(Quantity::kScalarFlops, 3, 0),
+                   run.totals.get(Quantity::kScalarFlops));
+  EXPECT_DOUBLE_EQ(live.cumulative(Quantity::kScalarFlops, 0, 0), 0.0);
+}
+
+TEST(KernelRunTest, CacheMissesFollowWorkingSet) {
+  topology::MachineSpec m = machine();  // L1 = 48K, L2 = 512K, L3 = 16M
+  KernelSpec tiny;   // 4K doubles * 2 vectors = 64K > L1, < L2
+  tiny.kind = KernelKind::kDdot;
+  tiny.n = 1u << 12;
+  tiny.iterations = 1;
+  auto small_run = run_kernel(tiny, m);
+  EXPECT_GT(small_run.totals.get(Quantity::kL1Miss), 0.0);
+  EXPECT_DOUBLE_EQ(small_run.totals.get(Quantity::kL2Miss), 0.0);
+
+  KernelSpec big;  // 1M doubles * 2 vectors = 16M > L2, = L3 cap
+  big.kind = KernelKind::kDdot;
+  big.n = 1u << 20;
+  big.iterations = 1;
+  auto big_run = run_kernel(big, m);
+  EXPECT_GT(big_run.totals.get(Quantity::kL2Miss), 0.0);
+}
+
+TEST(KernelRunTest, PeakflopsHasNoStreamingMisses) {
+  KernelSpec spec;
+  spec.kind = KernelKind::kPeakflops;
+  spec.n = 1u << 16;
+  spec.iterations = 1;
+  auto run = run_kernel(spec, machine());
+  EXPECT_DOUBLE_EQ(run.totals.get(Quantity::kL1Miss), 0.0);
+  EXPECT_GT(run.gflops(), 0.1);  // register-resident: should be fast
+}
+
+TEST(KernelRunTest, TraceFromRunSpansMeasuredTime) {
+  KernelSpec spec;
+  spec.kind = KernelKind::kTriad;
+  spec.n = 1u << 12;
+  spec.iterations = 2;
+  auto run = run_kernel(spec, machine());
+  auto trace = trace_from_run(run, spec, "triad");
+  ASSERT_EQ(trace.phases().size(), 1u);
+  EXPECT_EQ(trace.phases()[0].name, "triad");
+  EXPECT_EQ(trace.end(), from_seconds(run.seconds));
+  EXPECT_DOUBLE_EQ(trace.total(Quantity::kLoads),
+                   run.totals.get(Quantity::kLoads));
+}
+
+// ---------------------------------------------------------------- STREAM
+
+TEST(StreamTest, AllFourKernelsReportBandwidth) {
+  auto result = run_stream(1u << 18, 2);
+  EXPECT_GT(result.copy_gbs, 0.0);
+  EXPECT_GT(result.scale_gbs, 0.0);
+  EXPECT_GT(result.add_gbs, 0.0);
+  EXPECT_GT(result.triad_gbs, 0.0);
+}
+
+// ------------------------------------------------------------- HPCG-lite
+
+TEST(HpcgTest, ConvergesOnPoisson) {
+  auto result = run_hpcg_lite(32, 400, 1e-6);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->final_residual, 1e-6);
+  EXPECT_GT(result->iterations, 5);
+  EXPECT_GT(result->gflops, 0.0);
+}
+
+TEST(HpcgTest, RespectsIterationCap) {
+  auto result = run_hpcg_lite(64, 3, 1e-12);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->iterations, 3);
+  EXPECT_GT(result->final_residual, 1e-12);
+}
+
+TEST(HpcgTest, RejectsTinyGrid) {
+  EXPECT_FALSE(run_hpcg_lite(2).has_value());
+}
+
+}  // namespace
+}  // namespace pmove::kernels

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "kb/kb.hpp"
+#include "kb/linked_query.hpp"
+#include "kb/process.hpp"
+#include "topology/machine.hpp"
+
+namespace pmove::kb {
+namespace {
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = std::make_unique<KnowledgeBase>(
+        KnowledgeBase::build(topology::machine_preset("icl").value()));
+    store_ = std::make_unique<TripleStore>(TripleStore::from_kb(*kb_));
+  }
+  std::unique_ptr<KnowledgeBase> kb_;
+  std::unique_ptr<TripleStore> store_;
+};
+
+TEST_F(TripleStoreTest, MaterializesTriples) {
+  EXPECT_GT(store_->size(), 500u);  // icl has 16 threads x ~20 events + ...
+  // Every interface contributes a type assertion.
+  auto interfaces = store_->subjects_where("a", "Interface");
+  EXPECT_EQ(interfaces.size(), kb_->interfaces().size());
+}
+
+TEST_F(TripleStoreTest, MatchWithWildcards) {
+  // Fully bound.
+  auto bound = store_->match("dtmi:dt:icl;1", "a", "Interface");
+  ASSERT_EQ(bound.size(), 1u);
+  // Wildcard object: the system contains node0.
+  auto contains = store_->match("dtmi:dt:icl;1", "contains", "?");
+  ASSERT_EQ(contains.size(), 1u);
+  EXPECT_EQ(contains[0].object, "dtmi:dt:icl:node0;1");
+  // Wildcard everything = all triples.
+  EXPECT_EQ(store_->match("?", "?", "?").size(), store_->size());
+  // Empty string behaves as wildcard too.
+  EXPECT_EQ(store_->match("", "a", "Interface").size(),
+            kb_->interfaces().size());
+}
+
+TEST_F(TripleStoreTest, FollowContainmentPath) {
+  // system -contains-> node -contains-> {socket, disk, nic}.
+  auto level2 = store_->follow("dtmi:dt:icl;1", {"contains", "contains"});
+  ASSERT_EQ(level2.size(), 3u);
+  EXPECT_NE(std::find(level2.begin(), level2.end(),
+                      "dtmi:dt:icl:socket0;1"),
+            level2.end());
+  // Two more hops: socket -> {L3, numa} -> {memory + 8 cores}.
+  auto level4 = store_->follow(
+      "dtmi:dt:icl;1", {"contains", "contains", "contains", "contains"});
+  EXPECT_EQ(level4.size(), 9u);
+  // Dead end yields empty.
+  EXPECT_TRUE(store_->follow("dtmi:dt:icl;1", {"no_such_edge"}).empty());
+}
+
+TEST_F(TripleStoreTest, SubjectsWhereProperty) {
+  auto caches = store_->subjects_where("property:kind", "cache");
+  // icl: 8 cores x 2 private caches + 1 shared L3.
+  EXPECT_EQ(caches.size(), 17u);
+  auto l1 = store_->subjects_where("property:level", "L1");
+  EXPECT_EQ(l1.size(), 8u);
+}
+
+TEST_F(TripleStoreTest, TelemetryLinkage) {
+  // Every thread links to the per-cpu idle measurement.
+  auto linked = store_->subjects_where("telemetry",
+                                       "kernel_percpu_cpu_idle");
+  EXPECT_EQ(linked.size(), 16u);
+  // The measurement itself is typed.
+  auto kinds = store_->match("kernel_percpu_cpu_idle", "a", "?");
+  ASSERT_FALSE(kinds.empty());
+  EXPECT_EQ(kinds[0].object, "SWTelemetry");
+  auto hw = store_->match(
+      "perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE_value", "a", "?");
+  ASSERT_FALSE(hw.empty());
+  EXPECT_EQ(hw[0].object, "HWTelemetry");
+}
+
+TEST_F(TripleStoreTest, ProcessTriplesIncludePinning) {
+  ProcessSpec spec;
+  spec.pid = 31337;
+  spec.name = "spmv";
+  spec.cpus = {0, 3};
+  ASSERT_TRUE(kb_->instantiate_process(spec).has_value());
+  auto store = TripleStore::from_kb(*kb_);
+  auto pinned = store.match("dtmi:dt:icl:process:31337;1", "pinned_to", "?");
+  ASSERT_EQ(pinned.size(), 2u);
+  EXPECT_EQ(pinned[0].object, "dtmi:dt:icl:cpu0;1");
+  EXPECT_EQ(pinned[1].object, "dtmi:dt:icl:cpu3;1");
+  // Advanced analysis example: which CPUs run any process?
+  auto processes = store.subjects_where("property:kind", "process");
+  ASSERT_EQ(processes.size(), 1u);
+  auto cpus = store.follow(processes[0], {"pinned_to"});
+  EXPECT_EQ(cpus.size(), 2u);
+}
+
+TEST(TripleTest, Equality) {
+  Triple a{"s", "p", "o"}, b{"s", "p", "o"}, c{"s", "p", "x"};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace pmove::kb

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "pmu/events.hpp"
+#include "pmu/pmu.hpp"
+#include "topology/machine.hpp"
+#include "workload/activity.hpp"
+#include "workload/counter_source.hpp"
+
+namespace pmove::pmu {
+namespace {
+
+using topology::MachineSpec;
+using topology::Microarch;
+using workload::ActivityTrace;
+using workload::Quantity;
+using workload::QuantitySet;
+using workload::TraceBuilder;
+using workload::TraceSource;
+
+// ------------------------------------------------------------ event tables
+
+TEST(EventTableTest, IntelHasPaperEvents) {
+  const EventTable& table = event_table(Microarch::kSkylakeX);
+  for (const char* event :
+       {"UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED", "UOPS_DISPATCHED",
+        "FP_ARITH:SCALAR_DOUBLE", "FP_ARITH:512B_PACKED_DOUBLE",
+        "MEM_INST_RETIRED:ALL_LOADS", "MEM_INST_RETIRED:ALL_STORES",
+        "RAPL_ENERGY_PKG", "LONGEST_LAT_CACHE:MISS"}) {
+    EXPECT_TRUE(table.supports(event)) << event;
+  }
+  // Table I: L3-hit event does not exist on Intel.
+  EXPECT_FALSE(table.supports("LONGEST_LAT_CACHE:RETIRED"));
+}
+
+TEST(EventTableTest, Zen3HasPaperEvents) {
+  const EventTable& table = event_table(Microarch::kZen3);
+  for (const char* event :
+       {"CYCLES_NOT_IN_HALT", "RETIRED_INSTRUCTIONS",
+        "RETIRED_SSE_AVX_FLOPS:ANY", "LS_DISPATCH:LD_DISPATCH",
+        "LS_DISPATCH:STORE_DISPATCH", "RAPL_ENERGY_PKG", "RAPL_ENERGY_DRAM",
+        "LONGEST_LAT_CACHE:MISS", "LONGEST_LAT_CACHE:RETIRED"}) {
+    EXPECT_TRUE(table.supports(event)) << event;
+  }
+  // Intel-style FP_ARITH events do not exist on AMD.
+  EXPECT_FALSE(table.supports("FP_ARITH:SCALAR_DOUBLE"));
+}
+
+TEST(EventTableTest, CounterSlotLimitsMatchPaper) {
+  // "Intel has four programmable counters per core (eight if not shared
+  // with a second thread); AMD has two."
+  EXPECT_EQ(event_table(Microarch::kSkylakeX).hardware().programmable_counters,
+            4);
+  EXPECT_EQ(event_table(Microarch::kSkylakeX)
+                .hardware()
+                .programmable_counters_smt_off,
+            8);
+  EXPECT_EQ(event_table(Microarch::kZen3).hardware().programmable_counters,
+            2);
+}
+
+TEST(EventTableTest, LookupErrors) {
+  const EventTable& table = event_table(Microarch::kIceLake);
+  EXPECT_FALSE(table.lookup("NO_SUCH_EVENT").has_value());
+  EXPECT_EQ(table.lookup("NO_SUCH_EVENT").status().code(),
+            ErrorCode::kNotFound);
+  auto def = table.lookup("RAPL_ENERGY_PKG");
+  ASSERT_TRUE(def.has_value());
+  EXPECT_EQ(def->scope, EventScope::kPackage);
+}
+
+TEST(EventTableTest, PmuShortNames) {
+  EXPECT_EQ(pmu_short_name(Microarch::kSkylakeX), "skx");
+  EXPECT_EQ(pmu_short_name(Microarch::kIceLake), "icl");
+  EXPECT_EQ(pmu_short_name(Microarch::kCascadeLake), "csl");
+  EXPECT_EQ(pmu_short_name(Microarch::kZen3), "zen3");
+}
+
+TEST(EventTableTest, EventNamesSortedAndUnique) {
+  const EventTable& table = event_table(Microarch::kSkylakeX);
+  auto names = table.event_names();
+  EXPECT_EQ(names.size(), table.size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+// -------------------------------------------------------------- scheduling
+
+TEST(ScheduleTest, FitsInOneGroup) {
+  const EventTable& table = event_table(Microarch::kSkylakeX);
+  auto schedule = schedule_events(
+      table, {"FP_ARITH:SCALAR_DOUBLE", "MEM_INST_RETIRED:ALL_LOADS"});
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->group_count(), 1);
+  EXPECT_FALSE(schedule->multiplexed());
+}
+
+TEST(ScheduleTest, FixedCountersRideFree) {
+  const EventTable& table = event_table(Microarch::kSkylakeX);
+  auto schedule = schedule_events(
+      table, {"UNHALTED_CORE_CYCLES", "INSTRUCTION_RETIRED",
+              "FP_ARITH:SCALAR_DOUBLE", "MEM_INST_RETIRED:ALL_LOADS",
+              "MEM_INST_RETIRED:ALL_STORES", "L1D:REPLACEMENT"});
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->fixed.size(), 2u);
+  EXPECT_EQ(schedule->group_count(), 1);  // 4 programmable events, 4 slots
+}
+
+TEST(ScheduleTest, OverflowTriggersMultiplexing) {
+  const EventTable& table = event_table(Microarch::kSkylakeX);
+  std::vector<std::string> events = {
+      "FP_ARITH:SCALAR_DOUBLE", "FP_ARITH:128B_PACKED_DOUBLE",
+      "FP_ARITH:256B_PACKED_DOUBLE", "FP_ARITH:512B_PACKED_DOUBLE",
+      "MEM_INST_RETIRED:ALL_LOADS"};
+  auto schedule = schedule_events(table, events, /*smt_active=*/true);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->group_count(), 2);
+  EXPECT_TRUE(schedule->multiplexed());
+  // Same events fit without SMT (8 slots).
+  auto wide = schedule_events(table, events, /*smt_active=*/false);
+  EXPECT_EQ(wide->group_count(), 1);
+}
+
+TEST(ScheduleTest, AmdOverflowsSooner) {
+  const EventTable& table = event_table(Microarch::kZen3);
+  auto schedule = schedule_events(
+      table, {"RETIRED_SSE_AVX_FLOPS:ANY", "LS_DISPATCH:LD_DISPATCH",
+              "LS_DISPATCH:STORE_DISPATCH"});
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->group_count(), 2);  // 3 events / 2 slots
+}
+
+TEST(ScheduleTest, UnknownEventFails) {
+  const EventTable& table = event_table(Microarch::kSkylakeX);
+  auto schedule = schedule_events(table, {"NOT_AN_EVENT"});
+  EXPECT_FALSE(schedule.has_value());
+}
+
+TEST(ScheduleTest, GroupOf) {
+  const EventTable& table = event_table(Microarch::kZen3);
+  auto schedule = schedule_events(
+      table, {"RETIRED_SSE_AVX_FLOPS:ANY", "LS_DISPATCH:LD_DISPATCH",
+              "LS_DISPATCH:STORE_DISPATCH"});
+  EXPECT_EQ(schedule->group_of("RETIRED_SSE_AVX_FLOPS:ANY"), 0);
+  EXPECT_EQ(schedule->group_of("LS_DISPATCH:STORE_DISPATCH"), 1);
+  EXPECT_EQ(schedule->group_of("ABSENT"), -1);
+}
+
+// ----------------------------------------------------------- simulated PMU
+
+class SimulatedPmuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = topology::machine_preset("skx").value();
+    TraceBuilder builder;
+    QuantitySet totals;
+    totals.set(Quantity::kScalarFlops, 1e9);
+    totals.set(Quantity::kLoads, 2e9);
+    totals.set(Quantity::kStores, 1e9);
+    totals.set(Quantity::kInstructions, 5e9);
+    totals.set(Quantity::kEnergyPkgJoules, 100.0);
+    builder.add_phase("kernel", from_seconds(1.0), {0, 1}, totals);
+    trace_ = std::move(builder).build();
+    source_ = std::make_unique<TraceSource>(&trace_);
+    pmu_ = std::make_unique<SimulatedPmu>(machine_, source_.get());
+  }
+
+  MachineSpec machine_;
+  ActivityTrace trace_;
+  std::unique_ptr<TraceSource> source_;
+  std::unique_ptr<SimulatedPmu> pmu_;
+};
+
+TEST_F(SimulatedPmuTest, ReadRequiresConfiguration) {
+  auto value = pmu_->read("FP_ARITH:SCALAR_DOUBLE", 0, from_seconds(1.0));
+  EXPECT_FALSE(value.has_value());
+  EXPECT_EQ(value.status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(SimulatedPmuTest, ExactReadMatchesTrace) {
+  auto value =
+      pmu_->read_exact("FP_ARITH:SCALAR_DOUBLE", 0, from_seconds(1.0));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 5e8);  // half of 1e9, split over cpus {0,1}
+}
+
+TEST_F(SimulatedPmuTest, NoisyReadIsCloseToExact) {
+  ASSERT_TRUE(pmu_->configure({"FP_ARITH:SCALAR_DOUBLE"}).is_ok());
+  auto value = pmu_->read("FP_ARITH:SCALAR_DOUBLE", 0, from_seconds(1.0));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_NEAR(*value, 5e8, 5e8 * 0.01);
+  EXPECT_NE(*value, 5e8);  // noise present
+}
+
+TEST_F(SimulatedPmuTest, DeterministicNoiseIsRepeatable) {
+  ASSERT_TRUE(pmu_->configure({"FP_ARITH:SCALAR_DOUBLE"}).is_ok());
+  auto a = pmu_->read("FP_ARITH:SCALAR_DOUBLE", 0, from_seconds(0.5));
+  auto b = pmu_->read("FP_ARITH:SCALAR_DOUBLE", 0, from_seconds(0.5));
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST_F(SimulatedPmuTest, UnconfiguredEventRejected) {
+  ASSERT_TRUE(pmu_->configure({"FP_ARITH:SCALAR_DOUBLE"}).is_ok());
+  auto value = pmu_->read("MEM_INST_RETIRED:ALL_LOADS", 0, from_seconds(1.0));
+  EXPECT_FALSE(value.has_value());
+  EXPECT_EQ(value.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SimulatedPmuTest, FixedCounterAlwaysReadable) {
+  ASSERT_TRUE(pmu_->configure({"FP_ARITH:SCALAR_DOUBLE"}).is_ok());
+  auto value = pmu_->read("INSTRUCTION_RETIRED", 0, from_seconds(1.0));
+  EXPECT_TRUE(value.has_value());
+}
+
+TEST_F(SimulatedPmuTest, PackageEnergySumsCpusAndIdlePower) {
+  ASSERT_TRUE(pmu_->configure({"RAPL_ENERGY_PKG"}).is_ok());
+  // cpus {0,1} are both in package 0 on skx (cores 0..21 = socket 0).
+  auto pkg0 = pmu_->read_exact("RAPL_ENERGY_PKG", 0, from_seconds(1.0));
+  ASSERT_TRUE(pkg0.has_value());
+  PmuNoiseModel noise;
+  EXPECT_NEAR(*pkg0, 100.0 + noise.idle_watts_per_package, 1e-6);
+  // Package 1 (cpu 22 = core 22 = socket 1) only sees idle power.
+  auto pkg1 = pmu_->read_exact("RAPL_ENERGY_PKG", 22, from_seconds(1.0));
+  EXPECT_NEAR(*pkg1, noise.idle_watts_per_package, 1e-6);
+}
+
+TEST_F(SimulatedPmuTest, PackageOfFollowsProberNumbering) {
+  EXPECT_EQ(pmu_->package_of(0), 0);
+  EXPECT_EQ(pmu_->package_of(21), 0);
+  EXPECT_EQ(pmu_->package_of(22), 1);
+  EXPECT_EQ(pmu_->package_of(43), 1);
+  EXPECT_EQ(pmu_->package_of(44), 0);  // SMT sibling of core 0
+  EXPECT_EQ(pmu_->package_of(66), 1);  // SMT sibling of core 22
+}
+
+TEST_F(SimulatedPmuTest, DeltaReadSumsToApproximateTotal) {
+  ASSERT_TRUE(pmu_->configure({"FP_ARITH:SCALAR_DOUBLE"}).is_ok());
+  double accumulated = 0.0;
+  const int samples = 20;
+  for (int i = 0; i < samples; ++i) {
+    const TimeNs t0 = from_seconds(i / 20.0);
+    const TimeNs t1 = from_seconds((i + 1) / 20.0);
+    auto delta = pmu_->read_delta("FP_ARITH:SCALAR_DOUBLE", 0, t0, t1);
+    ASSERT_TRUE(delta.has_value());
+    accumulated += *delta;
+  }
+  EXPECT_NEAR(accumulated, 5e8, 5e8 * 0.02);
+}
+
+TEST_F(SimulatedPmuTest, InstructionReadsCarryOvercountBias) {
+  PmuNoiseModel noise;
+  noise.relative_sigma = 0.0;
+  noise.multiplex_extra_sigma = 0.0;
+  noise.read_jitter_sigma_ns = 0.0;
+  SimulatedPmu pmu(machine_, source_.get(), noise);
+  ASSERT_TRUE(pmu.configure({"INSTRUCTION_RETIRED"}).is_ok());
+  auto exact = pmu.read_exact("INSTRUCTION_RETIRED", 0, from_seconds(1.0));
+  auto read = pmu.read("INSTRUCTION_RETIRED", 0, from_seconds(1.0));
+  EXPECT_DOUBLE_EQ(*read, *exact + noise.read_bias_events);
+}
+
+TEST_F(SimulatedPmuTest, MultiplexingIncreasesSpread) {
+  // Worst-case relative error with 2 groups should exceed 1 group's.
+  auto spread = [&](const std::vector<std::string>& events) {
+    SimulatedPmu pmu(machine_, source_.get());
+    EXPECT_TRUE(pmu.configure(events).is_ok());
+    double max_rel = 0.0;
+    for (int i = 1; i <= 50; ++i) {
+      const TimeNs t = from_seconds(i / 50.0);
+      auto value = pmu.read("FP_ARITH:SCALAR_DOUBLE", 0, t);
+      auto exact = pmu.read_exact("FP_ARITH:SCALAR_DOUBLE", 0, t);
+      max_rel = std::max(max_rel, std::abs(*value - *exact) / *exact);
+    }
+    return max_rel;
+  };
+  const double single = spread({"FP_ARITH:SCALAR_DOUBLE"});
+  const double multiplexed =
+      spread({"FP_ARITH:SCALAR_DOUBLE", "FP_ARITH:128B_PACKED_DOUBLE",
+              "FP_ARITH:256B_PACKED_DOUBLE", "FP_ARITH:512B_PACKED_DOUBLE",
+              "MEM_INST_RETIRED:ALL_LOADS"});
+  EXPECT_GT(multiplexed, single);
+}
+
+TEST(SimulatedPmuSemanticsTest, Zen3FlopEventMergesIsaClasses) {
+  MachineSpec zen3 = topology::machine_preset("zen3").value();
+  TraceBuilder builder;
+  QuantitySet totals;
+  totals.set(Quantity::kScalarFlops, 100.0);
+  totals.set(Quantity::kSseFlops, 200.0);
+  totals.set(Quantity::kAvx2Flops, 300.0);
+  builder.add_phase("k", from_seconds(1.0), {0}, totals);
+  ActivityTrace trace = std::move(builder).build();
+  TraceSource source(&trace);
+  SimulatedPmu pmu(zen3, &source);
+  auto value =
+      pmu.read_exact("RETIRED_SSE_AVX_FLOPS:ANY", 0, from_seconds(1.0));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 600.0);
+}
+
+TEST(SimulatedPmuSemanticsTest, IntelPackedEventsCountInstructions) {
+  MachineSpec skx = topology::machine_preset("skx").value();
+  TraceBuilder builder;
+  QuantitySet totals;
+  totals.set(Quantity::kAvx512Flops, 800.0);  // 800 FLOPs = 100 instructions
+  builder.add_phase("k", from_seconds(1.0), {0}, totals);
+  ActivityTrace trace = std::move(builder).build();
+  TraceSource source(&trace);
+  SimulatedPmu pmu(skx, &source);
+  auto value =
+      pmu.read_exact("FP_ARITH:512B_PACKED_DOUBLE", 0, from_seconds(1.0));
+  EXPECT_DOUBLE_EQ(*value, 100.0);
+}
+
+TEST(SimulatedPmuNullTest, NullSourceReadsZero) {
+  MachineSpec machine = topology::machine_preset("icl").value();
+  SimulatedPmu pmu(machine, nullptr);
+  auto value = pmu.read_exact("FP_ARITH:SCALAR_DOUBLE", 0, from_seconds(1.0));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_DOUBLE_EQ(*value, 0.0);
+}
+
+}  // namespace
+}  // namespace pmove::pmu

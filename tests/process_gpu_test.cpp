@@ -1,0 +1,279 @@
+// Tests for the dynamic KB extensions: ProcessInterface re-instantiation
+// (Section III-C), the GPU/ncu profiling path (Section III-D), and
+// abstraction-layer config files on disk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "abstraction/layer.hpp"
+#include "core/gpu_profiler.hpp"
+#include "json/jsonld.hpp"
+#include "kb/kb.hpp"
+#include "kb/process.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove {
+namespace {
+
+kb::KnowledgeBase make_kb(const char* preset = "icl", bool with_gpu = false) {
+  auto spec = topology::machine_preset(preset).value();
+  if (with_gpu) {
+    topology::GpuSpec gpu;
+    gpu.name = "gpu0";
+    gpu.model = "NVIDIA Quadro GV100";
+    gpu.memory_bytes = 34359ull << 20;
+    gpu.sm_count = 80;
+    spec.gpus.push_back(gpu);
+  }
+  return kb::KnowledgeBase::build(spec);
+}
+
+// ------------------------------------------------------- ProcessInterface
+
+TEST(ProcessTest, InstantiateCreatesInterfaceAndComponent) {
+  auto kb = make_kb();
+  kb::ProcessSpec spec;
+  spec.pid = 4242;
+  spec.name = "spmv";
+  spec.command = "./spmv hugetrace.mtx";
+  spec.cpus = {0, 1};
+  auto instance = kb.instantiate_process(spec);
+  ASSERT_TRUE(instance.has_value()) << instance.status().to_string();
+  EXPECT_EQ(instance->dtmi, "dtmi:dt:icl:process:4242;1");
+  EXPECT_EQ(instance->instantiation, 1);
+  // Interface registered and valid DTDL.
+  const json::Value* iface = kb.interface(instance->dtmi);
+  ASSERT_NE(iface, nullptr);
+  EXPECT_TRUE(json::validate_entity(*iface).is_ok());
+  // Component exists in the tree with process kind.
+  const topology::Component* component = kb.component_for(instance->dtmi);
+  ASSERT_NE(component, nullptr);
+  EXPECT_EQ(component->kind(), topology::ComponentKind::kProcess);
+  EXPECT_EQ(component->property_or("pid", ""), "4242");
+}
+
+TEST(ProcessTest, ReinstantiationBumpsVersion) {
+  auto kb = make_kb();
+  kb::ProcessSpec spec;
+  spec.pid = 7;
+  spec.name = "triad";
+  auto first = kb.instantiate_process(spec);
+  auto second = kb.instantiate_process(spec);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->dtmi, "dtmi:dt:icl:process:7;1");
+  EXPECT_EQ(second->dtmi, "dtmi:dt:icl:process:7;2");
+  EXPECT_EQ(second->instantiation, 2);
+  // Both versions remain queryable ("the processes' dynamic nature").
+  EXPECT_NE(kb.interface(first->dtmi), nullptr);
+  EXPECT_NE(kb.interface(second->dtmi), nullptr);
+  EXPECT_EQ(kb.processes().size(), 2u);
+}
+
+TEST(ProcessTest, CarriesPerProcessTelemetryAndPinning) {
+  auto kb = make_kb();
+  kb::ProcessSpec spec;
+  spec.pid = 99;
+  spec.name = "daxpy";
+  spec.cpus = {2, 3};
+  auto instance = kb.instantiate_process(spec);
+  ASSERT_TRUE(instance.has_value());
+  auto telemetry = kb.telemetry_of(instance->dtmi, "SWTelemetry");
+  ASSERT_FALSE(telemetry.empty());
+  for (const auto& entry : telemetry) {
+    EXPECT_EQ(entry.find("FieldName")->as_string(), "_99");
+    EXPECT_EQ(entry.find("SamplerName")->as_string().rfind("proc.", 0), 0u);
+  }
+  // pinned_to relationships reference the thread interfaces.
+  const json::Value* iface = kb.interface(instance->dtmi);
+  int pinned = 0;
+  for (const auto& entry : iface->find("contents")->as_array()) {
+    if (json::entity_type(entry) == "Relationship" &&
+        entry.find("name")->as_string() == "pinned_to") {
+      ++pinned;
+      EXPECT_NE(kb.component_for(entry.find("target")->as_string()),
+                nullptr);
+    }
+  }
+  EXPECT_EQ(pinned, 2);
+}
+
+TEST(ProcessTest, Validation) {
+  auto kb = make_kb();
+  kb::ProcessSpec bad_pid;
+  bad_pid.name = "x";
+  EXPECT_FALSE(kb.instantiate_process(bad_pid).has_value());
+  kb::ProcessSpec no_name;
+  no_name.pid = 1;
+  EXPECT_FALSE(kb.instantiate_process(no_name).has_value());
+  kb::ProcessSpec bad_cpu;
+  bad_cpu.pid = 1;
+  bad_cpu.name = "x";
+  bad_cpu.cpus = {999};
+  EXPECT_FALSE(kb.instantiate_process(bad_cpu).has_value());
+}
+
+// ------------------------------------------------------------ GPU / ncu
+
+TEST(NcuReportTest, RenderParseRoundTrip) {
+  core::NcuReport report;
+  report.kernel = "spmv_csr_vector";
+  report.metrics["sm__throughput"] = 42.5;
+  report.metrics["dram__bytes"] = 1.5e9;
+  auto parsed = core::NcuReport::parse(report.render());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kernel, "spmv_csr_vector");
+  EXPECT_DOUBLE_EQ(parsed->metrics.at("sm__throughput"), 42.5);
+  EXPECT_DOUBLE_EQ(parsed->metrics.at("dram__bytes"), 1.5e9);
+}
+
+TEST(NcuReportTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(core::NcuReport::parse("no commas here").has_value());
+  EXPECT_FALSE(core::NcuReport::parse("metric,abc").has_value());
+  EXPECT_FALSE(core::NcuReport::parse("metric,1.0\n").has_value());  // no kernel
+}
+
+TEST(GpuProfilerTest, WrapperComputesThroughputs) {
+  auto kb = make_kb("icl", /*with_gpu=*/true);
+  core::GpuKernelSpec spec;
+  spec.name = "daxpy_kernel";
+  spec.flops = 7.0e12 * 0.5;      // half of GV100-class DP peak...
+  spec.dram_bytes = 450.0e9 * 1.0;
+  spec.duration_s = 1.0;
+  auto report = core::run_ncu_wrapper(kb.machine(), spec);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NEAR(report->metrics.at("sm__throughput"), 48.8, 5.0);
+  EXPECT_NEAR(report->metrics.at("gpu__compute_memory_access_throughput"),
+              50.0, 5.0);
+  EXPECT_DOUBLE_EQ(
+      report->metrics.at(
+          "smsp__sass_thread_inst_executed_op_dfma_pred_on"),
+      spec.flops / 2.0);
+}
+
+TEST(GpuProfilerTest, ThroughputsCapAt100) {
+  auto kb = make_kb("icl", /*with_gpu=*/true);
+  core::GpuKernelSpec spec;
+  spec.name = "k";
+  spec.flops = 1e18;
+  spec.dram_bytes = 1e18;
+  spec.duration_s = 0.001;
+  auto report = core::run_ncu_wrapper(kb.machine(), spec);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_DOUBLE_EQ(report->metrics.at("sm__throughput"), 100.0);
+}
+
+TEST(GpuProfilerTest, Validation) {
+  auto no_gpu = make_kb("icl", /*with_gpu=*/false);
+  core::GpuKernelSpec spec;
+  spec.name = "k";
+  spec.duration_s = 1.0;
+  EXPECT_FALSE(core::run_ncu_wrapper(no_gpu.machine(), spec).has_value());
+  auto with_gpu = make_kb("icl", /*with_gpu=*/true);
+  spec.duration_s = 0.0;
+  EXPECT_FALSE(core::run_ncu_wrapper(with_gpu.machine(), spec).has_value());
+}
+
+TEST(GpuProfilerTest, FullFlowAppendsObservationAndPoints) {
+  auto kb = make_kb("icl", /*with_gpu=*/true);
+  tsdb::TimeSeriesDb db;
+  core::GpuKernelSpec spec;
+  spec.name = "spmv_csr_vector";
+  spec.flops = 2e12;
+  spec.dram_bytes = 1e11;
+  spec.duration_s = 0.5;
+  auto obs = core::profile_gpu_kernel(kb, db, spec, "gpu-tag-1");
+  ASSERT_TRUE(obs.has_value()) << obs.status().to_string();
+  EXPECT_EQ(obs->tag, "gpu-tag-1");
+  EXPECT_EQ(obs->metrics.size(), 4u);
+  for (const auto& metric : obs->metrics) {
+    EXPECT_EQ(metric.pmu_name, "ncu");
+    EXPECT_EQ(metric.db_name.rfind("ncu_", 0), 0u);
+  }
+  // Observation landed in the KB; queries replay the ncu values.
+  ASSERT_EQ(kb.observations().size(), 1u);
+  int rows = 0;
+  for (const auto& query : obs->generate_queries()) {
+    auto result = db.query(query);
+    if (result.has_value()) rows += static_cast<int>(result->rows.size());
+  }
+  EXPECT_EQ(rows, 4);
+  EXPECT_DOUBLE_EQ(obs->report.find("achieved_gflops")->as_double(), 4000.0);
+}
+
+// ----------------------------------------------------- config files on disk
+
+class ConfigFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pmove_cfg_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ConfigFileTest, WriteAndReloadBuiltins) {
+  auto written =
+      abstraction::AbstractionLayer::write_builtin_configs(dir_.string());
+  ASSERT_TRUE(written.has_value()) << written.status().to_string();
+  EXPECT_EQ(*written, 2);
+  abstraction::AbstractionLayer layer;
+  ASSERT_TRUE(
+      layer.load_config_file((dir_ / "intel.pmuconf").string()).is_ok());
+  ASSERT_TRUE(
+      layer.load_config_file((dir_ / "zen3.pmuconf").string()).is_ok());
+  // Reloaded layer behaves like the built-in one.
+  auto builtin = abstraction::AbstractionLayer::with_builtin_configs();
+  for (const auto& generic : abstraction::common_generic_events()) {
+    EXPECT_EQ(layer.supports("skx", generic),
+              builtin.supports("skx", generic))
+        << generic;
+    EXPECT_EQ(layer.supports("zen3", generic),
+              builtin.supports("zen3", generic))
+        << generic;
+  }
+}
+
+TEST_F(ConfigFileTest, UserConfigExtendsLayer) {
+  const auto path = dir_ / "custom.pmuconf";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("[mychip | my_alias]\n"
+               "CUSTOM_EVENT: HW_A + HW_B * 2\n",
+               f);
+    std::fclose(f);
+  }
+  abstraction::AbstractionLayer layer;
+  ASSERT_TRUE(layer.load_config_file(path.string()).is_ok());
+  auto formula = layer.get("my_alias", "CUSTOM_EVENT");
+  ASSERT_TRUE(formula.has_value());
+  EXPECT_EQ(formula->hw_events(),
+            (std::vector<std::string>{"HW_A", "HW_B"}));
+}
+
+TEST_F(ConfigFileTest, MissingFileErrors) {
+  abstraction::AbstractionLayer layer;
+  auto status = layer.load_config_file((dir_ / "absent.conf").string());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ConfigFileTest, MalformedFileReportsPath) {
+  const auto path = dir_ / "broken.conf";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("[p]\nbroken line without colon\n", f);
+    std::fclose(f);
+  }
+  abstraction::AbstractionLayer layer;
+  auto status = layer.load_config_file(path.string());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("broken.conf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmove

@@ -1,0 +1,396 @@
+// Property-based sweeps over the core invariants, using parameterized gtest
+// suites with seeded generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <numeric>
+
+#include "abstraction/formula.hpp"
+#include "core/pinning.hpp"
+#include "kb/linked_query.hpp"
+#include "tsdb/db.hpp"
+#include "carm/model.hpp"
+#include "json/value.hpp"
+#include "kernels/kernels.hpp"
+#include "sampler/session.hpp"
+#include "spmv/algorithms.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace pmove {
+namespace {
+
+// ---------------------------------------------------- JSON round-trip fuzz
+
+json::Value random_value(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.uniform_int(0, depth > 0 ? 5 : 3));
+  switch (kind) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.chance(0.5));
+    case 2:
+      if (rng.chance(0.5)) {
+        return json::Value(rng.uniform_int(-1'000'000, 1'000'000));
+      }
+      return json::Value(rng.uniform(-1e6, 1e6));
+    case 3: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      for (int i = 0; i < len; ++i) {
+        s += static_cast<char>(rng.uniform_int(32, 126));
+      }
+      return json::Value(std::move(s));
+    }
+    case 4: {
+      json::Array arr;
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) arr.push_back(random_value(rng, depth - 1));
+      return json::Value(std::move(arr));
+    }
+    default: {
+      json::Object obj;
+      const int len = static_cast<int>(rng.uniform_int(0, 4));
+      for (int i = 0; i < len; ++i) {
+        obj.set("k" + std::to_string(i), random_value(rng, depth - 1));
+      }
+      return json::Value(std::move(obj));
+    }
+  }
+}
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTripProperty, ParseDumpIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 25; ++i) {
+    json::Value original = random_value(rng, 3);
+    auto compact = json::Value::parse(original.dump());
+    ASSERT_TRUE(compact.has_value()) << original.dump();
+    EXPECT_EQ(*compact, original);
+    auto pretty = json::Value::parse(original.dump_pretty());
+    ASSERT_TRUE(pretty.has_value());
+    EXPECT_EQ(*pretty, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Range(1, 9));
+
+// ------------------------------------------------- formula evaluation laws
+
+class FormulaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormulaProperty, MatchesDirectEvaluation) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  for (int i = 0; i < 40; ++i) {
+    const double a = std::floor(rng.uniform(1, 100));
+    const double b = std::floor(rng.uniform(1, 100));
+    const double c = std::floor(rng.uniform(1, 100));
+    auto resolve = [&](std::string_view name) -> Expected<double> {
+      if (name == "A") return a;
+      if (name == "B") return b;
+      if (name == "C") return c;
+      return Status::not_found("?");
+    };
+    struct Case {
+      const char* text;
+      double expected;
+    };
+    const Case cases[] = {
+        {"A + B * C", a + b * c},
+        {"(A + B) * C", (a + b) * c},
+        {"A - B - C", a - b - c},
+        {"A * B / C", a * b / c},
+        {"A + B - C + A", a + b - c + a},
+        {"(A - B) * (A + B)", (a - b) * (a + b)},
+    };
+    for (const auto& test_case : cases) {
+      auto formula = abstraction::Formula::parse(test_case.text);
+      ASSERT_TRUE(formula.has_value()) << test_case.text;
+      auto value = formula->evaluate(resolve);
+      ASSERT_TRUE(value.has_value()) << test_case.text;
+      EXPECT_NEAR(*value, test_case.expected, 1e-9) << test_case.text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormulaProperty, ::testing::Range(1, 6));
+
+// ----------------------------------------- SpMV correctness across configs
+
+struct SpmvCase {
+  std::uint64_t seed;
+  int rows;
+  int degree;
+  const char* ordering;
+  spmv::Algorithm algorithm;
+};
+
+class SpmvProperty : public ::testing::TestWithParam<SpmvCase> {};
+
+TEST_P(SpmvProperty, ReorderedResultMatchesReference) {
+  const SpmvCase& param = GetParam();
+  spmv::Csr base =
+      spmv::make_mesh_matrix(param.rows, param.degree, 15, param.seed);
+  auto perm = spmv::order_by_name(base, param.ordering, param.seed);
+  ASSERT_TRUE(perm.has_value());
+  auto matrix = base.permute_symmetric(*perm);
+  ASSERT_TRUE(matrix.has_value());
+  ASSERT_TRUE(matrix->validate().is_ok());
+
+  Rng rng(param.seed);
+  std::vector<double> x(static_cast<std::size_t>(matrix->cols()));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> expected;
+  spmv::spmv_reference(*matrix, x, expected);
+
+  auto machine = topology::machine_preset("zen3").value();
+  spmv::SpmvConfig config;
+  config.algorithm = param.algorithm;
+  config.iterations = 1;
+  config.threads = 2;
+  config.cpus = {0, 1};
+  std::vector<double> y;
+  auto run = spmv::run_spmv(*matrix, x, y, machine, config);
+  ASSERT_TRUE(run.has_value());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    max_err = std::max(max_err, std::abs(y[i] - expected[i]));
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpmvProperty,
+    ::testing::Values(
+        SpmvCase{1, 500, 4, "none", spmv::Algorithm::kMklLike},
+        SpmvCase{2, 500, 4, "none", spmv::Algorithm::kMerge},
+        SpmvCase{3, 777, 6, "rcm", spmv::Algorithm::kMklLike},
+        SpmvCase{4, 777, 6, "rcm", spmv::Algorithm::kMerge},
+        SpmvCase{5, 1024, 3, "degree", spmv::Algorithm::kMklLike},
+        SpmvCase{6, 1024, 3, "degree", spmv::Algorithm::kMerge},
+        SpmvCase{7, 333, 8, "random", spmv::Algorithm::kMklLike},
+        SpmvCase{8, 333, 8, "random", spmv::Algorithm::kMerge}),
+    [](const auto& info) {
+      return std::string(info.param.ordering) + "_" +
+             std::string(spmv::to_string(info.param.algorithm)) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// ------------------------------------------ RCM never hurts mean bandwidth
+
+class RcmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RcmProperty, RcmBandwidthNotWorseThanScrambled) {
+  spmv::Csr base = spmv::make_mesh_matrix(1500, 4, 8, GetParam());
+  auto scrambled = spmv::scramble(base, 101);
+  ASSERT_TRUE(scrambled.has_value());
+  auto rcm = scrambled->permute_symmetric(spmv::rcm_order(*scrambled));
+  ASSERT_TRUE(rcm.has_value());
+  EXPECT_LE(rcm->mean_bandwidth(), scrambled->mean_bandwidth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcmProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// --------------------------------------------- sampling session invariants
+
+struct SessionCase {
+  const char* host;
+  double freq;
+  int metrics;
+};
+
+class SessionProperty : public ::testing::TestWithParam<SessionCase> {};
+
+TEST_P(SessionProperty, AccountingAlwaysConsistent) {
+  const SessionCase& param = GetParam();
+  auto machine = topology::machine_preset(param.host).value();
+  sampler::SessionConfig config;
+  config.frequency_hz = param.freq;
+  config.metric_count = param.metrics;
+  config.duration_s = 10.0;
+  auto stats = sampler::run_sampling_session(machine, config, nullptr);
+  EXPECT_GE(stats.expected, stats.inserted);
+  EXPECT_GE(stats.inserted, stats.zeros);
+  EXPECT_GE(stats.inserted, 0);
+  // Inserted counts are whole report batches.
+  const int batch = machine.total_threads() * param.metrics;
+  EXPECT_EQ(stats.inserted % batch, 0);
+  EXPECT_EQ(stats.zeros % batch, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SessionProperty,
+    ::testing::Values(SessionCase{"skx", 2, 4}, SessionCase{"skx", 8, 5},
+                      SessionCase{"skx", 32, 6}, SessionCase{"icl", 2, 6},
+                      SessionCase{"icl", 8, 4}, SessionCase{"icl", 32, 5},
+                      SessionCase{"csl", 16, 3}, SessionCase{"zen3", 4, 2}),
+    [](const auto& info) {
+      return std::string(info.param.host) + "_f" +
+             std::to_string(static_cast<int>(info.param.freq)) + "_m" +
+             std::to_string(info.param.metrics);
+    });
+
+// -------------------------------------------------- CARM model invariants
+
+class CarmProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(CarmProperty, EnvelopeIsMonotoneAndBounded) {
+  const auto [host, threads] = GetParam();
+  auto machine = topology::machine_preset(host).value();
+  const topology::Isa isa = machine.isa.supports(topology::Isa::kAvx512)
+                                ? topology::Isa::kAvx512
+                                : topology::Isa::kAvx2;
+  auto model = carm::build_carm_analytic(machine, isa, threads);
+  ASSERT_TRUE(model.has_value());
+  double previous = 0.0;
+  for (double ai = 1.0 / 64; ai <= 64.0; ai *= 2.0) {
+    const double attainable = model->attainable_best(ai);
+    EXPECT_GE(attainable, previous);            // monotone in AI
+    EXPECT_LE(attainable, model->peak_gflops() + 1e-9);  // never above peak
+    previous = attainable;
+  }
+  // Every roof's ridge point yields exactly the peak.
+  for (const auto& roof : model->roofs()) {
+    EXPECT_NEAR(model->attainable(model->ridge_ai(roof), roof),
+                model->peak_gflops(), model->peak_gflops() * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, CarmProperty,
+    ::testing::Combine(::testing::Values("skx", "icl", "csl", "zen3"),
+                       ::testing::Values(1, 4, 16)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------- kernel ground-truth linearity
+
+class KernelLinearityProperty
+    : public ::testing::TestWithParam<kernels::KernelKind> {};
+
+TEST_P(KernelLinearityProperty, CountsScaleWithIterations) {
+  auto machine = topology::machine_preset("icl").value();
+  kernels::KernelSpec one;
+  one.kind = GetParam();
+  one.n = 1u << 12;
+  one.iterations = 1;
+  kernels::KernelSpec three = one;
+  three.iterations = 3;
+  auto run1 = kernels::run_kernel(one, machine);
+  auto run3 = kernels::run_kernel(three, machine);
+  EXPECT_DOUBLE_EQ(run3.totals.total_flops(), 3.0 * run1.totals.total_flops());
+  EXPECT_DOUBLE_EQ(run3.totals.get(workload::Quantity::kLoads),
+                   3.0 * run1.totals.get(workload::Quantity::kLoads));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelLinearityProperty,
+                         ::testing::ValuesIn(kernels::all_kernels()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+
+// --------------------------------------- pinning produces valid placements
+
+class PinningProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(PinningProperty, AllStrategiesYieldUniqueInRangeCpus) {
+  const auto [host, threads] = GetParam();
+  auto machine = topology::machine_preset(host).value();
+  if (threads > machine.total_threads()) GTEST_SKIP();
+  for (auto strategy :
+       {core::PinStrategy::kBalanced, core::PinStrategy::kCompact,
+        core::PinStrategy::kNumaBalanced, core::PinStrategy::kNumaCompact}) {
+    auto cpus = core::pin_cpus(machine, strategy, threads);
+    ASSERT_TRUE(cpus.has_value());
+    ASSERT_EQ(static_cast<int>(cpus->size()), threads);
+    std::set<int> unique(cpus->begin(), cpus->end());
+    EXPECT_EQ(unique.size(), cpus->size()) << to_string(strategy);
+    for (int cpu : *cpus) {
+      EXPECT_GE(cpu, 0);
+      EXPECT_LT(cpu, machine.total_threads());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PinningProperty,
+    ::testing::Combine(::testing::Values("skx", "icl", "csl", "zen3"),
+                       ::testing::Values(1, 2, 7, 16, 31, 88)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------- GROUP BY conserves counts across buckets
+
+class GroupByProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupByProperty, BucketCountsSumToTotal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  tsdb::TimeSeriesDb db;
+  const int n = 200;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    tsdb::Point p;
+    p.measurement = "m";
+    p.time = rng.uniform_int(0, 100000);
+    const double v = rng.uniform(-10, 10);
+    p.fields["v"] = v;
+    total += v;
+    ASSERT_TRUE(db.write(std::move(p)).is_ok());
+  }
+  for (const char* interval : {"100ns", "1000ns", "7000ns", "1us"}) {
+    auto result = db.query(std::string("SELECT count(\"v\"), sum(\"v\") "
+                                       "FROM \"m\" GROUP BY time(") +
+                           interval + ")");
+    ASSERT_TRUE(result.has_value()) << interval;
+    double count = 0.0, sum = 0.0;
+    for (const auto& row : result->rows) {
+      count += row[1];
+      sum += row[2];
+    }
+    EXPECT_DOUBLE_EQ(count, n) << interval;
+    EXPECT_NEAR(sum, total, 1e-9) << interval;
+    // Bucket stamps are interval-aligned and strictly increasing.
+    for (std::size_t i = 1; i < result->rows.size(); ++i) {
+      EXPECT_LT(result->rows[i - 1][0], result->rows[i][0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupByProperty, ::testing::Range(1, 6));
+
+// ---------------------------------- triple store referential integrity
+
+class TripleProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TripleProperty, RelationshipTargetsResolve) {
+  auto kb = kb::KnowledgeBase::build(
+      topology::machine_preset(GetParam()).value());
+  auto store = kb::TripleStore::from_kb(kb);
+  // Every contains/belongs_to edge points at a registered interface, and
+  // containment is symmetric: A contains B <=> B belongs_to A.
+  for (const auto& triple : store.match("?", "contains", "?")) {
+    EXPECT_NE(kb.interface(triple.object), nullptr) << triple.object;
+    EXPECT_EQ(store.match(triple.object, "belongs_to", triple.subject).size(),
+              1u)
+        << triple.subject << " -> " << triple.object;
+  }
+  for (const auto& triple : store.match("?", "belongs_to", "?")) {
+    EXPECT_NE(kb.interface(triple.object), nullptr) << triple.object;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, TripleProperty,
+                         ::testing::Values("skx", "icl", "csl", "zen3"));
+
+}  // namespace pmove

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/kernels.hpp"
+#include "sampler/agents.hpp"
+#include "sampler/live.hpp"
+#include "sampler/resources.hpp"
+#include "sampler/session.hpp"
+#include "sampler/transport.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::sampler {
+namespace {
+
+// ----------------------------------------------------------------- agents
+
+TEST(AgentTest, NamesMatchPcp) {
+  EXPECT_EQ(to_string(AgentKind::kPmcd), "pmcd");
+  EXPECT_EQ(to_string(AgentKind::kPerfevent), "pmdaperfevent");
+  EXPECT_EQ(to_string(AgentKind::kLinux), "pmdalinux");
+  EXPECT_EQ(to_string(AgentKind::kProc), "pmdaproc");
+  EXPECT_EQ(all_agents().size(), 4u);
+}
+
+TEST(AgentTest, ProcHasLargestRss) {
+  // "pmdaproc uses more memory due to a larger instance domain."
+  const double proc = agent_cost_model(AgentKind::kProc).rss_bytes;
+  for (AgentKind kind :
+       {AgentKind::kPmcd, AgentKind::kPerfevent, AgentKind::kLinux}) {
+    EXPECT_GT(proc, agent_cost_model(kind).rss_bytes);
+  }
+}
+
+TEST(AgentTest, MetricRouting) {
+  EXPECT_EQ(agent_for_metric("perfevent.hwcounters.X"),
+            AgentKind::kPerfevent);
+  EXPECT_EQ(agent_for_metric("proc.psinfo.rss"), AgentKind::kProc);
+  EXPECT_EQ(agent_for_metric("kernel.percpu.cpu.idle"), AgentKind::kLinux);
+  EXPECT_EQ(agent_for_metric("mem.numa.alloc.hit"), AgentKind::kLinux);
+}
+
+// -------------------------------------------------------------- transport
+
+TEST(TransportTest, WarmupDropsEarlyReports) {
+  TransportModel model;
+  model.stall_per_second = 0.0;
+  TransportPipeline pipeline(model, 100);
+  EXPECT_EQ(pipeline.offer(model.warmup_ns / 2), ReportFate::kDropped);
+  EXPECT_NE(pipeline.offer(model.warmup_ns * 2), ReportFate::kDropped);
+}
+
+TEST(TransportTest, BusyPipelineDropsNextReport) {
+  TransportModel model;
+  model.stall_per_second = 0.0;
+  model.jitter_rel_sigma = 0.0;
+  model.warmup_ns = 0;
+  // Huge report -> long processing time.
+  TransportPipeline pipeline(model, 100000);
+  const TimeNs processing = pipeline.nominal_processing_ns();
+  ASSERT_GT(processing, from_seconds(0.1));
+  EXPECT_NE(pipeline.offer(from_seconds(1.0)), ReportFate::kDropped);
+  // Next report arrives while the first is still processing.
+  EXPECT_EQ(pipeline.offer(from_seconds(1.0) + processing / 2),
+            ReportFate::kDropped);
+  // After the pipeline clears, reports flow again.
+  EXPECT_NE(pipeline.offer(from_seconds(1.0) + processing * 2),
+            ReportFate::kDropped);
+}
+
+TEST(TransportTest, HighFrequencyReadsComeBackZero) {
+  TransportModel model;
+  model.stall_per_second = 0.0;
+  model.warmup_ns = 0;
+  TransportPipeline pipeline(model, 4);
+  // Sample far faster than the ~45ms refresh cadence: most delivered
+  // reports must be zero batches.
+  int delivered = 0, zeros = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    switch (pipeline.offer(i * from_seconds(0.005))) {
+      case ReportFate::kDelivered: ++delivered; break;
+      case ReportFate::kDeliveredZero: ++zeros; break;
+      case ReportFate::kDropped: break;
+    }
+  }
+  EXPECT_GT(zeros, delivered * 3);
+}
+
+TEST(TransportTest, SlowSamplingSeesNoZeros) {
+  TransportModel model;
+  model.stall_per_second = 0.0;
+  model.warmup_ns = 0;
+  TransportPipeline pipeline(model, 4);
+  int zeros = 0;
+  for (int i = 1; i <= 20; ++i) {
+    if (pipeline.offer(i * from_seconds(0.5)) ==
+        ReportFate::kDeliveredZero) {
+      ++zeros;
+    }
+  }
+  EXPECT_LE(zeros, 1);  // long gaps between refreshes are rare
+}
+
+TEST(TransportTest, ProcessingScalesWithPoints) {
+  TransportModel model;
+  TransportPipeline small(model, 64);
+  TransportPipeline large(model, 528);
+  EXPECT_GT(large.nominal_processing_ns(), small.nominal_processing_ns());
+  EXPECT_GT(large.report_bytes(), small.report_bytes());
+}
+
+// ----------------------------------------------------------------- session
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionStats run(const char* host, double freq, int metrics,
+                   tsdb::TimeSeriesDb* db = nullptr) {
+    auto machine = topology::machine_preset(host).value();
+    SessionConfig config;
+    config.frequency_hz = freq;
+    config.metric_count = metrics;
+    config.duration_s = 10.0;
+    return run_sampling_session(machine, config, db);
+  }
+};
+
+TEST_F(SessionTest, ExpectedCountsMatchTable3) {
+  // Table III: skx 2 Hz x 4 metrics x 88 threads x 10 s = 7.04E3;
+  // icl 2 Hz x 4 x 16 x 10 = 1.28E3.
+  EXPECT_EQ(run("skx", 2, 4).expected, 7040);
+  EXPECT_EQ(run("icl", 2, 4).expected, 1280);
+  EXPECT_EQ(run("skx", 32, 6).expected, 168960);
+  EXPECT_EQ(run("icl", 32, 6).expected, 30720);
+}
+
+TEST_F(SessionTest, AccountingInvariants) {
+  for (double freq : {2.0, 8.0, 32.0}) {
+    for (int metrics : {4, 5, 6}) {
+      SessionStats stats = run("skx", freq, metrics);
+      EXPECT_LE(stats.inserted, stats.expected);
+      EXPECT_LE(stats.zeros, stats.inserted);
+      EXPECT_GE(stats.loss_pct(), 0.0);
+      EXPECT_LE(stats.loss_plus_zero_pct(), 100.0);
+      EXPECT_GE(stats.loss_plus_zero_pct(), stats.loss_pct() - 1e-9);
+      EXPECT_NEAR(stats.throughput, stats.inserted / 10.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(SessionTest, LossGrowsWithFrequencyOnLargeDomain) {
+  const double low = run("skx", 2, 6).loss_plus_zero_pct();
+  const double high = run("skx", 32, 6).loss_plus_zero_pct();
+  EXPECT_GT(high, low + 10.0);
+  EXPECT_GT(high, 30.0);  // paper: >50% L+Z at 32 Hz (we require the shape)
+}
+
+TEST_F(SessionTest, SmallDomainLosesLessThanLargeDomain) {
+  // "skx has 88 threads ... this number is 16 for icl" -> skx loses more.
+  const double skx = run("skx", 32, 6).loss_pct();
+  const double icl = run("icl", 32, 6).loss_pct();
+  EXPECT_GT(skx, icl);
+}
+
+TEST_F(SessionTest, ZerosAppearAtHighFrequency) {
+  EXPECT_EQ(run("icl", 2, 6).zeros, 0);
+  EXPECT_GT(run("icl", 32, 6).zeros, 0);
+}
+
+TEST_F(SessionTest, PointsReallyLandInDb) {
+  tsdb::TimeSeriesDb db;
+  SessionStats stats = run("icl", 8, 4, &db);
+  // 4 metrics, one point per metric per delivered round, 16 fields each.
+  EXPECT_EQ(db.point_count() * 16, static_cast<std::size_t>(stats.inserted));
+  EXPECT_FALSE(db.measurements().empty());
+}
+
+TEST_F(SessionTest, DeterministicForSameSeed) {
+  auto machine = topology::machine_preset("skx").value();
+  SessionConfig config;
+  config.frequency_hz = 32;
+  config.metric_count = 5;
+  config.duration_s = 10.0;
+  auto a = run_sampling_session(machine, config, nullptr);
+  auto b = run_sampling_session(machine, config, nullptr);
+  EXPECT_EQ(a.inserted, b.inserted);
+  EXPECT_EQ(a.zeros, b.zeros);
+}
+
+// --------------------------------------------------------------- resources
+
+TEST(ResourceTest, Fig6MixApproximatesPaperPointCount) {
+  auto mix = fig6_metric_mix(88);
+  int points = 0;
+  int metrics = 0;
+  for (const auto& group : mix) {
+    points += group.points();
+    metrics += group.metric_count;
+  }
+  EXPECT_EQ(metrics, 50);
+  EXPECT_NEAR(points, 15937, 200);  // paper: 15,937 data points
+}
+
+TEST(ResourceTest, MemoryConstantAcrossFrequency) {
+  auto mix = fig6_metric_mix(88);
+  auto slow = estimate_resources(mix, 0.125);
+  auto fast = estimate_resources(mix, 8.0);
+  ASSERT_EQ(slow.agents.size(), 4u);
+  for (std::size_t i = 0; i < slow.agents.size(); ++i) {
+    EXPECT_DOUBLE_EQ(slow.agents[i].rss_bytes, fast.agents[i].rss_bytes);
+  }
+}
+
+TEST(ResourceTest, CpuScalesLinearly) {
+  auto mix = fig6_metric_mix(88);
+  const double cpu1 = estimate_resources(mix, 1.0).total_cpu_pct;
+  const double cpu4 = estimate_resources(mix, 4.0).total_cpu_pct;
+  EXPECT_NEAR(cpu4 / cpu1, 4.0, 0.01);
+}
+
+TEST(ResourceTest, DiskGrowsWithFrequency) {
+  auto mix = fig6_metric_mix(88);
+  EXPECT_GT(estimate_resources(mix, 8.0).disk_bytes_per_s,
+            estimate_resources(mix, 1.0).disk_bytes_per_s * 7.0);
+}
+
+TEST(ResourceTest, NetworkDeratesAroundStallResonance) {
+  // "PCP does not scale perfectly for 4/8 reports per sec."
+  auto mix = fig6_metric_mix(88);
+  const double at1 = estimate_resources(mix, 1.0).total_net_bytes_per_s;
+  const double at4 = estimate_resources(mix, 4.0).total_net_bytes_per_s;
+  EXPECT_LT(at4, 4.0 * at1 * 0.99);  // visibly sub-linear at 4 Hz
+}
+
+TEST(ResourceTest, PmcdRelaysEverything) {
+  auto mix = fig6_metric_mix(88);
+  auto usage = estimate_resources(mix, 1.0);
+  const AgentUsage* pmcd = usage.agent(AgentKind::kPmcd);
+  const AgentUsage* linux_agent = usage.agent(AgentKind::kLinux);
+  ASSERT_NE(pmcd, nullptr);
+  ASSERT_NE(linux_agent, nullptr);
+  EXPECT_GT(pmcd->cpu_pct, linux_agent->cpu_pct);
+  EXPECT_EQ(usage.agent(AgentKind::kProc)->agent, AgentKind::kProc);
+}
+
+// ------------------------------------------------------------ live sampler
+
+TEST(LiveSamplerTest, SamplesRealKernelRun) {
+  auto machine = topology::machine_preset("icl").value();
+  workload::LiveCounters live(machine.total_threads());
+  pmu::SimulatedPmu pmu(machine, &live);
+  ASSERT_TRUE(pmu.configure({"FP_ARITH:SCALAR_DOUBLE",
+                             "MEM_INST_RETIRED:ALL_LOADS"})
+                  .is_ok());
+  tsdb::TimeSeriesDb db;
+  LiveSamplerConfig config;
+  config.frequency_hz = 50.0;
+  config.events = {"FP_ARITH:SCALAR_DOUBLE", "MEM_INST_RETIRED:ALL_LOADS"};
+  config.cpus = {0};
+  config.tag = "test-tag";
+  LiveSampler sampler(pmu, &db, config);
+  ASSERT_TRUE(sampler.start().is_ok());
+
+  kernels::KernelSpec spec;
+  spec.kind = kernels::KernelKind::kTriad;
+  spec.n = 1u << 16;
+  spec.iterations = 1200;  // ~100 ms: several sampling intervals, so the
+                           // per-read jitter averages out below tolerance
+  auto run = kernels::run_kernel(spec, machine, &live);
+  sampler.stop();
+
+  EXPECT_GT(sampler.samples_taken(), 0);
+  // Accumulated deltas approximate the exact ground truth.
+  const double truth = run.totals.get(workload::Quantity::kScalarFlops);
+  const double sampled = sampler.accumulated("FP_ARITH:SCALAR_DOUBLE");
+  EXPECT_NEAR(sampled, truth, truth * 0.05);
+  // Tagged rows landed in the TSDB.
+  auto result = db.query(
+      "SELECT \"_cpu0\" FROM "
+      "\"perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE_value\" WHERE "
+      "tag=\"test-tag\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->rows.size(), 0u);
+}
+
+TEST(LiveSamplerTest, StartValidation) {
+  auto machine = topology::machine_preset("icl").value();
+  pmu::SimulatedPmu pmu(machine, nullptr);
+  LiveSamplerConfig config;  // no events
+  config.cpus = {0};
+  LiveSampler sampler(pmu, nullptr, config);
+  EXPECT_FALSE(sampler.start().is_ok());
+  LiveSamplerConfig bad_freq;
+  bad_freq.events = {"INSTRUCTION_RETIRED"};
+  bad_freq.frequency_hz = 0.0;
+  bad_freq.cpus = {0};
+  LiveSampler sampler2(pmu, nullptr, bad_freq);
+  EXPECT_FALSE(sampler2.start().is_ok());
+}
+
+TEST(LiveSamplerTest, DoubleStartRejected) {
+  auto machine = topology::machine_preset("icl").value();
+  workload::LiveCounters live(machine.total_threads());
+  pmu::SimulatedPmu pmu(machine, &live);
+  ASSERT_TRUE(pmu.configure({"INSTRUCTION_RETIRED"}).is_ok());
+  LiveSamplerConfig config;
+  config.events = {"INSTRUCTION_RETIRED"};
+  config.cpus = {0};
+  config.frequency_hz = 100.0;
+  LiveSampler sampler(pmu, nullptr, config);
+  ASSERT_TRUE(sampler.start().is_ok());
+  EXPECT_FALSE(sampler.start().is_ok());
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+}
+
+}  // namespace
+}  // namespace pmove::sampler

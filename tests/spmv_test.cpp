@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "spmv/algorithms.hpp"
+#include "spmv/csr.hpp"
+#include "spmv/generators.hpp"
+#include "spmv/matrix_market.hpp"
+#include "spmv/reorder.hpp"
+#include "workload/counter_source.hpp"
+
+namespace pmove::spmv {
+namespace {
+
+using workload::Quantity;
+
+Csr small_matrix() {
+  // 4x4:
+  // [1 2 0 0]
+  // [0 3 0 0]
+  // [4 0 5 6]
+  // [0 0 0 7]
+  return Csr::from_coo(4, 4,
+                       {{0, 0, 1}, {0, 1, 2}, {1, 1, 3}, {2, 0, 4},
+                        {2, 2, 5}, {2, 3, 6}, {3, 3, 7}})
+      .value();
+}
+
+// -------------------------------------------------------------------- CSR
+
+TEST(CsrTest, FromCooBuildsCanonicalForm) {
+  Csr a = small_matrix();
+  EXPECT_EQ(a.rows(), 4);
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_EQ(a.row_ptr(), (std::vector<int>{0, 2, 3, 6, 7}));
+  EXPECT_EQ(a.col_idx(), (std::vector<int>{0, 1, 1, 0, 2, 3, 3}));
+  EXPECT_TRUE(a.validate().is_ok());
+  EXPECT_EQ(a.row_degree(2), 3);
+  EXPECT_DOUBLE_EQ(a.avg_degree(), 7.0 / 4.0);
+}
+
+TEST(CsrTest, FromCooMergesDuplicates) {
+  auto a = Csr::from_coo(2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->nnz(), 2);
+  EXPECT_DOUBLE_EQ(a->values()[0], 3.5);
+}
+
+TEST(CsrTest, FromCooRejectsOutOfRange) {
+  EXPECT_FALSE(Csr::from_coo(2, 2, {{0, 5, 1.0}}).has_value());
+  EXPECT_FALSE(Csr::from_coo(2, 2, {{-1, 0, 1.0}}).has_value());
+  EXPECT_FALSE(Csr::from_coo(-1, 2, {}).has_value());
+}
+
+TEST(CsrTest, BandwidthMetrics) {
+  Csr a = small_matrix();
+  // |0-0|,|0-1|,|1-1|,|2-0|,|2-2|,|2-3|,|3-3| = 0,1,0,2,0,1,0 -> mean 4/7.
+  EXPECT_NEAR(a.mean_bandwidth(), 4.0 / 7.0, 1e-12);
+  EXPECT_EQ(a.max_bandwidth(), 2);
+}
+
+TEST(CsrTest, ReferenceSpmv) {
+  Csr a = small_matrix();
+  std::vector<double> x{1, 1, 1, 1};
+  std::vector<double> y;
+  spmv_reference(a, x, y);
+  EXPECT_EQ(y, (std::vector<double>{3, 3, 15, 7}));
+}
+
+TEST(CsrTest, PermuteSymmetricIsConsistentWithReference) {
+  Csr a = small_matrix();
+  std::vector<int> perm{2, 0, 3, 1};
+  auto b = a.permute_symmetric(perm);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->validate().is_ok());
+  EXPECT_EQ(b->nnz(), a.nnz());
+  // (PAP^T) (Px) == P(Ax): permute x, multiply, compare.
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> px(4);
+  for (int i = 0; i < 4; ++i) px[i] = x[static_cast<std::size_t>(perm[i])];
+  std::vector<double> y_orig, y_perm;
+  spmv_reference(a, x, y_orig);
+  spmv_reference(*b, px, y_perm);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y_perm[i], y_orig[static_cast<std::size_t>(perm[i])], 1e-12);
+  }
+}
+
+TEST(CsrTest, PermuteRejectsBadInput) {
+  Csr a = small_matrix();
+  EXPECT_FALSE(a.permute_symmetric({0, 1}).has_value());
+  EXPECT_FALSE(a.permute_symmetric({0, 0, 1, 2}).has_value());
+  EXPECT_FALSE(a.permute_symmetric({0, 1, 2, 9}).has_value());
+  auto rect = Csr::from_coo(2, 3, {{0, 2, 1.0}});
+  EXPECT_FALSE(rect->permute_symmetric({0, 1}).has_value());
+}
+
+// -------------------------------------------------------------- orderings
+
+TEST(ReorderTest, AllOrderingsArePermutations) {
+  Csr a = make_mesh_matrix(500, 4, 10, 7);
+  for (const char* name : {"none", "rcm", "degree", "random"}) {
+    auto perm = order_by_name(a, name);
+    ASSERT_TRUE(perm.has_value()) << name;
+    std::vector<int> sorted = *perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < a.rows(); ++i) EXPECT_EQ(sorted[i], i);
+  }
+  EXPECT_FALSE(order_by_name(a, "bogus").has_value());
+}
+
+TEST(ReorderTest, RcmReducesBandwidthOfScrambledMesh) {
+  Csr banded = make_mesh_matrix(2000, 4, 6, 11);
+  Csr scrambled = scramble(banded, 101).value();
+  ASSERT_GT(scrambled.mean_bandwidth(), banded.mean_bandwidth() * 5);
+  auto rcm = rcm_order(scrambled);
+  Csr restored = scrambled.permute_symmetric(rcm).value();
+  EXPECT_LT(restored.mean_bandwidth(), scrambled.mean_bandwidth() / 5);
+}
+
+TEST(ReorderTest, DegreeOrderSortsAscending) {
+  Csr a = make_powerlaw_matrix(300, 10, 0.8, 3);
+  auto perm = degree_order(a);
+  for (std::size_t i = 1; i < perm.size(); ++i) {
+    EXPECT_LE(a.row_degree(perm[i - 1]), a.row_degree(perm[i]));
+  }
+}
+
+TEST(ReorderTest, RandomOrderIsSeededAndDisruptive) {
+  EXPECT_EQ(random_order(100, 5), random_order(100, 5));
+  EXPECT_NE(random_order(100, 5), random_order(100, 6));
+  EXPECT_NE(random_order(100, 5), identity_order(100));
+}
+
+TEST(ReorderTest, RcmHandlesDisconnectedComponents) {
+  // Two disjoint chains.
+  std::vector<Triplet> t;
+  for (int i = 0; i < 4; ++i) t.push_back({i, (i + 1) % 5 == 0 ? i : i + 1, 1.0});
+  for (int i = 6; i < 9; ++i) t.push_back({i, i + 1, 1.0});
+  for (int i = 0; i < 10; ++i) t.push_back({i, i, 1.0});
+  Csr a = Csr::from_coo(10, 10, t).value();
+  auto perm = rcm_order(a);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+// -------------------------------------------------------------- generators
+
+TEST(GeneratorTest, PresetsExistWithPaperMetadata) {
+  for (const auto& name : matrix_preset_names()) {
+    auto preset = matrix_preset(name, 0.05);
+    ASSERT_TRUE(preset.has_value()) << name;
+    EXPECT_EQ(preset->name, name);
+    EXPECT_GT(preset->matrix.nnz(), 0);
+    EXPECT_GT(preset->paper_rows, 0);
+    EXPECT_TRUE(preset->matrix.validate().is_ok());
+  }
+  EXPECT_FALSE(matrix_preset("nope").has_value());
+  EXPECT_EQ(matrix_preset_names().size(), 5u);  // Table IV
+}
+
+TEST(GeneratorTest, MeshDegreeRoughlyMatches) {
+  Csr a = make_mesh_matrix(5000, 4, 8, 1);
+  EXPECT_NEAR(a.avg_degree(), 5.0, 1.5);  // ~4 neighbours + diagonal
+}
+
+TEST(GeneratorTest, PowerlawHasSkewedDegrees) {
+  Csr a = make_powerlaw_matrix(2000, 20, 0.8, 2);
+  int max_degree = 0;
+  for (int r = 0; r < a.rows(); ++r) {
+    max_degree = std::max(max_degree, a.row_degree(r));
+  }
+  EXPECT_GT(max_degree, static_cast<int>(a.avg_degree() * 10));
+}
+
+TEST(GeneratorTest, ScrambleRequiresCoprimeStride) {
+  Csr a = make_mesh_matrix(100, 3, 4, 9);
+  EXPECT_FALSE(scramble(a, 50).has_value());
+  EXPECT_TRUE(scramble(a, 101).has_value());
+}
+
+TEST(GeneratorTest, StiffnessHasBlockStructure) {
+  Csr a = make_stiffness_matrix(400, 20, 2, 4);
+  EXPECT_GT(a.avg_degree(), 8.0);
+  EXPECT_TRUE(a.validate().is_ok());
+}
+
+
+// ------------------------------------------------------------ matrix market
+
+TEST(MatrixMarketTest, ParsesGeneralReal) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "1 3 -1.5\n"
+      "2 2 3.0\n"
+      "3 1 4.0\n";
+  auto a = read_matrix_market_text(text);
+  ASSERT_TRUE(a.has_value()) << a.status().to_string();
+  EXPECT_EQ(a->rows(), 3);
+  EXPECT_EQ(a->nnz(), 4);
+  std::vector<double> x{1, 1, 1}, y;
+  spmv_reference(*a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(MatrixMarketTest, ExpandsSymmetric) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "2 1 5.0\n";
+  auto a = read_matrix_market_text(text);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->nnz(), 3);  // diagonal once, off-diagonal mirrored
+  std::vector<double> x{1, 1}, y;
+  spmv_reference(*a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(MatrixMarketTest, PatternGetsUnitValues) {
+  const char* text =
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 3 2\n"
+      "1 2\n"
+      "2 3\n";
+  auto a = read_matrix_market_text(text);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->cols(), 3);
+  EXPECT_DOUBLE_EQ(a->values()[0], 1.0);
+}
+
+TEST(MatrixMarketTest, RoundTripsGeneratedMatrix) {
+  Csr a = make_mesh_matrix(200, 4, 10, 77);
+  auto restored = read_matrix_market_text(write_matrix_market(a, "mesh"));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->rows(), a.rows());
+  EXPECT_EQ(restored->nnz(), a.nnz());
+  EXPECT_EQ(restored->row_ptr(), a.row_ptr());
+  EXPECT_EQ(restored->col_idx(), a.col_idx());
+  for (std::size_t i = 0; i < a.values().size(); ++i) {
+    ASSERT_NEAR(restored->values()[i], a.values()[i], 1e-9);
+  }
+}
+
+TEST(MatrixMarketTest, Rejections) {
+  EXPECT_FALSE(read_matrix_market_text("").has_value());
+  EXPECT_FALSE(read_matrix_market_text("not a header\n1 1 0\n").has_value());
+  EXPECT_FALSE(read_matrix_market_text(
+                   "%%MatrixMarket matrix array real general\n2 2\n")
+                   .has_value());
+  EXPECT_FALSE(read_matrix_market_text(
+                   "%%MatrixMarket matrix coordinate complex general\n"
+                   "1 1 1\n1 1 1 0\n")
+                   .has_value());
+  // Out-of-range index.
+  EXPECT_FALSE(read_matrix_market_text(
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "2 2 1\n9 1 1.0\n")
+                   .has_value());
+  // Truncated entries.
+  EXPECT_FALSE(read_matrix_market_text(
+                   "%%MatrixMarket matrix coordinate real general\n"
+                   "2 2 3\n1 1 1.0\n")
+                   .has_value());
+  EXPECT_FALSE(read_matrix_market_file("/no/such/file.mtx").has_value());
+}
+
+// -------------------------------------------------------------- algorithms
+
+class SpmvAlgorithmTest : public ::testing::TestWithParam<
+                              std::tuple<Algorithm, int>> {};
+
+TEST_P(SpmvAlgorithmTest, MatchesReference) {
+  const auto [algorithm, threads] = GetParam();
+  Csr a = make_mesh_matrix(3000, 5, 40, 13);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.01 * static_cast<double>(i % 97);
+  }
+  std::vector<double> expected;
+  spmv_reference(a, x, expected);
+
+  auto machine = topology::machine_preset("csl").value();
+  SpmvConfig config;
+  config.algorithm = algorithm;
+  config.threads = threads;
+  config.iterations = 2;
+  config.cpus.assign(static_cast<std::size_t>(threads), 0);
+  std::iota(config.cpus.begin(), config.cpus.end(), 0);
+  std::vector<double> y;
+  auto run = run_spmv(a, x, y, machine, config);
+  ASSERT_TRUE(run.has_value());
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ASSERT_NEAR(y[i], expected[i], 1e-9) << "row " << i;
+  }
+  EXPECT_GT(run->seconds, 0.0);
+  EXPECT_DOUBLE_EQ(run->totals.total_flops(),
+                   2.0 * static_cast<double>(a.nnz()) * config.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndThreads, SpmvAlgorithmTest,
+    ::testing::Combine(::testing::Values(Algorithm::kMklLike,
+                                         Algorithm::kMerge),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SpmvInstrumentationTest, MklCountsVectorFlopsOnAvx512Machine) {
+  Csr a = make_mesh_matrix(1000, 5, 20, 17);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();  // AVX-512
+  SpmvConfig config;
+  config.algorithm = Algorithm::kMklLike;
+  config.iterations = 1;
+  auto run = run_spmv(a, x, y, machine, config);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_GT(run->totals.get(Quantity::kAvx512Flops), 0.0);
+  EXPECT_DOUBLE_EQ(run->totals.get(Quantity::kScalarFlops), 0.0);
+}
+
+TEST(SpmvInstrumentationTest, MergeCountsScalarFlops) {
+  Csr a = make_mesh_matrix(1000, 5, 20, 17);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();
+  SpmvConfig config;
+  config.algorithm = Algorithm::kMerge;
+  config.iterations = 1;
+  auto run = run_spmv(a, x, y, machine, config);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_GT(run->totals.get(Quantity::kScalarFlops), 0.0);
+  EXPECT_DOUBLE_EQ(run->totals.get(Quantity::kAvx512Flops), 0.0);
+}
+
+TEST(SpmvInstrumentationTest, MergeIssuesMoreMemoryInstructions) {
+  // Fig 7: TOTAL_MEMORY_INSTRUCTIONS lower for MKL (wide loads move 64B).
+  Csr a = make_mesh_matrix(1000, 5, 20, 17);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();
+  SpmvConfig mkl_config;
+  mkl_config.algorithm = Algorithm::kMklLike;
+  mkl_config.iterations = 1;
+  SpmvConfig merge_config = mkl_config;
+  merge_config.algorithm = Algorithm::kMerge;
+  auto mkl = run_spmv(a, x, y, machine, mkl_config);
+  auto merge = run_spmv(a, x, y, machine, merge_config);
+  const double mkl_mem = mkl->totals.get(Quantity::kLoads) +
+                         mkl->totals.get(Quantity::kStores);
+  const double merge_mem = merge->totals.get(Quantity::kLoads) +
+                           merge->totals.get(Quantity::kStores);
+  EXPECT_GT(merge_mem, mkl_mem * 3);
+}
+
+TEST(SpmvInstrumentationTest, LiveCountersObserveRun) {
+  Csr a = make_mesh_matrix(500, 4, 10, 23);
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();
+  workload::LiveCounters live(machine.total_threads());
+  SpmvConfig config;
+  config.iterations = 1;
+  auto run = run_spmv(a, x, y, machine, config, &live);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_DOUBLE_EQ(live.total(Quantity::kAvx512Flops),
+                   run->totals.get(Quantity::kAvx512Flops));
+}
+
+TEST(SpmvConfigTest, Validation) {
+  Csr a = small_matrix();
+  std::vector<double> x{1, 1, 1};  // wrong size
+  std::vector<double> y;
+  auto machine = topology::machine_preset("csl").value();
+  SpmvConfig config;
+  EXPECT_FALSE(run_spmv(a, x, y, machine, config).has_value());
+  std::vector<double> x4{1, 1, 1, 1};
+  config.threads = 0;
+  EXPECT_FALSE(run_spmv(a, x4, y, machine, config).has_value());
+  config.threads = 4;
+  config.cpus = {0};  // too few attribution CPUs
+  EXPECT_FALSE(run_spmv(a, x4, y, machine, config).has_value());
+}
+
+TEST(GatherLocalityTest, ScrambledMatrixMissesMore) {
+  auto machine = topology::machine_preset("csl").value();
+  Csr banded = make_mesh_matrix(20000, 4, 8, 29);
+  Csr scrambled = scramble(banded, 101).value();
+  auto good = estimate_gather_locality(banded, machine);
+  auto bad = estimate_gather_locality(scrambled, machine);
+  EXPECT_GT(bad.l1_miss_prob, good.l1_miss_prob);
+  EXPECT_GE(bad.l2_miss_prob, good.l2_miss_prob);
+}
+
+}  // namespace
+}  // namespace pmove::spmv

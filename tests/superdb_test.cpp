@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "kb/ids.hpp"
+#include "kb/kb.hpp"
+#include "superdb/superdb.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::superdb {
+namespace {
+
+kb::ObservationInterface make_observation(const std::string& host,
+                                          const std::string& tag) {
+  kb::ObservationInterface obs;
+  obs.tag = tag;
+  obs.host = host;
+  obs.id = "dtmi:dt:" + host + ":observation:" + tag + ";1";
+  obs.command = "./triad";
+  kb::SampledMetric metric;
+  metric.pmu_name = "skx";
+  metric.sampler_name = "FP_ARITH:SCALAR_DOUBLE";
+  metric.db_name = kb::hw_measurement("FP_ARITH:SCALAR_DOUBLE");
+  metric.fields = {"_cpu0", "_cpu1"};
+  obs.metrics.push_back(metric);
+  return obs;
+}
+
+void seed_local_db(tsdb::TimeSeriesDb& db, const std::string& tag,
+                   int points) {
+  for (int i = 1; i <= points; ++i) {
+    tsdb::Point p;
+    p.measurement = kb::hw_measurement("FP_ARITH:SCALAR_DOUBLE");
+    p.tags["tag"] = tag;
+    p.time = i * 1000;
+    p.fields["_cpu0"] = 10.0 * i;
+    p.fields["_cpu1"] = 20.0 * i;
+    ASSERT_TRUE(db.write(std::move(p)).is_ok());
+  }
+}
+
+class SuperDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kb_ = std::make_unique<kb::KnowledgeBase>(
+        kb::KnowledgeBase::build(topology::machine_preset("skx").value()));
+    seed_local_db(local_, "tag-1", 10);
+  }
+  std::unique_ptr<kb::KnowledgeBase> kb_;
+  tsdb::TimeSeriesDb local_;
+  SuperDb super_;
+};
+
+TEST_F(SuperDbTest, ReportSystemRegistersHost) {
+  ASSERT_TRUE(super_.report_system(*kb_).is_ok());
+  EXPECT_EQ(super_.systems(), std::vector<std::string>{"skx"});
+  // Re-reporting is an upsert, not a duplicate.
+  ASSERT_TRUE(super_.report_system(*kb_).is_ok());
+  EXPECT_EQ(super_.systems().size(), 1u);
+}
+
+TEST_F(SuperDbTest, TsObservationCopiesRows) {
+  auto obs = make_observation("skx", "tag-1");
+  ASSERT_TRUE(super_.report_observation_ts(*kb_, local_, obs).is_ok());
+  EXPECT_EQ(super_.timeseries().point_count(), 10u);
+  auto docs = super_.observations("skx");
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].find("@type")->as_string(), "TSObservationInterface");
+  // Global rows carry the host tag for cross-system queries.
+  auto result = super_.timeseries().query(
+      "SELECT \"_cpu0\" FROM \"" + obs.metrics[0].db_name +
+      "\" WHERE host=\"skx\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST_F(SuperDbTest, AggObservationSummarizes) {
+  auto obs = make_observation("skx", "tag-1");
+  ASSERT_TRUE(super_.report_observation_agg(*kb_, local_, obs).is_ok());
+  // No raw rows copied — aggregates only (manage high data volumes).
+  EXPECT_EQ(super_.timeseries().point_count(), 0u);
+  auto docs = super_.observations("skx");
+  ASSERT_EQ(docs.size(), 1u);
+  const json::Value& doc = docs[0];
+  EXPECT_EQ(doc.find("@type")->as_string(), "AGGObservationInterface");
+  const json::Value* agg =
+      doc.at_path("aggregates." + obs.metrics[0].db_name + "._cpu0");
+  ASSERT_NE(agg, nullptr);
+  // _cpu0 values are 10..100.
+  EXPECT_DOUBLE_EQ(agg->find("min")->as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(agg->find("max")->as_double(), 100.0);
+  EXPECT_DOUBLE_EQ(agg->find("mean")->as_double(), 55.0);
+  EXPECT_DOUBLE_EQ(agg->find("count")->as_double(), 10.0);
+}
+
+TEST_F(SuperDbTest, ObservationsFilterByHost) {
+  ASSERT_TRUE(super_
+                  .report_observation_agg(*kb_, local_,
+                                          make_observation("skx", "tag-1"))
+                  .is_ok());
+  auto kb_icl =
+      kb::KnowledgeBase::build(topology::machine_preset("icl").value());
+  tsdb::TimeSeriesDb icl_local;
+  ASSERT_TRUE(super_
+                  .report_observation_agg(kb_icl, icl_local,
+                                          make_observation("icl", "tag-2"))
+                  .is_ok());
+  EXPECT_EQ(super_.observations("skx").size(), 1u);
+  EXPECT_EQ(super_.observations("icl").size(), 1u);
+  EXPECT_EQ(super_.observations().size(), 2u);
+}
+
+TEST_F(SuperDbTest, CsvExportForMlTraining) {
+  ASSERT_TRUE(super_
+                  .report_observation_agg(*kb_, local_,
+                                          make_observation("skx", "tag-1"))
+                  .is_ok());
+  const std::string csv = super_.export_csv();
+  EXPECT_NE(csv.find("host,tag,command,metric,field"), std::string::npos);
+  EXPECT_NE(csv.find("skx,tag-1,./triad"), std::string::npos);
+  EXPECT_NE(csv.find("_cpu0"), std::string::npos);
+  EXPECT_NE(csv.find("_cpu1"), std::string::npos);
+  // Header + 2 field rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST_F(SuperDbTest, AggHandlesMissingLocalRows) {
+  auto obs = make_observation("skx", "no-such-tag");
+  ASSERT_TRUE(super_.report_observation_agg(*kb_, local_, obs).is_ok());
+  auto docs = super_.observations("skx");
+  ASSERT_EQ(docs.size(), 1u);
+  const json::Value* agg = docs[0].at_path(
+      "aggregates." + obs.metrics[0].db_name + "._cpu0");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_TRUE(agg->as_object().empty());  // nothing to aggregate
+}
+
+}  // namespace
+}  // namespace pmove::superdb

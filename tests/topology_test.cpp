@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "topology/component.hpp"
+#include "topology/machine.hpp"
+#include "topology/prober.hpp"
+
+namespace pmove::topology {
+namespace {
+
+// ---------------------------------------------------------------- presets
+
+TEST(MachinePresetTest, AllPresetsExist) {
+  for (const auto& name : machine_preset_names()) {
+    auto spec = machine_preset(name);
+    ASSERT_TRUE(spec.has_value()) << name;
+    EXPECT_EQ(spec->hostname, name);
+    EXPECT_GT(spec->total_threads(), 0);
+    EXPECT_FALSE(spec->cache_levels.empty());
+  }
+  EXPECT_FALSE(machine_preset("nope").has_value());
+}
+
+// Table II ground truth.
+TEST(MachinePresetTest, SkxMatchesTable2) {
+  auto skx = machine_preset("skx");
+  ASSERT_TRUE(skx.has_value());
+  EXPECT_EQ(skx->sockets, 2);
+  EXPECT_EQ(skx->total_cores(), 44);
+  EXPECT_EQ(skx->total_threads(), 88);
+  EXPECT_EQ(skx->vendor, Vendor::kIntel);
+  EXPECT_EQ(skx->uarch, Microarch::kSkylakeX);
+  EXPECT_EQ(skx->memory_bytes, 1024ull << 30);
+  EXPECT_EQ(skx->memory_mhz, 2666);
+  EXPECT_TRUE(skx->isa.supports(Isa::kAvx512));
+}
+
+TEST(MachinePresetTest, IclMatchesTable2) {
+  auto icl = machine_preset("icl");
+  ASSERT_TRUE(icl.has_value());
+  EXPECT_EQ(icl->total_cores(), 8);
+  EXPECT_EQ(icl->total_threads(), 16);
+  EXPECT_EQ(icl->uarch, Microarch::kIceLake);
+  EXPECT_EQ(icl->memory_bytes, 64ull << 30);
+}
+
+TEST(MachinePresetTest, CslMatchesTable2) {
+  auto csl = machine_preset("csl");
+  ASSERT_TRUE(csl.has_value());
+  EXPECT_EQ(csl->total_cores(), 28);
+  EXPECT_EQ(csl->total_threads(), 56);
+  EXPECT_EQ(csl->uarch, Microarch::kCascadeLake);
+  EXPECT_EQ(csl->memory_mhz, 3200);
+}
+
+TEST(MachinePresetTest, Zen3MatchesTable2) {
+  auto zen3 = machine_preset("zen3");
+  ASSERT_TRUE(zen3.has_value());
+  EXPECT_EQ(zen3->vendor, Vendor::kAmd);
+  EXPECT_EQ(zen3->total_cores(), 16);
+  EXPECT_EQ(zen3->total_threads(), 32);
+  EXPECT_FALSE(zen3->isa.supports(Isa::kAvx512));
+  EXPECT_EQ(zen3->memory_bytes, 128ull << 30);
+}
+
+TEST(MachinePresetTest, PresetLookupIsCaseInsensitive) {
+  EXPECT_TRUE(machine_preset("SKX").has_value());
+  EXPECT_TRUE(machine_preset("Zen3").has_value());
+}
+
+TEST(MachineSpecTest, DramBytesPerCyclePositive) {
+  auto skx = machine_preset("skx");
+  EXPECT_GT(skx->dram_bytes_per_cycle_per_core(), 0.0);
+  MachineSpec empty;
+  empty.cores_per_socket = 0;
+  EXPECT_EQ(empty.dram_bytes_per_cycle_per_core(), 0.0);
+}
+
+TEST(IsaTest, LanesAndThroughput) {
+  EXPECT_EQ(lanes_per_vector(Isa::kScalar), 1);
+  EXPECT_EQ(lanes_per_vector(Isa::kSse), 2);
+  EXPECT_EQ(lanes_per_vector(Isa::kAvx2), 4);
+  EXPECT_EQ(lanes_per_vector(Isa::kAvx512), 8);
+  IsaThroughput t{2, 4, 8, 16};
+  EXPECT_DOUBLE_EQ(t.at(Isa::kAvx2), 8);
+  EXPECT_TRUE(t.supports(Isa::kAvx512));
+}
+
+TEST(ProbeLocalTest, AlwaysYieldsUsableSpec) {
+  MachineSpec local = probe_local_machine();
+  EXPECT_FALSE(local.hostname.empty());
+  EXPECT_GE(local.total_threads(), 1);
+  EXPECT_GT(local.memory_bytes, 0u);
+}
+
+// ----------------------------------------------------------- component tree
+
+class TreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = machine_preset("skx").value();
+    root_ = build_component_tree(spec_);
+  }
+  MachineSpec spec_;
+  std::unique_ptr<Component> root_;
+};
+
+TEST_F(TreeTest, CountsMatchSpec) {
+  EXPECT_EQ(root_->find_all(ComponentKind::kSocket).size(), 2u);
+  EXPECT_EQ(root_->find_all(ComponentKind::kCore).size(), 44u);
+  EXPECT_EQ(root_->find_all(ComponentKind::kThread).size(), 88u);
+  EXPECT_EQ(root_->find_all(ComponentKind::kDisk).size(), 4u);
+  EXPECT_EQ(root_->find_all(ComponentKind::kNic).size(), 1u);
+  // L1+L2 per core, L3 per socket.
+  EXPECT_EQ(root_->find_all(ComponentKind::kCache).size(), 44u * 2 + 2);
+}
+
+TEST_F(TreeTest, LinuxStyleCpuNumbering) {
+  // First thread of core k is cpuk; SMT siblings start at 44.
+  EXPECT_NE(root_->find_by_name("cpu0"), nullptr);
+  EXPECT_NE(root_->find_by_name("cpu43"), nullptr);
+  EXPECT_NE(root_->find_by_name("cpu44"), nullptr);
+  EXPECT_NE(root_->find_by_name("cpu87"), nullptr);
+  EXPECT_EQ(root_->find_by_name("cpu88"), nullptr);
+  const Component* cpu44 = root_->find_by_name("cpu44");
+  EXPECT_EQ(cpu44->property_or("smt", ""), "1");
+  EXPECT_EQ(cpu44->parent()->name(), "core0");
+}
+
+TEST_F(TreeTest, PathToRootWalksUp) {
+  const Component* cpu0 = root_->find_by_name("cpu0");
+  ASSERT_NE(cpu0, nullptr);
+  auto path = cpu0->path_to_root();
+  ASSERT_GE(path.size(), 5u);
+  EXPECT_EQ(path.front(), cpu0);
+  EXPECT_EQ(path.back(), root_.get());
+  EXPECT_EQ(cpu0->path(), "skx/node0/socket0/numanode0/core0/cpu0");
+}
+
+TEST_F(TreeTest, SubtreePreOrder) {
+  const Component* socket0 = root_->find_by_name("socket0");
+  auto subtree = socket0->subtree();
+  EXPECT_EQ(subtree.front(), socket0);
+  // socket + L3 + numa + mem + 22*(core + 2 caches + 2 threads)
+  EXPECT_EQ(subtree.size(), 1u + 1 + 1 + 1 + 22u * 5);
+}
+
+TEST_F(TreeTest, DepthIsConsistent) {
+  EXPECT_EQ(root_->depth(), 0);
+  const Component* cpu = root_->find_by_name("cpu0");
+  EXPECT_EQ(cpu->depth(), 5);
+}
+
+TEST_F(TreeTest, RenderTreeMentionsKeyComponents) {
+  const std::string text = render_tree(*root_);
+  EXPECT_NE(text.find("skx [system]"), std::string::npos);
+  EXPECT_NE(text.find("socket1 [socket]"), std::string::npos);
+  EXPECT_NE(text.find("cpu87 [thread]"), std::string::npos);
+  EXPECT_NE(text.find("l3_s0 [cache]"), std::string::npos);
+}
+
+TEST(TreeGpuTest, GpusAttachAtNodeLevel) {
+  MachineSpec spec = machine_preset("icl").value();
+  GpuSpec gpu;
+  gpu.name = "gpu0";
+  gpu.model = "NVIDIA Quadro GV100";
+  gpu.memory_bytes = 34359ull << 20;
+  gpu.sm_count = 80;
+  gpu.numa_node = 0;
+  spec.gpus.push_back(gpu);
+  auto root = build_component_tree(spec);
+  auto gpus = root->find_all(ComponentKind::kGpu);
+  ASSERT_EQ(gpus.size(), 1u);
+  EXPECT_EQ(gpus[0]->property_or("model", ""), "NVIDIA Quadro GV100");
+  EXPECT_EQ(gpus[0]->parent()->kind(), ComponentKind::kNode);
+}
+
+// ------------------------------------------------------------ probe report
+
+TEST(ProbeReportTest, RoundTripsSpec) {
+  MachineSpec spec = machine_preset("zen3").value();
+  json::Value report = probe_report(spec);
+  auto restored = spec_from_report(report);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->hostname, spec.hostname);
+  EXPECT_EQ(restored->vendor, spec.vendor);
+  EXPECT_EQ(restored->uarch, spec.uarch);
+  EXPECT_EQ(restored->sockets, spec.sockets);
+  EXPECT_EQ(restored->cores_per_socket, spec.cores_per_socket);
+  EXPECT_EQ(restored->memory_bytes, spec.memory_bytes);
+  EXPECT_EQ(restored->cache_levels.size(), spec.cache_levels.size());
+  for (std::size_t i = 0; i < spec.cache_levels.size(); ++i) {
+    EXPECT_EQ(restored->cache_levels[i].name, spec.cache_levels[i].name);
+    EXPECT_EQ(restored->cache_levels[i].size_bytes,
+              spec.cache_levels[i].size_bytes);
+  }
+  EXPECT_DOUBLE_EQ(restored->isa.avx2, spec.isa.avx2);
+  EXPECT_EQ(restored->disks.size(), spec.disks.size());
+  EXPECT_EQ(restored->nics.size(), spec.nics.size());
+}
+
+TEST(ProbeReportTest, ReportContainsTopologyJson) {
+  MachineSpec spec = machine_preset("icl").value();
+  json::Value report = probe_report(spec);
+  const json::Value* topo = report.find("topology");
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->at_path("name")->as_string(), "icl");
+  EXPECT_EQ(topo->at_path("kind")->as_string(), "system");
+  ASSERT_NE(topo->at_path("children.0"), nullptr);
+  EXPECT_EQ(topo->at_path("children.0.kind")->as_string(), "node");
+}
+
+TEST(ProbeReportTest, RejectsGarbage) {
+  EXPECT_FALSE(spec_from_report(json::Value(5)).has_value());
+  json::Object no_host;
+  no_host.set("machine", json::Object{});
+  EXPECT_FALSE(spec_from_report(json::Value(std::move(no_host))).has_value());
+}
+
+TEST(ComponentKindTest, NamesAreStable) {
+  EXPECT_EQ(to_string(ComponentKind::kNumaNode), "numanode");
+  EXPECT_EQ(to_string(ComponentKind::kGpu), "gpu");
+  EXPECT_EQ(to_string(ComponentKind::kProcess), "process");
+}
+
+}  // namespace
+}  // namespace pmove::topology

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "tsdb/db.hpp"
+#include "tsdb/point.hpp"
+
+namespace pmove::tsdb {
+namespace {
+
+Point make_point(std::string measurement, TimeNs t, double value,
+                 std::string tag = "") {
+  Point p;
+  p.measurement = std::move(measurement);
+  p.time = t;
+  p.fields["value"] = value;
+  if (!tag.empty()) p.tags["tag"] = std::move(tag);
+  return p;
+}
+
+// ----------------------------------------------------------- line protocol
+
+TEST(LineProtocolTest, RoundTrip) {
+  Point p;
+  p.measurement = "kernel_percpu_cpu_idle";
+  p.tags["host"] = "skx";
+  p.tags["tag"] = "278e26c2";
+  p.fields["_cpu0"] = 1.5;
+  p.fields["_cpu1"] = 2.0;
+  p.time = 1690000000000000000;
+  auto restored = Point::from_line(p.to_line());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->measurement, p.measurement);
+  EXPECT_EQ(restored->tags, p.tags);
+  EXPECT_EQ(restored->fields, p.fields);
+  EXPECT_EQ(restored->time, p.time);
+}
+
+TEST(LineProtocolTest, EscapesSpecialCharacters) {
+  Point p;
+  p.measurement = "weird m,easure=ment";
+  p.tags["k ey"] = "v,alue";
+  p.fields["f=ield"] = 1.0;
+  p.time = 42;
+  auto restored = Point::from_line(p.to_line());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->measurement, p.measurement);
+  EXPECT_EQ(restored->tags.at("k ey"), "v,alue");
+  EXPECT_EQ(restored->fields.count("f=ield"), 1u);
+}
+
+TEST(LineProtocolTest, IntegerFieldsCompact) {
+  Point p = make_point("m", 7, 12345.0);
+  EXPECT_EQ(p.to_line(), "m value=12345 7");
+}
+
+TEST(LineProtocolTest, ParseWithoutTimestamp) {
+  auto p = Point::from_line("m,host=a value=3.5");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->time, 0);
+  EXPECT_DOUBLE_EQ(p->fields.at("value"), 3.5);
+}
+
+TEST(LineProtocolTest, Rejections) {
+  for (const char* bad :
+       {"", "   ", "m", "m novalue", "m k=v x", "m k=abc 5", ",t=1 k=1 5"}) {
+    EXPECT_FALSE(Point::from_line(bad).has_value()) << bad;
+  }
+}
+
+// ------------------------------------------------------------------ writes
+
+TEST(DbTest, WriteAndCount) {
+  TimeSeriesDb db;
+  EXPECT_TRUE(db.write(make_point("m1", 1, 1.0)).is_ok());
+  EXPECT_TRUE(db.write(make_point("m1", 2, 2.0)).is_ok());
+  EXPECT_TRUE(db.write(make_point("m2", 1, 3.0)).is_ok());
+  EXPECT_EQ(db.point_count(), 3u);
+  EXPECT_EQ(db.point_count("m1"), 2u);
+  EXPECT_EQ(db.point_count("nope"), 0u);
+  EXPECT_EQ(db.measurements(), (std::vector<std::string>{"m1", "m2"}));
+  EXPECT_GT(db.bytes_written(), 0u);
+}
+
+TEST(DbTest, WriteValidation) {
+  TimeSeriesDb db;
+  Point no_measurement;
+  no_measurement.fields["v"] = 1;
+  EXPECT_FALSE(db.write(no_measurement).is_ok());
+  Point no_fields;
+  no_fields.measurement = "m";
+  EXPECT_FALSE(db.write(no_fields).is_ok());
+}
+
+TEST(DbTest, WriteLineParsesAndStores) {
+  TimeSeriesDb db;
+  EXPECT_TRUE(db.write_line("m,tag=abc value=5 100").is_ok());
+  EXPECT_FALSE(db.write_line("garbage").is_ok());
+  EXPECT_EQ(db.point_count("m"), 1u);
+}
+
+TEST(DbTest, OutOfOrderInsertKeepsTimeOrder) {
+  TimeSeriesDb db;
+  ASSERT_TRUE(db.write(make_point("m", 30, 3.0)).is_ok());
+  ASSERT_TRUE(db.write(make_point("m", 10, 1.0)).is_ok());
+  ASSERT_TRUE(db.write(make_point("m", 20, 2.0)).is_ok());
+  auto result = db.query("SELECT \"value\" FROM \"m\"");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_LT(result->rows[0][0], result->rows[1][0]);
+  EXPECT_LT(result->rows[1][0], result->rows[2][0]);
+}
+
+// ----------------------------------------------------------------- queries
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 10; ++i) {
+      Point p;
+      p.measurement = "kernel_percpu_cpu_idle";
+      p.tags["tag"] = i < 5 ? "run-a" : "run-b";
+      p.time = i * 100;
+      p.fields["_cpu0"] = i;
+      p.fields["_cpu1"] = 10.0 * i;
+      ASSERT_TRUE(db_.write(std::move(p)).is_ok());
+    }
+  }
+  TimeSeriesDb db_;
+};
+
+TEST_F(QueryTest, PaperListing3Shape) {
+  auto result = db_.query(
+      "SELECT \"_cpu0\", \"_cpu1\" FROM \"kernel_percpu_cpu_idle\" WHERE "
+      "tag=\"run-a\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->columns,
+            (std::vector<std::string>{"time", "_cpu0", "_cpu1"}));
+  ASSERT_EQ(result->rows.size(), 5u);
+  EXPECT_DOUBLE_EQ(result->rows[2][1], 2.0);
+  EXPECT_DOUBLE_EQ(result->rows[2][2], 20.0);
+}
+
+TEST_F(QueryTest, SelectStarCollectsAllFields) {
+  auto result = db_.query("SELECT * FROM \"kernel_percpu_cpu_idle\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->columns,
+            (std::vector<std::string>{"time", "_cpu0", "_cpu1"}));
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST_F(QueryTest, TimeRangeFilters) {
+  auto result = db_.query(
+      "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\" WHERE time >= 200 "
+      "AND time <= 400");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows.size(), 3u);
+  auto strict = db_.query(
+      "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\" WHERE time > 200 "
+      "AND time < 400");
+  EXPECT_EQ(strict->rows.size(), 1u);
+}
+
+TEST_F(QueryTest, MissingFieldIsNaN) {
+  ASSERT_TRUE(db_.write(make_point("kernel_percpu_cpu_idle", 9999, 1.0))
+                  .is_ok());  // only "value" field
+  auto result = db_.query(
+      "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\" WHERE time >= 9999");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_TRUE(std::isnan(result->rows[0][1]));
+}
+
+TEST_F(QueryTest, Aggregates) {
+  auto result = db_.query(
+      "SELECT min(\"_cpu0\"), max(\"_cpu0\"), mean(\"_cpu0\"), "
+      "sum(\"_cpu0\"), count(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\"");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 1u);
+  const auto& row = result->rows[0];
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 9.0);
+  EXPECT_DOUBLE_EQ(row[3], 4.5);
+  EXPECT_DOUBLE_EQ(row[4], 45.0);
+  EXPECT_DOUBLE_EQ(row[5], 10.0);
+}
+
+TEST_F(QueryTest, StddevFirstLast) {
+  auto result = db_.query(
+      "SELECT stddev(\"_cpu0\"), first(\"_cpu0\"), last(\"_cpu0\") FROM "
+      "\"kernel_percpu_cpu_idle\" WHERE tag=\"run-a\"");
+  ASSERT_TRUE(result.has_value());
+  const auto& row = result->rows[0];
+  EXPECT_NEAR(row[1], 1.5811, 1e-3);  // stddev of 0..4
+  EXPECT_DOUBLE_EQ(row[2], 0.0);
+  EXPECT_DOUBLE_EQ(row[3], 4.0);
+}
+
+TEST_F(QueryTest, AggregateOfEmptySelectionIsNaN) {
+  auto result = db_.query(
+      "SELECT mean(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" WHERE "
+      "tag=\"missing\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(std::isnan(result->rows[0][1]));
+}
+
+TEST_F(QueryTest, ErrorCases) {
+  EXPECT_FALSE(db_.query("").has_value());
+  EXPECT_FALSE(db_.query("DELETE FROM x").has_value());
+  EXPECT_FALSE(db_.query("SELECT \"a\" FROM \"missing_measurement\"")
+                   .has_value());
+  EXPECT_FALSE(db_.query("SELECT FROM \"kernel_percpu_cpu_idle\"")
+                   .has_value());
+  EXPECT_FALSE(db_.query("SELECT bogus(\"x\") FROM \"kernel_percpu_cpu_idle\"")
+                   .has_value());
+  EXPECT_FALSE(
+      db_.query("SELECT \"a\", mean(\"b\") FROM \"kernel_percpu_cpu_idle\"")
+          .has_value());
+  EXPECT_FALSE(db_.query("SELECT \"a\" FROM \"kernel_percpu_cpu_idle\" "
+                         "WHERE time ~ 5")
+                   .has_value());
+}
+
+TEST_F(QueryTest, CaseInsensitiveKeywords) {
+  auto result = db_.query(
+      "select \"_cpu0\" from \"kernel_percpu_cpu_idle\" where tag='run-b'");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows.size(), 5u);
+}
+
+
+TEST_F(QueryTest, GroupByTimeDownsamples) {
+  // 10 points at t = 0..900; 250ns buckets -> 4 buckets of sizes 3,2,3,2.
+  auto result = db_.query(
+      "SELECT mean(\"_cpu0\"), count(\"_cpu0\") FROM "
+      "\"kernel_percpu_cpu_idle\" GROUP BY time(250ns)");
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_DOUBLE_EQ(result->rows[0][0], 0.0);    // bucket start stamps
+  EXPECT_DOUBLE_EQ(result->rows[1][0], 250.0);
+  EXPECT_DOUBLE_EQ(result->rows[0][1], 1.0);    // mean of {0,1,2}
+  EXPECT_DOUBLE_EQ(result->rows[0][2], 3.0);    // count
+  EXPECT_DOUBLE_EQ(result->rows[1][1], 3.5);    // mean of {3,4}
+}
+
+TEST_F(QueryTest, GroupByTimeWithWhere) {
+  auto result = db_.query(
+      "SELECT sum(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" WHERE "
+      "tag=\"run-a\" GROUP BY time(1s)");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 1u);  // all of run-a in one 1s bucket
+  EXPECT_DOUBLE_EQ(result->rows[0][1], 10.0);  // 0+1+2+3+4
+}
+
+TEST_F(QueryTest, GroupByTimeUnits) {
+  // 1us = 1000ns covers all points in one bucket.
+  auto result = db_.query(
+      "SELECT count(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" "
+      "GROUP BY time(1us)");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->rows[0][1], 10.0);
+}
+
+TEST_F(QueryTest, GroupByTimeErrors) {
+  // Raw selectors cannot be grouped.
+  EXPECT_FALSE(db_.query("SELECT \"_cpu0\" FROM "
+                         "\"kernel_percpu_cpu_idle\" GROUP BY time(1s)")
+                   .has_value());
+  EXPECT_FALSE(db_.query("SELECT mean(\"_cpu0\") FROM "
+                         "\"kernel_percpu_cpu_idle\" GROUP BY tag")
+                   .has_value());
+  EXPECT_FALSE(db_.query("SELECT mean(\"_cpu0\") FROM "
+                         "\"kernel_percpu_cpu_idle\" GROUP BY time(abc)")
+                   .has_value());
+  EXPECT_FALSE(db_.query("SELECT mean(\"_cpu0\") FROM "
+                         "\"kernel_percpu_cpu_idle\" GROUP BY time(0s)")
+                   .has_value());
+}
+
+// --------------------------------------------------------------- retention
+
+TEST(RetentionTest, DropsOldPoints) {
+  TimeSeriesDb db(RetentionPolicy{1000});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.write(make_point("m", i * 500, i)).is_ok());
+  }
+  // now = 4500; cutoff = 3500 -> keeps t in {3500, 4000, 4500}.
+  const std::size_t dropped = db.enforce_retention(4500);
+  EXPECT_EQ(dropped, 7u);
+  EXPECT_EQ(db.point_count("m"), 3u);
+}
+
+TEST(RetentionTest, ZeroDurationKeepsForever) {
+  TimeSeriesDb db;
+  ASSERT_TRUE(db.write(make_point("m", 0, 1.0)).is_ok());
+  EXPECT_EQ(db.enforce_retention(1'000'000'000), 0u);
+  EXPECT_EQ(db.point_count(), 1u);
+}
+
+
+
+TEST(DbConcurrencyTest, ParallelWritersAndReaders) {
+  TimeSeriesDb db;
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 2000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&db, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        Point p;
+        p.measurement = "m" + std::to_string(w);
+        p.time = i;
+        p.fields["v"] = i;
+        ASSERT_TRUE(db.write(std::move(p)).is_ok());
+      }
+    });
+  }
+  // A reader hammers queries while writes are in flight.
+  threads.emplace_back([&db] {
+    for (int i = 0; i < 200; ++i) {
+      auto result = db.query("SELECT count(\"v\") FROM \"m0\"");
+      if (result.has_value()) {
+        ASSERT_LE(result->rows[0][1], 2000.0);
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.point_count(), kWriters * kPerWriter);
+}
+
+TEST(DbPersistenceTest, DumpLoadRoundTrip) {
+  TimeSeriesDb db;
+  for (int i = 0; i < 20; ++i) {
+    Point p;
+    p.measurement = i % 2 == 0 ? "m_even" : "m_odd";
+    p.tags["tag"] = "run";
+    p.time = i * 10;
+    p.fields["v"] = 1.5 * i;
+    ASSERT_TRUE(db.write(std::move(p)).is_ok());
+  }
+  const std::string path =
+      "/tmp/pmove_tsdb_" + std::to_string(::getpid()) + ".lp";
+  ASSERT_TRUE(db.dump_to_file(path).is_ok());
+  TimeSeriesDb restored;
+  ASSERT_TRUE(restored.load_from_file(path).is_ok());
+  EXPECT_EQ(restored.point_count(), db.point_count());
+  EXPECT_EQ(restored.measurements(), db.measurements());
+  auto original = db.query("SELECT \"v\" FROM \"m_even\"");
+  auto replayed = restored.query("SELECT \"v\" FROM \"m_even\"");
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->rows, original->rows);
+  std::remove(path.c_str());
+  EXPECT_FALSE(restored.load_from_file("/no/such.lp").is_ok());
+}
+
+TEST(DbTest, ClearResets) {
+  TimeSeriesDb db;
+  ASSERT_TRUE(db.write(make_point("m", 0, 1.0)).is_ok());
+  db.clear();
+  EXPECT_EQ(db.point_count(), 0u);
+  EXPECT_EQ(db.bytes_written(), 0u);
+}
+
+TEST(QueryResultTest, ColumnIndex) {
+  QueryResult result;
+  result.columns = {"time", "_cpu0"};
+  EXPECT_EQ(result.column_index("_cpu0"), 1u);
+  EXPECT_EQ(result.column_index("none"), 2u);  // == columns.size()
+}
+
+}  // namespace
+}  // namespace pmove::tsdb

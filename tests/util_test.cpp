@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace pmove {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status status = Status::not_found("missing thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "not_found: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::not_found("a"), Status::not_found("b"));
+  EXPECT_FALSE(Status::not_found("a") == Status::internal("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+        ErrorCode::kAlreadyExists, ErrorCode::kOutOfRange,
+        ErrorCode::kUnavailable, ErrorCode::kParseError, ErrorCode::kInternal,
+        ErrorCode::kUnsupported}) {
+    EXPECT_FALSE(to_string(code).empty());
+    EXPECT_NE(to_string(code), "unknown");
+  }
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> value(42);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 42);
+  EXPECT_EQ(value.value_or(7), 42);
+}
+
+TEST(ExpectedTest, HoldsStatus) {
+  Expected<int> error(Status::parse_error("bad"));
+  EXPECT_FALSE(error.has_value());
+  EXPECT_EQ(error.status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(error.value_or(7), 7);
+}
+
+TEST(ExpectedTest, MoveOutValue) {
+  Expected<std::string> value(std::string("payload"));
+  std::string moved = std::move(value).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = strings::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitTrimmedDropsEmptyAndTrims) {
+  auto parts = strings::split_trimmed("  a |  | b ", '|');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(strings::trim("  x  "), "x");
+  EXPECT_EQ(strings::trim("\t\n x"), "x");
+  EXPECT_EQ(strings::trim(""), "");
+  EXPECT_EQ(strings::trim("   "), "");
+}
+
+TEST(StringsTest, JoinWithSeparator) {
+  EXPECT_EQ(strings::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(strings::join({}, ","), "");
+  EXPECT_EQ(strings::join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(strings::starts_with("perfevent.hwcounters", "perfevent"));
+  EXPECT_FALSE(strings::starts_with("a", "ab"));
+  EXPECT_TRUE(strings::ends_with("file.json", ".json"));
+  EXPECT_FALSE(strings::ends_with("x", "xx"));
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(strings::to_lower("SkX"), "skx");
+  EXPECT_EQ(strings::to_upper("zen3"), "ZEN3");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(strings::replace_all("a.b.c", ".", "_"), "a_b_c");
+  EXPECT_EQ(strings::replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(strings::replace_all("x", "", "y"), "x");
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(strings::format_double(1.5, 2), "1.50");
+  EXPECT_EQ(strings::format_sci(7040.0, 2), "7.04E+03");
+  EXPECT_EQ(strings::format_sci(0.0, 2), "0.00E+00");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.uniform(0, 1) != b.uniform(0, 1)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentred) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.1);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(MixSeedTest, DistinctSaltsProduceDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t salt = 0; salt < 1000; ++salt) {
+    seen.insert(mix_seed(42, salt));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// ----------------------------------------------------------------- clock
+
+TEST(ClockTest, ConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(1.5)), 1.5);
+  EXPECT_EQ(from_seconds(1.0), kNsPerSec);
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  clock.set(10);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(ClockTest, WallClockMonotone) {
+  WallClock clock;
+  const TimeNs a = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const TimeNs b = clock.now();
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace pmove

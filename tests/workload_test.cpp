@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+#include <thread>
+
+#include "workload/activity.hpp"
+#include "workload/counter_source.hpp"
+#include "workload/power_model.hpp"
+
+namespace pmove::workload {
+namespace {
+
+QuantitySet make_set(double flops, double loads) {
+  QuantitySet set;
+  set.set(Quantity::kScalarFlops, flops);
+  set.set(Quantity::kLoads, loads);
+  return set;
+}
+
+TEST(QuantitySetTest, GetSetAdd) {
+  QuantitySet set;
+  EXPECT_EQ(set.get(Quantity::kCycles), 0.0);
+  set.set(Quantity::kCycles, 10.0);
+  set.add(Quantity::kCycles, 5.0);
+  EXPECT_EQ(set.get(Quantity::kCycles), 15.0);
+}
+
+TEST(QuantitySetTest, TotalFlopsSumsAllIsaClasses) {
+  QuantitySet set;
+  set.set(Quantity::kScalarFlops, 1.0);
+  set.set(Quantity::kSseFlops, 2.0);
+  set.set(Quantity::kAvx2Flops, 3.0);
+  set.set(Quantity::kAvx512Flops, 4.0);
+  EXPECT_DOUBLE_EQ(set.total_flops(), 10.0);
+}
+
+TEST(QuantitySetTest, PlusEquals) {
+  QuantitySet a = make_set(10, 20);
+  a += make_set(1, 2);
+  EXPECT_DOUBLE_EQ(a.get(Quantity::kScalarFlops), 11.0);
+  EXPECT_DOUBLE_EQ(a.get(Quantity::kLoads), 22.0);
+}
+
+TEST(QuantityTest, AllNamesDistinct) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kQuantityCount; ++i) {
+    names.insert(to_string(static_cast<Quantity>(i)));
+  }
+  EXPECT_EQ(names.size(), kQuantityCount);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(TraceBuilderTest, PhasesAreContiguous) {
+  TraceBuilder builder(100);
+  builder.add_phase("a", 50, {0}, make_set(10, 0));
+  builder.add_gap(25);
+  builder.add_phase("b", 50, {0}, make_set(20, 0));
+  ActivityTrace trace = std::move(builder).build();
+  ASSERT_EQ(trace.phases().size(), 2u);
+  EXPECT_EQ(trace.phases()[0].start, 100);
+  EXPECT_EQ(trace.phases()[0].end, 150);
+  EXPECT_EQ(trace.phases()[1].start, 175);
+  EXPECT_EQ(trace.start(), 100);
+  EXPECT_EQ(trace.end(), 225);
+}
+
+TEST(TraceTest, CumulativeInterpolatesLinearly) {
+  TraceBuilder builder;
+  builder.add_phase("k", 1000, {0}, make_set(100, 0));
+  ActivityTrace trace = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 0, 500), 50.0);
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 0, 1000), 100.0);
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 0, 99999), 100.0);
+}
+
+TEST(TraceTest, EvenSplitAcrossCpus) {
+  TraceBuilder builder;
+  builder.add_phase("k", 1000, {0, 1, 2, 3}, make_set(100, 0));
+  ActivityTrace trace = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 1, 1000), 25.0);
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 7, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(trace.cumulative_all(Quantity::kScalarFlops, 1000), 100.0);
+}
+
+TEST(TraceTest, WeightedSplitModelsImbalance) {
+  TraceBuilder builder;
+  builder.add_phase("k", 1000, {0, 1}, make_set(100, 0), {0.75, 0.25});
+  ActivityTrace trace = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 0, 1000), 75.0);
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 1, 1000), 25.0);
+}
+
+TEST(TraceTest, MultiPhaseAccumulation) {
+  TraceBuilder builder;
+  builder.add_phase("a", 100, {0}, make_set(10, 100));
+  builder.add_phase("b", 100, {0}, make_set(30, 0));
+  ActivityTrace trace = std::move(builder).build();
+  EXPECT_DOUBLE_EQ(trace.cumulative(Quantity::kScalarFlops, 0, 150), 25.0);
+  EXPECT_DOUBLE_EQ(trace.total(Quantity::kScalarFlops), 40.0);
+  EXPECT_DOUBLE_EQ(trace.total_for_cpu(Quantity::kLoads, 0), 100.0);
+}
+
+TEST(TraceTest, EmptyTraceIsZero) {
+  ActivityTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.cumulative(Quantity::kCycles, 0, 1000), 0.0);
+  EXPECT_EQ(trace.total(Quantity::kCycles), 0.0);
+}
+
+TEST(PhaseTest, CpuShare) {
+  Phase phase;
+  phase.cpus = {3, 5};
+  EXPECT_DOUBLE_EQ(phase.cpu_share(3), 0.5);
+  EXPECT_DOUBLE_EQ(phase.cpu_share(4), 0.0);
+  phase.cpu_weights = {0.9, 0.1};
+  EXPECT_DOUBLE_EQ(phase.cpu_share(5), 0.1);
+}
+
+// --------------------------------------------------------- counter sources
+
+TEST(TraceSourceTest, DelegatesToTrace) {
+  TraceBuilder builder;
+  builder.add_phase("k", 1000, {0}, make_set(100, 0));
+  ActivityTrace trace = std::move(builder).build();
+  TraceSource source(&trace);
+  EXPECT_DOUBLE_EQ(source.cumulative(Quantity::kScalarFlops, 0, 500), 50.0);
+  TraceSource null_source(nullptr);
+  EXPECT_DOUBLE_EQ(null_source.cumulative(Quantity::kScalarFlops, 0, 500),
+                   0.0);
+}
+
+TEST(LiveCountersTest, AddAndRead) {
+  LiveCounters live(4);
+  live.add(Quantity::kLoads, 2, 10.0);
+  live.add(Quantity::kLoads, 2, 5.0);
+  EXPECT_DOUBLE_EQ(live.cumulative(Quantity::kLoads, 2, /*t=*/123), 15.0);
+  EXPECT_DOUBLE_EQ(live.cumulative(Quantity::kLoads, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(live.total(Quantity::kLoads), 15.0);
+}
+
+TEST(LiveCountersTest, OutOfRangeCpuIgnored) {
+  LiveCounters live(2);
+  live.add(Quantity::kLoads, 7, 10.0);
+  live.add(Quantity::kLoads, -1, 10.0);
+  EXPECT_DOUBLE_EQ(live.total(Quantity::kLoads), 0.0);
+  EXPECT_DOUBLE_EQ(live.cumulative(Quantity::kLoads, 7, 0), 0.0);
+}
+
+TEST(LiveCountersTest, ResetClears) {
+  LiveCounters live(1);
+  live.add(Quantity::kCycles, 0, 42.0);
+  live.reset();
+  EXPECT_DOUBLE_EQ(live.total(Quantity::kCycles), 0.0);
+}
+
+TEST(LiveCountersTest, ConcurrentAddsDoNotLoseUpdates) {
+  LiveCounters live(2);
+  constexpr int kPerThread = 50000;
+  auto worker = [&live](int cpu) {
+    for (int i = 0; i < kPerThread; ++i) {
+      live.add(Quantity::kInstructions, cpu, 1.0);
+    }
+  };
+  std::thread a(worker, 0), b(worker, 1), c(worker, 0);
+  a.join();
+  b.join();
+  c.join();
+  EXPECT_DOUBLE_EQ(live.total(Quantity::kInstructions), 3.0 * kPerThread);
+  EXPECT_DOUBLE_EQ(live.cumulative(Quantity::kInstructions, 0, 0),
+                   2.0 * kPerThread);
+}
+
+// ------------------------------------------------------------ power model
+
+TEST(PowerModelTest, ScalarCostsMoreThanVector) {
+  const PowerModel& model = default_power_model();
+  const double scalar = model.chunk_energy(1e9, 0, 0, 0);
+  const double vec = model.chunk_energy(0, 1e9, 0, 0);
+  EXPECT_GT(scalar, vec * 2.0);
+}
+
+TEST(PowerModelTest, StaticPowerIntegratesOverTime) {
+  PowerModel model;
+  EXPECT_DOUBLE_EQ(model.chunk_energy(0, 0, 0, 2.0),
+                   model.static_watts_per_core * 2.0);
+}
+
+}  // namespace
+}  // namespace pmove::workload

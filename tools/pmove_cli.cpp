@@ -1,0 +1,422 @@
+// pmove — command-line front end to the P-MoVE library.
+//
+// Subcommands mirror the daemon workflows so the whole pipeline is
+// drivable from a shell:
+//
+//   pmove probe <preset>                     emit the probe-report JSON
+//   pmove tree <preset>                      render the component hierarchy
+//   pmove kb <preset>                        KB summary + example interface
+//   pmove events <pmu>                       generic-event mappings (Table I)
+//   pmove get <pmu> <generic>                pmu_utils.get(...)
+//   pmove scenario-a <preset> [hz] [metrics] [secs]
+//   pmove scenario-b <preset> <kernel> [hz]  profile a likwid-style kernel
+//   pmove carm <preset> [isa] [threads]      render the roofline
+//   pmove bench <preset> <stream|hpcg|carm>  record a BenchmarkInterface
+//   pmove triples <preset> <s> <p> <o>       linked-data query ("?" = any)
+//   pmove anomaly <preset> [z]               monitor, inject, detect, trace
+//   pmove cluster <preset> [preset...]       cluster session + job
+//   pmove record <preset> <kernel> <dir>     profile + save the session
+//   pmove replay <dir> <host>                reopen a recorded session
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/rootcause.hpp"
+#include "carm/microbench.hpp"
+#include "cluster/cluster.hpp"
+#include "core/daemon.hpp"
+#include "dashboard/views.hpp"
+#include "kb/linked_query.hpp"
+#include "kernels/kernels.hpp"
+#include "topology/prober.hpp"
+
+using namespace pmove;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pmove <command> [args]\n"
+      "  probe <preset>                      probe-report JSON\n"
+      "  tree <preset>                       component hierarchy\n"
+      "  kb <preset>                         KB summary\n"
+      "  events <pmu>                        generic event mappings\n"
+      "  get <pmu> <generic>                 one mapping (pmu_utils.get)\n"
+      "  scenario-a <preset> [hz] [met] [s]  SW-telemetry session\n"
+      "  scenario-b <preset> <kernel> [hz]   profile a kernel\n"
+      "  carm <preset> [isa] [threads]       roofline plot\n"
+      "  bench <preset> <stream|hpcg|carm>   benchmark campaign\n"
+      "  triples <preset> <s> <p> <o>        linked-data query\n"
+      "  anomaly <preset> [z]                detect + root-cause demo\n"
+      "  cluster <preset> [preset...]        cluster session + job\n"
+      "  record <preset> <kernel> <dir>      profile + save session\n"
+      "  replay <dir> <host>                 reopen a recorded session\n"
+      "presets: skx icl csl zen3   kernels: sum stream triad peakflops"
+      " ddot daxpy\n");
+  return 2;
+}
+
+Expected<topology::MachineSpec> preset_arg(int argc, char** argv, int index) {
+  if (index >= argc) {
+    return Status::invalid_argument("missing <preset> argument");
+  }
+  return topology::machine_preset(argv[index]);
+}
+
+int cmd_probe(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  std::printf("%s\n", topology::probe_report(*spec).dump_pretty().c_str());
+  return 0;
+}
+
+int cmd_tree(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  auto tree = topology::build_component_tree(*spec);
+  std::printf("%s", topology::render_tree(*tree).c_str());
+  return 0;
+}
+
+int cmd_kb(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  auto kb = kb::KnowledgeBase::build(*spec);
+  std::printf("system: %s\ninterfaces: %zu\n", kb.system_dtmi().c_str(),
+              kb.interfaces().size());
+  const auto* cpu0 = kb.root().find_by_name("cpu0");
+  auto dtmi = kb.dtmi_for(*cpu0);
+  std::printf("HW telemetry on cpu0: %zu entries\n",
+              kb.telemetry_of(*dtmi, "HWTelemetry").size());
+  std::printf("example interface (%s):\n%s\n", dtmi->c_str(),
+              kb.interface(*dtmi)->dump_pretty().c_str());
+  return 0;
+}
+
+int cmd_events(int argc, char** argv) {
+  if (argc < 3) return usage();
+  auto layer = abstraction::AbstractionLayer::with_builtin_configs();
+  auto generics = layer.generic_events(argv[2]);
+  if (generics.empty()) {
+    std::fprintf(stderr, "unknown PMU '%s' (try: skx csl icl zen3)\n",
+                 argv[2]);
+    return 1;
+  }
+  for (const auto& generic : generics) {
+    auto formula = layer.get(argv[2], generic);
+    std::printf("%-26s %s\n", generic.c_str(),
+                formula->unsupported() ? "Not Supported"
+                                       : formula->to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_get(int argc, char** argv) {
+  if (argc < 4) return usage();
+  auto layer = abstraction::AbstractionLayer::with_builtin_configs();
+  auto formula = layer.get(argv[2], argv[3]);
+  if (!formula) {
+    std::fprintf(stderr, "%s\n", formula.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("[\n");
+  for (const auto& token : formula->tokens()) {
+    std::printf("  \"%s\",\n", token.c_str());
+  }
+  std::printf("]\n");
+  return 0;
+}
+
+int cmd_scenario_a(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  const double hz = argc > 3 ? std::atof(argv[3]) : 8.0;
+  const int metrics = argc > 4 ? std::atoi(argv[4]) : 4;
+  const double seconds = argc > 5 ? std::atof(argv[5]) : 10.0;
+  core::Daemon daemon;
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto result = daemon.run_scenario_a(hz, metrics, seconds);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("expected %lld, inserted %lld, zeros %lld (%%L %.1f, L+Z%% "
+              "%.1f, tput %.1f/s)\n",
+              static_cast<long long>(result->stats.expected),
+              static_cast<long long>(result->stats.inserted),
+              static_cast<long long>(result->stats.zeros),
+              result->stats.loss_pct(),
+              result->stats.loss_plus_zero_pct(),
+              result->stats.throughput);
+  dashboard::Dashboard trimmed = result->dashboard;
+  if (trimmed.panels.size() > 3) trimmed.panels.resize(3);
+  std::printf("%s", render_dashboard(trimmed, daemon.timeseries()).c_str());
+  return 0;
+}
+
+int cmd_scenario_b(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec || argc < 4) return usage();
+  auto kind = kernels::kernel_from_name(argv[3]);
+  if (!kind) {
+    std::fprintf(stderr, "%s\n", kind.status().to_string().c_str());
+    return 1;
+  }
+  const double hz = argc > 4 ? std::atof(argv[4]) : 40.0;
+  core::Daemon daemon;
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
+  core::ScenarioBRequest request;
+  request.command = std::string("pmove scenario-b ") + argv[3];
+  request.events = {"FLOPS_SCALAR_DP", "TOTAL_MEMORY_OPERATIONS",
+                    "RAPL_ENERGY_PKG"};
+  request.frequency_hz = hz;
+  const auto& machine = daemon.knowledge_base().machine();
+  auto obs = daemon.run_scenario_b(
+      request, [&machine, &kind](workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = *kind;
+        spec.n = 1u << 17;
+        spec.iterations = 400;
+        return kernels::run_kernel(spec, machine, &live).seconds;
+      });
+  if (!obs) {
+    std::fprintf(stderr, "%s\n", obs.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("observation %s\nreport: %s\nqueries:\n", obs->tag.c_str(),
+              obs->report.dump_pretty().c_str());
+  for (const auto& query : obs->generate_queries()) {
+    auto rows = daemon.timeseries().query(query);
+    std::printf("  %s  (%zu rows)\n", query.c_str(),
+                rows.has_value() ? rows->rows.size() : 0u);
+  }
+  return 0;
+}
+
+int cmd_carm(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  topology::Isa isa = topology::Isa::kScalar;
+  if (argc > 3) {
+    const std::string name = argv[3];
+    for (topology::Isa candidate :
+         {topology::Isa::kScalar, topology::Isa::kSse, topology::Isa::kAvx2,
+          topology::Isa::kAvx512}) {
+      if (topology::to_string(candidate) == name) isa = candidate;
+    }
+  }
+  const int threads = argc > 4 ? std::atoi(argv[4]) : 1;
+  carm::MicrobenchOptions options;
+  options.isa = isa;
+  options.threads = threads;
+  auto model = carm::run_carm_machine_mode(*spec, options);
+  if (!model) {
+    std::fprintf(stderr, "%s\n", model.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", render_carm_ascii(*model, {}).c_str());
+  return 0;
+}
+
+int cmd_bench(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec || argc < 4) return usage();
+  core::Daemon daemon;
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
+  auto recorded = daemon.run_benchmark(argv[3]);
+  if (!recorded) {
+    std::fprintf(stderr, "%s\n", recorded.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("recorded %d BenchmarkInterface entr%s:\n", *recorded,
+              *recorded == 1 ? "y" : "ies");
+  const auto& bench = daemon.knowledge_base().benchmarks().back();
+  for (const auto& result : bench.results) {
+    std::printf("  %-16s %12.3f %s\n", result.name.c_str(), result.value,
+                result.unit.c_str());
+  }
+  return 0;
+}
+
+int cmd_triples(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec || argc < 6) return usage();
+  auto kb = kb::KnowledgeBase::build(*spec);
+  auto store = kb::TripleStore::from_kb(kb);
+  auto matches = store.match(argv[3], argv[4], argv[5]);
+  std::printf("%zu of %zu triples match\n", matches.size(), store.size());
+  const std::size_t limit = 40;
+  for (std::size_t i = 0; i < matches.size() && i < limit; ++i) {
+    std::printf("  (%s, %s, %s)\n", matches[i].subject.c_str(),
+                matches[i].predicate.c_str(), matches[i].object.c_str());
+  }
+  if (matches.size() > limit) {
+    std::printf("  ... %zu more\n", matches.size() - limit);
+  }
+  return 0;
+}
+
+int cmd_anomaly(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  analysis::AnomalyConfig config;
+  config.window = 12;
+  if (argc > 3) config.z_threshold = std::atof(argv[3]);
+  core::Daemon daemon;
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
+  if (!daemon.run_scenario_a(8.0, 4, 5.0).has_value()) return 1;
+  // Inject a dip into cpu0's idle series so there is something to find.
+  for (int i = 0; i < 50; ++i) {
+    tsdb::Point point;
+    point.measurement = "kernel_percpu_cpu_idle";
+    point.time = from_seconds(0.5 * i + 100.0);
+    point.fields["_cpu0"] = i == 40 ? 5.0 : 800.0 + (i % 4);
+    (void)daemon.timeseries().write(std::move(point));
+  }
+  auto anomalies = analysis::detect_anomalies(
+      daemon.timeseries(), "kernel_percpu_cpu_idle", "_cpu0", "", config);
+  if (!anomalies) {
+    std::fprintf(stderr, "%s\n", anomalies.status().to_string().c_str());
+    return 1;
+  }
+  for (const auto& anomaly : *anomalies) {
+    std::printf("ANOMALY t=%.1fs value=%.1f z=%.1f\n",
+                to_seconds(anomaly.time), anomaly.value, anomaly.score);
+  }
+  const auto* cpu0 = daemon.knowledge_base().root().find_by_name("cpu0");
+  auto report = analysis::analyze_root_cause(
+      daemon.knowledge_base(), daemon.timeseries(),
+      daemon.knowledge_base().dtmi_for(*cpu0).value(), "", config);
+  if (report.has_value()) std::printf("\n%s", report->render().c_str());
+  return 0;
+}
+
+int cmd_cluster(int argc, char** argv) {
+  if (argc < 3) return usage();
+  cluster::ClusterDaemon cluster;
+  for (int i = 2; i < argc; ++i) {
+    if (auto s = cluster.add_node(argv[i]); !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  auto stats = cluster.run_scenario_a(8.0, 4, 5.0);
+  if (!stats) return 1;
+  for (const auto& [node, s] : *stats) {
+    std::printf("%-8s inserted %lld / %lld (L+Z%% %.1f)\n", node.c_str(),
+                static_cast<long long>(s.inserted),
+                static_cast<long long>(s.expected),
+                s.loss_plus_zero_pct());
+  }
+  cluster::JobRequest request;
+  request.command = "pmove cluster demo job";
+  auto job = cluster.submit_job(
+      request, [](core::Daemon& daemon, workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = kernels::KernelKind::kTriad;
+        spec.n = 1u << 15;
+        spec.iterations = 100;
+        return kernels::run_kernel(spec, daemon.knowledge_base().machine(),
+                                   &live)
+            .seconds;
+      });
+  if (!job) {
+    std::fprintf(stderr, "%s\n", job.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("job %s: %zu nodes, %zu observation tags, %.1f ms\n",
+              job->job_id.c_str(), job->nodes.size(),
+              job->observation_tags.size(),
+              to_seconds(job->end - job->start) * 1e3);
+  std::printf("fabric samples: %zu\n",
+              cluster.fabric_telemetry().point_count("network_link_bytes"));
+  return 0;
+}
+
+int cmd_record(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec || argc < 5) return usage();
+  auto kind = kernels::kernel_from_name(argv[3]);
+  if (!kind) {
+    std::fprintf(stderr, "%s\n", kind.status().to_string().c_str());
+    return 1;
+  }
+  core::Daemon daemon;
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
+  core::ScenarioBRequest request;
+  request.command = std::string("pmove record ") + argv[3];
+  request.events = {"FLOPS_SCALAR_DP", "TOTAL_MEMORY_OPERATIONS"};
+  request.frequency_hz = 40.0;
+  const auto& machine = daemon.knowledge_base().machine();
+  auto obs = daemon.run_scenario_b(
+      request, [&machine, &kind](workload::LiveCounters& live) {
+        kernels::KernelSpec spec;
+        spec.kind = *kind;
+        spec.n = 1u << 17;
+        spec.iterations = 400;
+        return kernels::run_kernel(spec, machine, &live).seconds;
+      });
+  if (!obs) {
+    std::fprintf(stderr, "%s\n", obs.status().to_string().c_str());
+    return 1;
+  }
+  if (auto s = daemon.save_session(argv[4]); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("recorded observation %s into %s\n", obs->tag.c_str(),
+              argv[4]);
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 4) return usage();
+  core::Daemon daemon;
+  if (auto s = daemon.load_session(argv[2], argv[3]); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  const auto& kb = daemon.knowledge_base();
+  std::printf("recorded session for %s: %zu interfaces, %zu observations, "
+              "%zu time-series points\n",
+              kb.hostname().c_str(), kb.interfaces().size(),
+              kb.observations().size(), daemon.timeseries().point_count());
+  for (const auto& obs : kb.observations()) {
+    std::printf("\nobservation %s (%s):\n", obs.tag.c_str(),
+                obs.command.c_str());
+    for (const auto& query : obs.generate_queries()) {
+      auto rows = daemon.timeseries().query(query);
+      std::printf("  %s  (%zu rows)\n", query.c_str(),
+                  rows.has_value() ? rows->rows.size() : 0u);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "probe") return cmd_probe(argc, argv);
+  if (command == "tree") return cmd_tree(argc, argv);
+  if (command == "kb") return cmd_kb(argc, argv);
+  if (command == "events") return cmd_events(argc, argv);
+  if (command == "get") return cmd_get(argc, argv);
+  if (command == "scenario-a") return cmd_scenario_a(argc, argv);
+  if (command == "scenario-b") return cmd_scenario_b(argc, argv);
+  if (command == "carm") return cmd_carm(argc, argv);
+  if (command == "bench") return cmd_bench(argc, argv);
+  if (command == "triples") return cmd_triples(argc, argv);
+  if (command == "anomaly") return cmd_anomaly(argc, argv);
+  if (command == "cluster") return cmd_cluster(argc, argv);
+  if (command == "record") return cmd_record(argc, argv);
+  if (command == "replay") return cmd_replay(argc, argv);
+  return usage();
+}
