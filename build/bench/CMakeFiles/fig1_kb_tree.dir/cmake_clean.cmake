@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_kb_tree.dir/fig1_kb_tree.cpp.o"
+  "CMakeFiles/fig1_kb_tree.dir/fig1_kb_tree.cpp.o.d"
+  "fig1_kb_tree"
+  "fig1_kb_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_kb_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dashboards.dir/fig2_dashboards.cpp.o"
+  "CMakeFiles/fig2_dashboards.dir/fig2_dashboards.cpp.o.d"
+  "fig2_dashboards"
+  "fig2_dashboards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dashboards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_dashboards.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spmv_live.dir/fig7_spmv_live.cpp.o"
+  "CMakeFiles/fig7_spmv_live.dir/fig7_spmv_live.cpp.o.d"
+  "fig7_spmv_live"
+  "fig7_spmv_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spmv_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_livecarm_spmv.dir/fig8_livecarm_spmv.cpp.o"
+  "CMakeFiles/fig8_livecarm_spmv.dir/fig8_livecarm_spmv.cpp.o.d"
+  "fig8_livecarm_spmv"
+  "fig8_livecarm_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_livecarm_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_livecarm_bench.dir/fig9_livecarm_bench.cpp.o"
+  "CMakeFiles/fig9_livecarm_bench.dir/fig9_livecarm_bench.cpp.o.d"
+  "fig9_livecarm_bench"
+  "fig9_livecarm_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_livecarm_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

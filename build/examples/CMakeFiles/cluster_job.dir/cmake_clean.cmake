@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_job.dir/cluster_job.cpp.o"
+  "CMakeFiles/cluster_job.dir/cluster_job.cpp.o.d"
+  "cluster_job"
+  "cluster_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_carm_session.dir/live_carm_session.cpp.o"
+  "CMakeFiles/live_carm_session.dir/live_carm_session.cpp.o.d"
+  "live_carm_session"
+  "live_carm_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_carm_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

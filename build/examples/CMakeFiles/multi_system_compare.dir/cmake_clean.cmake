@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_system_compare.dir/multi_system_compare.cpp.o"
+  "CMakeFiles/multi_system_compare.dir/multi_system_compare.cpp.o.d"
+  "multi_system_compare"
+  "multi_system_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_system_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

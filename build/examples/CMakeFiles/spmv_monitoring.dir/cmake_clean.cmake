@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_monitoring.dir/spmv_monitoring.cpp.o"
+  "CMakeFiles/spmv_monitoring.dir/spmv_monitoring.cpp.o.d"
+  "spmv_monitoring"
+  "spmv_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

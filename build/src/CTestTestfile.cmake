@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("json")
+subdirs("topology")
+subdirs("pmu")
+subdirs("abstraction")
+subdirs("workload")
+subdirs("tsdb")
+subdirs("docdb")
+subdirs("kb")
+subdirs("analysis")
+subdirs("sampler")
+subdirs("dashboard")
+subdirs("kernels")
+subdirs("spmv")
+subdirs("carm")
+subdirs("superdb")
+subdirs("core")
+subdirs("cluster")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_abstraction.dir/formula.cpp.o"
+  "CMakeFiles/pmove_abstraction.dir/formula.cpp.o.d"
+  "CMakeFiles/pmove_abstraction.dir/layer.cpp.o"
+  "CMakeFiles/pmove_abstraction.dir/layer.cpp.o.d"
+  "libpmove_abstraction.a"
+  "libpmove_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

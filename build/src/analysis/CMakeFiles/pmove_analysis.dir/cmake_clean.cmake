@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_analysis.dir/anomaly.cpp.o"
+  "CMakeFiles/pmove_analysis.dir/anomaly.cpp.o.d"
+  "CMakeFiles/pmove_analysis.dir/rootcause.cpp.o"
+  "CMakeFiles/pmove_analysis.dir/rootcause.cpp.o.d"
+  "libpmove_analysis.a"
+  "libpmove_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_carm.dir/live_panel.cpp.o"
+  "CMakeFiles/pmove_carm.dir/live_panel.cpp.o.d"
+  "CMakeFiles/pmove_carm.dir/microbench.cpp.o"
+  "CMakeFiles/pmove_carm.dir/microbench.cpp.o.d"
+  "CMakeFiles/pmove_carm.dir/model.cpp.o"
+  "CMakeFiles/pmove_carm.dir/model.cpp.o.d"
+  "libpmove_carm.a"
+  "libpmove_carm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_carm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

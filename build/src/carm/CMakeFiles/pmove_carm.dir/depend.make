@@ -1,0 +1,2 @@
+# Empty dependencies file for pmove_carm.
+# This may be replaced when dependencies are built.

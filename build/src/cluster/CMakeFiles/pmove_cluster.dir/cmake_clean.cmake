@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/pmove_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/pmove_cluster.dir/job.cpp.o"
+  "CMakeFiles/pmove_cluster.dir/job.cpp.o.d"
+  "libpmove_cluster.a"
+  "libpmove_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

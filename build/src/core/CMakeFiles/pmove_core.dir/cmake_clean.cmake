@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_core.dir/daemon.cpp.o"
+  "CMakeFiles/pmove_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/pmove_core.dir/gpu_profiler.cpp.o"
+  "CMakeFiles/pmove_core.dir/gpu_profiler.cpp.o.d"
+  "CMakeFiles/pmove_core.dir/pinning.cpp.o"
+  "CMakeFiles/pmove_core.dir/pinning.cpp.o.d"
+  "libpmove_core.a"
+  "libpmove_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_dashboard.dir/dashboard.cpp.o"
+  "CMakeFiles/pmove_dashboard.dir/dashboard.cpp.o.d"
+  "CMakeFiles/pmove_dashboard.dir/views.cpp.o"
+  "CMakeFiles/pmove_dashboard.dir/views.cpp.o.d"
+  "libpmove_dashboard.a"
+  "libpmove_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

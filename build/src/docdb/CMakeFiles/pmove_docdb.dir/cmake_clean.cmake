@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_docdb.dir/store.cpp.o"
+  "CMakeFiles/pmove_docdb.dir/store.cpp.o.d"
+  "libpmove_docdb.a"
+  "libpmove_docdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_docdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

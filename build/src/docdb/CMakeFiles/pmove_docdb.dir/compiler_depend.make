@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmove_docdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_json.dir/jsonld.cpp.o"
+  "CMakeFiles/pmove_json.dir/jsonld.cpp.o.d"
+  "CMakeFiles/pmove_json.dir/value.cpp.o"
+  "CMakeFiles/pmove_json.dir/value.cpp.o.d"
+  "libpmove_json.a"
+  "libpmove_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/dtdl.cpp" "src/kb/CMakeFiles/pmove_kb.dir/dtdl.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/dtdl.cpp.o.d"
+  "/root/repo/src/kb/ids.cpp" "src/kb/CMakeFiles/pmove_kb.dir/ids.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/ids.cpp.o.d"
+  "/root/repo/src/kb/kb.cpp" "src/kb/CMakeFiles/pmove_kb.dir/kb.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/kb.cpp.o.d"
+  "/root/repo/src/kb/linked_query.cpp" "src/kb/CMakeFiles/pmove_kb.dir/linked_query.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/linked_query.cpp.o.d"
+  "/root/repo/src/kb/metrics_catalog.cpp" "src/kb/CMakeFiles/pmove_kb.dir/metrics_catalog.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/metrics_catalog.cpp.o.d"
+  "/root/repo/src/kb/observation.cpp" "src/kb/CMakeFiles/pmove_kb.dir/observation.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/observation.cpp.o.d"
+  "/root/repo/src/kb/process.cpp" "src/kb/CMakeFiles/pmove_kb.dir/process.cpp.o" "gcc" "src/kb/CMakeFiles/pmove_kb.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmove_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/pmove_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pmove_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pmove_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/docdb/CMakeFiles/pmove_docdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmove_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_kb.dir/dtdl.cpp.o"
+  "CMakeFiles/pmove_kb.dir/dtdl.cpp.o.d"
+  "CMakeFiles/pmove_kb.dir/ids.cpp.o"
+  "CMakeFiles/pmove_kb.dir/ids.cpp.o.d"
+  "CMakeFiles/pmove_kb.dir/kb.cpp.o"
+  "CMakeFiles/pmove_kb.dir/kb.cpp.o.d"
+  "CMakeFiles/pmove_kb.dir/linked_query.cpp.o"
+  "CMakeFiles/pmove_kb.dir/linked_query.cpp.o.d"
+  "CMakeFiles/pmove_kb.dir/metrics_catalog.cpp.o"
+  "CMakeFiles/pmove_kb.dir/metrics_catalog.cpp.o.d"
+  "CMakeFiles/pmove_kb.dir/observation.cpp.o"
+  "CMakeFiles/pmove_kb.dir/observation.cpp.o.d"
+  "CMakeFiles/pmove_kb.dir/process.cpp.o"
+  "CMakeFiles/pmove_kb.dir/process.cpp.o.d"
+  "libpmove_kb.a"
+  "libpmove_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_kernels.dir/kernels.cpp.o"
+  "CMakeFiles/pmove_kernels.dir/kernels.cpp.o.d"
+  "libpmove_kernels.a"
+  "libpmove_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_pmu.dir/events.cpp.o"
+  "CMakeFiles/pmove_pmu.dir/events.cpp.o.d"
+  "CMakeFiles/pmove_pmu.dir/pmu.cpp.o"
+  "CMakeFiles/pmove_pmu.dir/pmu.cpp.o.d"
+  "libpmove_pmu.a"
+  "libpmove_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

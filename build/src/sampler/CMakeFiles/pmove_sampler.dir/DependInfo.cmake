@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampler/agents.cpp" "src/sampler/CMakeFiles/pmove_sampler.dir/agents.cpp.o" "gcc" "src/sampler/CMakeFiles/pmove_sampler.dir/agents.cpp.o.d"
+  "/root/repo/src/sampler/live.cpp" "src/sampler/CMakeFiles/pmove_sampler.dir/live.cpp.o" "gcc" "src/sampler/CMakeFiles/pmove_sampler.dir/live.cpp.o.d"
+  "/root/repo/src/sampler/resources.cpp" "src/sampler/CMakeFiles/pmove_sampler.dir/resources.cpp.o" "gcc" "src/sampler/CMakeFiles/pmove_sampler.dir/resources.cpp.o.d"
+  "/root/repo/src/sampler/session.cpp" "src/sampler/CMakeFiles/pmove_sampler.dir/session.cpp.o" "gcc" "src/sampler/CMakeFiles/pmove_sampler.dir/session.cpp.o.d"
+  "/root/repo/src/sampler/transport.cpp" "src/sampler/CMakeFiles/pmove_sampler.dir/transport.cpp.o" "gcc" "src/sampler/CMakeFiles/pmove_sampler.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmove_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pmove_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pmove_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/pmove_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/pmove_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmove_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/docdb/CMakeFiles/pmove_docdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/pmove_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

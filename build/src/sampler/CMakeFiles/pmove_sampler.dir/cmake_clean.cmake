@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_sampler.dir/agents.cpp.o"
+  "CMakeFiles/pmove_sampler.dir/agents.cpp.o.d"
+  "CMakeFiles/pmove_sampler.dir/live.cpp.o"
+  "CMakeFiles/pmove_sampler.dir/live.cpp.o.d"
+  "CMakeFiles/pmove_sampler.dir/resources.cpp.o"
+  "CMakeFiles/pmove_sampler.dir/resources.cpp.o.d"
+  "CMakeFiles/pmove_sampler.dir/session.cpp.o"
+  "CMakeFiles/pmove_sampler.dir/session.cpp.o.d"
+  "CMakeFiles/pmove_sampler.dir/transport.cpp.o"
+  "CMakeFiles/pmove_sampler.dir/transport.cpp.o.d"
+  "libpmove_sampler.a"
+  "libpmove_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

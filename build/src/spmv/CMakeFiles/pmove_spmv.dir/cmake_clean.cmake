@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_spmv.dir/algorithms.cpp.o"
+  "CMakeFiles/pmove_spmv.dir/algorithms.cpp.o.d"
+  "CMakeFiles/pmove_spmv.dir/csr.cpp.o"
+  "CMakeFiles/pmove_spmv.dir/csr.cpp.o.d"
+  "CMakeFiles/pmove_spmv.dir/generators.cpp.o"
+  "CMakeFiles/pmove_spmv.dir/generators.cpp.o.d"
+  "CMakeFiles/pmove_spmv.dir/matrix_market.cpp.o"
+  "CMakeFiles/pmove_spmv.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/pmove_spmv.dir/reorder.cpp.o"
+  "CMakeFiles/pmove_spmv.dir/reorder.cpp.o.d"
+  "libpmove_spmv.a"
+  "libpmove_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

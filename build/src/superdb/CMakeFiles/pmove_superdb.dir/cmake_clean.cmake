@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_superdb.dir/superdb.cpp.o"
+  "CMakeFiles/pmove_superdb.dir/superdb.cpp.o.d"
+  "libpmove_superdb.a"
+  "libpmove_superdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_superdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

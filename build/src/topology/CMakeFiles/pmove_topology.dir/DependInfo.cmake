@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/component.cpp" "src/topology/CMakeFiles/pmove_topology.dir/component.cpp.o" "gcc" "src/topology/CMakeFiles/pmove_topology.dir/component.cpp.o.d"
+  "/root/repo/src/topology/machine.cpp" "src/topology/CMakeFiles/pmove_topology.dir/machine.cpp.o" "gcc" "src/topology/CMakeFiles/pmove_topology.dir/machine.cpp.o.d"
+  "/root/repo/src/topology/prober.cpp" "src/topology/CMakeFiles/pmove_topology.dir/prober.cpp.o" "gcc" "src/topology/CMakeFiles/pmove_topology.dir/prober.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmove_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/pmove_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

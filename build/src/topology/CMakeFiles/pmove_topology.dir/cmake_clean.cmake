@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_topology.dir/component.cpp.o"
+  "CMakeFiles/pmove_topology.dir/component.cpp.o.d"
+  "CMakeFiles/pmove_topology.dir/machine.cpp.o"
+  "CMakeFiles/pmove_topology.dir/machine.cpp.o.d"
+  "CMakeFiles/pmove_topology.dir/prober.cpp.o"
+  "CMakeFiles/pmove_topology.dir/prober.cpp.o.d"
+  "libpmove_topology.a"
+  "libpmove_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

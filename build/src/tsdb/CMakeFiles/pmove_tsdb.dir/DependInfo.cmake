@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdb/db.cpp" "src/tsdb/CMakeFiles/pmove_tsdb.dir/db.cpp.o" "gcc" "src/tsdb/CMakeFiles/pmove_tsdb.dir/db.cpp.o.d"
+  "/root/repo/src/tsdb/point.cpp" "src/tsdb/CMakeFiles/pmove_tsdb.dir/point.cpp.o" "gcc" "src/tsdb/CMakeFiles/pmove_tsdb.dir/point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmove_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_tsdb.dir/db.cpp.o"
+  "CMakeFiles/pmove_tsdb.dir/db.cpp.o.d"
+  "CMakeFiles/pmove_tsdb.dir/point.cpp.o"
+  "CMakeFiles/pmove_tsdb.dir/point.cpp.o.d"
+  "libpmove_tsdb.a"
+  "libpmove_tsdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_tsdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_util.dir/log.cpp.o"
+  "CMakeFiles/pmove_util.dir/log.cpp.o.d"
+  "CMakeFiles/pmove_util.dir/status.cpp.o"
+  "CMakeFiles/pmove_util.dir/status.cpp.o.d"
+  "CMakeFiles/pmove_util.dir/strings.cpp.o"
+  "CMakeFiles/pmove_util.dir/strings.cpp.o.d"
+  "libpmove_util.a"
+  "libpmove_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

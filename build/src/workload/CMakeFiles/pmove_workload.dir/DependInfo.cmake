@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/activity.cpp" "src/workload/CMakeFiles/pmove_workload.dir/activity.cpp.o" "gcc" "src/workload/CMakeFiles/pmove_workload.dir/activity.cpp.o.d"
+  "/root/repo/src/workload/counter_source.cpp" "src/workload/CMakeFiles/pmove_workload.dir/counter_source.cpp.o" "gcc" "src/workload/CMakeFiles/pmove_workload.dir/counter_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pmove_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

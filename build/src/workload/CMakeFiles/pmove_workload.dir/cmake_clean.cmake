@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove_workload.dir/activity.cpp.o"
+  "CMakeFiles/pmove_workload.dir/activity.cpp.o.d"
+  "CMakeFiles/pmove_workload.dir/counter_source.cpp.o"
+  "CMakeFiles/pmove_workload.dir/counter_source.cpp.o.d"
+  "libpmove_workload.a"
+  "libpmove_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

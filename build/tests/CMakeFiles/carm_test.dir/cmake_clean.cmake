@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carm_test.dir/carm_test.cpp.o"
+  "CMakeFiles/carm_test.dir/carm_test.cpp.o.d"
+  "carm_test"
+  "carm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

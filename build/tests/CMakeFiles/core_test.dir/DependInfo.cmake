@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/core_test.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pmove_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/pmove_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampler/CMakeFiles/pmove_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/dashboard/CMakeFiles/pmove_dashboard.dir/DependInfo.cmake"
+  "/root/repo/build/src/carm/CMakeFiles/pmove_carm.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstraction/CMakeFiles/pmove_abstraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/pmove_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/pmove_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/pmove_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pmove_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/docdb/CMakeFiles/pmove_docdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/pmove_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdb/CMakeFiles/pmove_tsdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmove_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

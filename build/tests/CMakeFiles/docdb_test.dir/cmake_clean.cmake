@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docdb_test.dir/docdb_test.cpp.o"
+  "CMakeFiles/docdb_test.dir/docdb_test.cpp.o.d"
+  "docdb_test"
+  "docdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

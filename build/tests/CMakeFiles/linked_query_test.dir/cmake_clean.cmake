@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_query_test.dir/linked_query_test.cpp.o"
+  "CMakeFiles/linked_query_test.dir/linked_query_test.cpp.o.d"
+  "linked_query_test"
+  "linked_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

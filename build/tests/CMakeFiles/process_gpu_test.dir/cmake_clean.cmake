@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_gpu_test.dir/process_gpu_test.cpp.o"
+  "CMakeFiles/process_gpu_test.dir/process_gpu_test.cpp.o.d"
+  "process_gpu_test"
+  "process_gpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superdb_test.dir/superdb_test.cpp.o"
+  "CMakeFiles/superdb_test.dir/superdb_test.cpp.o.d"
+  "superdb_test"
+  "superdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmove.dir/pmove_cli.cpp.o"
+  "CMakeFiles/pmove.dir/pmove_cli.cpp.o.d"
+  "pmove"
+  "pmove.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmove.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
