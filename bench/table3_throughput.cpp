@@ -4,8 +4,15 @@
 // Regenerates the paper's 18 rows via the virtual-time sampling session:
 // each report flows through the unbuffered transport pipeline; losses come
 // from pipeline-busy drops, zeros from stale perfevent counters.
+//
+// A second section reruns the worst rows (32 Hz) under the ingest tier's
+// backpressure modes — PMOVE_TABLE3_POLICY=drop|block|spill picks the mode
+// for the main table too — showing Table III's losses are a policy choice,
+// not a law: block and spill deliver every point.
 #include <cstdio>
+#include <cstdlib>
 
+#include "ingest/engine.hpp"
 #include "sampler/session.hpp"
 #include "topology/machine.hpp"
 #include "util/strings.hpp"
@@ -13,8 +20,28 @@
 using namespace pmove;
 
 int main() {
+  sampler::BackpressureMode mode = sampler::BackpressureMode::kDrop;
+  if (const char* env = std::getenv("PMOVE_TABLE3_POLICY")) {
+    if (auto parsed = ingest::parse_backpressure(env)) {
+      switch (parsed.value()) {
+        case ingest::BackpressurePolicy::kDrop:
+          mode = sampler::BackpressureMode::kDrop;
+          break;
+        case ingest::BackpressurePolicy::kBlock:
+          mode = sampler::BackpressureMode::kBlock;
+          break;
+        case ingest::BackpressurePolicy::kSpill:
+          mode = sampler::BackpressureMode::kSpill;
+          break;
+      }
+    } else {
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+    }
+  }
   std::printf(
       "TABLE III: #data points expected and observed at the host DB\n");
+  std::printf("(shipping policy: %s)\n",
+              std::string(sampler::to_string(mode)).c_str());
   std::printf("(10-second sessions; Tput = inserted points/s, A.Tput = "
               "non-zero points/s)\n\n");
   for (const char* host : {"skx", "icl"}) {
@@ -31,6 +58,7 @@ int main() {
         // Vary the seed with the configuration, as run-to-run variation
         // does in the paper's testbed.
         config.seed = static_cast<std::uint64_t>(freq * 100 + metrics);
+        config.transport.mode = mode;
         auto stats = sampler::run_sampling_session(machine, config, nullptr);
         std::printf(
             "%-5s %-5.0f %-4d %-9s %-9s %-9s %-5.1f %-5.1f %-8.1f %-8.1f\n",
@@ -47,5 +75,50 @@ int main() {
   std::printf(
       "Paper shape check: losses negligible at 2 Hz, heavy at 32 Hz; skx\n"
       "(88-point domain) loses more than icl (16); zeros batch at 32 Hz.\n");
+
+  // The ingest tier makes drop-on-busy one policy among three.  Rerun the
+  // worst configuration (32 Hz, 6 metrics) under each one, with the points
+  // flowing through a real IngestEngine.
+  std::printf("\nINGEST TIER at 32 Hz, 6 metrics (10 s sessions):\n");
+  std::printf("%-5s %-7s %-9s %-9s %-5s %-9s %-9s\n", "Host", "policy",
+              "Expected", "Inserted", "%L", "Spilled", "DB points");
+  for (const char* host : {"skx", "icl"}) {
+    auto machine = topology::machine_preset(host).value();
+    for (sampler::BackpressureMode policy :
+         {sampler::BackpressureMode::kDrop, sampler::BackpressureMode::kBlock,
+          sampler::BackpressureMode::kSpill}) {
+      sampler::SessionConfig config;
+      config.frequency_hz = 32.0;
+      config.metric_count = 6;
+      config.duration_s = 10.0;
+      config.seed = 3206;
+      config.transport.mode = policy;
+      ingest::IngestOptions options;
+      options.shard_count = 4;
+      ingest::IngestEngine engine(options);
+      if (auto s = engine.open(); !s.is_ok()) {
+        std::fprintf(stderr, "%s\n", s.to_string().c_str());
+        return 1;
+      }
+      auto stats = sampler::run_sampling_session(machine, config, &engine);
+      (void)engine.flush();
+      std::printf("%-5s %-7s %-9s %-9s %-5.1f %-9s %-9s\n", host,
+                  std::string(sampler::to_string(policy)).c_str(),
+                  strings::format_sci(static_cast<double>(stats.expected))
+                      .c_str(),
+                  strings::format_sci(static_cast<double>(stats.inserted))
+                      .c_str(),
+                  stats.loss_pct(),
+                  strings::format_sci(static_cast<double>(stats.spilled))
+                      .c_str(),
+                  strings::format_sci(
+                      static_cast<double>(engine.point_count()))
+                      .c_str());
+      engine.close();
+    }
+  }
+  std::printf(
+      "\nblock and spill lose nothing — the cost moves to producer wait\n"
+      "time (block) or deferred drain work (spill), not to data loss.\n");
   return 0;
 }

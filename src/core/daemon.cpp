@@ -28,6 +28,23 @@ DaemonConfig DaemonConfig::from_env(
   if (auto v = lookup("PMOVE_GRAFANA_TOKEN"); !v.empty()) {
     config.grafana_token = v;
   }
+  if (auto v = lookup("PMOVE_INGEST_SHARDS"); !v.empty()) {
+    config.ingest.shard_count = std::max(1, std::atoi(v.c_str()));
+    config.ingest_enabled = true;
+  }
+  if (auto v = lookup("PMOVE_INGEST_POLICY"); !v.empty()) {
+    if (auto policy = ingest::parse_backpressure(v)) {
+      config.ingest.policy = policy.value();
+    } else {
+      log_warn("daemon") << policy.status().message() << ", keeping "
+                         << ingest::to_string(config.ingest.policy);
+    }
+    config.ingest_enabled = true;
+  }
+  if (auto v = lookup("PMOVE_INGEST_WAL_DIR"); !v.empty()) {
+    config.ingest.wal_dir = v;
+    config.ingest_enabled = true;
+  }
   return config;
 }
 
@@ -36,6 +53,15 @@ Daemon::Daemon(DaemonConfig config)
       layer_(abstraction::AbstractionLayer::with_builtin_configs()),
       ts_(tsdb::RetentionPolicy{config_.retention_ns}),
       uuids_(config_.seed) {}
+
+Status Daemon::enable_ingest() {
+  if (ingest_ != nullptr) return Status::ok();
+  auto engine =
+      std::make_unique<ingest::IngestEngine>(config_.ingest, &ts_);
+  if (Status s = engine->open(); !s.is_ok()) return s;
+  ingest_ = std::move(engine);
+  return Status::ok();
+}
 
 Status Daemon::attach_target(std::string_view preset) {
   auto spec = topology::machine_preset(preset);
@@ -180,6 +206,10 @@ Expected<Daemon::ScenarioAResult> Daemon::run_scenario_a(double frequency_hz,
     return Status::invalid_argument(
         "frequency, metric count and duration must be positive");
   }
+  // PMOVE_INGEST_* asked for the ingest tier; bring it up on first use.
+  if (config_.ingest_enabled && ingest_ == nullptr) {
+    if (Status s = enable_ingest(); !s.is_ok()) return s;
+  }
   // (A1)/(A2) happen together: dashboards are generated from the KB while
   // the target starts reporting.
   dashboard::ViewBuilder builder(&*kb_);
@@ -191,8 +221,32 @@ Expected<Daemon::ScenarioAResult> Daemon::run_scenario_a(double frequency_hz,
   session.metric_count = metric_count;
   session.duration_s = duration_s;
   session.seed = config_.seed;
+  if (ingest_ != nullptr) {
+    // The ingest policy covers the whole path: the transport stops dropping
+    // on busy too, otherwise reports are lost before they ever reach the
+    // engine's queues.
+    switch (config_.ingest.policy) {
+      case ingest::BackpressurePolicy::kDrop:
+        session.transport.mode = sampler::BackpressureMode::kDrop;
+        break;
+      case ingest::BackpressurePolicy::kBlock:
+        session.transport.mode = sampler::BackpressureMode::kBlock;
+        break;
+      case ingest::BackpressurePolicy::kSpill:
+        session.transport.mode = sampler::BackpressureMode::kSpill;
+        break;
+    }
+  }
   ScenarioAResult result;
-  result.stats = sampler::run_sampling_session(kb_->machine(), session, &ts_);
+  tsdb::PointSink* sink =
+      ingest_ != nullptr ? static_cast<tsdb::PointSink*>(ingest_.get())
+                         : &ts_;
+  result.stats = sampler::run_sampling_session(kb_->machine(), session, sink);
+  if (ingest_ != nullptr) {
+    if (Status s = ingest_->flush(); !s.is_ok()) return s;
+    (void)ingest_->publish_self_telemetry(from_seconds(duration_s));
+    if (Status s = ingest_->flush(); !s.is_ok()) return s;
+  }
   result.dashboard = std::move(dash.value());
   return result;
 }

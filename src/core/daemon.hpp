@@ -24,6 +24,7 @@
 #include "core/pinning.hpp"
 #include "dashboard/views.hpp"
 #include "docdb/store.hpp"
+#include "ingest/engine.hpp"
 #include "kb/ids.hpp"
 #include "kb/kb.hpp"
 #include "pmu/pmu.hpp"
@@ -44,6 +45,12 @@ struct DaemonConfig {
   /// policy of InfluxDB"); 0 keeps everything.
   TimeNs retention_ns = 0;
   std::uint64_t seed = 2024;
+  /// Ingestion tier (sharded queues + WAL in front of the TSDB).  Read from
+  /// PMOVE_INGEST_SHARDS / PMOVE_INGEST_POLICY / PMOVE_INGEST_WAL_DIR;
+  /// setting any of those also sets `ingest_enabled`, and the first
+  /// Scenario A session (or an explicit enable_ingest() call) activates it.
+  ingest::IngestOptions ingest;
+  bool ingest_enabled = false;
 
   /// Reads PMOVE_INFLUX_HOST / PMOVE_MONGO_HOST / PMOVE_GRAFANA_TOKEN from a
   /// key-value map (tests) or the process environment.
@@ -88,6 +95,14 @@ class Daemon {
     return layer_;
   }
   [[nodiscard]] const DaemonConfig& config() const { return config_; }
+
+  /// Puts the ingest tier (config().ingest) in front of the daemon's TSDB:
+  /// Scenario A sessions then submit batches through its sharded queues and
+  /// WAL instead of writing points one by one, and each session's ingestion
+  /// self-telemetry lands in the "pmove_ingest" measurement.  Idempotent.
+  Status enable_ingest();
+  [[nodiscard]] bool ingest_enabled() const { return ingest_ != nullptr; }
+  [[nodiscard]] ingest::IngestEngine* ingest() { return ingest_.get(); }
 
   /// Scenario A: SW-telemetry sampling session (virtual time) plus the
   /// automatically generated system dashboard.
@@ -146,6 +161,7 @@ class Daemon {
   abstraction::AbstractionLayer layer_;
   docdb::DocumentStore docs_;
   tsdb::TimeSeriesDb ts_;
+  std::unique_ptr<ingest::IngestEngine> ingest_;  ///< fronts ts_ when enabled
   std::optional<kb::KnowledgeBase> kb_;
   kb::UuidGenerator uuids_;
   int next_pid_ = 10'000;  ///< synthetic pids for profiled workloads

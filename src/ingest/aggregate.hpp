@@ -1,0 +1,67 @@
+// Incrementally maintained aggregate of one field of one series.
+//
+// The ingestion engine updates these on every accepted point — both as
+// running per-series totals and as per-window state for continuous
+// downsampling queries — so AGGObservationInterface summaries (superdb) and
+// downsampled series come out of O(1) state instead of rescanning raw
+// points.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace pmove::ingest {
+
+struct FieldAggregate {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double v) {
+    ++count;
+    sum += v;
+    sumsq += v * v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void merge(const FieldAggregate& other) {
+    count += other.count;
+    sum += other.sum;
+    sumsq += other.sumsq;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? std::nan("") : sum / static_cast<double>(count);
+  }
+
+  /// Sample standard deviation, matching tsdb's stddev() aggregate.
+  [[nodiscard]] double stddev() const {
+    if (count < 2) return count == 0 ? std::nan("") : 0.0;
+    const double n = static_cast<double>(count);
+    const double var = (sumsq - sum * sum / n) / (n - 1.0);
+    return std::sqrt(std::max(0.0, var));
+  }
+
+  /// Value of the named aggregate ("mean", "min", "max", "sum", "count",
+  /// "stddev"); NaN for unknown names or empty state.
+  [[nodiscard]] double value(const std::string& aggregate) const {
+    if (count == 0) return std::nan("");
+    if (aggregate == "mean") return mean();
+    if (aggregate == "min") return min;
+    if (aggregate == "max") return max;
+    if (aggregate == "sum") return sum;
+    if (aggregate == "count") return static_cast<double>(count);
+    if (aggregate == "stddev") return stddev();
+    return std::nan("");
+  }
+};
+
+}  // namespace pmove::ingest

@@ -1,0 +1,544 @@
+#include "ingest/engine.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace pmove::ingest {
+
+namespace {
+
+constexpr std::int64_t kWorkerIdleNs = 50'000'000;  // spill-drain cadence
+constexpr char kKeySep = '\x1f';
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view data) {
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string series_key(const std::string& measurement,
+                       std::string_view tag_value) {
+  std::string key = measurement;
+  key += kKeySep;
+  key += tag_value;
+  return key;
+}
+
+std::string window_key(std::size_t rule_index, const tsdb::Point& point,
+                       TimeNs window_start) {
+  std::string key = std::to_string(rule_index);
+  key += kKeySep;
+  for (const auto& [k, v] : point.tags) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  key += kKeySep;
+  key += std::to_string(window_start);
+  return key;
+}
+
+TimeNs window_floor(TimeNs t, TimeNs window) {
+  TimeNs start = t / window * window;
+  if (t < 0 && t % window != 0) start -= window;
+  return start;
+}
+
+}  // namespace
+
+std::string_view to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kDrop:
+      return "drop";
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kSpill:
+      return "spill";
+  }
+  return "unknown";
+}
+
+Expected<BackpressurePolicy> parse_backpressure(std::string_view name) {
+  if (name == "drop") return BackpressurePolicy::kDrop;
+  if (name == "block") return BackpressurePolicy::kBlock;
+  if (name == "spill") return BackpressurePolicy::kSpill;
+  return Status::invalid_argument("unknown backpressure policy: " +
+                                  std::string(name));
+}
+
+IngestEngine::IngestEngine(IngestOptions options,
+                           tsdb::TimeSeriesDb* external)
+    : options_(std::move(options)), external_(external) {
+  options_.shard_count = std::max(1, options_.shard_count);
+  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  for (int i = 0; i < options_.shard_count; ++i) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    if (external_ == nullptr) {
+      shard->storage = std::make_unique<tsdb::TimeSeriesDb>();
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+IngestEngine::~IngestEngine() { close(); }
+
+Status IngestEngine::open() {
+  if (running_) return Status::ok();
+  if (options_.policy == BackpressurePolicy::kSpill && !wal_enabled()) {
+    return Status::invalid_argument(
+        "spill backpressure requires a WAL directory");
+  }
+  if (wal_enabled()) {
+    WalOptions wal_options;
+    wal_options.dir = options_.wal_dir;
+    wal_options.segment_bytes = options_.wal_segment_bytes;
+    wal_options.sync_each_append = options_.wal_sync_each_append;
+    if (Status s = wal_.open(std::move(wal_options)); !s.is_ok()) return s;
+    // Recovery: re-ingest every surviving batch synchronously (workers are
+    // not running yet).  The records stay in the WAL — the in-memory DB is
+    // volatile, so the log remains the source of durability until an
+    // explicit checkpoint.
+    Status replay_status = wal_.replay([this](std::string_view payload) {
+      Batch batch;
+      std::size_t start = 0;
+      while (start <= payload.size()) {
+        std::size_t end = payload.find('\n', start);
+        if (end == std::string_view::npos) end = payload.size();
+        std::string_view line = payload.substr(start, end - start);
+        if (!strings::trim(line).empty()) {
+          auto point = tsdb::Point::from_line(line);
+          if (!point) return point.status();
+          batch.push_back(std::move(point.value()));
+        }
+        start = end + 1;
+      }
+      if (batch.empty()) return Status::ok();
+      recovered_points_ += batch.size();
+      std::vector<Batch> parts(shards_.size());
+      for (tsdb::Point& p : batch) {
+        parts[static_cast<std::size_t>(shard_of(p))].push_back(std::move(p));
+      }
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (parts[i].empty()) continue;
+        update_aggregates(*shards_[i], parts[i]);
+        inserted_points_ += parts[i].size();
+        if (Status s = insert_points(*shards_[i], std::move(parts[i]));
+            !s.is_ok()) {
+          return s;
+        }
+      }
+      return Status::ok();
+    });
+    if (!replay_status.is_ok()) return replay_status;
+  }
+  running_ = true;
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, raw = shard.get()] {
+      worker_loop(*raw);
+    });
+  }
+  return Status::ok();
+}
+
+void IngestEngine::close() {
+  if (!running_) return;
+  (void)flush();
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  wal_.close();
+  running_ = false;
+}
+
+// --------------------------------------------------------------- write path
+
+Status IngestEngine::submit(Batch batch) {
+  return submit_internal(std::move(batch), SubmitMode::kPolicy, -1);
+}
+
+Status IngestEngine::try_submit(Batch batch) {
+  return submit_internal(std::move(batch), SubmitMode::kNever, -1);
+}
+
+Status IngestEngine::submit_with_timeout(Batch batch, TimeNs timeout_ns) {
+  return submit_internal(std::move(batch), SubmitMode::kTimeout, timeout_ns);
+}
+
+Status IngestEngine::write(tsdb::Point point) {
+  Batch batch;
+  batch.push_back(std::move(point));
+  return submit(std::move(batch));
+}
+
+Status IngestEngine::write_batch(Batch points) {
+  return submit(std::move(points));
+}
+
+Status IngestEngine::submit_lines(std::string_view text) {
+  Batch batch;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!strings::trim(line).empty()) {
+      auto point = tsdb::Point::from_line(line);
+      if (!point) return point.status();
+      batch.push_back(std::move(point.value()));
+    }
+    start = end + 1;
+  }
+  if (batch.empty()) return Status::ok();
+  return submit(std::move(batch));
+}
+
+Status IngestEngine::wal_append_batch(const Batch& batch) {
+  if (!wal_enabled()) return Status::ok();
+  std::string payload;
+  for (const tsdb::Point& p : batch) {
+    payload += p.to_line();
+    payload += '\n';
+  }
+  auto lsn = wal_.append(payload);
+  return lsn ? Status::ok() : lsn.status();
+}
+
+Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
+                                     TimeNs timeout_ns) {
+  if (!running_) return Status::unavailable("ingest engine not open");
+  if (batch.empty()) return Status::ok();
+  for (const tsdb::Point& p : batch) {
+    if (p.measurement.empty()) {
+      return Status::invalid_argument("point missing measurement");
+    }
+    if (p.fields.empty()) {
+      return Status::invalid_argument("point has no fields");
+    }
+  }
+  submitted_batches_ += 1;
+  submitted_points_ += batch.size();
+
+  // Acknowledge durability first: once the WAL append returns, the batch
+  // survives a crash no matter what the queues do.
+  if (Status s = wal_append_batch(batch); !s.is_ok()) return s;
+
+  std::vector<Batch> parts(shards_.size());
+  for (tsdb::Point& p : batch) {
+    parts[static_cast<std::size_t>(shard_of(p))].push_back(std::move(p));
+  }
+
+  Status result = Status::ok();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty()) continue;
+    Shard& shard = *shards_[i];
+    const std::size_t n = parts[i].size();
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      ++pending_;
+    }
+    bool accepted = shard.queue.try_push(std::move(parts[i]));
+    if (!accepted) {
+      switch (mode == SubmitMode::kPolicy
+                  ? options_.policy
+                  : BackpressurePolicy::kDrop) {
+        case BackpressurePolicy::kBlock:
+          blocked_submits_ += 1;
+          accepted = shard.queue.push_wait(std::move(parts[i]), -1);
+          break;
+        case BackpressurePolicy::kSpill: {
+          std::lock_guard<std::mutex> lock(shard.spill_mutex);
+          shard.spill.push_back(std::move(parts[i]));
+          spilled_points_ += n;
+          accepted = true;
+          break;
+        }
+        case BackpressurePolicy::kDrop:
+          if (mode == SubmitMode::kTimeout) {
+            blocked_submits_ += 1;
+            accepted = shard.queue.push_wait(std::move(parts[i]), timeout_ns);
+          }
+          break;
+      }
+    }
+    if (!accepted) {
+      {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        --pending_;
+      }
+      pending_cv_.notify_all();
+      dropped_points_ += n;
+      result = Status::unavailable("ingest queue full: shard " +
+                                   std::to_string(i));
+    } else {
+      const std::size_t depth = shard.queue.size();
+      std::size_t seen = max_queue_depth_.load();
+      while (depth > seen &&
+             !max_queue_depth_.compare_exchange_weak(seen, depth)) {
+      }
+    }
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- worker side
+
+void IngestEngine::worker_loop(Shard& shard) {
+  while (true) {
+    std::vector<Batch> batches = shard.queue.pop_all(kWorkerIdleNs);
+    for (Batch& batch : batches) {
+      apply_batch(shard, std::move(batch));
+    }
+    // Drain the spill tier after each round: spilled batches are already
+    // WAL-durable, this is just their deferred path into storage.
+    std::deque<Batch> spilled;
+    {
+      std::lock_guard<std::mutex> lock(shard.spill_mutex);
+      spilled.swap(shard.spill);
+    }
+    for (Batch& batch : spilled) {
+      apply_batch(shard, std::move(batch));
+    }
+    if (shard.queue.is_closed() && batches.empty() && spilled.empty() &&
+        shard.queue.size() == 0) {
+      std::lock_guard<std::mutex> lock(shard.spill_mutex);
+      if (shard.spill.empty()) break;
+    }
+  }
+}
+
+void IngestEngine::apply_batch(Shard& shard, Batch batch) {
+  update_aggregates(shard, batch);
+  inserted_points_ += batch.size();
+  (void)insert_points(shard, std::move(batch));
+  note_applied(1);
+}
+
+void IngestEngine::update_aggregates(Shard& shard, const Batch& batch) {
+  std::lock_guard<std::mutex> lock(shard.agg_mutex);
+  // Batches overwhelmingly carry runs of points from one series; cache the
+  // totals bucket so only the first point of a run pays the key build + map
+  // lookup.
+  const std::string empty_tag;
+  std::string cached_measurement, cached_tag;
+  std::map<std::string, FieldAggregate>* totals = nullptr;
+  for (const tsdb::Point& point : batch) {
+    auto tag = point.tags.find("tag");
+    const std::string& tag_value =
+        tag == point.tags.end() ? empty_tag : tag->second;
+    if (totals == nullptr || point.measurement != cached_measurement ||
+        tag_value != cached_tag) {
+      totals = &shard.totals[series_key(point.measurement, tag_value)];
+      cached_measurement = point.measurement;
+      cached_tag = tag_value;
+    }
+    for (const auto& [field, value] : point.fields) {
+      (*totals)[field].add(value);
+    }
+    for (std::size_t r = 0; r < continuous_.size(); ++r) {
+      const ContinuousQuery& rule = continuous_[r];
+      if (rule.source_measurement != point.measurement) continue;
+      const TimeNs start = window_floor(point.time, rule.window_ns);
+      WindowState& window = shard.windows[window_key(r, point, start)];
+      if (window.rule == nullptr) {
+        window.rule = &rule;
+        window.measurement = point.measurement;
+        window.tags = point.tags;
+        window.window_start = start;
+      }
+      for (const auto& [field, value] : point.fields) {
+        window.fields[field].add(value);
+      }
+    }
+  }
+}
+
+Status IngestEngine::insert_points(Shard& shard, Batch batch) {
+  tsdb::TimeSeriesDb* db =
+      external_ != nullptr ? external_ : shard.storage.get();
+  return db->write_batch(std::move(batch));
+}
+
+void IngestEngine::note_applied(std::size_t batches) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_ -= std::min(pending_, batches);
+  }
+  pending_cv_.notify_all();
+}
+
+Status IngestEngine::flush() {
+  if (!running_) return Status::ok();
+  flushes_ += 1;
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+  return Status::ok();
+}
+
+// ------------------------------------------------------- continuous queries
+
+Status IngestEngine::register_continuous_query(ContinuousQuery cq) {
+  if (running_) {
+    return Status::unsupported(
+        "register continuous queries before open()");
+  }
+  if (cq.source_measurement.empty()) {
+    return Status::invalid_argument("continuous query needs a source");
+  }
+  if (cq.window_ns <= 0) {
+    return Status::invalid_argument("continuous query window must be > 0");
+  }
+  static const std::set<std::string> kAggs = {"mean", "min",   "max",
+                                              "sum",  "count", "stddev"};
+  if (kAggs.find(cq.aggregate) == kAggs.end()) {
+    return Status::invalid_argument("unsupported aggregate: " + cq.aggregate);
+  }
+  if (cq.target_measurement.empty()) {
+    cq.target_measurement = cq.source_measurement + "_" + cq.aggregate +
+                            "_" + std::to_string(cq.window_ns) + "ns";
+  }
+  continuous_.push_back(std::move(cq));
+  return Status::ok();
+}
+
+Status IngestEngine::close_windows(TimeNs watermark) {
+  if (Status s = flush(); !s.is_ok()) return s;
+  for (auto& shard : shards_) {
+    Batch emitted;
+    {
+      std::lock_guard<std::mutex> lock(shard->agg_mutex);
+      for (auto it = shard->windows.begin(); it != shard->windows.end();) {
+        const WindowState& window = it->second;
+        if (window.window_start + window.rule->window_ns > watermark) {
+          ++it;
+          continue;
+        }
+        tsdb::Point point;
+        point.measurement = window.rule->target_measurement;
+        point.tags = window.tags;
+        point.time = window.window_start;
+        for (const auto& [field, agg] : window.fields) {
+          point.fields[field] = agg.value(window.rule->aggregate);
+        }
+        emitted.push_back(std::move(point));
+        it = shard->windows.erase(it);
+      }
+    }
+    if (!emitted.empty()) {
+      downsampled_points_ += emitted.size();
+      // Downsampled points go straight into this shard's storage (queries
+      // merge across shards, so placement does not affect results) and
+      // bypass the WAL: they are derivable from the raw log.
+      if (Status s = insert_points(*shard, std::move(emitted)); !s.is_ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+std::map<std::string, FieldAggregate> IngestEngine::series_aggregates(
+    std::string_view measurement, std::string_view tag) const {
+  const std::string key =
+      series_key(std::string(measurement), tag);
+  std::map<std::string, FieldAggregate> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->agg_mutex);
+    auto it = shard->totals.find(key);
+    if (it == shard->totals.end()) continue;
+    for (const auto& [field, agg] : it->second) {
+      merged[field].merge(agg);
+    }
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------- read path
+
+Expected<tsdb::QueryResult> IngestEngine::query(
+    std::string_view text) const {
+  if (external_ != nullptr) return external_->query(text);
+  std::vector<const tsdb::TimeSeriesDb*> shards;
+  shards.reserve(shards_.size());
+  for (const auto& shard : shards_) shards.push_back(shard->storage.get());
+  return tsdb::query_sharded(shards, text);
+}
+
+std::size_t IngestEngine::point_count() const {
+  if (external_ != nullptr) return external_->point_count();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->storage->point_count();
+  return total;
+}
+
+std::vector<std::string> IngestEngine::measurements() const {
+  if (external_ != nullptr) return external_->measurements();
+  std::set<std::string> names;
+  for (const auto& shard : shards_) {
+    for (auto& name : shard->storage->measurements()) {
+      names.insert(std::move(name));
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+// ------------------------------------------------------------ introspection
+
+int IngestEngine::shard_of(const tsdb::Point& point) const {
+  std::uint64_t hash = fnv1a(14695981039346656037ULL, point.measurement);
+  hash = fnv1a(hash, "\x1f");
+  for (const auto& [k, v] : point.tags) {
+    hash = fnv1a(hash, k);
+    hash = fnv1a(hash, "=");
+    hash = fnv1a(hash, v);
+    hash = fnv1a(hash, ",");
+  }
+  return static_cast<int>(hash % shards_.size());
+}
+
+IngestStats IngestEngine::stats() const {
+  IngestStats s;
+  s.submitted_batches = submitted_batches_.load();
+  s.submitted_points = submitted_points_.load();
+  s.inserted_points = inserted_points_.load();
+  s.dropped_points = dropped_points_.load();
+  s.spilled_points = spilled_points_.load();
+  s.blocked_submits = blocked_submits_.load();
+  s.recovered_points = recovered_points_.load();
+  s.downsampled_points = downsampled_points_.load();
+  s.wal_records = wal_.record_count();
+  s.wal_bytes = wal_.bytes_appended();
+  s.flushes = flushes_.load();
+  s.max_queue_depth = max_queue_depth_.load();
+  return s;
+}
+
+Status IngestEngine::publish_self_telemetry(TimeNs now,
+                                            std::string_view tag) {
+  const IngestStats s = stats();
+  tsdb::Point point;
+  point.measurement = "pmove_ingest";
+  point.tags["tier"] = "ingest";
+  if (!tag.empty()) point.tags["tag"] = std::string(tag);
+  point.time = now;
+  point.fields["submitted_points"] =
+      static_cast<double>(s.submitted_points);
+  point.fields["inserted_points"] = static_cast<double>(s.inserted_points);
+  point.fields["dropped_points"] = static_cast<double>(s.dropped_points);
+  point.fields["spilled_points"] = static_cast<double>(s.spilled_points);
+  point.fields["blocked_submits"] = static_cast<double>(s.blocked_submits);
+  point.fields["downsampled_points"] =
+      static_cast<double>(s.downsampled_points);
+  point.fields["wal_records"] = static_cast<double>(s.wal_records);
+  point.fields["max_queue_depth"] = static_cast<double>(s.max_queue_depth);
+  Batch batch;
+  batch.push_back(std::move(point));
+  return submit_internal(std::move(batch), SubmitMode::kNever, -1);
+}
+
+}  // namespace pmove::ingest

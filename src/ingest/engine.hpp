@@ -1,0 +1,245 @@
+// Sharded, batched, WAL-backed telemetry ingestion engine.
+//
+// Sits between the samplers and the storage tier (TimeSeriesDb / SuperDb)
+// and replaces the paper's lossy "no buffer or queue mechanism" shipping
+// path (Section V-A, Table III) with a real ingestion tier:
+//
+//   * sharding     — points are routed by hash(measurement, tags) onto N
+//                    shards, each with its own bounded MPSC queue and worker
+//                    thread, so concurrent writers never contend on one
+//                    mutex;
+//   * batching     — writers submit whole batches that are decoded once and
+//                    bulk-inserted per shard (TimeSeriesDb::write_batch);
+//   * backpressure — a full queue triggers one of {drop, block, spill}
+//                    instead of unconditional loss;
+//   * durability   — every acknowledged batch is appended to a CRC-checked
+//                    write-ahead log before it is queued; recovery-on-open
+//                    replays the log into storage;
+//   * continuous queries — registered downsampling rules run incrementally
+//                    on ingest and emit aggregated points without rescanning
+//                    raw data, feeding superdb's AGGObservationInterface.
+//
+// Storage modes: by default each shard owns a private TimeSeriesDb and
+// queries merge across shards (tsdb::query_sharded); alternatively the
+// engine can be attached to an external TimeSeriesDb (the daemon's), where
+// shards act as batching/backpressure stages in front of the shared DB.
+//
+// The engine also keeps self-telemetry counters (points/sec, queue depths,
+// drops, spills) exposed as an ObservationInterface-able measurement so
+// P-MoVE can monitor its own ingestion tier.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ingest/aggregate.hpp"
+#include "ingest/ring_buffer.hpp"
+#include "ingest/wal.hpp"
+#include "tsdb/db.hpp"
+#include "tsdb/sink.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::ingest {
+
+/// What happens to a batch whose target shard queue is full.
+enum class BackpressurePolicy {
+  kDrop,   ///< count it and lose it (the paper's Table III behaviour)
+  kBlock,  ///< the producer waits for queue space — zero loss
+  kSpill,  ///< park it in the spill tier (WAL-durable) — zero loss
+};
+
+std::string_view to_string(BackpressurePolicy policy);
+Expected<BackpressurePolicy> parse_backpressure(std::string_view name);
+
+struct IngestOptions {
+  int shard_count = 4;
+  /// Batches per shard queue.
+  std::size_t queue_capacity = 64;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  /// Empty = no WAL (no durability, no spill backing store).
+  std::string wal_dir;
+  std::size_t wal_segment_bytes = 1u << 20;
+  bool wal_sync_each_append = false;
+};
+
+/// A registered continuous downsampling rule: every `window_ns` window of
+/// `source_measurement` is reduced with `aggregate` (mean/min/max/sum/count/
+/// stddev) per field per tag set, and emitted into `target_measurement`
+/// (stamped with the window start) when the watermark passes the window end.
+struct ContinuousQuery {
+  std::string source_measurement;
+  std::string aggregate = "mean";
+  TimeNs window_ns = kNsPerSec;
+  std::string target_measurement;  ///< default: "<source>_<agg>_<window>"
+};
+
+/// Monotonic self-telemetry counters (snapshot).
+struct IngestStats {
+  std::uint64_t submitted_batches = 0;
+  std::uint64_t submitted_points = 0;
+  std::uint64_t inserted_points = 0;   ///< applied to storage
+  std::uint64_t dropped_points = 0;    ///< lost to kDrop backpressure
+  std::uint64_t spilled_points = 0;    ///< routed through the spill tier
+  std::uint64_t blocked_submits = 0;   ///< submits that had to wait
+  std::uint64_t recovered_points = 0;  ///< replayed from the WAL on open
+  std::uint64_t downsampled_points = 0;  ///< emitted by continuous queries
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t flushes = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+class IngestEngine final : public tsdb::PointSink {
+ public:
+  /// `external` != nullptr attaches the engine to an existing DB instead of
+  /// per-shard storage.  Call open() before submitting.
+  explicit IngestEngine(IngestOptions options,
+                        tsdb::TimeSeriesDb* external = nullptr);
+  ~IngestEngine() override;
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  /// Opens the WAL (replaying any surviving records into storage) and
+  /// starts the shard workers.
+  Status open();
+
+  /// Flushes, stops workers, closes the WAL.  Idempotent.
+  void close();
+
+  // ----------------------------------------------------------- write path
+
+  /// Submits a batch under the configured backpressure policy.  On return
+  /// the batch is acknowledged: durable in the WAL (when enabled) and
+  /// queued, spilled, or — under kDrop with full queues — counted as lost.
+  Status submit(std::vector<tsdb::Point> batch);
+
+  /// Never blocks: full queues drop (regardless of policy) and report
+  /// kUnavailable.
+  Status try_submit(std::vector<tsdb::Point> batch);
+
+  /// Blocks at most `timeout_ns` for queue space, then reports
+  /// kUnavailable (points beyond the timeout are dropped).
+  Status submit_with_timeout(std::vector<tsdb::Point> batch,
+                             TimeNs timeout_ns);
+
+  /// Line-protocol entry point: decodes once, then submit().
+  Status submit_lines(std::string_view text);
+
+  // PointSink: lets samplers target the engine transparently.
+  Status write(tsdb::Point point) override;
+  Status write_batch(std::vector<tsdb::Point> points) override;
+
+  /// Blocks until every queued and spilled batch has been applied.
+  Status flush();
+
+  // ------------------------------------------------- continuous queries
+
+  Status register_continuous_query(ContinuousQuery cq);
+
+  /// Flushes, then emits every continuous-query window that closed at or
+  /// before `watermark` into storage.
+  Status close_windows(TimeNs watermark);
+
+  /// Running (since open) aggregates of `measurement` restricted to points
+  /// whose "tag" tag equals `tag` — maintained incrementally on ingest, so
+  /// building an AGGObservationInterface needs no raw-point rescan.
+  [[nodiscard]] std::map<std::string, FieldAggregate> series_aggregates(
+      std::string_view measurement, std::string_view tag) const;
+
+  // ------------------------------------------------------------ read path
+
+  /// Query over the full data set; per-shard slices are merged so results
+  /// match a single-DB query over the union (external mode: delegates).
+  [[nodiscard]] Expected<tsdb::QueryResult> query(
+      std::string_view text) const;
+
+  [[nodiscard]] std::size_t point_count() const;
+  [[nodiscard]] std::vector<std::string> measurements() const;
+
+  // -------------------------------------------------------- introspection
+
+  /// Deterministic shard routing (FNV-1a over measurement and tags).
+  [[nodiscard]] int shard_of(const tsdb::Point& point) const;
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+
+  [[nodiscard]] IngestStats stats() const;
+
+  /// Ingests one "pmove_ingest" self-telemetry point carrying the current
+  /// counters, so the engine's own health lands in the monitored DB.
+  Status publish_self_telemetry(TimeNs now, std::string_view tag = "");
+
+  [[nodiscard]] bool wal_enabled() const { return !options_.wal_dir.empty(); }
+  [[nodiscard]] const Wal& wal() const { return wal_; }
+
+ private:
+  using Batch = std::vector<tsdb::Point>;
+
+  struct WindowState {
+    const ContinuousQuery* rule = nullptr;
+    std::string measurement;
+    std::map<std::string, std::string> tags;
+    TimeNs window_start = 0;
+    std::map<std::string, FieldAggregate> fields;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    BoundedQueue<Batch> queue;
+    std::unique_ptr<tsdb::TimeSeriesDb> storage;  ///< null in external mode
+    std::thread worker;
+    // Spill tier: overflow batches (already WAL-durable) the worker drains
+    // after each queue round.
+    std::mutex spill_mutex;
+    std::deque<Batch> spill;
+    // Incremental aggregate state, touched only by this shard's worker
+    // thread (and by close_windows/series_aggregates after a flush).
+    mutable std::mutex agg_mutex;
+    std::map<std::string, std::map<std::string, FieldAggregate>> totals;
+    std::map<std::string, WindowState> windows;
+  };
+
+  enum class SubmitMode { kPolicy, kNever, kTimeout };
+
+  Status submit_internal(Batch batch, SubmitMode mode, TimeNs timeout_ns);
+  Status wal_append_batch(const Batch& batch);
+  void worker_loop(Shard& shard);
+  void apply_batch(Shard& shard, Batch batch);
+  void update_aggregates(Shard& shard, const Batch& batch);
+  Status insert_points(Shard& shard, Batch batch);
+  void note_applied(std::size_t batches);
+
+  IngestOptions options_;
+  tsdb::TimeSeriesDb* external_ = nullptr;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ContinuousQuery> continuous_;  ///< frozen while running
+  Wal wal_;
+  bool running_ = false;
+
+  // Batches accepted but not yet applied; flush() waits for zero.
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+
+  std::atomic<std::uint64_t> submitted_batches_{0};
+  std::atomic<std::uint64_t> submitted_points_{0};
+  std::atomic<std::uint64_t> inserted_points_{0};
+  std::atomic<std::uint64_t> dropped_points_{0};
+  std::atomic<std::uint64_t> spilled_points_{0};
+  std::atomic<std::uint64_t> blocked_submits_{0};
+  std::atomic<std::uint64_t> recovered_points_{0};
+  std::atomic<std::uint64_t> downsampled_points_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::size_t> max_queue_depth_{0};
+};
+
+}  // namespace pmove::ingest

@@ -1,0 +1,257 @@
+#include "ingest/wal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <filesystem>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace pmove::ingest {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504D'574Cu;  // "PMWL"
+constexpr std::size_t kHeaderBytes = 12;        // magic + len + crc
+constexpr std::size_t kMaxPayload = 64u << 20;  // sanity bound for recovery
+
+// Header fields are written in native byte order: the WAL is a local
+// crash-recovery log, never shipped across machines.
+void encode_header(std::array<char, kHeaderBytes>& out, std::uint32_t len,
+                   std::uint32_t crc) {
+  std::memcpy(out.data(), &kMagic, 4);
+  std::memcpy(out.data() + 4, &len, 4);
+  std::memcpy(out.data() + 8, &crc, 4);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB8'8320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFF'FFFFu;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFF'FFFFu;
+}
+
+Wal::~Wal() { close(); }
+
+std::string Wal::segment_path(std::uint64_t seq) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.seg",
+                static_cast<unsigned long long>(seq));
+  return (fs::path(options_.dir) / buf).string();
+}
+
+std::vector<std::uint64_t> Wal::list_segments() const {
+  std::vector<std::uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.seg", &seq) == 1) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Status Wal::open(WalOptions options) {
+  close();
+  options_ = std::move(options);
+  if (options_.dir.empty()) {
+    return Status::invalid_argument("WAL directory not set");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::unavailable("cannot create WAL dir " + options_.dir +
+                               ": " + ec.message());
+  }
+
+  recovery_ = {};
+  record_count_ = 0;
+  const auto seqs = list_segments();
+  recovery_.segments = seqs.size();
+
+  // Validate every segment in order.  The first bad record marks the end of
+  // history: the segment is truncated there and later segments (which would
+  // be out of order w.r.t. the lost tail) are dropped.
+  bool corrupted = false;
+  std::uint64_t last_valid_seq = seqs.empty() ? 0 : seqs.back();
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const std::string path = segment_path(seqs[i]);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::unavailable("cannot open WAL segment " + path);
+    }
+    long valid_end = 0;
+    std::string payload;
+    while (true) {
+      std::array<char, kHeaderBytes> header{};
+      if (std::fread(header.data(), 1, kHeaderBytes, f) != kHeaderBytes) {
+        break;  // clean EOF or torn header
+      }
+      std::uint32_t magic = 0, len = 0, crc = 0;
+      std::memcpy(&magic, header.data(), 4);
+      std::memcpy(&len, header.data() + 4, 4);
+      std::memcpy(&crc, header.data() + 8, 4);
+      if (magic != kMagic || len > kMaxPayload) break;
+      payload.resize(len);
+      if (std::fread(payload.data(), 1, len, f) != len) break;  // torn tail
+      if (crc32(payload) != crc) break;                         // bit rot
+      valid_end = std::ftell(f);
+      ++record_count_;
+      ++recovery_.records;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long file_end = std::ftell(f);
+    std::fclose(f);
+    if (valid_end != file_end) {
+      recovery_.truncated_bytes +=
+          static_cast<std::size_t>(file_end - valid_end);
+      fs::resize_file(path, static_cast<std::uintmax_t>(valid_end), ec);
+      corrupted = true;
+    }
+    if (corrupted) {
+      last_valid_seq = seqs[i];
+      for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+        recovery_.truncated_bytes += static_cast<std::size_t>(
+            fs::file_size(segment_path(seqs[j]), ec));
+        fs::remove(segment_path(seqs[j]), ec);
+      }
+      break;
+    }
+  }
+
+  current_seq_ = seqs.empty() ? 1 : last_valid_seq;
+  return open_segment(current_seq_, /*truncate=*/false);
+}
+
+Status Wal::open_segment(std::uint64_t seq, bool truncate) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string path = segment_path(seq);
+  file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
+  if (file_ == nullptr) {
+    return Status::unavailable("cannot open WAL segment " + path);
+  }
+  current_seq_ = seq;
+  // "ab" streams report position 0 until the first write; seek explicitly.
+  std::fseek(file_, 0, SEEK_END);
+  const long pos = std::ftell(file_);
+  current_bytes_ = pos < 0 ? 0 : static_cast<std::size_t>(pos);
+  return Status::ok();
+}
+
+Status Wal::replay(
+    const std::function<Status(std::string_view)>& apply) const {
+  for (std::uint64_t seq : list_segments()) {
+    const std::string path = segment_path(seq);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::unavailable("cannot open WAL segment " + path);
+    }
+    std::string payload;
+    while (true) {
+      std::array<char, kHeaderBytes> header{};
+      if (std::fread(header.data(), 1, kHeaderBytes, f) != kHeaderBytes) {
+        break;
+      }
+      std::uint32_t magic = 0, len = 0, crc = 0;
+      std::memcpy(&magic, header.data(), 4);
+      std::memcpy(&len, header.data() + 4, 4);
+      std::memcpy(&crc, header.data() + 8, 4);
+      if (magic != kMagic || len > kMaxPayload) break;
+      payload.resize(len);
+      if (std::fread(payload.data(), 1, len, f) != len) break;
+      if (crc32(payload) != crc) break;
+      if (Status s = apply(payload); !s.is_ok()) {
+        std::fclose(f);
+        return s;
+      }
+    }
+    std::fclose(f);
+  }
+  return Status::ok();
+}
+
+Expected<std::uint64_t> Wal::append(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return Status::unavailable("WAL not open");
+  }
+  if (current_bytes_ >= options_.segment_bytes) {
+    if (Status s = open_segment(current_seq_ + 1, /*truncate=*/true);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  std::array<char, kHeaderBytes> header{};
+  encode_header(header, static_cast<std::uint32_t>(payload.size()),
+                crc32(payload));
+  if (std::fwrite(header.data(), 1, kHeaderBytes, file_) != kHeaderBytes ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::unavailable("WAL append failed (disk full?)");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::unavailable("WAL flush failed");
+  }
+#ifdef __unix__
+  if (options_.sync_each_append) {
+    ::fsync(::fileno(file_));
+  }
+#endif
+  current_bytes_ += kHeaderBytes + payload.size();
+  bytes_appended_ += payload.size();
+  return record_count_++;
+}
+
+Status Wal::checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::error_code ec;
+  for (std::uint64_t seq : list_segments()) {
+    fs::remove(segment_path(seq), ec);
+    if (ec) {
+      return Status::unavailable("cannot remove WAL segment: " +
+                                 ec.message());
+    }
+  }
+  record_count_ = 0;
+  return open_segment(current_seq_ + 1, /*truncate=*/true);
+}
+
+void Wal::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::size_t Wal::segment_count() const { return list_segments().size(); }
+
+}  // namespace pmove::ingest

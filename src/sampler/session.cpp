@@ -20,7 +20,7 @@ const char* kDefaultMetrics[] = {
 
 SessionStats run_sampling_session(const topology::MachineSpec& machine,
                                   const SessionConfig& config,
-                                  tsdb::TimeSeriesDb* db) {
+                                  tsdb::PointSink* sink) {
   SessionStats stats;
   const int domain = machine.total_threads();
   const int metric_count = config.metric_count;
@@ -55,7 +55,11 @@ SessionStats run_sampling_session(const topology::MachineSpec& machine,
     const bool zero = fate == ReportFate::kDeliveredZero;
     stats.inserted += metric_count * domain;
     if (zero) stats.zeros += metric_count * domain;
-    if (db != nullptr) {
+    if (sink != nullptr) {
+      // One batch per round: the whole report ships together, which is what
+      // the ingest tier's write_batch fast path is built for.
+      std::vector<tsdb::Point> batch;
+      batch.reserve(metrics.size());
       for (const auto& metric : metrics) {
         tsdb::Point point;
         point.measurement = kb::hw_measurement(metric);
@@ -65,10 +69,16 @@ SessionStats run_sampling_session(const topology::MachineSpec& machine,
           point.fields["_cpu" + std::to_string(cpu)] =
               zero ? 0.0 : std::floor(value_rng.uniform(1e5, 1e7));
         }
-        (void)db->write(std::move(point));
+        batch.push_back(std::move(point));
       }
+      (void)sink->write_batch(std::move(batch));
     }
   }
+
+  const TransportCounters& shipped = pipeline.counters();
+  stats.blocked = static_cast<std::int64_t>(shipped.blocked);
+  stats.spilled =
+      static_cast<std::int64_t>(shipped.spilled) * metric_count * domain;
 
   stats.throughput =
       static_cast<double>(stats.inserted) / config.duration_s;

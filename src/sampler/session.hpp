@@ -14,6 +14,7 @@
 #include "sampler/transport.hpp"
 #include "topology/machine.hpp"
 #include "tsdb/db.hpp"
+#include "tsdb/sink.hpp"
 #include "util/status.hpp"
 
 namespace pmove::sampler {
@@ -49,13 +50,18 @@ struct SessionStats {
   double throughput = 0.0;
   /// Actual (non-zero) data points per second.
   double actual_throughput = 0.0;
+  /// Points delivered through the spill tier (transport kSpill mode).
+  std::int64_t spilled = 0;
+  /// Reports whose producer had to wait (transport kBlock mode).
+  std::int64_t blocked = 0;
 };
 
-/// Runs the virtual-time session against `db` (points are really inserted,
-/// so downstream queries behave like the paper's host DB).  Pass nullptr to
-/// skip storage and only account.
+/// Runs the virtual-time session against `sink` (points are really inserted,
+/// so downstream queries behave like the paper's host DB).  The sink can be
+/// a TimeSeriesDb directly or an ingest::IngestEngine; each round's points
+/// are written as one batch.  Pass nullptr to skip storage and only account.
 SessionStats run_sampling_session(const topology::MachineSpec& machine,
                                   const SessionConfig& config,
-                                  tsdb::TimeSeriesDb* db);
+                                  tsdb::PointSink* sink);
 
 }  // namespace pmove::sampler

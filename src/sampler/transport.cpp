@@ -6,6 +6,18 @@
 
 namespace pmove::sampler {
 
+std::string_view to_string(BackpressureMode mode) {
+  switch (mode) {
+    case BackpressureMode::kDrop:
+      return "drop";
+    case BackpressureMode::kBlock:
+      return "block";
+    case BackpressureMode::kSpill:
+      return "spill";
+  }
+  return "unknown";
+}
+
 TransportPipeline::TransportPipeline(TransportModel model,
                                      int points_per_report,
                                      std::uint64_t seed_salt)
@@ -72,8 +84,15 @@ ReportFate TransportPipeline::offer(TimeNs t) {
   const bool fresh = last_refresh_ > last_read_;
   last_read_ = t;
 
-  // Connection warm-up: early reports never make it.
-  if (t < model_.warmup_ns) return ReportFate::kDropped;
+  // Connection warm-up: with no ingest tier early reports never make it;
+  // the zero-loss modes buffer them until the connection is up.
+  if (t < model_.warmup_ns) {
+    if (model_.mode == BackpressureMode::kDrop) {
+      ++counters_.dropped;
+      return ReportFate::kDropped;
+    }
+    busy_until_ = std::max(busy_until_, model_.warmup_ns);
+  }
 
   // Transient stalls extend the busy window.
   while (next_stall_ <= t) {
@@ -85,14 +104,32 @@ ReportFate TransportPipeline::offer(TimeNs t) {
     schedule_stall(next_stall_);
   }
 
-  // No buffering: a sample that fires while the pipeline is busy is lost —
-  // unless the ablation's bounded buffer has room (queue depth approximated
-  // by the backlog divided by the nominal per-report processing time).
   if (t < busy_until_) {
-    const TimeNs nominal = std::max<TimeNs>(1, nominal_processing_ns());
-    const TimeNs backlog = busy_until_ - t;
-    const int depth = static_cast<int>((backlog + nominal - 1) / nominal);
-    if (depth > model_.buffer_capacity) return ReportFate::kDropped;
+    // The pipeline is busy.  Under kDrop the sample is lost unless the
+    // ablation's bounded buffer has room (queue depth approximated by the
+    // backlog divided by the nominal per-report processing time); the
+    // zero-loss modes instead make the producer wait (kBlock) or park the
+    // report in the WAL-backed spill tier for deferred draining (kSpill) —
+    // either way it is processed once the pipeline frees up.
+    switch (model_.mode) {
+      case BackpressureMode::kDrop: {
+        const TimeNs nominal = std::max<TimeNs>(1, nominal_processing_ns());
+        const TimeNs backlog = busy_until_ - t;
+        const int depth = static_cast<int>((backlog + nominal - 1) / nominal);
+        if (depth > model_.buffer_capacity) {
+          ++counters_.dropped;
+          return ReportFate::kDropped;
+        }
+        break;
+      }
+      case BackpressureMode::kBlock:
+        ++counters_.blocked;
+        counters_.blocked_ns += busy_until_ - t;
+        break;
+      case BackpressureMode::kSpill:
+        ++counters_.spilled;
+        break;
+    }
     busy_until_ += draw_processing_ns();
   } else {
     busy_until_ = t + draw_processing_ns();
@@ -100,6 +137,8 @@ ReportFate TransportPipeline::offer(TimeNs t) {
 
   // Counter staleness: the report is inserted, but carries zero deltas when
   // no refresh happened since the previous read.
+  ++counters_.delivered;
+  if (!fresh) ++counters_.zeros;
   return fresh ? ReportFate::kDelivered : ReportFate::kDeliveredZero;
 }
 

@@ -17,11 +17,25 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/clock.hpp"
 #include "util/rng.hpp"
 
 namespace pmove::sampler {
+
+/// What the shipping pipeline does with a report that arrives while it is
+/// busy.  kDrop is the paper's PCP behaviour (Table III); the other two are
+/// what the ingest tier provides: the producer waits for the pipeline
+/// (kBlock) or the report is parked in the durable spill tier and drained
+/// later (kSpill).  Both deliver every report — loss becomes latency.
+enum class BackpressureMode {
+  kDrop,
+  kBlock,
+  kSpill,
+};
+
+std::string_view to_string(BackpressureMode mode);
 
 struct TransportModel {
   double network_mbit = 100.0;        ///< host<->target link (paper: 100 Mbit)
@@ -38,6 +52,9 @@ struct TransportModel {
   /// capacity lets up to that many reports queue behind a busy pipeline
   /// instead of being dropped; used by the buffering ablation.
   int buffer_capacity = 0;
+  /// Busy-pipeline policy.  kDrop reproduces Table III; kBlock / kSpill are
+  /// the ingest tier's zero-loss modes (warm-up reports are buffered too).
+  BackpressureMode mode = BackpressureMode::kDrop;
   std::uint64_t seed = 1234;
 };
 
@@ -46,6 +63,16 @@ enum class ReportFate {
   kDelivered,      ///< inserted with real values
   kDeliveredZero,  ///< inserted, but all points are zero (stale counters)
   kDropped,        ///< pipeline busy / warm-up — points lost
+};
+
+/// Per-pipeline accounting of how reports got through (or didn't).
+struct TransportCounters {
+  std::uint64_t delivered = 0;  ///< includes zero-valued deliveries
+  std::uint64_t zeros = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t blocked = 0;  ///< deliveries that had to wait (kBlock)
+  std::uint64_t spilled = 0;  ///< deliveries via the spill tier (kSpill)
+  TimeNs blocked_ns = 0;      ///< total producer wait time under kBlock
 };
 
 class TransportPipeline {
@@ -64,6 +91,10 @@ class TransportPipeline {
   /// Wire size of one report in bytes.
   [[nodiscard]] double report_bytes() const;
 
+  [[nodiscard]] const TransportCounters& counters() const {
+    return counters_;
+  }
+
  private:
   TransportModel model_;
   int points_per_report_;
@@ -73,6 +104,7 @@ class TransportPipeline {
   TimeNs last_refresh_ = 0;
   TimeNs next_refresh_gap_ = 0;
   TimeNs last_read_ = -1;
+  TransportCounters counters_;
 
   [[nodiscard]] TimeNs draw_processing_ns();
   void schedule_stall(TimeNs after);

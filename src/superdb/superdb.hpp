@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "docdb/store.hpp"
+#include "ingest/engine.hpp"
 #include "json/value.hpp"
 #include "kb/kb.hpp"
 #include "tsdb/db.hpp"
@@ -38,6 +39,14 @@ class SuperDb {
   Status report_observation_agg(const kb::KnowledgeBase& knowledge_base,
                                 const tsdb::TimeSeriesDb& local_db,
                                 const kb::ObservationInterface& observation);
+
+  /// AGGObservationInterface from the ingest tier's incrementally maintained
+  /// aggregates: no raw-point rescan, same document shape as
+  /// report_observation_agg.
+  Status report_observation_agg_precomputed(
+      const kb::KnowledgeBase& knowledge_base,
+      const ingest::IngestEngine& engine,
+      const kb::ObservationInterface& observation);
 
   /// Hostnames of reported systems, sorted.
   [[nodiscard]] std::vector<std::string> systems() const;

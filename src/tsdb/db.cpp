@@ -50,6 +50,62 @@ Status TimeSeriesDb::write_line(std::string_view line) {
   return write(std::move(point.value()));
 }
 
+Status TimeSeriesDb::write_batch(std::vector<Point> points) {
+  for (const Point& point : points) {
+    if (point.measurement.empty()) {
+      return Status::invalid_argument("point missing measurement");
+    }
+    if (point.fields.empty()) {
+      return Status::invalid_argument("point has no fields");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Cache the series iterator: batches overwhelmingly carry runs of points
+  // for the same measurement, so most points skip the map lookup.  Track the
+  // pre-append size of every touched series so ordering can be restored with
+  // one tail sort + merge instead of a per-point upper_bound+insert.
+  auto hint = series_.end();
+  std::vector<std::pair<std::vector<Point>*, std::size_t>> touched;
+  for (Point& point : points) {
+    bytes_written_ += point.wire_size();
+    if (hint == series_.end() || hint->first != point.measurement) {
+      hint = series_.find(point.measurement);
+      if (hint == series_.end()) {
+        hint = series_.emplace(point.measurement, std::vector<Point>{}).first;
+      }
+      auto* series = &hint->second;
+      bool seen = false;
+      for (const auto& [ptr, size] : touched) {
+        if (ptr == series) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) touched.emplace_back(series, series->size());
+    }
+    hint->second.push_back(std::move(point));
+  }
+  // Restore time order per touched series: stable-sort the appended tail
+  // (preserving arrival order among equal timestamps, matching the per-point
+  // path's upper_bound semantics) and merge it with the already-ordered
+  // prefix only when the tail actually lands out of order.
+  const auto by_time = [](const Point& a, const Point& b) {
+    return a.time < b.time;
+  };
+  for (const auto& [series, old_size] : touched) {
+    const auto begin = series->begin();
+    const auto mid = begin + static_cast<std::ptrdiff_t>(old_size);
+    if (mid == series->end()) continue;
+    if (!std::is_sorted(mid, series->end(), by_time)) {
+      std::stable_sort(mid, series->end(), by_time);
+    }
+    if (old_size != 0 && by_time(*mid, *(mid - 1))) {
+      std::inplace_merge(begin, mid, series->end(), by_time);
+    }
+  }
+  return Status::ok();
+}
+
 std::size_t TimeSeriesDb::enforce_retention(TimeNs now) {
   if (retention_.duration <= 0) return 0;
   const TimeNs cutoff = now - retention_.duration;
@@ -84,6 +140,33 @@ std::size_t TimeSeriesDb::point_count(std::string_view measurement) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = series_.find(measurement);
   return it == series_.end() ? 0 : it->second.size();
+}
+
+bool TimeSeriesDb::has_measurement(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.find(name) != series_.end();
+}
+
+std::vector<Point> TimeSeriesDb::collect(
+    std::string_view measurement, TimeNs time_min, TimeNs time_max,
+    const std::map<std::string, std::string>& tag_filters) const {
+  std::vector<Point> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(measurement);
+  if (it == series_.end()) return out;
+  for (const Point& p : it->second) {
+    if (p.time < time_min || p.time > time_max) continue;
+    bool ok = true;
+    for (const auto& [k, v] : tag_filters) {
+      auto tag = p.tags.find(k);
+      if (tag == p.tags.end() || tag->second != v) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(p);
+  }
+  return out;
 }
 
 Status TimeSeriesDb::dump_to_file(const std::string& path) const {
@@ -374,39 +457,17 @@ double aggregate_values(const std::string& agg,
   return std::nan("");
 }
 
-}  // namespace
-
-Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
-  auto parsed = parse_query(text);
-  if (!parsed) return parsed.status();
-  const ParsedQuery& q = parsed.value();
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = series_.find(q.measurement);
-  if (it == series_.end()) {
-    return Status::not_found("measurement not found: " + q.measurement);
-  }
-
-  std::vector<const Point*> matches;
-  for (const Point& p : it->second) {
-    if (p.time < q.time_min || p.time > q.time_max) continue;
-    bool ok = true;
-    for (const auto& [k, v] : q.tag_filters) {
-      auto tag = p.tags.find(k);
-      if (tag == p.tags.end() || tag->second != v) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) matches.push_back(&p);
-  }
-
+// Evaluates a parsed query over the matching points (already filtered and
+// in time order).  Shared by the single-DB and sharded paths so both produce
+// identical results.
+Expected<QueryResult> evaluate_query(const ParsedQuery& q,
+                                     const std::vector<Point>& matches) {
   // Resolve SELECT * into the union of field names, sorted.
   std::vector<Selector> selectors = q.selectors;
   if (q.select_all) {
     std::vector<std::string> fields;
-    for (const Point* p : matches) {
-      for (const auto& [k, v] : p->fields) {
+    for (const Point& p : matches) {
+      for (const auto& [k, v] : p.fields) {
         if (std::find(fields.begin(), fields.end(), k) == fields.end()) {
           fields.push_back(k);
         }
@@ -437,12 +498,12 @@ Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
     // Bucket matches by floor(time / interval); one row per non-empty
     // bucket, stamped with the bucket start.
     std::map<TimeNs, std::vector<const Point*>> buckets;
-    for (const Point* p : matches) {
-      TimeNs bucket = p->time / q.group_interval * q.group_interval;
-      if (p->time < 0 && p->time % q.group_interval != 0) {
+    for (const Point& p : matches) {
+      TimeNs bucket = p.time / q.group_interval * q.group_interval;
+      if (p.time < 0 && p.time % q.group_interval != 0) {
         bucket -= q.group_interval;  // floor for negative timestamps
       }
-      buckets[bucket].push_back(p);
+      buckets[bucket].push_back(&p);
     }
     for (const auto& [bucket, points] : buckets) {
       std::vector<double> row;
@@ -467,7 +528,7 @@ Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
     std::vector<double> row;
     row.push_back(matches.empty()
                       ? 0.0
-                      : static_cast<double>(matches.back()->time));
+                      : static_cast<double>(matches.back().time));
     for (const auto& sel : selectors) {
       if (sel.aggregate.empty()) {
         return Status::parse_error(
@@ -475,11 +536,11 @@ Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
       }
       std::vector<double> values;
       std::vector<TimeNs> times;
-      for (const Point* p : matches) {
-        auto field = p->fields.find(sel.field);
-        if (field != p->fields.end()) {
+      for (const Point& p : matches) {
+        auto field = p.fields.find(sel.field);
+        if (field != p.fields.end()) {
           values.push_back(field->second);
-          times.push_back(p->time);
+          times.push_back(p.time);
         }
       }
       row.push_back(aggregate_values(sel.aggregate, values, times));
@@ -489,17 +550,58 @@ Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
   }
 
   result.rows.reserve(matches.size());
-  for (const Point* p : matches) {
+  for (const Point& p : matches) {
     std::vector<double> row;
     row.reserve(selectors.size() + 1);
-    row.push_back(static_cast<double>(p->time));
+    row.push_back(static_cast<double>(p.time));
     for (const auto& sel : selectors) {
-      auto field = p->fields.find(sel.field);
-      row.push_back(field == p->fields.end() ? std::nan("") : field->second);
+      auto field = p.fields.find(sel.field);
+      row.push_back(field == p.fields.end() ? std::nan("") : field->second);
     }
     result.rows.push_back(std::move(row));
   }
   return result;
+}
+
+}  // namespace
+
+Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
+  auto parsed = parse_query(text);
+  if (!parsed) return parsed.status();
+  const ParsedQuery& q = parsed.value();
+
+  if (!has_measurement(q.measurement)) {
+    return Status::not_found("measurement not found: " + q.measurement);
+  }
+  return evaluate_query(
+      q, collect(q.measurement, q.time_min, q.time_max, q.tag_filters));
+}
+
+Expected<QueryResult> query_sharded(
+    const std::vector<const TimeSeriesDb*>& shards, std::string_view text) {
+  auto parsed = parse_query(text);
+  if (!parsed) return parsed.status();
+  const ParsedQuery& q = parsed.value();
+
+  bool found = false;
+  std::vector<Point> matches;
+  for (const TimeSeriesDb* shard : shards) {
+    if (shard == nullptr || !shard->has_measurement(q.measurement)) continue;
+    found = true;
+    auto part =
+        shard->collect(q.measurement, q.time_min, q.time_max, q.tag_filters);
+    matches.insert(matches.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  if (!found) {
+    return Status::not_found("measurement not found: " + q.measurement);
+  }
+  // Each shard slice is time-ordered; the union is not.  Stable sort keeps
+  // shard-internal arrival order among equal timestamps.
+  std::stable_sort(
+      matches.begin(), matches.end(),
+      [](const Point& a, const Point& b) { return a.time < b.time; });
+  return evaluate_query(q, matches);
 }
 
 }  // namespace pmove::tsdb

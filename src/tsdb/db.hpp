@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "tsdb/point.hpp"
+#include "tsdb/sink.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -40,14 +41,19 @@ struct RetentionPolicy {
   TimeNs duration = 0;  ///< 0 = keep forever
 };
 
-class TimeSeriesDb {
+class TimeSeriesDb : public PointSink {
  public:
   TimeSeriesDb() = default;
   explicit TimeSeriesDb(RetentionPolicy retention)
       : retention_(retention) {}
 
-  Status write(Point point);
+  Status write(Point point) override;
   Status write_line(std::string_view line);
+
+  /// Bulk insert: one lock acquisition and one ordering pass per batch
+  /// instead of per point.  The batch is validated up front and rejected as
+  /// a unit if any point is invalid (no partial insert).
+  Status write_batch(std::vector<Point> points) override;
 
   /// Executes a query string (see header comment for the grammar subset).
   [[nodiscard]] Expected<QueryResult> query(std::string_view text) const;
@@ -70,11 +76,27 @@ class TimeSeriesDb {
 
   void clear();
 
+  [[nodiscard]] bool has_measurement(std::string_view name) const;
+
+  /// Copies of the points of `measurement` in [time_min, time_max] whose
+  /// tags match every entry of `tag_filters`, in time order.  Used by the
+  /// sharded query path (query_sharded) to pull per-shard slices.
+  [[nodiscard]] std::vector<Point> collect(
+      std::string_view measurement, TimeNs time_min, TimeNs time_max,
+      const std::map<std::string, std::string>& tag_filters) const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::vector<Point>, std::less<>> series_;
   RetentionPolicy retention_;
   std::size_t bytes_written_ = 0;
 };
+
+/// Executes `text` against several shard databases as if their contents
+/// lived in one DB: matching points are collected from every shard, merged
+/// in time order, and evaluated together (aggregates and GROUP BY included),
+/// so results are identical to a single-DB query over the union.
+Expected<QueryResult> query_sharded(
+    const std::vector<const TimeSeriesDb*>& shards, std::string_view text);
 
 }  // namespace pmove::tsdb

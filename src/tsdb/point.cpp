@@ -9,14 +9,28 @@ namespace pmove::tsdb {
 
 namespace {
 
-// Line-protocol escaping: commas, spaces and '=' in identifiers.
+// Line-protocol escaping: commas, spaces, '=' and backslashes in
+// identifiers.  Backslashes must be escaped too, or an identifier ending in
+// '\' would swallow the following separator and break the round trip.
+bool needs_escape(char c) {
+  return c == ',' || c == ' ' || c == '=' || c == '\\';
+}
+
 std::string escape_ident(const std::string& s) {
   std::string out;
   for (char c : s) {
-    if (c == ',' || c == ' ' || c == '=') out += '\\';
+    if (needs_escape(c)) out += '\\';
     out += c;
   }
   return out;
+}
+
+std::size_t escaped_size(const std::string& s) {
+  std::size_t n = s.size();
+  for (char c : s) {
+    if (needs_escape(c)) ++n;
+  }
+  return n;
 }
 
 std::string unescape(std::string_view s) {
@@ -48,15 +62,33 @@ std::vector<std::string> split_escaped(std::string_view text, char sep) {
   return parts;
 }
 
-std::string format_field_value(double v) {
-  if (v == std::floor(v) && std::abs(v) < 9.2e18 && !std::signbit(v) == !std::signbit(v)) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    return buf;
+int format_field_value(char (&buf)[48], double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.2e18) {
+    return std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  }
+  return std::snprintf(buf, sizeof(buf), "%.17g", v);
+}
+
+// Width of the "%lld" rendering without the snprintf call — wire_size() runs
+// for every ingested point, and formatting just to count bytes dominated the
+// insert path.
+std::size_t decimal_width(long long value) {
+  std::size_t n = value < 0 ? 1 : 0;
+  auto u = value < 0 ? 0ull - static_cast<unsigned long long>(value)
+                     : static_cast<unsigned long long>(value);
+  do {
+    ++n;
+    u /= 10;
+  } while (u != 0);
+  return n;
+}
+
+std::size_t field_value_width(double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.2e18) {
+    return decimal_width(static_cast<long long>(v));
   }
   char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
+  return static_cast<std::size_t>(std::snprintf(buf, sizeof(buf), "%.17g", v));
 }
 
 }  // namespace
@@ -71,16 +103,36 @@ std::string Point::to_line() const {
   }
   out += ' ';
   bool first = true;
+  char buf[48];
   for (const auto& [k, v] : fields) {
     if (!first) out += ',';
     first = false;
     out += escape_ident(k);
     out += '=';
-    out += format_field_value(v);
+    out.append(buf, static_cast<std::size_t>(format_field_value(buf, v)));
   }
   out += ' ';
   out += std::to_string(time);
   return out;
+}
+
+std::size_t Point::wire_size() const {
+  // Same arithmetic as to_line(), but without materializing the string —
+  // the hot write paths account bytes for every point (Fig 6 resource
+  // model), so this must not allocate.
+  std::size_t n = escaped_size(measurement);
+  for (const auto& [k, v] : tags) {
+    n += 2 + escaped_size(k) + escaped_size(v);  // ',' k '=' v
+  }
+  n += 1;  // space before fields
+  bool first = true;
+  for (const auto& [k, v] : fields) {
+    if (!first) ++n;  // ','
+    first = false;
+    n += escaped_size(k) + 1 + field_value_width(v);
+  }
+  n += 1 + decimal_width(time);
+  return n;
 }
 
 Expected<Point> Point::from_line(std::string_view line) {
@@ -116,12 +168,17 @@ Expected<Point> Point::from_line(std::string_view line) {
   for (std::size_t i = 1; i < head.size(); ++i) {
     auto kv = split_escaped(head[i], '=');
     if (kv.size() != 2) return Status::parse_error("malformed tag: " + head[i]);
-    point.tags[unescape(kv[0])] = unescape(kv[1]);
+    std::string key = unescape(kv[0]);
+    if (key.empty()) return Status::parse_error("empty tag key: " + head[i]);
+    point.tags[std::move(key)] = unescape(kv[1]);
   }
   for (const auto& field : split_escaped(sections[1], ',')) {
     auto kv = split_escaped(field, '=');
     if (kv.size() != 2) {
       return Status::parse_error("malformed field: " + field);
+    }
+    if (unescape(kv[0]).empty()) {
+      return Status::parse_error("empty field name: " + field);
     }
     char* end = nullptr;
     const std::string value_text = unescape(kv[1]);

@@ -27,8 +27,9 @@ struct Point {
   static Expected<Point> from_line(std::string_view line);
 
   /// Serialized size in bytes — the unit of network/disk accounting in the
-  /// resource model (Fig 6).
-  [[nodiscard]] std::size_t wire_size() const { return to_line().size(); }
+  /// resource model (Fig 6).  Computed without building the line so the
+  /// write hot path does not allocate; always equals to_line().size().
+  [[nodiscard]] std::size_t wire_size() const;
 };
 
 }  // namespace pmove::tsdb

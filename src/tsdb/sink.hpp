@@ -1,0 +1,29 @@
+// Abstract destination for time-series points.
+//
+// The sampler pipeline historically wrote straight into TimeSeriesDb; the
+// ingestion tier (src/ingest) sits between the two.  Both implement this
+// interface so producers (sampling sessions, live samplers, the daemon) can
+// be pointed at either a raw DB or the full ingestion engine without
+// depending on the latter.
+#pragma once
+
+#include <vector>
+
+#include "tsdb/point.hpp"
+#include "util/status.hpp"
+
+namespace pmove::tsdb {
+
+class PointSink {
+ public:
+  virtual ~PointSink() = default;
+
+  virtual Status write(Point point) = 0;
+
+  /// Accepts a whole batch in one call.  Implementations amortize locking
+  /// and ordering work across the batch; the batch is rejected as a unit if
+  /// any point is invalid.
+  virtual Status write_batch(std::vector<Point> points) = 0;
+};
+
+}  // namespace pmove::tsdb

@@ -71,6 +71,72 @@ TEST(LineProtocolTest, Rejections) {
   }
 }
 
+TEST(LineProtocolTest, EscapedCommasAndSpacesInTags) {
+  auto p = Point::from_line(
+      "cpu\\ usage,host=node\\,1,zone=us\\ east value=1 9");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->measurement, "cpu usage");
+  EXPECT_EQ(p->tags.at("host"), "node,1");
+  EXPECT_EQ(p->tags.at("zone"), "us east");
+  // And the inverse direction: to_line must escape what from_line unescapes.
+  auto round = Point::from_line(p->to_line());
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->tags, p->tags);
+  EXPECT_EQ(round->measurement, p->measurement);
+}
+
+TEST(LineProtocolTest, BackslashInIdentifierRoundTrips) {
+  Point p;
+  p.measurement = "dir\\path";
+  p.tags["k\\ey"] = "v\\al,ue";
+  p.fields["f"] = 2.0;
+  p.time = 5;
+  auto restored = Point::from_line(p.to_line());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->measurement, p.measurement);
+  EXPECT_EQ(restored->tags, p.tags);
+}
+
+TEST(LineProtocolTest, EmptyFieldSetRejected) {
+  // A line with tags but no field set must not parse to a field-less point.
+  for (const char* bad : {"m,host=a 5", "m,host=a", "m,host=a  5"}) {
+    EXPECT_FALSE(Point::from_line(bad).has_value()) << bad;
+  }
+}
+
+TEST(LineProtocolTest, EmptyTagKeyOrFieldNameRejected) {
+  EXPECT_FALSE(Point::from_line("m,=v value=1 5").has_value());
+  EXPECT_FALSE(Point::from_line("m,host=a =1 5").has_value());
+}
+
+TEST(LineProtocolTest, WireSizeMatchesLineSize) {
+  Point p;
+  p.measurement = "weird m,easure=ment";
+  p.tags["k ey"] = "v,alue";
+  p.tags["host"] = "skx";
+  p.fields["f=ield"] = 1.5;
+  p.fields["_cpu11"] = 123456.0;
+  p.time = 1690000000000000000;
+  EXPECT_EQ(p.wire_size(), p.to_line().size());
+  Point minimal = make_point("m", 0, 0.25);
+  minimal.time = 0;
+  EXPECT_EQ(minimal.wire_size(), minimal.to_line().size());
+}
+
+TEST(LineProtocolTest, OutOfOrderTimestampsParseIndependently) {
+  // Decreasing timestamps across lines are a transport reality (shard
+  // workers and retries reorder batches); each line must stand alone.
+  TimeSeriesDb db;
+  ASSERT_TRUE(db.write_line("m value=3 300").is_ok());
+  ASSERT_TRUE(db.write_line("m value=1 100").is_ok());
+  ASSERT_TRUE(db.write_line("m value=2 200").is_ok());
+  auto result = db.query("SELECT \"value\" FROM \"m\"");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->rows[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(result->rows[2][1], 3.0);
+}
+
 // ------------------------------------------------------------------ writes
 
 TEST(DbTest, WriteAndCount) {
@@ -112,6 +178,64 @@ TEST(DbTest, OutOfOrderInsertKeepsTimeOrder) {
   ASSERT_EQ(result->rows.size(), 3u);
   EXPECT_LT(result->rows[0][0], result->rows[1][0]);
   EXPECT_LT(result->rows[1][0], result->rows[2][0]);
+}
+
+TEST(DbTest, WriteBatchBulkInsert) {
+  TimeSeriesDb db;
+  std::vector<Point> batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(make_point("m", 1000 - i * 10, static_cast<double>(i)));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  EXPECT_EQ(db.point_count("m"), 100u);
+  // Out-of-order batch contents still come back time-sorted.
+  auto result = db.query("SELECT \"value\" FROM \"m\"");
+  ASSERT_TRUE(result.has_value());
+  for (std::size_t r = 1; r < result->rows.size(); ++r) {
+    EXPECT_LE(result->rows[r - 1][0], result->rows[r][0]);
+  }
+}
+
+TEST(DbTest, WriteBatchRejectsAtomically) {
+  TimeSeriesDb db;
+  std::vector<Point> batch;
+  batch.push_back(make_point("m", 1, 1.0));
+  Point invalid;  // no measurement, no fields
+  batch.push_back(invalid);
+  batch.push_back(make_point("m", 2, 2.0));
+  EXPECT_FALSE(db.write_batch(std::move(batch)).is_ok());
+  // All-or-nothing: the valid points must not have landed.
+  EXPECT_EQ(db.point_count(), 0u);
+}
+
+TEST(DbTest, QueryShardedMergesLikeOneDb) {
+  TimeSeriesDb all;
+  TimeSeriesDb shard_a;
+  TimeSeriesDb shard_b;
+  for (int i = 0; i < 60; ++i) {
+    Point p = make_point("m", i * 10, static_cast<double>(i % 7),
+                         i % 2 == 0 ? "even" : "odd");
+    ASSERT_TRUE(all.write(p).is_ok());
+    ASSERT_TRUE((i % 2 == 0 ? shard_a : shard_b).write(p).is_ok());
+  }
+  for (const char* query :
+       {"SELECT * FROM \"m\"", "SELECT mean(\"value\") FROM \"m\"",
+        "SELECT count(\"value\") FROM \"m\" WHERE tag=\"odd\""}) {
+    auto merged = query_sharded({&shard_a, &shard_b}, query);
+    auto single = all.query(query);
+    ASSERT_TRUE(merged.has_value()) << query;
+    ASSERT_TRUE(single.has_value()) << query;
+    ASSERT_EQ(merged->rows.size(), single->rows.size()) << query;
+    for (std::size_t r = 0; r < single->rows.size(); ++r) {
+      for (std::size_t c = 0; c < single->rows[r].size(); ++c) {
+        EXPECT_DOUBLE_EQ(merged->rows[r][c], single->rows[r][c]) << query;
+      }
+    }
+  }
+  // Unknown measurements still signal not_found across shards.
+  EXPECT_FALSE(
+      query_sharded({&shard_a, &shard_b}, "SELECT * FROM \"nope\"")
+          .has_value());
 }
 
 // ----------------------------------------------------------------- queries

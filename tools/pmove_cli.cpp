@@ -17,9 +17,12 @@
 //   pmove cluster <preset> [preset...]       cluster session + job
 //   pmove record <preset> <kernel> <dir>     profile + save the session
 //   pmove replay <dir> <host>                reopen a recorded session
+//   pmove ingest-bench [n] [shards] [batch]  per-point DB vs ingest engine
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/anomaly.hpp"
@@ -28,6 +31,7 @@
 #include "cluster/cluster.hpp"
 #include "core/daemon.hpp"
 #include "dashboard/views.hpp"
+#include "ingest/engine.hpp"
 #include "kb/linked_query.hpp"
 #include "kernels/kernels.hpp"
 #include "topology/prober.hpp"
@@ -54,6 +58,7 @@ int usage() {
       "  cluster <preset> [preset...]        cluster session + job\n"
       "  record <preset> <kernel> <dir>      profile + save session\n"
       "  replay <dir> <host>                 reopen a recorded session\n"
+      "  ingest-bench [n] [shards] [batch]   per-point DB vs ingest engine\n"
       "presets: skx icl csl zen3   kernels: sum stream triad peakflops"
       " ddot daxpy\n");
   return 2;
@@ -136,7 +141,7 @@ int cmd_scenario_a(int argc, char** argv) {
   const double hz = argc > 3 ? std::atof(argv[3]) : 8.0;
   const int metrics = argc > 4 ? std::atoi(argv[4]) : 4;
   const double seconds = argc > 5 ? std::atof(argv[5]) : 10.0;
-  core::Daemon daemon;
+  core::Daemon daemon(core::DaemonConfig::from_env());
   if (auto s = daemon.attach_target(*spec); !s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
     return 1;
@@ -169,7 +174,7 @@ int cmd_scenario_b(int argc, char** argv) {
     return 1;
   }
   const double hz = argc > 4 ? std::atof(argv[4]) : 40.0;
-  core::Daemon daemon;
+  core::Daemon daemon(core::DaemonConfig::from_env());
   if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
   core::ScenarioBRequest request;
   request.command = std::string("pmove scenario-b ") + argv[3];
@@ -227,7 +232,7 @@ int cmd_carm(int argc, char** argv) {
 int cmd_bench(int argc, char** argv) {
   auto spec = preset_arg(argc, argv, 2);
   if (!spec || argc < 4) return usage();
-  core::Daemon daemon;
+  core::Daemon daemon(core::DaemonConfig::from_env());
   if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
   auto recorded = daemon.run_benchmark(argv[3]);
   if (!recorded) {
@@ -268,7 +273,7 @@ int cmd_anomaly(int argc, char** argv) {
   analysis::AnomalyConfig config;
   config.window = 12;
   if (argc > 3) config.z_threshold = std::atof(argv[3]);
-  core::Daemon daemon;
+  core::Daemon daemon(core::DaemonConfig::from_env());
   if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
   if (!daemon.run_scenario_a(8.0, 4, 5.0).has_value()) return 1;
   // Inject a dip into cpu0's idle series so there is something to find.
@@ -347,7 +352,7 @@ int cmd_record(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", kind.status().to_string().c_str());
     return 1;
   }
-  core::Daemon daemon;
+  core::Daemon daemon(core::DaemonConfig::from_env());
   if (auto s = daemon.attach_target(*spec); !s.is_ok()) return 1;
   core::ScenarioBRequest request;
   request.command = std::string("pmove record ") + argv[3];
@@ -377,7 +382,7 @@ int cmd_record(int argc, char** argv) {
 
 int cmd_replay(int argc, char** argv) {
   if (argc < 4) return usage();
-  core::Daemon daemon;
+  core::Daemon daemon(core::DaemonConfig::from_env());
   if (auto s = daemon.load_session(argv[2], argv[3]); !s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
     return 1;
@@ -396,6 +401,143 @@ int cmd_replay(int argc, char** argv) {
                   rows.has_value() ? rows->rows.size() : 0u);
     }
   }
+  return 0;
+}
+
+// Head-to-head of the seed write path (one TimeSeriesDb::write per point)
+// against the ingest engine (sharded queues + write_batch), over the same
+// synthetic point stream.
+// Builds one producer's worth of sampler-shaped points.  Each producer owns a
+// disjoint set of hosts so the two runs ingest identical series sets.
+std::vector<tsdb::Point> ingest_bench_stream(std::size_t producer,
+                                             std::size_t count) {
+  std::vector<tsdb::Point> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tsdb::Point point;
+    point.measurement = "hw_UNHALTED_CORE_CYCLES";
+    point.tags["host"] = "node" + std::to_string(producer * 16 + i % 16);
+    point.time = static_cast<TimeNs>(i) * 1'000'000;
+    for (int f = 0; f < 4; ++f) {
+      point.fields["_cpu" + std::to_string(f)] =
+          static_cast<double>((i * 37 + static_cast<std::size_t>(f)) % 9973);
+    }
+    stream.push_back(std::move(point));
+  }
+  return stream;
+}
+
+int cmd_ingest_bench(int argc, char** argv) {
+  // Default kept modest: the seed per-point path degrades quadratically on
+  // the interleaved timestamps concurrent producers generate, so large point
+  // counts mostly measure that pathology for minutes.
+  const std::size_t total = argc > 2
+                                ? static_cast<std::size_t>(std::atoll(argv[2]))
+                                : 50'000;
+  if (total == 0) {
+    std::fprintf(stderr,
+                 "ingest-bench: <points> must be a positive number, got "
+                 "'%s'\n",
+                 argv[2]);
+    return 2;
+  }
+  const int shards = argc > 3
+                         ? std::max(1, std::atoi(argv[3]))
+                         : static_cast<int>(std::min(
+                               8u, std::max(2u,
+                                            std::thread::hardware_concurrency() /
+                                                2)));
+  const std::size_t batch_size =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 512;
+  const std::size_t producers =
+      argc > 5 ? std::max<std::size_t>(1, static_cast<std::size_t>(
+                                              std::atoll(argv[5])))
+               : static_cast<std::size_t>(shards);
+  const std::size_t per_producer = total / producers;
+
+  using Clock = std::chrono::steady_clock;
+
+  // Baseline: the seed write path.  Concurrent samplers all call
+  // TimeSeriesDb::write once per point against the single shared instance.
+  tsdb::TimeSeriesDb baseline_db;
+  double base_s = 0.0;
+  {
+    std::vector<std::vector<tsdb::Point>> streams;
+    for (std::size_t p = 0; p < producers; ++p) {
+      streams.push_back(ingest_bench_stream(p, per_producer));
+    }
+    const auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&baseline_db, &stream = streams[p]] {
+        for (tsdb::Point& point : stream) {
+          (void)baseline_db.write(std::move(point));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    base_s = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  // Engine: the same producers hand batches to the sharded ingest tier.
+  ingest::IngestOptions options;
+  options.shard_count = shards;
+  options.queue_capacity = 256;
+  options.policy = ingest::BackpressurePolicy::kBlock;
+  ingest::IngestEngine engine(options);
+  if (auto s = engine.open(); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  double engine_s = 0.0;
+  {
+    std::vector<std::vector<tsdb::Point>> streams;
+    for (std::size_t p = 0; p < producers; ++p) {
+      streams.push_back(ingest_bench_stream(p, per_producer));
+    }
+    const auto start = Clock::now();
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&engine, &stream = streams[p], batch_size] {
+        for (std::size_t begin = 0; begin < stream.size();
+             begin += batch_size) {
+          const std::size_t end = std::min(stream.size(), begin + batch_size);
+          std::vector<tsdb::Point> batch(
+              std::make_move_iterator(stream.begin() +
+                                      static_cast<std::ptrdiff_t>(begin)),
+              std::make_move_iterator(stream.begin() +
+                                      static_cast<std::ptrdiff_t>(end)));
+          (void)engine.submit(std::move(batch));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    (void)engine.flush();
+    engine_s = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  if (engine.point_count() != baseline_db.point_count()) {
+    std::fprintf(stderr, "point count mismatch: engine %zu vs baseline %zu\n",
+                 engine.point_count(), baseline_db.point_count());
+    return 1;
+  }
+
+  const double written = static_cast<double>(per_producer * producers);
+  const double base_tput = written / base_s;
+  const double engine_tput = written / engine_s;
+  std::printf("points: %zu   shards: %d   batch: %zu   producers: %zu\n",
+              per_producer * producers, shards, batch_size, producers);
+  std::printf("%-34s %10.2fs %12.0f points/s\n",
+              "per-point TimeSeriesDb::write", base_s, base_tput);
+  std::printf("%-34s %10.2fs %12.0f points/s\n", "ingest engine (batched)",
+              engine_s, engine_tput);
+  std::printf("speedup: %.1fx\n", engine_tput / base_tput);
+  const auto stats = engine.stats();
+  std::printf("engine: %llu batches, max queue depth %zu, %llu blocked\n",
+              static_cast<unsigned long long>(stats.submitted_batches),
+              stats.max_queue_depth,
+              static_cast<unsigned long long>(stats.blocked_submits));
+  engine.close();
   return 0;
 }
 
@@ -418,5 +560,6 @@ int main(int argc, char** argv) {
   if (command == "cluster") return cmd_cluster(argc, argv);
   if (command == "record") return cmd_record(argc, argv);
   if (command == "replay") return cmd_replay(argc, argv);
+  if (command == "ingest-bench") return cmd_ingest_bench(argc, argv);
   return usage();
 }
