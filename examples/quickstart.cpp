@@ -56,8 +56,10 @@ int main() {
   dashboard::ViewBuilder builder(&kb);
   const auto* cpu0 = kb.root().find_by_name("cpu0");
   auto focus = builder.focus_view(kb.dtmi_for(*cpu0).value());
+  // Rendering through the query engine caches each panel's result until the
+  // next write to its measurement.
   std::printf("\n%s\n",
-              render_dashboard(*focus, daemon.timeseries(), 48).c_str());
+              render_dashboard(*focus, daemon.query_engine(), 48).c_str());
 
   // Scenario B: profile one kernel execution with PMU sampling.
   core::ScenarioBRequest request;
@@ -81,10 +83,13 @@ int main() {
   std::printf("Scenario B observation %s\n", observation->tag.c_str());
   std::printf("report: %s\n", observation->report.dump_pretty().c_str());
   std::printf("\nauto-generated queries (Listing 3):\n");
-  for (const auto& query : observation->generate_queries()) {
-    auto result = daemon.timeseries().query(query);
-    std::printf("  %s  -> %zu rows\n", query.c_str(),
-                result.has_value() ? result->rows.size() : 0u);
+  for (const auto& query : observation->generate_typed_queries()) {
+    const std::size_t rows =
+        daemon.query_engine()
+            .run(query)
+            .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
+            .value_or(0);
+    std::printf("  %s  -> %zu rows\n", query.to_string().c_str(), rows);
   }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "query/plan.hpp"
+
 namespace pmove::analysis {
 
 std::vector<std::pair<std::size_t, double>> score_series(
@@ -32,10 +34,10 @@ Expected<std::vector<Anomaly>> detect_anomalies(
     const tsdb::TimeSeriesDb& db, std::string_view measurement,
     std::string_view field, std::string_view tag,
     const AnomalyConfig& config) {
-  std::string query = "SELECT \"" + std::string(field) + "\" FROM \"" +
-                      std::string(measurement) + "\"";
-  if (!tag.empty()) query += " WHERE tag=\"" + std::string(tag) + "\"";
-  auto result = db.query(query);
+  query::QueryBuilder builder{std::string(measurement)};
+  builder.select(std::string(field));
+  if (!tag.empty()) builder.where_tag("tag", std::string(tag));
+  auto result = query::run(db, std::move(builder).build());
   if (!result) return result.status();
   std::vector<TimeNs> times;
   std::vector<double> values;

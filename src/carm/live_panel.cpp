@@ -6,6 +6,7 @@
 
 #include "carm/microbench.hpp"
 #include "kb/ids.hpp"
+#include "query/plan.hpp"
 
 namespace pmove::carm {
 
@@ -62,9 +63,11 @@ Expected<std::vector<LivePoint>> LiveCarmPanel::points_from_observation(
   // Per event: time -> sum of per-CPU delta fields.
   std::map<std::string, std::map<TimeNs, double>> series;
   for (const auto& event : *events) {
-    const std::string query = "SELECT * FROM \"" + kb::hw_measurement(event) +
-                              "\" WHERE tag=\"" + observation.tag + "\"";
-    auto result = db.query(query);
+    auto result =
+        query::run(db, query::QueryBuilder(kb::hw_measurement(event))
+                           .select_all()
+                           .where_tag("tag", observation.tag)
+                           .build());
     if (!result) return result.status();
     auto& per_time = series[event];
     for (const auto& row : result->rows) {

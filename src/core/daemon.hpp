@@ -28,6 +28,7 @@
 #include "kb/ids.hpp"
 #include "kb/kb.hpp"
 #include "pmu/pmu.hpp"
+#include "query/engine.hpp"
 #include "sampler/live.hpp"
 #include "sampler/session.hpp"
 #include "tsdb/db.hpp"
@@ -89,6 +90,11 @@ class Daemon {
   [[nodiscard]] kb::KnowledgeBase& knowledge_base() { return *kb_; }
   [[nodiscard]] tsdb::TimeSeriesDb& timeseries() { return ts_; }
   [[nodiscard]] const tsdb::TimeSeriesDb& timeseries() const { return ts_; }
+
+  /// Read path over timeseries(): cached, pushdown-capable query execution.
+  /// Dashboard refreshes and analysis queries should go through this rather
+  /// than scanning the TSDB directly.
+  [[nodiscard]] query::QueryEngine& query_engine() { return engine_; }
   [[nodiscard]] docdb::DocumentStore& documents() { return docs_; }
   [[nodiscard]] const abstraction::AbstractionLayer& abstraction_layer()
       const {
@@ -161,6 +167,7 @@ class Daemon {
   abstraction::AbstractionLayer layer_;
   docdb::DocumentStore docs_;
   tsdb::TimeSeriesDb ts_;
+  query::QueryEngine engine_{ts_};  ///< cached read path over ts_
   std::unique_ptr<ingest::IngestEngine> ingest_;  ///< fronts ts_ when enabled
   std::optional<kb::KnowledgeBase> kb_;
   kb::UuidGenerator uuids_;

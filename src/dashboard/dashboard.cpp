@@ -38,6 +38,17 @@ Expected<Target> Target::from_json(const json::Value& doc) {
   return target;
 }
 
+query::Query Target::to_typed_query() const {
+  query::QueryBuilder builder(measurement);
+  if (params.empty()) {
+    builder.select_all();
+  } else {
+    builder.select(params);
+  }
+  if (!tag.empty()) builder.where_tag("tag", tag);
+  return std::move(builder).build();
+}
+
 std::string Target::to_query() const {
   std::string query = "SELECT ";
   query += params.empty() ? "*" : "\"" + params + "\"";

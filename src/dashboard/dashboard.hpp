@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "json/value.hpp"
+#include "query/query.hpp"
 #include "util/status.hpp"
 
 namespace pmove::dashboard {
@@ -25,7 +26,11 @@ struct Target {
   [[nodiscard]] json::Value to_json() const;
   static Expected<Target> from_json(const json::Value& doc);
 
-  /// The TSDB query this target executes.
+  /// The typed query this target executes (what the renderer runs).
+  [[nodiscard]] query::Query to_typed_query() const;
+
+  /// Same query as InfluxQL text, for display/export (Grafana panel JSON
+  /// carries the raw query string).
   [[nodiscard]] std::string to_query() const;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "query/plan.hpp"
 #include "tsdb/db.hpp"
 #include "util/strings.hpp"
 
@@ -174,37 +175,57 @@ std::string sparkline(const std::vector<double>& values, int width) {
   return out;
 }
 
-}  // namespace
+/// Per-row sum of the non-NaN value columns — the scalar each sparkline
+/// column is built from.
+std::vector<double> row_values(const Expected<tsdb::QueryResult>& result) {
+  std::vector<double> values;
+  if (!result) return values;
+  for (const auto& row : result->rows) {
+    double sum = 0.0;
+    bool have = false;
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      if (!std::isnan(row[i])) {
+        sum += row[i];
+        have = true;
+      }
+    }
+    if (have) values.push_back(sum);
+  }
+  return values;
+}
 
-std::string render_dashboard(const Dashboard& dashboard,
-                             const tsdb::TimeSeriesDb& db, int width) {
+template <typename RunQuery>
+std::string render_impl(const Dashboard& dashboard, int width,
+                        RunQuery&& run_query) {
   std::string out = "== " +
                     (dashboard.title.empty() ? "dashboard" : dashboard.title) +
                     " ==\n";
   for (const auto& panel : dashboard.panels) {
     out += "[" + std::to_string(panel.id) + "] " + panel.title + "\n";
     for (const auto& target : panel.targets) {
-      auto result = db.query(target.to_query());
-      std::vector<double> values;
-      if (result) {
-        for (const auto& row : result->rows) {
-          double sum = 0.0;
-          bool have = false;
-          for (std::size_t i = 1; i < row.size(); ++i) {
-            if (!std::isnan(row[i])) {
-              sum += row[i];
-              have = true;
-            }
-          }
-          if (have) values.push_back(sum);
-        }
-      }
+      std::vector<double> values = row_values(run_query(target.to_typed_query()));
       out += "  " + target.measurement +
              (target.params.empty() ? "" : "[" + target.params + "]") + "\n";
       out += "  |" + sparkline(values, width) + "|\n";
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string render_dashboard(const Dashboard& dashboard,
+                             const tsdb::TimeSeriesDb& db, int width) {
+  return render_impl(dashboard, width, [&db](const query::Query& q) {
+    return query::run(db, q);
+  });
+}
+
+std::string render_dashboard(const Dashboard& dashboard,
+                             query::QueryEngine& engine, int width) {
+  return render_impl(dashboard, width, [&engine](const query::Query& q) {
+    return engine.run(q);
+  });
 }
 
 }  // namespace pmove::dashboard

@@ -11,6 +11,7 @@
 
 #include "dashboard/dashboard.hpp"
 #include "kb/kb.hpp"
+#include "query/engine.hpp"
 #include "topology/component.hpp"
 #include "tsdb/db.hpp"
 #include "util/status.hpp"
@@ -52,8 +53,15 @@ Expected<Dashboard> cross_system_level_view(
     topology::ComponentKind kind, std::string_view metric);
 
 /// Executes every target of every panel against `db` and renders ASCII
-/// sparklines (the Grafana plugin's role).
+/// sparklines (the Grafana plugin's role).  Targets run as typed queries —
+/// no per-refresh parsing.
 std::string render_dashboard(const Dashboard& dashboard,
                              const tsdb::TimeSeriesDb& db, int width = 60);
+
+/// Same rendering through a QueryEngine: repeated refreshes of an unchanged
+/// dashboard hit the engine's result cache and downsample pushdowns instead
+/// of rescanning the storage tier.
+std::string render_dashboard(const Dashboard& dashboard,
+                             query::QueryEngine& engine, int width = 60);
 
 }  // namespace pmove::dashboard

@@ -170,12 +170,6 @@ Status IngestEngine::submit_with_timeout(Batch batch, TimeNs timeout_ns) {
   return submit_internal(std::move(batch), SubmitMode::kTimeout, timeout_ns);
 }
 
-Status IngestEngine::write(tsdb::Point point) {
-  Batch batch;
-  batch.push_back(std::move(point));
-  return submit(std::move(batch));
-}
-
 Status IngestEngine::write_batch(Batch points) {
   return submit(std::move(points));
 }

@@ -133,8 +133,8 @@ class IngestEngine final : public tsdb::PointSink {
   /// Line-protocol entry point: decodes once, then submit().
   Status submit_lines(std::string_view text);
 
-  // PointSink: lets samplers target the engine transparently.
-  Status write(tsdb::Point point) override;
+  // PointSink: lets samplers target the engine transparently (single
+  // points arrive through the base-class write() convenience).
   Status write_batch(std::vector<tsdb::Point> points) override;
 
   /// Blocks until every queued and spilled batch has been applied.

@@ -97,4 +97,16 @@ std::vector<std::string> TripleStore::subjects_where(
   return out;
 }
 
+std::vector<query::Query> TripleStore::telemetry_queries(
+    std::string_view dtmi, std::string_view tag) const {
+  std::vector<query::Query> out;
+  for (const Triple& triple : match(dtmi, "telemetry", "?")) {
+    query::QueryBuilder builder(triple.object);
+    builder.select_all();
+    if (!tag.empty()) builder.where_tag("tag", std::string(tag));
+    out.push_back(std::move(builder).build());
+  }
+  return out;
+}
+
 }  // namespace pmove::kb

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kb/kb.hpp"
+#include "query/query.hpp"
 #include "util/status.hpp"
 
 namespace pmove::kb {
@@ -58,6 +60,14 @@ class TripleStore {
   /// subjects_where("property:kind", "cache").
   [[nodiscard]] std::vector<std::string> subjects_where(
       std::string_view predicate, std::string_view object) const;
+
+  /// Typed retrieval queries for every telemetry measurement linked to
+  /// `dtmi` ("queries for advanced analysis" generated from the encoded
+  /// knowledge): one SELECT * per (dtmi, "telemetry", <DBName>) triple,
+  /// filtered by `tag` when non-empty.  Ready for query::run /
+  /// QueryEngine::run.
+  [[nodiscard]] std::vector<query::Query> telemetry_queries(
+      std::string_view dtmi, std::string_view tag = "") const;
 
  private:
   std::vector<Triple> triples_;

@@ -104,6 +104,23 @@ Expected<ObservationInterface> ObservationInterface::from_json(
   return obs;
 }
 
+std::vector<query::Query> ObservationInterface::generate_typed_queries()
+    const {
+  std::vector<query::Query> queries;
+  queries.reserve(metrics.size());
+  for (const auto& metric : metrics) {
+    query::QueryBuilder builder(metric.db_name);
+    if (metric.fields.empty()) {
+      builder.select_all();
+    } else {
+      for (const auto& field : metric.fields) builder.select(field);
+    }
+    builder.where_tag("tag", tag);
+    queries.push_back(std::move(builder).build());
+  }
+  return queries;
+}
+
 std::vector<std::string> ObservationInterface::generate_queries() const {
   std::vector<std::string> queries;
   queries.reserve(metrics.size());

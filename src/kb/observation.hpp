@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "json/value.hpp"
+#include "query/query.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -45,7 +46,11 @@ struct ObservationInterface {
   [[nodiscard]] json::Value to_json() const;
   static Expected<ObservationInterface> from_json(const json::Value& doc);
 
-  /// The auto-generated retrieval queries, one per metric (Listing 3):
+  /// The auto-generated retrieval queries, one per metric (Listing 3), as
+  /// typed Query values ready for query::run / QueryEngine::run.
+  [[nodiscard]] std::vector<query::Query> generate_typed_queries() const;
+
+  /// Listing-3 text form of generate_typed_queries():
   ///   SELECT "_cpu0", "_cpu1" FROM "measurement" WHERE tag="<uuid>"
   [[nodiscard]] std::vector<std::string> generate_queries() const;
 };

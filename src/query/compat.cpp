@@ -1,0 +1,20 @@
+// Legacy string read path, kept as a thin parse-then-run wrapper over the
+// query module.  The declarations stay in tsdb/db.hpp (so existing callers
+// compile unchanged) but the definitions live here: pmove_query depends on
+// pmove_tsdb, not the other way round, and only binaries that still use the
+// string entry points pay for the link.
+#include "query/plan.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::tsdb {
+
+Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
+  return pmove::query::run(*this, text);
+}
+
+Expected<QueryResult> query_sharded(
+    const std::vector<const TimeSeriesDb*>& shards, std::string_view text) {
+  return pmove::query::run_sharded(shards, text);
+}
+
+}  // namespace pmove::tsdb

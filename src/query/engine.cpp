@@ -1,0 +1,266 @@
+#include "query/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace pmove::query {
+
+namespace {
+
+/// True when `bound` is an open bound or lands exactly on a window edge
+/// (start for the lower bound, end-1 for the upper).  Negative bounds are
+/// conservatively rejected — raw scans handle them.
+bool aligned_lower(TimeNs bound, TimeNs window) {
+  if (bound == std::numeric_limits<TimeNs>::min()) return true;
+  return bound >= 0 && bound % window == 0;
+}
+
+bool aligned_upper(TimeNs bound, TimeNs window) {
+  if (bound == std::numeric_limits<TimeNs>::max()) return true;
+  return bound >= 0 && (bound + 1) % window == 0;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(tsdb::TimeSeriesDb& db, EngineOptions options)
+    : db_(db), options_(options), cache_(options.cache_capacity) {}
+
+Expected<tsdb::QueryResult> QueryEngine::run(std::string_view text) {
+  auto parsed = Query::parse(text);
+  if (!parsed) return parsed.status();
+  return run(parsed.value());
+}
+
+Expected<tsdb::QueryResult> QueryEngine::run(const Query& q) {
+  Plan plan = make_plan(q);
+  int rule_index = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.queries;
+    if (cache_.capacity() > 0) {
+      if (const ResultCache::Entry* entry = cache_.get(plan.cache_key)) {
+        // Valid while the scanned measurement's epoch is unchanged.  The
+        // epoch was read *before* the scan, so a racing write can only make
+        // the tag stale (miss), never the data.
+        if (entry->epoch != 0 &&
+            db_.write_epoch(entry->measurement) == entry->epoch) {
+          ++stats_.cache_hits;
+          return entry->result;
+        }
+      }
+    }
+    ++stats_.cache_misses;
+    if (options_.enable_pushdown && plan.kind == PlanKind::kGroupedAggregate) {
+      rule_index = match_rule(q);
+    }
+  }
+
+  // Execute outside the engine lock: scans run under the DB's shared lock
+  // so concurrent panels proceed in parallel.
+  std::string scanned = q.measurement;
+  std::uint64_t epoch = 0;
+  std::optional<tsdb::QueryResult> pushed;
+  if (rule_index >= 0) {
+    DownsampleRule rule;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      rule = rules_[static_cast<std::size_t>(rule_index)];
+    }
+    epoch = db_.write_epoch(rule.target_measurement);
+    pushed = run_pushdown(q, rule);
+    if (pushed.has_value()) scanned = rule.target_measurement;
+  }
+
+  Expected<tsdb::QueryResult> result = Status::internal("unreachable");
+  if (pushed.has_value()) {
+    result = std::move(*pushed);
+  } else {
+    epoch = db_.write_epoch(q.measurement);
+    result = query::run(db_, q);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rule_index >= 0) {
+      if (scanned == q.measurement) {
+        ++stats_.pushdown_fallbacks;
+      } else {
+        ++stats_.pushdown_hits;
+      }
+    }
+    if (result.has_value() && cache_.capacity() > 0 && epoch != 0) {
+      cache_.put(plan.cache_key,
+                 {result.value(), std::move(scanned), epoch});
+      stats_.cache_evictions = cache_.evictions();
+    }
+  }
+  return result;
+}
+
+Status QueryEngine::register_downsample(DownsampleRule rule) {
+  if (rule.source_measurement.empty()) {
+    return Status::invalid_argument("downsample rule needs a source");
+  }
+  if (rule.aggregate == Aggregate::kNone) {
+    return Status::invalid_argument("downsample rule needs an aggregate");
+  }
+  if (rule.window_ns <= 0) {
+    return Status::invalid_argument("downsample window must be positive");
+  }
+  if (rule.target_measurement.empty()) {
+    rule.target_measurement = rule.source_measurement + "_" +
+                              std::string(to_string(rule.aggregate)) + "_" +
+                              std::to_string(rule.window_ns) + "ns";
+  }
+  if (rule.target_measurement == rule.source_measurement) {
+    return Status::invalid_argument(
+        "downsample target must differ from source");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const DownsampleRule& existing : rules_) {
+    if (existing.target_measurement == rule.target_measurement) {
+      return Status::already_exists("downsample target already registered: " +
+                                    rule.target_measurement);
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return Status::ok();
+}
+
+std::vector<DownsampleRule> QueryEngine::downsamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rules_;
+}
+
+Status QueryEngine::materialize_downsamples() {
+  std::vector<DownsampleRule> rules;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules = rules_;
+  }
+  for (const DownsampleRule& rule : rules) {
+    if (Status s = materialize(rule); !s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Status QueryEngine::materialize(const DownsampleRule& rule) {
+  auto raw = db_.collect(rule.source_measurement,
+                         std::numeric_limits<TimeNs>::min(),
+                         std::numeric_limits<TimeNs>::max(), {});
+  // Partition by tag set, preserving time order within each set — the same
+  // order the raw evaluator gathers values in when one tag set matches, so
+  // the reduced doubles are bit-for-bit identical.
+  std::map<std::map<std::string, std::string>,
+           std::vector<const tsdb::Point*>>
+      groups;
+  for (const tsdb::Point& p : raw) groups[p.tags].push_back(&p);
+
+  std::vector<tsdb::Point> out;
+  for (const auto& [tags, points] : groups) {
+    std::map<TimeNs, std::vector<const tsdb::Point*>> buckets;
+    for (const tsdb::Point* p : points) {
+      TimeNs bucket = p->time / rule.window_ns * rule.window_ns;
+      if (p->time < 0 && p->time % rule.window_ns != 0) {
+        bucket -= rule.window_ns;  // floor for negative timestamps
+      }
+      buckets[bucket].push_back(p);
+    }
+    for (const auto& [bucket, bucket_points] : buckets) {
+      tsdb::Point target;
+      target.measurement = rule.target_measurement;
+      target.tags = tags;
+      target.time = bucket;
+      std::vector<std::string> fields;
+      for (const tsdb::Point* p : bucket_points) {
+        for (const auto& [name, value] : p->fields) {
+          if (std::find(fields.begin(), fields.end(), name) ==
+              fields.end()) {
+            fields.push_back(name);
+          }
+        }
+      }
+      for (const std::string& field : fields) {
+        std::vector<double> values;
+        std::vector<TimeNs> times;
+        for (const tsdb::Point* p : bucket_points) {
+          auto it = p->fields.find(field);
+          if (it != p->fields.end()) {
+            values.push_back(it->second);
+            times.push_back(p->time);
+          }
+        }
+        target.fields[field] = aggregate(rule.aggregate, values, times);
+      }
+      out.push_back(std::move(target));
+    }
+  }
+  db_.drop_measurement(rule.target_measurement);
+  if (out.empty()) return Status::ok();
+  return db_.write_batch(std::move(out));
+}
+
+int QueryEngine::match_rule(const Query& q) const {
+  if (q.select_all || q.selectors.empty() || q.group_interval <= 0) {
+    return -1;
+  }
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const DownsampleRule& rule = rules_[i];
+    if (rule.source_measurement != q.measurement) continue;
+    if (rule.window_ns != q.group_interval) continue;
+    if (!aligned_lower(q.time_min, rule.window_ns)) continue;
+    if (!aligned_upper(q.time_max, rule.window_ns)) continue;
+    const bool all_match = std::all_of(
+        q.selectors.begin(), q.selectors.end(),
+        [&rule](const Selector& s) { return s.aggregate == rule.aggregate; });
+    if (all_match) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<tsdb::QueryResult> QueryEngine::run_pushdown(
+    const Query& q, const DownsampleRule& rule) const {
+  if (!db_.has_measurement(rule.target_measurement)) return std::nullopt;
+  auto points = db_.collect(rule.target_measurement, q.time_min, q.time_max,
+                            q.tag_filters);
+  if (points.empty()) return std::nullopt;
+  // Raw evaluation merges every matching tag set into one bucket row; the
+  // target holds one point per (window, tag set).  Two target points in the
+  // same window therefore mean the raw scan would have combined values the
+  // downsample already reduced separately — fall back.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].time == points[i - 1].time) return std::nullopt;
+  }
+  tsdb::QueryResult result;
+  result.columns.emplace_back("time");
+  for (const Selector& sel : q.selectors) {
+    result.columns.push_back(sel.label());
+  }
+  result.rows.reserve(points.size());
+  for (const tsdb::Point& p : points) {
+    std::vector<double> row;
+    row.reserve(q.selectors.size() + 1);
+    row.push_back(static_cast<double>(p.time));
+    for (const Selector& sel : q.selectors) {
+      auto it = p.fields.find(sel.field);
+      row.push_back(it == p.fields.end() ? std::nan("") : it->second);
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void QueryEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace pmove::query

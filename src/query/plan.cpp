@@ -1,0 +1,211 @@
+#include "query/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace pmove::query {
+
+Plan make_plan(Query query) {
+  Plan plan;
+  plan.cache_key = query.to_string();
+  if (query.group_interval > 0) {
+    plan.kind = PlanKind::kGroupedAggregate;
+  } else if (query.aggregated()) {
+    plan.kind = PlanKind::kAggregate;
+  } else {
+    plan.kind = PlanKind::kRawScan;
+  }
+  plan.query = std::move(query);
+  return plan;
+}
+
+double aggregate(Aggregate agg, const std::vector<double>& values,
+                 const std::vector<TimeNs>& times) {
+  if (values.empty()) return std::nan("");
+  if (agg == Aggregate::kCount) return static_cast<double>(values.size());
+  if (agg == Aggregate::kMin) {
+    return *std::min_element(values.begin(), values.end());
+  }
+  if (agg == Aggregate::kMax) {
+    return *std::max_element(values.begin(), values.end());
+  }
+  if (agg == Aggregate::kFirst) {
+    auto idx = std::min_element(times.begin(), times.end()) - times.begin();
+    return values[static_cast<std::size_t>(idx)];
+  }
+  if (agg == Aggregate::kLast) {
+    auto idx = std::max_element(times.begin(), times.end()) - times.begin();
+    return values[static_cast<std::size_t>(idx)];
+  }
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  if (agg == Aggregate::kSum) return sum;
+  const double mean = sum / static_cast<double>(values.size());
+  if (agg == Aggregate::kMean) return mean;
+  if (agg == Aggregate::kStddev) {
+    if (values.size() < 2) return 0.0;
+    double acc = 0.0;
+    for (double v : values) acc += (v - mean) * (v - mean);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+  }
+  return std::nan("");
+}
+
+Expected<tsdb::QueryResult> execute(const Plan& plan,
+                                    const std::vector<tsdb::Point>& matches) {
+  const Query& q = plan.query;
+  // Resolve SELECT * into the union of field names, sorted.
+  std::vector<Selector> selectors = q.selectors;
+  if (q.select_all) {
+    std::vector<std::string> fields;
+    for (const tsdb::Point& p : matches) {
+      for (const auto& [k, v] : p.fields) {
+        if (std::find(fields.begin(), fields.end(), k) == fields.end()) {
+          fields.push_back(k);
+        }
+      }
+    }
+    std::sort(fields.begin(), fields.end());
+    for (auto& f : fields) {
+      selectors.push_back({std::move(f), Aggregate::kNone});
+    }
+  }
+
+  tsdb::QueryResult result;
+  result.columns.emplace_back("time");
+  for (const auto& sel : selectors) result.columns.push_back(sel.label());
+
+  const bool any_aggregate = std::any_of(
+      selectors.begin(), selectors.end(),
+      [](const Selector& s) { return s.aggregate != Aggregate::kNone; });
+  if (q.group_interval > 0) {
+    if (!any_aggregate) {
+      return Status::parse_error(
+          "GROUP BY time() requires aggregate selectors");
+    }
+    for (const auto& sel : selectors) {
+      if (sel.aggregate == Aggregate::kNone) {
+        return Status::parse_error(
+            "cannot mix raw fields with aggregates in one query");
+      }
+    }
+    // Bucket matches by floor(time / interval); one row per non-empty
+    // bucket, stamped with the bucket start.
+    std::map<TimeNs, std::vector<const tsdb::Point*>> buckets;
+    for (const tsdb::Point& p : matches) {
+      TimeNs bucket = p.time / q.group_interval * q.group_interval;
+      if (p.time < 0 && p.time % q.group_interval != 0) {
+        bucket -= q.group_interval;  // floor for negative timestamps
+      }
+      buckets[bucket].push_back(&p);
+    }
+    for (const auto& [bucket, points] : buckets) {
+      std::vector<double> row;
+      row.push_back(static_cast<double>(bucket));
+      for (const auto& sel : selectors) {
+        std::vector<double> values;
+        std::vector<TimeNs> times;
+        for (const tsdb::Point* p : points) {
+          auto field = p->fields.find(sel.field);
+          if (field != p->fields.end()) {
+            values.push_back(field->second);
+            times.push_back(p->time);
+          }
+        }
+        row.push_back(aggregate(sel.aggregate, values, times));
+      }
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+  if (any_aggregate) {
+    std::vector<double> row;
+    row.push_back(matches.empty()
+                      ? 0.0
+                      : static_cast<double>(matches.back().time));
+    for (const auto& sel : selectors) {
+      if (sel.aggregate == Aggregate::kNone) {
+        return Status::parse_error(
+            "cannot mix raw fields with aggregates in one query");
+      }
+      std::vector<double> values;
+      std::vector<TimeNs> times;
+      for (const tsdb::Point& p : matches) {
+        auto field = p.fields.find(sel.field);
+        if (field != p.fields.end()) {
+          values.push_back(field->second);
+          times.push_back(p.time);
+        }
+      }
+      row.push_back(aggregate(sel.aggregate, values, times));
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+
+  result.rows.reserve(matches.size());
+  for (const tsdb::Point& p : matches) {
+    std::vector<double> row;
+    row.reserve(selectors.size() + 1);
+    row.push_back(static_cast<double>(p.time));
+    for (const auto& sel : selectors) {
+      auto field = p.fields.find(sel.field);
+      row.push_back(field == p.fields.end() ? std::nan("") : field->second);
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db,
+                                const Query& q) {
+  if (!db.has_measurement(q.measurement)) {
+    return Status::not_found("measurement not found: " + q.measurement);
+  }
+  return execute(make_plan(q),
+                 db.collect(q.measurement, q.time_min, q.time_max,
+                            q.tag_filters));
+}
+
+Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db,
+                                std::string_view text) {
+  auto parsed = Query::parse(text);
+  if (!parsed) return parsed.status();
+  return run(db, parsed.value());
+}
+
+Expected<tsdb::QueryResult> run_sharded(
+    const std::vector<const tsdb::TimeSeriesDb*>& shards, const Query& q) {
+  bool found = false;
+  std::vector<tsdb::Point> matches;
+  for (const tsdb::TimeSeriesDb* shard : shards) {
+    if (shard == nullptr || !shard->has_measurement(q.measurement)) continue;
+    found = true;
+    auto part =
+        shard->collect(q.measurement, q.time_min, q.time_max, q.tag_filters);
+    matches.insert(matches.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  if (!found) {
+    return Status::not_found("measurement not found: " + q.measurement);
+  }
+  // Each shard slice is time-ordered; the union is not.  Stable sort keeps
+  // shard-internal arrival order among equal timestamps.
+  std::stable_sort(
+      matches.begin(), matches.end(),
+      [](const tsdb::Point& a, const tsdb::Point& b) {
+        return a.time < b.time;
+      });
+  return execute(make_plan(q), matches);
+}
+
+Expected<tsdb::QueryResult> run_sharded(
+    const std::vector<const tsdb::TimeSeriesDb*>& shards,
+    std::string_view text) {
+  auto parsed = Query::parse(text);
+  if (!parsed) return parsed.status();
+  return run_sharded(shards, parsed.value());
+}
+
+}  // namespace pmove::query

@@ -1,0 +1,65 @@
+// Plan + execute stages of the read path (parse → plan → execute).
+//
+// `make_plan` turns a typed Query into a Plan: the execution strategy
+// (raw scan / single aggregate row / grouped aggregation) plus the
+// canonical cache key.  `execute` evaluates a plan over the matching
+// points; it is the one evaluator shared by the single-DB path, the
+// sharded path, the QueryEngine's cached path, and downsample
+// materialization — which is what makes pushdown answers bit-for-bit
+// identical to raw scans.
+//
+// Data-dependent validation (SELECT * resolution, the raw/aggregate mixing
+// rules) happens inside execute(), exactly where the seed's monolithic
+// query() performed it, so error behaviour is unchanged.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "query/query.hpp"
+#include "tsdb/db.hpp"
+
+namespace pmove::query {
+
+enum class PlanKind {
+  kRawScan,            ///< raw field rows, one per matching point
+  kAggregate,          ///< one aggregate row over all matches
+  kGroupedAggregate,   ///< one aggregate row per time bucket
+};
+
+struct Plan {
+  Query query;
+  PlanKind kind = PlanKind::kRawScan;
+  /// Canonical query text (Query::to_string); the result-cache key.
+  std::string cache_key;
+};
+
+/// Builds the plan for a query.  Never fails: kind is derived from the
+/// declared selectors, and the remaining validation is data-dependent.
+Plan make_plan(Query query);
+
+/// Aggregates `values` (gathered in time order, with `times` parallel to
+/// it).  Empty input yields NaN; stddev of fewer than two values is 0.
+double aggregate(Aggregate agg, const std::vector<double>& values,
+                 const std::vector<TimeNs>& times);
+
+/// Evaluates a plan over the matching points (already tag/time-filtered
+/// and in time order).
+Expected<tsdb::QueryResult> execute(const Plan& plan,
+                                    const std::vector<tsdb::Point>& matches);
+
+/// Parse-free typed execution against one DB: collect + execute.  This is
+/// the uncached read path the deprecated TimeSeriesDb::query() wraps.
+Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db, const Query& q);
+Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db,
+                                std::string_view text);
+
+/// Typed execution across shard DBs, merged in time order so results are
+/// identical to a single-DB query over the union.
+Expected<tsdb::QueryResult> run_sharded(
+    const std::vector<const tsdb::TimeSeriesDb*>& shards, const Query& q);
+Expected<tsdb::QueryResult> run_sharded(
+    const std::vector<const tsdb::TimeSeriesDb*>& shards,
+    std::string_view text);
+
+}  // namespace pmove::query

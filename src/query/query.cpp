@@ -1,0 +1,295 @@
+#include "query/query.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace pmove::query {
+
+namespace {
+
+constexpr Aggregate kAggregates[] = {
+    Aggregate::kMean,   Aggregate::kMin,   Aggregate::kMax,
+    Aggregate::kSum,    Aggregate::kCount, Aggregate::kStddev,
+    Aggregate::kFirst,  Aggregate::kLast,
+};
+
+std::string strip_quotes(std::string_view s) {
+  s = strings::trim(s);
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                        (s.front() == '\'' && s.back() == '\''))) {
+    return std::string(s.substr(1, s.size() - 2));
+  }
+  return std::string(s);
+}
+
+// Case-insensitive search for a keyword surrounded by word boundaries.
+std::size_t find_keyword(std::string_view text, std::string_view keyword) {
+  const std::string lower = strings::to_lower(text);
+  const std::string key = strings::to_lower(keyword);
+  std::size_t pos = 0;
+  while ((pos = lower.find(key, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || std::isspace(static_cast<unsigned char>(
+                                         lower[pos - 1]));
+    const std::size_t end = pos + key.size();
+    const bool right_ok =
+        end >= lower.size() ||
+        std::isspace(static_cast<unsigned char>(lower[end]));
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+Expected<Selector> parse_selector(std::string_view text) {
+  text = strings::trim(text);
+  std::size_t open = text.find('(');
+  if (open != std::string_view::npos && text.back() == ')') {
+    Selector sel;
+    const std::string name =
+        strings::to_lower(strings::trim(text.substr(0, open)));
+    auto aggregate = parse_aggregate(name);
+    if (!aggregate) return aggregate.status();
+    sel.aggregate = aggregate.value();
+    sel.field = strip_quotes(text.substr(open + 1, text.size() - open - 2));
+    if (sel.field.empty()) {
+      return Status::parse_error("aggregate needs a field: " + name + "()");
+    }
+    return sel;
+  }
+  Selector sel;
+  sel.field = strip_quotes(text);
+  return sel;
+}
+
+}  // namespace
+
+std::string_view to_string(Aggregate aggregate) {
+  switch (aggregate) {
+    case Aggregate::kNone:
+      return "";
+    case Aggregate::kMean:
+      return "mean";
+    case Aggregate::kMin:
+      return "min";
+    case Aggregate::kMax:
+      return "max";
+    case Aggregate::kSum:
+      return "sum";
+    case Aggregate::kCount:
+      return "count";
+    case Aggregate::kStddev:
+      return "stddev";
+    case Aggregate::kFirst:
+      return "first";
+    case Aggregate::kLast:
+      return "last";
+  }
+  return "";
+}
+
+Expected<Aggregate> parse_aggregate(std::string_view name) {
+  for (Aggregate agg : kAggregates) {
+    if (name == to_string(agg)) return agg;
+  }
+  return Status::parse_error("unknown aggregate function: " +
+                             std::string(name));
+}
+
+std::string Selector::label() const {
+  if (aggregate == Aggregate::kNone) return field;
+  return std::string(query::to_string(aggregate)) + "(" + field + ")";
+}
+
+bool Query::aggregated() const {
+  for (const Selector& sel : selectors) {
+    if (sel.aggregate != Aggregate::kNone) return true;
+  }
+  return false;
+}
+
+Expected<Query> Query::parse(std::string_view text) {
+  Query q;
+  text = strings::trim(text);
+  const std::size_t select_pos = find_keyword(text, "select");
+  if (select_pos != 0) {
+    return Status::parse_error("query must start with SELECT");
+  }
+  const std::size_t from_pos = find_keyword(text, "from");
+  if (from_pos == std::string::npos) {
+    return Status::parse_error("query missing FROM clause");
+  }
+  std::string_view select_clause =
+      strings::trim(text.substr(6, from_pos - 6));
+  if (select_clause == "*") {
+    q.select_all = true;
+  } else {
+    // Split selectors on commas outside parentheses.
+    int depth = 0;
+    std::string current;
+    auto flush = [&]() -> Status {
+      if (strings::trim(current).empty()) {
+        return Status::parse_error("empty selector in SELECT list");
+      }
+      auto sel = parse_selector(current);
+      if (!sel) return sel.status();
+      q.selectors.push_back(std::move(sel.value()));
+      current.clear();
+      return Status::ok();
+    };
+    for (char c : select_clause) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ',' && depth == 0) {
+        if (Status s = flush(); !s.is_ok()) return s;
+      } else {
+        current += c;
+      }
+    }
+    if (Status s = flush(); !s.is_ok()) return s;
+  }
+
+  std::string_view rest = text.substr(from_pos + 4);
+  // GROUP BY time(<N><unit>) — trailing clause, stripped first.
+  const std::size_t group_pos = find_keyword(rest, "group");
+  if (group_pos != std::string::npos) {
+    std::string_view clause = strings::trim(rest.substr(group_pos + 5));
+    if (find_keyword(clause, "by") != 0) {
+      return Status::parse_error("expected BY after GROUP");
+    }
+    clause = strings::trim(clause.substr(2));
+    if (!strings::starts_with(clause, "time(") || clause.back() != ')') {
+      return Status::parse_error("only GROUP BY time(<interval>) supported");
+    }
+    std::string body(clause.substr(5, clause.size() - 6));
+    // Units: ns, u(s), ms, s, m.
+    double scale = 1.0;
+    if (strings::ends_with(body, "ms")) {
+      scale = 1e6;
+      body.resize(body.size() - 2);
+    } else if (strings::ends_with(body, "ns")) {
+      body.resize(body.size() - 2);
+    } else if (strings::ends_with(body, "us") ||
+               strings::ends_with(body, "u")) {
+      scale = 1e3;
+      body.resize(body.size() - (strings::ends_with(body, "us") ? 2 : 1));
+    } else if (strings::ends_with(body, "s")) {
+      scale = 1e9;
+      body.resize(body.size() - 1);
+    } else if (strings::ends_with(body, "m")) {
+      scale = 60e9;
+      body.resize(body.size() - 1);
+    }
+    char* end = nullptr;
+    const double value = std::strtod(body.c_str(), &end);
+    if (end != body.c_str() + body.size() || value <= 0.0) {
+      return Status::parse_error("bad GROUP BY interval: " + body);
+    }
+    q.group_interval = static_cast<TimeNs>(value * scale);
+    rest = rest.substr(0, group_pos);
+  }
+  const std::size_t where_pos = find_keyword(rest, "where");
+  std::string_view measurement_part =
+      where_pos == std::string::npos ? rest : rest.substr(0, where_pos);
+  q.measurement = strip_quotes(measurement_part);
+  if (q.measurement.empty()) {
+    return Status::parse_error("query missing measurement name");
+  }
+
+  if (where_pos != std::string::npos) {
+    std::string_view where_clause = rest.substr(where_pos + 5);
+    // Split on AND (case-insensitive).
+    std::string lower = strings::to_lower(where_clause);
+    std::vector<std::string> conditions;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t pos = find_keyword(lower.substr(start), "and");
+      if (pos == std::string::npos) {
+        conditions.emplace_back(where_clause.substr(start));
+        break;
+      }
+      conditions.emplace_back(where_clause.substr(start, pos));
+      start += pos + 3;
+    }
+    for (const auto& cond_raw : conditions) {
+      std::string_view cond = strings::trim(cond_raw);
+      if (cond.empty()) continue;
+      // time comparisons: time >= N, time <= N, time > N, time < N
+      if (strings::starts_with(strings::to_lower(cond), "time")) {
+        std::string_view rest_cond = strings::trim(cond.substr(4));
+        std::string op;
+        for (char c : rest_cond) {
+          if (c == '<' || c == '>' || c == '=') op += c;
+          else break;
+        }
+        if (op.empty()) {
+          return Status::parse_error("bad time condition: " +
+                                     std::string(cond));
+        }
+        const std::string value_text =
+            std::string(strings::trim(rest_cond.substr(op.size())));
+        char* end = nullptr;
+        const TimeNs value = std::strtoll(value_text.c_str(), &end, 10);
+        if (end != value_text.c_str() + value_text.size()) {
+          return Status::parse_error("bad time literal: " + value_text);
+        }
+        if (op == ">=") q.time_min = std::max(q.time_min, value);
+        else if (op == ">") q.time_min = std::max(q.time_min, value + 1);
+        else if (op == "<=") q.time_max = std::min(q.time_max, value);
+        else if (op == "<") q.time_max = std::min(q.time_max, value - 1);
+        else if (op == "=") { q.time_min = value; q.time_max = value; }
+        else return Status::parse_error("bad time operator: " + op);
+        continue;
+      }
+      // tag equality: name='value' or name="value"
+      std::size_t eq = cond.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::parse_error("unsupported condition: " +
+                                   std::string(cond));
+      }
+      std::string key = strip_quotes(cond.substr(0, eq));
+      std::string value = strip_quotes(cond.substr(eq + 1));
+      q.tag_filters[std::move(key)] = std::move(value);
+    }
+  }
+  return q;
+}
+
+std::string Query::to_string() const {
+  std::string out = "SELECT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (std::size_t i = 0; i < selectors.size(); ++i) {
+      if (i > 0) out += ", ";
+      const Selector& sel = selectors[i];
+      if (sel.aggregate == Aggregate::kNone) {
+        out += '"' + sel.field + '"';
+      } else {
+        out += std::string(query::to_string(sel.aggregate)) + "(\"" +
+               sel.field + "\")";
+      }
+    }
+  }
+  out += " FROM \"" + measurement + "\"";
+  std::vector<std::string> conditions;
+  for (const auto& [key, value] : tag_filters) {
+    conditions.push_back('"' + key + "\"=\"" + value + '"');
+  }
+  if (time_min != std::numeric_limits<TimeNs>::min()) {
+    conditions.push_back("time >= " + std::to_string(time_min));
+  }
+  if (time_max != std::numeric_limits<TimeNs>::max()) {
+    conditions.push_back("time <= " + std::to_string(time_max));
+  }
+  if (!conditions.empty()) {
+    out += " WHERE " + strings::join(conditions, " AND ");
+  }
+  if (group_interval > 0) {
+    out += " GROUP BY time(" + std::to_string(group_interval) + "ns)";
+  }
+  return out;
+}
+
+}  // namespace pmove::query

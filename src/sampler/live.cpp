@@ -7,9 +7,9 @@
 
 namespace pmove::sampler {
 
-LiveSampler::LiveSampler(const pmu::SimulatedPmu& pmu, tsdb::TimeSeriesDb* db,
+LiveSampler::LiveSampler(const pmu::SimulatedPmu& pmu, tsdb::PointSink* sink,
                          LiveSamplerConfig config)
-    : pmu_(pmu), db_(db), config_(std::move(config)) {}
+    : pmu_(pmu), sink_(sink), config_(std::move(config)) {}
 
 LiveSampler::~LiveSampler() {
   if (running_.load()) stop();
@@ -81,6 +81,10 @@ void LiveSampler::run() {
 void LiveSampler::sample_once(TimeNs t_prev, TimeNs t_now) {
   samples_.fetch_add(1, std::memory_order_relaxed);
   const double interval_s = to_seconds(std::max<TimeNs>(1, t_now - t_prev));
+  // One batch per tick: every event's point ships in a single write_batch
+  // call, so the sink's lock and ordering work are amortized per tick.
+  std::vector<tsdb::Point> batch;
+  batch.reserve(config_.events.size());
   for (const auto& event : config_.events) {
     tsdb::Point point;
     point.measurement = kb::hw_measurement(event);
@@ -116,9 +120,12 @@ void LiveSampler::sample_once(TimeNs t_prev, TimeNs t_now) {
       std::lock_guard<std::mutex> lock(accum_mutex_);
       accumulated_[event] += event_total;
     }
-    if (db_ != nullptr && !point.fields.empty()) {
-      (void)db_->write(std::move(point));
+    if (sink_ != nullptr && !point.fields.empty()) {
+      batch.push_back(std::move(point));
     }
+  }
+  if (sink_ != nullptr && !batch.empty()) {
+    (void)sink_->write_batch(std::move(batch));
   }
 }
 

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "pmu/pmu.hpp"
-#include "tsdb/db.hpp"
+#include "tsdb/sink.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -32,7 +32,9 @@ struct LiveSamplerConfig {
 class LiveSampler {
  public:
   /// The PMU must already be configured with (at least) `config.events`.
-  LiveSampler(const pmu::SimulatedPmu& pmu, tsdb::TimeSeriesDb* db,
+  /// `sink` may be a raw TimeSeriesDb or the ingest engine; each tick's
+  /// points land as one batch on the sink's single virtual hot path.
+  LiveSampler(const pmu::SimulatedPmu& pmu, tsdb::PointSink* sink,
               LiveSamplerConfig config);
   ~LiveSampler();
 
@@ -59,7 +61,7 @@ class LiveSampler {
   void sample_once(TimeNs t_prev, TimeNs t_now);
 
   const pmu::SimulatedPmu& pmu_;
-  tsdb::TimeSeriesDb* db_;  ///< may be nullptr: accumulate only
+  tsdb::PointSink* sink_;  ///< may be nullptr: accumulate only
   LiveSamplerConfig config_;
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "query/plan.hpp"
+
 namespace pmove::superdb {
 
 namespace {
@@ -12,13 +14,17 @@ json::Value aggregate_field(const tsdb::TimeSeriesDb& db,
                             const std::string& measurement,
                             const std::string& field,
                             const std::string& tag) {
-  const std::string query =
-      "SELECT min(\"" + field + "\"), max(\"" + field + "\"), mean(\"" +
-      field + "\"), stddev(\"" + field + "\"), sum(\"" + field +
-      "\"), count(\"" + field + "\") FROM \"" + measurement +
-      "\" WHERE tag=\"" + tag + "\"";
+  using query::Aggregate;
   json::Object agg;
-  auto result = db.query(query);
+  auto result = query::run(db, query::QueryBuilder(measurement)
+                                   .select(Aggregate::kMin, field)
+                                   .select(Aggregate::kMax, field)
+                                   .select(Aggregate::kMean, field)
+                                   .select(Aggregate::kStddev, field)
+                                   .select(Aggregate::kSum, field)
+                                   .select(Aggregate::kCount, field)
+                                   .where_tag("tag", tag)
+                                   .build());
   if (!result || result->rows.empty()) return agg;
   static const char* kNames[] = {"min", "max", "mean", "stddev", "sum",
                                  "count"};
@@ -45,12 +51,16 @@ Status SuperDb::report_observation_ts(
     const tsdb::TimeSeriesDb& local_db,
     const kb::ObservationInterface& observation) {
   (void)knowledge_base;  // reserved: future linkage checks against the KB
-  // Copy every tagged row of every metric into the global TSDB.
+  // Copy every tagged row of every metric into the global TSDB, one batch
+  // per metric (single lock acquisition + ordering pass on the far side).
   for (const auto& metric : observation.metrics) {
-    const std::string query = "SELECT * FROM \"" + metric.db_name +
-                              "\" WHERE tag=\"" + observation.tag + "\"";
-    auto result = local_db.query(query);
+    auto result = query::run(local_db, query::QueryBuilder(metric.db_name)
+                                           .select_all()
+                                           .where_tag("tag", observation.tag)
+                                           .build());
     if (!result) continue;  // metric may have produced no rows
+    std::vector<tsdb::Point> batch;
+    batch.reserve(result->rows.size());
     for (const auto& row : result->rows) {
       tsdb::Point point;
       point.measurement = metric.db_name;
@@ -62,9 +72,10 @@ Status SuperDb::report_observation_ts(
           point.fields[result->columns[i]] = row[i];
         }
       }
-      if (!point.fields.empty()) {
-        if (Status s = ts_.write(std::move(point)); !s.is_ok()) return s;
-      }
+      if (!point.fields.empty()) batch.push_back(std::move(point));
+    }
+    if (!batch.empty()) {
+      if (Status s = ts_.write_batch(std::move(batch)); !s.is_ok()) return s;
     }
   }
   json::Value doc = observation.to_json();

@@ -1,9 +1,7 @@
 #include "tsdb/db.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cmath>
-#include <limits>
+#include <mutex>
 
 #include <fstream>
 
@@ -18,36 +16,8 @@ std::size_t QueryResult::column_index(std::string_view name) const {
   return columns.size();
 }
 
-Status TimeSeriesDb::write(Point point) {
-  if (point.measurement.empty()) {
-    return Status::invalid_argument("point missing measurement");
-  }
-  if (point.fields.empty()) {
-    return Status::invalid_argument("point has no fields");
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
-  bytes_written_ += point.wire_size();
-  auto it = series_.find(point.measurement);
-  if (it == series_.end()) {
-    it = series_.emplace(point.measurement, std::vector<Point>{}).first;
-  }
-  // Keep series time-ordered; appends are the common case.
-  auto& points = it->second;
-  if (!points.empty() && point.time < points.back().time) {
-    auto pos = std::upper_bound(
-        points.begin(), points.end(), point.time,
-        [](TimeNs t, const Point& p) { return t < p.time; });
-    points.insert(pos, std::move(point));
-  } else {
-    points.push_back(std::move(point));
-  }
-  return Status::ok();
-}
-
-Status TimeSeriesDb::write_line(std::string_view line) {
-  auto point = Point::from_line(line);
-  if (!point) return point.status();
-  return write(std::move(point.value()));
+void TimeSeriesDb::bump_epoch_locked(const std::string& measurement) {
+  epochs_[measurement] = ++epoch_counter_;
 }
 
 Status TimeSeriesDb::write_batch(std::vector<Point> points) {
@@ -59,7 +29,7 @@ Status TimeSeriesDb::write_batch(std::vector<Point> points) {
       return Status::invalid_argument("point has no fields");
     }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   // Cache the series iterator: batches overwhelmingly carry runs of points
   // for the same measurement, so most points skip the map lookup.  Track the
   // pre-append size of every touched series so ordering can be restored with
@@ -73,6 +43,7 @@ Status TimeSeriesDb::write_batch(std::vector<Point> points) {
       if (hint == series_.end()) {
         hint = series_.emplace(point.measurement, std::vector<Point>{}).first;
       }
+      bump_epoch_locked(hint->first);
       auto* series = &hint->second;
       bool seen = false;
       for (const auto& [ptr, size] : touched) {
@@ -109,20 +80,23 @@ Status TimeSeriesDb::write_batch(std::vector<Point> points) {
 std::size_t TimeSeriesDb::enforce_retention(TimeNs now) {
   if (retention_.duration <= 0) return 0;
   const TimeNs cutoff = now - retention_.duration;
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   std::size_t dropped = 0;
   for (auto& [name, points] : series_) {
     auto pos = std::lower_bound(
         points.begin(), points.end(), cutoff,
         [](const Point& p, TimeNs t) { return p.time < t; });
-    dropped += static_cast<std::size_t>(pos - points.begin());
+    const auto trimmed = static_cast<std::size_t>(pos - points.begin());
+    if (trimmed == 0) continue;
+    dropped += trimmed;
     points.erase(points.begin(), pos);
+    bump_epoch_locked(name);
   }
   return dropped;
 }
 
 std::vector<std::string> TimeSeriesDb::measurements() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(series_.size());
   for (const auto& [name, points] : series_) out.push_back(name);
@@ -130,28 +104,39 @@ std::vector<std::string> TimeSeriesDb::measurements() const {
 }
 
 std::size_t TimeSeriesDb::point_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [name, points] : series_) total += points.size();
   return total;
 }
 
 std::size_t TimeSeriesDb::point_count(std::string_view measurement) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = series_.find(measurement);
   return it == series_.end() ? 0 : it->second.size();
 }
 
+std::size_t TimeSeriesDb::bytes_written() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return bytes_written_;
+}
+
 bool TimeSeriesDb::has_measurement(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return series_.find(name) != series_.end();
+}
+
+std::uint64_t TimeSeriesDb::write_epoch(std::string_view measurement) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = epochs_.find(measurement);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 std::vector<Point> TimeSeriesDb::collect(
     std::string_view measurement, TimeNs time_min, TimeNs time_max,
     const std::map<std::string, std::string>& tag_filters) const {
   std::vector<Point> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = series_.find(measurement);
   if (it == series_.end()) return out;
   for (const Point& p : it->second) {
@@ -172,7 +157,7 @@ std::vector<Point> TimeSeriesDb::collect(
 Status TimeSeriesDb::dump_to_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::unavailable("cannot write " + path);
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   for (const auto& [name, points] : series_) {
     for (const Point& point : points) {
       out << point.to_line() << "\n";
@@ -199,409 +184,24 @@ Status TimeSeriesDb::load_from_file(const std::string& path) {
 }
 
 void TimeSeriesDb::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   series_.clear();
+  // Epoch tags die with the entries; epoch_counter_ keeps counting so a
+  // measurement recreated after clear() never reuses an old epoch value.
+  epochs_.clear();
   bytes_written_ = 0;
 }
 
-// ------------------------------------------------------------ query engine
-
-namespace {
-
-struct Selector {
-  std::string field;
-  std::string aggregate;  ///< empty for raw selection
-  [[nodiscard]] std::string label() const {
-    return aggregate.empty() ? field : aggregate + "(" + field + ")";
+std::size_t TimeSeriesDb::drop_measurement(std::string_view name) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return 0;
+  const std::size_t dropped = it->second.size();
+  if (auto epoch = epochs_.find(it->first); epoch != epochs_.end()) {
+    epochs_.erase(epoch);
   }
-};
-
-struct ParsedQuery {
-  std::vector<Selector> selectors;
-  bool select_all = false;
-  std::string measurement;
-  std::map<std::string, std::string> tag_filters;
-  TimeNs time_min = std::numeric_limits<TimeNs>::min();
-  TimeNs time_max = std::numeric_limits<TimeNs>::max();
-  TimeNs group_interval = 0;  ///< GROUP BY time(<ns>); 0 = no grouping
-};
-
-std::string strip_quotes(std::string_view s) {
-  s = strings::trim(s);
-  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
-                        (s.front() == '\'' && s.back() == '\''))) {
-    return std::string(s.substr(1, s.size() - 2));
-  }
-  return std::string(s);
-}
-
-// Case-insensitive search for a keyword surrounded by word boundaries.
-std::size_t find_keyword(std::string_view text, std::string_view keyword) {
-  const std::string lower = strings::to_lower(text);
-  const std::string key = strings::to_lower(keyword);
-  std::size_t pos = 0;
-  while ((pos = lower.find(key, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || std::isspace(static_cast<unsigned char>(
-                                         lower[pos - 1]));
-    const std::size_t end = pos + key.size();
-    const bool right_ok =
-        end >= lower.size() ||
-        std::isspace(static_cast<unsigned char>(lower[end]));
-    if (left_ok && right_ok) return pos;
-    pos += 1;
-  }
-  return std::string::npos;
-}
-
-Expected<Selector> parse_selector(std::string_view text) {
-  text = strings::trim(text);
-  std::size_t open = text.find('(');
-  if (open != std::string_view::npos && text.back() == ')') {
-    Selector sel;
-    sel.aggregate = strings::to_lower(strings::trim(text.substr(0, open)));
-    sel.field = strip_quotes(
-        text.substr(open + 1, text.size() - open - 2));
-    static const char* kAggs[] = {"mean", "min",   "max",   "sum",
-                                  "count", "stddev", "first", "last"};
-    const bool known =
-        std::any_of(std::begin(kAggs), std::end(kAggs),
-                    [&sel](const char* a) { return sel.aggregate == a; });
-    if (!known) {
-      return Status::parse_error("unknown aggregate function: " +
-                                 sel.aggregate);
-    }
-    if (sel.field.empty()) {
-      return Status::parse_error("aggregate needs a field: " +
-                                 sel.aggregate + "()");
-    }
-    return sel;
-  }
-  Selector sel;
-  sel.field = strip_quotes(text);
-  return sel;
-}
-
-Expected<ParsedQuery> parse_query(std::string_view text) {
-  ParsedQuery q;
-  text = strings::trim(text);
-  const std::size_t select_pos = find_keyword(text, "select");
-  if (select_pos != 0) {
-    return Status::parse_error("query must start with SELECT");
-  }
-  const std::size_t from_pos = find_keyword(text, "from");
-  if (from_pos == std::string::npos) {
-    return Status::parse_error("query missing FROM clause");
-  }
-  std::string_view select_clause =
-      strings::trim(text.substr(6, from_pos - 6));
-  if (select_clause == "*") {
-    q.select_all = true;
-  } else {
-    // Split selectors on commas outside parentheses.
-    int depth = 0;
-    std::string current;
-    auto flush = [&]() -> Status {
-      if (strings::trim(current).empty()) {
-        return Status::parse_error("empty selector in SELECT list");
-      }
-      auto sel = parse_selector(current);
-      if (!sel) return sel.status();
-      q.selectors.push_back(std::move(sel.value()));
-      current.clear();
-      return Status::ok();
-    };
-    for (char c : select_clause) {
-      if (c == '(') ++depth;
-      if (c == ')') --depth;
-      if (c == ',' && depth == 0) {
-        if (Status s = flush(); !s.is_ok()) return s;
-      } else {
-        current += c;
-      }
-    }
-    if (Status s = flush(); !s.is_ok()) return s;
-  }
-
-  std::string_view rest = text.substr(from_pos + 4);
-  // GROUP BY time(<N><unit>) — trailing clause, stripped first.
-  const std::size_t group_pos = find_keyword(rest, "group");
-  if (group_pos != std::string::npos) {
-    std::string_view clause = strings::trim(rest.substr(group_pos + 5));
-    if (find_keyword(clause, "by") != 0) {
-      return Status::parse_error("expected BY after GROUP");
-    }
-    clause = strings::trim(clause.substr(2));
-    if (!strings::starts_with(clause, "time(") || clause.back() != ')') {
-      return Status::parse_error("only GROUP BY time(<interval>) supported");
-    }
-    std::string body(clause.substr(5, clause.size() - 6));
-    // Units: ns, u(s), ms, s, m.
-    double scale = 1.0;
-    if (strings::ends_with(body, "ms")) {
-      scale = 1e6;
-      body.resize(body.size() - 2);
-    } else if (strings::ends_with(body, "ns")) {
-      body.resize(body.size() - 2);
-    } else if (strings::ends_with(body, "us") ||
-               strings::ends_with(body, "u")) {
-      scale = 1e3;
-      body.resize(body.size() - (strings::ends_with(body, "us") ? 2 : 1));
-    } else if (strings::ends_with(body, "s")) {
-      scale = 1e9;
-      body.resize(body.size() - 1);
-    } else if (strings::ends_with(body, "m")) {
-      scale = 60e9;
-      body.resize(body.size() - 1);
-    }
-    char* end = nullptr;
-    const double value = std::strtod(body.c_str(), &end);
-    if (end != body.c_str() + body.size() || value <= 0.0) {
-      return Status::parse_error("bad GROUP BY interval: " + body);
-    }
-    q.group_interval = static_cast<TimeNs>(value * scale);
-    rest = rest.substr(0, group_pos);
-  }
-  const std::size_t where_pos = find_keyword(rest, "where");
-  std::string_view measurement_part =
-      where_pos == std::string::npos ? rest : rest.substr(0, where_pos);
-  q.measurement = strip_quotes(measurement_part);
-  if (q.measurement.empty()) {
-    return Status::parse_error("query missing measurement name");
-  }
-
-  if (where_pos != std::string::npos) {
-    std::string_view where_clause = rest.substr(where_pos + 5);
-    // Split on AND (case-insensitive).
-    std::string lower = strings::to_lower(where_clause);
-    std::vector<std::string> conditions;
-    std::size_t start = 0;
-    while (true) {
-      std::size_t pos = find_keyword(lower.substr(start), "and");
-      if (pos == std::string::npos) {
-        conditions.emplace_back(where_clause.substr(start));
-        break;
-      }
-      conditions.emplace_back(where_clause.substr(start, pos));
-      start += pos + 3;
-    }
-    for (const auto& cond_raw : conditions) {
-      std::string_view cond = strings::trim(cond_raw);
-      if (cond.empty()) continue;
-      // time comparisons: time >= N, time <= N, time > N, time < N
-      if (strings::starts_with(strings::to_lower(cond), "time")) {
-        std::string_view rest_cond = strings::trim(cond.substr(4));
-        std::string op;
-        for (char c : rest_cond) {
-          if (c == '<' || c == '>' || c == '=') op += c;
-          else break;
-        }
-        if (op.empty()) {
-          return Status::parse_error("bad time condition: " +
-                                     std::string(cond));
-        }
-        const std::string value_text =
-            std::string(strings::trim(rest_cond.substr(op.size())));
-        char* end = nullptr;
-        const TimeNs value = std::strtoll(value_text.c_str(), &end, 10);
-        if (end != value_text.c_str() + value_text.size()) {
-          return Status::parse_error("bad time literal: " + value_text);
-        }
-        if (op == ">=") q.time_min = std::max(q.time_min, value);
-        else if (op == ">") q.time_min = std::max(q.time_min, value + 1);
-        else if (op == "<=") q.time_max = std::min(q.time_max, value);
-        else if (op == "<") q.time_max = std::min(q.time_max, value - 1);
-        else if (op == "=") { q.time_min = value; q.time_max = value; }
-        else return Status::parse_error("bad time operator: " + op);
-        continue;
-      }
-      // tag equality: name='value' or name="value"
-      std::size_t eq = cond.find('=');
-      if (eq == std::string_view::npos) {
-        return Status::parse_error("unsupported condition: " +
-                                   std::string(cond));
-      }
-      std::string key = strip_quotes(cond.substr(0, eq));
-      std::string value = strip_quotes(cond.substr(eq + 1));
-      q.tag_filters[std::move(key)] = std::move(value);
-    }
-  }
-  return q;
-}
-
-double aggregate_values(const std::string& agg,
-                        const std::vector<double>& values,
-                        const std::vector<TimeNs>& times) {
-  if (values.empty()) return std::nan("");
-  if (agg == "count") return static_cast<double>(values.size());
-  if (agg == "min") return *std::min_element(values.begin(), values.end());
-  if (agg == "max") return *std::max_element(values.begin(), values.end());
-  if (agg == "first") {
-    auto idx = std::min_element(times.begin(), times.end()) - times.begin();
-    return values[static_cast<std::size_t>(idx)];
-  }
-  if (agg == "last") {
-    auto idx = std::max_element(times.begin(), times.end()) - times.begin();
-    return values[static_cast<std::size_t>(idx)];
-  }
-  double sum = 0.0;
-  for (double v : values) sum += v;
-  if (agg == "sum") return sum;
-  const double mean = sum / static_cast<double>(values.size());
-  if (agg == "mean") return mean;
-  if (agg == "stddev") {
-    if (values.size() < 2) return 0.0;
-    double acc = 0.0;
-    for (double v : values) acc += (v - mean) * (v - mean);
-    return std::sqrt(acc / static_cast<double>(values.size() - 1));
-  }
-  return std::nan("");
-}
-
-// Evaluates a parsed query over the matching points (already filtered and
-// in time order).  Shared by the single-DB and sharded paths so both produce
-// identical results.
-Expected<QueryResult> evaluate_query(const ParsedQuery& q,
-                                     const std::vector<Point>& matches) {
-  // Resolve SELECT * into the union of field names, sorted.
-  std::vector<Selector> selectors = q.selectors;
-  if (q.select_all) {
-    std::vector<std::string> fields;
-    for (const Point& p : matches) {
-      for (const auto& [k, v] : p.fields) {
-        if (std::find(fields.begin(), fields.end(), k) == fields.end()) {
-          fields.push_back(k);
-        }
-      }
-    }
-    std::sort(fields.begin(), fields.end());
-    for (auto& f : fields) selectors.push_back({std::move(f), ""});
-  }
-
-  QueryResult result;
-  result.columns.emplace_back("time");
-  for (const auto& sel : selectors) result.columns.push_back(sel.label());
-
-  const bool any_aggregate =
-      std::any_of(selectors.begin(), selectors.end(),
-                  [](const Selector& s) { return !s.aggregate.empty(); });
-  if (q.group_interval > 0) {
-    if (!any_aggregate) {
-      return Status::parse_error(
-          "GROUP BY time() requires aggregate selectors");
-    }
-    for (const auto& sel : selectors) {
-      if (sel.aggregate.empty()) {
-        return Status::parse_error(
-            "cannot mix raw fields with aggregates in one query");
-      }
-    }
-    // Bucket matches by floor(time / interval); one row per non-empty
-    // bucket, stamped with the bucket start.
-    std::map<TimeNs, std::vector<const Point*>> buckets;
-    for (const Point& p : matches) {
-      TimeNs bucket = p.time / q.group_interval * q.group_interval;
-      if (p.time < 0 && p.time % q.group_interval != 0) {
-        bucket -= q.group_interval;  // floor for negative timestamps
-      }
-      buckets[bucket].push_back(&p);
-    }
-    for (const auto& [bucket, points] : buckets) {
-      std::vector<double> row;
-      row.push_back(static_cast<double>(bucket));
-      for (const auto& sel : selectors) {
-        std::vector<double> values;
-        std::vector<TimeNs> times;
-        for (const Point* p : points) {
-          auto field = p->fields.find(sel.field);
-          if (field != p->fields.end()) {
-            values.push_back(field->second);
-            times.push_back(p->time);
-          }
-        }
-        row.push_back(aggregate_values(sel.aggregate, values, times));
-      }
-      result.rows.push_back(std::move(row));
-    }
-    return result;
-  }
-  if (any_aggregate) {
-    std::vector<double> row;
-    row.push_back(matches.empty()
-                      ? 0.0
-                      : static_cast<double>(matches.back().time));
-    for (const auto& sel : selectors) {
-      if (sel.aggregate.empty()) {
-        return Status::parse_error(
-            "cannot mix raw fields with aggregates in one query");
-      }
-      std::vector<double> values;
-      std::vector<TimeNs> times;
-      for (const Point& p : matches) {
-        auto field = p.fields.find(sel.field);
-        if (field != p.fields.end()) {
-          values.push_back(field->second);
-          times.push_back(p.time);
-        }
-      }
-      row.push_back(aggregate_values(sel.aggregate, values, times));
-    }
-    result.rows.push_back(std::move(row));
-    return result;
-  }
-
-  result.rows.reserve(matches.size());
-  for (const Point& p : matches) {
-    std::vector<double> row;
-    row.reserve(selectors.size() + 1);
-    row.push_back(static_cast<double>(p.time));
-    for (const auto& sel : selectors) {
-      auto field = p.fields.find(sel.field);
-      row.push_back(field == p.fields.end() ? std::nan("") : field->second);
-    }
-    result.rows.push_back(std::move(row));
-  }
-  return result;
-}
-
-}  // namespace
-
-Expected<QueryResult> TimeSeriesDb::query(std::string_view text) const {
-  auto parsed = parse_query(text);
-  if (!parsed) return parsed.status();
-  const ParsedQuery& q = parsed.value();
-
-  if (!has_measurement(q.measurement)) {
-    return Status::not_found("measurement not found: " + q.measurement);
-  }
-  return evaluate_query(
-      q, collect(q.measurement, q.time_min, q.time_max, q.tag_filters));
-}
-
-Expected<QueryResult> query_sharded(
-    const std::vector<const TimeSeriesDb*>& shards, std::string_view text) {
-  auto parsed = parse_query(text);
-  if (!parsed) return parsed.status();
-  const ParsedQuery& q = parsed.value();
-
-  bool found = false;
-  std::vector<Point> matches;
-  for (const TimeSeriesDb* shard : shards) {
-    if (shard == nullptr || !shard->has_measurement(q.measurement)) continue;
-    found = true;
-    auto part =
-        shard->collect(q.measurement, q.time_min, q.time_max, q.tag_filters);
-    matches.insert(matches.end(), std::make_move_iterator(part.begin()),
-                   std::make_move_iterator(part.end()));
-  }
-  if (!found) {
-    return Status::not_found("measurement not found: " + q.measurement);
-  }
-  // Each shard slice is time-ordered; the union is not.  Stable sort keeps
-  // shard-internal arrival order among equal timestamps.
-  std::stable_sort(
-      matches.begin(), matches.end(),
-      [](const Point& a, const Point& b) { return a.time < b.time; });
-  return evaluate_query(q, matches);
+  series_.erase(it);
+  return dropped;
 }
 
 }  // namespace pmove::tsdb

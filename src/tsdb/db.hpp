@@ -8,12 +8,22 @@
 //
 // plus aggregate selectors (mean/min/max/sum/count/stddev/first/last) needed
 // by SUPERDB's AGGObservationInterface, and a retention policy (Section V-B:
-// "we rely on the retention policy of InfluxDB").  Thread-safe writes: the
-// sampler pipeline inserts from its own thread.
+// "we rely on the retention policy of InfluxDB").
+//
+// Concurrency: storage is guarded by a shared_mutex — any number of panel
+// readers (collect/point_count/...) proceed in parallel and only writers
+// (write_batch, retention, clear) take the lock exclusively.  Every write
+// bumps the touched measurement's *write epoch*, a never-repeating global
+// counter the query engine's result cache keys its invalidation on.
+//
+// The read path lives in src/query (parse → plan → execute, result cache,
+// downsample pushdown); this class only stores points and hands out
+// filtered copies via collect().
 #pragma once
 
+#include <cstdint>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,15 +57,19 @@ class TimeSeriesDb : public PointSink {
   explicit TimeSeriesDb(RetentionPolicy retention)
       : retention_(retention) {}
 
-  Status write(Point point) override;
-  Status write_line(std::string_view line);
-
   /// Bulk insert: one lock acquisition and one ordering pass per batch
   /// instead of per point.  The batch is validated up front and rejected as
-  /// a unit if any point is invalid (no partial insert).
+  /// a unit if any point is invalid (no partial insert).  Bumps the write
+  /// epoch of every touched measurement.  (Single points and line protocol
+  /// go through the PointSink write()/write_line() helpers.)
   Status write_batch(std::vector<Point> points) override;
 
-  /// Executes a query string (see header comment for the grammar subset).
+  /// DEPRECATED: legacy string read path, kept as a thin parse-then-run
+  /// wrapper for line-protocol compatibility.  New callers should build a
+  /// typed query::Query (query/query.hpp) and execute it with query::run()
+  /// or through a query::QueryEngine, which adds result caching and
+  /// downsample pushdown.  Defined in src/query/compat.cpp — callers must
+  /// link pmove_query.
   [[nodiscard]] Expected<QueryResult> query(std::string_view text) const;
 
   /// Drops points older than the retention window; returns #dropped.
@@ -66,7 +80,7 @@ class TimeSeriesDb : public PointSink {
   [[nodiscard]] std::size_t point_count(std::string_view measurement) const;
 
   /// Total bytes written in line-protocol form (disk-usage accounting).
-  [[nodiscard]] std::size_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::size_t bytes_written() const;
 
   /// Recorded-data support (the paper monitors "live and/or recorded"
   /// performance data): dump every point as line protocol, one per line,
@@ -76,26 +90,42 @@ class TimeSeriesDb : public PointSink {
 
   void clear();
 
+  /// Removes one measurement entirely; returns the number of dropped
+  /// points.  Used by the query engine to re-materialize downsample
+  /// targets.
+  std::size_t drop_measurement(std::string_view name);
+
   [[nodiscard]] bool has_measurement(std::string_view name) const;
 
+  /// Write epoch of a measurement: 0 while absent, otherwise a globally
+  /// monotonic value that changes on every mutation (write_batch,
+  /// retention trim, drop+recreate) and never repeats — so a cached query
+  /// result tagged with the epoch observed *before* its scan is valid
+  /// exactly while the value is unchanged.
+  [[nodiscard]] std::uint64_t write_epoch(std::string_view measurement) const;
+
   /// Copies of the points of `measurement` in [time_min, time_max] whose
-  /// tags match every entry of `tag_filters`, in time order.  Used by the
-  /// sharded query path (query_sharded) to pull per-shard slices.
+  /// tags match every entry of `tag_filters`, in time order.  The read
+  /// primitive of the query module's execute stage (and of the sharded
+  /// path, which pulls per-shard slices).
   [[nodiscard]] std::vector<Point> collect(
       std::string_view measurement, TimeNs time_min, TimeNs time_max,
       const std::map<std::string, std::string>& tag_filters) const;
 
  private:
-  mutable std::mutex mutex_;
+  /// Bumps `measurement`'s epoch; caller holds the exclusive lock.
+  void bump_epoch_locked(const std::string& measurement);
+
+  mutable std::shared_mutex mutex_;
   std::map<std::string, std::vector<Point>, std::less<>> series_;
+  std::map<std::string, std::uint64_t, std::less<>> epochs_;
+  std::uint64_t epoch_counter_ = 0;  ///< never reset, so epochs never repeat
   RetentionPolicy retention_;
   std::size_t bytes_written_ = 0;
 };
 
-/// Executes `text` against several shard databases as if their contents
-/// lived in one DB: matching points are collected from every shard, merged
-/// in time order, and evaluated together (aggregates and GROUP BY included),
-/// so results are identical to a single-DB query over the union.
+/// DEPRECATED alongside TimeSeriesDb::query — use query::run_sharded with a
+/// typed query::Query.  Defined in src/query/compat.cpp (link pmove_query).
 Expected<QueryResult> query_sharded(
     const std::vector<const TimeSeriesDb*>& shards, std::string_view text);
 

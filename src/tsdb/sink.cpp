@@ -1,0 +1,20 @@
+#include "tsdb/sink.hpp"
+
+#include <utility>
+
+namespace pmove::tsdb {
+
+Status PointSink::write(Point point) {
+  std::vector<Point> batch;
+  batch.reserve(1);
+  batch.push_back(std::move(point));
+  return write_batch(std::move(batch));
+}
+
+Status PointSink::write_line(std::string_view line) {
+  auto point = Point::from_line(line);
+  if (!point) return point.status();
+  return write(std::move(point.value()));
+}
+
+}  // namespace pmove::tsdb

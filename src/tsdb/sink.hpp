@@ -5,8 +5,14 @@
 // interface so producers (sampling sessions, live samplers, the daemon) can
 // be pointed at either a raw DB or the full ingestion engine without
 // depending on the latter.
+//
+// Sinks implement exactly one virtual hot path: write_batch().  Single
+// points and line protocol are non-virtual conveniences that wrap into a
+// batch of one, so every implementation (TSDB, ingest engine, test fakes)
+// gets them for free and optimizes only the bulk path.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "tsdb/point.hpp"
@@ -18,12 +24,16 @@ class PointSink {
  public:
   virtual ~PointSink() = default;
 
-  virtual Status write(Point point) = 0;
-
   /// Accepts a whole batch in one call.  Implementations amortize locking
   /// and ordering work across the batch; the batch is rejected as a unit if
   /// any point is invalid.
   virtual Status write_batch(std::vector<Point> points) = 0;
+
+  /// Single-point convenience: delegates to write_batch().
+  Status write(Point point);
+
+  /// Line-protocol convenience: parse, then write().
+  Status write_line(std::string_view line);
 };
 
 }  // namespace pmove::tsdb

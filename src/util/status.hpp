@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <utility>
 
 namespace pmove {
@@ -107,6 +108,33 @@ class Expected {
 
   [[nodiscard]] T value_or(T fallback) const& {
     return has_value() ? *value_ : std::move(fallback);
+  }
+
+  /// Applies `f` to the value and wraps the result; forwards the error
+  /// otherwise.  Replaces `e.has_value() ? f(e.value()) : fallback` ladders:
+  ///   rows.map([](const auto& r) { return r.size(); }).value_or(0)
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const& -> Expected<std::invoke_result_t<F, const T&>> {
+    if (!has_value()) return status_;
+    return std::forward<F>(f)(*value_);
+  }
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) && -> Expected<std::invoke_result_t<F, T&&>> {
+    if (!has_value()) return status_;
+    return std::forward<F>(f)(std::move(*value_));
+  }
+
+  /// Chains a fallible step: `f` itself returns an Expected, which is
+  /// passed through unwrapped (no Expected<Expected<...>> nesting).
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> std::invoke_result_t<F, const T&> {
+    if (!has_value()) return status_;
+    return std::forward<F>(f)(*value_);
+  }
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) && -> std::invoke_result_t<F, T&&> {
+    if (!has_value()) return status_;
+    return std::forward<F>(f)(std::move(*value_));
   }
 
   const T& operator*() const& { return value(); }

@@ -1,0 +1,499 @@
+// Tests for the read-path query module: typed AST + parser, plan/execute,
+// the engine's epoch-keyed result cache, downsample pushdown, and the
+// PointSink write-path unification.
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "query/engine.hpp"
+#include "query/plan.hpp"
+#include "query/query.hpp"
+#include "tsdb/db.hpp"
+#include "tsdb/sink.hpp"
+#include "util/status.hpp"
+
+namespace pmove::query {
+namespace {
+
+tsdb::Point make_point(std::string measurement, TimeNs t, double cpu0,
+                       double cpu1, std::string tag = "run-a") {
+  tsdb::Point p;
+  p.measurement = std::move(measurement);
+  p.time = t;
+  p.fields["_cpu0"] = cpu0;
+  p.fields["_cpu1"] = cpu1;
+  p.tags["tag"] = std::move(tag);
+  return p;
+}
+
+/// 10 points, t = 0..900ns, values chosen so every aggregate is
+/// non-trivial (irrational-ish doubles exercise bit-for-bit comparisons).
+void fill_kernel_series(tsdb::TimeSeriesDb& db, std::string_view tag = "run-a") {
+  std::vector<tsdb::Point> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.push_back(make_point("kernel_percpu_cpu_idle",
+                               static_cast<TimeNs>(i) * 100,
+                               std::sqrt(2.0) * i + 0.1,
+                               std::atan(1.0) * (9 - i) + 0.3,
+                               std::string(tag)));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(QueryParse, RoundTripsThroughCanonicalText) {
+  const char* samples[] = {
+      "SELECT \"_cpu0\", \"_cpu1\" FROM \"m\"",
+      "SELECT * FROM \"m\" WHERE tag=\"abc\"",
+      "SELECT mean(\"f\") FROM \"m\" WHERE time >= 100 AND time <= 899",
+      "SELECT mean(\"f\"), max(\"f\") FROM \"m\" GROUP BY time(250ns)",
+  };
+  for (const char* text : samples) {
+    auto q = Query::parse(text);
+    ASSERT_TRUE(q.has_value()) << text;
+    auto again = Query::parse(q->to_string());
+    ASSERT_TRUE(again.has_value()) << q->to_string();
+    EXPECT_EQ(*q, *again) << text;
+  }
+}
+
+TEST(QueryParse, KeepsSeedErrorMessages) {
+  EXPECT_EQ(Query::parse("DELETE FROM \"m\"").status().message(),
+            "query must start with SELECT");
+  EXPECT_EQ(Query::parse("SELECT median(\"f\") FROM \"m\"").status().message(),
+            "unknown aggregate function: median");
+}
+
+TEST(QueryParse, BuilderMatchesParsedText) {
+  auto parsed = Query::parse(
+      "SELECT mean(\"_cpu0\") FROM \"m\" WHERE tag=\"t1\" AND time >= 0 "
+      "AND time <= 999 GROUP BY time(250ns)");
+  ASSERT_TRUE(parsed.has_value());
+  const Query built = QueryBuilder("m")
+                          .select(Aggregate::kMean, "_cpu0")
+                          .where_tag("tag", "t1")
+                          .since(0)
+                          .until(999)
+                          .group_by_time(250)
+                          .build();
+  EXPECT_EQ(built, *parsed);
+}
+
+TEST(QueryPlan, KindFollowsSelectors) {
+  EXPECT_EQ(make_plan(QueryBuilder("m").select("f").build()).kind,
+            PlanKind::kRawScan);
+  EXPECT_EQ(make_plan(QueryBuilder("m").select(Aggregate::kSum, "f").build())
+                .kind,
+            PlanKind::kAggregate);
+  EXPECT_EQ(make_plan(QueryBuilder("m")
+                          .select(Aggregate::kSum, "f")
+                          .group_by_time(100)
+                          .build())
+                .kind,
+            PlanKind::kGroupedAggregate);
+}
+
+TEST(QueryRun, TypedMatchesLegacyStringPath) {
+  tsdb::TimeSeriesDb db;
+  fill_kernel_series(db);
+  const char* texts[] = {
+      "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\"",
+      "SELECT * FROM \"kernel_percpu_cpu_idle\" WHERE tag=\"run-a\"",
+      "SELECT stddev(\"_cpu1\") FROM \"kernel_percpu_cpu_idle\"",
+      "SELECT mean(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" "
+      "GROUP BY time(250ns)",
+  };
+  for (const char* text : texts) {
+    auto via_string = db.query(text);
+    auto parsed = Query::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    auto via_typed = run(db, *parsed);
+    ASSERT_TRUE(via_string.has_value()) << text;
+    ASSERT_TRUE(via_typed.has_value()) << text;
+    EXPECT_EQ(via_string->columns, via_typed->columns) << text;
+    EXPECT_EQ(via_string->rows, via_typed->rows) << text;
+  }
+}
+
+// ------------------------------------------------------------- PointSink
+
+/// Implements only the one virtual hot path; write()/write_line() must
+/// arrive here as batches of one.
+class RecordingSink : public tsdb::PointSink {
+ public:
+  Status write_batch(std::vector<tsdb::Point> points) override {
+    ++batches;
+    for (auto& p : points) accepted.push_back(std::move(p));
+    return Status::ok();
+  }
+
+  int batches = 0;
+  std::vector<tsdb::Point> accepted;
+};
+
+TEST(PointSink, SinglePointAndLineDelegateToWriteBatch) {
+  RecordingSink sink;
+  ASSERT_TRUE(sink.write(make_point("m", 1, 0.5, 0.25)).is_ok());
+  ASSERT_TRUE(sink.write_line("m,tag=run-a _cpu0=1.5 7").is_ok());
+  EXPECT_FALSE(sink.write_line("not a line protocol entry").is_ok());
+  EXPECT_EQ(sink.batches, 2);
+  ASSERT_EQ(sink.accepted.size(), 2u);
+  EXPECT_EQ(sink.accepted[0].time, 1);
+  EXPECT_EQ(sink.accepted[1].measurement, "m");
+  EXPECT_EQ(sink.accepted[1].time, 7);
+}
+
+// ------------------------------------------------------------ write epoch
+
+TEST(WriteEpoch, BumpsOnEveryMutationAndNeverRepeats) {
+  tsdb::TimeSeriesDb db;
+  EXPECT_EQ(db.write_epoch("m"), 0u);
+  ASSERT_TRUE(db.write(make_point("m", 10, 1.0, 2.0)).is_ok());
+  const std::uint64_t first = db.write_epoch("m");
+  EXPECT_GT(first, 0u);
+  ASSERT_TRUE(db.write(make_point("m", 20, 1.0, 2.0)).is_ok());
+  const std::uint64_t second = db.write_epoch("m");
+  EXPECT_GT(second, first);
+
+  // drop + recreate must not resurrect an old epoch value.
+  EXPECT_EQ(db.drop_measurement("m"), 2u);
+  EXPECT_EQ(db.write_epoch("m"), 0u);
+  ASSERT_TRUE(db.write(make_point("m", 30, 1.0, 2.0)).is_ok());
+  EXPECT_GT(db.write_epoch("m"), second);
+
+  // clear() resets entries but keeps the counter running.
+  db.clear();
+  EXPECT_EQ(db.write_epoch("m"), 0u);
+  ASSERT_TRUE(db.write(make_point("m", 40, 1.0, 2.0)).is_ok());
+  EXPECT_GT(db.write_epoch("m"), second);
+}
+
+TEST(WriteEpoch, RetentionTrimBumps) {
+  tsdb::TimeSeriesDb db(tsdb::RetentionPolicy{100});
+  ASSERT_TRUE(db.write(make_point("m", 10, 1.0, 2.0)).is_ok());
+  ASSERT_TRUE(db.write(make_point("m", 500, 1.0, 2.0)).is_ok());
+  const std::uint64_t before = db.write_epoch("m");
+  EXPECT_EQ(db.enforce_retention(500), 1u);
+  EXPECT_GT(db.write_epoch("m"), before);
+  // No points trimmed -> epoch untouched (cache entries stay valid).
+  const std::uint64_t after = db.write_epoch("m");
+  EXPECT_EQ(db.enforce_retention(500), 0u);
+  EXPECT_EQ(db.write_epoch("m"), after);
+}
+
+// ------------------------------------------------------------ result cache
+
+TEST(QueryEngineCache, ServesRepeatsAndInvalidatesOnWrite) {
+  tsdb::TimeSeriesDb db;
+  fill_kernel_series(db);
+  QueryEngine engine(db);
+  const Query q = QueryBuilder("kernel_percpu_cpu_idle").select("_cpu0").build();
+
+  auto first = engine.run(q);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->rows.size(), 10u);
+  auto second = engine.run(q);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->rows, first->rows);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.stats().cache_misses, 1u);
+
+  // A write to the measurement bumps its epoch: next run recomputes and
+  // sees the new point.
+  ASSERT_TRUE(db.write(make_point("kernel_percpu_cpu_idle", 1000, 9.0, 9.0))
+                  .is_ok());
+  auto third = engine.run(q);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->rows.size(), 11u);
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  EXPECT_EQ(engine.stats().cache_misses, 2u);
+
+  // Writes to other measurements leave the entry valid.
+  ASSERT_TRUE(db.write(make_point("other", 0, 1.0, 1.0)).is_ok());
+  auto fourth = engine.run(q);
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(engine.stats().cache_hits, 2u);
+}
+
+TEST(QueryEngineCache, ClearAndRewriteNeverServesStaleRows) {
+  tsdb::TimeSeriesDb db;
+  fill_kernel_series(db);
+  QueryEngine engine(db);
+  const Query q =
+      QueryBuilder("kernel_percpu_cpu_idle").select("_cpu0").build();
+  ASSERT_TRUE(engine.run(q).has_value());
+
+  db.clear();
+  ASSERT_TRUE(db.write(make_point("kernel_percpu_cpu_idle", 5, 42.0, 43.0))
+                  .is_ok());
+  auto fresh = engine.run(q);
+  ASSERT_TRUE(fresh.has_value());
+  ASSERT_EQ(fresh->rows.size(), 1u);
+  EXPECT_EQ(fresh->rows[0][1], 42.0);
+}
+
+TEST(QueryEngineCache, ErrorsAreNotCached) {
+  tsdb::TimeSeriesDb db;
+  QueryEngine engine(db);
+  const Query q = QueryBuilder("missing").select("f").build();
+  EXPECT_FALSE(engine.run(q).has_value());
+  EXPECT_FALSE(engine.run(q).has_value());
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().cache_misses, 2u);
+}
+
+TEST(QueryEngineCache, EvictsLeastRecentlyUsed) {
+  tsdb::TimeSeriesDb db;
+  fill_kernel_series(db);
+  EngineOptions options;
+  options.cache_capacity = 2;
+  QueryEngine engine(db, options);
+  const Query a = QueryBuilder("kernel_percpu_cpu_idle").select("_cpu0").build();
+  const Query b = QueryBuilder("kernel_percpu_cpu_idle").select("_cpu1").build();
+  const Query c = QueryBuilder("kernel_percpu_cpu_idle").select_all().build();
+  ASSERT_TRUE(engine.run(a).has_value());
+  ASSERT_TRUE(engine.run(b).has_value());
+  ASSERT_TRUE(engine.run(c).has_value());  // evicts `a`
+  ASSERT_TRUE(engine.run(a).has_value());  // miss again
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+  EXPECT_EQ(engine.stats().cache_misses, 4u);
+  EXPECT_GE(engine.stats().cache_evictions, 1u);
+}
+
+TEST(QueryEngineCache, CapacityZeroDisablesCaching) {
+  tsdb::TimeSeriesDb db;
+  fill_kernel_series(db);
+  EngineOptions options;
+  options.cache_capacity = 0;
+  QueryEngine engine(db, options);
+  const Query q = QueryBuilder("kernel_percpu_cpu_idle").select("_cpu0").build();
+  ASSERT_TRUE(engine.run(q).has_value());
+  ASSERT_TRUE(engine.run(q).has_value());
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+// --------------------------------------------------------------- pushdown
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fill_kernel_series(db_); }
+
+  Query grouped_query(Aggregate agg) {
+    return QueryBuilder("kernel_percpu_cpu_idle")
+        .select(agg, "_cpu0")
+        .select(agg, "_cpu1")
+        .group_by_time(250)
+        .build();
+  }
+
+  tsdb::TimeSeriesDb db_;
+};
+
+TEST_F(PushdownTest, MatchesRawScanBitForBitOnEveryAggregate) {
+  const Aggregate aggs[] = {Aggregate::kMean,   Aggregate::kMin,
+                            Aggregate::kMax,    Aggregate::kSum,
+                            Aggregate::kCount,  Aggregate::kStddev,
+                            Aggregate::kFirst,  Aggregate::kLast};
+  for (Aggregate agg : aggs) {
+    QueryEngine engine(db_);
+    DownsampleRule rule;
+    rule.source_measurement = "kernel_percpu_cpu_idle";
+    rule.aggregate = agg;
+    rule.window_ns = 250;
+    ASSERT_TRUE(engine.register_downsample(rule).is_ok());
+    ASSERT_TRUE(engine.materialize_downsamples().is_ok());
+
+    const Query q = grouped_query(agg);
+    auto raw = run(db_, q);  // uncached, unpushed reference
+    auto pushed = engine.run(q);
+    ASSERT_TRUE(raw.has_value());
+    ASSERT_TRUE(pushed.has_value());
+    EXPECT_EQ(engine.stats().pushdown_hits, 1u)
+        << "aggregate " << to_string(agg);
+    EXPECT_EQ(raw->columns, pushed->columns);
+    ASSERT_EQ(raw->rows.size(), pushed->rows.size());
+    for (std::size_t r = 0; r < raw->rows.size(); ++r) {
+      ASSERT_EQ(raw->rows[r].size(), pushed->rows[r].size());
+      for (std::size_t c = 0; c < raw->rows[r].size(); ++c) {
+        // Exact equality, not near: the engine materializes with the same
+        // evaluator over values in the same order.
+        EXPECT_EQ(raw->rows[r][c], pushed->rows[r][c])
+            << to_string(agg) << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(PushdownTest, TagFilteredQueryIsServedFromTarget) {
+  QueryEngine engine(db_);
+  DownsampleRule rule;
+  rule.source_measurement = "kernel_percpu_cpu_idle";
+  rule.aggregate = Aggregate::kMean;
+  rule.window_ns = 250;
+  ASSERT_TRUE(engine.register_downsample(rule).is_ok());
+  ASSERT_TRUE(engine.materialize_downsamples().is_ok());
+
+  Query q = grouped_query(Aggregate::kMean);
+  q.tag_filters["tag"] = "run-a";
+  auto raw = run(db_, q);
+  auto pushed = engine.run(q);
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(pushed.has_value());
+  EXPECT_EQ(engine.stats().pushdown_hits, 1u);
+  EXPECT_EQ(raw->rows, pushed->rows);
+}
+
+TEST_F(PushdownTest, MultipleTagSetsPerWindowFallBackToRawScan) {
+  // A second tag set in the same windows: raw evaluation merges both into
+  // one bucket row, the target holds them separately — pushdown must bow
+  // out rather than return different rows.
+  fill_kernel_series(db_, "run-b");
+  QueryEngine engine(db_);
+  DownsampleRule rule;
+  rule.source_measurement = "kernel_percpu_cpu_idle";
+  rule.aggregate = Aggregate::kMean;
+  rule.window_ns = 250;
+  ASSERT_TRUE(engine.register_downsample(rule).is_ok());
+  ASSERT_TRUE(engine.materialize_downsamples().is_ok());
+
+  const Query q = grouped_query(Aggregate::kMean);
+  auto raw = run(db_, q);
+  auto answered = engine.run(q);
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(answered.has_value());
+  EXPECT_EQ(engine.stats().pushdown_fallbacks, 1u);
+  EXPECT_EQ(engine.stats().pushdown_hits, 0u);
+  EXPECT_EQ(raw->rows, answered->rows);
+}
+
+TEST_F(PushdownTest, MisalignedTimeBoundsScanRaw) {
+  QueryEngine engine(db_);
+  DownsampleRule rule;
+  rule.source_measurement = "kernel_percpu_cpu_idle";
+  rule.aggregate = Aggregate::kMean;
+  rule.window_ns = 250;
+  ASSERT_TRUE(engine.register_downsample(rule).is_ok());
+  ASSERT_TRUE(engine.materialize_downsamples().is_ok());
+
+  Query q = grouped_query(Aggregate::kMean);
+  q.time_min = 100;  // not a multiple of the window
+  auto raw = run(db_, q);
+  auto answered = engine.run(q);
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_TRUE(answered.has_value());
+  EXPECT_EQ(engine.stats().pushdown_hits, 0u);
+  EXPECT_EQ(engine.stats().pushdown_fallbacks, 0u);  // not even eligible
+  EXPECT_EQ(raw->rows, answered->rows);
+}
+
+TEST(QueryEngineRules, RegistrationValidatesAndDefaultsTarget) {
+  tsdb::TimeSeriesDb db;
+  QueryEngine engine(db);
+  DownsampleRule rule;
+  EXPECT_FALSE(engine.register_downsample(rule).is_ok());  // no source
+  rule.source_measurement = "m";
+  rule.aggregate = Aggregate::kNone;
+  EXPECT_FALSE(engine.register_downsample(rule).is_ok());  // no aggregate
+  rule.aggregate = Aggregate::kMean;
+  rule.window_ns = 0;
+  EXPECT_FALSE(engine.register_downsample(rule).is_ok());  // no window
+  rule.window_ns = 1000;
+  ASSERT_TRUE(engine.register_downsample(rule).is_ok());
+  auto rules = engine.downsamples();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].target_measurement, "m_mean_1000ns");
+  EXPECT_EQ(engine.register_downsample(rule).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(QueryEngineConcurrency, ReadersRunAgainstBatchWriters) {
+  tsdb::TimeSeriesDb db;
+  QueryEngine engine(db);
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kBatches = 40;
+  constexpr int kBatchSize = 25;
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&db, &go, w] {
+      while (!go.load()) std::this_thread::yield();
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<tsdb::Point> batch;
+        for (int i = 0; i < kBatchSize; ++i) {
+          const int n = b * kBatchSize + i;
+          batch.push_back(make_point(
+              "stress", static_cast<TimeNs>(n) * 1000 + w, 1.0, 2.0));
+        }
+        ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+      }
+    });
+  }
+  const Query count_q = QueryBuilder("stress")
+                            .select(Aggregate::kCount, "_cpu0")
+                            .build();
+  const Query raw_q = QueryBuilder("stress").select("_cpu0").build();
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&engine, &go, &count_q, &raw_q, r] {
+      while (!go.load()) std::this_thread::yield();
+      double last = 0.0;
+      for (int i = 0; i < 200; ++i) {
+        auto result = engine.run(r % 2 == 0 ? count_q : raw_q);
+        if (!result.has_value()) continue;  // measurement not written yet
+        if (result->rows.empty()) continue;
+        if (r % 2 == 0) {
+          // Counts observed by one reader never go backwards.
+          const double count = result->rows[0][1];
+          EXPECT_GE(count, last);
+          last = count;
+        }
+      }
+    });
+  }
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(db.point_count("stress"),
+            static_cast<std::size_t>(kWriters * kBatches * kBatchSize));
+  auto final_count = engine.run(count_q);
+  ASSERT_TRUE(final_count.has_value());
+  EXPECT_EQ(final_count->rows[0][1],
+            static_cast<double>(kWriters * kBatches * kBatchSize));
+}
+
+// ------------------------------------------------------- Expected helpers
+
+TEST(ExpectedHelpers, MapTransformsValuesAndForwardsErrors) {
+  Expected<int> ok = 21;
+  EXPECT_EQ(ok.map([](int v) { return v * 2; }).value(), 42);
+  Expected<int> err = Status::not_found("nope");
+  auto mapped = err.map([](int v) { return v * 2; });
+  ASSERT_FALSE(mapped.has_value());
+  EXPECT_EQ(mapped.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(mapped.status().message(), "nope");
+  EXPECT_EQ(err.map([](int v) { return v; }).value_or(7), 7);
+}
+
+TEST(ExpectedHelpers, AndThenChainsFallibleSteps) {
+  const auto half = [](int v) -> Expected<int> {
+    if (v % 2 != 0) return Status::invalid_argument("odd");
+    return v / 2;
+  };
+  Expected<int> ok = 84;
+  EXPECT_EQ(ok.and_then(half).value(), 42);
+  EXPECT_EQ(Expected<int>(43).and_then(half).status().code(),
+            ErrorCode::kInvalidArgument);
+  Expected<int> err = Status::unavailable("down");
+  EXPECT_EQ(err.and_then(half).status().code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace pmove::query

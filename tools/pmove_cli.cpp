@@ -18,6 +18,8 @@
 //   pmove record <preset> <kernel> <dir>     profile + save the session
 //   pmove replay <dir> <host>                reopen a recorded session
 //   pmove ingest-bench [n] [shards] [batch]  per-point DB vs ingest engine
+//   pmove query-bench [panels] [refr] [n] [w]  read-path head-to-head
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +36,7 @@
 #include "ingest/engine.hpp"
 #include "kb/linked_query.hpp"
 #include "kernels/kernels.hpp"
+#include "query/engine.hpp"
 #include "topology/prober.hpp"
 
 using namespace pmove;
@@ -59,6 +62,7 @@ int usage() {
       "  record <preset> <kernel> <dir>      profile + save session\n"
       "  replay <dir> <host>                 reopen a recorded session\n"
       "  ingest-bench [n] [shards] [batch]   per-point DB vs ingest engine\n"
+      "  query-bench [panels] [refr] [n] [w] string vs typed vs cached reads\n"
       "presets: skx icl csl zen3   kernels: sum stream triad peakflops"
       " ddot daxpy\n");
   return 2;
@@ -161,7 +165,7 @@ int cmd_scenario_a(int argc, char** argv) {
               result->stats.throughput);
   dashboard::Dashboard trimmed = result->dashboard;
   if (trimmed.panels.size() > 3) trimmed.panels.resize(3);
-  std::printf("%s", render_dashboard(trimmed, daemon.timeseries()).c_str());
+  std::printf("%s", render_dashboard(trimmed, daemon.query_engine()).c_str());
   return 0;
 }
 
@@ -196,10 +200,13 @@ int cmd_scenario_b(int argc, char** argv) {
   }
   std::printf("observation %s\nreport: %s\nqueries:\n", obs->tag.c_str(),
               obs->report.dump_pretty().c_str());
-  for (const auto& query : obs->generate_queries()) {
-    auto rows = daemon.timeseries().query(query);
-    std::printf("  %s  (%zu rows)\n", query.c_str(),
-                rows.has_value() ? rows->rows.size() : 0u);
+  for (const auto& query : obs->generate_typed_queries()) {
+    const std::size_t rows =
+        daemon.query_engine()
+            .run(query)
+            .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
+            .value_or(0);
+    std::printf("  %s  (%zu rows)\n", query.to_string().c_str(), rows);
   }
   return 0;
 }
@@ -395,10 +402,13 @@ int cmd_replay(int argc, char** argv) {
   for (const auto& obs : kb.observations()) {
     std::printf("\nobservation %s (%s):\n", obs.tag.c_str(),
                 obs.command.c_str());
-    for (const auto& query : obs.generate_queries()) {
-      auto rows = daemon.timeseries().query(query);
-      std::printf("  %s  (%zu rows)\n", query.c_str(),
-                  rows.has_value() ? rows->rows.size() : 0u);
+    for (const auto& query : obs.generate_typed_queries()) {
+      const std::size_t rows =
+          daemon.query_engine()
+              .run(query)
+              .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
+              .value_or(0);
+      std::printf("  %s  (%zu rows)\n", query.to_string().c_str(), rows);
     }
   }
   return 0;
@@ -541,6 +551,167 @@ int cmd_ingest_bench(int argc, char** argv) {
   return 0;
 }
 
+// Head-to-head of the read paths over dashboard-shaped queries: the seed
+// string path (reparse + rescan every refresh), the typed path (prebuilt
+// Query, rescan every refresh), and the query engine (prebuilt Query +
+// epoch-keyed result cache).  Background producers batch-write into their
+// own measurements the whole time, so every path also contends with live
+// ingestion through the DB's shared_mutex — the recorded-observation
+// dashboard shape, where refreshed panels aren't the series being written.
+int cmd_query_bench(int argc, char** argv) {
+  const std::size_t panels =
+      argc > 2 ? std::max<std::size_t>(
+                     1, static_cast<std::size_t>(std::atoll(argv[2])))
+               : 16;
+  const std::size_t refreshes =
+      argc > 3 ? std::max<std::size_t>(
+                     1, static_cast<std::size_t>(std::atoll(argv[3])))
+               : 100;
+  const std::size_t total_points =
+      argc > 4 ? std::max<std::size_t>(
+                     panels, static_cast<std::size_t>(std::atoll(argv[4])))
+               : 100'000;
+  const std::size_t producers =
+      argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 2;
+  const std::size_t per_panel = total_points / panels;
+
+  tsdb::TimeSeriesDb db;
+  for (std::size_t p = 0; p < panels; ++p) {
+    std::vector<tsdb::Point> batch;
+    batch.reserve(per_panel);
+    for (std::size_t i = 0; i < per_panel; ++i) {
+      tsdb::Point point;
+      point.measurement = "hw_PANEL_EVENT_" + std::to_string(p);
+      point.tags["tag"] = "bench";
+      point.time = static_cast<TimeNs>(i) * 50'000'000;  // 20 Hz sampling
+      for (int f = 0; f < 4; ++f) {
+        point.fields["_cpu" + std::to_string(f)] =
+            static_cast<double>((i * 31 + static_cast<std::size_t>(f)) % 997);
+      }
+      batch.push_back(std::move(point));
+    }
+    if (auto s = db.write_batch(std::move(batch)); !s.is_ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+
+  // The queries a KB-generated dashboard refreshes: raw Listing-3 panels
+  // (SELECT * ... WHERE tag=...) alternating with Grafana-style downsample
+  // panels (mean over GROUP BY time(1s) windows).
+  std::vector<std::string> texts;
+  std::vector<query::Query> queries;
+  for (std::size_t p = 0; p < panels; ++p) {
+    query::QueryBuilder builder("hw_PANEL_EVENT_" + std::to_string(p));
+    if (p % 2 == 0) {
+      builder.select_all();
+    } else {
+      for (int f = 0; f < 4; ++f) {
+        builder.select(query::Aggregate::kMean, "_cpu" + std::to_string(f));
+      }
+      builder.group_by_time(kNsPerSec);
+    }
+    builder.where_tag("tag", "bench");
+    query::Query q = std::move(builder).build();
+    texts.push_back(q.to_string());
+    queries.push_back(std::move(q));
+  }
+
+  // Each path refreshes every panel `refreshes` times while producers
+  // batch-write into their own measurements (refreshed panels stay
+  // cache-valid while writers contend for the lock — the recorded-
+  // observation dashboard shape).  Producers start fresh and their series
+  // are dropped per section, so all three paths run against identical DB
+  // state despite running back to back.
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t produced_total = 0;
+  const auto run_section = [&](auto&& run_one) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> produced{0};
+    std::vector<std::thread> writers;
+    for (std::size_t p = 0; p < producers; ++p) {
+      writers.emplace_back([&db, &stop, &produced, p] {
+        std::size_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::vector<tsdb::Point> batch;
+          batch.reserve(256);
+          for (std::size_t j = 0; j < 256; ++j, ++i) {
+            tsdb::Point point;
+            point.measurement = "sw_live_ingest_" + std::to_string(p);
+            point.time = static_cast<TimeNs>(i) * 1'000'000;
+            point.fields["value"] = static_cast<double>(i % 1013);
+            batch.push_back(std::move(point));
+          }
+          (void)db.write_batch(std::move(batch));
+          produced.fetch_add(256, std::memory_order_relaxed);
+          // Sampler-shaped cadence: batches arrive periodically, they
+          // don't spin on the write lock.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+    }
+    std::size_t rows = 0;
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < refreshes; ++r) {
+      for (std::size_t p = 0; p < panels; ++p) rows += run_one(p);
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    stop.store(true);
+    for (auto& t : writers) t.join();
+    produced_total += produced.load();
+    for (std::size_t p = 0; p < producers; ++p) {
+      (void)db.drop_measurement("sw_live_ingest_" + std::to_string(p));
+    }
+    return std::make_pair(seconds, rows);
+  };
+
+  const auto [string_s, string_rows] = run_section([&](std::size_t p) {
+    return db.query(texts[p])
+        .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
+        .value_or(0);
+  });
+  const auto [typed_s, typed_rows] = run_section([&](std::size_t p) {
+    return query::run(db, queries[p])
+        .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
+        .value_or(0);
+  });
+  query::QueryEngine engine(db);
+  const auto [cached_s, cached_rows] = run_section([&](std::size_t p) {
+    return engine.run(queries[p])
+        .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
+        .value_or(0);
+  });
+
+  if (string_rows != typed_rows || typed_rows != cached_rows) {
+    std::fprintf(stderr, "row mismatch: string %zu typed %zu cached %zu\n",
+                 string_rows, typed_rows, cached_rows);
+    return 1;
+  }
+
+  const double executed = static_cast<double>(panels * refreshes);
+  const auto report = [executed](const char* label, double seconds) {
+    std::printf("%-34s %9.3fs %12.0f queries/s\n", label, seconds,
+                executed / seconds);
+  };
+  std::printf("panels: %zu   refreshes: %zu   points/panel: %zu   "
+              "producers: %zu\n",
+              panels, refreshes, per_panel, producers);
+  report("string path (reparse + rescan)", string_s);
+  report("typed Query (rescan)", typed_s);
+  report("query engine (result cache)", cached_s);
+  std::printf("typed vs string (cache-cold): %.2fx\n", string_s / typed_s);
+  std::printf("engine vs string (cache-warm): %.1fx\n", string_s / cached_s);
+  const auto stats = engine.stats();
+  std::printf("engine: %llu queries, %llu hits, %llu misses; "
+              "%llu points ingested concurrently\n",
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(produced_total));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -561,5 +732,6 @@ int main(int argc, char** argv) {
   if (command == "record") return cmd_record(argc, argv);
   if (command == "replay") return cmd_replay(argc, argv);
   if (command == "ingest-bench") return cmd_ingest_bench(argc, argv);
+  if (command == "query-bench") return cmd_query_bench(argc, argv);
   return usage();
 }
