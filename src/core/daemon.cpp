@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "carm/microbench.hpp"
+#include "fault/fault.hpp"
 #include "json/jsonld.hpp"
 #include "kb/metrics_catalog.hpp"
 #include "kernels/kernels.hpp"
@@ -28,9 +29,37 @@ DaemonConfig DaemonConfig::from_env(
   if (auto v = lookup("PMOVE_GRAFANA_TOKEN"); !v.empty()) {
     config.grafana_token = v;
   }
+  // Malformed numeric environment values never abort startup: each knob
+  // falls back to its default with a logged warning.  (std::atoi would have
+  // silently produced 0; std::stoi would have thrown.)
   if (auto v = lookup("PMOVE_INGEST_SHARDS"); !v.empty()) {
-    config.ingest.shard_count = std::max(1, std::atoi(v.c_str()));
+    if (auto n = strings::parse_int(v); n && *n >= 1 && *n <= 1024) {
+      config.ingest.shard_count = static_cast<int>(*n);
+    } else {
+      log_warn("daemon") << "ignoring PMOVE_INGEST_SHARDS='" << v
+                         << "' (want an integer in [1,1024]), keeping "
+                         << config.ingest.shard_count;
+    }
     config.ingest_enabled = true;
+  }
+  if (auto v = lookup("PMOVE_INGEST_QUEUE_CAP"); !v.empty()) {
+    if (auto n = strings::parse_int(v); n && *n >= 1) {
+      config.ingest.queue_capacity = static_cast<std::size_t>(*n);
+    } else {
+      log_warn("daemon") << "ignoring PMOVE_INGEST_QUEUE_CAP='" << v
+                         << "' (want a positive integer), keeping "
+                         << config.ingest.queue_capacity;
+    }
+    config.ingest_enabled = true;
+  }
+  if (auto v = lookup("PMOVE_RETENTION_S"); !v.empty()) {
+    if (auto secs = strings::parse_double(v); secs && *secs >= 0.0) {
+      config.retention_ns = from_seconds(*secs);
+    } else {
+      log_warn("daemon") << "ignoring PMOVE_RETENTION_S='" << v
+                         << "' (want a non-negative number of seconds), "
+                            "keeping retention disabled";
+    }
   }
   if (auto v = lookup("PMOVE_INGEST_POLICY"); !v.empty()) {
     if (auto policy = ingest::parse_backpressure(v)) {
@@ -45,6 +74,17 @@ DaemonConfig DaemonConfig::from_env(
     config.ingest.wal_dir = v;
     config.ingest_enabled = true;
   }
+  // Deterministic fault injection (tests, chaos drills):
+  //   PMOVE_FAULT="wal.append.fsync=fail_after:100;tsdb.write_batch=error_rate:0.05,seed:7"
+  // A malformed spec arms nothing (all-or-nothing parse).
+  if (auto v = lookup("PMOVE_FAULT"); !v.empty()) {
+    if (Status s = fault::arm_from_spec(v); !s.is_ok()) {
+      log_warn("daemon") << "PMOVE_FAULT rejected, nothing armed: "
+                         << s.message();
+    } else {
+      log_info("daemon") << "fault injection armed: " << fault::to_spec();
+    }
+  }
   return config;
 }
 
@@ -52,14 +92,28 @@ Daemon::Daemon(DaemonConfig config)
     : config_(std::move(config)),
       layer_(abstraction::AbstractionLayer::with_builtin_configs()),
       ts_(tsdb::RetentionPolicy{config_.retention_ns}),
-      uuids_(config_.seed) {}
+      uuids_(config_.seed) {
+  // Passive components have no restart story; they anchor the registry so
+  // `pmove health` shows the full surface even before anything fails.
+  health_.register_component("tsdb");
+  health_.register_component("query");
+}
 
 Status Daemon::enable_ingest() {
   if (ingest_ != nullptr) return Status::ok();
+  config_.ingest.health = &health_;
   auto engine =
       std::make_unique<ingest::IngestEngine>(config_.ingest, &ts_);
   if (Status s = engine->open(); !s.is_ok()) return s;
   ingest_ = std::move(engine);
+  // Supervised: a failed shard sink or WAL is "restarted" by resetting the
+  // engine's breakers (reopen), after which parked batches replay.
+  const auto restart_ingest = [this]() { return ingest_->reopen(); };
+  for (int i = 0; i < ingest_->shard_count(); ++i) {
+    health_.register_component("ingest.shard" + std::to_string(i),
+                               restart_ingest);
+  }
+  health_.register_component("ingest.wal", restart_ingest);
   return Status::ok();
 }
 
@@ -247,6 +301,32 @@ Expected<Daemon::ScenarioAResult> Daemon::run_scenario_a(double frequency_hz,
     (void)ingest_->publish_self_telemetry(from_seconds(duration_s));
     if (Status s = ingest_->flush(); !s.is_ok()) return s;
   }
+
+  // Health verdict for the sampling tier; a session that delivered nothing
+  // counts as failed and the supervisor may re-run it with these
+  // parameters.
+  last_scenario_a_ = ScenarioAParams{frequency_hz, metric_count, duration_s};
+  health_.register_component("sampler.scenario_a", [this]() {
+    if (!last_scenario_a_) {
+      return Status::unavailable("no scenario-a session to restart");
+    }
+    const ScenarioAParams params = *last_scenario_a_;
+    auto rerun = run_scenario_a(params.frequency_hz, params.metric_count,
+                                params.duration_s);
+    return rerun ? Status::ok() : rerun.status();
+  });
+  if (result.stats.expected > 0 && result.stats.inserted == 0) {
+    health_.report_failed("sampler.scenario_a",
+                          "session delivered no points");
+  } else if (result.stats.lost() > 0) {
+    health_.report_degraded(
+        "sampler.scenario_a",
+        std::to_string(result.stats.lost()) + " of " +
+            std::to_string(result.stats.expected) + " points lost");
+  } else {
+    health_.report_healthy("sampler.scenario_a");
+  }
+
   result.dashboard = std::move(dash.value());
   return result;
 }

@@ -32,6 +32,7 @@
 #include "sampler/live.hpp"
 #include "sampler/session.hpp"
 #include "tsdb/db.hpp"
+#include "util/health.hpp"
 #include "util/status.hpp"
 #include "workload/counter_source.hpp"
 
@@ -162,6 +163,20 @@ class Daemon {
   /// Re-stores the KB (step 3 re-occurs every time the KB changes).
   Status sync_kb();
 
+  // ------------------------------------------------------------- health
+  /// Component health: ingest shards and WAL report transitions here, the
+  /// last Scenario A session reports its outcome, and `pmove health`
+  /// renders the registry.
+  [[nodiscard]] HealthRegistry& health() { return health_; }
+  [[nodiscard]] const HealthRegistry& health() const { return health_; }
+
+  /// One supervisor tick at `now`: failed components with a restart
+  /// callback (ingest breakers, the sampler session) are restarted under
+  /// exponential backoff.
+  HealthRegistry::SuperviseResult supervise(TimeNs now) {
+    return health_.supervise(now);
+  }
+
  private:
   DaemonConfig config_;
   abstraction::AbstractionLayer layer_;
@@ -171,6 +186,15 @@ class Daemon {
   std::unique_ptr<ingest::IngestEngine> ingest_;  ///< fronts ts_ when enabled
   std::optional<kb::KnowledgeBase> kb_;
   kb::UuidGenerator uuids_;
+  HealthRegistry health_;
+  /// Last Scenario A parameters: the supervisor's restart callback re-runs
+  /// the session with them when it reported failed.
+  struct ScenarioAParams {
+    double frequency_hz = 0.0;
+    int metric_count = 0;
+    double duration_s = 0.0;
+  };
+  std::optional<ScenarioAParams> last_scenario_a_;
   int next_pid_ = 10'000;  ///< synthetic pids for profiled workloads
 };
 

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.hpp"
+
 namespace pmove::docdb {
 
 std::string DocumentStore::document_id(const json::Value& document,
@@ -22,6 +24,7 @@ std::string DocumentStore::document_id(const json::Value& document,
 
 Expected<std::string> DocumentStore::insert(std::string_view collection,
                                             json::Value document) {
+  if (Status s = fault::point("docdb.insert"); !s.is_ok()) return s;
   std::lock_guard<std::mutex> lock(mutex_);
   std::string id = document_id(document, &sequence_);
   auto& coll = collections_[std::string(collection)];
@@ -34,6 +37,7 @@ Expected<std::string> DocumentStore::insert(std::string_view collection,
 
 Expected<std::string> DocumentStore::upsert(std::string_view collection,
                                             json::Value document) {
+  if (Status s = fault::point("docdb.insert"); !s.is_ok()) return s;
   std::lock_guard<std::mutex> lock(mutex_);
   std::string id = document_id(document, &sequence_);
   collections_[std::string(collection)][id] = std::move(document);

@@ -1,0 +1,291 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace pmove::fault {
+
+namespace detail {
+std::atomic<int> g_armed_points{0};
+}
+
+namespace {
+
+struct PointState {
+  FaultSpec spec;
+  std::uint64_t triggers = 0;
+  std::uint64_t fires = 0;
+  std::uint64_t rng_state = 0;  ///< SplitMix64 stream for error_rate
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: alive at exit
+  return *instance;
+}
+
+/// Uniform [0,1) from a SplitMix64 step (keeps PointState trivially
+/// movable — no mt19937 state per point).
+double next_unit(std::uint64_t& state) {
+  state = mix_seed(state, 0x5eedu);
+  return static_cast<double>(state >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+/// Decides whether the point fires and updates counters.  Returns the spec
+/// when it does; latency is injected by the caller-facing wrappers.
+std::optional<FaultSpec> query(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return std::nullopt;
+  PointState& state = it->second;
+  ++state.triggers;
+  bool fire = false;
+  switch (state.spec.mode) {
+    case FaultMode::kFailTimes:
+      fire = state.fires < state.spec.count;
+      break;
+    case FaultMode::kFailAfter:
+      fire = state.triggers > state.spec.count;
+      break;
+    case FaultMode::kErrorRate:
+      fire = next_unit(state.rng_state) < state.spec.rate;
+      break;
+    case FaultMode::kLatency:
+      fire = true;
+      break;
+    case FaultMode::kTornWrite:
+      fire = state.fires < 1;  // a torn write is a crash: fires once
+      break;
+  }
+  if (!fire) return std::nullopt;
+  ++state.fires;
+  return state.spec;
+}
+
+Expected<FaultSpec> parse_fragment(std::string_view fragment) {
+  const std::vector<std::string> parts = strings::split(fragment, ',');
+  if (parts.empty() || strings::trim(parts[0]).empty()) {
+    return Status::parse_error("empty fault mode");
+  }
+  FaultSpec spec;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string_view part = strings::trim(parts[i]);
+    const std::size_t colon = part.find(':');
+    const std::string_view key = strings::trim(part.substr(0, colon));
+    const std::string_view arg =
+        colon == std::string_view::npos ? "" : strings::trim(part.substr(colon + 1));
+    if (i == 0) {
+      if (key == "fail" || key == "fail_after" || key == "torn_write") {
+        spec.mode = key == "fail"         ? FaultMode::kFailTimes
+                    : key == "fail_after" ? FaultMode::kFailAfter
+                                          : FaultMode::kTornWrite;
+        if (arg.empty()) {
+          spec.count = key == "torn_write" ? 0 : 1;
+          continue;
+        }
+        auto count = strings::parse_int(arg);
+        if (!count || *count < 0) {
+          return Status::parse_error("bad count in '" +
+                                     std::string(fragment) + "'");
+        }
+        spec.count = static_cast<std::uint64_t>(*count);
+      } else if (key == "error_rate") {
+        spec.mode = FaultMode::kErrorRate;
+        auto rate = strings::parse_double(arg);
+        if (!rate || *rate < 0.0 || *rate > 1.0) {
+          return Status::parse_error("error_rate needs a probability in "
+                                     "[0,1]: '" +
+                                     std::string(fragment) + "'");
+        }
+        spec.rate = *rate;
+      } else if (key == "latency") {
+        spec.mode = FaultMode::kLatency;
+        // Duration with unit suffix; bare numbers are milliseconds.
+        std::string_view digits = arg;
+        TimeNs scale = 1'000'000;
+        for (const auto& [suffix, unit] :
+             {std::pair<std::string_view, TimeNs>{"ns", 1},
+              {"us", 1'000},
+              {"ms", 1'000'000},
+              {"s", kNsPerSec}}) {
+          if (strings::ends_with(arg, suffix)) {
+            digits = arg.substr(0, arg.size() - suffix.size());
+            scale = unit;
+            break;
+          }
+        }
+        auto duration = strings::parse_double(digits);
+        if (!duration || *duration < 0.0) {
+          return Status::parse_error("bad latency in '" +
+                                     std::string(fragment) + "'");
+        }
+        spec.latency_ns =
+            static_cast<TimeNs>(*duration * static_cast<double>(scale));
+      } else {
+        return Status::parse_error("unknown fault mode '" + std::string(key) +
+                                   "' in '" + std::string(fragment) + "'");
+      }
+    } else if (key == "seed") {
+      auto seed = strings::parse_int(arg);
+      if (!seed || *seed < 0) {
+        return Status::parse_error("bad seed in '" + std::string(fragment) +
+                                   "'");
+      }
+      spec.seed = static_cast<std::uint64_t>(*seed);
+    } else {
+      return Status::parse_error("unknown fault option '" + std::string(key) +
+                                 "' in '" + std::string(fragment) + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string FaultSpec::to_string() const {
+  switch (mode) {
+    case FaultMode::kFailTimes:
+      return "fail:" + std::to_string(count);
+    case FaultMode::kFailAfter:
+      return "fail_after:" + std::to_string(count);
+    case FaultMode::kTornWrite:
+      return "torn_write:" + std::to_string(count);
+    case FaultMode::kErrorRate: {
+      std::string out = "error_rate:" + strings::format_double(rate, 6);
+      // Trim trailing zeros for readability ("0.050000" -> "0.05").
+      while (out.size() > 1 && out.back() == '0') out.pop_back();
+      if (out.back() == '.') out.push_back('0');
+      if (seed != 0) out += ",seed:" + std::to_string(seed);
+      return out;
+    }
+    case FaultMode::kLatency:
+      return "latency:" + std::to_string(latency_ns) + "ns";
+  }
+  return "unknown";
+}
+
+Status point(std::string_view name) {
+  if (!armed()) return Status::ok();
+  const std::optional<FaultSpec> fired = query(name);
+  if (!fired.has_value()) return Status::ok();
+  if (fired->mode == FaultMode::kLatency) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(fired->latency_ns));
+    return Status::ok();
+  }
+  return Status::unavailable("injected fault at '" + std::string(name) + "'");
+}
+
+std::optional<FaultSpec> fires(std::string_view name) {
+  if (!armed()) return std::nullopt;
+  return query(name);
+}
+
+void arm(std::string_view name, FaultSpec spec) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  PointState state;
+  state.spec = spec;
+  state.rng_state = mix_seed(spec.seed, 0xfa17u);
+  auto [it, inserted] = reg.points.insert_or_assign(std::string(name), state);
+  (void)it;
+  if (inserted) {
+    detail::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status arm_from_spec(std::string_view spec) {
+  auto parsed = parse_spec(spec);
+  if (!parsed) return parsed.status();
+  for (auto& [name, fault_spec] : *parsed) arm(name, fault_spec);
+  return Status::ok();
+}
+
+Expected<std::vector<std::pair<std::string, FaultSpec>>> parse_spec(
+    std::string_view spec) {
+  std::vector<std::pair<std::string, FaultSpec>> out;
+  for (const std::string& entry : strings::split_trimmed(spec, ';')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::parse_error("fault spec entry needs '=': '" + entry +
+                                 "'");
+    }
+    const std::string name{strings::trim(std::string_view(entry).substr(0, eq))};
+    if (name.empty()) {
+      return Status::parse_error("fault spec entry has no point name: '" +
+                                 entry + "'");
+    }
+    auto fault_spec =
+        parse_fragment(strings::trim(std::string_view(entry).substr(eq + 1)));
+    if (!fault_spec) return fault_spec.status();
+    out.emplace_back(name, *fault_spec);
+  }
+  return out;
+}
+
+void disarm(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.points.erase(std::string(name)) > 0) {
+    detail::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  detail::g_armed_points.fetch_sub(static_cast<int>(reg.points.size()),
+                                   std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+std::uint64_t trigger_count(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.triggers;
+}
+
+std::uint64_t fire_count(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<PointStats> stats() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<PointStats> out;
+  out.reserve(reg.points.size());
+  for (const auto& [name, state] : reg.points) {
+    out.push_back({name, state.spec, state.triggers, state.fires});
+  }
+  return out;
+}
+
+std::string to_spec() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::string out;
+  for (const auto& [name, state] : reg.points) {
+    if (!out.empty()) out += ';';
+    out += name;
+    out += '=';
+    out += state.spec.to_string();
+  }
+  return out;
+}
+
+}  // namespace pmove::fault

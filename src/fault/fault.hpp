@@ -1,0 +1,119 @@
+// Deterministic, seed-driven fault injection.
+//
+// Production code declares named injection points and queries them inline on
+// the path it wants to be able to break:
+//
+//   if (Status s = fault::point("wal.append.fsync"); !s.is_ok()) return s;
+//
+// When nothing is armed the query is a single relaxed atomic load, so the
+// points stay compiled into release builds at zero cost.  Points are armed
+// programmatically (tests) or from a PMOVE_FAULT spec parsed at daemon
+// startup:
+//
+//   PMOVE_FAULT="wal.append.fsync=fail:3;tsdb.write_batch=error_rate:0.05,seed:7"
+//
+// Modes:
+//   fail:N         the next N triggers fail, then the point heals
+//   fail_after:N   the first N triggers succeed, every later one fails
+//   error_rate:P   each trigger fails with probability P — seeded and
+//                  deterministic (`,seed:S` selects the stream)
+//   latency:D      each trigger sleeps D (ns/us/ms/s suffix; default ms)
+//                  and then succeeds
+//   torn_write:B   fires once; cooperating call sites (the WAL) truncate
+//                  their write to B payload bytes, simulating a crash
+//                  mid-record
+//
+// Every point keeps trigger (queried while armed) and fire (actually
+// failed/slept/tore) counters so tests can assert exactly what happened.
+//
+// Registered injection points in the tree (grep `fault::point` /
+// `fault::fires` for ground truth):
+//   wal.append          wal.append.fsync    wal.append.torn
+//   wal.checkpoint      tsdb.write_batch    transport.offer
+//   docdb.insert
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove::fault {
+
+enum class FaultMode {
+  kFailTimes,
+  kFailAfter,
+  kErrorRate,
+  kLatency,
+  kTornWrite,
+};
+
+struct FaultSpec {
+  FaultMode mode = FaultMode::kFailTimes;
+  /// fail:N / fail_after:N counts; torn_write:B payload bytes kept.
+  std::uint64_t count = 1;
+  double rate = 0.0;           ///< error_rate probability
+  std::uint64_t seed = 0;      ///< error_rate stream
+  TimeNs latency_ns = 0;       ///< latency injection duration
+
+  /// Canonical spec fragment ("fail:3", "error_rate:0.05,seed:7", ...);
+  /// round-trips through parse_spec().
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct PointStats {
+  std::string name;
+  FaultSpec spec;
+  std::uint64_t triggers = 0;  ///< queries while the point was armed
+  std::uint64_t fires = 0;     ///< triggers that injected the fault
+};
+
+namespace detail {
+extern std::atomic<int> g_armed_points;
+}
+
+/// True when at least one point is armed anywhere in the process.  This is
+/// the entire hot-path cost of an unarmed injection point.
+inline bool armed() {
+  return detail::g_armed_points.load(std::memory_order_relaxed) > 0;
+}
+
+/// Queries the injection point.  ok() when unarmed or the fault does not
+/// fire; an injected kUnavailable Status (carrying the point name) when it
+/// does.  Latency mode sleeps, then returns ok().
+Status point(std::string_view name);
+
+/// Raw variant for call sites with custom failure behaviour (torn writes):
+/// returns the armed spec when the point fires on this trigger.
+std::optional<FaultSpec> fires(std::string_view name);
+
+/// Arms `name` with `spec` (replacing any previous arming and resetting its
+/// counters).
+void arm(std::string_view name, FaultSpec spec);
+
+/// Parses a PMOVE_FAULT-style spec ("point=mode:arg[,k:v];point2=...") and
+/// arms every entry.  All-or-nothing: a malformed spec arms nothing and
+/// returns a parse_error naming the offending fragment.
+Status arm_from_spec(std::string_view spec);
+
+/// Parses without arming (spec validation, round-trip tests).
+Expected<std::vector<std::pair<std::string, FaultSpec>>> parse_spec(
+    std::string_view spec);
+
+void disarm(std::string_view name);
+void disarm_all();
+
+[[nodiscard]] std::uint64_t trigger_count(std::string_view name);
+[[nodiscard]] std::uint64_t fire_count(std::string_view name);
+[[nodiscard]] std::vector<PointStats> stats();
+
+/// Serializes the armed points back into spec syntax (sorted by name);
+/// parse_spec(to_spec()) reproduces the registry.
+[[nodiscard]] std::string to_spec();
+
+}  // namespace pmove::fault

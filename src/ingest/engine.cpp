@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "fault/fault.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace pmove::ingest {
@@ -74,6 +76,9 @@ Expected<BackpressurePolicy> parse_backpressure(std::string_view name) {
 IngestEngine::IngestEngine(IngestOptions options,
                            tsdb::TimeSeriesDb* external)
     : options_(std::move(options)), external_(external) {
+  static const WallClock kWallClock;
+  clock_ = options_.clock != nullptr ? options_.clock : &kWallClock;
+  sleep_ = options_.sleep ? options_.sleep : real_sleep();
   options_.shard_count = std::max(1, options_.shard_count);
   options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
   for (int i = 0; i < options_.shard_count; ++i) {
@@ -81,8 +86,13 @@ IngestEngine::IngestEngine(IngestOptions options,
     if (external_ == nullptr) {
       shard->storage = std::make_unique<tsdb::TimeSeriesDb>();
     }
+    shard->breaker = std::make_unique<CircuitBreaker>(
+        "ingest.shard" + std::to_string(i), options_.sink_breaker, clock_);
+    shard->seed = mix_seed(0x50'4d'56u, static_cast<std::uint64_t>(i));
     shards_.push_back(std::move(shard));
   }
+  wal_breaker_ = std::make_unique<CircuitBreaker>(
+      "ingest.wal", options_.wal_breaker, clock_);
 }
 
 IngestEngine::~IngestEngine() { close(); }
@@ -147,13 +157,29 @@ Status IngestEngine::open() {
 
 void IngestEngine::close() {
   if (!running_) return;
+  // Draining tells the workers to abandon parked batches they cannot
+  // deliver (the sink is still down): without this, flush() below would
+  // wait for a recovery that may never come.  The abandoned batches are in
+  // the WAL, so the next open() replays them.
+  draining_.store(true, std::memory_order_release);
   (void)flush();
   for (auto& shard : shards_) shard->queue.close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
   wal_.close();
+  draining_.store(false, std::memory_order_relaxed);
   running_ = false;
+}
+
+Status IngestEngine::reopen() {
+  if (!running_) return open();
+  // The engine is alive; the supervisor believes the downstream fault is
+  // fixed.  Force the breakers closed so traffic (and parked replay)
+  // resumes immediately instead of waiting out cooldowns.
+  for (auto& shard : shards_) shard->breaker->reset();
+  wal_breaker_->reset();
+  return Status::ok();
 }
 
 // --------------------------------------------------------------- write path
@@ -194,13 +220,30 @@ Status IngestEngine::submit_lines(std::string_view text) {
 
 Status IngestEngine::wal_append_batch(const Batch& batch) {
   if (!wal_enabled()) return Status::ok();
+  // Breaker-guarded: a dying disk fails producers fast (kAborted) instead
+  // of making every submit ride out the full retry budget.
+  if (!wal_breaker_->allow()) {
+    return wal_breaker_->reject_status();
+  }
   std::string payload;
   for (const tsdb::Point& p : batch) {
     payload += p.to_line();
     payload += '\n';
   }
-  auto lsn = wal_.append(payload);
-  return lsn ? Status::ok() : lsn.status();
+  Status result =
+      retry(options_.wal_retry, *clock_, sleep_, /*seed=*/0x3a1u, [&] {
+        auto lsn = wal_.append(payload);
+        return lsn ? Status::ok() : lsn.status();
+      });
+  if (!result.is_ok()) {
+    wal_breaker_->record_failure();
+    wal_failures_ += 1;
+    report_component(wal_healthy_, "ingest.wal", result);
+    return result;
+  }
+  wal_breaker_->record_success();
+  report_component(wal_healthy_, "ingest.wal", Status::ok());
+  return result;
 }
 
 Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
@@ -285,6 +328,9 @@ Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
 void IngestEngine::worker_loop(Shard& shard) {
   while (true) {
     std::vector<Batch> batches = shard.queue.pop_all(kWorkerIdleNs);
+    // Replay parked batches first so a recovering sink sees the shard's
+    // traffic in submission order.
+    drain_parked(shard);
     for (Batch& batch : batches) {
       apply_batch(shard, std::move(batch));
     }
@@ -298,8 +344,9 @@ void IngestEngine::worker_loop(Shard& shard) {
     for (Batch& batch : spilled) {
       apply_batch(shard, std::move(batch));
     }
+    if (draining_.load(std::memory_order_acquire)) drain_parked(shard);
     if (shard.queue.is_closed() && batches.empty() && spilled.empty() &&
-        shard.queue.size() == 0) {
+        shard.queue.size() == 0 && shard.parked.empty()) {
       std::lock_guard<std::mutex> lock(shard.spill_mutex);
       if (shard.spill.empty()) break;
     }
@@ -307,10 +354,86 @@ void IngestEngine::worker_loop(Shard& shard) {
 }
 
 void IngestEngine::apply_batch(Shard& shard, Batch batch) {
-  update_aggregates(shard, batch);
-  inserted_points_ += batch.size();
-  (void)insert_points(shard, std::move(batch));
+  // During an outage keep per-shard order: new batches queue up behind the
+  // parked ones instead of racing a half-open breaker.
+  if (!shard.parked.empty()) {
+    parked_points_ += batch.size();
+    shard.parked.push_back(std::move(batch));
+    return;
+  }
+  if (Status s = deliver_batch(shard, batch); !s.is_ok()) {
+    // Transient sink failure or open breaker: park.  pending_ stays
+    // elevated so flush() blocks until recovery — the outage degrades to
+    // latency, not loss.
+    parked_points_ += batch.size();
+    shard.parked.push_back(std::move(batch));
+    return;
+  }
   note_applied(1);
+}
+
+Status IngestEngine::deliver_batch(Shard& shard, Batch& batch) {
+  CircuitBreaker& breaker = *shard.breaker;
+  if (!breaker.allow()) return breaker.reject_status();
+  // The injection point sits before the batch is moved into the sink so a
+  // simulated outage leaves it intact for parking and replay.
+  Status injected =
+      retry(options_.sink_retry, *clock_, sleep_, shard.seed,
+            [] { return fault::point("tsdb.write_batch"); });
+  if (!injected.is_ok()) {
+    breaker.record_failure();
+    sink_failures_ += 1;
+    report_component(shard.healthy, breaker.name(), injected);
+    return injected;
+  }
+  update_aggregates(shard, batch);
+  const std::size_t n = batch.size();
+  if (Status s = insert_points(shard, std::move(batch)); !s.is_ok()) {
+    // Points were validated at submit, so a refusal here is deterministic
+    // (poison), not an outage: count it and drop rather than retry the
+    // same error forever.
+    rejected_points_ += n;
+    breaker.record_success();  // the sink answered; don't trip
+    return Status::ok();
+  }
+  inserted_points_ += n;
+  breaker.record_success();
+  report_component(shard.healthy, breaker.name(), Status::ok());
+  return Status::ok();
+}
+
+void IngestEngine::drain_parked(Shard& shard) {
+  while (!shard.parked.empty()) {
+    Batch& front = shard.parked.front();
+    const std::size_t n = front.size();
+    if (Status s = deliver_batch(shard, front); !s.is_ok()) break;
+    replayed_points_ += n;
+    shard.parked.pop_front();
+    note_applied(1);
+  }
+  if (!shard.parked.empty() &&
+      draining_.load(std::memory_order_acquire)) {
+    // Closing with the sink still down: drop the in-memory copies.  They
+    // were acknowledged against the WAL, so the next open() replays them.
+    while (!shard.parked.empty()) {
+      abandoned_points_ += shard.parked.front().size();
+      shard.parked.pop_front();
+      note_applied(1);
+    }
+  }
+}
+
+void IngestEngine::report_component(std::atomic<bool>& healthy,
+                                    const std::string& name,
+                                    const Status& status) {
+  if (options_.health == nullptr) return;
+  const bool ok = status.is_ok();
+  if (healthy.exchange(ok) == ok) return;  // report transitions only
+  if (ok) {
+    options_.health->report_healthy(name);
+  } else {
+    options_.health->report_failed(name, status.message());
+  }
 }
 
 void IngestEngine::update_aggregates(Shard& shard, const Batch& batch) {
@@ -509,6 +632,12 @@ IngestStats IngestEngine::stats() const {
   s.wal_bytes = wal_.bytes_appended();
   s.flushes = flushes_.load();
   s.max_queue_depth = max_queue_depth_.load();
+  s.sink_failures = sink_failures_.load();
+  s.wal_failures = wal_failures_.load();
+  s.parked_points = parked_points_.load();
+  s.replayed_points = replayed_points_.load();
+  s.rejected_points = rejected_points_.load();
+  s.abandoned_points = abandoned_points_.load();
   return s;
 }
 

@@ -43,7 +43,10 @@
 #include "ingest/wal.hpp"
 #include "tsdb/db.hpp"
 #include "tsdb/sink.hpp"
+#include "util/breaker.hpp"
 #include "util/clock.hpp"
+#include "util/health.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 namespace pmove::ingest {
@@ -67,6 +70,26 @@ struct IngestOptions {
   std::string wal_dir;
   std::size_t wal_segment_bytes = 1u << 20;
   bool wal_sync_each_append = false;
+
+  // ----------------------------------------------------------- resilience
+  /// Retry budget for one delivery attempt into the storage sink (per
+  /// batch, inside the shard worker).
+  RetryPolicy sink_retry;
+  /// Retry budget for WAL appends (on the producer's submit path — keep
+  /// the deadline short so submit latency stays bounded).
+  RetryPolicy wal_retry{.max_attempts = 2, .deadline_ns = 50'000'000};
+  /// Breaker in front of each shard's storage sink; while open, batches
+  /// park in the worker (WAL-durable) and replay on half-open success.
+  BreakerOptions sink_breaker;
+  BreakerOptions wal_breaker;
+  /// Optional: ingest components ("ingest.wal", "ingest.shard<i>") report
+  /// state transitions here.  Not owned; must outlive the engine.
+  HealthRegistry* health = nullptr;
+  /// Time source for breakers / retry deadlines (nullptr = wall clock) and
+  /// the sleep used between retries (empty = real sleep).  Tests inject a
+  /// VirtualClock and a sleep that advances it.
+  const Clock* clock = nullptr;
+  SleepFn sleep;
 };
 
 /// A registered continuous downsampling rule: every `window_ns` window of
@@ -94,6 +117,14 @@ struct IngestStats {
   std::uint64_t wal_bytes = 0;
   std::uint64_t flushes = 0;
   std::size_t max_queue_depth = 0;
+  // Resilience counters.
+  std::uint64_t sink_failures = 0;   ///< failed delivery attempts (post-retry)
+  std::uint64_t wal_failures = 0;    ///< failed WAL appends (post-retry)
+  std::uint64_t parked_points = 0;   ///< points parked while the sink was down
+  std::uint64_t replayed_points = 0; ///< parked points delivered on recovery
+  std::uint64_t rejected_points = 0; ///< poison batches the sink refused
+  std::uint64_t abandoned_points = 0;  ///< parked points dropped at close()
+                                       ///< (still WAL-durable)
 };
 
 class IngestEngine final : public tsdb::PointSink {
@@ -181,6 +212,20 @@ class IngestEngine final : public tsdb::PointSink {
   [[nodiscard]] bool wal_enabled() const { return !options_.wal_dir.empty(); }
   [[nodiscard]] const Wal& wal() const { return wal_; }
 
+  // --------------------------------------------------------- resilience
+
+  /// Supervisor hook: clears breakers (and reopens everything when the
+  /// engine was closed) after the operator / supervisor fixed the fault.
+  Status reopen();
+
+  /// Breaker in front of shard `i`'s storage sink (introspection/tests).
+  [[nodiscard]] const CircuitBreaker& sink_breaker(int shard) const {
+    return *shards_[static_cast<std::size_t>(shard)]->breaker;
+  }
+  [[nodiscard]] const CircuitBreaker& wal_breaker() const {
+    return *wal_breaker_;
+  }
+
  private:
   using Batch = std::vector<tsdb::Point>;
 
@@ -201,6 +246,14 @@ class IngestEngine final : public tsdb::PointSink {
     // after each queue round.
     std::mutex spill_mutex;
     std::deque<Batch> spill;
+    // Delivery resilience: breaker in front of the storage sink, plus the
+    // worker-private park list of batches whose delivery failed.  Parked
+    // batches keep pending_ elevated (flush() blocks) and replay in order
+    // once the breaker lets traffic through again.
+    std::unique_ptr<CircuitBreaker> breaker;
+    std::deque<Batch> parked;
+    std::uint64_t seed = 0;          ///< retry-jitter stream
+    std::atomic<bool> healthy{true};  ///< last reported sink health
     // Incremental aggregate state, touched only by this shard's worker
     // thread (and by close_windows/series_aggregates after a flush).
     mutable std::mutex agg_mutex;
@@ -217,12 +270,27 @@ class IngestEngine final : public tsdb::PointSink {
   void update_aggregates(Shard& shard, const Batch& batch);
   Status insert_points(Shard& shard, Batch batch);
   void note_applied(std::size_t batches);
+  /// One guarded delivery attempt: breaker -> retry -> sink.  ok() means
+  /// the batch is in storage (or was poison and got counted + dropped);
+  /// anything else means "sink down, park me".
+  Status deliver_batch(Shard& shard, Batch& batch);
+  /// Replays parked batches in order while the breaker allows; when the
+  /// engine is draining (close()) leftover batches are abandoned — they
+  /// stay recoverable in the WAL.
+  void drain_parked(Shard& shard);
+  void report_component(std::atomic<bool>& healthy, const std::string& name,
+                        const Status& status);
 
   IngestOptions options_;
   tsdb::TimeSeriesDb* external_ = nullptr;
+  const Clock* clock_ = nullptr;  ///< never null after construction
+  SleepFn sleep_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ContinuousQuery> continuous_;  ///< frozen while running
   Wal wal_;
+  std::unique_ptr<CircuitBreaker> wal_breaker_;
+  std::atomic<bool> wal_healthy_{true};
+  std::atomic<bool> draining_{false};  ///< close() in progress
   bool running_ = false;
 
   // Batches accepted but not yet applied; flush() waits for zero.
@@ -240,6 +308,12 @@ class IngestEngine final : public tsdb::PointSink {
   std::atomic<std::uint64_t> downsampled_points_{0};
   std::atomic<std::uint64_t> flushes_{0};
   std::atomic<std::size_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> sink_failures_{0};
+  std::atomic<std::uint64_t> wal_failures_{0};
+  std::atomic<std::uint64_t> parked_points_{0};
+  std::atomic<std::uint64_t> replayed_points_{0};
+  std::atomic<std::uint64_t> rejected_points_{0};
+  std::atomic<std::uint64_t> abandoned_points_{0};
 };
 
 }  // namespace pmove::ingest

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 
@@ -9,11 +10,28 @@
 #include <unistd.h>
 #endif
 
+#include "fault/fault.hpp"
+
 namespace pmove::ingest {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+/// "<what> (<segment path>): <strerror(errno)>" — every I/O failure names
+/// the file and the OS error so operators can act on the message.
+Status io_error(std::string_view what, const std::string& path,
+                int saved_errno) {
+  std::string message{what};
+  message += " (";
+  message += path;
+  message += ")";
+  if (saved_errno != 0) {
+    message += ": ";
+    message += std::strerror(saved_errno);
+  }
+  return Status::unavailable(std::move(message));
+}
 
 constexpr std::uint32_t kMagic = 0x504D'574Cu;  // "PMWL"
 constexpr std::size_t kHeaderBytes = 12;        // magic + len + crc
@@ -99,7 +117,7 @@ Status Wal::open(WalOptions options) {
     const std::string path = segment_path(seqs[i]);
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
-      return Status::unavailable("cannot open WAL segment " + path);
+      return io_error("cannot open WAL segment", path, errno);
     }
     long valid_end = 0;
     std::string payload;
@@ -152,7 +170,7 @@ Status Wal::open_segment(std::uint64_t seq, bool truncate) {
   const std::string path = segment_path(seq);
   file_ = std::fopen(path.c_str(), truncate ? "wb" : "ab");
   if (file_ == nullptr) {
-    return Status::unavailable("cannot open WAL segment " + path);
+    return io_error("cannot open WAL segment", path, errno);
   }
   current_seq_ = seq;
   // "ab" streams report position 0 until the first write; seek explicitly.
@@ -168,7 +186,7 @@ Status Wal::replay(
     const std::string path = segment_path(seq);
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
-      return Status::unavailable("cannot open WAL segment " + path);
+      return io_error("cannot open WAL segment", path, errno);
     }
     std::string payload;
     while (true) {
@@ -199,28 +217,76 @@ Expected<std::uint64_t> Wal::append(std::string_view payload) {
   if (file_ == nullptr) {
     return Status::unavailable("WAL not open");
   }
+  if (Status s = fault::point("wal.append"); !s.is_ok()) return s;
   if (current_bytes_ >= options_.segment_bytes) {
     if (Status s = open_segment(current_seq_ + 1, /*truncate=*/true);
         !s.is_ok()) {
       return s;
     }
   }
+  const std::string path = segment_path(current_seq_);
+
+  // Torn-write injection: write the header and only a prefix of the payload,
+  // then report failure — exactly what a crash mid-record leaves behind.
+  // Recovery truncates the torn record; later appends in THIS process would
+  // land after it and be discarded by that truncation, so a torn point
+  // should be followed by close() + reopen (the crash it simulates).
+  if (const auto torn = fault::fires("wal.append.torn"); torn.has_value()) {
+    std::array<char, kHeaderBytes> header{};
+    encode_header(header, static_cast<std::uint32_t>(payload.size()),
+                  crc32(payload));
+    const std::size_t keep =
+        std::min<std::size_t>(payload.size(),
+                              static_cast<std::size_t>(torn->count));
+    (void)std::fwrite(header.data(), 1, kHeaderBytes, file_);
+    (void)std::fwrite(payload.data(), 1, keep, file_);
+    (void)std::fflush(file_);
+    current_bytes_ += kHeaderBytes + keep;
+    return io_error("WAL append torn (injected crash)", path, 0);
+  }
+
+  // Remember where the record starts so a failed write can be rolled back:
+  // leaving half a record in place would make recovery discard everything
+  // appended after it.
+  const long record_start = std::ftell(file_);
+  const auto rollback = [&] {
+    std::clearerr(file_);
+    if (record_start >= 0) {
+      std::fseek(file_, record_start, SEEK_SET);
+#ifdef __unix__
+      (void)::ftruncate(::fileno(file_), record_start);
+#endif
+    }
+  };
+
   std::array<char, kHeaderBytes> header{};
   encode_header(header, static_cast<std::uint32_t>(payload.size()),
                 crc32(payload));
   if (std::fwrite(header.data(), 1, kHeaderBytes, file_) != kHeaderBytes ||
       std::fwrite(payload.data(), 1, payload.size(), file_) !=
           payload.size()) {
-    return Status::unavailable("WAL append failed (disk full?)");
+    const int saved_errno = errno;
+    rollback();
+    return io_error("WAL append write failed", path, saved_errno);
   }
   if (std::fflush(file_) != 0) {
-    return Status::unavailable("WAL flush failed");
+    const int saved_errno = errno;
+    rollback();
+    return io_error("WAL append flush failed", path, saved_errno);
   }
-#ifdef __unix__
   if (options_.sync_each_append) {
-    ::fsync(::fileno(file_));
-  }
+    if (Status s = fault::point("wal.append.fsync"); !s.is_ok()) {
+      rollback();
+      return io_error("WAL fsync failed (injected): " + s.message(), path, 0);
+    }
+#ifdef __unix__
+    if (::fsync(::fileno(file_)) != 0) {
+      const int saved_errno = errno;
+      rollback();
+      return io_error("WAL fsync failed", path, saved_errno);
+    }
 #endif
+  }
   current_bytes_ += kHeaderBytes + payload.size();
   bytes_appended_ += payload.size();
   return record_count_++;
@@ -228,16 +294,18 @@ Expected<std::uint64_t> Wal::append(std::string_view payload) {
 
 Status Wal::checkpoint() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (Status s = fault::point("wal.checkpoint"); !s.is_ok()) return s;
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
   }
   std::error_code ec;
   for (std::uint64_t seq : list_segments()) {
-    fs::remove(segment_path(seq), ec);
+    const std::string path = segment_path(seq);
+    fs::remove(path, ec);
     if (ec) {
-      return Status::unavailable("cannot remove WAL segment: " +
-                                 ec.message());
+      return Status::unavailable("cannot remove WAL segment (" + path +
+                                 "): " + ec.message());
     }
   }
   record_count_ = 0;

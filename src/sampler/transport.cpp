@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/fault.hpp"
+
 namespace pmove::sampler {
 
 std::string_view to_string(BackpressureMode mode) {
@@ -75,6 +77,12 @@ TimeNs TransportPipeline::draw_refresh_gap() {
 }
 
 ReportFate TransportPipeline::offer(TimeNs t) {
+  // Injected transport failure (a dropped connection, a lost datagram):
+  // the report is gone before any backpressure policy can help it.
+  if (!fault::point("transport.offer").is_ok()) {
+    ++counters_.dropped;
+    return ReportFate::kDropped;
+  }
   // The perfevent counter refresh is an autonomous process on the target:
   // advance it to `t` regardless of what happens to this report.
   while (last_refresh_ + next_refresh_gap_ <= t) {

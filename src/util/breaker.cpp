@@ -1,0 +1,158 @@
+#include "util/breaker.hpp"
+
+#include <algorithm>
+
+namespace pmove {
+
+namespace {
+
+const Clock& fallback_clock() {
+  static const WallClock clock;
+  return clock;
+}
+
+}  // namespace
+
+std::string_view to_string(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name, BreakerOptions options,
+                               const Clock* clock)
+    : name_(std::move(name)),
+      options_(options),
+      clock_(clock != nullptr ? clock : &fallback_clock()) {}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      ++stats_.allowed;
+      return true;
+    case State::kOpen:
+      if (clock_->now() >= open_until_) {
+        state_ = State::kHalfOpen;
+        half_open_in_flight_ = 1;
+        half_open_successes_ = 0;
+        ++stats_.allowed;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+    case State::kHalfOpen:
+      // One probe at a time: concurrent workers must not stampede a sink
+      // that is still coming back.
+      if (half_open_in_flight_ < 1) {
+        ++half_open_in_flight_;
+        ++stats_.allowed;
+        return true;
+      }
+      ++stats_.rejected;
+      return false;
+  }
+  return false;
+}
+
+Status CircuitBreaker::reject_status() const {
+  return Status::aborted("circuit breaker '" + name_ + "' is open");
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.successes;
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      push_outcome_locked(/*failure=*/false);
+      break;
+    case State::kHalfOpen:
+      half_open_in_flight_ = std::max(0, half_open_in_flight_ - 1);
+      if (++half_open_successes_ >= std::max(1, options_.half_open_probes)) {
+        state_ = State::kClosed;
+        ++stats_.closes;
+        consecutive_failures_ = 0;
+        window_.clear();
+        window_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // Late success from a call admitted before the trip: ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.failures;
+  const TimeNs now = clock_->now();
+  switch (state_) {
+    case State::kClosed: {
+      push_outcome_locked(/*failure=*/true);
+      const bool consecutive_trip =
+          ++consecutive_failures_ >= std::max(1, options_.failure_threshold);
+      const bool rate_trip =
+          options_.error_rate_threshold <= 1.0 &&
+          static_cast<int>(window_.size()) >= options_.min_samples &&
+          static_cast<double>(window_failures_) >
+              options_.error_rate_threshold *
+                  static_cast<double>(window_.size());
+      if (consecutive_trip || rate_trip) open_locked(now);
+      break;
+    }
+    case State::kHalfOpen:
+      half_open_in_flight_ = std::max(0, half_open_in_flight_ - 1);
+      open_locked(now);  // failed probe: back to open, cooldown restarts
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  half_open_in_flight_ = 0;
+  half_open_successes_ = 0;
+  open_until_ = 0;
+  window_.clear();
+  window_failures_ = 0;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CircuitBreaker::open_locked(TimeNs now) {
+  state_ = State::kOpen;
+  open_until_ = now + options_.open_cooldown_ns;
+  consecutive_failures_ = 0;
+  half_open_in_flight_ = 0;
+  half_open_successes_ = 0;
+  ++stats_.opens;
+}
+
+void CircuitBreaker::push_outcome_locked(bool failure) {
+  window_.push_back(failure);
+  if (failure) ++window_failures_;
+  while (static_cast<int>(window_.size()) > std::max(1, options_.window)) {
+    if (window_.front()) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+}  // namespace pmove

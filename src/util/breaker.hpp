@@ -1,0 +1,98 @@
+// Per-sink circuit breaker.
+//
+// Wraps an unreliable downstream (TSDB sink, WAL) with the classic state
+// machine:
+//
+//     closed --consecutive failures / error rate--> open
+//     open   --cooldown elapsed-----------------> half-open
+//     half-open --probe success x N--> closed
+//     half-open --probe failure------> open (cooldown restarts)
+//
+// While open, allow() rejects instantly so callers park work (the ingest
+// tier parks batches in the WAL/spill tier) instead of hammering a dead
+// sink.  Time comes from an injected Clock so transitions are testable in
+// virtual time.  Thread-safe: producers and shard workers share breakers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove {
+
+struct BreakerOptions {
+  /// Consecutive failures that trip closed -> open.
+  int failure_threshold = 3;
+  /// Alternative trip condition: failure fraction over the last
+  /// `window` outcomes (needs at least `min_samples`).  > 1 disables it.
+  double error_rate_threshold = 1.1;
+  int window = 32;
+  int min_samples = 8;
+  /// open -> half-open cooldown.
+  TimeNs open_cooldown_ns = 250'000'000;  // 250 ms
+  /// Successful probes needed to close from half-open.
+  int half_open_probes = 1;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Stats {
+    std::uint64_t allowed = 0;
+    std::uint64_t rejected = 0;  ///< allow() refusals while open
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t opens = 0;  ///< closed/half-open -> open transitions
+    std::uint64_t closes = 0;
+  };
+
+  /// `clock` may be nullptr: a shared WallClock is used.
+  CircuitBreaker(std::string name, BreakerOptions options,
+                 const Clock* clock = nullptr);
+
+  /// True when a call may proceed (closed, or an available half-open probe
+  /// slot).  Performs the open -> half-open transition when the cooldown
+  /// has elapsed.
+  [[nodiscard]] bool allow();
+
+  /// A ready-made rejection for callers that want a Status.
+  [[nodiscard]] Status reject_status() const;
+
+  void record_success();
+  void record_failure();
+
+  /// Force-close (supervisor restart): clears counters and history.
+  void reset();
+
+  [[nodiscard]] State state() const;
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void open_locked(TimeNs now);
+  void push_outcome_locked(bool failure);
+
+  const std::string name_;
+  const BreakerOptions options_;
+  const Clock* clock_;
+
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_in_flight_ = 0;
+  int half_open_successes_ = 0;
+  TimeNs open_until_ = 0;
+  std::deque<bool> window_;  ///< true = failure
+  int window_failures_ = 0;
+  Stats stats_;
+};
+
+std::string_view to_string(CircuitBreaker::State state);
+
+}  // namespace pmove

@@ -1,0 +1,169 @@
+#include "util/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pmove {
+
+namespace {
+
+const Clock& fallback_clock() {
+  static const WallClock clock;
+  return clock;
+}
+
+RetryPolicy default_restart_policy() {
+  RetryPolicy policy;
+  policy.max_attempts = 1'000'000;  // supervise forever
+  policy.initial_backoff_ns = kNsPerSec;
+  policy.max_backoff_ns = 60 * kNsPerSec;
+  policy.decorrelated_jitter = false;  // predictable restart schedule
+  return policy;
+}
+
+}  // namespace
+
+std::string_view to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+HealthRegistry::HealthRegistry(const Clock* clock)
+    : clock_(clock != nullptr ? clock : &fallback_clock()),
+      restart_policy_(default_restart_policy()) {}
+
+void HealthRegistry::set_restart_policy(RetryPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  restart_policy_ = policy;
+}
+
+HealthRegistry::Entry& HealthRegistry::entry_locked(std::string_view name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    Entry entry{ComponentHealth{}, nullptr, Backoff(restart_policy_, 0)};
+    entry.health.name = std::string(name);
+    entry.health.last_change = clock_->now();
+    it = components_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void HealthRegistry::register_component(std::string name, RestartFn restart) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(name);
+  if (restart != nullptr) entry.restart = std::move(restart);
+}
+
+void HealthRegistry::report(std::string_view name, HealthState state,
+                            std::string_view error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(name);
+  const TimeNs now = clock_->now();
+  if (entry.health.state != state) entry.health.last_change = now;
+  entry.health.state = state;
+  if (!error.empty()) entry.health.last_error = std::string(error);
+  if (state == HealthState::kFailed) {
+    ++entry.health.failures;
+    if (entry.health.next_restart == 0) {
+      entry.health.next_restart = now + entry.backoff.next();
+    }
+  } else {
+    entry.health.next_restart = 0;
+    entry.backoff.reset();
+  }
+}
+
+Expected<ComponentHealth> HealthRegistry::component(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return Status::not_found("no health entry for '" + std::string(name) +
+                             "'");
+  }
+  return it->second.health;
+}
+
+std::vector<ComponentHealth> HealthRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ComponentHealth> out;
+  out.reserve(components_.size());
+  for (const auto& [_, entry] : components_) out.push_back(entry.health);
+  return out;
+}
+
+HealthState HealthRegistry::overall() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthState worst = HealthState::kHealthy;
+  for (const auto& [_, entry] : components_) {
+    worst = std::max(worst, entry.health.state);
+  }
+  return worst;
+}
+
+HealthRegistry::SuperviseResult HealthRegistry::supervise(TimeNs now) {
+  // Collect due restarts under the lock, run the callbacks outside it:
+  // restart functions report back into this registry.
+  std::vector<std::pair<std::string, RestartFn>> due;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, entry] : components_) {
+      if (entry.health.state == HealthState::kFailed &&
+          entry.restart != nullptr && now >= entry.health.next_restart) {
+        due.emplace_back(name, entry.restart);
+      }
+    }
+  }
+  SuperviseResult result;
+  for (auto& [name, restart] : due) {
+    ++result.attempted;
+    const Status status = restart();
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entry_locked(name);
+    if (status.is_ok()) {
+      ++result.recovered;
+      ++entry.health.restarts;
+      if (entry.health.state != HealthState::kHealthy) {
+        entry.health.state = HealthState::kHealthy;
+        entry.health.last_change = now;
+      }
+      entry.health.next_restart = 0;
+      entry.backoff.reset();
+    } else {
+      entry.health.last_error = status.message();
+      entry.health.next_restart = now + entry.backoff.next();
+    }
+  }
+  return result;
+}
+
+std::string HealthRegistry::render() const {
+  const std::vector<ComponentHealth> components = snapshot();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %-9s %9s %9s  %s\n", "component",
+                "state", "failures", "restarts", "last error");
+  out += line;
+  for (const auto& component : components) {
+    std::snprintf(line, sizeof(line), "%-24s %-9s %9llu %9llu  %s\n",
+                  component.name.c_str(),
+                  std::string(to_string(component.state)).c_str(),
+                  static_cast<unsigned long long>(component.failures),
+                  static_cast<unsigned long long>(component.restarts),
+                  component.last_error.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "overall: %s\n",
+                std::string(to_string(overall())).c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace pmove

@@ -1,0 +1,105 @@
+// Component health registry + restart supervisor.
+//
+// Every long-lived component of the daemon (ingest shards, the WAL, sampler
+// sessions, the query engine) reports healthy / degraded / failed with its
+// last error.  The registry aggregates the states (Daemon::health(), the
+// `pmove health` CLI command) and supervises failed components: those that
+// registered a restart callback are restarted with exponential backoff on
+// each supervisor tick, DCDB/Wintermute style — collector death is routine,
+// not terminal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/retry.hpp"
+#include "util/status.hpp"
+
+namespace pmove {
+
+enum class HealthState { kHealthy = 0, kDegraded = 1, kFailed = 2 };
+
+std::string_view to_string(HealthState state);
+
+struct ComponentHealth {
+  std::string name;
+  HealthState state = HealthState::kHealthy;
+  std::string last_error;
+  std::uint64_t failures = 0;  ///< report_failed() count
+  std::uint64_t restarts = 0;  ///< successful supervised restarts
+  TimeNs last_change = 0;      ///< when `state` last changed
+  /// Earliest supervisor tick that may attempt a restart (failed +
+  /// restartable components only).
+  TimeNs next_restart = 0;
+};
+
+class HealthRegistry {
+ public:
+  /// Restarts the component; ok() means it is healthy again.
+  using RestartFn = std::function<Status()>;
+
+  struct SuperviseResult {
+    int attempted = 0;
+    int recovered = 0;
+  };
+
+  /// `clock` may be nullptr (WallClock); tests inject a VirtualClock and
+  /// drive supervise() explicitly.
+  explicit HealthRegistry(const Clock* clock = nullptr);
+
+  /// Backoff schedule for supervised restarts (defaults: 1s initial, 60s
+  /// cap, plain exponential so schedules are predictable).
+  void set_restart_policy(RetryPolicy policy);
+
+  /// Registering is optional — the first report auto-registers — but only
+  /// registered components can carry a restart callback.
+  void register_component(std::string name, RestartFn restart = nullptr);
+
+  void report(std::string_view name, HealthState state,
+              std::string_view error = "");
+  void report_healthy(std::string_view name) {
+    report(name, HealthState::kHealthy);
+  }
+  void report_degraded(std::string_view name, std::string_view error) {
+    report(name, HealthState::kDegraded, error);
+  }
+  void report_failed(std::string_view name, std::string_view error) {
+    report(name, HealthState::kFailed, error);
+  }
+
+  [[nodiscard]] Expected<ComponentHealth> component(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<ComponentHealth> snapshot() const;
+  /// Worst state across all components (healthy when none registered).
+  [[nodiscard]] HealthState overall() const;
+
+  /// One supervisor tick at time `now`: every failed component with a
+  /// restart callback whose backoff has elapsed is restarted.  Success
+  /// marks it healthy; failure reschedules with doubled backoff.
+  SuperviseResult supervise(TimeNs now);
+
+  /// Fixed-width table for the CLI (`pmove health`).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Entry {
+    ComponentHealth health;
+    RestartFn restart;
+    Backoff backoff;
+  };
+
+  Entry& entry_locked(std::string_view name);
+
+  const Clock* clock_;
+  RetryPolicy restart_policy_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> components_;
+};
+
+}  // namespace pmove

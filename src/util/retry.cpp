@@ -1,0 +1,105 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace pmove {
+
+namespace {
+
+TimeNs clamp_backoff(const RetryPolicy& policy, TimeNs delay) {
+  return std::clamp(delay, policy.initial_backoff_ns, policy.max_backoff_ns);
+}
+
+TimeNs draw_delay(const RetryPolicy& policy, Rng& rng, TimeNs previous,
+                  int attempt) {
+  if (!policy.decorrelated_jitter) {
+    double delay = static_cast<double>(policy.initial_backoff_ns);
+    for (int i = 1; i < attempt; ++i) delay *= policy.multiplier;
+    return clamp_backoff(policy, static_cast<TimeNs>(delay));
+  }
+  const double lo = static_cast<double>(policy.initial_backoff_ns);
+  const double hi = std::max(lo + 1.0, 3.0 * static_cast<double>(previous));
+  return clamp_backoff(policy, static_cast<TimeNs>(rng.uniform(lo, hi)));
+}
+
+}  // namespace
+
+const SleepFn& real_sleep() {
+  static const SleepFn sleeper = [](TimeNs duration) {
+    if (duration > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(duration));
+    }
+  };
+  return sleeper;
+}
+
+bool retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status retry(const RetryPolicy& policy, const Clock& clock,
+             const SleepFn& sleep, std::uint64_t seed,
+             const std::function<Status()>& op) {
+  const TimeNs start = clock.now();
+  Rng rng(mix_seed(seed, 0x7e7a));
+  TimeNs previous = policy.initial_backoff_ns;
+  Status last;
+  for (int attempt = 1;; ++attempt) {
+    last = op();
+    if (last.is_ok() || !retryable(last.code())) return last;
+    if (attempt >= std::max(1, policy.max_attempts)) return last;
+    const TimeNs delay = draw_delay(policy, rng, previous, attempt);
+    previous = delay;
+    if (policy.deadline_ns > 0 &&
+        (clock.now() - start) + delay > policy.deadline_ns) {
+      return Status::deadline_exceeded(
+          "retry budget exhausted after " + std::to_string(attempt) +
+          " attempts; last error: " + last.message());
+    }
+    sleep(delay);
+  }
+}
+
+Backoff::Backoff(const RetryPolicy& policy, std::uint64_t seed)
+    : policy_(policy), rng_state_(mix_seed(seed, 0xb0ff)) {}
+
+TimeNs Backoff::next() {
+  ++attempts_;
+  // Stateless SplitMix-derived uniform draw keeps this class trivially
+  // copyable (no mt19937 state).
+  const std::uint64_t bits = mix_seed(rng_state_, static_cast<std::uint64_t>(
+                                                      attempts_));
+  const double unit =
+      static_cast<double>(bits >> 11) / static_cast<double>(1ULL << 53);
+  if (!policy_.decorrelated_jitter) {
+    double delay = static_cast<double>(policy_.initial_backoff_ns);
+    for (int i = 1; i < attempts_; ++i) delay *= policy_.multiplier;
+    previous_ = clamp_backoff(policy_, static_cast<TimeNs>(delay));
+    return previous_;
+  }
+  const double lo = static_cast<double>(policy_.initial_backoff_ns);
+  const double hi =
+      std::max(lo + 1.0, 3.0 * static_cast<double>(
+                                   previous_ > 0 ? previous_
+                                                 : policy_.initial_backoff_ns));
+  previous_ =
+      clamp_backoff(policy_, static_cast<TimeNs>(lo + unit * (hi - lo)));
+  return previous_;
+}
+
+void Backoff::reset() {
+  previous_ = 0;
+  attempts_ = 0;
+}
+
+}  // namespace pmove

@@ -1,0 +1,75 @@
+// Retry with exponential backoff and decorrelated jitter.
+//
+// The delivery tier (ingest sink flush, WAL append) treats downstream
+// failure as routine: transient errors are retried under an attempt budget
+// and a wall-time deadline before the batch is parked for the circuit
+// breaker / supervisor to handle.  Time comes from a Clock& and sleeping
+// goes through an injectable SleepFn, so tests drive the whole policy in
+// virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace pmove {
+
+struct RetryPolicy {
+  /// Total tries including the first; <=1 disables retrying.
+  int max_attempts = 3;
+  TimeNs initial_backoff_ns = 1'000'000;  // 1 ms
+  TimeNs max_backoff_ns = 100'000'000;    // 100 ms
+  /// Growth factor for plain exponential backoff (decorrelated jitter
+  /// ignores it).
+  double multiplier = 2.0;
+  /// Decorrelated jitter (sleep = uniform(initial, 3 * previous), capped):
+  /// spreads synchronized retries; disable for deterministic schedules.
+  bool decorrelated_jitter = true;
+  /// Total budget across attempts and backoff sleeps; 0 = attempts only.
+  /// When the next sleep would cross the deadline the retry loop gives up
+  /// with kDeadlineExceeded instead of sleeping.
+  TimeNs deadline_ns = 0;
+};
+
+/// Sleeps for the given duration — std::this_thread in production,
+/// VirtualClock::advance in tests.
+using SleepFn = std::function<void(TimeNs)>;
+
+/// A SleepFn backed by std::this_thread::sleep_for.
+const SleepFn& real_sleep();
+
+/// Whether an error is worth retrying: transient conditions only.  Bad
+/// input (invalid/parse/unsupported/not-found) and breaker rejections
+/// (kAborted) fail immediately.
+[[nodiscard]] bool retryable(ErrorCode code);
+
+/// Runs `op` until it succeeds, returns a non-retryable error, exhausts
+/// `policy.max_attempts` (last error returned), or would overrun
+/// `policy.deadline_ns` (kDeadlineExceeded returned).  `seed` fixes the
+/// jitter stream so schedules are reproducible.
+Status retry(const RetryPolicy& policy, const Clock& clock,
+             const SleepFn& sleep, std::uint64_t seed,
+             const std::function<Status()>& op);
+
+/// Stateful backoff schedule for callers that own their retry loop (the
+/// health supervisor's restart backoff).  next() returns the delay before
+/// the upcoming attempt; reset() on success.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, std::uint64_t seed);
+
+  [[nodiscard]] TimeNs next();
+  void reset();
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  RetryPolicy policy_;
+  std::uint64_t rng_state_;
+  TimeNs previous_ = 0;
+  int attempts_ = 0;
+};
+
+}  // namespace pmove

@@ -13,6 +13,8 @@ std::string_view to_string(ErrorCode code) {
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kAborted: return "aborted";
   }
   return "unknown";
 }

@@ -25,6 +25,8 @@ enum class ErrorCode {
   kParseError,
   kInternal,
   kUnsupported,
+  kDeadlineExceeded,
+  kAborted,
 };
 
 /// Human-readable name of an ErrorCode ("ok", "not_found", ...).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status unsupported(std::string msg) {
     return {ErrorCode::kUnsupported, std::move(msg)};
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return {ErrorCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status aborted(std::string msg) {
+    return {ErrorCode::kAborted, std::move(msg)};
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pmove::strings {
 
@@ -105,6 +109,33 @@ std::string format_sci(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*E", precision, value);
   return buf;
+}
+
+Expected<std::int64_t> parse_int(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return Status::parse_error("empty integer literal");
+  std::int64_t value = 0;
+  const auto [end, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc{} || end != trimmed.data() + trimmed.size()) {
+    return Status::parse_error("not an integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+Expected<double> parse_double(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) return Status::parse_error("empty number literal");
+  // strtod needs NUL termination; the literal is short, copy it.
+  const std::string copy(trimmed);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE ||
+      std::isnan(value)) {
+    return Status::parse_error("not a number: '" + std::string(text) + "'");
+  }
+  return value;
 }
 
 }  // namespace pmove::strings

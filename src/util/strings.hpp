@@ -2,9 +2,12 @@
 // semantics — metric names, event names and config files are all ASCII).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace pmove::strings {
 
@@ -37,5 +40,12 @@ std::string format_double(double value, int precision);
 
 /// Scientific notation matching the paper's tables, e.g. "7.04E+03".
 std::string format_sci(double value, int precision = 2);
+
+/// Strict integer / double parsing: the whole (trimmed) string must be a
+/// valid literal, otherwise a parse_error Status is returned.  Replaces
+/// std::stoi/atoi at configuration boundaries, where "banana" must degrade
+/// to a logged warning instead of an uncaught exception or a silent 0.
+Expected<std::int64_t> parse_int(std::string_view text);
+Expected<double> parse_double(std::string_view text);
 
 }  // namespace pmove::strings

@@ -5,6 +5,7 @@
 
 #include "core/daemon.hpp"
 #include "docdb/store.hpp"
+#include "fault/fault.hpp"
 #include "kb/kb.hpp"
 #include "sampler/session.hpp"
 #include "sampler/transport.hpp"
@@ -172,6 +173,59 @@ TEST(FailureTest, ScenarioBImpossibleAffinityFails) {
       request, [](workload::LiveCounters&) { return 0.0; });
   EXPECT_FALSE(result.has_value());
   EXPECT_EQ(result.status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(FailureTest, FromEnvKeepsDefaultsOnMalformedNumbers) {
+  // None of these may throw (std::stoi would): each malformed value falls
+  // back to the default with a logged warning.
+  const auto config = core::DaemonConfig::from_env({
+      {"PMOVE_INGEST_SHARDS", "banana"},
+      {"PMOVE_INGEST_QUEUE_CAP", "-3"},
+      {"PMOVE_RETENTION_S", "minus five"},
+  });
+  EXPECT_EQ(config.ingest.shard_count, 4);
+  EXPECT_EQ(config.ingest.queue_capacity, 64u);
+  EXPECT_EQ(config.retention_ns, 0);
+  // Setting an ingest knob — even a rejected one — still opts into the
+  // ingest tier.
+  EXPECT_TRUE(config.ingest_enabled);
+}
+
+TEST(FailureTest, FromEnvRejectsOutOfRangeShardCount) {
+  const auto config = core::DaemonConfig::from_env({
+      {"PMOVE_INGEST_SHARDS", "100000"},
+      {"PMOVE_RETENTION_S", "-2.5"},
+  });
+  EXPECT_EQ(config.ingest.shard_count, 4);
+  EXPECT_EQ(config.retention_ns, 0);
+}
+
+TEST(FailureTest, FromEnvMalformedFaultSpecArmsNothing) {
+  fault::disarm_all();
+  (void)core::DaemonConfig::from_env({
+      {"PMOVE_FAULT", "tsdb.write_batch=error_rate:2.0"},
+  });
+  EXPECT_FALSE(fault::armed());
+  // A valid spec arms; the daemon config itself is unaffected.
+  (void)core::DaemonConfig::from_env({
+      {"PMOVE_FAULT", "tsdb.write_batch=error_rate:0.05,seed:7"},
+  });
+  EXPECT_TRUE(fault::armed());
+  fault::disarm_all();
+}
+
+TEST(FailureTest, DocdbInsertFaultFailsAttachCleanly) {
+  fault::disarm_all();
+  ASSERT_TRUE(fault::arm_from_spec("docdb.insert=fail:1000").is_ok());
+  core::Daemon daemon;
+  // Storing the KB goes through DocumentStore::insert/upsert, which the
+  // armed point breaks: attach fails loudly instead of silently dropping
+  // the KB.
+  EXPECT_FALSE(daemon.attach_target("icl").is_ok());
+  fault::disarm_all();
+  core::Daemon healthy;
+  EXPECT_TRUE(healthy.attach_target("icl").is_ok());
+  EXPECT_GT(healthy.health().render().size(), 0u);
 }
 
 }  // namespace

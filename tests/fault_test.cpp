@@ -1,0 +1,638 @@
+// Fault injection + resilience tier: the fault registry itself, the retry /
+// circuit-breaker / health primitives in virtual time, and the end-to-end
+// guarantees they buy the ingest path — a sink outage degrades to latency,
+// never to loss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "ingest/engine.hpp"
+#include "ingest/wal.hpp"
+#include "sampler/transport.hpp"
+#include "tsdb/db.hpp"
+#include "util/breaker.hpp"
+#include "util/health.hpp"
+#include "util/retry.hpp"
+
+namespace pmove {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique scratch directory, removed on destruction.
+struct TempDir {
+  explicit TempDir(const std::string& label) {
+    static std::atomic<int> counter{0};
+    path = (fs::temp_directory_path() /
+            ("pmove_fault_" + label + "_" + std::to_string(::getpid()) +
+             "_" + std::to_string(counter.fetch_add(1))))
+               .string();
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+/// Every test leaves the global registry clean for the next one.
+struct FaultGuard {
+  FaultGuard() { fault::disarm_all(); }
+  ~FaultGuard() { fault::disarm_all(); }
+};
+
+tsdb::Point make_point(TimeNs t, double value) {
+  tsdb::Point p;
+  p.measurement = "m";
+  p.time = t;
+  p.fields["value"] = value;
+  return p;
+}
+
+// ------------------------------------------------------------ fault registry
+
+TEST(FaultTest, UnarmedPointIsANoOp) {
+  FaultGuard guard;
+  EXPECT_FALSE(fault::armed());
+  EXPECT_TRUE(fault::point("tsdb.write_batch").is_ok());
+  // Unarmed queries do not even count triggers.
+  EXPECT_EQ(fault::trigger_count("tsdb.write_batch"), 0u);
+}
+
+TEST(FaultTest, FailNTimesThenHeals) {
+  FaultGuard guard;
+  fault::FaultSpec spec;
+  spec.mode = fault::FaultMode::kFailTimes;
+  spec.count = 3;
+  fault::arm("p", spec);
+  EXPECT_TRUE(fault::armed());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fault::point("p").is_ok()) << i;
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fault::point("p").is_ok()) << i;
+  }
+  EXPECT_EQ(fault::fire_count("p"), 3u);
+  EXPECT_EQ(fault::trigger_count("p"), 8u);
+}
+
+TEST(FaultTest, FailAfterSucceedsThenFailsForever) {
+  FaultGuard guard;
+  fault::FaultSpec spec;
+  spec.mode = fault::FaultMode::kFailAfter;
+  spec.count = 2;
+  fault::arm("p", spec);
+  EXPECT_TRUE(fault::point("p").is_ok());
+  EXPECT_TRUE(fault::point("p").is_ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(fault::point("p").is_ok()) << i;
+  }
+}
+
+TEST(FaultTest, ErrorRateIsDeterministicPerSeed) {
+  FaultGuard guard;
+  fault::FaultSpec spec;
+  spec.mode = fault::FaultMode::kErrorRate;
+  spec.rate = 0.3;
+  spec.seed = 42;
+  const auto run = [&spec] {
+    fault::arm("p", spec);  // re-arming resets the stream
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!fault::point("p").is_ok());
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  const auto fires =
+      std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST(FaultTest, LatencyModeSleepsThenSucceeds) {
+  FaultGuard guard;
+  fault::FaultSpec spec;
+  spec.mode = fault::FaultMode::kLatency;
+  spec.latency_ns = 2'000'000;  // 2 ms
+  fault::arm("p", spec);
+  const WallClock clock;
+  const TimeNs start = clock.now();
+  EXPECT_TRUE(fault::point("p").is_ok());
+  EXPECT_GE(clock.now() - start, 2'000'000);
+  EXPECT_EQ(fault::fire_count("p"), 1u);
+}
+
+TEST(FaultTest, SpecParserRoundTrips) {
+  const char* specs[] = {
+      "wal.append.fsync=fail:3",
+      "tsdb.write_batch=error_rate:0.05,seed:7",
+      "wal.append=fail_after:100",
+      "wal.append.torn=torn_write:5",
+      "a=fail:1;b=error_rate:0.5;c=fail_after:2",
+  };
+  for (const char* spec : specs) {
+    auto parsed = fault::parse_spec(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    std::string rebuilt;
+    for (const auto& [name, fault_spec] : *parsed) {
+      if (!rebuilt.empty()) rebuilt += ';';
+      rebuilt += name + "=" + fault_spec.to_string();
+    }
+    auto reparsed = fault::parse_spec(rebuilt);
+    ASSERT_TRUE(reparsed.has_value()) << rebuilt;
+    ASSERT_EQ(parsed->size(), reparsed->size());
+    for (std::size_t i = 0; i < parsed->size(); ++i) {
+      EXPECT_EQ((*parsed)[i].first, (*reparsed)[i].first);
+      EXPECT_EQ((*parsed)[i].second.to_string(),
+                (*reparsed)[i].second.to_string());
+    }
+  }
+}
+
+TEST(FaultTest, MalformedSpecArmsNothing) {
+  FaultGuard guard;
+  for (const char* bad : {
+           "no-equals-sign",
+           "=fail:1",
+           "p=",
+           "p=unknown_mode:3",
+           "p=fail:banana",
+           "p=error_rate:1.5",
+           "p=error_rate:-0.1",
+           "p=latency:-5ms",
+           "p=fail:1,unknown_opt:2",
+           // All-or-nothing: the first entry is fine, the second is not.
+           "good=fail:1;bad=nope:2",
+       }) {
+    EXPECT_FALSE(fault::arm_from_spec(bad).is_ok()) << bad;
+    EXPECT_FALSE(fault::armed()) << bad;
+  }
+}
+
+TEST(FaultTest, LatencySuffixesParse) {
+  auto parsed = fault::parse_spec(
+      "a=latency:500ns;b=latency:3us;c=latency:7ms;d=latency:2s;e=latency:4");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)[0].second.latency_ns, 500);
+  EXPECT_EQ((*parsed)[1].second.latency_ns, 3'000);
+  EXPECT_EQ((*parsed)[2].second.latency_ns, 7'000'000);
+  EXPECT_EQ((*parsed)[3].second.latency_ns, 2 * kNsPerSec);
+  EXPECT_EQ((*parsed)[4].second.latency_ns, 4'000'000);  // bare = ms
+}
+
+// -------------------------------------------------------------------- retry
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  VirtualClock clock;
+  const SleepFn sleep = [&clock](TimeNs d) { clock.advance(d); };
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.decorrelated_jitter = false;
+  int calls = 0;
+  Status result = retry(policy, clock, sleep, 1, [&calls] {
+    return ++calls < 3 ? Status::unavailable("flaky") : Status::ok();
+  });
+  EXPECT_TRUE(result.is_ok());
+  EXPECT_EQ(calls, 3);
+  // Two sleeps: 1 ms + 2 ms of plain exponential backoff.
+  EXPECT_EQ(clock.now(), 3'000'000);
+}
+
+TEST(RetryTest, NonRetryableErrorShortCircuits) {
+  VirtualClock clock;
+  const SleepFn sleep = [&clock](TimeNs d) { clock.advance(d); };
+  int calls = 0;
+  Status result = retry(RetryPolicy{}, clock, sleep, 1, [&calls] {
+    ++calls;
+    return Status::invalid_argument("bad input");
+  });
+  EXPECT_EQ(result.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(RetryTest, AttemptBudgetReturnsLastError) {
+  VirtualClock clock;
+  const SleepFn sleep = [&clock](TimeNs d) { clock.advance(d); };
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  Status result = retry(policy, clock, sleep, 1, [&calls] {
+    ++calls;
+    return Status::unavailable("still down");
+  });
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DeadlineBudgetYieldsDeadlineExceeded) {
+  VirtualClock clock;
+  const SleepFn sleep = [&clock](TimeNs d) { clock.advance(d); };
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_ns = 10'000'000;  // 10 ms
+  policy.decorrelated_jitter = false;
+  policy.deadline_ns = 25'000'000;  // allows ~2 sleeps, never 100
+  int calls = 0;
+  Status result = retry(policy, clock, sleep, 1, [&calls] {
+    ++calls;
+    return Status::unavailable("still down");
+  });
+  EXPECT_EQ(result.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_LT(calls, 5);
+  // The loop refused the sleep that would cross the deadline.
+  EXPECT_LE(clock.now(), policy.deadline_ns);
+}
+
+TEST(RetryTest, BreakerRejectionIsNotRetryable) {
+  EXPECT_FALSE(retryable(ErrorCode::kAborted));
+  EXPECT_FALSE(retryable(ErrorCode::kDeadlineExceeded));
+  EXPECT_TRUE(retryable(ErrorCode::kUnavailable));
+  EXPECT_TRUE(retryable(ErrorCode::kInternal));
+}
+
+// ------------------------------------------------------------------ breaker
+
+TEST(BreakerTest, TripsAfterConsecutiveFailuresAndRecovers) {
+  VirtualClock clock;
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_cooldown_ns = 100;
+  CircuitBreaker breaker("sink", options, &clock);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.reject_status().code(), ErrorCode::kAborted);
+
+  clock.advance(100);  // cooldown elapses -> half-open probe slot
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // one probe at a time
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.stats().opens, 1u);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+}
+
+TEST(BreakerTest, FailedProbeReopensWithFreshCooldown) {
+  VirtualClock clock;
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_cooldown_ns = 100;
+  CircuitBreaker breaker("sink", options, &clock);
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock.advance(100);
+  ASSERT_TRUE(breaker.allow());  // probe
+  breaker.record_failure();      // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());  // cooldown restarted
+  clock.advance(100);
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.stats().opens, 2u);
+}
+
+TEST(BreakerTest, ErrorRateTripsWithoutConsecutiveRun) {
+  VirtualClock clock;
+  BreakerOptions options;
+  options.failure_threshold = 1000;  // consecutive trip disabled in practice
+  options.error_rate_threshold = 0.4;
+  options.window = 10;
+  options.min_samples = 10;
+  options.open_cooldown_ns = 100;
+  CircuitBreaker breaker("sink", options, &clock);
+  // Alternate failure/success: never two consecutive failures, but the
+  // windowed rate reaches 50% > 40%.
+  for (int i = 0; i < 20 && breaker.state() == CircuitBreaker::State::kClosed;
+       ++i) {
+    ASSERT_TRUE(breaker.allow());
+    if (i % 2 == 0) {
+      breaker.record_failure();
+    } else {
+      breaker.record_success();
+    }
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+// ------------------------------------------------------------------- health
+
+TEST(HealthTest, SupervisorRestartsFailedComponentWithBackoff) {
+  VirtualClock clock;
+  HealthRegistry registry(&clock);
+  RetryPolicy policy;
+  policy.initial_backoff_ns = kNsPerSec;
+  policy.max_backoff_ns = 60 * kNsPerSec;
+  policy.decorrelated_jitter = false;
+  policy.max_attempts = 1'000'000;
+  registry.set_restart_policy(policy);
+
+  int restarts = 0;
+  registry.register_component("sampler", [&restarts] {
+    // First restart attempt fails, second succeeds.
+    return ++restarts < 2 ? Status::unavailable("still dead") : Status::ok();
+  });
+  registry.report_failed("sampler", "session died");
+  EXPECT_EQ(registry.overall(), HealthState::kFailed);
+
+  // Before the backoff elapses nothing is attempted.
+  auto result = registry.supervise(clock.now() + kNsPerSec / 2);
+  EXPECT_EQ(result.attempted, 0);
+
+  // First due attempt fails; backoff doubles (1 s -> 2 s).
+  result = registry.supervise(clock.now() + kNsPerSec);
+  EXPECT_EQ(result.attempted, 1);
+  EXPECT_EQ(result.recovered, 0);
+
+  result = registry.supervise(clock.now() + 2 * kNsPerSec);
+  EXPECT_EQ(result.attempted, 0);  // rescheduled to +2 s after the failure
+
+  result = registry.supervise(clock.now() + 4 * kNsPerSec);
+  EXPECT_EQ(result.attempted, 1);
+  EXPECT_EQ(result.recovered, 1);
+  EXPECT_EQ(registry.overall(), HealthState::kHealthy);
+  auto component = registry.component("sampler");
+  ASSERT_TRUE(component.has_value());
+  EXPECT_EQ(component->restarts, 1u);
+  EXPECT_EQ(component->failures, 1u);
+}
+
+TEST(HealthTest, OverallIsWorstState) {
+  HealthRegistry registry;
+  registry.report_healthy("a");
+  EXPECT_EQ(registry.overall(), HealthState::kHealthy);
+  registry.report_degraded("b", "lossy");
+  EXPECT_EQ(registry.overall(), HealthState::kDegraded);
+  registry.report_failed("c", "dead");
+  EXPECT_EQ(registry.overall(), HealthState::kFailed);
+  registry.report_healthy("c");
+  EXPECT_EQ(registry.overall(), HealthState::kDegraded);
+  const std::string table = registry.render();
+  EXPECT_NE(table.find("degraded"), std::string::npos);
+  EXPECT_NE(table.find("lossy"), std::string::npos);
+}
+
+// ------------------------------------------------- WAL under injected faults
+
+TEST(FaultTest, WalFsyncFailureParksRatherThanAcks) {
+  FaultGuard guard;
+  TempDir dir("fsync");
+  ingest::IngestOptions options;
+  options.shard_count = 1;
+  options.wal_dir = dir.path;
+  options.wal_sync_each_append = true;
+  options.wal_retry.max_attempts = 2;
+  options.wal_retry.initial_backoff_ns = 100'000;  // keep the test fast
+  ingest::IngestEngine engine(options);
+  ASSERT_TRUE(engine.open().is_ok());
+
+  ASSERT_TRUE(fault::arm_from_spec("wal.append.fsync=fail:1000").is_ok());
+  Status s = engine.submit({make_point(1, 1.0)});
+  // Not acknowledged: the submit fails, with the segment path and the
+  // injection visible in the message.
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("wal-"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("fsync"), std::string::npos) << s.message();
+  ASSERT_TRUE(engine.flush().is_ok());
+  EXPECT_EQ(engine.point_count(), 0u);
+  EXPECT_GE(engine.stats().wal_failures, 1u);
+  // Both retry attempts hit the injection.
+  EXPECT_GE(fault::fire_count("wal.append.fsync"), 2u);
+
+  // Disk healed: the same batch is accepted and the rolled-back WAL accepts
+  // appends again.
+  fault::disarm_all();
+  EXPECT_TRUE(engine.submit({make_point(1, 1.0)}).is_ok());
+  ASSERT_TRUE(engine.flush().is_ok());
+  EXPECT_EQ(engine.point_count(), 1u);
+  engine.close();
+}
+
+TEST(FaultTest, WalTornWriteIsTruncatedOnRecovery) {
+  FaultGuard guard;
+  TempDir dir("torn");
+  ingest::Wal wal;
+  ingest::WalOptions options;
+  options.dir = dir.path;
+  ASSERT_TRUE(wal.open(options).is_ok());
+  ASSERT_TRUE(wal.append("first record").has_value());
+
+  ASSERT_TRUE(fault::arm_from_spec("wal.append.torn=torn_write:4").is_ok());
+  auto torn = wal.append("second record");
+  EXPECT_FALSE(torn.has_value());
+  EXPECT_NE(torn.status().message().find("torn"), std::string::npos);
+  // torn_write fires once — the crash it simulates.
+  EXPECT_TRUE(wal.append("third record").has_value());
+  wal.close();
+
+  // Recovery drops the torn record AND the one written after it (history
+  // ends at the first bad record), keeping the intact prefix.
+  ingest::Wal reopened;
+  ASSERT_TRUE(reopened.open(options).is_ok());
+  EXPECT_EQ(reopened.recovery().records, 1u);
+  EXPECT_GT(reopened.recovery().truncated_bytes, 0u);
+  std::vector<std::string> payloads;
+  ASSERT_TRUE(reopened.replay([&payloads](std::string_view payload) {
+    payloads.emplace_back(payload);
+    return Status::ok();
+  }).is_ok());
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "first record");
+}
+
+// --------------------------------------- delivery tier: park, replay, heal
+
+TEST(FaultTest, SinkOutageParksAndReplaysWithZeroLoss) {
+  FaultGuard guard;
+  ingest::IngestOptions options;
+  options.shard_count = 1;
+  options.sink_retry.max_attempts = 1;  // the breaker owns recovery
+  options.sink_breaker.failure_threshold = 3;
+  options.sink_breaker.open_cooldown_ns = 20'000'000;  // 20 ms
+  ingest::IngestEngine engine(options);
+  ASSERT_TRUE(engine.open().is_ok());
+
+  // A 3-consecutive-failure outage: exactly enough to trip the breaker.
+  ASSERT_TRUE(fault::arm_from_spec("tsdb.write_batch=fail:3").is_ok());
+
+  std::size_t produced = 0;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<tsdb::Point> points;
+    for (int i = 0; i < 25; ++i) {
+      points.push_back(make_point(batch * 25 + i, 1.0));
+    }
+    produced += points.size();
+    ASSERT_TRUE(engine.submit(std::move(points)).is_ok());
+  }
+
+  // flush() blocks through the outage: parked batches replay after the
+  // breaker's half-open probe succeeds.
+  ASSERT_TRUE(engine.flush().is_ok());
+  EXPECT_EQ(engine.point_count(), produced);
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.inserted_points, produced);
+  EXPECT_EQ(stats.sink_failures, 3u);
+  EXPECT_GT(stats.parked_points, 0u);
+  EXPECT_EQ(stats.replayed_points, stats.parked_points);
+  EXPECT_EQ(stats.dropped_points, 0u);
+  EXPECT_EQ(stats.abandoned_points, 0u);
+  EXPECT_EQ(engine.sink_breaker(0).state(), CircuitBreaker::State::kClosed);
+  EXPECT_GE(engine.sink_breaker(0).stats().opens, 1u);
+  engine.close();
+}
+
+TEST(FaultTest, MultiProducerZeroLossUnderErrorRateFaults) {
+  FaultGuard guard;
+  ingest::IngestOptions options;
+  options.shard_count = 4;
+  options.queue_capacity = 16;
+  options.sink_retry.max_attempts = 2;
+  options.sink_retry.initial_backoff_ns = 100'000;
+  options.sink_breaker.failure_threshold = 3;
+  options.sink_breaker.open_cooldown_ns = 5'000'000;
+  ingest::IngestEngine engine(options);
+  ASSERT_TRUE(engine.open().is_ok());
+
+  // 5% of sink writes fail, deterministically.
+  ASSERT_TRUE(
+      fault::arm_from_spec("tsdb.write_batch=error_rate:0.05,seed:7")
+          .is_ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 50;
+  constexpr int kPointsPerBatch = 20;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, p] {
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        std::vector<tsdb::Point> batch;
+        for (int i = 0; i < kPointsPerBatch; ++i) {
+          tsdb::Point point;
+          point.measurement = "m" + std::to_string(p);
+          point.time = b * kPointsPerBatch + i;
+          point.fields["value"] = 1.0;
+          batch.push_back(std::move(point));
+        }
+        ASSERT_TRUE(engine.submit(std::move(batch)).is_ok());
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ASSERT_TRUE(engine.flush().is_ok());
+
+  const std::size_t produced = static_cast<std::size_t>(kProducers) *
+                               kBatchesPerProducer * kPointsPerBatch;
+  EXPECT_EQ(engine.point_count(), produced);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.dropped_points, 0u);
+  EXPECT_EQ(stats.abandoned_points, 0u);
+  EXPECT_GT(fault::fire_count("tsdb.write_batch"), 0u);
+  engine.close();
+}
+
+TEST(FaultTest, CloseDuringOutageAbandonsParkedButWalRecovers) {
+  FaultGuard guard;
+  TempDir dir("abandon");
+  std::size_t produced = 0;
+  {
+    ingest::IngestOptions options;
+    options.shard_count = 1;
+    options.wal_dir = dir.path;
+    options.sink_retry.max_attempts = 1;
+    options.sink_breaker.failure_threshold = 1;
+    options.sink_breaker.open_cooldown_ns = 3600 * kNsPerSec;  // stays open
+    ingest::IngestEngine engine(options);
+    ASSERT_TRUE(engine.open().is_ok());
+    // Permanent outage.
+    ASSERT_TRUE(
+        fault::arm_from_spec("tsdb.write_batch=fail_after:0").is_ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(engine.submit({make_point(i, 1.0)}).is_ok());
+      ++produced;
+    }
+    // close() must not deadlock on the un-deliverable batches.
+    engine.close();
+    EXPECT_GT(engine.stats().abandoned_points, 0u);
+  }
+  fault::disarm_all();
+  // The acknowledged batches were WAL-durable: a fresh engine replays them.
+  ingest::IngestOptions options;
+  options.shard_count = 1;
+  options.wal_dir = dir.path;
+  ingest::IngestEngine engine(options);
+  ASSERT_TRUE(engine.open().is_ok());
+  EXPECT_EQ(engine.point_count(), produced);
+  EXPECT_EQ(engine.stats().recovered_points, produced);
+  engine.close();
+}
+
+TEST(FaultTest, ReopenResetsBreakersAfterPermanentTrip) {
+  FaultGuard guard;
+  ingest::IngestOptions options;
+  options.shard_count = 1;
+  options.sink_retry.max_attempts = 1;
+  options.sink_breaker.failure_threshold = 1;
+  options.sink_breaker.open_cooldown_ns = 3600 * kNsPerSec;
+  ingest::IngestEngine engine(options);
+  ASSERT_TRUE(engine.open().is_ok());
+  ASSERT_TRUE(fault::arm_from_spec("tsdb.write_batch=fail:1").is_ok());
+  ASSERT_TRUE(engine.submit({make_point(1, 1.0)}).is_ok());
+  // Wait until the worker tripped the breaker on the parked batch.
+  while (engine.sink_breaker(0).state() != CircuitBreaker::State::kOpen) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The fault healed (fail:1), but the hour-long cooldown would park the
+  // batch all day; a supervisor restart unblocks it immediately.
+  ASSERT_TRUE(engine.reopen().is_ok());
+  ASSERT_TRUE(engine.flush().is_ok());
+  EXPECT_EQ(engine.point_count(), 1u);
+  engine.close();
+}
+
+// ------------------------------------------------------- transport injection
+
+TEST(FaultTest, TransportOfferFaultDropsReports) {
+  FaultGuard guard;
+  sampler::TransportModel model;
+  model.warmup_ns = 0;
+  sampler::TransportPipeline pipeline(model, 8);
+  ASSERT_TRUE(
+      fault::arm_from_spec("transport.offer=error_rate:0.5,seed:3").is_ok());
+  int dropped = 0;
+  constexpr int kOffers = 200;
+  for (int i = 1; i <= kOffers; ++i) {
+    if (pipeline.offer(i * from_seconds(0.05)) ==
+        sampler::ReportFate::kDropped) {
+      ++dropped;
+    }
+  }
+  EXPECT_EQ(fault::trigger_count("transport.offer"),
+            static_cast<std::uint64_t>(kOffers));
+  // ~50% injected loss, give or take the deterministic stream.
+  EXPECT_GT(dropped, kOffers / 4);
+  EXPECT_GE(static_cast<std::uint64_t>(dropped),
+            fault::fire_count("transport.offer"));
+}
+
+}  // namespace
+}  // namespace pmove

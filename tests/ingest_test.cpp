@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
 #include <unistd.h>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "ingest/aggregate.hpp"
 #include "ingest/engine.hpp"
 #include "ingest/ring_buffer.hpp"
@@ -21,6 +23,20 @@ namespace pmove::ingest {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// CI chaos mode: PMOVE_FAULT in the environment arms the fault registry
+/// for the whole suite, so every zero-loss assertion below also proves the
+/// resilience tier absorbs the injected failures.
+const bool kEnvFaultsArmed = [] {
+  const char* spec = std::getenv("PMOVE_FAULT");
+  if (spec != nullptr && *spec != '\0') {
+    if (Status s = fault::arm_from_spec(spec); !s.is_ok()) {
+      std::fprintf(stderr, "PMOVE_FAULT rejected: %s\n",
+                   s.message().c_str());
+    }
+  }
+  return true;
+}();
 
 tsdb::Point make_point(std::string measurement, TimeNs t, double value,
                        std::string tag = "") {

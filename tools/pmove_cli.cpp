@@ -33,6 +33,7 @@
 #include "cluster/cluster.hpp"
 #include "core/daemon.hpp"
 #include "dashboard/views.hpp"
+#include "fault/fault.hpp"
 #include "ingest/engine.hpp"
 #include "kb/linked_query.hpp"
 #include "kernels/kernels.hpp"
@@ -61,10 +62,15 @@ int usage() {
       "  cluster <preset> [preset...]        cluster session + job\n"
       "  record <preset> <kernel> <dir>      profile + save session\n"
       "  replay <dir> <host>                 reopen a recorded session\n"
-      "  ingest-bench [n] [shards] [batch]   per-point DB vs ingest engine\n"
+      "  health <preset> [hz] [met] [s]      session + component health "
+      "table\n"
+      "  ingest-bench [n] [shards] [batch] [producers] [--fault <spec>]\n"
+      "                                      per-point DB vs ingest engine\n"
       "  query-bench [panels] [refr] [n] [w] string vs typed vs cached reads\n"
       "presets: skx icl csl zen3   kernels: sum stream triad peakflops"
-      " ddot daxpy\n");
+      " ddot daxpy\n"
+      "env: PMOVE_FAULT=\"point=mode:arg[;point2=...]\" arms fault "
+      "injection\n");
   return 2;
 }
 
@@ -414,6 +420,65 @@ int cmd_replay(int argc, char** argv) {
   return 0;
 }
 
+// Scenario A under a health lens: run a short session (with the ingest tier
+// in front of the TSDB), tick the supervisor once, and render the component
+// health table.  PMOVE_FAULT makes this the chaos-drill entry point:
+//
+//   PMOVE_FAULT="tsdb.write_batch=fail:3" pmove health skx
+int cmd_health(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  const double hz = argc > 3 ? std::atof(argv[3]) : 8.0;
+  const int metrics = argc > 4 ? std::atoi(argv[4]) : 4;
+  const double seconds = argc > 5 ? std::atof(argv[5]) : 5.0;
+  core::DaemonConfig config = core::DaemonConfig::from_env();
+  core::Daemon daemon(std::move(config));
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  if (auto s = daemon.enable_ingest(); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto result = daemon.run_scenario_a(hz, metrics, seconds);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("session: expected %lld, inserted %lld (%%L %.1f)\n",
+              static_cast<long long>(result->stats.expected),
+              static_cast<long long>(result->stats.inserted),
+              result->stats.loss_pct());
+  const auto* engine = daemon.ingest();
+  const auto stats = engine->stats();
+  std::printf("ingest: %llu sink failures, %llu wal failures, %llu parked, "
+              "%llu replayed, %llu abandoned\n",
+              static_cast<unsigned long long>(stats.sink_failures),
+              static_cast<unsigned long long>(stats.wal_failures),
+              static_cast<unsigned long long>(stats.parked_points),
+              static_cast<unsigned long long>(stats.replayed_points),
+              static_cast<unsigned long long>(stats.abandoned_points));
+  // One supervisor tick, late enough that freshly failed components (1s
+  // initial restart backoff, wall clock) are due.
+  const auto tick = daemon.supervise(WallClock().now() + 2 * kNsPerSec);
+  if (tick.attempted > 0) {
+    std::printf("supervisor: attempted %d restarts, recovered %d\n",
+                tick.attempted, tick.recovered);
+  }
+  std::printf("\n%s", daemon.health().render().c_str());
+  if (fault::armed()) {
+    std::printf("\nfault points:\n");
+    for (const auto& point : fault::stats()) {
+      std::printf("  %-20s %-26s triggers %8llu  fires %8llu\n",
+                  point.name.c_str(), point.spec.to_string().c_str(),
+                  static_cast<unsigned long long>(point.triggers),
+                  static_cast<unsigned long long>(point.fires));
+    }
+  }
+  return 0;
+}
+
 // Head-to-head of the seed write path (one TimeSeriesDb::write per point)
 // against the ingest engine (sharded queues + write_batch), over the same
 // synthetic point stream.
@@ -438,6 +503,24 @@ std::vector<tsdb::Point> ingest_bench_stream(std::size_t producer,
 }
 
 int cmd_ingest_bench(int argc, char** argv) {
+  // --fault <spec> arms fault injection for the engine phase only (the
+  // per-point baseline has no resilience tier to exercise): injected sink
+  // errors show up as throughput degradation, never as lost points — the
+  // point-count equality check below still has to hold.
+  std::string fault_spec;
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 2; i < args.size();) {
+    if (std::strcmp(args[i], "--fault") == 0 && i + 1 < args.size()) {
+      fault_spec = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else {
+      ++i;
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   // Default kept modest: the seed per-point path degrades quadratically on
   // the interleaved timestamps concurrent producers generate, so large point
   // counts mostly measure that pathology for minutes.
@@ -490,10 +573,19 @@ int cmd_ingest_bench(int argc, char** argv) {
   }
 
   // Engine: the same producers hand batches to the sharded ingest tier.
+  if (!fault_spec.empty()) {
+    if (Status s = fault::arm_from_spec(fault_spec); !s.is_ok()) {
+      std::fprintf(stderr, "--fault rejected: %s\n", s.to_string().c_str());
+      return 2;
+    }
+  }
   ingest::IngestOptions options;
   options.shard_count = shards;
   options.queue_capacity = 256;
   options.policy = ingest::BackpressurePolicy::kBlock;
+  // Short cooldown so an injected outage costs milliseconds of parking,
+  // not the default 250 ms per breaker trip.
+  options.sink_breaker.open_cooldown_ns = 20'000'000;
   ingest::IngestEngine engine(options);
   if (auto s = engine.open(); !s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
@@ -547,6 +639,20 @@ int cmd_ingest_bench(int argc, char** argv) {
               static_cast<unsigned long long>(stats.submitted_batches),
               stats.max_queue_depth,
               static_cast<unsigned long long>(stats.blocked_submits));
+  if (!fault_spec.empty()) {
+    std::printf("faults: %llu sink failures -> %llu points parked, "
+                "%llu replayed, 0 lost\n",
+                static_cast<unsigned long long>(stats.sink_failures),
+                static_cast<unsigned long long>(stats.parked_points),
+                static_cast<unsigned long long>(stats.replayed_points));
+    for (const auto& point : fault::stats()) {
+      std::printf("  %-20s %-26s fired %llu of %llu triggers\n",
+                  point.name.c_str(), point.spec.to_string().c_str(),
+                  static_cast<unsigned long long>(point.fires),
+                  static_cast<unsigned long long>(point.triggers));
+    }
+    fault::disarm_all();
+  }
   engine.close();
   return 0;
 }
@@ -731,6 +837,7 @@ int main(int argc, char** argv) {
   if (command == "cluster") return cmd_cluster(argc, argv);
   if (command == "record") return cmd_record(argc, argv);
   if (command == "replay") return cmd_replay(argc, argv);
+  if (command == "health") return cmd_health(argc, argv);
   if (command == "ingest-bench") return cmd_ingest_bench(argc, argv);
   if (command == "query-bench") return cmd_query_bench(argc, argv);
   return usage();
