@@ -9,6 +9,7 @@
 #include "json/jsonld.hpp"
 #include "kb/metrics_catalog.hpp"
 #include "kernels/kernels.hpp"
+#include "metrics/names.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -31,10 +32,19 @@ DaemonConfig DaemonConfig::from_env(
   }
   // Malformed numeric environment values never abort startup: each knob
   // falls back to its default with a logged warning.  (std::atoi would have
-  // silently produced 0; std::stoi would have thrown.)
+  // silently produced 0; std::stoi would have thrown.)  Parseable but
+  // out-of-range values are clamped into the valid range — also with a
+  // warning — so "PMOVE_INGEST_SHARDS=0" cannot configure a shardless
+  // engine that the IngestEngine constructor would silently correct later.
   if (auto v = lookup("PMOVE_INGEST_SHARDS"); !v.empty()) {
-    if (auto n = strings::parse_int(v); n && *n >= 1 && *n <= 1024) {
-      config.ingest.shard_count = static_cast<int>(*n);
+    if (auto n = strings::parse_int(v); n) {
+      const std::int64_t clamped = std::clamp<std::int64_t>(*n, 1, 1024);
+      if (clamped != *n) {
+        log_warn("daemon") << "PMOVE_INGEST_SHARDS='" << v
+                           << "' out of range [1,1024], clamping to "
+                           << clamped;
+      }
+      config.ingest.shard_count = static_cast<int>(clamped);
     } else {
       log_warn("daemon") << "ignoring PMOVE_INGEST_SHARDS='" << v
                          << "' (want an integer in [1,1024]), keeping "
@@ -43,8 +53,15 @@ DaemonConfig DaemonConfig::from_env(
     config.ingest_enabled = true;
   }
   if (auto v = lookup("PMOVE_INGEST_QUEUE_CAP"); !v.empty()) {
-    if (auto n = strings::parse_int(v); n && *n >= 1) {
-      config.ingest.queue_capacity = static_cast<std::size_t>(*n);
+    if (auto n = strings::parse_int(v); n) {
+      const std::int64_t clamped =
+          std::clamp<std::int64_t>(*n, 1, std::int64_t{1} << 20);
+      if (clamped != *n) {
+        log_warn("daemon") << "PMOVE_INGEST_QUEUE_CAP='" << v
+                           << "' out of range [1,1048576], clamping to "
+                           << clamped;
+      }
+      config.ingest.queue_capacity = static_cast<std::size_t>(clamped);
     } else {
       log_warn("daemon") << "ignoring PMOVE_INGEST_QUEUE_CAP='" << v
                          << "' (want a positive integer), keeping "
@@ -97,6 +114,12 @@ Daemon::Daemon(DaemonConfig config)
   // `pmove health` shows the full surface even before anything fails.
   health_.register_component("tsdb");
   health_.register_component("query");
+  // KB writes ride the docdb breaker; "restarting" the store means forcing
+  // that breaker closed once the supervisor decides the fault is gone.
+  health_.register_component("docdb", [this]() {
+    docs_.write_breaker().reset();
+    return Status::ok();
+  });
 }
 
 Status Daemon::enable_ingest() {
@@ -138,7 +161,48 @@ Status Daemon::attach_target(const topology::MachineSpec& spec) {
     log_warn("daemon") << "abstraction layer incomplete for " << pmu_name
                        << ": " << s.message();
   }
+  register_internals_observation();
   return sync_kb();  // step 3
+}
+
+void Daemon::register_internals_observation() {
+  if (!kb_) return;
+  if (kb_->find_observation(metrics::kSelfObservationTag).has_value()) {
+    return;  // attach_target called twice: the entry already exists
+  }
+  // One SampledMetric per self-telemetry measurement the exporter emits;
+  // the fields listed are the headline series internals_view() panels show.
+  // docs/METRICS.md is the full field reference.
+  kb::ObservationInterface observation;
+  observation.tag = metrics::kSelfObservationTag;
+  observation.id = json::make_dtmi(
+      {"dt", kb_->machine().hostname, "observation", "pmove-internals"});
+  observation.host = kb_->machine().hostname;
+  observation.command = "pmove self-telemetry";
+  const struct {
+    const char* measurement;
+    std::vector<std::string> fields;
+  } streams[] = {
+      {metrics::kMeasurementIngest,
+       {"submitted_points", "inserted_points", "dropped_points",
+        "spilled_points", "parked_points"}},
+      {metrics::kMeasurementWal,
+       {"appends", "fsyncs", "rollbacks", "checkpoints"}},
+      {metrics::kMeasurementBreaker, {"opens", "rejects", "state"}},
+      {metrics::kMeasurementHealth, {"failures", "restarts", "state"}},
+      {metrics::kMeasurementQuery,
+       {"queries", "cache_hits", "cache_misses"}},
+      {metrics::kMeasurementDocdb, {"inserts", "insert_failures"}},
+      {metrics::kMeasurementFault, {"triggers", "fires"}},
+  };
+  for (const auto& stream : streams) {
+    kb::SampledMetric metric;
+    metric.sampler_name = std::string("self.") + stream.measurement;
+    metric.db_name = stream.measurement;
+    metric.fields = stream.fields;
+    observation.metrics.push_back(std::move(metric));
+  }
+  kb_->attach_observation(std::move(observation));
 }
 
 Expected<int> Daemon::run_benchmark(std::string_view name) {
@@ -301,6 +365,9 @@ Expected<Daemon::ScenarioAResult> Daemon::run_scenario_a(double frequency_hz,
     (void)ingest_->publish_self_telemetry(from_seconds(duration_s));
     if (Status s = ingest_->flush(); !s.is_ok()) return s;
   }
+  // Registry snapshot (breaker/WAL/query/health counters) alongside the
+  // session's own telemetry, so internals dashboards have data to render.
+  (void)publish_internals(from_seconds(duration_s));
 
   // Health verdict for the sampling tier; a session that delivered nothing
   // counts as failed and the supervisor may re-run it with these

@@ -27,6 +27,7 @@
 #include "ingest/engine.hpp"
 #include "kb/ids.hpp"
 #include "kb/kb.hpp"
+#include "metrics/exporter.hpp"
 #include "pmu/pmu.hpp"
 #include "query/engine.hpp"
 #include "sampler/live.hpp"
@@ -177,12 +178,34 @@ class Daemon {
     return health_.supervise(now);
   }
 
+  // ----------------------------------------------------- self-telemetry
+  /// Snapshots the process-wide metrics registry (breaker states, WAL and
+  /// ingest counters, query-cache hits, ...) and writes the pmove_*
+  /// measurements into the TSDB, stamped `now`.  The "P-MoVE internals"
+  /// dashboard (ViewBuilder::internals_view) reads these series.
+  Status publish_internals(TimeNs now) { return exporter_.export_once(now); }
+  /// Cadence-gated variant for periodic callers (`pmove metrics --watch`,
+  /// the supervisor loop).
+  Status publish_internals_if_due(TimeNs now) {
+    return exporter_.export_if_due(now);
+  }
+  [[nodiscard]] metrics::MetricsExporter& metrics_exporter() {
+    return exporter_;
+  }
+
  private:
+  /// Registers the "pmove-internals" ObservationInterface in the KB so
+  /// dashboard generation can discover the self-telemetry streams.
+  void register_internals_observation();
+
   DaemonConfig config_;
   abstraction::AbstractionLayer layer_;
   docdb::DocumentStore docs_;
   tsdb::TimeSeriesDb ts_;
   query::QueryEngine engine_{ts_};  ///< cached read path over ts_
+  /// Global-registry snapshots land directly in ts_ (it is a PointSink);
+  /// the ingest tier fronts sampler traffic, not introspection writes.
+  metrics::MetricsExporter exporter_{nullptr, &ts_};
   std::unique_ptr<ingest::IngestEngine> ingest_;  ///< fronts ts_ when enabled
   std::optional<kb::KnowledgeBase> kb_;
   kb::UuidGenerator uuids_;

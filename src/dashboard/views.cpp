@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/names.hpp"
 #include "query/plan.hpp"
 #include "tsdb/db.hpp"
 #include "util/strings.hpp"
@@ -112,6 +113,31 @@ Expected<Dashboard> ViewBuilder::level_view(topology::ComponentKind kind,
   if (dash.panels.empty()) {
     return Status::not_found("no telemetry for level view of " +
                              std::string(topology::to_string(kind)));
+  }
+  return dash;
+}
+
+Expected<Dashboard> ViewBuilder::internals_view() const {
+  auto observation = kb_->find_observation(metrics::kSelfObservationTag);
+  if (!observation) {
+    return Status::not_found(
+        "no self-telemetry observation in the KB (attach a target first)");
+  }
+  Dashboard dash;
+  dash.id = 1;
+  dash.title = "P-MoVE internals";
+  int panel_id = 1;
+  for (const kb::SampledMetric& metric : observation->metrics) {
+    Panel panel;
+    panel.id = panel_id++;
+    panel.title = metric.db_name;
+    for (const std::string& field : metric.fields) {
+      Target target;
+      target.measurement = metric.db_name;
+      target.params = field;
+      panel.targets.push_back(std::move(target));
+    }
+    dash.panels.push_back(std::move(panel));
   }
   return dash;
 }

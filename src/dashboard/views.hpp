@@ -41,6 +41,13 @@ class ViewBuilder {
   [[nodiscard]] Expected<Dashboard> level_view(
       topology::ComponentKind kind, std::string_view metric = "") const;
 
+  /// "P-MoVE internals" view: the monitoring pipeline watching itself.
+  /// Built from the "pmove-internals" ObservationInterface the daemon
+  /// registers at attach time — one panel per pmove_* self-telemetry
+  /// measurement (ingest, WAL, breakers, health, query cache, ...), fed by
+  /// the MetricsExporter's registry snapshots.
+  [[nodiscard]] Expected<Dashboard> internals_view() const;
+
  private:
   const kb::KnowledgeBase* kb_;
 };

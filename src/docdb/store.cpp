@@ -4,8 +4,58 @@
 #include <sstream>
 
 #include "fault/fault.hpp"
+#include "metrics/names.hpp"
 
 namespace pmove::docdb {
+
+namespace {
+
+BreakerOptions docdb_breaker_options() {
+  BreakerOptions options;
+  options.failure_threshold = 3;
+  return options;
+}
+
+RetryPolicy docdb_retry_policy() {
+  // KB writes happen on control paths (attach, bench recording), so the
+  // budget stays short: two quick retries, then the breaker takes over.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ns = 100'000;  // 100 us
+  policy.max_backoff_ns = 1'000'000;
+  policy.deadline_ns = 50'000'000;
+  return policy;
+}
+
+}  // namespace
+
+DocumentStore::DocumentStore()
+    : breaker_("docdb", docdb_breaker_options()),
+      retry_policy_(docdb_retry_policy()) {
+  metrics::Registry& reg = metrics::Registry::global();
+  const char* m = metrics::kMeasurementDocdb;
+  m_inserts_ = &reg.counter(m, "store", "inserts");
+  m_failures_ = &reg.counter(m, "store", "insert_failures");
+  m_rejects_ = &reg.counter(m, "store", "breaker_rejects");
+}
+
+Status DocumentStore::guard_write() {
+  if (!breaker_.allow()) {
+    m_rejects_->inc();
+    return breaker_.reject_status();
+  }
+  static const WallClock kClock;
+  Status s = retry(retry_policy_, kClock, real_sleep(), /*seed=*/0xd0cdbu,
+                   [] { return fault::point("docdb.insert"); });
+  if (!s.is_ok()) {
+    breaker_.record_failure();
+    m_failures_->inc();
+    return s;
+  }
+  breaker_.record_success();
+  m_inserts_->inc();
+  return Status::ok();
+}
 
 std::string DocumentStore::document_id(const json::Value& document,
                                        std::size_t* sequence) {
@@ -24,7 +74,7 @@ std::string DocumentStore::document_id(const json::Value& document,
 
 Expected<std::string> DocumentStore::insert(std::string_view collection,
                                             json::Value document) {
-  if (Status s = fault::point("docdb.insert"); !s.is_ok()) return s;
+  if (Status s = guard_write(); !s.is_ok()) return s;
   std::lock_guard<std::mutex> lock(mutex_);
   std::string id = document_id(document, &sequence_);
   auto& coll = collections_[std::string(collection)];
@@ -37,7 +87,7 @@ Expected<std::string> DocumentStore::insert(std::string_view collection,
 
 Expected<std::string> DocumentStore::upsert(std::string_view collection,
                                             json::Value document) {
-  if (Status s = fault::point("docdb.insert"); !s.is_ok()) return s;
+  if (Status s = guard_write(); !s.is_ok()) return s;
   std::lock_guard<std::mutex> lock(mutex_);
   std::string id = document_id(document, &sequence_);
   collections_[std::string(collection)][id] = std::move(document);

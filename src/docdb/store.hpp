@@ -4,6 +4,12 @@
 // benchmark results, organized in named collections.  Documents are keyed by
 // their "@id" (DTMI) when present, by "_id" otherwise, or by a generated
 // sequence id.  Queries are path-equality finds — all the KB parsing needs.
+//
+// Writes (insert/upsert) ride the same resilience tier as the TSDB sink:
+// each attempt is retried under a short budget and guarded by a per-store
+// "docdb" circuit breaker, so a flapping document store fails KB writers
+// fast instead of hanging them, and the outage is visible in pmove_breaker /
+// pmove_docdb self-telemetry.
 #pragma once
 
 #include <map>
@@ -13,12 +19,17 @@
 #include <vector>
 
 #include "json/value.hpp"
+#include "metrics/registry.hpp"
+#include "util/breaker.hpp"
+#include "util/retry.hpp"
 #include "util/status.hpp"
 
 namespace pmove::docdb {
 
 class DocumentStore {
  public:
+  DocumentStore();
+
   /// Inserts a document; fails if a document with the same id exists.
   /// Returns the id under which it was stored.
   Expected<std::string> insert(std::string_view collection,
@@ -52,14 +63,32 @@ class DocumentStore {
 
   void clear();
 
+  /// The breaker guarding writes ("docdb").  The daemon's supervisor resets
+  /// it when the operator declares the store healthy again.
+  [[nodiscard]] CircuitBreaker& write_breaker() { return breaker_; }
+  [[nodiscard]] const CircuitBreaker& write_breaker() const {
+    return breaker_;
+  }
+
  private:
   static std::string document_id(const json::Value& document,
                                  std::size_t* sequence);
+
+  /// Breaker + retry gate every write passes before touching the maps.
+  Status guard_write();
 
   mutable std::mutex mutex_;
   std::map<std::string, std::map<std::string, json::Value>, std::less<>>
       collections_;
   std::size_t sequence_ = 0;
+
+  CircuitBreaker breaker_;
+  RetryPolicy retry_policy_;
+
+  // pmove_docdb self-telemetry (instance "store").
+  metrics::Counter* m_inserts_;
+  metrics::Counter* m_failures_;
+  metrics::Counter* m_rejects_;
 };
 
 }  // namespace pmove::docdb

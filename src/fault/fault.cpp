@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "metrics/names.hpp"
+#include "metrics/registry.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -22,6 +24,10 @@ struct PointState {
   std::uint64_t triggers = 0;
   std::uint64_t fires = 0;
   std::uint64_t rng_state = 0;  ///< SplitMix64 stream for error_rate
+  // pmove_fault self-telemetry, keyed by point name; handles acquired at
+  // arm() so the hot unarmed path never touches the metrics registry.
+  metrics::Counter* m_triggers = nullptr;
+  metrics::Counter* m_fires = nullptr;
 };
 
 struct Registry {
@@ -51,6 +57,7 @@ std::optional<FaultSpec> query(std::string_view name) {
   if (it == reg.points.end()) return std::nullopt;
   PointState& state = it->second;
   ++state.triggers;
+  state.m_triggers->inc();
   bool fire = false;
   switch (state.spec.mode) {
     case FaultMode::kFailTimes:
@@ -71,6 +78,7 @@ std::optional<FaultSpec> query(std::string_view name) {
   }
   if (!fire) return std::nullopt;
   ++state.fires;
+  state.m_fires->inc();
   return state.spec;
 }
 
@@ -198,6 +206,11 @@ void arm(std::string_view name, FaultSpec spec) {
   PointState state;
   state.spec = spec;
   state.rng_state = mix_seed(spec.seed, 0xfa17u);
+  metrics::Registry& metrics_reg = metrics::Registry::global();
+  state.m_triggers =
+      &metrics_reg.counter(metrics::kMeasurementFault, name, "triggers");
+  state.m_fires =
+      &metrics_reg.counter(metrics::kMeasurementFault, name, "fires");
   auto [it, inserted] = reg.points.insert_or_assign(std::string(name), state);
   (void)it;
   if (inserted) {

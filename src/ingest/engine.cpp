@@ -4,6 +4,8 @@
 #include <set>
 
 #include "fault/fault.hpp"
+#include "metrics/names.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -79,8 +81,28 @@ IngestEngine::IngestEngine(IngestOptions options,
   static const WallClock kWallClock;
   clock_ = options_.clock != nullptr ? options_.clock : &kWallClock;
   sleep_ = options_.sleep ? options_.sleep : real_sleep();
-  options_.shard_count = std::max(1, options_.shard_count);
-  options_.queue_capacity = std::max<std::size_t>(1, options_.queue_capacity);
+  if (options_.shard_count < 1) {
+    log_warn("ingest") << "shard_count " << options_.shard_count
+                       << " out of range, clamping to 1";
+    options_.shard_count = 1;
+  }
+  if (options_.queue_capacity < 1) {
+    log_warn("ingest") << "queue_capacity 0 out of range, clamping to 1";
+    options_.queue_capacity = 1;
+  }
+  metrics::Registry& reg = metrics::Registry::global();
+  const char* m = metrics::kMeasurementIngest;
+  m_submitted_ = &reg.counter(m, "engine", "submitted_points");
+  m_inserted_ = &reg.counter(m, "engine", "inserted_points");
+  m_dropped_ = &reg.counter(m, "engine", "dropped_points");
+  m_spilled_ = &reg.counter(m, "engine", "spilled_points");
+  m_blocked_ = &reg.counter(m, "engine", "blocked_submits");
+  m_parked_ = &reg.counter(m, "engine", "parked_points");
+  m_replayed_ = &reg.counter(m, "engine", "replayed_points");
+  m_abandoned_ = &reg.counter(m, "engine", "abandoned_points");
+  m_recovered_ = &reg.counter(m, "engine", "recovered_points");
+  m_sink_failures_ = &reg.counter(m, "engine", "sink_failures");
+  m_wal_failures_ = &reg.counter(m, "engine", "wal_failures");
   for (int i = 0; i < options_.shard_count; ++i) {
     auto shard = std::make_unique<Shard>(options_.queue_capacity);
     if (external_ == nullptr) {
@@ -89,6 +111,11 @@ IngestEngine::IngestEngine(IngestOptions options,
     shard->breaker = std::make_unique<CircuitBreaker>(
         "ingest.shard" + std::to_string(i), options_.sink_breaker, clock_);
     shard->seed = mix_seed(0x50'4d'56u, static_cast<std::uint64_t>(i));
+    const std::string instance = "shard" + std::to_string(i);
+    shard->m_drops = &reg.counter(m, instance, "dropped_points");
+    shard->m_spills = &reg.counter(m, instance, "spilled_points");
+    shard->m_replays = &reg.counter(m, instance, "replayed_batches");
+    shard->m_depth = &reg.gauge(m, instance, "queue_depth");
     shards_.push_back(std::move(shard));
   }
   wal_breaker_ = std::make_unique<CircuitBreaker>(
@@ -129,6 +156,7 @@ Status IngestEngine::open() {
       }
       if (batch.empty()) return Status::ok();
       recovered_points_ += batch.size();
+      m_recovered_->add(batch.size());
       std::vector<Batch> parts(shards_.size());
       for (tsdb::Point& p : batch) {
         parts[static_cast<std::size_t>(shard_of(p))].push_back(std::move(p));
@@ -238,6 +266,7 @@ Status IngestEngine::wal_append_batch(const Batch& batch) {
   if (!result.is_ok()) {
     wal_breaker_->record_failure();
     wal_failures_ += 1;
+    m_wal_failures_->inc();
     report_component(wal_healthy_, "ingest.wal", result);
     return result;
   }
@@ -260,6 +289,7 @@ Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
   }
   submitted_batches_ += 1;
   submitted_points_ += batch.size();
+  m_submitted_->add(batch.size());
 
   // Acknowledge durability first: once the WAL append returns, the batch
   // survives a crash no matter what the queues do.
@@ -286,18 +316,22 @@ Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
                   : BackpressurePolicy::kDrop) {
         case BackpressurePolicy::kBlock:
           blocked_submits_ += 1;
+          m_blocked_->inc();
           accepted = shard.queue.push_wait(std::move(parts[i]), -1);
           break;
         case BackpressurePolicy::kSpill: {
           std::lock_guard<std::mutex> lock(shard.spill_mutex);
           shard.spill.push_back(std::move(parts[i]));
           spilled_points_ += n;
+          m_spilled_->add(n);
+          shard.m_spills->add(n);
           accepted = true;
           break;
         }
         case BackpressurePolicy::kDrop:
           if (mode == SubmitMode::kTimeout) {
             blocked_submits_ += 1;
+            m_blocked_->inc();
             accepted = shard.queue.push_wait(std::move(parts[i]), timeout_ns);
           }
           break;
@@ -310,10 +344,13 @@ Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
       }
       pending_cv_.notify_all();
       dropped_points_ += n;
+      m_dropped_->add(n);
+      shard.m_drops->add(n);
       result = Status::unavailable("ingest queue full: shard " +
                                    std::to_string(i));
     } else {
       const std::size_t depth = shard.queue.size();
+      shard.m_depth->set(static_cast<double>(depth));
       std::size_t seen = max_queue_depth_.load();
       while (depth > seen &&
              !max_queue_depth_.compare_exchange_weak(seen, depth)) {
@@ -358,6 +395,7 @@ void IngestEngine::apply_batch(Shard& shard, Batch batch) {
   // parked ones instead of racing a half-open breaker.
   if (!shard.parked.empty()) {
     parked_points_ += batch.size();
+    m_parked_->add(batch.size());
     shard.parked.push_back(std::move(batch));
     return;
   }
@@ -366,6 +404,7 @@ void IngestEngine::apply_batch(Shard& shard, Batch batch) {
     // elevated so flush() blocks until recovery — the outage degrades to
     // latency, not loss.
     parked_points_ += batch.size();
+    m_parked_->add(batch.size());
     shard.parked.push_back(std::move(batch));
     return;
   }
@@ -383,6 +422,7 @@ Status IngestEngine::deliver_batch(Shard& shard, Batch& batch) {
   if (!injected.is_ok()) {
     breaker.record_failure();
     sink_failures_ += 1;
+    m_sink_failures_->inc();
     report_component(shard.healthy, breaker.name(), injected);
     return injected;
   }
@@ -397,6 +437,7 @@ Status IngestEngine::deliver_batch(Shard& shard, Batch& batch) {
     return Status::ok();
   }
   inserted_points_ += n;
+  m_inserted_->add(n);
   breaker.record_success();
   report_component(shard.healthy, breaker.name(), Status::ok());
   return Status::ok();
@@ -408,6 +449,8 @@ void IngestEngine::drain_parked(Shard& shard) {
     const std::size_t n = front.size();
     if (Status s = deliver_batch(shard, front); !s.is_ok()) break;
     replayed_points_ += n;
+    m_replayed_->add(n);
+    shard.m_replays->inc();
     shard.parked.pop_front();
     note_applied(1);
   }
@@ -417,6 +460,7 @@ void IngestEngine::drain_parked(Shard& shard) {
     // were acknowledged against the WAL, so the next open() replays them.
     while (!shard.parked.empty()) {
       abandoned_points_ += shard.parked.front().size();
+      m_abandoned_->add(shard.parked.front().size());
       shard.parked.pop_front();
       note_applied(1);
     }
@@ -645,7 +689,7 @@ Status IngestEngine::publish_self_telemetry(TimeNs now,
                                             std::string_view tag) {
   const IngestStats s = stats();
   tsdb::Point point;
-  point.measurement = "pmove_ingest";
+  point.measurement = metrics::kMeasurementIngest;
   point.tags["tier"] = "ingest";
   if (!tag.empty()) point.tags["tag"] = std::string(tag);
   point.time = now;

@@ -41,6 +41,7 @@
 #include "ingest/aggregate.hpp"
 #include "ingest/ring_buffer.hpp"
 #include "ingest/wal.hpp"
+#include "metrics/registry.hpp"
 #include "tsdb/db.hpp"
 #include "tsdb/sink.hpp"
 #include "util/breaker.hpp"
@@ -259,6 +260,13 @@ class IngestEngine final : public tsdb::PointSink {
     mutable std::mutex agg_mutex;
     std::map<std::string, std::map<std::string, FieldAggregate>> totals;
     std::map<std::string, WindowState> windows;
+    // pmove_ingest self-telemetry, instance "shard<i>".  All engines in the
+    // process share these series (the registry is global); the per-engine
+    // atomics below remain the authoritative per-instance stats.
+    metrics::Counter* m_drops = nullptr;
+    metrics::Counter* m_spills = nullptr;
+    metrics::Counter* m_replays = nullptr;  ///< parked batches replayed
+    metrics::Gauge* m_depth = nullptr;      ///< queue depth at last submit
   };
 
   enum class SubmitMode { kPolicy, kNever, kTimeout };
@@ -314,6 +322,19 @@ class IngestEngine final : public tsdb::PointSink {
   std::atomic<std::uint64_t> replayed_points_{0};
   std::atomic<std::uint64_t> rejected_points_{0};
   std::atomic<std::uint64_t> abandoned_points_{0};
+
+  // Engine-level pmove_ingest self-telemetry (instance "engine").
+  metrics::Counter* m_submitted_ = nullptr;
+  metrics::Counter* m_inserted_ = nullptr;
+  metrics::Counter* m_dropped_ = nullptr;
+  metrics::Counter* m_spilled_ = nullptr;
+  metrics::Counter* m_blocked_ = nullptr;
+  metrics::Counter* m_parked_ = nullptr;
+  metrics::Counter* m_replayed_ = nullptr;
+  metrics::Counter* m_abandoned_ = nullptr;
+  metrics::Counter* m_recovered_ = nullptr;
+  metrics::Counter* m_sink_failures_ = nullptr;
+  metrics::Counter* m_wal_failures_ = nullptr;
 };
 
 }  // namespace pmove::ingest

@@ -11,6 +11,7 @@
 #endif
 
 #include "fault/fault.hpp"
+#include "metrics/names.hpp"
 
 namespace pmove::ingest {
 
@@ -101,6 +102,17 @@ Status Wal::open(WalOptions options) {
   if (ec) {
     return Status::unavailable("cannot create WAL dir " + options_.dir +
                                ": " + ec.message());
+  }
+
+  {
+    metrics::Registry& reg = metrics::Registry::global();
+    const char* m = metrics::kMeasurementWal;
+    m_appends_ = &reg.counter(m, "wal", "appends");
+    m_append_failures_ = &reg.counter(m, "wal", "append_failures");
+    m_fsyncs_ = &reg.counter(m, "wal", "fsyncs");
+    m_rollbacks_ = &reg.counter(m, "wal", "rollbacks");
+    m_checkpoints_ = &reg.counter(m, "wal", "checkpoints");
+    m_records_ = &reg.gauge(m, "wal", "records");
   }
 
   recovery_ = {};
@@ -217,7 +229,10 @@ Expected<std::uint64_t> Wal::append(std::string_view payload) {
   if (file_ == nullptr) {
     return Status::unavailable("WAL not open");
   }
-  if (Status s = fault::point("wal.append"); !s.is_ok()) return s;
+  if (Status s = fault::point("wal.append"); !s.is_ok()) {
+    m_append_failures_->inc();
+    return s;
+  }
   if (current_bytes_ >= options_.segment_bytes) {
     if (Status s = open_segment(current_seq_ + 1, /*truncate=*/true);
         !s.is_ok()) {
@@ -242,6 +257,7 @@ Expected<std::uint64_t> Wal::append(std::string_view payload) {
     (void)std::fwrite(payload.data(), 1, keep, file_);
     (void)std::fflush(file_);
     current_bytes_ += kHeaderBytes + keep;
+    m_append_failures_->inc();
     return io_error("WAL append torn (injected crash)", path, 0);
   }
 
@@ -250,6 +266,8 @@ Expected<std::uint64_t> Wal::append(std::string_view payload) {
   // appended after it.
   const long record_start = std::ftell(file_);
   const auto rollback = [&] {
+    m_rollbacks_->inc();
+    m_append_failures_->inc();
     std::clearerr(file_);
     if (record_start >= 0) {
       std::fseek(file_, record_start, SEEK_SET);
@@ -286,10 +304,14 @@ Expected<std::uint64_t> Wal::append(std::string_view payload) {
       return io_error("WAL fsync failed", path, saved_errno);
     }
 #endif
+    m_fsyncs_->inc();
   }
   current_bytes_ += kHeaderBytes + payload.size();
   bytes_appended_ += payload.size();
-  return record_count_++;
+  m_appends_->inc();
+  const std::uint64_t lsn = record_count_++;
+  m_records_->set(static_cast<double>(lsn + 1));
+  return lsn;
 }
 
 Status Wal::checkpoint() {
@@ -309,6 +331,10 @@ Status Wal::checkpoint() {
     }
   }
   record_count_ = 0;
+  if (m_checkpoints_ != nullptr) {  // null until the first successful open()
+    m_checkpoints_->inc();
+    m_records_->set(0.0);
+  }
   return open_segment(current_seq_ + 1, /*truncate=*/true);
 }
 

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "util/status.hpp"
 
 namespace pmove::ingest {
@@ -100,6 +101,16 @@ class Wal {
   std::atomic<std::uint64_t> record_count_{0};
   std::atomic<std::uint64_t> bytes_appended_{0};
   WalRecoveryStats recovery_;
+
+  // pmove_wal self-telemetry (instance "wal"), acquired on open().  The
+  // records gauge doubles as checkpoint lag: records appended since the
+  // last checkpoint dropped all segments.
+  metrics::Counter* m_appends_ = nullptr;
+  metrics::Counter* m_append_failures_ = nullptr;
+  metrics::Counter* m_fsyncs_ = nullptr;
+  metrics::Counter* m_rollbacks_ = nullptr;
+  metrics::Counter* m_checkpoints_ = nullptr;
+  metrics::Gauge* m_records_ = nullptr;
 };
 
 }  // namespace pmove::ingest

@@ -1,0 +1,44 @@
+// Self-telemetry measurement names (one constant per exported measurement).
+//
+// Every measurement the introspection registry exports through the
+// MetricsExporter is named here and nowhere else, so the docs checker
+// (tools/check_docs.sh) can diff this list against docs/METRICS.md and CI
+// fails when a new measurement ships undocumented.
+#pragma once
+
+namespace pmove::metrics {
+
+/// Ingest tier: per-engine and per-shard queue/drop/spill/park counters
+/// (also emitted directly by IngestEngine::publish_self_telemetry).
+inline constexpr char kMeasurementIngest[] = "pmove_ingest";
+/// Write-ahead log: appends, fsyncs, rollbacks, checkpoints, checkpoint lag.
+inline constexpr char kMeasurementWal[] = "pmove_wal";
+/// Circuit breakers: state transitions, rejects, outcome counters, keyed by
+/// breaker name ("ingest.shard0", "ingest.wal", "docdb", ...).
+inline constexpr char kMeasurementBreaker[] = "pmove_breaker";
+/// HealthRegistry: failures / supervised restarts / state per component.
+inline constexpr char kMeasurementHealth[] = "pmove_health";
+/// Query engine: query counts, result-cache hit/miss/evictions, pushdowns.
+inline constexpr char kMeasurementQuery[] = "pmove_query";
+/// Fault injection: trigger/fire counters per armed point.
+inline constexpr char kMeasurementFault[] = "pmove_fault";
+/// Document store: insert/upsert outcomes behind its retry/breaker tier.
+inline constexpr char kMeasurementDocdb[] = "pmove_docdb";
+
+/// `instance` tag key on every exported point (which breaker, which shard,
+/// which health component the fields belong to).
+inline constexpr char kInstanceTag[] = "instance";
+/// `tier` tag value marking self-telemetry points.
+inline constexpr char kTierTag[] = "self";
+
+/// Tag of the ObservationInterface the daemon registers for its own
+/// telemetry streams; ViewBuilder::internals_view() builds the "P-MoVE
+/// internals" dashboard from it.
+inline constexpr char kSelfObservationTag[] = "pmove-internals";
+
+/// Breaker/health state gauges encode their enum numerically:
+///   breaker: 0 = closed, 1 = open, 2 = half-open
+///   health:  0 = healthy, 1 = degraded, 2 = failed
+inline constexpr char kFieldState[] = "state";
+
+}  // namespace pmove::metrics

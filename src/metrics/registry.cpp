@@ -1,0 +1,145 @@
+#include "metrics/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pmove::metrics {
+
+void Gauge::set_max(double v) {
+  std::uint64_t seen = bits_.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(seen) < v &&
+         !bits_.compare_exchange_weak(seen, std::bit_cast<std::uint64_t>(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::bucket_for(double v) {
+  if (!(v >= 1.0)) return 0;  // <1, zero, negative and NaN all land here
+  int exp = 0;
+  (void)std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  return std::clamp(exp, 1, kBuckets - 1);
+}
+
+void Histogram::record(double v) {
+  buckets_[static_cast<std::size_t>(bucket_for(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      seen, std::bit_cast<std::uint64_t>(std::bit_cast<double>(seen) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= rank) {
+      if (i == 0) return 0.5;  // midpoint of [0, 1)
+      // Geometric midpoint of [2^(i-1), 2^i).
+      return std::ldexp(1.5, i - 1);
+    }
+  }
+  return std::ldexp(1.0, kBuckets - 1);
+}
+
+namespace {
+
+template <typename T>
+T& lookup(std::mutex& mutex,
+          std::map<std::tuple<std::string, std::string, std::string>,
+                   std::unique_ptr<T>>& table,
+          std::string_view measurement, std::string_view instance,
+          std::string_view field) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_tuple(std::string(measurement), std::string(instance),
+                             std::string(field));
+  auto it = table.find(key);
+  if (it == table.end()) {
+    it = table.emplace(std::move(key), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view measurement,
+                           std::string_view instance,
+                           std::string_view field) {
+  return lookup(mutex_, counters_, measurement, instance, field);
+}
+
+Gauge& Registry::gauge(std::string_view measurement,
+                       std::string_view instance, std::string_view field) {
+  return lookup(mutex_, gauges_, measurement, instance, field);
+}
+
+Histogram& Registry::histogram(std::string_view measurement,
+                               std::string_view instance,
+                               std::string_view field) {
+  return lookup(mutex_, histograms_, measurement, instance, field);
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
+  for (const auto& [key, counter] : counters_) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                   static_cast<double>(counter->value())});
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out.push_back({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                   gauge->value()});
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const auto& [measurement, instance, field] = key;
+    out.push_back({measurement, instance, field + "_p50", histogram->p50()});
+    out.push_back({measurement, instance, field + "_p99", histogram->p99()});
+    out.push_back({measurement, instance, field + "_count",
+                   static_cast<double>(histogram->count())});
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    return std::tie(a.measurement, a.instance, a.field) <
+           std::tie(b.measurement, b.instance, b.field);
+  });
+  return out;
+}
+
+std::string Registry::render() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %-20s %-28s %14s\n", "measurement",
+                "instance", "field", "value");
+  out += line;
+  for (const Sample& sample : snapshot()) {
+    std::snprintf(line, sizeof(line), "%-16s %-20s %-28s %14.0f\n",
+                  sample.measurement.c_str(), sample.instance.c_str(),
+                  sample.field.c_str(), sample.value);
+    out += line;
+  }
+  return out;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: alive at exit
+  return *instance;
+}
+
+}  // namespace pmove::metrics

@@ -1,0 +1,139 @@
+// Lock-cheap introspection registry: the monitoring pipeline's own counters.
+//
+// Components acquire metric handles by (measurement, instance, field) name —
+// a mutex-guarded map lookup paid once, at registration — and then update
+// them with single relaxed atomic operations on the hot path.  A periodic
+// MetricsExporter (exporter.hpp) snapshots the registry and writes the
+// values as pmove_* measurements through the normal PointSink path, so the
+// dashboards that watch the cluster can watch the watcher too (DCDB
+// Wintermute treats monitoring-stack health as first-class telemetry; so do
+// we).
+//
+// Consistency model: every value is a single word read/written with relaxed
+// atomics.  A snapshot taken while writers are running sees, per metric, a
+// value that some writer actually produced — never a torn word — and
+// counters are monotonic, so consecutive snapshots never go backwards
+// (metrics_test.cpp pins this under TSan).  No cross-metric atomicity is
+// promised; self-telemetry does not need it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace pmove::metrics {
+
+/// Monotonic counter.  add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (queue depth, breaker state).  set() is one relaxed
+/// store of the double's bit pattern.
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  /// set(max(current, v)) — for high-water marks under concurrent writers.
+  void set_max(double v);
+  [[nodiscard]] double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // bit pattern of 0.0
+};
+
+/// Fixed log2-bucket histogram: bucket i counts values in [2^(i-1), 2^i)
+/// (bucket 0 takes everything < 1).  64 buckets cover the full positive
+/// double range that matters for durations-in-ns and sizes; record() is two
+/// relaxed fetch_adds plus a CAS loop for the running sum.  Quantiles are
+/// read from the bucket counts with geometric interpolation — coarse
+/// (factor-of-two) but allocation-free and mergeable.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  /// Value at quantile q in [0,1] (0.5 = p50); 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.5); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+ private:
+  static int bucket_for(double v);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// One exported value: where it goes (measurement + instance tag + field
+/// name) and what it currently reads.  Histograms expand to three samples
+/// (<field>_p50, <field>_p99, <field>_count).
+struct Sample {
+  std::string measurement;
+  std::string instance;
+  std::string field;
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  /// Handles are valid for the registry's lifetime; repeated calls with the
+  /// same names return the same object, so concurrent components share one
+  /// counter per name.
+  Counter& counter(std::string_view measurement, std::string_view instance,
+                   std::string_view field);
+  Gauge& gauge(std::string_view measurement, std::string_view instance,
+               std::string_view field);
+  Histogram& histogram(std::string_view measurement,
+                       std::string_view instance, std::string_view field);
+
+  /// All current values, ordered by (measurement, instance, field).
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// Fixed-width table for the CLI (`pmove metrics`).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// The process-wide registry every instrumented component reports into.
+  static Registry& global();
+
+ private:
+  using Key = std::tuple<std::string, std::string, std::string>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pmove::metrics

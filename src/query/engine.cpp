@@ -6,6 +6,8 @@
 #include <map>
 #include <utility>
 
+#include "metrics/names.hpp"
+
 namespace pmove::query {
 
 namespace {
@@ -26,7 +28,16 @@ bool aligned_upper(TimeNs bound, TimeNs window) {
 }  // namespace
 
 QueryEngine::QueryEngine(tsdb::TimeSeriesDb& db, EngineOptions options)
-    : db_(db), options_(options), cache_(options.cache_capacity) {}
+    : db_(db), options_(options), cache_(options.cache_capacity) {
+  metrics::Registry& reg = metrics::Registry::global();
+  const char* m = metrics::kMeasurementQuery;
+  m_queries_ = &reg.counter(m, "engine", "queries");
+  m_cache_hits_ = &reg.counter(m, "engine", "cache_hits");
+  m_cache_misses_ = &reg.counter(m, "engine", "cache_misses");
+  m_cache_evictions_ = &reg.counter(m, "engine", "cache_evictions");
+  m_pushdown_hits_ = &reg.counter(m, "engine", "pushdown_hits");
+  m_pushdown_fallbacks_ = &reg.counter(m, "engine", "pushdown_fallbacks");
+}
 
 Expected<tsdb::QueryResult> QueryEngine::run(std::string_view text) {
   auto parsed = Query::parse(text);
@@ -40,6 +51,7 @@ Expected<tsdb::QueryResult> QueryEngine::run(const Query& q) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.queries;
+    m_queries_->inc();
     if (cache_.capacity() > 0) {
       if (const ResultCache::Entry* entry = cache_.get(plan.cache_key)) {
         // Valid while the scanned measurement's epoch is unchanged.  The
@@ -48,11 +60,13 @@ Expected<tsdb::QueryResult> QueryEngine::run(const Query& q) {
         if (entry->epoch != 0 &&
             db_.write_epoch(entry->measurement) == entry->epoch) {
           ++stats_.cache_hits;
+          m_cache_hits_->inc();
           return entry->result;
         }
       }
     }
     ++stats_.cache_misses;
+    m_cache_misses_->inc();
     if (options_.enable_pushdown && plan.kind == PlanKind::kGroupedAggregate) {
       rule_index = match_rule(q);
     }
@@ -87,14 +101,20 @@ Expected<tsdb::QueryResult> QueryEngine::run(const Query& q) {
     if (rule_index >= 0) {
       if (scanned == q.measurement) {
         ++stats_.pushdown_fallbacks;
+        m_pushdown_fallbacks_->inc();
       } else {
         ++stats_.pushdown_hits;
+        m_pushdown_hits_->inc();
       }
     }
     if (result.has_value() && cache_.capacity() > 0 && epoch != 0) {
       cache_.put(plan.cache_key,
                  {result.value(), std::move(scanned), epoch});
-      stats_.cache_evictions = cache_.evictions();
+      // Global counter gets the delta; the per-engine snapshot mirrors the
+      // cache's own total.
+      const std::uint64_t evictions = cache_.evictions();
+      m_cache_evictions_->add(evictions - stats_.cache_evictions);
+      stats_.cache_evictions = evictions;
     }
   }
   return result;

@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "query/cache.hpp"
 #include "query/plan.hpp"
 #include "query/query.hpp"
@@ -120,6 +121,15 @@ class QueryEngine {
   ResultCache cache_;
   EngineStats stats_;
   std::vector<DownsampleRule> rules_;
+
+  // pmove_query self-telemetry (instance "engine"); per-engine stats_ stays
+  // the authoritative per-instance snapshot.
+  metrics::Counter* m_queries_;
+  metrics::Counter* m_cache_hits_;
+  metrics::Counter* m_cache_misses_;
+  metrics::Counter* m_cache_evictions_;
+  metrics::Counter* m_pushdown_hits_;
+  metrics::Counter* m_pushdown_fallbacks_;
 };
 
 }  // namespace pmove::query

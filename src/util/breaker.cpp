@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "metrics/names.hpp"
+
 namespace pmove {
 
 namespace {
@@ -29,7 +31,19 @@ CircuitBreaker::CircuitBreaker(std::string name, BreakerOptions options,
                                const Clock* clock)
     : name_(std::move(name)),
       options_(options),
-      clock_(clock != nullptr ? clock : &fallback_clock()) {}
+      clock_(clock != nullptr ? clock : &fallback_clock()) {
+  // Registration cost (mutex + map lookup) is paid once here; every state
+  // change afterwards is a relaxed atomic bump.
+  metrics::Registry& reg = metrics::Registry::global();
+  const char* m = metrics::kMeasurementBreaker;
+  m_opens_ = &reg.counter(m, name_, "opens");
+  m_closes_ = &reg.counter(m, name_, "closes");
+  m_rejects_ = &reg.counter(m, name_, "rejects");
+  m_successes_ = &reg.counter(m, name_, "successes");
+  m_failures_ = &reg.counter(m, name_, "failures");
+  m_state_ = &reg.gauge(m, name_, metrics::kFieldState);
+  m_state_->set(0.0);  // closed
+}
 
 bool CircuitBreaker::allow() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -40,12 +54,14 @@ bool CircuitBreaker::allow() {
     case State::kOpen:
       if (clock_->now() >= open_until_) {
         state_ = State::kHalfOpen;
+        m_state_->set(2.0);
         half_open_in_flight_ = 1;
         half_open_successes_ = 0;
         ++stats_.allowed;
         return true;
       }
       ++stats_.rejected;
+      m_rejects_->inc();
       return false;
     case State::kHalfOpen:
       // One probe at a time: concurrent workers must not stampede a sink
@@ -56,6 +72,7 @@ bool CircuitBreaker::allow() {
         return true;
       }
       ++stats_.rejected;
+      m_rejects_->inc();
       return false;
   }
   return false;
@@ -68,6 +85,7 @@ Status CircuitBreaker::reject_status() const {
 void CircuitBreaker::record_success() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.successes;
+  m_successes_->inc();
   switch (state_) {
     case State::kClosed:
       consecutive_failures_ = 0;
@@ -78,6 +96,8 @@ void CircuitBreaker::record_success() {
       if (++half_open_successes_ >= std::max(1, options_.half_open_probes)) {
         state_ = State::kClosed;
         ++stats_.closes;
+        m_closes_->inc();
+        m_state_->set(0.0);
         consecutive_failures_ = 0;
         window_.clear();
         window_failures_ = 0;
@@ -92,6 +112,7 @@ void CircuitBreaker::record_success() {
 void CircuitBreaker::record_failure() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.failures;
+  m_failures_->inc();
   const TimeNs now = clock_->now();
   switch (state_) {
     case State::kClosed: {
@@ -119,6 +140,7 @@ void CircuitBreaker::record_failure() {
 void CircuitBreaker::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   state_ = State::kClosed;
+  m_state_->set(0.0);
   consecutive_failures_ = 0;
   half_open_in_flight_ = 0;
   half_open_successes_ = 0;
@@ -139,6 +161,8 @@ CircuitBreaker::Stats CircuitBreaker::stats() const {
 
 void CircuitBreaker::open_locked(TimeNs now) {
   state_ = State::kOpen;
+  m_opens_->inc();
+  m_state_->set(1.0);
   open_until_ = now + options_.open_cooldown_ns;
   consecutive_failures_ = 0;
   half_open_in_flight_ = 0;

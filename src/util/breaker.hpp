@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "metrics/registry.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -91,6 +92,16 @@ class CircuitBreaker {
   std::deque<bool> window_;  ///< true = failure
   int window_failures_ = 0;
   Stats stats_;
+
+  // Self-telemetry: pmove_breaker counters in the global metrics registry,
+  // keyed by breaker name.  Breakers sharing a name (restarted instances)
+  // accumulate into the same series.
+  metrics::Counter* m_opens_;
+  metrics::Counter* m_closes_;
+  metrics::Counter* m_rejects_;
+  metrics::Counter* m_successes_;
+  metrics::Counter* m_failures_;
+  metrics::Gauge* m_state_;
 };
 
 std::string_view to_string(CircuitBreaker::State state);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "metrics/names.hpp"
+
 namespace pmove {
 
 namespace {
@@ -50,6 +52,11 @@ HealthRegistry::Entry& HealthRegistry::entry_locked(std::string_view name) {
     Entry entry{ComponentHealth{}, nullptr, Backoff(restart_policy_, 0)};
     entry.health.name = std::string(name);
     entry.health.last_change = clock_->now();
+    metrics::Registry& reg = metrics::Registry::global();
+    const char* m = metrics::kMeasurementHealth;
+    entry.m_failures = &reg.counter(m, name, "failures");
+    entry.m_restarts = &reg.counter(m, name, "restarts");
+    entry.m_state = &reg.gauge(m, name, metrics::kFieldState);
     it = components_.emplace(std::string(name), std::move(entry)).first;
   }
   return it->second;
@@ -68,9 +75,11 @@ void HealthRegistry::report(std::string_view name, HealthState state,
   const TimeNs now = clock_->now();
   if (entry.health.state != state) entry.health.last_change = now;
   entry.health.state = state;
+  entry.m_state->set(static_cast<double>(state));
   if (!error.empty()) entry.health.last_error = std::string(error);
   if (state == HealthState::kFailed) {
     ++entry.health.failures;
+    entry.m_failures->inc();
     if (entry.health.next_restart == 0) {
       entry.health.next_restart = now + entry.backoff.next();
     }
@@ -130,10 +139,12 @@ HealthRegistry::SuperviseResult HealthRegistry::supervise(TimeNs now) {
     if (status.is_ok()) {
       ++result.recovered;
       ++entry.health.restarts;
+      entry.m_restarts->inc();
       if (entry.health.state != HealthState::kHealthy) {
         entry.health.state = HealthState::kHealthy;
         entry.health.last_change = now;
       }
+      entry.m_state->set(0.0);
       entry.health.next_restart = 0;
       entry.backoff.reset();
     } else {

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "util/clock.hpp"
 #include "util/retry.hpp"
 #include "util/status.hpp"
@@ -92,6 +93,10 @@ class HealthRegistry {
     ComponentHealth health;
     RestartFn restart;
     Backoff backoff;
+    // pmove_health self-telemetry, keyed by component name.
+    metrics::Counter* m_failures = nullptr;
+    metrics::Counter* m_restarts = nullptr;
+    metrics::Gauge* m_state = nullptr;
   };
 
   Entry& entry_locked(std::string_view name);

@@ -2,6 +2,7 @@
 
 #include "core/daemon.hpp"
 #include "core/pinning.hpp"
+#include "dashboard/views.hpp"
 #include "kernels/kernels.hpp"
 
 namespace pmove::core {
@@ -132,6 +133,28 @@ TEST_F(DaemonTest, ScenarioAProducesStatsAndDashboard) {
   EXPECT_FALSE(daemon_.run_scenario_a(0, 4, 5).has_value());
 }
 
+TEST_F(DaemonTest, InternalsObservationAndDashboard) {
+  // Attach registered the "pmove-internals" self-telemetry observation.
+  auto obs = daemon_.knowledge_base().find_observation("pmove-internals");
+  ASSERT_TRUE(obs.has_value()) << obs.status().to_string();
+  EXPECT_FALSE(obs->metrics.empty());
+  // The internals dashboard auto-generates from that KB entry: one panel
+  // per pmove_* measurement.
+  dashboard::ViewBuilder builder(&daemon_.knowledge_base());
+  auto internals = builder.internals_view();
+  ASSERT_TRUE(internals.has_value()) << internals.status().to_string();
+  EXPECT_EQ(internals->title, "P-MoVE internals");
+  EXPECT_EQ(internals->panels.size(), obs->metrics.size());
+  // publish_internals() lands registry snapshots in the TSDB as pmove_*
+  // measurements (the daemon's own DocumentStore registered pmove_docdb
+  // handles at construction, so that group always exists).
+  ASSERT_TRUE(daemon_.publish_internals(from_seconds(1.0)).is_ok());
+  auto result = daemon_.timeseries().query(
+      "SELECT \"inserts\" FROM \"pmove_docdb\"");
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  EXPECT_FALSE(result->rows.empty());
+}
+
 TEST_F(DaemonTest, ScenarioBProfilesWorkloadEndToEnd) {
   ScenarioBRequest request;
   request.command = "./triad 65536";
@@ -156,9 +179,10 @@ TEST_F(DaemonTest, ScenarioBProfilesWorkloadEndToEnd) {
   // The report was generated on the fly (Listing 2).
   EXPECT_TRUE(obs->report.find("wall_seconds") != nullptr);
   EXPECT_GT(obs->report.find("samples")->as_int(), 0);
-  // Observation appended to the KB and stored.
-  EXPECT_EQ(daemon_.knowledge_base().observations().size(), 1u);
-  EXPECT_EQ(daemon_.documents().count("observations"), 1u);
+  // Observation appended to the KB and stored, alongside the standing
+  // "pmove-internals" self-telemetry observation registered at attach.
+  EXPECT_EQ(daemon_.knowledge_base().observations().size(), 2u);
+  EXPECT_EQ(daemon_.documents().count("observations"), 2u);
   // Generated queries replay data from the TSDB (Listing 3).
   auto queries = obs->generate_queries();
   ASSERT_FALSE(queries.empty());

@@ -3,7 +3,9 @@
 #include <cstdio>
 
 #include "docdb/store.hpp"
+#include "fault/fault.hpp"
 #include "json/value.hpp"
+#include "util/breaker.hpp"
 
 namespace pmove::docdb {
 namespace {
@@ -130,6 +132,58 @@ TEST(DocumentStoreTest, ClearResets) {
   store.clear();
   EXPECT_TRUE(store.collections().empty());
   EXPECT_EQ(store.count("c"), 0u);
+}
+
+// ------------------------------------------------ resilience tier
+// Inserts run behind the same retry + circuit-breaker stack as the TSDB
+// sink (ROADMAP: "route docdb inserts through the retry/breaker tier").
+
+TEST(DocumentStoreTest, TransientInsertFaultRecoveredByRetry) {
+  fault::disarm_all();
+  ASSERT_TRUE(fault::arm_from_spec("docdb.insert=fail:1").is_ok());
+  DocumentStore store;
+  // One faulted attempt, then the in-call retry succeeds: no visible error.
+  EXPECT_TRUE(store.insert("kb", doc_with_id("a;1")).has_value());
+  EXPECT_EQ(store.count("kb"), 1u);
+  EXPECT_EQ(store.write_breaker().state(), CircuitBreaker::State::kClosed);
+  fault::disarm_all();
+}
+
+TEST(DocumentStoreTest, PersistentInsertFaultOpensBreaker) {
+  fault::disarm_all();
+  ASSERT_TRUE(fault::arm_from_spec("docdb.insert=fail:1000").is_ok());
+  DocumentStore store;
+  // Each insert exhausts its retry budget and records a breaker failure;
+  // after the threshold the breaker opens and rejects without retrying.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(store.insert("kb", doc_with_id("a;1")).has_value());
+  }
+  EXPECT_EQ(store.write_breaker().state(), CircuitBreaker::State::kOpen);
+  const std::uint64_t triggers_when_open = fault::trigger_count("docdb.insert");
+  auto rejected = store.insert("kb", doc_with_id("a;1"));
+  EXPECT_FALSE(rejected.has_value());
+  // The open breaker short-circuits: the fault point was never reached.
+  EXPECT_EQ(fault::trigger_count("docdb.insert"), triggers_when_open);
+  EXPECT_EQ(store.count("kb"), 0u);
+
+  // Supervisor-style recovery: disarm the fault, reset the breaker.
+  fault::disarm_all();
+  store.write_breaker().reset();
+  EXPECT_TRUE(store.insert("kb", doc_with_id("a;1")).has_value());
+  EXPECT_EQ(store.count("kb"), 1u);
+}
+
+TEST(DocumentStoreTest, UpsertGuardedByBreakerToo) {
+  fault::disarm_all();
+  ASSERT_TRUE(fault::arm_from_spec("docdb.insert=fail:1000").is_ok());
+  DocumentStore store;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(store.upsert("kb", doc_with_id("a;1")).has_value());
+  }
+  EXPECT_EQ(store.write_breaker().state(), CircuitBreaker::State::kOpen);
+  fault::disarm_all();
+  store.write_breaker().reset();
+  EXPECT_TRUE(store.upsert("kb", doc_with_id("a;1")).has_value());
 }
 
 }  // namespace

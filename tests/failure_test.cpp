@@ -159,8 +159,10 @@ TEST(FailureTest, ScenarioBUnknownGenericEventFails) {
   auto result = daemon.run_scenario_b(
       request, [](workload::LiveCounters&) { return 0.0; });
   EXPECT_FALSE(result.has_value());
-  // The KB gained no observation from the failed request.
-  EXPECT_TRUE(daemon.knowledge_base().observations().empty());
+  // The KB gained no observation from the failed request — only the standing
+  // "pmove-internals" self-telemetry observation registered at attach time.
+  ASSERT_EQ(daemon.knowledge_base().observations().size(), 1u);
+  EXPECT_EQ(daemon.knowledge_base().observations()[0].tag, "pmove-internals");
 }
 
 TEST(FailureTest, ScenarioBImpossibleAffinityFails) {
@@ -180,7 +182,7 @@ TEST(FailureTest, FromEnvKeepsDefaultsOnMalformedNumbers) {
   // back to the default with a logged warning.
   const auto config = core::DaemonConfig::from_env({
       {"PMOVE_INGEST_SHARDS", "banana"},
-      {"PMOVE_INGEST_QUEUE_CAP", "-3"},
+      {"PMOVE_INGEST_QUEUE_CAP", "lots"},
       {"PMOVE_RETENTION_S", "minus five"},
   });
   EXPECT_EQ(config.ingest.shard_count, 4);
@@ -191,13 +193,28 @@ TEST(FailureTest, FromEnvKeepsDefaultsOnMalformedNumbers) {
   EXPECT_TRUE(config.ingest_enabled);
 }
 
-TEST(FailureTest, FromEnvRejectsOutOfRangeShardCount) {
-  const auto config = core::DaemonConfig::from_env({
+TEST(FailureTest, FromEnvClampsOutOfRangeNumerics) {
+  // Parseable-but-absurd values are clamped (with a warning), not silently
+  // accepted: a zero shard count would divide-by-zero the router, a giant
+  // one would allocate thousands of queues.
+  const auto high = core::DaemonConfig::from_env({
       {"PMOVE_INGEST_SHARDS", "100000"},
       {"PMOVE_RETENTION_S", "-2.5"},
   });
-  EXPECT_EQ(config.ingest.shard_count, 4);
-  EXPECT_EQ(config.retention_ns, 0);
+  EXPECT_EQ(high.ingest.shard_count, 1024);
+  EXPECT_EQ(high.retention_ns, 0);
+
+  const auto low = core::DaemonConfig::from_env({
+      {"PMOVE_INGEST_SHARDS", "0"},
+      {"PMOVE_INGEST_QUEUE_CAP", "-3"},
+  });
+  EXPECT_EQ(low.ingest.shard_count, 1);
+  EXPECT_EQ(low.ingest.queue_capacity, 1u);
+
+  const auto huge_cap = core::DaemonConfig::from_env({
+      {"PMOVE_INGEST_QUEUE_CAP", "99999999"},
+  });
+  EXPECT_EQ(huge_cap.ingest.queue_capacity, 1u << 20);
 }
 
 TEST(FailureTest, FromEnvMalformedFaultSpecArmsNothing) {

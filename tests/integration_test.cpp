@@ -116,8 +116,9 @@ TEST(Integration, SpmvLiveMonitoring) {
   EXPECT_GT(sum_for(scalar_m, merge_obs->tag), 0.0);
   EXPECT_NEAR(sum_for(avx_m, merge_obs->tag), 0.0, 1.0);
 
-  // Both observations are in the KB; their queries replay.
-  EXPECT_EQ(daemon.knowledge_base().observations().size(), 2u);
+  // Both observations are in the KB (plus the standing "pmove-internals"
+  // self-telemetry observation); their queries replay.
+  EXPECT_EQ(daemon.knowledge_base().observations().size(), 3u);
 }
 
 // Fig 2 pipeline: auto-generated dashboards render against live data.

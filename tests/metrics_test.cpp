@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "metrics/exporter.hpp"
+#include "metrics/names.hpp"
+#include "metrics/registry.hpp"
+#include "tsdb/sink.hpp"
+#include "util/breaker.hpp"
+
+namespace pmove::metrics {
+namespace {
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  Registry reg;
+  Counter& c = reg.counter("m", "i", "f");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge& g = reg.gauge("m", "i", "g");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.set_max(2.0);  // lower: no-op
+  EXPECT_EQ(g.value(), 3.5);
+  g.set_max(7.0);
+  EXPECT_EQ(g.value(), 7.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesBracketRecordedValues) {
+  Registry reg;
+  Histogram& h = reg.histogram("m", "i", "lat");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0.0);
+  for (int i = 0; i < 99; ++i) h.record(100.0);
+  h.record(100000.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.sum(), 99 * 100.0 + 100000.0, 1e-6);
+  // Log2 buckets are factor-of-two coarse; quantiles must land in the
+  // right bucket's range, not on the exact value.
+  EXPECT_GE(h.p50(), 64.0);
+  EXPECT_LE(h.p50(), 128.0);
+  EXPECT_GE(h.p99(), 64.0);
+  EXPECT_GT(h.quantile(1.0), 65536.0);
+}
+
+TEST(MetricsTest, SameNamesShareOneHandle) {
+  Registry reg;
+  Counter& a = reg.counter("pmove_x", "shard0", "drops");
+  Counter& b = reg.counter("pmove_x", "shard0", "drops");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // Different field, different handle.
+  EXPECT_NE(&a, &reg.counter("pmove_x", "shard0", "spills"));
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsTest, SnapshotOrdersAndExpandsHistograms) {
+  Registry reg;
+  reg.counter("b_meas", "i", "c").add(5);
+  reg.gauge("a_meas", "i", "g").set(1.5);
+  reg.histogram("c_meas", "i", "lat").record(10.0);
+  const std::vector<Sample> snap = reg.snapshot();
+  // Ordered by (measurement, instance, field); histogram expands to
+  // _p50/_p99/_count samples.
+  ASSERT_EQ(snap.size(), 5u);
+  EXPECT_EQ(snap[0].measurement, "a_meas");
+  EXPECT_EQ(snap[0].value, 1.5);
+  EXPECT_EQ(snap[1].measurement, "b_meas");
+  EXPECT_EQ(snap[1].value, 5.0);
+  EXPECT_EQ(snap[2].field, "lat_count");
+  EXPECT_EQ(snap[2].value, 1.0);
+  EXPECT_EQ(snap[3].field, "lat_p50");
+  EXPECT_EQ(snap[4].field, "lat_p99");
+}
+
+TEST(MetricsTest, RenderListsEveryMetric) {
+  Registry reg;
+  reg.counter("pmove_demo", "engine", "submitted").add(7);
+  reg.gauge("pmove_demo", "engine", "depth").set(3.0);
+  const std::string table = reg.render();
+  EXPECT_NE(table.find("pmove_demo"), std::string::npos);
+  EXPECT_NE(table.find("submitted"), std::string::npos);
+  EXPECT_NE(table.find("depth"), std::string::npos);
+}
+
+// Snapshot consistency under concurrent writers: counters are monotonic, so
+// consecutive snapshots never go backwards and never show a torn word.
+// (Run under TSan in CI.)
+TEST(MetricsTest, ConcurrentSnapshotsNeverDecrease) {
+  Registry reg;
+  Counter& c = reg.counter("pmove_tsan", "i", "hits");
+  Gauge& g = reg.gauge("pmove_tsan", "i", "depth");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&c, &g, &stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.inc();
+        g.set(static_cast<double>(t));
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    double counter_value = -1.0;
+    double gauge_value = -1.0;
+    for (const Sample& s : reg.snapshot()) {
+      if (s.field == "hits") counter_value = s.value;
+      if (s.field == "depth") gauge_value = s.value;
+    }
+    ASSERT_GE(counter_value, 0.0);
+    const auto now = static_cast<std::uint64_t>(counter_value);
+    EXPECT_GE(now, last);  // monotonic across snapshots
+    last = now;
+    // The gauge always reads a value some writer actually stored.
+    EXPECT_GE(gauge_value, 0.0);
+    EXPECT_LT(gauge_value, 4.0);
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  EXPECT_GE(c.value(), last);
+}
+
+/// Captures exported batches without a real TSDB.
+class CaptureSink : public tsdb::PointSink {
+ public:
+  Status write_batch(std::vector<tsdb::Point> points) override {
+    for (auto& p : points) points_.push_back(std::move(p));
+    ++batches_;
+    return Status::ok();
+  }
+  std::vector<tsdb::Point> points_;
+  int batches_ = 0;
+};
+
+TEST(MetricsTest, ExporterGroupsSamplesIntoTaggedPoints) {
+  Registry reg;
+  reg.counter("pmove_wal", "wal", "appends").add(3);
+  reg.counter("pmove_wal", "wal", "fsyncs").add(2);
+  reg.gauge("pmove_ingest", "shard0", "queue_depth").set(5.0);
+  CaptureSink sink;
+  MetricsExporter exporter(&reg, &sink);
+  ASSERT_TRUE(exporter.export_once(1000).is_ok());
+  // One point per (measurement, instance), all fields of the group merged.
+  ASSERT_EQ(sink.points_.size(), 2u);
+  EXPECT_EQ(exporter.points_written(), 2u);
+  const tsdb::Point& ingest = sink.points_[0];
+  EXPECT_EQ(ingest.measurement, "pmove_ingest");
+  EXPECT_EQ(ingest.tags.at("tier"), kTierTag);
+  EXPECT_EQ(ingest.tags.at(kInstanceTag), "shard0");
+  EXPECT_EQ(ingest.time, 1000);
+  const tsdb::Point& wal = sink.points_[1];
+  EXPECT_EQ(wal.measurement, "pmove_wal");
+  ASSERT_EQ(wal.fields.size(), 2u);
+  EXPECT_EQ(wal.fields.at("appends"), 3.0);
+  EXPECT_EQ(wal.fields.at("fsyncs"), 2.0);
+}
+
+TEST(MetricsTest, ExporterCadenceGatesExports) {
+  Registry reg;
+  reg.counter("pmove_demo", "i", "c").inc();
+  CaptureSink sink;
+  MetricsExporter exporter(&reg, &sink, {.interval_ns = 100});
+  ASSERT_TRUE(exporter.export_if_due(10).is_ok());  // first is always due
+  EXPECT_EQ(exporter.exports(), 1u);
+  ASSERT_TRUE(exporter.export_if_due(50).is_ok());  // within interval: no-op
+  EXPECT_EQ(exporter.exports(), 1u);
+  ASSERT_TRUE(exporter.export_if_due(110).is_ok());
+  EXPECT_EQ(exporter.exports(), 2u);
+  EXPECT_EQ(sink.batches_, 2);
+}
+
+TEST(MetricsTest, ExporterEmptyRegistryWritesNothing) {
+  Registry reg;
+  CaptureSink sink;
+  MetricsExporter exporter(&reg, &sink);
+  ASSERT_TRUE(exporter.export_once(1).is_ok());
+  EXPECT_TRUE(sink.points_.empty());
+}
+
+// End-to-end: a circuit breaker's state transitions land in the global
+// registry under pmove_breaker with its name as the instance tag.
+TEST(MetricsTest, BreakerTransitionsLandInGlobalRegistry) {
+  BreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker("metrics-test-breaker", options);
+  Registry& reg = Registry::global();
+  Counter& opens =
+      reg.counter(kMeasurementBreaker, "metrics-test-breaker", "opens");
+  Gauge& state =
+      reg.gauge(kMeasurementBreaker, "metrics-test-breaker", kFieldState);
+  EXPECT_EQ(state.value(), 0.0);  // closed
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(opens.value(), 1u);
+  EXPECT_EQ(state.value(), 1.0);  // open
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_GE(
+      reg.counter(kMeasurementBreaker, "metrics-test-breaker", "rejects")
+          .value(),
+      1u);
+  breaker.reset();
+  EXPECT_EQ(state.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace pmove::metrics

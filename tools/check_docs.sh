@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Docs consistency checker (run from anywhere; CI's docs job runs it).
+#
+# 1. Every relative markdown link in README.md, DESIGN.md and docs/*.md
+#    must resolve to a file in the repo.
+# 2. docs/METRICS.md and src/metrics/names.hpp must agree on the set of
+#    self-telemetry measurement names: every kMeasurement* constant is
+#    documented, and every pmove_* measurement the docs mention exists.
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+# ---------------------------------------------------------------- 1. links
+docs=("$repo/README.md" "$repo/DESIGN.md")
+for f in "$repo"/docs/*.md; do
+  [ -e "$f" ] && docs+=("$f")
+done
+
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || { err "missing markdown file: $doc"; continue; }
+  dir="$(dirname "$doc")"
+  # Inline links: [text](target). Fenced code blocks are stripped first
+  # (C++ lambdas look exactly like markdown links); absolute URLs and
+  # pure anchors are skipped.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"          # strip anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$repo/$path" ]; then
+      err "${doc#"$repo"/}: broken link -> $target"
+    fi
+  done < <(awk '/^```/ { in_code = !in_code; next } !in_code' "$doc" |
+           grep -o '\[[^]]*\]([^)]*)' | sed 's/^\[[^]]*\](//; s/)$//')
+done
+
+# ------------------------------------------- 2. measurement-name agreement
+names_hpp="$repo/src/metrics/names.hpp"
+metrics_md="$repo/docs/METRICS.md"
+[ -f "$names_hpp" ] || err "missing $names_hpp"
+[ -f "$metrics_md" ] || err "missing $metrics_md"
+
+if [ -f "$names_hpp" ] && [ -f "$metrics_md" ]; then
+  code_names="$(grep -o '"pmove_[a-z_]*"' "$names_hpp" | tr -d '"' | sort -u)"
+  doc_names="$(grep -o 'pmove_[a-z_]*' "$metrics_md" | sort -u)"
+  [ -n "$code_names" ] || err "no pmove_* measurement constants in names.hpp"
+  for name in $code_names; do
+    if ! grep -q "$name" <<<"$doc_names"; then
+      err "docs/METRICS.md does not document measurement '$name'"
+    fi
+  done
+  for name in $doc_names; do
+    if ! grep -q "$name" <<<"$code_names"; then
+      err "docs/METRICS.md mentions '$name' which is not in names.hpp"
+    fi
+  done
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK (${#docs[@]} markdown files, links + metric names)"
+fi
+exit "$fail"

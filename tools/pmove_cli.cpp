@@ -37,6 +37,7 @@
 #include "ingest/engine.hpp"
 #include "kb/linked_query.hpp"
 #include "kernels/kernels.hpp"
+#include "metrics/registry.hpp"
 #include "query/engine.hpp"
 #include "topology/prober.hpp"
 
@@ -64,6 +65,8 @@ int usage() {
       "  replay <dir> <host>                 reopen a recorded session\n"
       "  health <preset> [hz] [met] [s]      session + component health "
       "table\n"
+      "  metrics <preset> [hz] [met] [s]     session + self-telemetry "
+      "registry\n"
       "  ingest-bench [n] [shards] [batch] [producers] [--fault <spec>]\n"
       "                                      per-point DB vs ingest engine\n"
       "  query-bench [panels] [refr] [n] [w] string vs typed vs cached reads\n"
@@ -479,6 +482,47 @@ int cmd_health(int argc, char** argv) {
   return 0;
 }
 
+// Like `pmove health`, but through the metrics registry: run a short
+// session, then dump every (measurement, instance, field) counter the
+// instrumented tiers reported, plus the auto-generated "P-MoVE internals"
+// dashboard rendered from the exported pmove_* series.  The same chaos
+// drills apply:
+//
+//   PMOVE_FAULT="tsdb.write_batch=fail:3" pmove metrics skx
+int cmd_metrics(int argc, char** argv) {
+  auto spec = preset_arg(argc, argv, 2);
+  if (!spec) return usage();
+  const double hz = argc > 3 ? std::atof(argv[3]) : 8.0;
+  const int metric_count = argc > 4 ? std::atoi(argv[4]) : 4;
+  const double seconds = argc > 5 ? std::atof(argv[5]) : 5.0;
+  core::Daemon daemon(core::DaemonConfig::from_env());
+  if (auto s = daemon.attach_target(*spec); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  if (auto s = daemon.enable_ingest(); !s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto result = daemon.run_scenario_a(hz, metric_count, seconds);
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", metrics::Registry::global().render().c_str());
+  auto internals = dashboard::ViewBuilder(&daemon.knowledge_base())
+                       .internals_view();
+  if (internals) {
+    std::printf("\n%s",
+                dashboard::render_dashboard(*internals, daemon.timeseries())
+                    .c_str());
+  } else {
+    std::fprintf(stderr, "internals view unavailable: %s\n",
+                 internals.status().to_string().c_str());
+  }
+  return 0;
+}
+
 // Head-to-head of the seed write path (one TimeSeriesDb::write per point)
 // against the ingest engine (sharded queues + write_batch), over the same
 // synthetic point stream.
@@ -838,6 +882,7 @@ int main(int argc, char** argv) {
   if (command == "record") return cmd_record(argc, argv);
   if (command == "replay") return cmd_replay(argc, argv);
   if (command == "health") return cmd_health(argc, argv);
+  if (command == "metrics") return cmd_metrics(argc, argv);
   if (command == "ingest-bench") return cmd_ingest_bench(argc, argv);
   if (command == "query-bench") return cmd_query_bench(argc, argv);
   return usage();
