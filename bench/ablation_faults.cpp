@@ -1,0 +1,144 @@
+// Ablation: tail-latency amplification under injected WAL latency.
+//
+// The fault framework's latency mode exists to answer "what does a slow
+// disk do to producers?" without owning a slow disk.  This ablation runs
+// the same submit/flush workload against a WAL-backed ingest engine twice
+// — healthy, then with `wal.append=latency:2ms` armed — and reports the
+// p50/p99/max latency of both paths.  The append fault lands on the
+// producer's acknowledge path (durability-before-queueing), so submit
+// latency absorbs the full injected delay while flush, which only waits
+// for the already-acknowledged queue to drain, stays close to baseline.
+//
+// Usage: ablation_faults [submits] [batch_points]  (default 500/40)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fault/fault.hpp"
+#include "ingest/engine.hpp"
+#include "tsdb/point.hpp"
+
+using namespace pmove;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct PathLatencies {
+  std::vector<double> submit_ms;
+  std::vector<double> flush_ms;
+};
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+PathLatencies run_workload(const std::string& wal_dir, std::size_t submits,
+                           std::size_t batch_points) {
+  ingest::IngestOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 64;
+  options.policy = ingest::BackpressurePolicy::kBlock;
+  options.wal_dir = wal_dir;
+  ingest::IngestEngine engine(options);
+  if (!engine.open().is_ok()) return {};
+  PathLatencies out;
+  out.submit_ms.reserve(submits);
+  for (std::size_t i = 0; i < submits; ++i) {
+    std::vector<tsdb::Point> batch;
+    batch.reserve(batch_points);
+    for (std::size_t p = 0; p < batch_points; ++p) {
+      tsdb::Point point;
+      point.measurement = "fault_bench";
+      point.tags["src"] = "s" + std::to_string(p % 4);
+      point.time = static_cast<TimeNs>(i * batch_points + p) * 1'000'000;
+      point.fields["v"] = static_cast<double>(p);
+      batch.push_back(std::move(point));
+    }
+    const auto start = Clock::now();
+    (void)engine.submit(std::move(batch));
+    out.submit_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count());
+    if ((i + 1) % 50 == 0) {
+      const auto flush_start = Clock::now();
+      (void)engine.flush();
+      out.flush_ms.push_back(std::chrono::duration<double, std::milli>(
+                                 Clock::now() - flush_start)
+                                 .count());
+    }
+  }
+  engine.close();
+  return out;
+}
+
+void print_row(const char* path, const std::vector<double>& healthy,
+               const std::vector<double>& faulty) {
+  const double h50 = percentile(healthy, 0.50);
+  const double h99 = percentile(healthy, 0.99);
+  const double f50 = percentile(faulty, 0.50);
+  const double f99 = percentile(faulty, 0.99);
+  std::printf("%-8s %9.3f %9.3f %12.3f %9.3f %10.1fx %8.1fx\n", path, h50,
+              h99, f50, f99, f50 / std::max(h50, 1e-6),
+              f99 / std::max(h99, 1e-6));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t submits = 500;
+  std::size_t batch_points = 40;
+  if (argc > 1) submits = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) batch_points = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (submits == 0 || batch_points == 0) {
+    std::fprintf(stderr, "usage: ablation_faults [submits] [batch_points]\n");
+    return 2;
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("pmove_fault_bench_" + std::to_string(::getpid()));
+
+  std::printf("ABLATION: tail latency under wal.append=latency:2ms\n");
+  std::printf("(%zu submits of %zu points, WAL-backed, 2 shards, "
+              "flush every 50 submits)\n\n",
+              submits, batch_points);
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir / "healthy");
+  fault::disarm_all();
+  const PathLatencies healthy =
+      run_workload((dir / "healthy").string(), submits, batch_points);
+
+  std::filesystem::create_directories(dir / "faulty");
+  if (Status s = fault::arm_from_spec("wal.append=latency:2ms"); !s.is_ok()) {
+    std::fprintf(stderr, "cannot arm fault: %s\n", s.message().c_str());
+    return 1;
+  }
+  const PathLatencies faulty =
+      run_workload((dir / "faulty").string(), submits, batch_points);
+  fault::disarm_all();
+  std::filesystem::remove_all(dir);
+
+  std::printf("%-8s %9s %9s %12s %9s %11s %9s\n", "path", "p50 ms", "p99 ms",
+              "fault p50", "p99", "amp p50", "amp p99");
+  print_row("submit", healthy.submit_ms, faulty.submit_ms);
+  print_row("flush", healthy.flush_ms, faulty.flush_ms);
+
+  std::printf(
+      "\nTakeaway: a 2 ms disk stall amplifies straight into submit tail\n"
+      "latency because durability is acknowledged before queueing, while\n"
+      "flush only drains already-acknowledged work — the injected latency\n"
+      "is paid once, on the producer, not twice.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: columnar storage engine vs the seed row store.
+//
+// The seed TimeSeriesDb kept one std::vector<Point> per measurement — a
+// map-of-strings row per sample — and answered every query by copying the
+// matching rows out.  The columnar engine interns tag sets into integer
+// ids and stores each (measurement, tag set) series as a sorted timestamp
+// column plus one contiguous double column per field, so aggregate scans
+// run over cache-line-friendly arrays and tag filtering is an integer
+// compare.  This ablation writes the same multi-tag-set workload into
+// both, measures write/scan/aggregate throughput and resident bytes per
+// point, verifies the answers stay bit-for-bit identical, and emits the
+// numbers as BENCH_storage.json next to the binary.
+//
+// Usage: ablation_storage [points] [tagsets] [fields]  (default 1M/64/4)
+#include <cstdio>
+#include <cstdlib>
+
+#include "query/storage_bench.hpp"
+
+int main(int argc, char** argv) {
+  pmove::query::StorageBenchConfig config;
+  if (argc > 1) config.points = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) config.tagsets = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) config.fields = static_cast<std::size_t>(std::atoll(argv[3]));
+  if (config.points == 0 || config.tagsets == 0 || config.fields == 0) {
+    std::fprintf(stderr,
+                 "usage: ablation_storage [points] [tagsets] [fields]\n");
+    return 2;
+  }
+  std::printf("ABLATION: columnar TSDB vs seed row store\n\n");
+  const auto result = pmove::query::run_storage_bench(config);
+  pmove::query::print_report(result);
+
+  const std::string json = pmove::query::to_json(result);
+  if (std::FILE* out = std::fopen("BENCH_storage.json", "w")) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_storage.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_storage.json\n");
+    return 1;
+  }
+  std::printf(
+      "\nTakeaway: aggregation over contiguous columns replaces a map\n"
+      "lookup per point per field with a linear walk, and interned tag\n"
+      "sets shrink per-point metadata to one integer — the scan speedup\n"
+      "and memory ratio above are what dashboards refresh with.\n");
+  return result.parity_ok ? 0 : 1;
+}

@@ -91,6 +91,23 @@ DaemonConfig DaemonConfig::from_env(
     config.ingest.wal_dir = v;
     config.ingest_enabled = true;
   }
+  if (auto v = lookup("PMOVE_WAL_MAX_SEGMENTS"); !v.empty()) {
+    if (auto n = strings::parse_int(v); n) {
+      const std::int64_t clamped =
+          std::clamp<std::int64_t>(*n, 1, std::int64_t{1} << 20);
+      if (clamped != *n) {
+        log_warn("daemon") << "PMOVE_WAL_MAX_SEGMENTS='" << v
+                           << "' out of range [1,1048576], clamping to "
+                           << clamped;
+      }
+      config.ingest.wal_max_segments = static_cast<std::size_t>(clamped);
+    } else {
+      log_warn("daemon") << "ignoring PMOVE_WAL_MAX_SEGMENTS='" << v
+                         << "' (want a positive integer), keeping automatic "
+                            "checkpointing off";
+    }
+    config.ingest_enabled = true;
+  }
   // Deterministic fault injection (tests, chaos drills):
   //   PMOVE_FAULT="wal.append.fsync=fail_after:100;tsdb.write_batch=error_rate:0.05,seed:7"
   // A malformed spec arms nothing (all-or-nothing parse).
@@ -120,6 +137,9 @@ Daemon::Daemon(DaemonConfig config)
     docs_.write_breaker().reset();
     return Status::ok();
   });
+  // Storage-engine gauges (series/points/dictionary/column bytes) land in
+  // the registry as pmove_tsdb{instance="db"} and ride publish_internals.
+  ts_.set_telemetry_instance("db");
 }
 
 Status Daemon::enable_ingest() {
@@ -188,6 +208,8 @@ void Daemon::register_internals_observation() {
         "spilled_points", "parked_points"}},
       {metrics::kMeasurementWal,
        {"appends", "fsyncs", "rollbacks", "checkpoints"}},
+      {metrics::kMeasurementTsdb,
+       {"series", "points", "dict_strings", "dict_bytes", "column_bytes"}},
       {metrics::kMeasurementBreaker, {"opens", "rejects", "state"}},
       {metrics::kMeasurementHealth, {"failures", "restarts", "state"}},
       {metrics::kMeasurementQuery,
@@ -292,7 +314,15 @@ Status Daemon::save_session(const std::string& directory) const {
       !s.is_ok()) {
     return s;
   }
-  return ts_.dump_to_file(directory + "/timeseries.lp");
+  if (Status s = ts_.dump_to_file(directory + "/timeseries.lp");
+      !s.is_ok()) {
+    return s;
+  }
+  // The dump above is the durable copy of everything the WAL was covering;
+  // checkpointing now keeps the log short and makes the next start replay
+  // only what arrived after this save.
+  if (ingest_ != nullptr) return ingest_->checkpoint();
+  return Status::ok();
 }
 
 Status Daemon::load_session(const std::string& directory,

@@ -1,6 +1,7 @@
 #include "ingest/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "fault/fault.hpp"
@@ -136,6 +137,12 @@ Status IngestEngine::open() {
     wal_options.segment_bytes = options_.wal_segment_bytes;
     wal_options.sync_each_append = options_.wal_sync_each_append;
     if (Status s = wal_.open(std::move(wal_options)); !s.is_ok()) return s;
+    // Checkpoint snapshots hold everything that was truncated out of the
+    // log; the log holds only post-checkpoint records, so loading the
+    // snapshot first and then replaying reproduces the full state with no
+    // duplicates.  Aggregate/continuous-query state is rebuilt only from
+    // the replayed tail — checkpointed history feeds storage, not windows.
+    if (Status s = load_snapshots(); !s.is_ok()) return s;
     // Recovery: re-ingest every surviving batch synchronously (workers are
     // not running yet).  The records stay in the WAL — the in-memory DB is
     // volatile, so the log remains the source of durability until an
@@ -290,6 +297,12 @@ Status IngestEngine::submit_internal(Batch batch, SubmitMode mode,
   submitted_batches_ += 1;
   submitted_points_ += batch.size();
   m_submitted_->add(batch.size());
+
+  // Held (shared) across append + queue hand-off so checkpoint() can never
+  // truncate a record whose batch has not reached pending_ yet — the gap
+  // between "in the WAL" and "counted by wait_drained" would otherwise lose
+  // the batch: not in the snapshot, no longer in the log.
+  std::shared_lock<std::shared_mutex> gate(checkpoint_gate_);
 
   // Acknowledge durability first: once the WAL append returns, the batch
   // survives a crash no matter what the queues do.
@@ -533,11 +546,100 @@ void IngestEngine::note_applied(std::size_t batches) {
   pending_cv_.notify_all();
 }
 
+void IngestEngine::wait_drained() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
 Status IngestEngine::flush() {
   if (!running_) return Status::ok();
   flushes_ += 1;
-  std::unique_lock<std::mutex> lock(pending_mutex_);
-  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+  wait_drained();
+  // The engine is quiescent here, which makes flush the natural place for
+  // the segment-count trigger.  Never during close(): drain_parked may have
+  // abandoned batches whose only surviving copy is in the WAL — truncating
+  // now would turn their deferred replay into loss.
+  if (options_.wal_max_segments > 0 && wal_enabled() &&
+      !draining_.load(std::memory_order_acquire) &&
+      wal_.segment_count() > options_.wal_max_segments) {
+    return checkpoint();
+  }
+  return Status::ok();
+}
+
+Status IngestEngine::checkpoint() {
+  if (!running_) return Status::unavailable("ingest engine not open");
+  if (!wal_enabled()) return Status::ok();
+  std::lock_guard<std::mutex> serial(checkpoint_mutex_);
+  // Exclusive gate: no submit can append to the WAL (or slip into the
+  // queues unobserved) between here and the truncation below.  Producers
+  // stall briefly; workers keep draining, which is exactly what
+  // wait_drained() needs to make the snapshot cover every logged record.
+  std::unique_lock<std::shared_mutex> gate(checkpoint_gate_);
+  wait_drained();
+  if (Status s = write_snapshots(); !s.is_ok()) return s;
+  if (Status s = wal_.checkpoint(); !s.is_ok()) return s;
+  checkpoints_ += 1;
+  return Status::ok();
+}
+
+std::string IngestEngine::snapshot_path(int shard) const {
+  if (shard < 0) return options_.wal_dir + "/checkpoint.lp";
+  return options_.wal_dir + "/checkpoint-shard" + std::to_string(shard) +
+         ".lp";
+}
+
+Status IngestEngine::write_snapshots() const {
+  const auto dump = [](const tsdb::TimeSeriesDb& db,
+                       const std::string& path) -> Status {
+    // tmp + rename: a crash mid-dump leaves the previous snapshot intact.
+    const std::string tmp = path + ".tmp";
+    if (Status s = db.dump_to_file(tmp); !s.is_ok()) return s;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Status::internal("cannot install snapshot: " + path);
+    }
+    return Status::ok();
+  };
+  if (external_ != nullptr) return dump(*external_, snapshot_path(-1));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (Status s = dump(*shards_[i]->storage,
+                        snapshot_path(static_cast<int>(i)));
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+Status IngestEngine::load_snapshots() {
+  const auto load = [](tsdb::TimeSeriesDb& db,
+                       const std::string& path) -> Status {
+    Status s = db.load_from_file(path);
+    if (!s.is_ok() && s.code() == ErrorCode::kNotFound) {
+      return Status::ok();  // never checkpointed — nothing to load
+    }
+    return s;
+  };
+  // External mode: the attached DB's owner restores its own state (the
+  // daemon's load_session reads timeseries.lp, which save_session dumped
+  // immediately before checkpointing) — auto-loading checkpoint.lp here
+  // would double every restored point.  The snapshot still exists on disk
+  // for operators recovering without a session directory.
+  if (external_ != nullptr) return Status::ok();
+  const std::size_t before = point_count();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (Status s = load(*shards_[i]->storage,
+                        snapshot_path(static_cast<int>(i)));
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  const std::size_t gained = point_count() - before;
+  if (gained > 0) {
+    recovered_points_ += gained;
+    m_recovered_->add(gained);
+    inserted_points_ += gained;
+  }
   return Status::ok();
 }
 
@@ -675,6 +777,7 @@ IngestStats IngestEngine::stats() const {
   s.wal_records = wal_.record_count();
   s.wal_bytes = wal_.bytes_appended();
   s.flushes = flushes_.load();
+  s.checkpoints = checkpoints_.load();
   s.max_queue_depth = max_queue_depth_.load();
   s.sink_failures = sink_failures_.load();
   s.wal_failures = wal_failures_.load();

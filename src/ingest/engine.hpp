@@ -33,6 +33,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -71,6 +72,11 @@ struct IngestOptions {
   std::string wal_dir;
   std::size_t wal_segment_bytes = 1u << 20;
   bool wal_sync_each_append = false;
+  /// Automatic checkpoint trigger: when a flush() finds more than this many
+  /// WAL segments on disk, the engine checkpoints (snapshot storage into
+  /// <wal_dir>/checkpoint*.lp, then truncate the log).  0 = no automatic
+  /// trigger; checkpoint() remains available.  Env: PMOVE_WAL_MAX_SEGMENTS.
+  std::size_t wal_max_segments = 0;
 
   // ----------------------------------------------------------- resilience
   /// Retry budget for one delivery attempt into the storage sink (per
@@ -117,6 +123,7 @@ struct IngestStats {
   std::uint64_t wal_records = 0;
   std::uint64_t wal_bytes = 0;
   std::uint64_t flushes = 0;
+  std::uint64_t checkpoints = 0;  ///< snapshot+truncate cycles completed
   std::size_t max_queue_depth = 0;
   // Resilience counters.
   std::uint64_t sink_failures = 0;   ///< failed delivery attempts (post-retry)
@@ -169,8 +176,23 @@ class IngestEngine final : public tsdb::PointSink {
   // points arrive through the base-class write() convenience).
   Status write_batch(std::vector<tsdb::Point> points) override;
 
-  /// Blocks until every queued and spilled batch has been applied.
+  /// Blocks until every queued and spilled batch has been applied.  When
+  /// `wal_max_segments` is set and the WAL has outgrown it, finishes with an
+  /// automatic checkpoint() — flush is the engine's quiescent point, so it
+  /// doubles as the segment-count trigger.
   Status flush();
+
+  /// Durability checkpoint: drains in-flight batches, snapshots storage to
+  /// <wal_dir>/checkpoint[-shard<i>].lp (atomic tmp+rename), then truncates
+  /// every WAL segment.  Producers pause at the WAL gate for the duration,
+  /// so no acknowledged record can fall between snapshot and truncation.
+  /// Per-shard storage: the next open() loads the snapshots before
+  /// replaying the (short) log.  External storage: the snapshot is written
+  /// but NOT auto-loaded on open — the attached DB's owner restores state
+  /// (the daemon's save_session dumps, then calls this; load_session
+  /// restores the dump and open() replays only the post-checkpoint tail).
+  /// No-op without a WAL.  Replaces the manual-only wal().checkpoint() flow.
+  Status checkpoint();
 
   // ------------------------------------------------- continuous queries
 
@@ -273,6 +295,14 @@ class IngestEngine final : public tsdb::PointSink {
 
   Status submit_internal(Batch batch, SubmitMode mode, TimeNs timeout_ns);
   Status wal_append_batch(const Batch& batch);
+  /// flush() minus the auto-checkpoint trigger (checkpoint() itself needs
+  /// to drain without recursing).
+  void wait_drained();
+  /// Loads checkpoint snapshot files into storage (recovery, before WAL
+  /// replay).  Missing files are fine — there was no checkpoint yet.
+  Status load_snapshots();
+  Status write_snapshots() const;
+  [[nodiscard]] std::string snapshot_path(int shard) const;
   void worker_loop(Shard& shard);
   void apply_batch(Shard& shard, Batch batch);
   void update_aggregates(Shard& shard, const Batch& batch);
@@ -305,6 +335,14 @@ class IngestEngine final : public tsdb::PointSink {
   std::mutex pending_mutex_;
   std::condition_variable pending_cv_;
   std::size_t pending_ = 0;
+
+  // Checkpoint consistency: submits hold the gate shared for their whole
+  // acknowledge path (WAL append + queue hand-off), checkpoint() holds it
+  // exclusive across snapshot + truncation.  checkpoint_mutex_ serializes
+  // concurrent checkpoint() callers.
+  std::shared_mutex checkpoint_gate_;
+  std::mutex checkpoint_mutex_;
+  std::atomic<std::uint64_t> checkpoints_{0};
 
   std::atomic<std::uint64_t> submitted_batches_{0};
   std::atomic<std::uint64_t> submitted_points_{0};

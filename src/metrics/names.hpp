@@ -24,6 +24,9 @@ inline constexpr char kMeasurementQuery[] = "pmove_query";
 inline constexpr char kMeasurementFault[] = "pmove_fault";
 /// Document store: insert/upsert outcomes behind its retry/breaker tier.
 inline constexpr char kMeasurementDocdb[] = "pmove_docdb";
+/// Columnar storage engine: series/point counts, tag-dictionary size,
+/// resident column bytes (TimeSeriesDb::set_telemetry_instance).
+inline constexpr char kMeasurementTsdb[] = "pmove_tsdb";
 
 /// `instance` tag key on every exported point (which breaker, which shard,
 /// which health component the fields belong to).

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <map>
+#include <span>
 #include <utility>
 
 #include "metrics/names.hpp"
@@ -168,56 +170,55 @@ Status QueryEngine::materialize_downsamples() {
 }
 
 Status QueryEngine::materialize(const DownsampleRule& rule) {
-  auto raw = db_.collect(rule.source_measurement,
-                         std::numeric_limits<TimeNs>::min(),
-                         std::numeric_limits<TimeNs>::max(), {});
-  // Partition by tag set, preserving time order within each set — the same
-  // order the raw evaluator gathers values in when one tag set matches, so
-  // the reduced doubles are bit-for-bit identical.
-  std::map<std::map<std::string, std::string>,
-           std::vector<const tsdb::Point*>>
-      groups;
-  for (const tsdb::Point& p : raw) groups[p.tags].push_back(&p);
-
+  // One columnar scan: each slice IS a tag-set group in time order — the
+  // grouping the old path rebuilt by hashing every point's tag map — so
+  // values are gathered in the same order and the reduced doubles are
+  // bit-for-bit identical.
   std::vector<tsdb::Point> out;
-  for (const auto& [tags, points] : groups) {
-    std::map<TimeNs, std::vector<const tsdb::Point*>> buckets;
-    for (const tsdb::Point* p : points) {
-      TimeNs bucket = p->time / rule.window_ns * rule.window_ns;
-      if (p->time < 0 && p->time % rule.window_ns != 0) {
-        bucket -= rule.window_ns;  // floor for negative timestamps
-      }
-      buckets[bucket].push_back(p);
-    }
-    for (const auto& [bucket, bucket_points] : buckets) {
-      tsdb::Point target;
-      target.measurement = rule.target_measurement;
-      target.tags = tags;
-      target.time = bucket;
-      std::vector<std::string> fields;
-      for (const tsdb::Point* p : bucket_points) {
-        for (const auto& [name, value] : p->fields) {
-          if (std::find(fields.begin(), fields.end(), name) ==
-              fields.end()) {
-            fields.push_back(name);
-          }
-        }
-      }
-      for (const std::string& field : fields) {
+  db_.scan(
+      rule.source_measurement, std::numeric_limits<TimeNs>::min(),
+      std::numeric_limits<TimeNs>::max(), {},
+      [&](std::span<const tsdb::SeriesSlice> slices) {
         std::vector<double> values;
-        std::vector<TimeNs> times;
-        for (const tsdb::Point* p : bucket_points) {
-          auto it = p->fields.find(field);
-          if (it != p->fields.end()) {
-            values.push_back(it->second);
-            times.push_back(p->time);
+        std::vector<TimeNs> value_times;
+        for (const tsdb::SeriesSlice& slice : slices) {
+          const auto tags = slice.decode_tags();
+          const auto times = slice.times();
+          std::size_t i = 0;
+          while (i < times.size()) {
+            const auto floor_bucket = [&rule](TimeNs t) {
+              TimeNs b = t / rule.window_ns * rule.window_ns;
+              if (t < 0 && t % rule.window_ns != 0) {
+                b -= rule.window_ns;  // floor for negative timestamps
+              }
+              return b;
+            };
+            const TimeNs bucket = floor_bucket(times[i]);
+            std::size_t j = i + 1;
+            while (j < times.size() && floor_bucket(times[j]) == bucket) ++j;
+            tsdb::Point target;
+            target.measurement = rule.target_measurement;
+            target.tags = tags;
+            target.time = bucket;
+            for (std::size_t f = 0; f < slice.field_count(); ++f) {
+              const std::uint8_t* present = slice.present(f);
+              const auto column = slice.values(f);
+              values.clear();
+              value_times.clear();
+              for (std::size_t r = i; r < j; ++r) {
+                if (present != nullptr && present[r] == 0) continue;
+                values.push_back(column[r]);
+                value_times.push_back(times[r]);
+              }
+              if (values.empty()) continue;  // field absent in this bucket
+              target.fields[std::string(slice.field_name(f))] =
+                  aggregate(rule.aggregate, values, value_times);
+            }
+            out.push_back(std::move(target));
+            i = j;
           }
         }
-        target.fields[field] = aggregate(rule.aggregate, values, times);
-      }
-      out.push_back(std::move(target));
-    }
-  }
+      });
   db_.drop_measurement(rule.target_measurement);
   if (out.empty()) return Status::ok();
   return db_.write_batch(std::move(out));
@@ -243,34 +244,73 @@ int QueryEngine::match_rule(const Query& q) const {
 
 std::optional<tsdb::QueryResult> QueryEngine::run_pushdown(
     const Query& q, const DownsampleRule& rule) const {
-  if (!db_.has_measurement(rule.target_measurement)) return std::nullopt;
-  auto points = db_.collect(rule.target_measurement, q.time_min, q.time_max,
-                            q.tag_filters);
-  if (points.empty()) return std::nullopt;
-  // Raw evaluation merges every matching tag set into one bucket row; the
-  // target holds one point per (window, tag set).  Two target points in the
-  // same window therefore mean the raw scan would have combined values the
-  // downsample already reduced separately — fall back.
-  for (std::size_t i = 1; i < points.size(); ++i) {
-    if (points[i].time == points[i - 1].time) return std::nullopt;
-  }
-  tsdb::QueryResult result;
-  result.columns.emplace_back("time");
-  for (const Selector& sel : q.selectors) {
-    result.columns.push_back(sel.label());
-  }
-  result.rows.reserve(points.size());
-  for (const tsdb::Point& p : points) {
-    std::vector<double> row;
-    row.reserve(q.selectors.size() + 1);
-    row.push_back(static_cast<double>(p.time));
-    for (const Selector& sel : q.selectors) {
-      auto it = p.fields.find(sel.field);
-      row.push_back(it == p.fields.end() ? std::nan("") : it->second);
-    }
-    result.rows.push_back(std::move(row));
-  }
-  return result;
+  std::optional<tsdb::QueryResult> out;
+  db_.scan(
+      rule.target_measurement, q.time_min, q.time_max, q.tag_filters,
+      [&](std::span<const tsdb::SeriesSlice> slices) {
+        if (slices.empty()) return;  // absent/empty target: fall back
+        // Raw evaluation merges every matching tag set into one bucket row;
+        // the target holds one point per (window, tag set).  Two target
+        // rows with the same timestamp therefore mean the raw scan would
+        // have combined values the downsample already reduced separately —
+        // fall back.
+        std::vector<tsdb::MergedRowRef> refs;
+        if (slices.size() > 1) {
+          refs = tsdb::merged_rows(slices);
+          for (std::size_t i = 1; i < refs.size(); ++i) {
+            if (refs[i].time == refs[i - 1].time) return;
+          }
+        } else {
+          const auto times = slices[0].times();
+          for (std::size_t i = 1; i < times.size(); ++i) {
+            if (times[i] == times[i - 1]) return;
+          }
+        }
+        std::vector<std::vector<std::size_t>> field_of(slices.size());
+        for (std::size_t si = 0; si < slices.size(); ++si) {
+          field_of[si].reserve(q.selectors.size());
+          for (const Selector& sel : q.selectors) {
+            field_of[si].push_back(slices[si].field_index(sel.field));
+          }
+        }
+        tsdb::QueryResult result;
+        result.columns.emplace_back("time");
+        for (const Selector& sel : q.selectors) {
+          result.columns.push_back(sel.label());
+        }
+        const auto emit = [&](std::size_t si, std::size_t row, TimeNs time) {
+          const tsdb::SeriesSlice& slice = slices[si];
+          std::vector<double> values;
+          values.reserve(q.selectors.size() + 1);
+          values.push_back(static_cast<double>(time));
+          for (std::size_t s = 0; s < q.selectors.size(); ++s) {
+            const std::size_t field = field_of[si][s];
+            if (field >= slice.field_count()) {
+              values.push_back(std::nan(""));
+              continue;
+            }
+            const std::uint8_t* present = slice.present(field);
+            values.push_back(present != nullptr && present[row] == 0
+                                 ? std::nan("")
+                                 : slice.values(field)[row]);
+          }
+          result.rows.push_back(std::move(values));
+        };
+        if (slices.size() > 1) {
+          result.rows.reserve(refs.size());
+          for (const tsdb::MergedRowRef& ref : refs) {
+            emit(ref.slice, ref.row, ref.time);
+          }
+        } else {
+          const auto times = slices[0].times();
+          result.rows.reserve(times.size());
+          for (std::size_t r = 0; r < times.size(); ++r) {
+            emit(0, r, times[r]);
+          }
+        }
+        out = std::move(result);
+      });
+  return out;
 }
 
 EngineStats QueryEngine::stats() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 
 namespace pmove::query {
@@ -20,8 +21,8 @@ Plan make_plan(Query query) {
   return plan;
 }
 
-double aggregate(Aggregate agg, const std::vector<double>& values,
-                 const std::vector<TimeNs>& times) {
+double aggregate(Aggregate agg, std::span<const double> values,
+                 std::span<const TimeNs> times) {
   if (values.empty()) return std::nan("");
   if (agg == Aggregate::kCount) return static_cast<double>(values.size());
   if (agg == Aggregate::kMin) {
@@ -158,14 +159,279 @@ Expected<tsdb::QueryResult> execute(const Plan& plan,
   return result;
 }
 
+namespace {
+
+// Bucket start for GROUP BY time(): floor(time / interval) * interval,
+// corrected toward -inf for negative timestamps (same arithmetic as the
+// point-based execute above).
+TimeNs bucket_start(TimeNs time, TimeNs interval) {
+  TimeNs bucket = time / interval * interval;
+  if (time < 0 && time % interval != 0) bucket -= interval;
+  return bucket;
+}
+
+// Resolves SELECT * against the slices: the union of fields present in at
+// least one matched row, sorted — the same set (and final order) the
+// point-based path derives from the materialized matches.
+std::vector<Selector> resolve_selectors(
+    const Query& q, std::span<const tsdb::SeriesSlice> slices) {
+  std::vector<Selector> selectors = q.selectors;
+  if (q.select_all) {
+    std::vector<std::string> fields;
+    for (const tsdb::SeriesSlice& slice : slices) {
+      for (std::size_t f = 0; f < slice.field_count(); ++f) {
+        if (!slice.any_present(f)) continue;
+        std::string name(slice.field_name(f));
+        if (std::find(fields.begin(), fields.end(), name) == fields.end()) {
+          fields.push_back(std::move(name));
+        }
+      }
+    }
+    std::sort(fields.begin(), fields.end());
+    for (auto& f : fields) {
+      selectors.push_back({std::move(f), Aggregate::kNone});
+    }
+  }
+  return selectors;
+}
+
+// Present values (and their times) of one selector within rows
+// [begin, end) of a single slice.  Fully-present columns come back as spans
+// aliasing the columns directly — zero copy, zero gather; ragged columns
+// gather into the scratch vectors.
+void gather_slice_field(const tsdb::SeriesSlice& slice, std::size_t field,
+                        std::size_t begin, std::size_t end,
+                        std::vector<double>& value_scratch,
+                        std::vector<TimeNs>& time_scratch,
+                        std::span<const double>& values,
+                        std::span<const TimeNs>& times) {
+  if (field >= slice.field_count()) {
+    values = {};
+    times = {};
+    return;
+  }
+  const auto column = slice.values(field);
+  const auto slice_times = slice.times();
+  const std::uint8_t* present = slice.present(field);
+  if (present == nullptr) {
+    values = column.subspan(begin, end - begin);
+    times = slice_times.subspan(begin, end - begin);
+    return;
+  }
+  value_scratch.clear();
+  time_scratch.clear();
+  for (std::size_t r = begin; r < end; ++r) {
+    if (present[r] == 0) continue;
+    value_scratch.push_back(column[r]);
+    time_scratch.push_back(slice_times[r]);
+  }
+  values = value_scratch;
+  times = time_scratch;
+}
+
+}  // namespace
+
+Expected<tsdb::QueryResult> execute_columnar(
+    const Plan& plan, std::span<const tsdb::SeriesSlice> slices) {
+  const Query& q = plan.query;
+  const std::vector<Selector> selectors = resolve_selectors(q, slices);
+
+  tsdb::QueryResult result;
+  result.columns.emplace_back("time");
+  for (const auto& sel : selectors) result.columns.push_back(sel.label());
+
+  const bool any_aggregate = std::any_of(
+      selectors.begin(), selectors.end(),
+      [](const Selector& s) { return s.aggregate != Aggregate::kNone; });
+  if (q.group_interval > 0 && !any_aggregate) {
+    return Status::parse_error("GROUP BY time() requires aggregate selectors");
+  }
+  if ((q.group_interval > 0 || any_aggregate)) {
+    for (const auto& sel : selectors) {
+      if (sel.aggregate == Aggregate::kNone) {
+        return Status::parse_error(
+            "cannot mix raw fields with aggregates in one query");
+      }
+    }
+  }
+
+  // Per-slice, per-selector field indices, resolved once.
+  std::vector<std::vector<std::size_t>> field_of(slices.size());
+  for (std::size_t si = 0; si < slices.size(); ++si) {
+    field_of[si].reserve(selectors.size());
+    for (const auto& sel : selectors) {
+      field_of[si].push_back(slices[si].field_index(sel.field));
+    }
+  }
+
+  std::vector<double> value_scratch;
+  std::vector<TimeNs> time_scratch;
+
+  if (slices.size() == 1) {
+    // Fast path: one matching series.  Rows are already in (time, seq)
+    // order; aggregates run directly over the contiguous column slices.
+    const tsdb::SeriesSlice& slice = slices[0];
+    const std::size_t rows = slice.rows();
+    if (q.group_interval > 0) {
+      const auto times = slice.times();
+      std::size_t i = 0;
+      while (i < rows) {
+        const TimeNs bucket = bucket_start(times[i], q.group_interval);
+        std::size_t j = i + 1;
+        while (j < rows &&
+               bucket_start(times[j], q.group_interval) == bucket) {
+          ++j;
+        }
+        std::vector<double> row;
+        row.reserve(selectors.size() + 1);
+        row.push_back(static_cast<double>(bucket));
+        for (std::size_t s = 0; s < selectors.size(); ++s) {
+          std::span<const double> values;
+          std::span<const TimeNs> value_times;
+          gather_slice_field(slice, field_of[0][s], i, j, value_scratch,
+                             time_scratch, values, value_times);
+          row.push_back(
+              aggregate(selectors[s].aggregate, values, value_times));
+        }
+        result.rows.push_back(std::move(row));
+        i = j;
+      }
+      return result;
+    }
+    if (any_aggregate) {
+      std::vector<double> row;
+      row.reserve(selectors.size() + 1);
+      row.push_back(rows == 0 ? 0.0
+                              : static_cast<double>(slice.times()[rows - 1]));
+      for (std::size_t s = 0; s < selectors.size(); ++s) {
+        std::span<const double> values;
+        std::span<const TimeNs> value_times;
+        gather_slice_field(slice, field_of[0][s], 0, rows, value_scratch,
+                           time_scratch, values, value_times);
+        row.push_back(aggregate(selectors[s].aggregate, values, value_times));
+      }
+      result.rows.push_back(std::move(row));
+      return result;
+    }
+    const auto times = slice.times();
+    result.rows.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<double> row;
+      row.reserve(selectors.size() + 1);
+      row.push_back(static_cast<double>(times[r]));
+      for (std::size_t s = 0; s < selectors.size(); ++s) {
+        const std::size_t field = field_of[0][s];
+        if (field >= slice.field_count()) {
+          row.push_back(std::nan(""));
+          continue;
+        }
+        const std::uint8_t* present = slice.present(field);
+        row.push_back(present != nullptr && present[r] == 0
+                          ? std::nan("")
+                          : slice.values(field)[r]);
+      }
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+
+  // General path: several matching series, merged into the seed row
+  // store's (time, seq) point order before evaluation.
+  const std::vector<tsdb::MergedRowRef> refs = tsdb::merged_rows(slices);
+  // Gathers one selector's present values across refs [begin, end).
+  auto gather_refs = [&](std::size_t selector, std::size_t begin,
+                         std::size_t end, std::span<const double>& values,
+                         std::span<const TimeNs>& times) {
+    value_scratch.clear();
+    time_scratch.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      const tsdb::MergedRowRef& ref = refs[i];
+      const std::size_t field = field_of[ref.slice][selector];
+      const tsdb::SeriesSlice& slice = slices[ref.slice];
+      if (field >= slice.field_count()) continue;
+      const std::uint8_t* present = slice.present(field);
+      if (present != nullptr && present[ref.row] == 0) continue;
+      value_scratch.push_back(slice.values(field)[ref.row]);
+      time_scratch.push_back(ref.time);
+    }
+    values = value_scratch;
+    times = time_scratch;
+  };
+
+  if (q.group_interval > 0) {
+    std::size_t i = 0;
+    while (i < refs.size()) {
+      const TimeNs bucket = bucket_start(refs[i].time, q.group_interval);
+      std::size_t j = i + 1;
+      while (j < refs.size() &&
+             bucket_start(refs[j].time, q.group_interval) == bucket) {
+        ++j;
+      }
+      std::vector<double> row;
+      row.reserve(selectors.size() + 1);
+      row.push_back(static_cast<double>(bucket));
+      for (std::size_t s = 0; s < selectors.size(); ++s) {
+        std::span<const double> values;
+        std::span<const TimeNs> value_times;
+        gather_refs(s, i, j, values, value_times);
+        row.push_back(aggregate(selectors[s].aggregate, values, value_times));
+      }
+      result.rows.push_back(std::move(row));
+      i = j;
+    }
+    return result;
+  }
+  if (any_aggregate) {
+    std::vector<double> row;
+    row.reserve(selectors.size() + 1);
+    row.push_back(refs.empty() ? 0.0
+                               : static_cast<double>(refs.back().time));
+    for (std::size_t s = 0; s < selectors.size(); ++s) {
+      std::span<const double> values;
+      std::span<const TimeNs> value_times;
+      gather_refs(s, 0, refs.size(), values, value_times);
+      row.push_back(aggregate(selectors[s].aggregate, values, value_times));
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+  result.rows.reserve(refs.size());
+  for (const tsdb::MergedRowRef& ref : refs) {
+    const tsdb::SeriesSlice& slice = slices[ref.slice];
+    std::vector<double> row;
+    row.reserve(selectors.size() + 1);
+    row.push_back(static_cast<double>(ref.time));
+    for (std::size_t s = 0; s < selectors.size(); ++s) {
+      const std::size_t field = field_of[ref.slice][s];
+      if (field >= slice.field_count()) {
+        row.push_back(std::nan(""));
+        continue;
+      }
+      const std::uint8_t* present = slice.present(field);
+      row.push_back(present != nullptr && present[ref.row] == 0
+                        ? std::nan("")
+                        : slice.values(field)[ref.row]);
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
 Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db,
                                 const Query& q) {
   if (!db.has_measurement(q.measurement)) {
     return Status::not_found("measurement not found: " + q.measurement);
   }
-  return execute(make_plan(q),
-                 db.collect(q.measurement, q.time_min, q.time_max,
-                            q.tag_filters));
+  const Plan plan = make_plan(q);
+  // Evaluate inside the scan callback: aggregates fold directly over the
+  // column slices, no Point materialization.  A measurement dropped between
+  // the check above and the scan behaves like the seed (empty result).
+  Expected<tsdb::QueryResult> out = tsdb::QueryResult{};
+  db.scan(q.measurement, q.time_min, q.time_max, q.tag_filters,
+          [&](std::span<const tsdb::SeriesSlice> slices) {
+            out = execute_columnar(plan, slices);
+          });
+  return out;
 }
 
 Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db,

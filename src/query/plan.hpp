@@ -13,10 +13,12 @@
 // query() performed it, so error behaviour is unchanged.
 #pragma once
 
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "query/query.hpp"
+#include "tsdb/columns.hpp"
 #include "tsdb/db.hpp"
 
 namespace pmove::query {
@@ -40,13 +42,24 @@ Plan make_plan(Query query);
 
 /// Aggregates `values` (gathered in time order, with `times` parallel to
 /// it).  Empty input yields NaN; stddev of fewer than two values is 0.
-double aggregate(Aggregate agg, const std::vector<double>& values,
-                 const std::vector<TimeNs>& times);
+/// Spans so the columnar path can aggregate straight over column slices
+/// without copying; vectors convert implicitly.
+double aggregate(Aggregate agg, std::span<const double> values,
+                 std::span<const TimeNs> times);
 
 /// Evaluates a plan over the matching points (already tag/time-filtered
-/// and in time order).
+/// and in time order).  The sharded merge path and legacy callers; the
+/// single-DB path uses execute_columnar.
 Expected<tsdb::QueryResult> execute(const Plan& plan,
                                     const std::vector<tsdb::Point>& matches);
+
+/// Evaluates a plan directly over zero-copy column slices, inside a
+/// TimeSeriesDb::scan() callback.  Aggregates run over the contiguous
+/// columns (no Point materialization); results are bit-for-bit identical
+/// to execute() over the same rows collected as points, including the
+/// order floating-point folds happen in.
+Expected<tsdb::QueryResult> execute_columnar(
+    const Plan& plan, std::span<const tsdb::SeriesSlice> slices);
 
 /// Parse-free typed execution against one DB: collect + execute.  This is
 /// the uncached read path the deprecated TimeSeriesDb::query() wraps.

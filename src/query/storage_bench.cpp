@@ -1,0 +1,290 @@
+#include "query/storage_bench.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/plan.hpp"
+#include "query/query.hpp"
+#include "tsdb/db.hpp"
+#include "tsdb/point.hpp"
+
+namespace pmove::query {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The seed storage model: one time-sorted vector of Points per
+/// measurement, reads answered by copying every match out and handing the
+/// copies to the shared evaluator — exactly the collect + execute shape
+/// TimeSeriesDb::query() had before the columnar engine.
+class RowStore {
+ public:
+  void insert(std::vector<tsdb::Point> batch) {
+    for (tsdb::Point& p : batch) {
+      rows_[p.measurement].push_back(std::move(p));
+    }
+    // The generator emits in time order; the seed kept insertion order and
+    // sorted on demand, so an already-sorted append costs nothing extra.
+  }
+
+  [[nodiscard]] Expected<tsdb::QueryResult> query(const Query& q) const {
+    auto it = rows_.find(q.measurement);
+    std::vector<tsdb::Point> matches;
+    if (it != rows_.end()) {
+      for (const tsdb::Point& p : it->second) {
+        if (p.time < q.time_min || p.time > q.time_max) continue;
+        bool ok = true;
+        for (const auto& [key, value] : q.tag_filters) {
+          auto tag = p.tags.find(key);
+          if (tag == p.tags.end() || tag->second != value) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) matches.push_back(p);
+      }
+    }
+    return execute(make_plan(q), matches);
+  }
+
+  /// Estimated heap bytes held per stored point: the Point struct plus its
+  /// string/map allocations.  Node and allocation-header sizes follow the
+  /// common 64-bit libstdc++ layout (red-black node = 3 pointers + color
+  /// word; strings past 15 chars spill to the heap).
+  [[nodiscard]] std::size_t resident_bytes() const {
+    constexpr std::size_t kMapNode = 32;
+    const auto string_heap = [](const std::string& s) {
+      return s.size() > 15 ? s.capacity() + 1 : 0;
+    };
+    std::size_t total = 0;
+    for (const auto& [measurement, points] : rows_) {
+      total += points.capacity() * sizeof(tsdb::Point);
+      for (const tsdb::Point& p : points) {
+        total += string_heap(p.measurement);
+        for (const auto& [k, v] : p.tags) {
+          total += kMapNode + 2 * sizeof(std::string) + string_heap(k) +
+                   string_heap(v);
+        }
+        for (const auto& [k, v] : p.fields) {
+          (void)v;
+          total += kMapNode + sizeof(std::string) + sizeof(double) +
+                   string_heap(k);
+        }
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::map<std::string, std::vector<tsdb::Point>> rows_;
+};
+
+std::vector<tsdb::Point> make_workload(const StorageBenchConfig& config) {
+  std::vector<tsdb::Point> points;
+  points.reserve(config.points);
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < config.points; ++i) {
+    tsdb::Point p;
+    p.measurement = "bench_cpu";
+    const std::size_t set = i % config.tagsets;
+    p.tags["host"] = "host" + std::to_string(set / 8);
+    p.tags["core"] = "core" + std::to_string(set % 8);
+    p.time = static_cast<TimeNs>(i) * 1'000'000;  // 1 ms cadence
+    for (std::size_t f = 0; f < config.fields; ++f) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      p.fields["f" + std::to_string(f)] =
+          static_cast<double>(state >> 11) / 9.0e18;
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+bool same_result(const tsdb::QueryResult& a, const tsdb::QueryResult& b) {
+  if (a.columns != b.columns || a.rows.size() != b.rows.size()) return false;
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].size() != b.rows[r].size()) return false;
+    for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
+      const double x = a.rows[r][c];
+      const double y = b.rows[r][c];
+      // Bit-for-bit, with NaN == NaN.
+      if (x != y && !(std::isnan(x) && std::isnan(y))) return false;
+    }
+  }
+  return true;
+}
+
+/// Best-of-N timed runs of `fn`; returns million points per second.
+template <class Fn>
+double best_mps(std::size_t points, int repeats, Fn&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = Clock::now();
+    fn();
+    const double elapsed = seconds_since(start);
+    if (elapsed <= 0.0) continue;
+    best = std::max(best, static_cast<double>(points) / elapsed / 1e6);
+  }
+  return best;
+}
+
+}  // namespace
+
+StorageBenchResult run_storage_bench(const StorageBenchConfig& config) {
+  StorageBenchResult result;
+  result.config = config;
+
+  const std::vector<tsdb::Point> workload = make_workload(config);
+  constexpr std::size_t kBatch = 4096;
+  const auto batches_of = [&](auto&& sink) {
+    for (std::size_t i = 0; i < workload.size(); i += kBatch) {
+      const std::size_t n = std::min(kBatch, workload.size() - i);
+      std::vector<tsdb::Point> batch(workload.begin() + i,
+                                     workload.begin() + i + n);
+      sink(std::move(batch));
+    }
+  };
+
+  tsdb::TimeSeriesDb columnar;
+  {
+    const auto start = Clock::now();
+    batches_of([&](std::vector<tsdb::Point> b) {
+      (void)columnar.write_batch(std::move(b));
+    });
+    result.columnar_write_mps =
+        static_cast<double>(config.points) / seconds_since(start) / 1e6;
+  }
+  RowStore rows;
+  {
+    const auto start = Clock::now();
+    batches_of([&](std::vector<tsdb::Point> b) { rows.insert(std::move(b)); });
+    result.row_write_mps =
+        static_cast<double>(config.points) / seconds_since(start) / 1e6;
+  }
+
+  // Query shapes: full-range multi-aggregate, grouped mean, tag-filtered
+  // aggregate — the dashboard panel mix.
+  std::string agg_text = "SELECT ";
+  for (std::size_t f = 0; f < config.fields; ++f) {
+    if (f > 0) agg_text += ", ";
+    agg_text += "mean(\"f" + std::to_string(f) + "\")";
+  }
+  agg_text += ", max(\"f0\"), stddev(\"f0\") FROM \"bench_cpu\"";
+  const Query agg_query = Query::parse(agg_text).value();
+  const Query grouped_query =
+      Query::parse(
+          "SELECT mean(\"f0\") FROM \"bench_cpu\" GROUP BY time(1s)")
+          .value();
+  // Filter on the highest host id the workload actually generates, so
+  // cut-down configurations (tagsets < 32) still select a non-empty set.
+  const std::size_t filter_host = (config.tagsets - 1) / 8;
+  const Query filtered_query =
+      Query::parse(
+          "SELECT sum(\"f0\"), count(\"f0\") FROM \"bench_cpu\" "
+          "WHERE host='host" +
+          std::to_string(filter_host) + "'")
+          .value();
+  const std::size_t filtered_points = [&] {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < config.points; ++i) {
+      if ((i % config.tagsets) / 8 == filter_host) ++n;
+    }
+    return n;
+  }();
+
+  result.parity_ok = true;
+  const auto bench_pair = [&](const Query& q, std::size_t scanned,
+                              double& columnar_mps, double& row_mps) {
+    const auto columnar_result = run(columnar, q);
+    const auto row_result = rows.query(q);
+    if (!columnar_result.has_value() || !row_result.has_value() ||
+        !same_result(columnar_result.value(), row_result.value())) {
+      result.parity_ok = false;
+    }
+    columnar_mps = best_mps(scanned, config.scan_repeats,
+                            [&] { (void)run(columnar, q); });
+    row_mps =
+        best_mps(scanned, config.scan_repeats, [&] { (void)rows.query(q); });
+  };
+  bench_pair(agg_query, config.points, result.columnar_aggregate_mps,
+             result.row_aggregate_mps);
+  bench_pair(grouped_query, config.points, result.columnar_grouped_mps,
+             result.row_grouped_mps);
+  bench_pair(filtered_query, filtered_points, result.columnar_filtered_mps,
+             result.row_filtered_mps);
+
+  const tsdb::TsdbStats stats = columnar.stats();
+  result.columnar_bytes_per_point =
+      static_cast<double>(stats.column_bytes + stats.dict_bytes) /
+      static_cast<double>(config.points);
+  result.row_bytes_per_point = static_cast<double>(rows.resident_bytes()) /
+                               static_cast<double>(config.points);
+  return result;
+}
+
+std::string to_json(const StorageBenchResult& r) {
+  char buffer[1536];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "  \"points\": %zu,\n"
+      "  \"tagsets\": %zu,\n"
+      "  \"fields\": %zu,\n"
+      "  \"columnar_write_mps\": %.3f,\n"
+      "  \"row_write_mps\": %.3f,\n"
+      "  \"columnar_aggregate_mps\": %.3f,\n"
+      "  \"row_aggregate_mps\": %.3f,\n"
+      "  \"columnar_grouped_mps\": %.3f,\n"
+      "  \"row_grouped_mps\": %.3f,\n"
+      "  \"columnar_filtered_mps\": %.3f,\n"
+      "  \"row_filtered_mps\": %.3f,\n"
+      "  \"columnar_bytes_per_point\": %.1f,\n"
+      "  \"row_bytes_per_point\": %.1f,\n"
+      "  \"aggregate_speedup\": %.2f,\n"
+      "  \"memory_ratio\": %.2f,\n"
+      "  \"parity_ok\": %s\n"
+      "}\n",
+      r.config.points, r.config.tagsets, r.config.fields,
+      r.columnar_write_mps, r.row_write_mps, r.columnar_aggregate_mps,
+      r.row_aggregate_mps, r.columnar_grouped_mps, r.row_grouped_mps,
+      r.columnar_filtered_mps, r.row_filtered_mps,
+      r.columnar_bytes_per_point, r.row_bytes_per_point,
+      r.aggregate_speedup(), r.memory_ratio(), r.parity_ok ? "true" : "false");
+  return buffer;
+}
+
+void print_report(const StorageBenchResult& r) {
+  std::printf("storage engine: columnar vs seed row store\n");
+  std::printf("(%zu points, %zu tag sets, %zu fields, best of %d runs)\n\n",
+              r.config.points, r.config.tagsets, r.config.fields,
+              r.config.scan_repeats);
+  std::printf("%-24s %14s %14s %9s\n", "workload", "columnar", "row store",
+              "speedup");
+  const auto line = [](const char* name, double columnar, double row,
+                       const char* unit) {
+    std::printf("%-24s %11.2f %s %11.2f %s %8.1fx\n", name, columnar, unit,
+                row, unit, columnar / row);
+  };
+  line("write", r.columnar_write_mps, r.row_write_mps, "Mp/s");
+  line("aggregate scan", r.columnar_aggregate_mps, r.row_aggregate_mps,
+       "Mp/s");
+  line("grouped (1s buckets)", r.columnar_grouped_mps, r.row_grouped_mps,
+       "Mp/s");
+  line("tag-filtered", r.columnar_filtered_mps, r.row_filtered_mps, "Mp/s");
+  std::printf("%-24s %11.1f B/pt %11.1f B/pt %8.1fx\n", "resident memory",
+              r.columnar_bytes_per_point, r.row_bytes_per_point,
+              r.memory_ratio());
+  std::printf("\nresult parity: %s\n",
+              r.parity_ok ? "bit-for-bit identical" : "MISMATCH");
+}
+
+}  // namespace pmove::query

@@ -1,0 +1,60 @@
+// Storage-engine benchmark harness (ROADMAP "hot-path speedups").
+//
+// Drives the same multi-tag-set workload through the columnar
+// TimeSeriesDb and through an in-harness reimplementation of the seed's
+// row store (one time-sorted std::vector<Point> per measurement, queries
+// answered by collect-copy + query::execute), then reports write/scan/
+// aggregate throughput and estimated resident bytes per point for both.
+// Shared by `pmove storage-bench` and bench/ablation_storage so the CLI
+// spot check and the committed BENCH_storage.json numbers come from one
+// code path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pmove::query {
+
+struct StorageBenchConfig {
+  std::size_t points = 1'000'000;
+  std::size_t tagsets = 64;   ///< distinct (host, core) tag combinations
+  std::size_t fields = 4;     ///< fields per point (f0..f<n-1>)
+  int scan_repeats = 5;       ///< timed repetitions per query, best-of
+};
+
+/// Throughputs are million points scanned (or written) per second; bytes
+/// per point count payload structures only (columns + tag dictionary for
+/// the columnar engine, Point heap footprint for the row store).
+struct StorageBenchResult {
+  StorageBenchConfig config;
+  double columnar_write_mps = 0.0;
+  double row_write_mps = 0.0;
+  double columnar_aggregate_mps = 0.0;  ///< full-range multi-aggregate
+  double row_aggregate_mps = 0.0;
+  double columnar_grouped_mps = 0.0;    ///< GROUP BY time(1s) mean
+  double row_grouped_mps = 0.0;
+  double columnar_filtered_mps = 0.0;   ///< tag-filtered aggregate
+  double row_filtered_mps = 0.0;
+  double columnar_bytes_per_point = 0.0;
+  double row_bytes_per_point = 0.0;
+  bool parity_ok = false;  ///< columnar results matched the row store's
+
+  [[nodiscard]] double aggregate_speedup() const {
+    return columnar_aggregate_mps / row_aggregate_mps;
+  }
+  [[nodiscard]] double memory_ratio() const {
+    return row_bytes_per_point / columnar_bytes_per_point;
+  }
+};
+
+/// Runs the full comparison.  Cost is dominated by writing `points` twice
+/// and scanning each store `scan_repeats` times per query shape.
+StorageBenchResult run_storage_bench(const StorageBenchConfig& config);
+
+/// Flat JSON object (the BENCH_storage.json payload).
+std::string to_json(const StorageBenchResult& result);
+
+/// Human-readable table + acceptance summary on stdout.
+void print_report(const StorageBenchResult& result);
+
+}  // namespace pmove::query

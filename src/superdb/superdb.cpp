@@ -67,9 +67,13 @@ Status SuperDb::report_observation_ts(
       point.tags["tag"] = observation.tag;
       point.tags["host"] = observation.host;
       point.time = static_cast<TimeNs>(row[0]);
+      // SELECT * resolves columns in sorted order, so appending with an
+      // end hint keeps every field insert O(1) instead of a keyed lookup
+      // per cell per row.
       for (std::size_t i = 1; i < row.size(); ++i) {
         if (!std::isnan(row[i])) {
-          point.fields[result->columns[i]] = row[i];
+          point.fields.emplace_hint(point.fields.end(), result->columns[i],
+                                    row[i]);
         }
       }
       if (!point.fields.empty()) batch.push_back(std::move(point));

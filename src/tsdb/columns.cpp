@@ -1,0 +1,64 @@
+#include "tsdb/columns.hpp"
+
+#include <algorithm>
+
+namespace pmove::tsdb {
+
+namespace {
+
+// Fields are kept sorted by name; both lookups binary-search it.
+template <class Fields>
+auto find_field(Fields& fields, std::string_view name) {
+  return std::lower_bound(
+      fields.begin(), fields.end(), name,
+      [](const FieldColumn& col, std::string_view n) { return col.name < n; });
+}
+
+}  // namespace
+
+const FieldColumn* Series::field(std::string_view name) const {
+  auto it = find_field(fields, name);
+  return it != fields.end() && it->name == name ? &*it : nullptr;
+}
+
+FieldColumn* Series::field(std::string_view name) {
+  auto it = find_field(fields, name);
+  return it != fields.end() && it->name == name ? &*it : nullptr;
+}
+
+std::size_t SeriesSlice::field_index(std::string_view name) const {
+  auto it = find_field(series_->fields, name);
+  if (it == series_->fields.end() || it->name != name) {
+    return series_->fields.size();
+  }
+  return static_cast<std::size_t>(it - series_->fields.begin());
+}
+
+bool SeriesSlice::any_present(std::size_t i) const {
+  const std::uint8_t* map = present(i);
+  if (map == nullptr) return rows() > 0;
+  return std::find(map, map + rows(), std::uint8_t{1}) != map + rows();
+}
+
+std::vector<MergedRowRef> merged_rows(std::span<const SeriesSlice> slices) {
+  std::size_t total = 0;
+  for (const SeriesSlice& s : slices) total += s.rows();
+  std::vector<MergedRowRef> refs;
+  refs.reserve(total);
+  for (std::size_t si = 0; si < slices.size(); ++si) {
+    const auto times = slices[si].times();
+    const auto seqs = slices[si].seqs();
+    for (std::size_t r = 0; r < times.size(); ++r) {
+      refs.push_back({times[r], seqs[r], static_cast<std::uint32_t>(si),
+                      static_cast<std::uint32_t>(r)});
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const MergedRowRef& a, const MergedRowRef& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  return refs;
+}
+
+}  // namespace pmove::tsdb

@@ -1,0 +1,140 @@
+// Columnar series storage for the TSDB (InfluxDB-TSM-style layout).
+//
+// One Series per (measurement, tag set): a sorted timestamp column, a
+// parallel arrival-sequence column (which makes per-measurement ordering a
+// total order — see below), and one contiguous double column per field.
+// Aggregate scans run as tight loops over the double columns; time-range
+// pruning is a binary search on the timestamp column; retention trims move
+// a head offset instead of erasing (O(1) per series, amortized compaction).
+//
+// Ordering invariant: rows are sorted by (time, seq) where seq is the
+// per-DB arrival counter.  The seed row store kept each measurement's
+// points stably time-sorted in arrival order, which is exactly the
+// (time, seq) total order — merging series by (time, seq) therefore
+// reproduces the seed's point order bit-for-bit, including the order
+// floating-point aggregation folds values in.
+//
+// Missing fields: a row missing a field stores NaN in that field's value
+// column.  Because a *stored* NaN field value must stay distinguishable
+// from an absent one (aggregates skip absent values but fold stored NaNs),
+// each column optionally carries a presence byte-map; an empty map means
+// "present in every row" — the common case, since a series almost always
+// has a fixed schema — and costs nothing to scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tsdb/dict.hpp"
+#include "util/clock.hpp"
+
+namespace pmove::tsdb {
+
+struct FieldColumn {
+  std::string name;
+  /// Parallel to Series::times; NaN where the row lacks the field.
+  std::vector<double> values;
+  /// Empty = present in every row; else one byte per row (1 = present).
+  std::vector<std::uint8_t> present;
+
+  [[nodiscard]] bool all_present() const { return present.empty(); }
+};
+
+/// All points of one (measurement, tag set), columnar.
+struct Series {
+  TagDictionary::TagSetId tagset_id = 0;
+  /// Logical first row: rows [0, head) were trimmed by retention and await
+  /// compaction.  All column vectors keep physical length == times.size().
+  std::size_t head = 0;
+  std::vector<TimeNs> times;  ///< sorted (ties broken by seqs, also sorted)
+  std::vector<std::uint64_t> seqs;
+  std::vector<FieldColumn> fields;  ///< sorted by name
+
+  [[nodiscard]] std::size_t row_count() const { return times.size() - head; }
+
+  /// Field column by name, or nullptr.  Binary search over the sorted
+  /// field vector.
+  [[nodiscard]] const FieldColumn* field(std::string_view name) const;
+  [[nodiscard]] FieldColumn* field(std::string_view name);
+};
+
+/// Zero-copy view of one series' rows inside a scanned time range.  Valid
+/// only inside the TimeSeriesDb::scan() callback (the DB's shared lock is
+/// held; the spans alias live column storage).
+class SeriesSlice {
+ public:
+  SeriesSlice(const Series* series, const TagDictionary* dict,
+              std::size_t begin, std::size_t end)
+      : series_(series), dict_(dict), begin_(begin), end_(end) {}
+
+  [[nodiscard]] std::size_t rows() const { return end_ - begin_; }
+
+  [[nodiscard]] std::span<const TimeNs> times() const {
+    return {series_->times.data() + begin_, end_ - begin_};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> seqs() const {
+    return {series_->seqs.data() + begin_, end_ - begin_};
+  }
+
+  [[nodiscard]] std::size_t field_count() const {
+    return series_->fields.size();
+  }
+  [[nodiscard]] std::string_view field_name(std::size_t i) const {
+    return series_->fields[i].name;
+  }
+
+  /// Value span of field `i`, restricted to the slice.
+  [[nodiscard]] std::span<const double> values(std::size_t i) const {
+    return {series_->fields[i].values.data() + begin_, end_ - begin_};
+  }
+  /// Presence bytes of field `i` for the slice, or nullptr when the field
+  /// is present in every row.
+  [[nodiscard]] const std::uint8_t* present(std::size_t i) const {
+    const FieldColumn& col = series_->fields[i];
+    return col.present.empty() ? nullptr : col.present.data() + begin_;
+  }
+
+  /// Index of the named field, or field_count() when the series lacks it.
+  [[nodiscard]] std::size_t field_index(std::string_view name) const;
+
+  /// True when field `i` is present in at least one row of the slice.
+  [[nodiscard]] bool any_present(std::size_t i) const;
+
+  [[nodiscard]] TagDictionary::TagSetId tagset_id() const {
+    return series_->tagset_id;
+  }
+  /// Materializes the tag map (dictionary decode) — for callers that need
+  /// real strings, e.g. collect() rebuilding Points.
+  [[nodiscard]] std::map<std::string, std::string> decode_tags() const {
+    return dict_->decode(series_->tagset_id);
+  }
+  [[nodiscard]] const TagDictionary::TagSet& tagset() const {
+    return dict_->set(series_->tagset_id);
+  }
+  [[nodiscard]] const TagDictionary& dict() const { return *dict_; }
+
+ private:
+  const Series* series_;
+  const TagDictionary* dict_;
+  std::size_t begin_;  ///< absolute row index into the series columns
+  std::size_t end_;
+};
+
+/// One row of a multi-slice scan in merged order: which slice, which
+/// slice-relative row, and the (time, seq) key it sorted by.
+struct MergedRowRef {
+  TimeNs time;
+  std::uint64_t seq;
+  std::uint32_t slice;
+  std::uint32_t row;
+};
+
+/// Rows of all slices merged into (time, seq) order — the per-measurement
+/// point order of the row store this engine replaced, which keeps merged
+/// evaluation (and its floating-point fold order) bit-for-bit identical.
+std::vector<MergedRowRef> merged_rows(std::span<const SeriesSlice> slices);
+
+}  // namespace pmove::tsdb

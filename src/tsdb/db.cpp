@@ -1,13 +1,81 @@
 #include "tsdb/db.hpp"
 
 #include <algorithm>
-#include <mutex>
-
+#include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <utility>
 
+#include "metrics/names.hpp"
 #include "util/strings.hpp"
 
 namespace pmove::tsdb {
+
+namespace {
+
+// Decoded-tag-set lexicographic order: identical to comparing the
+// materialized std::map<std::string, std::string> tag maps, so scan order
+// matches the group order the seed row store produced when callers grouped
+// points by their tag maps.
+bool tagset_less(const TagDictionary& dict, const TagDictionary::TagSet& a,
+                 const TagDictionary::TagSet& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (int c = dict.string(a[i].first).compare(dict.string(b[i].first));
+        c != 0) {
+      return c < 0;
+    }
+    if (int c = dict.string(a[i].second).compare(dict.string(b[i].second));
+        c != 0) {
+      return c < 0;
+    }
+  }
+  return a.size() < b.size();
+}
+
+// Reorders v[first..first+perm.size()) to v[first + perm[i]].
+template <class T>
+void apply_perm(std::vector<T>& v, std::size_t first,
+                const std::vector<std::uint32_t>& perm) {
+  std::vector<T> tmp(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) tmp[i] = v[first + perm[i]];
+  std::copy(tmp.begin(), tmp.end(), v.begin() + first);
+}
+
+// Reclaims trimmed rows once they dominate the series: retention only
+// advances `head`, so the dead prefix is erased lazily when it is both big
+// enough to matter and at least half the physical storage (amortized O(1)
+// per trimmed row).
+void maybe_compact(Series& s) {
+  if (s.head < 1024 || s.head * 2 < s.times.size()) return;
+  const auto n = static_cast<std::ptrdiff_t>(s.head);
+  s.times.erase(s.times.begin(), s.times.begin() + n);
+  s.seqs.erase(s.seqs.begin(), s.seqs.begin() + n);
+  for (FieldColumn& col : s.fields) {
+    col.values.erase(col.values.begin(), col.values.begin() + n);
+    if (!col.present.empty()) {
+      col.present.erase(col.present.begin(), col.present.begin() + n);
+    }
+  }
+  s.head = 0;
+}
+
+// Visits every row of `slices` in merged (time, seq) order — the seed row
+// store's per-measurement point order.  fn(slice_index, slice_relative_row).
+template <class Fn>
+void for_each_merged_row(std::span<const SeriesSlice> slices, Fn&& fn) {
+  if (slices.empty()) return;
+  if (slices.size() == 1) {  // one series: rows are already in order
+    for (std::size_t r = 0; r < slices[0].rows(); ++r) fn(0, r);
+    return;
+  }
+  for (const MergedRowRef& ref : merged_rows(slices)) fn(ref.slice, ref.row);
+}
+
+}  // namespace
 
 std::size_t QueryResult::column_index(std::string_view name) const {
   for (std::size_t i = 0; i < columns.size(); ++i) {
@@ -20,6 +88,119 @@ void TimeSeriesDb::bump_epoch_locked(const std::string& measurement) {
   epochs_[measurement] = ++epoch_counter_;
 }
 
+void TimeSeriesDb::append_row_locked(Series& series, const Point& point) {
+  series.times.push_back(point.time);
+  series.seqs.push_back(seq_counter_++);
+  const std::size_t rows = series.times.size();
+  // Merge the point's (sorted) field map into the (sorted) column vector:
+  // matched columns take the value, unmatched columns take an absent NaN,
+  // unseen fields open a new column backfilled with absent rows.
+  std::size_t ci = 0;
+  auto fit = point.fields.begin();
+  while (ci < series.fields.size() || fit != point.fields.end()) {
+    int cmp;
+    if (ci == series.fields.size()) {
+      cmp = 1;
+    } else if (fit == point.fields.end()) {
+      cmp = -1;
+    } else {
+      cmp = series.fields[ci].name.compare(fit->first);
+    }
+    if (cmp < 0) {  // column the point does not carry
+      FieldColumn& col = series.fields[ci];
+      if (col.present.empty()) col.present.assign(rows - 1, 1);
+      col.present.push_back(0);
+      col.values.push_back(std::nan(""));
+      ++ci;
+    } else if (cmp > 0) {  // field the series has not seen
+      FieldColumn col;
+      col.name = fit->first;
+      col.values.assign(rows - 1, std::nan(""));
+      col.values.push_back(fit->second);
+      if (rows > 1) {
+        col.present.assign(rows - 1, 0);
+        col.present.push_back(1);
+      }
+      series.fields.insert(
+          series.fields.begin() + static_cast<std::ptrdiff_t>(ci),
+          std::move(col));
+      ++ci;
+      ++fit;
+    } else {
+      FieldColumn& col = series.fields[ci];
+      col.values.push_back(fit->second);
+      if (!col.present.empty()) col.present.push_back(1);
+      ++ci;
+      ++fit;
+    }
+  }
+  ++live_points_;
+}
+
+void TimeSeriesDb::restore_order(Series& series, std::size_t old_size) {
+  const std::size_t n = series.times.size();
+  if (old_size == n) return;
+  // Rows were appended in seq order, so the tail is (time, seq)-sorted iff
+  // its times are non-decreasing, and the prefix/tail boundary only needs a
+  // time comparison (every tail seq exceeds every prefix seq).
+  const bool tail_sorted =
+      std::is_sorted(series.times.begin() + static_cast<std::ptrdiff_t>(old_size),
+                     series.times.end());
+  const bool boundary_ok =
+      old_size <= series.head ||
+      series.times[old_size - 1] <= series.times[old_size];
+  if (tail_sorted && boundary_ok) return;
+  // Out-of-order tail: permutation-sort the smallest suffix of the *live*
+  // region that covers every new row's destination.  Rows before `head` are
+  // trimmed and must not move.
+  const TimeNs min_tail = *std::min_element(
+      series.times.begin() + static_cast<std::ptrdiff_t>(old_size),
+      series.times.end());
+  const std::size_t first = static_cast<std::size_t>(
+      std::upper_bound(
+          series.times.begin() + static_cast<std::ptrdiff_t>(series.head),
+          series.times.begin() + static_cast<std::ptrdiff_t>(old_size),
+          min_tail) -
+      series.times.begin());
+  std::vector<std::uint32_t> perm(n - first);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const TimeNs* times = series.times.data() + first;
+  const std::uint64_t* seqs = series.seqs.data() + first;
+  std::sort(perm.begin(), perm.end(),
+            [times, seqs](std::uint32_t a, std::uint32_t b) {
+              if (times[a] != times[b]) return times[a] < times[b];
+              return seqs[a] < seqs[b];
+            });
+  apply_perm(series.times, first, perm);
+  apply_perm(series.seqs, first, perm);
+  for (FieldColumn& col : series.fields) {
+    apply_perm(col.values, first, perm);
+    if (!col.present.empty()) apply_perm(col.present, first, perm);
+  }
+}
+
+Series* TimeSeriesDb::resolve_series_locked(
+    MeasurementStore& store, const std::map<std::string, std::string>& tags) {
+  const TagDictionary::TagSetId ts = dict_.intern_set(tags);
+  if (auto it = store.by_tagset.find(ts); it != store.by_tagset.end()) {
+    return store.series[it->second].get();
+  }
+  const auto idx = static_cast<std::uint32_t>(store.series.size());
+  auto series = std::make_unique<Series>();
+  series->tagset_id = ts;
+  Series* raw = series.get();
+  store.series.push_back(std::move(series));
+  store.by_tagset.emplace(ts, idx);
+  auto pos = std::lower_bound(
+      store.sorted.begin(), store.sorted.end(), idx,
+      [this, &store](std::uint32_t a, std::uint32_t b) {
+        return tagset_less(dict_, dict_.set(store.series[a]->tagset_id),
+                           dict_.set(store.series[b]->tagset_id));
+      });
+  store.sorted.insert(pos, idx);
+  return raw;
+}
+
 Status TimeSeriesDb::write_batch(std::vector<Point> points) {
   for (const Point& point : points) {
     if (point.measurement.empty()) {
@@ -30,50 +211,48 @@ Status TimeSeriesDb::write_batch(std::vector<Point> points) {
     }
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  // Cache the series iterator: batches overwhelmingly carry runs of points
-  // for the same measurement, so most points skip the map lookup.  Track the
-  // pre-append size of every touched series so ordering can be restored with
-  // one tail sort + merge instead of a per-point upper_bound+insert.
+  // Cache the measurement and series lookups: batches overwhelmingly carry
+  // runs of points for the same measurement (and often the same tag set),
+  // so most points skip the map walks entirely.  Track the pre-append size
+  // of every touched series so ordering is restored once per series with a
+  // permutation sort instead of per-point binary inserts.
   auto hint = series_.end();
-  std::vector<std::pair<std::vector<Point>*, std::size_t>> touched;
-  for (Point& point : points) {
+  Series* series_hint = nullptr;
+  const std::map<std::string, std::string>* hint_tags = nullptr;
+  std::vector<std::pair<Series*, std::size_t>> touched;
+  for (const Point& point : points) {
     bytes_written_ += point.wire_size();
     if (hint == series_.end() || hint->first != point.measurement) {
       hint = series_.find(point.measurement);
       if (hint == series_.end()) {
-        hint = series_.emplace(point.measurement, std::vector<Point>{}).first;
+        hint = series_.emplace(point.measurement, MeasurementStore{}).first;
       }
       bump_epoch_locked(hint->first);
-      auto* series = &hint->second;
-      bool seen = false;
-      for (const auto& [ptr, size] : touched) {
-        if (ptr == series) {
-          seen = true;
-          break;
-        }
+      series_hint = nullptr;
+      hint_tags = nullptr;
+    }
+    Series* series;
+    if (series_hint != nullptr && *hint_tags == point.tags) {
+      series = series_hint;
+    } else {
+      series = resolve_series_locked(hint->second, point.tags);
+      series_hint = series;
+      hint_tags = &point.tags;
+    }
+    bool seen = false;
+    for (const auto& [ptr, size] : touched) {
+      if (ptr == series) {
+        seen = true;
+        break;
       }
-      if (!seen) touched.emplace_back(series, series->size());
     }
-    hint->second.push_back(std::move(point));
+    if (!seen) touched.emplace_back(series, series->times.size());
+    append_row_locked(*series, point);
   }
-  // Restore time order per touched series: stable-sort the appended tail
-  // (preserving arrival order among equal timestamps, matching the per-point
-  // path's upper_bound semantics) and merge it with the already-ordered
-  // prefix only when the tail actually lands out of order.
-  const auto by_time = [](const Point& a, const Point& b) {
-    return a.time < b.time;
-  };
   for (const auto& [series, old_size] : touched) {
-    const auto begin = series->begin();
-    const auto mid = begin + static_cast<std::ptrdiff_t>(old_size);
-    if (mid == series->end()) continue;
-    if (!std::is_sorted(mid, series->end(), by_time)) {
-      std::stable_sort(mid, series->end(), by_time);
-    }
-    if (old_size != 0 && by_time(*mid, *(mid - 1))) {
-      std::inplace_merge(begin, mid, series->end(), by_time);
-    }
+    restore_order(*series, old_size);
   }
+  refresh_gauges_locked();
   return Status::ok();
 }
 
@@ -82,16 +261,26 @@ std::size_t TimeSeriesDb::enforce_retention(TimeNs now) {
   const TimeNs cutoff = now - retention_.duration;
   std::unique_lock<std::shared_mutex> lock(mutex_);
   std::size_t dropped = 0;
-  for (auto& [name, points] : series_) {
-    auto pos = std::lower_bound(
-        points.begin(), points.end(), cutoff,
-        [](const Point& p, TimeNs t) { return p.time < t; });
-    const auto trimmed = static_cast<std::size_t>(pos - points.begin());
-    if (trimmed == 0) continue;
-    dropped += trimmed;
-    points.erase(points.begin(), pos);
-    bump_epoch_locked(name);
+  for (auto& [name, store] : series_) {
+    std::size_t trimmed = 0;
+    for (auto& entry : store.series) {
+      Series& s = *entry;
+      const auto live_begin =
+          s.times.begin() + static_cast<std::ptrdiff_t>(s.head);
+      auto pos = std::lower_bound(live_begin, s.times.end(), cutoff);
+      const auto new_head = static_cast<std::size_t>(pos - s.times.begin());
+      if (new_head == s.head) continue;
+      trimmed += new_head - s.head;
+      s.head = new_head;
+      maybe_compact(s);
+    }
+    if (trimmed != 0) {
+      dropped += trimmed;
+      bump_epoch_locked(name);
+    }
   }
+  live_points_ -= dropped;
+  if (dropped != 0) refresh_gauges_locked();
   return dropped;
 }
 
@@ -99,21 +288,22 @@ std::vector<std::string> TimeSeriesDb::measurements() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(series_.size());
-  for (const auto& [name, points] : series_) out.push_back(name);
+  for (const auto& [name, store] : series_) out.push_back(name);
   return out;
 }
 
 std::size_t TimeSeriesDb::point_count() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  std::size_t total = 0;
-  for (const auto& [name, points] : series_) total += points.size();
-  return total;
+  return live_points_;
 }
 
 std::size_t TimeSeriesDb::point_count(std::string_view measurement) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = series_.find(measurement);
-  return it == series_.end() ? 0 : it->second.size();
+  if (it == series_.end()) return 0;
+  std::size_t total = 0;
+  for (const auto& entry : it->second.series) total += entry->row_count();
+  return total;
 }
 
 std::size_t TimeSeriesDb::bytes_written() const {
@@ -132,37 +322,157 @@ std::uint64_t TimeSeriesDb::write_epoch(std::string_view measurement) const {
   return it == epochs_.end() ? 0 : it->second;
 }
 
+bool TimeSeriesDb::gather_slices_locked(
+    std::string_view measurement, TimeNs time_min, TimeNs time_max,
+    const std::map<std::string, std::string>& filters,
+    std::vector<SeriesSlice>& out) const {
+  auto it = series_.find(measurement);
+  if (it == series_.end()) return false;
+  // Resolve filter strings to dictionary ids once; a string the dictionary
+  // has never seen cannot match any stored tag, so the scan is empty.
+  std::vector<std::pair<TagDictionary::StringId, TagDictionary::StringId>>
+      needed;
+  needed.reserve(filters.size());
+  for (const auto& [key, value] : filters) {
+    const auto key_id = dict_.find(key);
+    const auto value_id = dict_.find(value);
+    if (!key_id.has_value() || !value_id.has_value()) return true;
+    needed.emplace_back(*key_id, *value_id);
+  }
+  for (std::uint32_t idx : it->second.sorted) {
+    const Series& s = *it->second.series[idx];
+    bool ok = true;
+    for (const auto& [key_id, value_id] : needed) {
+      if (!dict_.set_contains(s.tagset_id, key_id, value_id)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    const auto live_begin =
+        s.times.begin() + static_cast<std::ptrdiff_t>(s.head);
+    auto begin = std::lower_bound(live_begin, s.times.end(), time_min);
+    auto end = std::upper_bound(begin, s.times.end(), time_max);
+    if (begin == end) continue;
+    out.emplace_back(&s, &dict_,
+                     static_cast<std::size_t>(begin - s.times.begin()),
+                     static_cast<std::size_t>(end - s.times.begin()));
+  }
+  return true;
+}
+
+bool TimeSeriesDb::scan(std::string_view measurement, TimeNs time_min,
+                        TimeNs time_max,
+                        const std::map<std::string, std::string>& tag_filters,
+                        const ScanCallback& visit) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<SeriesSlice> slices;
+  const bool found =
+      gather_slices_locked(measurement, time_min, time_max, tag_filters,
+                           slices);
+  visit(std::span<const SeriesSlice>(slices));
+  return found;
+}
+
 std::vector<Point> TimeSeriesDb::collect(
     std::string_view measurement, TimeNs time_min, TimeNs time_max,
     const std::map<std::string, std::string>& tag_filters) const {
   std::vector<Point> out;
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  auto it = series_.find(measurement);
-  if (it == series_.end()) return out;
-  for (const Point& p : it->second) {
-    if (p.time < time_min || p.time > time_max) continue;
-    bool ok = true;
-    for (const auto& [k, v] : tag_filters) {
-      auto tag = p.tags.find(k);
-      if (tag == p.tags.end() || tag->second != v) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) out.push_back(p);
+  std::vector<SeriesSlice> slices;
+  if (!gather_slices_locked(measurement, time_min, time_max, tag_filters,
+                            slices)) {
+    return out;
   }
+  std::size_t total = 0;
+  for (const SeriesSlice& s : slices) total += s.rows();
+  out.reserve(total);
+  // Decode each tag set once per series, not once per point.
+  std::vector<std::map<std::string, std::string>> tag_maps;
+  tag_maps.reserve(slices.size());
+  for (const SeriesSlice& s : slices) tag_maps.push_back(s.decode_tags());
+  for_each_merged_row(
+      std::span<const SeriesSlice>(slices), [&](std::size_t si,
+                                                std::size_t row) {
+        const SeriesSlice& slice = slices[si];
+        Point p;
+        p.measurement = std::string(measurement);
+        p.tags = tag_maps[si];
+        p.time = slice.times()[row];
+        for (std::size_t f = 0; f < slice.field_count(); ++f) {
+          const std::uint8_t* present = slice.present(f);
+          if (present != nullptr && present[row] == 0) continue;
+          // Columns are name-sorted, so insertion at the map's end is O(1).
+          p.fields.emplace_hint(p.fields.end(),
+                                std::string(slice.field_name(f)),
+                                slice.values(f)[row]);
+        }
+        out.push_back(std::move(p));
+      });
   return out;
 }
 
 Status TimeSeriesDb::dump_to_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::unavailable("cannot write " + path);
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  for (const auto& [name, points] : series_) {
-    for (const Point& point : points) {
-      out << point.to_line() << "\n";
+  // Render the whole snapshot under the shared lock, but keep the file I/O
+  // outside it — a slow disk must never stall writers.
+  std::string buffer;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    char value_buf[48];
+    for (const auto& [name, store] : series_) {
+      std::vector<SeriesSlice> slices;
+      (void)gather_slices_locked(name, std::numeric_limits<TimeNs>::min(),
+                                 std::numeric_limits<TimeNs>::max(), {},
+                                 slices);
+      // Per-series constants: the escaped "measurement,tag=v,..." prefix and
+      // the escaped field names, rendered once instead of once per row.
+      std::vector<std::string> prefixes;
+      std::vector<std::vector<std::string>> field_names;
+      prefixes.reserve(slices.size());
+      field_names.reserve(slices.size());
+      for (const SeriesSlice& slice : slices) {
+        std::string prefix = lp::escape(name);
+        for (const auto& [key_id, value_id] : slice.tagset()) {
+          prefix += ',';
+          prefix += lp::escape(slice.dict().string(key_id));
+          prefix += '=';
+          prefix += lp::escape(slice.dict().string(value_id));
+        }
+        prefixes.push_back(std::move(prefix));
+        std::vector<std::string> names;
+        names.reserve(slice.field_count());
+        for (std::size_t f = 0; f < slice.field_count(); ++f) {
+          names.push_back(lp::escape(std::string(slice.field_name(f))));
+        }
+        field_names.push_back(std::move(names));
+      }
+      for_each_merged_row(
+          std::span<const SeriesSlice>(slices), [&](std::size_t si,
+                                                    std::size_t row) {
+            const SeriesSlice& slice = slices[si];
+            buffer += prefixes[si];
+            buffer += ' ';
+            bool first = true;
+            for (std::size_t f = 0; f < slice.field_count(); ++f) {
+              const std::uint8_t* present = slice.present(f);
+              if (present != nullptr && present[row] == 0) continue;
+              if (!first) buffer += ',';
+              first = false;
+              buffer += field_names[si][f];
+              buffer += '=';
+              const int n =
+                  lp::format_value(value_buf, slice.values(f)[row]);
+              buffer.append(value_buf, static_cast<std::size_t>(n));
+            }
+            buffer += ' ';
+            buffer += std::to_string(slice.times()[row]);
+            buffer += '\n';
+          });
     }
   }
+  std::ofstream out(path);
+  if (!out) return Status::unavailable("cannot write " + path);
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   return out.good() ? Status::ok()
                     : Status::unavailable("write failed: " + path);
 }
@@ -172,15 +482,34 @@ Status TimeSeriesDb::load_from_file(const std::string& path) {
   if (!in) return Status::not_found("cannot open " + path);
   std::string line;
   std::size_t line_no = 0;
+  // Parse into batches so the columnar insert amortizes locking and
+  // ordering; lines before a malformed one still land (same partial-apply
+  // behavior as the old per-line path).
+  constexpr std::size_t kBatch = 4096;
+  std::vector<Point> batch;
+  batch.reserve(kBatch);
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::ok();
+    std::vector<Point> out;
+    out.reserve(kBatch);
+    std::swap(out, batch);
+    return write_batch(std::move(out));
+  };
   while (std::getline(in, line)) {
     ++line_no;
     if (strings::trim(line).empty()) continue;
-    if (Status s = write_line(line); !s.is_ok()) {
-      return Status::parse_error(path + ":" + std::to_string(line_no) +
-                                 ": " + s.message());
+    auto point = Point::from_line(line);
+    if (!point.has_value()) {
+      (void)flush();
+      return Status::parse_error(path + ":" + std::to_string(line_no) + ": " +
+                                 point.status().message());
+    }
+    batch.push_back(std::move(point.value()));
+    if (batch.size() >= kBatch) {
+      if (Status s = flush(); !s.is_ok()) return s;
     }
   }
-  return Status::ok();
+  return flush();
 }
 
 void TimeSeriesDb::clear() {
@@ -188,20 +517,79 @@ void TimeSeriesDb::clear() {
   series_.clear();
   // Epoch tags die with the entries; epoch_counter_ keeps counting so a
   // measurement recreated after clear() never reuses an old epoch value.
+  // seq_counter_ keeps counting too — old seqs are unreachable, but a
+  // monotonic counter is free and immune to ABA-style ordering surprises.
   epochs_.clear();
+  dict_.clear();
   bytes_written_ = 0;
+  live_points_ = 0;
+  refresh_gauges_locked();
 }
 
 std::size_t TimeSeriesDb::drop_measurement(std::string_view name) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = series_.find(name);
   if (it == series_.end()) return 0;
-  const std::size_t dropped = it->second.size();
+  std::size_t dropped = 0;
+  for (const auto& entry : it->second.series) dropped += entry->row_count();
   if (auto epoch = epochs_.find(it->first); epoch != epochs_.end()) {
     epochs_.erase(epoch);
   }
   series_.erase(it);
+  live_points_ -= dropped;
+  refresh_gauges_locked();
   return dropped;
+}
+
+TsdbStats TimeSeriesDb::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  TsdbStats st;
+  st.measurements = series_.size();
+  for (const auto& [name, store] : series_) st.series += store.series.size();
+  st.points = live_points_;
+  st.dict_strings = dict_.string_count();
+  st.dict_tagsets = dict_.set_count();
+  st.dict_bytes = dict_.memory_bytes();
+  st.column_bytes = stats_column_bytes_locked();
+  return st;
+}
+
+std::size_t TimeSeriesDb::stats_column_bytes_locked() const {
+  std::size_t bytes = 0;
+  for (const auto& [name, store] : series_) {
+    for (const auto& entry : store.series) {
+      const Series& s = *entry;
+      bytes += s.times.size() * (sizeof(TimeNs) + sizeof(std::uint64_t));
+      for (const FieldColumn& col : s.fields) {
+        bytes += col.values.size() * sizeof(double) + col.present.size();
+      }
+    }
+  }
+  return bytes;
+}
+
+void TimeSeriesDb::set_telemetry_instance(const std::string& instance) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto& reg = metrics::Registry::global();
+  m_series_ = &reg.gauge(metrics::kMeasurementTsdb, instance, "series");
+  m_points_ = &reg.gauge(metrics::kMeasurementTsdb, instance, "points");
+  m_dict_strings_ =
+      &reg.gauge(metrics::kMeasurementTsdb, instance, "dict_strings");
+  m_dict_bytes_ = &reg.gauge(metrics::kMeasurementTsdb, instance, "dict_bytes");
+  m_column_bytes_ =
+      &reg.gauge(metrics::kMeasurementTsdb, instance, "column_bytes");
+  refresh_gauges_locked();
+}
+
+void TimeSeriesDb::refresh_gauges_locked() {
+  if (m_series_ == nullptr) return;
+  std::size_t series = 0;
+  for (const auto& [name, store] : series_) series += store.series.size();
+  m_series_->set(static_cast<double>(series));
+  m_points_->set(static_cast<double>(live_points_));
+  m_dict_strings_->set(static_cast<double>(dict_.string_count()));
+  m_dict_bytes_->set(static_cast<double>(dict_.memory_bytes()));
+  m_column_bytes_->set(static_cast<double>(stats_column_bytes_locked()));
 }
 
 }  // namespace pmove::tsdb

@@ -1,33 +1,50 @@
-// In-memory time-series database (InfluxDB 1.x substrate).
+// In-memory time-series database (InfluxDB 1.x substrate) — columnar engine.
 //
-// Stores points per measurement, supports the query subset the KB generates
-// (Listing 3 of the paper):
+// Stores points per (measurement, interned tag set) in columnar form: a
+// sorted timestamp column, an arrival-sequence column, and one contiguous
+// double column per field (tsdb/columns.hpp).  Tag strings live once in a
+// per-DB dictionary (tsdb/dict.hpp), so tag filtering is integer
+// comparison; time-range pruning is a binary search on the timestamp
+// column; retention trims advance a head offset in O(log n) per series
+// with amortized compaction.
 //
-//   SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"
-//     WHERE tag="278e26c2-..." [AND time >= a AND time <= b]
+// Read paths:
+//   * scan()    — the zero-copy primitive: hands the caller column slices
+//                 (std::span views) of every matching series under the
+//                 shared lock.  The query module's execute stage aggregates
+//                 directly over these slices.
+//   * collect() — compatibility wrapper that materializes Points from the
+//                 slices for legacy callers (and the sharded merge path).
 //
-// plus aggregate selectors (mean/min/max/sum/count/stddev/first/last) needed
-// by SUPERDB's AGGObservationInterface, and a retention policy (Section V-B:
-// "we rely on the retention policy of InfluxDB").
+// Ordering: rows are sorted by (time, arrival seq), the same total order
+// the seed row store maintained, so merged scans reproduce the seed's
+// point order — and therefore its floating-point aggregation order —
+// bit for bit.
 //
 // Concurrency: storage is guarded by a shared_mutex — any number of panel
-// readers (collect/point_count/...) proceed in parallel and only writers
-// (write_batch, retention, clear) take the lock exclusively.  Every write
-// bumps the touched measurement's *write epoch*, a never-repeating global
-// counter the query engine's result cache keys its invalidation on.
+// readers (scan/collect/point_count/...) proceed in parallel and only
+// writers (write_batch, retention, clear) take the lock exclusively.  Every
+// write bumps the touched measurement's *write epoch*, a never-repeating
+// global counter the query engine's result cache keys its invalidation on.
 //
-// The read path lives in src/query (parse → plan → execute, result cache,
-// downsample pushdown); this class only stores points and hands out
-// filtered copies via collect().
+// The query front end lives in src/query (parse → plan → execute, result
+// cache, downsample pushdown); this class stores columns and hands out
+// slices (scan) or filtered copies (collect).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "metrics/registry.hpp"
+#include "tsdb/columns.hpp"
+#include "tsdb/dict.hpp"
 #include "tsdb/point.hpp"
 #include "tsdb/sink.hpp"
 #include "util/clock.hpp"
@@ -42,6 +59,8 @@ struct QueryResult {
   /// row[0] is the timestamp, NaN marks a missing field.
   std::vector<std::vector<double>> rows;
 
+  /// Index of `name` in columns, or columns.size() when absent.  O(columns)
+  /// per call — resolve once before a row loop, never per row.
   [[nodiscard]] std::size_t column_index(std::string_view name) const;
 };
 
@@ -49,6 +68,20 @@ struct QueryResult {
 /// in the DB or an explicit "now") are dropped by enforce_retention().
 struct RetentionPolicy {
   TimeNs duration = 0;  ///< 0 = keep forever
+};
+
+/// Storage-engine introspection snapshot (the pmove_tsdb gauges).
+struct TsdbStats {
+  std::size_t measurements = 0;
+  std::size_t series = 0;        ///< (measurement, tag set) pairs
+  std::size_t points = 0;        ///< live rows (excludes trimmed-not-compacted)
+  std::size_t dict_strings = 0;  ///< interned tag strings
+  std::size_t dict_tagsets = 0;  ///< interned tag sets
+  std::size_t dict_bytes = 0;    ///< dictionary payload bytes
+  /// Resident column payload: timestamps, seqs, field values and presence
+  /// maps, including trimmed rows awaiting compaction.  Excludes allocator
+  /// slack and per-series fixed overhead.
+  std::size_t column_bytes = 0;
 };
 
 class TimeSeriesDb : public PointSink {
@@ -84,7 +117,9 @@ class TimeSeriesDb : public PointSink {
 
   /// Recorded-data support (the paper monitors "live and/or recorded"
   /// performance data): dump every point as line protocol, one per line,
-  /// and load such a file back (appending to current contents).
+  /// and load such a file back (appending to current contents).  The dump
+  /// renders a consistent snapshot under the shared lock, then performs
+  /// the file I/O outside it so a slow disk never stalls writers.
   Status dump_to_file(const std::string& path) const;
   Status load_from_file(const std::string& path);
 
@@ -104,24 +139,87 @@ class TimeSeriesDb : public PointSink {
   /// exactly while the value is unchanged.
   [[nodiscard]] std::uint64_t write_epoch(std::string_view measurement) const;
 
+  // ----------------------------------------------------------- read paths
+
+  /// Zero-copy scan: invoked exactly once with a column slice per matching
+  /// series (tag filters satisfied, rows clipped to [time_min, time_max],
+  /// series ordered by decoded tag set so iteration order is
+  /// deterministic).  The DB's shared lock is held for the duration of the
+  /// callback; the slices alias live column storage and MUST NOT escape
+  /// it.  Series with no row in range are omitted.  Returns false (with an
+  /// empty-span callback) when the measurement does not exist.
+  using ScanCallback = std::function<void(std::span<const SeriesSlice>)>;
+  bool scan(std::string_view measurement, TimeNs time_min, TimeNs time_max,
+            const std::map<std::string, std::string>& tag_filters,
+            const ScanCallback& visit) const;
+
   /// Copies of the points of `measurement` in [time_min, time_max] whose
-  /// tags match every entry of `tag_filters`, in time order.  The read
-  /// primitive of the query module's execute stage (and of the sharded
-  /// path, which pulls per-shard slices).
+  /// tags match every entry of `tag_filters`, in (time, arrival) order.
+  /// Compatibility wrapper over scan() that materializes Points — the read
+  /// primitive of the sharded merge path and legacy callers.
   [[nodiscard]] std::vector<Point> collect(
       std::string_view measurement, TimeNs time_min, TimeNs time_max,
       const std::map<std::string, std::string>& tag_filters) const;
 
+  // -------------------------------------------------------- introspection
+
+  [[nodiscard]] TsdbStats stats() const;
+
+  /// Enables pmove_tsdb self-telemetry: after every mutation the storage
+  /// gauges (series/points/dict/column bytes) are refreshed under the
+  /// given instance tag.  Off by default — per-shard ingest DBs stay
+  /// silent; the daemon names its primary DB.
+  void set_telemetry_instance(const std::string& instance);
+
  private:
+  struct MeasurementStore {
+    std::vector<std::unique_ptr<Series>> series;  ///< creation order
+    std::map<TagDictionary::TagSetId, std::uint32_t> by_tagset;
+    /// Series indices ordered by decoded tag set (lexicographic key/value
+    /// strings) — the deterministic scan order.
+    std::vector<std::uint32_t> sorted;
+  };
+
   /// Bumps `measurement`'s epoch; caller holds the exclusive lock.
   void bump_epoch_locked(const std::string& measurement);
 
+  /// Appends one point's row to `series`; caller holds the exclusive lock.
+  void append_row_locked(Series& series, const Point& point);
+
+  /// Restores the (time, seq) ordering invariant after a batch appended
+  /// rows [old_size, ...) possibly out of order.
+  static void restore_order(Series& series, std::size_t old_size);
+
+  /// Finds (or creates) the series of `tags` under `store`.
+  Series* resolve_series_locked(MeasurementStore& store,
+                                const std::map<std::string, std::string>& tags);
+
+  /// Matching slices of `measurement` under the (already held) shared
+  /// lock; returns false when the measurement is absent.
+  bool gather_slices_locked(std::string_view measurement, TimeNs time_min,
+                            TimeNs time_max,
+                            const std::map<std::string, std::string>& filters,
+                            std::vector<SeriesSlice>& out) const;
+
+  [[nodiscard]] std::size_t stats_column_bytes_locked() const;
+  void refresh_gauges_locked();
+
   mutable std::shared_mutex mutex_;
-  std::map<std::string, std::vector<Point>, std::less<>> series_;
+  std::map<std::string, MeasurementStore, std::less<>> series_;
   std::map<std::string, std::uint64_t, std::less<>> epochs_;
+  TagDictionary dict_;
   std::uint64_t epoch_counter_ = 0;  ///< never reset, so epochs never repeat
+  std::uint64_t seq_counter_ = 0;    ///< per-DB arrival counter (row order)
+  std::size_t live_points_ = 0;
   RetentionPolicy retention_;
   std::size_t bytes_written_ = 0;
+
+  // pmove_tsdb self-telemetry; null until set_telemetry_instance().
+  metrics::Gauge* m_series_ = nullptr;
+  metrics::Gauge* m_points_ = nullptr;
+  metrics::Gauge* m_dict_strings_ = nullptr;
+  metrics::Gauge* m_dict_bytes_ = nullptr;
+  metrics::Gauge* m_column_bytes_ = nullptr;
 };
 
 /// DEPRECATED alongside TimeSeriesDb::query — use query::run_sharded with a

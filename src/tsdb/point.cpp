@@ -93,6 +93,16 @@ std::size_t field_value_width(double v) {
 
 }  // namespace
 
+namespace lp {
+
+std::string escape(const std::string& s) { return escape_ident(s); }
+
+int format_value(char (&buf)[48], double v) {
+  return format_field_value(buf, v);
+}
+
+}  // namespace lp
+
 std::string Point::to_line() const {
   std::string out = escape_ident(measurement);
   for (const auto& [k, v] : tags) {

@@ -32,4 +32,18 @@ struct Point {
   [[nodiscard]] std::size_t wire_size() const;
 };
 
+/// Line-protocol building blocks, shared with the columnar engine's dump
+/// path so it can render rows straight from column storage with exactly the
+/// escaping and number formatting of Point::to_line().
+namespace lp {
+
+/// Escapes commas, spaces, '=' and backslashes in an identifier.
+std::string escape(const std::string& s);
+
+/// Renders a field value (integral values as integers, else %.17g) into
+/// `buf`; returns the length.
+int format_value(char (&buf)[48], double v);
+
+}  // namespace lp
+
 }  // namespace pmove::tsdb

@@ -374,6 +374,117 @@ TEST(IngestEngineTest, RecoverySurvivesTornLastBatch) {
   recovered.close();
 }
 
+TEST(IngestEngineTest, CheckpointSnapshotsAndRecoveryAvoidsDuplicates) {
+  TempDir dir("engine_checkpoint");
+  IngestOptions options;
+  options.shard_count = 2;
+  options.wal_dir = dir.path;
+  {
+    IngestEngine engine(options);
+    ASSERT_TRUE(engine.open().is_ok());
+    for (int b = 0; b < 10; ++b) {
+      ASSERT_TRUE(engine
+                      .submit({make_point("m", b, static_cast<double>(b),
+                                          "t" + std::to_string(b % 3))})
+                      .is_ok());
+    }
+    ASSERT_TRUE(engine.checkpoint().is_ok());
+    EXPECT_EQ(engine.stats().checkpoints, 1u);
+    // The log is truncated down to one fresh, empty segment; the snapshots
+    // carry the 10 points.
+    EXPECT_EQ(engine.wal().segment_count(), 1u);
+    EXPECT_TRUE(fs::exists(fs::path(dir.path) / "checkpoint-shard0.lp") ||
+                fs::exists(fs::path(dir.path) / "checkpoint-shard1.lp"));
+    // More traffic after the checkpoint lands only in the fresh log.
+    for (int b = 10; b < 14; ++b) {
+      ASSERT_TRUE(engine
+                      .submit({make_point("m", b, static_cast<double>(b))})
+                      .is_ok());
+    }
+    // Crash: no flush, no close.
+  }
+  IngestEngine recovered(options);
+  ASSERT_TRUE(recovered.open().is_ok());
+  // Snapshot (10) + replayed tail (4), each exactly once.
+  EXPECT_EQ(recovered.point_count(), 14u);
+  EXPECT_EQ(recovered.stats().recovered_points, 14u);
+  auto result = recovered.query("SELECT count(\"value\") FROM \"m\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->rows[0][1], 14.0);
+  recovered.close();
+}
+
+TEST(IngestEngineTest, FlushAutoCheckpointsPastSegmentBudget) {
+  TempDir dir("engine_autockpt");
+  IngestOptions options;
+  options.shard_count = 1;
+  options.wal_dir = dir.path;
+  options.wal_segment_bytes = 128;  // force rotation every few batches
+  options.wal_max_segments = 2;
+  IngestEngine engine(options);
+  ASSERT_TRUE(engine.open().is_ok());
+  for (int b = 0; b < 30; ++b) {
+    ASSERT_TRUE(
+        engine.submit({make_point("m", b, static_cast<double>(b))}).is_ok());
+  }
+  ASSERT_GT(engine.wal().segment_count(), 2u);
+  ASSERT_TRUE(engine.flush().is_ok());
+  EXPECT_GE(engine.stats().checkpoints, 1u);
+  EXPECT_EQ(engine.wal().segment_count(), 1u);  // only the fresh segment
+  // Nothing acknowledged was lost to the truncation.
+  EXPECT_EQ(engine.point_count(), 30u);
+  engine.close();
+  IngestEngine recovered(options);
+  ASSERT_TRUE(recovered.open().is_ok());
+  EXPECT_EQ(recovered.point_count(), 30u);
+  recovered.close();
+}
+
+TEST(IngestEngineTest, CheckpointWithoutWalIsANoop) {
+  IngestEngine engine(IngestOptions{});
+  ASSERT_TRUE(engine.open().is_ok());
+  ASSERT_TRUE(engine.submit({make_point("m", 1, 1.0)}).is_ok());
+  ASSERT_TRUE(engine.checkpoint().is_ok());
+  EXPECT_EQ(engine.stats().checkpoints, 0u);
+  engine.close();
+}
+
+TEST(IngestEngineTest, ExternalModeCheckpointLeavesRestoreToOwner) {
+  TempDir dir("engine_external_ckpt");
+  tsdb::TimeSeriesDb shared;
+  IngestOptions options;
+  options.shard_count = 2;
+  options.wal_dir = dir.path;
+  {
+    IngestEngine engine(options, &shared);
+    ASSERT_TRUE(engine.open().is_ok());
+    for (int b = 0; b < 6; ++b) {
+      ASSERT_TRUE(engine
+                      .submit({make_point("m", b, static_cast<double>(b))})
+                      .is_ok());
+    }
+    ASSERT_TRUE(engine.checkpoint().is_ok());
+    // Snapshot written for disaster recovery, WAL truncated.
+    EXPECT_TRUE(fs::exists(fs::path(dir.path) / "checkpoint.lp"));
+    EXPECT_EQ(engine.wal().segment_count(), 1u);
+    ASSERT_TRUE(
+        engine.submit({make_point("m", 6, 6.0)}).is_ok());
+    ASSERT_TRUE(engine.flush().is_ok());
+    engine.close();
+  }
+  EXPECT_EQ(shared.point_count(), 7u);
+  // A fresh engine over a restored owner DB replays only the tail — the
+  // snapshot is NOT auto-loaded, so owner-restored state never doubles.
+  tsdb::TimeSeriesDb restored;
+  ASSERT_TRUE(restored.load_from_file(
+                          (fs::path(dir.path) / "checkpoint.lp").string())
+                  .is_ok());
+  IngestEngine reopened(options, &restored);
+  ASSERT_TRUE(reopened.open().is_ok());
+  EXPECT_EQ(restored.point_count(), 7u);  // 6 snapshot + 1 tail, no dupes
+  reopened.close();
+}
+
 // ------------------------------------------------------------ backpressure
 
 TEST(IngestEngineTest, DropPolicyCountsLossesAndReportsUnavailable) {

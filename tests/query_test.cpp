@@ -120,6 +120,67 @@ TEST(QueryRun, TypedMatchesLegacyStringPath) {
   }
 }
 
+// The columnar run() path (scan + execute_columnar) against the row
+// evaluator (collect + execute) that the sharded merge still uses: same
+// slices, two code paths, answers must be bit-for-bit identical — raw
+// merges with equal timestamps across series included, because both sort
+// by (time, arrival seq).
+TEST(QueryRun, ColumnarMatchesRowEvaluatorAcrossTagSets) {
+  tsdb::TimeSeriesDb db;
+  std::vector<tsdb::Point> batch;
+  for (int i = 0; i < 60; ++i) {
+    tsdb::Point p;
+    p.measurement = "multi";
+    p.tags["set"] = "s" + std::to_string(i % 3);
+    p.time = (i / 3) * 100;  // three series share every timestamp
+    p.fields["v"] = std::sqrt(2.0) * i;
+    if (i % 3 != 2) p.fields["w"] = -0.25 * i;  // absent in series s2
+    batch.push_back(std::move(p));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  const char* texts[] = {
+      "SELECT \"v\", \"w\" FROM \"multi\"",
+      "SELECT * FROM \"multi\"",
+      "SELECT sum(\"v\"), stddev(\"v\"), first(\"w\"), last(\"w\"), "
+      "count(\"w\") FROM \"multi\"",
+      "SELECT mean(\"v\") FROM \"multi\" GROUP BY time(300ns)",
+      "SELECT min(\"v\"), max(\"w\") FROM \"multi\" WHERE set=\"s1\"",
+      "SELECT mean(\"w\") FROM \"multi\" WHERE time >= 500 AND "
+      "time <= 1500 GROUP BY time(200ns)",
+  };
+  for (const char* text : texts) {
+    auto parsed = Query::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    auto columnar = run(db, *parsed);
+    auto row = execute(make_plan(*parsed),
+                       db.collect(parsed->measurement, parsed->time_min,
+                                  parsed->time_max, parsed->tag_filters));
+    ASSERT_TRUE(columnar.has_value()) << text;
+    ASSERT_TRUE(row.has_value()) << text;
+    EXPECT_EQ(columnar->columns, row->columns) << text;
+    ASSERT_EQ(columnar->rows.size(), row->rows.size()) << text;
+    for (std::size_t r = 0; r < row->rows.size(); ++r) {
+      ASSERT_EQ(columnar->rows[r].size(), row->rows[r].size()) << text;
+      for (std::size_t c = 0; c < row->rows[r].size(); ++c) {
+        const double a = columnar->rows[r][c];
+        const double b = row->rows[r][c];
+        if (std::isnan(a) || std::isnan(b)) {
+          EXPECT_TRUE(std::isnan(a) && std::isnan(b)) << text;
+        } else {
+          EXPECT_EQ(a, b) << text << " row " << r << " col " << c;
+        }
+      }
+    }
+  }
+  // Validation errors surface identically through the columnar path.
+  auto mixed = run(db, Query::parse("SELECT \"v\", mean(\"w\") "
+                                    "FROM \"multi\"")
+                           .value());
+  ASSERT_FALSE(mixed.has_value());
+  EXPECT_EQ(mixed.status().message(),
+            "cannot mix raw fields with aggregates in one query");
+}
+
 // ------------------------------------------------------------- PointSink
 
 /// Implements only the one virtual hot path; write()/write_line() must

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -494,6 +498,257 @@ TEST(QueryResultTest, ColumnIndex) {
   result.columns = {"time", "_cpu0"};
   EXPECT_EQ(result.column_index("_cpu0"), 1u);
   EXPECT_EQ(result.column_index("none"), 2u);  // == columns.size()
+}
+
+// ------------------------------------------------------- columnar engine
+//
+// The storage rewrite must be invisible from the outside: same query
+// answers bit for bit, same dump format, same epoch semantics.  These
+// tests pin the parts the generic suites above don't reach — escaped
+// round-trips, every aggregate against an independent evaluator, trim +
+// compaction behaviour, and the zero-copy scan API itself.
+
+TEST(ColumnarTest, DumpLoadRoundTripsEscapesAndMixedFieldSets) {
+  TimeSeriesDb db;
+  std::vector<Point> batch;
+  for (int i = 0; i < 12; ++i) {
+    Point p;
+    p.measurement = "weird m,easure=ment";
+    p.tags["k ey"] = i % 2 == 0 ? "v,alue" : "other=value";
+    p.tags["host"] = "h" + std::to_string(i % 3);
+    p.time = (11 - i) * 100;  // arrive in reverse time order
+    // Disjoint field sets per parity class: the columnar store must track
+    // presence, not just store NaN.
+    if (i % 2 == 0) p.fields["f=irst"] = 0.1 * i;
+    if (i % 3 == 0) p.fields["se cond"] = -2.5 * i;
+    if (p.fields.empty()) p.fields["f=irst"] = 7.0;
+    batch.push_back(std::move(p));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  const std::string path =
+      "/tmp/pmove_columnar_" + std::to_string(::getpid()) + ".lp";
+  ASSERT_TRUE(db.dump_to_file(path).is_ok());
+  TimeSeriesDb restored;
+  ASSERT_TRUE(restored.load_from_file(path).is_ok());
+  // Point-level equality in scan order, not just counts.
+  const auto all = [](const TimeSeriesDb& d) {
+    return d.collect("weird m,easure=ment",
+                     std::numeric_limits<TimeNs>::min(),
+                     std::numeric_limits<TimeNs>::max(), {});
+  };
+  const std::vector<Point> expect = all(db);
+  const std::vector<Point> got = all(restored);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].measurement, expect[i].measurement);
+    EXPECT_EQ(got[i].tags, expect[i].tags);
+    EXPECT_EQ(got[i].fields, expect[i].fields);
+    EXPECT_EQ(got[i].time, expect[i].time);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnarTest, EveryAggregateMatchesIndependentEvaluator) {
+  TimeSeriesDb db;
+  // Two interleaved tag sets with awkward doubles: aggregation folds the
+  // merged (time, arrival) order, so any ordering drift shows up as a
+  // last-bit difference in sum/mean/stddev.
+  std::vector<double> values;
+  std::vector<Point> batch;
+  for (int i = 0; i < 257; ++i) {
+    Point p;
+    p.measurement = "agg";
+    p.tags["set"] = i % 2 == 0 ? "a" : "b";
+    p.time = i;
+    const double v = std::sin(0.1 * i) * 1e3 + 1.0 / (i + 3);
+    p.fields["v"] = v;
+    values.push_back(v);
+    batch.push_back(std::move(p));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+
+  // The seed evaluator, reimplemented from its documented fold order:
+  // sum/mean left-to-right in point order, stddev two-pass with n-1.
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - mean) * (v - mean);
+  const double stddev =
+      std::sqrt(sq / static_cast<double>(values.size() - 1));
+  const double expected[] = {
+      mean,
+      *std::min_element(values.begin(), values.end()),
+      *std::max_element(values.begin(), values.end()),
+      sum,
+      static_cast<double>(values.size()),
+      stddev,
+      values.front(),
+      values.back(),
+  };
+  const char* names[] = {"mean", "min",    "max",   "sum",
+                         "count", "stddev", "first", "last"};
+  for (std::size_t i = 0; i < std::size(names); ++i) {
+    auto result = db.query("SELECT " + std::string(names[i]) +
+                           "(\"v\") FROM \"agg\"");
+    ASSERT_TRUE(result.has_value()) << names[i];
+    ASSERT_EQ(result->rows.size(), 1u) << names[i];
+    // Bit-for-bit: EXPECT_EQ, not NEAR.
+    EXPECT_EQ(result->rows[0][1], expected[i]) << names[i];
+  }
+}
+
+TEST(ColumnarTest, RetentionTrimCompactsAndBumpsOnlyTrimmedEpochs) {
+  TimeSeriesDb db(RetentionPolicy{1000});
+  std::vector<Point> batch;
+  for (int i = 0; i < 3000; ++i) {
+    batch.push_back(make_point("old", i, i));
+  }
+  batch.push_back(make_point("fresh", 2999, 1.0));
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  const std::uint64_t old_epoch = db.write_epoch("old");
+  const std::uint64_t fresh_epoch = db.write_epoch("fresh");
+  // cutoff = 2999 - 1000: trims most of "old" (past the compaction
+  // threshold, so the head offset collapses) and nothing of "fresh".
+  const std::size_t dropped = db.enforce_retention(2999);
+  EXPECT_EQ(dropped, 1999u);
+  EXPECT_EQ(db.point_count("old"), 1001u);
+  EXPECT_NE(db.write_epoch("old"), old_epoch);
+  EXPECT_EQ(db.write_epoch("fresh"), fresh_epoch);
+  // Trimmed data is gone from every read path; survivors are intact.
+  auto result = db.query("SELECT first(\"value\"), count(\"value\") "
+                         "FROM \"old\"");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->rows[0][1], 1999.0);
+  EXPECT_EQ(result->rows[0][2], 1001.0);
+  // Stats see the live rows only.
+  EXPECT_EQ(db.stats().points, 1002u);
+}
+
+TEST(ColumnarTest, ScanOrdersSeriesAndClipsRows) {
+  TimeSeriesDb db;
+  std::vector<Point> batch;
+  for (int i = 0; i < 10; ++i) {
+    Point p;
+    p.measurement = "m";
+    p.tags["host"] = i % 2 == 0 ? "zeta" : "alpha";
+    p.time = i;
+    p.fields["v"] = i;
+    batch.push_back(std::move(p));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  // Absent measurement: callback still runs (empty), returns false.
+  bool visited = false;
+  EXPECT_FALSE(db.scan("nope", 0, 10, {},
+                       [&](std::span<const SeriesSlice> slices) {
+                         visited = true;
+                         EXPECT_TRUE(slices.empty());
+                       }));
+  EXPECT_TRUE(visited);
+  // Series arrive ordered by decoded tag set (alpha before zeta even
+  // though zeta was created first), rows clipped to the time range.
+  int calls = 0;
+  EXPECT_TRUE(db.scan(
+      "m", 2, 7, {}, [&](std::span<const SeriesSlice> slices) {
+        ++calls;
+        ASSERT_EQ(slices.size(), 2u);
+        EXPECT_EQ(slices[0].decode_tags().at("host"), "alpha");
+        EXPECT_EQ(slices[1].decode_tags().at("host"), "zeta");
+        // alpha holds odd times {3,5,7}, zeta even {2,4,6}.
+        ASSERT_EQ(slices[0].rows(), 3u);
+        EXPECT_EQ(slices[0].times()[0], 3);
+        EXPECT_EQ(slices[0].values(0)[2], 7.0);
+        ASSERT_EQ(slices[1].rows(), 3u);
+        EXPECT_EQ(slices[1].times()[0], 2);
+      }));
+  EXPECT_EQ(calls, 1);
+  // A range covering only one series omits the empty slice entirely.
+  EXPECT_TRUE(db.scan("m", 2, 2, {},
+                      [&](std::span<const SeriesSlice> slices) {
+                        ASSERT_EQ(slices.size(), 1u);
+                        EXPECT_EQ(slices[0].decode_tags().at("host"),
+                                  "zeta");
+                      }));
+  // Unknown tag value: found, but zero matching series.
+  EXPECT_TRUE(db.scan("m", 0, 10, {{"host", "gamma"}},
+                      [&](std::span<const SeriesSlice> slices) {
+                        EXPECT_TRUE(slices.empty());
+                      }));
+}
+
+TEST(ColumnarTest, ScanReadersRaceBatchWriters) {
+  // TSan target: scan callbacks read column spans under the shared lock
+  // while writers append/reorder and retention trims under the exclusive
+  // lock.  Any slice escaping the lock or a writer mutating live storage
+  // mid-callback is a data race here.
+  TimeSeriesDb db(RetentionPolicy{100'000});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int b = 0; b < 60; ++b) {
+      std::vector<Point> batch;
+      for (int i = 0; i < 200; ++i) {
+        Point p;
+        p.measurement = "race";
+        p.tags["set"] = "s" + std::to_string(i % 4);
+        p.time = b * 200 + i;
+        p.fields["v"] = i;
+        batch.push_back(std::move(p));
+      }
+      ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+      if (b % 16 == 15) db.enforce_retention(b * 200);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        db.scan("race", 0, std::numeric_limits<TimeNs>::max(), {},
+                [](std::span<const SeriesSlice> slices) {
+                  double sum = 0.0;
+                  for (const SeriesSlice& slice : slices) {
+                    const auto times = slice.times();
+                    for (std::size_t f = 0; f < slice.field_count(); ++f) {
+                      const auto column = slice.values(f);
+                      ASSERT_EQ(column.size(), times.size());
+                      for (double v : column) sum += v;
+                    }
+                  }
+                  ASSERT_GE(sum, 0.0);
+                });
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(db.point_count(), 12'000u);
+}
+
+TEST(ColumnarTest, StatsAndTelemetryGauges) {
+  TimeSeriesDb db;
+  db.set_telemetry_instance("test_db");
+  std::vector<Point> batch;
+  for (int i = 0; i < 8; ++i) {
+    Point p;
+    p.measurement = i < 4 ? "a" : "b";
+    p.tags["host"] = "h" + std::to_string(i % 2);
+    p.time = i;
+    p.fields["x"] = i;
+    p.fields["y"] = -i;
+    batch.push_back(std::move(p));
+  }
+  ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  const TsdbStats stats = db.stats();
+  EXPECT_EQ(stats.measurements, 2u);
+  EXPECT_EQ(stats.series, 4u);  // 2 measurements x 2 tag sets
+  EXPECT_EQ(stats.points, 8u);
+  EXPECT_GE(stats.dict_strings, 3u);  // "host", "h0", "h1"
+  EXPECT_GT(stats.dict_bytes, 0u);
+  // 8 rows x (time + seq) + 16 field cells x 8 bytes.
+  EXPECT_EQ(stats.column_bytes, 8u * 16u + 16u * 8u);
+  auto& gauge = metrics::Registry::global().gauge(
+      "pmove_tsdb", "test_db", "points");
+  EXPECT_EQ(gauge.value(), 8.0);
 }
 
 }  // namespace

@@ -39,6 +39,7 @@
 #include "kernels/kernels.hpp"
 #include "metrics/registry.hpp"
 #include "query/engine.hpp"
+#include "query/storage_bench.hpp"
 #include "topology/prober.hpp"
 
 using namespace pmove;
@@ -70,6 +71,9 @@ int usage() {
       "  ingest-bench [n] [shards] [batch] [producers] [--fault <spec>]\n"
       "                                      per-point DB vs ingest engine\n"
       "  query-bench [panels] [refr] [n] [w] string vs typed vs cached reads\n"
+      "  storage-bench [n] [tagsets] [fields]\n"
+      "                                      columnar engine vs seed row "
+      "store\n"
       "presets: skx icl csl zen3   kernels: sum stream triad peakflops"
       " ddot daxpy\n"
       "env: PMOVE_FAULT=\"point=mode:arg[;point2=...]\" arms fault "
@@ -862,6 +866,22 @@ int cmd_query_bench(int argc, char** argv) {
   return 0;
 }
 
+// Columnar engine vs the seed row store on one multi-tag-set workload:
+// the interactive face of bench/ablation_storage (same harness, no JSON
+// artifact) for spot-checking the storage numbers on a new machine.
+int cmd_storage_bench(int argc, char** argv) {
+  query::StorageBenchConfig config;
+  if (argc > 2) config.points = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) config.tagsets = static_cast<std::size_t>(std::atoll(argv[3]));
+  if (argc > 4) config.fields = static_cast<std::size_t>(std::atoll(argv[4]));
+  if (config.points == 0 || config.tagsets == 0 || config.fields == 0) {
+    return usage();
+  }
+  const auto result = query::run_storage_bench(config);
+  query::print_report(result);
+  return result.parity_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -885,5 +905,6 @@ int main(int argc, char** argv) {
   if (command == "metrics") return cmd_metrics(argc, argv);
   if (command == "ingest-bench") return cmd_ingest_bench(argc, argv);
   if (command == "query-bench") return cmd_query_bench(argc, argv);
+  if (command == "storage-bench") return cmd_storage_bench(argc, argv);
   return usage();
 }
