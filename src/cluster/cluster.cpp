@@ -11,18 +11,29 @@ ClusterDaemon::ClusterDaemon(std::uint64_t seed) : rng_(seed) {}
 Status ClusterDaemon::add_node(std::string_view preset) {
   auto spec = topology::machine_preset(preset);
   if (!spec) return spec.status();
-  // Unique hostname: second skx joins as skx-2, etc.
+  // Unique hostname: second skx joins as skx-2, etc.  Uniqueness is
+  // explicit — hostname_set_ membership, O(log n) per probe — and the
+  // per-base counter resumes where the last join left off, so a preset
+  // whose bare name collides with another preset's suffixed name (e.g. a
+  // literal "skx-2" preset alongside repeated "skx" joins) still lands on
+  // a free slot instead of rescanning or colliding.
   std::string hostname = spec->hostname;
-  int suffix = 1;
-  while (std::find(hostnames_.begin(), hostnames_.end(), hostname) !=
-         hostnames_.end()) {
-    hostname = spec->hostname + "-" + std::to_string(++suffix);
+  int& counter = hostname_counters_[spec->hostname];
+  while (!hostname_set_.insert(hostname).second) {
+    ++counter;
+    hostname = spec->hostname + "-" + std::to_string(counter + 1);
   }
   spec->hostname = hostname;
   auto daemon = std::make_unique<core::Daemon>();
-  if (Status s = daemon->attach_target(*spec); !s.is_ok()) return s;
+  if (Status s = daemon->attach_target(*spec); !s.is_ok()) {
+    hostname_set_.erase(hostname);
+    return s;
+  }
   daemons_.push_back(std::move(daemon));
-  hostnames_.push_back(std::move(hostname));
+  hostnames_.push_back(hostname);
+  if (fleet_ != nullptr) {
+    if (Status s = fleet_->add_node(hostname); !s.is_ok()) return s;
+  }
   return Status::ok();
 }
 
@@ -77,6 +88,8 @@ std::vector<LinkSample> ClusterDaemon::sample_fabric(
     }
   }
   fabric_clock_ += from_seconds(std::max(1e-6, seconds));
+  std::vector<tsdb::Point> batch;
+  batch.reserve(samples.size());
   for (const auto& sample : samples) {
     tsdb::Point point;
     point.measurement = "network_link_bytes";
@@ -84,9 +97,43 @@ std::vector<LinkSample> ClusterDaemon::sample_fabric(
     point.tags["to"] = sample.to;
     point.time = fabric_clock_;
     point.fields["bytes"] = sample.bytes;
+    batch.push_back(point);
     (void)fabric_ts_.write(std::move(point));
   }
+  // Execution tier enabled: the same link series are sharded across the
+  // fleet by (measurement, from, to) placement.
+  if (fleet_ != nullptr) {
+    (void)fleet_->write_batch(std::move(batch));
+    (void)fleet_->flush();
+  }
   return samples;
+}
+
+Status ClusterDaemon::enable_fleet(fleet::FleetOptions options) {
+  if (fleet_ != nullptr) {
+    return Status::already_exists("cluster fleet already enabled");
+  }
+  auto f = std::make_unique<fleet::Fleet>(std::move(options));
+  for (const std::string& hostname : hostnames_) {
+    if (Status s = f->add_node(hostname); !s.is_ok()) return s;
+  }
+  fleet_ = std::move(f);
+  return Status::ok();
+}
+
+Status ClusterDaemon::fleet_write(std::vector<tsdb::Point> batch) {
+  if (fleet_ == nullptr) {
+    return Status::unavailable("cluster fleet not enabled");
+  }
+  return fleet_->write_batch(std::move(batch));
+}
+
+Expected<fleet::FleetQueryResult> ClusterDaemon::fleet_query(
+    const query::Query& q) {
+  if (fleet_ == nullptr) {
+    return Status::unavailable("cluster fleet not enabled");
+  }
+  return fleet_->query(q);
 }
 
 Expected<JobInterface> ClusterDaemon::submit_job(

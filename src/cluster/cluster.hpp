@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "core/daemon.hpp"
 #include "dashboard/views.hpp"
 #include "docdb/store.hpp"
+#include "fleet/fleet.hpp"
 #include "tsdb/db.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -94,14 +96,36 @@ class ClusterDaemon {
     return docs_;
   }
 
+  // ------------------------------------------------------- execution tier
+  /// Promotes the cluster from a topology model to an execution tier: one
+  /// fleet node per attached cluster node (same hostnames), consistent-hash
+  /// series placement, scatter/gather queries, gossiped health.  Nodes
+  /// added later join the fleet automatically.  Fabric telemetry sampled
+  /// during jobs is mirrored into the fleet so cluster-wide link data is
+  /// sharded like any other series.
+  Status enable_fleet(fleet::FleetOptions options = {});
+  [[nodiscard]] bool fleet_enabled() const { return fleet_ != nullptr; }
+  /// Valid only while fleet_enabled().
+  [[nodiscard]] fleet::Fleet& fleet() { return *fleet_; }
+
+  /// Sharded write into the execution tier (kUnavailable until enabled).
+  Status fleet_write(std::vector<tsdb::Point> batch);
+  /// Scatter/gather query over the execution tier.
+  Expected<fleet::FleetQueryResult> fleet_query(const query::Query& q);
+
  private:
   std::vector<LinkSample> sample_fabric(const std::vector<std::string>& hosts,
                                         double seconds);
 
   std::vector<std::unique_ptr<core::Daemon>> daemons_;
   std::vector<std::string> hostnames_;
+  /// Explicit uniqueness for add_node's suffix scheme: membership is one
+  /// set lookup, and the per-base counter never rescans earlier joins.
+  std::set<std::string> hostname_set_;
+  std::map<std::string, int> hostname_counters_;
   docdb::DocumentStore docs_;
   tsdb::TimeSeriesDb fabric_ts_;
+  std::unique_ptr<fleet::Fleet> fleet_;  ///< null until enable_fleet()
   Rng rng_;
   TimeNs fabric_clock_ = 0;
   int job_counter_ = 0;

@@ -30,7 +30,8 @@
 // `fault::fires` for ground truth):
 //   wal.append          wal.append.fsync    wal.append.torn
 //   wal.checkpoint      tsdb.write_batch    transport.offer
-//   docdb.insert
+//   docdb.insert        fleet.route         fleet.scatter
+//   fleet.gossip
 #pragma once
 
 #include <atomic>

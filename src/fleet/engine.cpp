@@ -1,0 +1,370 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "metrics/names.hpp"
+#include "metrics/registry.hpp"
+
+namespace pmove::fleet {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}  // namespace
+
+/// One node's slot in an in-flight scatter.  Shared (via shared_ptr) with
+/// the worker task so the gatherer can abandon a node at its deadline while
+/// the late task still has somewhere safe to write its answer.
+template <typename T>
+struct FleetQueryEngine::Scatter {
+  struct Slot {
+    std::string node;
+    TimeNs deadline_ns = 0;     ///< EWMA-derived, frozen at scatter time
+    bool skip_breaker = false;  ///< breaker-rejected: outcome not an outcome
+    bool started = false;       ///< the worker picked the call up
+    SteadyClock::time_point started_at;
+    bool done = false;
+    std::optional<Expected<T>> out;
+  };
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<Slot> slots;
+};
+
+FleetQueryEngine::FleetQueryEngine(Transport* transport,
+                                   FleetQueryOptions options)
+    : transport_(transport), options_(options) {
+  const int workers = std::max(1, options_.max_concurrency);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+FleetQueryEngine::~FleetQueryEngine() {
+  {
+    std::lock_guard lock(pool_mutex_);
+    stopping_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void FleetQueryEngine::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(pool_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  pool_cv_.notify_one();
+}
+
+void FleetQueryEngine::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(pool_mutex_);
+      pool_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      // Queued-but-unstarted calls are discarded at shutdown: nobody is
+      // gathering them any more (queries never outlive the engine).
+      if (stopping_) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+FleetQueryEngine::NodeState& FleetQueryEngine::state_for_locked(
+    const std::string& node) {
+  auto it = states_.find(node);
+  if (it == states_.end()) {
+    it = states_.emplace(node, NodeState(options_.ewma_alpha)).first;
+    it->second.breaker = std::make_unique<CircuitBreaker>(
+        "fleet." + node, options_.breaker);
+  }
+  return it->second;
+}
+
+TimeNs FleetQueryEngine::node_deadline(const std::string& node) const {
+  std::lock_guard lock(mutex_);
+  auto it = states_.find(node);
+  if (it == states_.end()) return options_.budget.floor_ns;
+  return options_.budget.deadline(it->second.ewma);
+}
+
+TimeNs FleetQueryEngine::node_latency_ewma(const std::string& node) const {
+  std::lock_guard lock(mutex_);
+  auto it = states_.find(node);
+  if (it == states_.end()) return 0;
+  return static_cast<TimeNs>(it->second.ewma.value());
+}
+
+CircuitBreaker::State FleetQueryEngine::node_breaker_state(
+    const std::string& node) const {
+  std::lock_guard lock(mutex_);
+  auto it = states_.find(node);
+  if (it == states_.end()) return CircuitBreaker::State::kClosed;
+  return it->second.breaker->state();
+}
+
+template <typename T>
+std::shared_ptr<FleetQueryEngine::Scatter<T>> FleetQueryEngine::scatter(
+    const std::vector<std::string>& nodes,
+    std::function<Expected<T>(const std::string&)> call) {
+  auto sc = std::make_shared<Scatter<T>>();
+  sc->slots.resize(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto& slot = sc->slots[i];
+    slot.node = nodes[i];
+    CircuitBreaker* breaker = nullptr;
+    {
+      std::lock_guard lock(mutex_);
+      NodeState& state = state_for_locked(nodes[i]);
+      slot.deadline_ns = options_.budget.deadline(state.ewma);
+      breaker = state.breaker.get();
+    }
+    if (Status s = fault::point("fleet.scatter"); !s.is_ok()) {
+      // Injected scatter-RPC failure: classified (and breaker-counted) by
+      // the gatherer exactly like a real transport error.
+      std::lock_guard lk(sc->m);
+      slot.done = true;
+      slot.out.emplace(std::move(s));
+      continue;
+    }
+    if (!breaker->allow()) {
+      std::lock_guard lk(sc->m);
+      slot.done = true;
+      slot.skip_breaker = true;
+      slot.out.emplace(breaker->reject_status());
+      continue;
+    }
+    enqueue([this, sc, i, call, node = nodes[i]] {
+      {
+        std::lock_guard lk(sc->m);
+        sc->slots[i].started = true;
+        sc->slots[i].started_at = SteadyClock::now();
+      }
+      sc->cv.notify_all();
+      const auto t0 = SteadyClock::now();
+      Expected<T> result = call(node);
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              SteadyClock::now() - t0)
+              .count();
+      {
+        std::lock_guard lock(mutex_);
+        state_for_locked(node).ewma.update(static_cast<double>(elapsed));
+      }
+      {
+        std::lock_guard lk(sc->m);
+        sc->slots[i].out.emplace(std::move(result));
+        sc->slots[i].done = true;
+      }
+      sc->cv.notify_all();
+    });
+  }
+  return sc;
+}
+
+template <typename T>
+void FleetQueryEngine::gather(
+    Scatter<T>& sc, std::vector<std::pair<std::string, T>>& partials,
+    FleetQueryResult& out) {
+  out.nodes_queried = sc.slots.size();
+  std::unique_lock lk(sc.m);
+  for (auto& slot : sc.slots) {
+    // The deadline times the call itself, not its wait in the scatter
+    // queue — so a deep fan-out doesn't spuriously expire the tail.
+    sc.cv.wait(lk, [&] { return slot.done || slot.started; });
+    if (!slot.done) {
+      const auto deadline =
+          slot.started_at + std::chrono::nanoseconds(slot.deadline_ns);
+      sc.cv.wait_until(lk, deadline, [&] { return slot.done; });
+    }
+    CircuitBreaker* breaker = nullptr;
+    {
+      std::lock_guard lock(mutex_);
+      breaker = state_for_locked(slot.node).breaker.get();
+    }
+    if (!slot.done) {
+      // Over deadline: degraded, not fatal.  The late answer (if any) is
+      // dropped; its latency still feeds the node's EWMA, stretching the
+      // next deadline if the node is merely slow.
+      out.nodes_missing.push_back(slot.node);
+      breaker->record_failure();
+      continue;
+    }
+    Expected<T>& result = *slot.out;
+    if (result.has_value()) {
+      if (!slot.skip_breaker) breaker->record_success();
+      partials.emplace_back(slot.node, std::move(result.value()));
+    } else if (result.status().code() == ErrorCode::kNotFound) {
+      // A healthy answer: the measurement was never written to this node.
+      if (!slot.skip_breaker) breaker->record_success();
+    } else {
+      if (!slot.skip_breaker) breaker->record_failure();
+      out.nodes_missing.push_back(slot.node);
+    }
+  }
+}
+
+Expected<FleetQueryResult> FleetQueryEngine::query(
+    const query::Query& q, const std::vector<std::string>& nodes) {
+  if (nodes.empty()) {
+    return Status::unavailable("fleet: no nodes to query");
+  }
+  query::Plan plan = query::make_plan(q);
+  const bool pushdown_ok =
+      options_.pushdown && plan.kind == query::PlanKind::kAggregate &&
+      !q.select_all && !q.selectors.empty() &&
+      std::all_of(q.selectors.begin(), q.selectors.end(),
+                  [](const query::Selector& s) {
+                    return query::order_insensitive(s.aggregate);
+                  });
+  auto result =
+      pushdown_ok ? query_pushdown(plan, nodes) : query_exact(plan, nodes);
+
+  auto& registry = metrics::Registry::global();
+  if (result) {
+    registry.counter(metrics::kMeasurementFleet, "engine", "queries").inc();
+    if (result->pushdown) {
+      registry.counter(metrics::kMeasurementFleet, "engine", "pushdown_queries")
+          .inc();
+    }
+    if (result->degraded()) {
+      registry.counter(metrics::kMeasurementFleet, "engine", "degraded_queries")
+          .inc();
+      registry.counter(metrics::kMeasurementFleet, "engine", "nodes_missing")
+          .add(result->nodes_missing.size());
+    }
+  } else {
+    registry.counter(metrics::kMeasurementFleet, "engine", "query_errors")
+        .inc();
+  }
+  return result;
+}
+
+Expected<FleetQueryResult> FleetQueryEngine::query_exact(
+    const query::Plan& plan, const std::vector<std::string>& nodes) {
+  FleetQueryResult out;
+  std::vector<std::pair<std::string, std::vector<tsdb::Point>>> partials;
+  // The query is captured by value: a task abandoned at its deadline may
+  // run after this frame is gone.
+  auto sc = scatter<std::vector<tsdb::Point>>(
+      nodes, [this, q = plan.query](const std::string& node) {
+        return transport_->collect(node, q);
+      });
+  gather(*sc, partials, out);
+
+  if (partials.empty()) {
+    if (!out.nodes_missing.empty()) {
+      return Status::unavailable(
+          "fleet: measurement unreachable: " + plan.query.measurement + " (" +
+          std::to_string(out.nodes_missing.size()) + " nodes missing)");
+    }
+    return Status::not_found("measurement not found: " +
+                             plan.query.measurement);
+  }
+
+  std::size_t total = 0;
+  for (const auto& [node, rows] : partials) total += rows.size();
+  std::vector<tsdb::Point> all;
+  all.reserve(total);
+  for (auto& [node, rows] : partials) {
+    if (!rows.empty()) ++out.nodes_with_data;
+    for (tsdb::Point& p : rows) all.push_back(std::move(p));
+  }
+  // Canonical fleet row order: (time, tag set), ties in node order.  Two
+  // points of one series never compare equal across nodes (a series lives
+  // on exactly one node), and within a node stable_sort preserves the
+  // arrival order the router preserved — so the evaluator folds rows in
+  // the same order a single fat node would have.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const tsdb::Point& a, const tsdb::Point& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.tags < b.tags;
+                   });
+  auto result = query::execute(plan, all);
+  if (!result) return result.status();
+  out.result = std::move(result.value());
+  return out;
+}
+
+Expected<FleetQueryResult> FleetQueryEngine::query_pushdown(
+    const query::Plan& plan, const std::vector<std::string>& nodes) {
+  FleetQueryResult out;
+  out.pushdown = true;
+  std::vector<std::pair<std::string, NodePartial>> partials;
+  auto sc = scatter<NodePartial>(
+      nodes, [this, q = plan.query](const std::string& node) {
+        return transport_->execute(node, q);
+      });
+  gather(*sc, partials, out);
+
+  if (partials.empty()) {
+    if (!out.nodes_missing.empty()) {
+      return Status::unavailable(
+          "fleet: measurement unreachable: " + plan.query.measurement + " (" +
+          std::to_string(out.nodes_missing.size()) + " nodes missing)");
+    }
+    return Status::not_found("measurement not found: " +
+                             plan.query.measurement);
+  }
+
+  // Merge one aggregate row per node.  min/max/count are associative and
+  // commutative over disjoint row sets, so any merge order is exact:
+  //   min = min(partial mins)   max = max(partial maxes)
+  //   count = sum(partial counts)
+  // NaN partials mean "no values on that node" and are skipped; the merged
+  // cell stays NaN only when every node had none — same as a single node.
+  const auto& selectors = plan.query.selectors;
+  std::vector<double> row(selectors.size() + 1,
+                          std::numeric_limits<double>::quiet_NaN());
+  double last_matched_time = 0.0;
+  bool any_matched = false;
+  for (auto& [node, partial] : partials) {
+    if (partial.result.rows.empty()) continue;
+    const std::vector<double>& prow = partial.result.rows.front();
+    if (partial.matched > 0) {
+      any_matched = true;
+      ++out.nodes_with_data;
+      // Single-node aggregate rows are stamped with the last matched
+      // time; the fleet's last matched time is the max across nodes.
+      last_matched_time = std::max(last_matched_time, prow[0]);
+    }
+    for (std::size_t j = 0; j < selectors.size(); ++j) {
+      const double v = prow[j + 1];
+      if (std::isnan(v)) continue;
+      double& acc = row[j + 1];
+      if (std::isnan(acc)) {
+        acc = v;
+        continue;
+      }
+      switch (selectors[j].aggregate) {
+        case query::Aggregate::kMin:
+          acc = std::min(acc, v);
+          break;
+        case query::Aggregate::kMax:
+          acc = std::max(acc, v);
+          break;
+        case query::Aggregate::kCount:
+          acc += v;
+          break;
+        default:
+          break;  // unreachable: pushdown is gated on order_insensitive
+      }
+    }
+  }
+  row[0] = any_matched ? last_matched_time : 0.0;
+  out.result.columns = partials.front().second.result.columns;
+  out.result.rows.push_back(std::move(row));
+  return out;
+}
+
+}  // namespace pmove::fleet

@@ -1,0 +1,217 @@
+#include "fleet/fleet.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "metrics/names.hpp"
+#include "metrics/registry.hpp"
+
+namespace pmove::fleet {
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  return (end == raw) ? fallback : v;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end == raw) ? fallback : v;
+}
+
+constexpr TimeNs kTimeMin = std::numeric_limits<TimeNs>::min();
+constexpr TimeNs kTimeMax = std::numeric_limits<TimeNs>::max();
+
+}  // namespace
+
+FleetOptions FleetOptions::from_env() {
+  FleetOptions o;
+  o.default_nodes =
+      static_cast<int>(env_long("PMOVE_FLEET_NODES", o.default_nodes));
+  o.vnodes = static_cast<int>(env_long("PMOVE_FLEET_VNODES", o.vnodes));
+  o.gossip.fanout =
+      static_cast<int>(env_long("PMOVE_FLEET_FANOUT", o.gossip.fanout));
+  o.gossip.suspect_after_ns =
+      env_long("PMOVE_FLEET_SUSPECT_AFTER_MS",
+               o.gossip.suspect_after_ns / 1'000'000) *
+      1'000'000;
+  o.query.budget.floor_ns =
+      env_long("PMOVE_FLEET_DEADLINE_FLOOR_MS",
+               o.query.budget.floor_ns / 1'000'000) *
+      1'000'000;
+  o.query.budget.multiplier =
+      env_double("PMOVE_FLEET_DEADLINE_MULT", o.query.budget.multiplier);
+  o.query.pushdown = env_long("PMOVE_FLEET_PUSHDOWN", 1) != 0;
+  return o;
+}
+
+Fleet::Fleet(FleetOptions options)
+    : options_(std::move(options)),
+      router_(&transport_, options_.vnodes),
+      gossip_(&transport_, options_.gossip) {
+  // Each node owns its registry: a single borrowed registry shared by every
+  // node would fold all per-node component health into one namespace.
+  options_.node.health = nullptr;
+  engine_ = std::make_unique<FleetQueryEngine>(&transport_, options_.query);
+}
+
+Fleet::~Fleet() = default;
+
+void Fleet::refresh_gossip_members() {
+  std::vector<FleetNode*> members;
+  members.reserve(nodes_.size());
+  for (auto& [name, node] : nodes_) members.push_back(node.get());
+  gossip_.set_nodes(std::move(members));
+}
+
+Status Fleet::add_node(const std::string& name) {
+  if (name.empty() || name == kHeadNode) {
+    return Status::invalid_argument("fleet: reserved node name: " + name);
+  }
+  if (nodes_.count(name) != 0) {
+    return Status::already_exists("fleet: node already joined: " + name);
+  }
+  auto node = std::make_unique<FleetNode>(name, options_.node);
+  if (Status s = node->open(); !s.is_ok()) return s;
+  transport_.attach(node.get());
+  nodes_[name] = std::move(node);
+  if (Status s = router_.add_node(name); !s.is_ok()) return s;
+  refresh_gossip_members();
+  return migrate_after_change();
+}
+
+Status Fleet::remove_node(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return Status::not_found("fleet: unknown node: " + name);
+  }
+  if (nodes_.size() == 1 && it->second->point_count() > 0) {
+    return Status::unavailable(
+        "fleet: cannot remove the last node while it holds data");
+  }
+  // Drain: everything queued becomes storage, then everything stored moves.
+  if (Status s = it->second->flush(); !s.is_ok()) return s;
+  std::vector<tsdb::Point> moved;
+  for (const std::string& m : it->second->db().measurements()) {
+    auto rows = it->second->db().collect(m, kTimeMin, kTimeMax, {});
+    for (tsdb::Point& p : rows) moved.push_back(std::move(p));
+  }
+  if (Status s = router_.remove_node(name); !s.is_ok()) return s;
+  transport_.detach(name);
+  it->second->close();
+  nodes_.erase(it);
+  refresh_gossip_members();
+  if (!moved.empty()) {
+    // Per-series order is preserved: a series lived wholly on the removed
+    // node, rows were collected in (time, arrival) order, and the router
+    // keeps sub-batch order on delivery.
+    if (Status s = router_.write_batch(std::move(moved)); !s.is_ok()) {
+      return s;
+    }
+    return router_.flush();
+  }
+  return Status::ok();
+}
+
+Status Fleet::migrate_after_change() {
+  if (Status s = flush(); !s.is_ok()) return s;
+  std::vector<tsdb::Point> moved;
+  for (auto& [name, node] : nodes_) {
+    for (const std::string& m : node->db().measurements()) {
+      auto rows = node->db().collect(m, kTimeMin, kTimeMax, {});
+      std::vector<tsdb::Point> stay;
+      std::vector<tsdb::Point> move;
+      stay.reserve(rows.size());
+      for (tsdb::Point& p : rows) {
+        auto owner = router_.route(p);
+        if (!owner) return owner.status();
+        (*owner == name ? stay : move).push_back(std::move(p));
+      }
+      if (move.empty()) continue;
+      node->db().drop_measurement(m);
+      if (!stay.empty()) {
+        if (Status s = node->db().write_batch(std::move(stay)); !s.is_ok()) {
+          return s;
+        }
+      }
+      for (tsdb::Point& p : move) moved.push_back(std::move(p));
+    }
+  }
+  if (moved.empty()) return Status::ok();
+  if (Status s = router_.write_batch(std::move(moved)); !s.is_ok()) return s;
+  return flush();
+}
+
+std::vector<std::string> Fleet::nodes() const { return router_.nodes(); }
+
+Status Fleet::write_batch(std::vector<tsdb::Point> batch) {
+  return router_.write_batch(std::move(batch));
+}
+
+Status Fleet::flush() { return router_.flush(); }
+
+Expected<FleetQueryResult> Fleet::query(const query::Query& q) {
+  return engine_->query(q, router_.nodes());
+}
+
+Expected<FleetQueryResult> Fleet::query(std::string_view text) {
+  auto q = query::Query::parse(text);
+  if (!q) return q.status();
+  return query(*q);
+}
+
+GossipRound Fleet::tick(TimeNs now) { return gossip_.tick(now); }
+
+std::string Fleet::render_health(TimeNs now) const {
+  return gossip_.head_table().render(now, gossip_.suspect_after_ns());
+}
+
+HealthState Fleet::overall(TimeNs now) const {
+  return gossip_.head_table().overall(now, gossip_.suspect_after_ns());
+}
+
+void Fleet::publish_self_telemetry(TimeNs now) {
+  auto& registry = metrics::Registry::global();
+  registry.gauge(metrics::kMeasurementFleet, "fleet", "nodes")
+      .set(static_cast<double>(nodes_.size()));
+  registry.gauge(metrics::kMeasurementFleet, "fleet", "points")
+      .set(static_cast<double>(point_count()));
+  std::size_t alive = 0;
+  const auto& table = gossip_.head_table();
+  for (const auto& [name, node] : nodes_) {
+    if (table.liveness(name, now, gossip_.suspect_after_ns()) ==
+        NodeLiveness::kAlive) {
+      ++alive;
+    }
+  }
+  registry.gauge(metrics::kMeasurementFleet, "fleet", "alive_nodes")
+      .set(static_cast<double>(alive));
+  registry.gauge(metrics::kMeasurementFleet, "fleet", "suspected_nodes")
+      .set(static_cast<double>(nodes_.size() - alive));
+  registry.gauge(metrics::kMeasurementFleet, "fleet", metrics::kFieldState)
+      .set(static_cast<double>(overall(now)));
+}
+
+Expected<FleetNode*> Fleet::node(const std::string& name) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) {
+    return Status::not_found("fleet: unknown node: " + name);
+  }
+  return it->second.get();
+}
+
+std::size_t Fleet::point_count() const {
+  std::size_t total = 0;
+  for (const auto& [name, node] : nodes_) total += node->point_count();
+  return total;
+}
+
+}  // namespace pmove::fleet

@@ -1,0 +1,94 @@
+#include "fleet/gossip.hpp"
+
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "metrics/names.hpp"
+#include "metrics/registry.hpp"
+#include "util/rng.hpp"
+
+namespace pmove::fleet {
+
+GossipCoordinator::GossipCoordinator(Transport* transport,
+                                     GossipOptions options)
+    : transport_(transport), options_(options) {}
+
+void GossipCoordinator::set_nodes(std::vector<FleetNode*> nodes) {
+  nodes_ = std::move(nodes);
+}
+
+GossipRound GossipCoordinator::tick(TimeNs now) {
+  ++round_;
+  GossipRound stats;
+  const std::size_t n = nodes_.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    FleetNode* node = nodes_[i];
+    // Heartbeat, gated through a transport loopback: a killed node's gossip
+    // loop is part of the same dead process, so it must go silent rather
+    // than keep refreshing its digest.
+    auto self = transport_->exchange(node->name(), node->name(), {});
+    if (!self) {
+      ++stats.failures;
+      continue;
+    }
+    node->refresh_digest(now);
+
+    if (n < 2) continue;
+    std::uint64_t state =
+        mix_seed(options_.seed, mix_seed(round_, static_cast<std::uint64_t>(i)));
+    std::size_t contacted = 0;
+    // A few extra draws tolerate self/duplicate picks without a shuffle.
+    for (int attempt = 0;
+         attempt < options_.fanout * 4 && contacted <
+             static_cast<std::size_t>(options_.fanout);
+         ++attempt) {
+      state = mix_seed(state, static_cast<std::uint64_t>(attempt));
+      const std::size_t j = state % n;
+      if (j == i) continue;
+      ++contacted;
+      FleetNode* peer = nodes_[j];
+      if (Status f = fault::point("fleet.gossip"); !f.is_ok()) {
+        ++stats.failures;
+        continue;
+      }
+      // Push-pull: offer A's table, merge B's back.
+      auto reply = transport_->exchange(node->name(), peer->name(),
+                                        node->table().snapshot());
+      if (!reply) {
+        ++stats.failures;
+        continue;
+      }
+      node->exchange(*reply);
+      ++stats.exchanges;
+    }
+  }
+
+  // Head aggregation: the head is one more gossip participant — it offers
+  // what it knows and merges what each node knows.  A node it cannot reach
+  // simply ages in head_ until some peer path carries fresher news.
+  for (FleetNode* node : nodes_) {
+    if (Status f = fault::point("fleet.gossip"); !f.is_ok()) {
+      ++stats.failures;
+      continue;
+    }
+    auto reply = transport_->exchange(kHeadNode, node->name(),
+                                      head_.snapshot());
+    if (!reply) {
+      ++stats.failures;
+      continue;
+    }
+    head_.merge(*reply);
+    ++stats.exchanges;
+  }
+
+  auto& registry = metrics::Registry::global();
+  registry.counter(metrics::kMeasurementFleet, "gossip", "rounds").inc();
+  registry.counter(metrics::kMeasurementFleet, "gossip", "exchanges")
+      .add(stats.exchanges);
+  registry.counter(metrics::kMeasurementFleet, "gossip", "exchange_failures")
+      .add(stats.failures);
+  return stats;
+}
+
+}  // namespace pmove::fleet

@@ -1,0 +1,71 @@
+// GossipCoordinator: anti-entropy rounds for fleet health.
+//
+// Each tick simulates one round of every node's gossip loop plus the head's
+// aggregation pull.  For node A the coordinator performs the node-local half
+// directly (snapshot A's table, merge the reply — in a real deployment that
+// code runs on A) and sends the A->B transfer through the Transport, so
+// link chaos and node kills cut gossip exactly where a network would.
+//
+// Peer selection is seeded-deterministic: round r, node i gossips to
+// `fanout` distinct peers drawn from mix_seed(seed, r, i) — reproducible
+// under test, epidemically random in aggregate.  A digest reaches the whole
+// fleet in O(log N) rounds even when the head's links are down; the head's
+// table is just one more gossip participant that everyone pulls rank from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/health.hpp"
+#include "fleet/node.hpp"
+#include "fleet/transport.hpp"
+#include "util/clock.hpp"
+
+namespace pmove::fleet {
+
+struct GossipOptions {
+  /// Distinct peers each node contacts per round.
+  int fanout = 2;
+  /// Peer-selection stream.
+  std::uint64_t seed = 0x90551b;
+  /// Digest age after which an observer suspects the node (no heartbeat).
+  TimeNs suspect_after_ns = 5'000'000'000;  // 5 s
+};
+
+struct GossipRound {
+  std::size_t exchanges = 0;  ///< successful peer + head exchanges
+  std::size_t failures = 0;   ///< cut links, dead nodes, injected faults
+};
+
+class GossipCoordinator {
+ public:
+  /// `transport` is borrowed and must outlive the coordinator.
+  explicit GossipCoordinator(Transport* transport, GossipOptions options = {});
+
+  /// Replaces the member list (join/leave).  Node pointers are borrowed —
+  /// the Fleet owns them and keeps them alive across ticks.
+  void set_nodes(std::vector<FleetNode*> nodes);
+
+  /// One round at fleet time `now`: every node refreshes its own digest
+  /// (heartbeat), gossips with `fanout` peers, and the head pulls every
+  /// node.  Dead nodes neither refresh nor gossip: their transport calls
+  /// fail, and their last digest ages into suspicion everywhere.
+  GossipRound tick(TimeNs now);
+
+  [[nodiscard]] const FleetHealthTable& head_table() const { return head_; }
+  [[nodiscard]] FleetHealthTable& head_table() { return head_; }
+  [[nodiscard]] std::uint64_t rounds() const { return round_; }
+  [[nodiscard]] TimeNs suspect_after_ns() const {
+    return options_.suspect_after_ns;
+  }
+
+ private:
+  Transport* transport_;
+  GossipOptions options_;
+  std::vector<FleetNode*> nodes_;
+  FleetHealthTable head_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace pmove::fleet

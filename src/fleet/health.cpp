@@ -1,0 +1,117 @@
+#include "fleet/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pmove::fleet {
+
+std::string_view to_string(NodeLiveness liveness) {
+  switch (liveness) {
+    case NodeLiveness::kAlive:
+      return "alive";
+    case NodeLiveness::kSuspected:
+      return "suspected";
+  }
+  return "?";
+}
+
+bool FleetHealthTable::merge(const NodeDigest& digest) {
+  auto it = digests_.find(digest.node);
+  if (it != digests_.end() && it->second.version >= digest.version) {
+    return false;
+  }
+  digests_[digest.node] = digest;
+  return true;
+}
+
+std::size_t FleetHealthTable::merge(const std::vector<NodeDigest>& other) {
+  std::size_t changed = 0;
+  for (const NodeDigest& digest : other) {
+    if (merge(digest)) ++changed;
+  }
+  return changed;
+}
+
+std::vector<NodeDigest> FleetHealthTable::snapshot() const {
+  std::vector<NodeDigest> out;
+  out.reserve(digests_.size());
+  for (const auto& [name, digest] : digests_) out.push_back(digest);
+  return out;
+}
+
+Expected<NodeDigest> FleetHealthTable::digest(const std::string& node) const {
+  auto it = digests_.find(node);
+  if (it == digests_.end()) {
+    return Status::not_found("no digest for node: " + node);
+  }
+  return it->second;
+}
+
+NodeLiveness FleetHealthTable::liveness(const std::string& node, TimeNs now,
+                                        TimeNs suspect_after_ns) const {
+  auto it = digests_.find(node);
+  if (it == digests_.end()) return NodeLiveness::kSuspected;
+  if (now - it->second.updated > suspect_after_ns) {
+    return NodeLiveness::kSuspected;
+  }
+  return NodeLiveness::kAlive;
+}
+
+HealthState FleetHealthTable::overall(TimeNs now,
+                                      TimeNs suspect_after_ns) const {
+  HealthState worst = HealthState::kHealthy;
+  for (const auto& [name, digest] : digests_) {
+    HealthState state = digest.overall;
+    if (liveness(name, now, suspect_after_ns) == NodeLiveness::kSuspected) {
+      state = HealthState::kFailed;
+    }
+    if (static_cast<int>(state) > static_cast<int>(worst)) worst = state;
+  }
+  return worst;
+}
+
+std::string FleetHealthTable::render(TimeNs now,
+                                     TimeNs suspect_after_ns) const {
+  std::string out =
+      "node                 liveness   state     v     failing components\n";
+  char line[256];
+  for (const auto& [name, digest] : digests_) {
+    const NodeLiveness live = liveness(name, now, suspect_after_ns);
+    std::string failing;
+    for (const ComponentHealth& c : digest.components) {
+      if (c.state == HealthState::kHealthy) continue;
+      if (!failing.empty()) failing += ", ";
+      failing += c.name;
+      failing += '(';
+      failing += to_string(c.state);
+      failing += ')';
+    }
+    if (live == NodeLiveness::kSuspected) {
+      if (!failing.empty()) failing += ", ";
+      failing += "no heartbeat";
+    }
+    std::snprintf(
+        line, sizeof(line), "%-20s %-10s %-9s %-5llu %s\n", name.c_str(),
+        std::string(to_string(live)).c_str(),
+        std::string(to_string(live == NodeLiveness::kSuspected
+                                  ? HealthState::kFailed
+                                  : digest.overall))
+            .c_str(),
+        static_cast<unsigned long long>(digest.version), failing.c_str());
+    out += line;
+  }
+  return out;
+}
+
+NodeDigest make_digest(const std::string& node, const HealthRegistry& health,
+                       std::uint64_t version, TimeNs now) {
+  NodeDigest digest;
+  digest.node = node;
+  digest.version = version;
+  digest.updated = now;
+  digest.components = health.snapshot();
+  digest.overall = health.overall();
+  return digest;
+}
+
+}  // namespace pmove::fleet

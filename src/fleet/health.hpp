@@ -1,0 +1,81 @@
+// Fleet-wide health: versioned per-node digests and the anti-entropy table.
+//
+// Each node periodically folds its local HealthRegistry into a NodeDigest
+// (overall state + per-component rows) stamped with a monotonically
+// increasing version.  Digests travel two ways: the head pulls them
+// directly, and nodes swap whole tables peer-to-peer (gossip), merging by
+// "higher version wins" — so a node whose link to the head is dead is still
+// visible everywhere after O(log N) rounds, and a node that stops
+// refreshing its own digest ages out into `suspected` wherever its last
+// digest landed.  This is the DCDB/Wintermute property the ROADMAP carries:
+// a collector death on one node is routine, visible fleet-wide, and does
+// not require the dead node to be reachable from the observer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/health.hpp"
+#include "util/status.hpp"
+
+namespace pmove::fleet {
+
+/// One node's health as last heard: the gossip payload.
+struct NodeDigest {
+  std::string node;
+  std::uint64_t version = 0;  ///< bumped on every local refresh
+  TimeNs updated = 0;         ///< fleet time of that refresh (heartbeat)
+  HealthState overall = HealthState::kHealthy;
+  std::vector<ComponentHealth> components;
+};
+
+/// How an observer currently classifies a node.
+enum class NodeLiveness {
+  kAlive,      ///< heartbeat fresh
+  kSuspected,  ///< no heartbeat within the suspicion window
+};
+
+std::string_view to_string(NodeLiveness liveness);
+
+/// One observer's view of the whole fleet: node -> freshest digest seen.
+/// Thread-compatible (the gossip coordinator serializes access per table).
+class FleetHealthTable {
+ public:
+  /// Keeps `digest` iff it is newer (higher version) than what the table
+  /// holds for that node; returns true when the table changed.
+  bool merge(const NodeDigest& digest);
+
+  /// Merges every entry of `other`; returns the number that were newer.
+  std::size_t merge(const std::vector<NodeDigest>& other);
+
+  [[nodiscard]] std::vector<NodeDigest> snapshot() const;
+  [[nodiscard]] Expected<NodeDigest> digest(const std::string& node) const;
+  [[nodiscard]] std::size_t size() const { return digests_.size(); }
+
+  /// Liveness of `node` as seen at `now`: suspected when its digest is
+  /// absent or older than `suspect_after_ns`.
+  [[nodiscard]] NodeLiveness liveness(const std::string& node, TimeNs now,
+                                      TimeNs suspect_after_ns) const;
+
+  /// Worst health across the fleet at `now`: a suspected node counts as
+  /// failed even if its last digest was green — silence IS the failure.
+  [[nodiscard]] HealthState overall(TimeNs now,
+                                    TimeNs suspect_after_ns) const;
+
+  /// Fixed-width table for `pmove fleet` / `pmove health`: one row per
+  /// node (liveness, state, failing components), sorted by name.
+  [[nodiscard]] std::string render(TimeNs now,
+                                   TimeNs suspect_after_ns) const;
+
+ private:
+  std::map<std::string, NodeDigest> digests_;
+};
+
+/// Folds a HealthRegistry snapshot into a digest for `node` at `now`.
+NodeDigest make_digest(const std::string& node, const HealthRegistry& health,
+                       std::uint64_t version, TimeNs now);
+
+}  // namespace pmove::fleet

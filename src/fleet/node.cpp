@@ -1,0 +1,67 @@
+#include "fleet/node.hpp"
+
+namespace pmove::fleet {
+
+FleetNode::FleetNode(std::string name, NodeOptions options)
+    : name_(std::move(name)), options_(options) {
+  if (options_.health != nullptr) {
+    health_ = options_.health;
+  } else {
+    owned_health_ = std::make_unique<HealthRegistry>(options_.clock);
+    health_ = owned_health_.get();
+  }
+  ingest::IngestOptions ingest_options;
+  ingest_options.shard_count = options_.ingest_shards;
+  ingest_options.queue_capacity = options_.queue_capacity;
+  ingest_options.policy = options_.policy;
+  ingest_options.health = health_;
+  ingest_options.clock = options_.clock;
+  engine_ =
+      std::make_unique<ingest::IngestEngine>(std::move(ingest_options), &db_);
+}
+
+FleetNode::~FleetNode() { close(); }
+
+Status FleetNode::open() { return engine_->open(); }
+
+void FleetNode::close() { engine_->close(); }
+
+Status FleetNode::write_batch(std::vector<tsdb::Point> batch) {
+  return engine_->submit(std::move(batch));
+}
+
+Status FleetNode::flush() { return engine_->flush(); }
+
+Expected<std::vector<tsdb::Point>> FleetNode::collect(
+    const query::Query& q) const {
+  if (!db_.has_measurement(q.measurement)) {
+    return Status::not_found("measurement not found: " + q.measurement);
+  }
+  return db_.collect(q.measurement, q.time_min, q.time_max, q.tag_filters);
+}
+
+Expected<NodePartial> FleetNode::execute(const query::Query& q) const {
+  // collect + execute instead of the columnar fast path: the partial needs
+  // the matched-row count, and both evaluators are bit-for-bit identical.
+  auto matches = collect(q);
+  if (!matches) return matches.status();
+  NodePartial partial;
+  partial.matched = matches->size();
+  auto result = query::execute(query::make_plan(q), *matches);
+  if (!result) return result.status();
+  partial.result = std::move(result.value());
+  return partial;
+}
+
+void FleetNode::refresh_digest(TimeNs now) {
+  ++digest_version_;
+  table_.merge(make_digest(name_, *health_, digest_version_, now));
+}
+
+std::vector<NodeDigest> FleetNode::exchange(
+    const std::vector<NodeDigest>& offered) {
+  table_.merge(offered);
+  return table_.snapshot();
+}
+
+}  // namespace pmove::fleet

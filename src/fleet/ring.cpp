@@ -1,0 +1,126 @@
+#include "fleet/ring.hpp"
+
+#include <algorithm>
+
+namespace pmove::fleet {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_byte(std::uint64_t h, unsigned char c) {
+  h ^= c;
+  h *= kFnvPrime;
+  return h;
+}
+
+// Murmur3 finalizer.  FNV-1a alone is unusable for ring placement: strings
+// that differ only in a trailing digit hash to values that differ only in
+// their low bits, so every such series lands in the same ring segment.
+// The finalizer avalanches those low-bit differences across the word.
+std::uint64_t fmix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t series_key(std::string_view measurement,
+                         const std::map<std::string, std::string>& tags) {
+  std::uint64_t h = fnv1a(kFnvOffset, measurement);
+  for (const auto& [k, v] : tags) {  // map iterates in sorted key order
+    h = fnv1a_byte(h, 0x1f);         // unit separators keep ("a","bc")
+    h = fnv1a(h, k);                 // distinct from ("ab","c")
+    h = fnv1a_byte(h, 0x1e);
+    h = fnv1a(h, v);
+  }
+  return fmix64(h);
+}
+
+HashRing::HashRing(int vnodes) : vnodes_(std::max(1, vnodes)) {}
+
+Status HashRing::add_node(const std::string& node) {
+  if (contains(node)) {
+    return Status::already_exists("ring already has node: " + node);
+  }
+  for (int v = 0; v < vnodes_; ++v) {
+    std::uint64_t h = fnv1a(kFnvOffset, node);
+    h = fnv1a_byte(h, '#');
+    h = fnv1a(h, std::to_string(v));
+    // A vnode hash collision across nodes is astronomically unlikely but
+    // would silently drop a vnode; keep the first owner deterministically
+    // (insert does not overwrite).
+    ring_.emplace(fmix64(h), node);
+  }
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node), node);
+  return Status::ok();
+}
+
+Status HashRing::remove_node(const std::string& node) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) {
+    return Status::not_found("ring has no node: " + node);
+  }
+  nodes_.erase(it);
+  for (auto r = ring_.begin(); r != ring_.end();) {
+    r = r->second == node ? ring_.erase(r) : std::next(r);
+  }
+  return Status::ok();
+}
+
+bool HashRing::contains(const std::string& node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+std::vector<std::string> HashRing::nodes() const { return nodes_; }
+
+Expected<std::string> HashRing::owner(std::uint64_t key) const {
+  if (ring_.empty()) return Status::unavailable("hash ring is empty");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::string> HashRing::owners(std::uint64_t key, int n) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || n <= 0) return out;
+  const std::size_t want =
+      std::min<std::size_t>(static_cast<std::size_t>(n), nodes_.size());
+  auto it = ring_.lower_bound(key);
+  for (std::size_t steps = 0; out.size() < want && steps < ring_.size();
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> HashRing::distribution(
+    std::uint64_t sample_keys) const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& node : nodes_) counts[node] = 0;
+  for (std::uint64_t i = 0; i < sample_keys; ++i) {
+    // Sample the key space with the same mix the fleet's series keys use.
+    auto who = owner(fmix64(fnv1a(kFnvOffset, std::to_string(i))));
+    if (who) counts[*who] += 1;
+  }
+  return counts;
+}
+
+}  // namespace pmove::fleet

@@ -1,0 +1,110 @@
+#include "fleet/transport.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace pmove::fleet {
+
+void InProcessTransport::attach(FleetNode* node) {
+  std::unique_lock lock(mutex_);
+  nodes_[node->name()] = node;
+  node_down_[node->name()] = false;
+}
+
+void InProcessTransport::detach(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  nodes_.erase(name);
+  node_down_.erase(name);
+}
+
+void InProcessTransport::set_node_down(const std::string& node, bool down) {
+  std::unique_lock lock(mutex_);
+  node_down_[node] = down;
+}
+
+void InProcessTransport::set_link_down(const std::string& from,
+                                       const std::string& to, bool down) {
+  std::unique_lock lock(mutex_);
+  links_[{from, to}].down = down;
+}
+
+void InProcessTransport::set_link_latency(const std::string& from,
+                                          const std::string& to,
+                                          TimeNs latency) {
+  std::unique_lock lock(mutex_);
+  links_[{from, to}].latency_ns = latency;
+}
+
+Expected<FleetNode*> InProcessTransport::connect(const std::string& from,
+                                                 const std::string& to) {
+  TimeNs latency_ns = 0;
+  FleetNode* node = nullptr;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      return Status::not_found("fleet: unknown node: " + to);
+    }
+    auto down = node_down_.find(to);
+    if (down != node_down_.end() && down->second) {
+      return Status::unavailable("fleet: node down: " + to);
+    }
+    // A killed node cannot initiate traffic either (its gossip loop is
+    // part of the same dead process).
+    auto from_down = node_down_.find(from);
+    if (from_down != node_down_.end() && from_down->second) {
+      return Status::unavailable("fleet: node down: " + from);
+    }
+    auto link = links_.find({from, to});
+    if (link != links_.end()) {
+      if (link->second.down) {
+        return Status::unavailable("fleet: link down: " + from + " -> " + to);
+      }
+      latency_ns = link->second.latency_ns;
+    }
+    node = it->second;
+  }
+  // Sleep outside the lock: a slow link must not stall the whole fabric.
+  if (latency_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency_ns));
+  }
+  return node;
+}
+
+Status InProcessTransport::deliver(const std::string& to,
+                                   std::vector<tsdb::Point> batch) {
+  auto node = connect(kHeadNode, to);
+  if (!node) return node.status();
+  return node.value()->write_batch(std::move(batch));
+}
+
+Expected<std::vector<tsdb::Point>> InProcessTransport::collect(
+    const std::string& to, const query::Query& q) {
+  auto node = connect(kHeadNode, to);
+  if (!node) return node.status();
+  return node.value()->collect(q);
+}
+
+Expected<NodePartial> InProcessTransport::execute(const std::string& to,
+                                                  const query::Query& q) {
+  auto node = connect(kHeadNode, to);
+  if (!node) return node.status();
+  return node.value()->execute(q);
+}
+
+Expected<std::vector<NodeDigest>> InProcessTransport::exchange(
+    const std::string& from, const std::string& to,
+    const std::vector<NodeDigest>& digests) {
+  auto node = connect(from, to);
+  if (!node) return node.status();
+  return node.value()->exchange(digests);
+}
+
+Status InProcessTransport::flush(const std::string& to) {
+  auto node = connect(kHeadNode, to);
+  if (!node) return node.status();
+  return node.value()->flush();
+}
+
+}  // namespace pmove::fleet

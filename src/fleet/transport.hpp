@@ -1,0 +1,106 @@
+// Fleet transport seam: how bytes would move between nodes.
+//
+// The router, scatter path, and gossip all speak this interface, so the
+// in-process fleet and a future RPC fleet differ only in the Transport
+// implementation.  Everything crossing it is a value type (point batches,
+// typed queries, digests) — serializable by construction.
+//
+// InProcessTransport is today's implementation: a registry of FleetNode
+// pointers plus a per-link chaos model (down links, injected latency, the
+// switch a chaos test flips to "kill" a node without destroying its state).
+// Deterministic fault injection at the fleet level lives in the callers
+// (`fleet.route`, `fleet.scatter`, `fleet.gossip` PMOVE_FAULT points), so
+// any transport implementation inherits it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/health.hpp"
+#include "fleet/node.hpp"
+#include "query/query.hpp"
+#include "tsdb/point.hpp"
+#include "util/status.hpp"
+
+namespace pmove::fleet {
+
+/// The head's name on transport links ("" = the fleet front end itself);
+/// per-link chaos keyed (from, to) uses it for head->node links.
+inline constexpr char kHeadNode[] = "head";
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers a routed write sub-batch into `to`'s ingest tier.
+  virtual Status deliver(const std::string& to,
+                         std::vector<tsdb::Point> batch) = 0;
+
+  /// Raw matching rows of `q` on `to` (exact gather).
+  virtual Expected<std::vector<tsdb::Point>> collect(
+      const std::string& to, const query::Query& q) = 0;
+
+  /// Full local evaluation of `q` on `to` (pushdown gather).
+  virtual Expected<NodePartial> execute(const std::string& to,
+                                        const query::Query& q) = 0;
+
+  /// Anti-entropy exchange: offers `digests` to `to`, returns `to`'s
+  /// merged table.  `from` names the initiator (a node or kHeadNode) so
+  /// per-link chaos can cut specific pairs.
+  virtual Expected<std::vector<NodeDigest>> exchange(
+      const std::string& from, const std::string& to,
+      const std::vector<NodeDigest>& digests) = 0;
+
+  /// Drains `to`'s ingest queues (the fleet flush barrier).
+  virtual Status flush(const std::string& to) = 0;
+};
+
+class InProcessTransport final : public Transport {
+ public:
+  void attach(FleetNode* node);
+  void detach(const std::string& name);
+
+  // ---------------------------------------------------------- chaos model
+  /// Node kill switch: every message to `node` fails (from anyone).  The
+  /// node object itself is untouched — tests can revive it.
+  void set_node_down(const std::string& node, bool down);
+  /// Cuts one directed link (`from` = kHeadNode for head->node traffic).
+  void set_link_down(const std::string& from, const std::string& to,
+                     bool down);
+  /// Adds one-way latency (a real sleep) on the directed link.
+  void set_link_latency(const std::string& from, const std::string& to,
+                        TimeNs latency);
+
+  // ----------------------------------------------------------- Transport
+  Status deliver(const std::string& to,
+                 std::vector<tsdb::Point> batch) override;
+  Expected<std::vector<tsdb::Point>> collect(const std::string& to,
+                                             const query::Query& q) override;
+  Expected<NodePartial> execute(const std::string& to,
+                                const query::Query& q) override;
+  Expected<std::vector<NodeDigest>> exchange(
+      const std::string& from, const std::string& to,
+      const std::vector<NodeDigest>& digests) override;
+  Status flush(const std::string& to) override;
+
+ private:
+  struct Link {
+    bool down = false;
+    TimeNs latency_ns = 0;
+  };
+
+  /// Resolves `to` (checking the kill switch), applies link chaos
+  /// (latency sleep / cut), and returns the node — or the failure.
+  Expected<FleetNode*> connect(const std::string& from,
+                               const std::string& to);
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, FleetNode*> nodes_;
+  std::map<std::string, bool> node_down_;
+  std::map<std::pair<std::string, std::string>, Link> links_;
+};
+
+}  // namespace pmove::fleet

@@ -427,10 +427,20 @@ void IngestEngine::apply_batch(Shard& shard, Batch batch) {
 Status IngestEngine::deliver_batch(Shard& shard, Batch& batch) {
   CircuitBreaker& breaker = *shard.breaker;
   if (!breaker.allow()) return breaker.reject_status();
+  // Adaptive retry budget: without an explicit deadline, give this
+  // delivery clamp(multiplier x EWMA(latency), floor, cap) of wall time —
+  // observed behaviour, not a tuned constant, decides how long a retry
+  // storm may run.
+  RetryPolicy policy = options_.sink_retry;
+  if (options_.adaptive_sink_deadline && policy.deadline_ns == 0) {
+    policy.deadline_ns = options_.sink_latency_budget.deadline(
+        shard.sink_latency);
+  }
+  const TimeNs delivery_start = clock_->now();
   // The injection point sits before the batch is moved into the sink so a
   // simulated outage leaves it intact for parking and replay.
   Status injected =
-      retry(options_.sink_retry, *clock_, sleep_, shard.seed,
+      retry(policy, *clock_, sleep_, shard.seed,
             [] { return fault::point("tsdb.write_batch"); });
   if (!injected.is_ok()) {
     breaker.record_failure();
@@ -453,7 +463,28 @@ Status IngestEngine::deliver_batch(Shard& shard, Batch& batch) {
   m_inserted_->add(n);
   breaker.record_success();
   report_component(shard.healthy, breaker.name(), Status::ok());
+  // Only answered deliveries feed the latency estimate: a failed one
+  // measures the outage, not the sink's pace.
+  shard.sink_latency.update(
+      static_cast<double>(clock_->now() - delivery_start));
+  shard.sink_latency_ns.store(
+      static_cast<std::uint64_t>(shard.sink_latency.value()),
+      std::memory_order_relaxed);
   return Status::ok();
+}
+
+TimeNs IngestEngine::sink_deadline_ns(int shard) const {
+  if (options_.sink_retry.deadline_ns != 0) {
+    return options_.sink_retry.deadline_ns;
+  }
+  if (!options_.adaptive_sink_deadline) return 0;
+  // Read through the atomic mirror: this accessor runs off-worker.
+  Ewma mirror;
+  const std::uint64_t ewma_ns =
+      shards_[static_cast<std::size_t>(shard)]->sink_latency_ns.load(
+          std::memory_order_relaxed);
+  if (ewma_ns > 0) mirror.update(static_cast<double>(ewma_ns));
+  return options_.sink_latency_budget.deadline(mirror);
 }
 
 void IngestEngine::drain_parked(Shard& shard) {
@@ -785,6 +816,11 @@ IngestStats IngestEngine::stats() const {
   s.replayed_points = replayed_points_.load();
   s.rejected_points = rejected_points_.load();
   s.abandoned_points = abandoned_points_.load();
+  for (const auto& shard : shards_) {
+    s.sink_latency_ewma_ns =
+        std::max(s.sink_latency_ewma_ns,
+                 shard->sink_latency_ns.load(std::memory_order_relaxed));
+  }
   return s;
 }
 

@@ -47,6 +47,7 @@
 #include "tsdb/sink.hpp"
 #include "util/breaker.hpp"
 #include "util/clock.hpp"
+#include "util/ewma.hpp"
 #include "util/health.hpp"
 #include "util/retry.hpp"
 #include "util/status.hpp"
@@ -82,6 +83,19 @@ struct IngestOptions {
   /// Retry budget for one delivery attempt into the storage sink (per
   /// batch, inside the shard worker).
   RetryPolicy sink_retry;
+  /// Adaptive retry budget (ROADMAP): when enabled and `sink_retry` has no
+  /// explicit deadline, each shard derives its delivery deadline from the
+  /// EWMA of its observed sink latencies — deadline = clamp(multiplier x
+  /// ewma, floor, cap) — so a healthy 50 us sink fails fast while a sink
+  /// that legitimately takes 20 ms gets room, without retuning constants.
+  /// An explicit `sink_retry.deadline_ns` always wins.
+  bool adaptive_sink_deadline = true;
+  /// The floor doubles as the pre-warm-up deadline; it is deliberately far
+  /// above the worst-case jitter sleep of the default policy, so enabling
+  /// adaptation never tightens a default-configured engine.
+  LatencyBudget sink_latency_budget{.multiplier = 8.0,
+                                    .floor_ns = 250'000'000,
+                                    .cap_ns = 10'000'000'000};
   /// Retry budget for WAL appends (on the producer's submit path — keep
   /// the deadline short so submit latency stays bounded).
   RetryPolicy wal_retry{.max_attempts = 2, .deadline_ns = 50'000'000};
@@ -133,6 +147,9 @@ struct IngestStats {
   std::uint64_t rejected_points = 0; ///< poison batches the sink refused
   std::uint64_t abandoned_points = 0;  ///< parked points dropped at close()
                                        ///< (still WAL-durable)
+  /// Worst per-shard EWMA of observed sink delivery latency (0 until the
+  /// first delivery); the adaptive retry deadline is derived from this.
+  std::uint64_t sink_latency_ewma_ns = 0;
 };
 
 class IngestEngine final : public tsdb::PointSink {
@@ -245,6 +262,10 @@ class IngestEngine final : public tsdb::PointSink {
   [[nodiscard]] const CircuitBreaker& sink_breaker(int shard) const {
     return *shards_[static_cast<std::size_t>(shard)]->breaker;
   }
+  /// The delivery deadline shard `i` would use right now: the explicit
+  /// `sink_retry.deadline_ns` if set, else the EWMA-derived adaptive
+  /// budget (0 when adaptation is disabled too).
+  [[nodiscard]] TimeNs sink_deadline_ns(int shard) const;
   [[nodiscard]] const CircuitBreaker& wal_breaker() const {
     return *wal_breaker_;
   }
@@ -277,6 +298,11 @@ class IngestEngine final : public tsdb::PointSink {
     std::deque<Batch> parked;
     std::uint64_t seed = 0;          ///< retry-jitter stream
     std::atomic<bool> healthy{true};  ///< last reported sink health
+    // Adaptive retry budget: EWMA of successful delivery latencies,
+    // worker-confined (only this shard's worker updates or reads it on the
+    // delivery path); the atomic mirror is for stats()/introspection.
+    Ewma sink_latency;
+    std::atomic<std::uint64_t> sink_latency_ns{0};
     // Incremental aggregate state, touched only by this shard's worker
     // thread (and by close_windows/series_aggregates after a flush).
     mutable std::mutex agg_mutex;

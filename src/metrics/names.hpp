@@ -27,6 +27,9 @@ inline constexpr char kMeasurementDocdb[] = "pmove_docdb";
 /// Columnar storage engine: series/point counts, tag-dictionary size,
 /// resident column bytes (TimeSeriesDb::set_telemetry_instance).
 inline constexpr char kMeasurementTsdb[] = "pmove_tsdb";
+/// Fleet execution tier: routed writes, scatter/gather outcomes, degraded
+/// queries, gossip rounds, node liveness (Fleet::publish_self_telemetry).
+inline constexpr char kMeasurementFleet[] = "pmove_fleet";
 
 /// `instance` tag key on every exported point (which breaker, which shard,
 /// which health component the fields belong to).

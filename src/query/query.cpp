@@ -89,6 +89,17 @@ std::string_view to_string(Aggregate aggregate) {
   return "";
 }
 
+bool order_insensitive(Aggregate aggregate) {
+  switch (aggregate) {
+    case Aggregate::kMin:
+    case Aggregate::kMax:
+    case Aggregate::kCount:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Expected<Aggregate> parse_aggregate(std::string_view name) {
   for (Aggregate agg : kAggregates) {
     if (name == to_string(agg)) return agg;

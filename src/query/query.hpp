@@ -52,6 +52,14 @@ std::string_view to_string(Aggregate aggregate);
 /// parser ("unknown aggregate function: <name>").
 Expected<Aggregate> parse_aggregate(std::string_view name);
 
+/// True when the aggregate folds values with an operation whose result does
+/// not depend on evaluation order (min/max/count), so partial results from
+/// disjoint row sets can be merged exactly in any order.  Everything else
+/// (mean, sum, stddev: FP addition order; first/last: positional) must be
+/// re-evaluated over rows gathered in canonical order to stay bit-for-bit
+/// reproducible — the fleet gather path keys on this.
+[[nodiscard]] bool order_insensitive(Aggregate aggregate);
+
 /// One SELECT-list entry: a raw field or an aggregate over a field.
 struct Selector {
   std::string field;

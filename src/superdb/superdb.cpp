@@ -46,6 +46,19 @@ Status SuperDb::report_system(const kb::KnowledgeBase& knowledge_base) {
   return id ? Status::ok() : id.status();
 }
 
+Status SuperDb::report_fleet(json::Value snapshot) {
+  if (!snapshot.is_object()) {
+    return Status::invalid_argument("fleet report must be a JSON object");
+  }
+  snapshot.as_object().set("@type", "FleetHealthReport");
+  auto id = docs_.insert("fleet", std::move(snapshot));
+  return id ? Status::ok() : id.status();
+}
+
+std::vector<json::Value> SuperDb::fleet_reports() const {
+  return docs_.all("fleet");
+}
+
 Status SuperDb::report_observation_ts(
     const kb::KnowledgeBase& knowledge_base,
     const tsdb::TimeSeriesDb& local_db,

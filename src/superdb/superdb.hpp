@@ -48,6 +48,16 @@ class SuperDb {
       const ingest::IngestEngine& engine,
       const kb::ObservationInterface& observation);
 
+  /// Uploads a fleet-health snapshot (one document per report, collection
+  /// "fleet").  json-typed on purpose: superdb sits below the fleet tier,
+  /// so callers (daemon, CLI, tests) render the digest table to JSON —
+  /// typically {"head": ..., "time": ..., "nodes": [{"node", "liveness",
+  /// "state", "version"}, ...]} — and superdb stays fleet-agnostic.
+  Status report_fleet(json::Value snapshot);
+
+  /// All uploaded fleet-health snapshots, oldest first.
+  [[nodiscard]] std::vector<json::Value> fleet_reports() const;
+
   /// Hostnames of reported systems, sorted.
   [[nodiscard]] std::vector<std::string> systems() const;
 

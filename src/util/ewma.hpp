@@ -1,0 +1,73 @@
+// Exponentially weighted moving average + adaptive latency budgets.
+//
+// The delivery tier and the fleet's scatter path both need "how long does
+// this downstream usually take?" to derive deadlines from observed
+// behaviour instead of fixed policies (ROADMAP: adaptive retry budgets).
+// `Ewma` is the estimator; `LatencyBudget` turns it into a deadline:
+//
+//   deadline = clamp(multiplier * ewma, floor, cap)
+//
+// so a healthy 50 us sink gets a tight budget that fails fast when it
+// stalls, while a sink that legitimately takes 20 ms is given room —
+// without anyone retuning a constant.  Neither class is thread-safe on its
+// own; owners confine an instance to one worker (ingest shards) or guard it
+// with their existing mutex (the fleet engine's per-node state).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace pmove {
+
+class Ewma {
+ public:
+  /// `alpha` is the weight of each new sample (0 < alpha <= 1); the
+  /// default 0.2 means ~5 samples of memory — fast enough to track a sink
+  /// brownout, smooth enough to ignore one slow fsync.
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void update(double sample) {
+    if (count_ == 0) {
+      value_ = sample;  // seed with the first observation, no warm-up bias
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] std::uint64_t samples() const { return count_; }
+  [[nodiscard]] bool warmed_up() const { return count_ > 0; }
+
+  void reset() {
+    value_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Deadline derivation: multiplier * EWMA(observed latency), clamped to
+/// [floor, cap].  Before the first observation the floor is the deadline —
+/// a conservative budget until the downstream has shown its usual pace.
+struct LatencyBudget {
+  double multiplier = 8.0;
+  TimeNs floor_ns = 10'000'000;        // 10 ms
+  TimeNs cap_ns = 10'000'000'000;      // 10 s
+
+  [[nodiscard]] TimeNs deadline(const Ewma& ewma) const {
+    if (!ewma.warmed_up()) return floor_ns;
+    const double scaled = multiplier * ewma.value();
+    const double capped =
+        std::min(static_cast<double>(cap_ns),
+                 std::max(static_cast<double>(floor_ns), scaled));
+    return static_cast<TimeNs>(capped);
+  }
+};
+
+}  // namespace pmove

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "cluster/cluster.hpp"
 #include "kernels/kernels.hpp"
 
@@ -159,6 +161,89 @@ TEST(EmptyClusterTest, OperationsFailGracefully) {
       request, [](core::Daemon&, workload::LiveCounters&) { return 0.0; });
   EXPECT_FALSE(job.has_value());
   EXPECT_TRUE(cluster.jobs().empty());
+  EXPECT_EQ(cluster.fleet_write({}).code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(
+      cluster
+          .fleet_query(query::QueryBuilder("m").select("f").build())
+          .has_value());
+}
+
+TEST(ClusterHostnames, RepeatedJoinsStayUniqueAndOrdered) {
+  ClusterDaemon cluster;
+  // Many joins of the same preset: every hostname distinct, suffixes
+  // monotone, and each probe is a set lookup (no rescans of earlier joins).
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(cluster.add_node("skx").is_ok());
+  const auto nodes = cluster.nodes();
+  ASSERT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(nodes[0], "skx");
+  EXPECT_EQ(nodes[1], "skx-2");
+  EXPECT_EQ(nodes[7], "skx-8");
+  std::set<std::string> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), nodes.size());
+  // Interleaving another preset does not disturb skx's counter.
+  ASSERT_TRUE(cluster.add_node("zen3").is_ok());
+  ASSERT_TRUE(cluster.add_node("skx").is_ok());
+  EXPECT_EQ(cluster.nodes().back(), "skx-9");
+}
+
+// ------------------------------------------------------- execution tier
+
+TEST(ClusterFleetTest, NodesJoinFleetAndFabricIsSharded) {
+  ClusterDaemon cluster;
+  ASSERT_TRUE(cluster.add_node("icl").is_ok());
+  ASSERT_TRUE(cluster.enable_fleet().is_ok());
+  EXPECT_TRUE(cluster.fleet_enabled());
+  EXPECT_EQ(cluster.enable_fleet().code(), ErrorCode::kAlreadyExists);
+  // Nodes added after enable_fleet join the execution tier automatically.
+  ASSERT_TRUE(cluster.add_node("zen3").is_ok());
+  ASSERT_TRUE(cluster.add_node("icl").is_ok());
+  EXPECT_EQ(cluster.fleet().nodes(),
+            (std::vector<std::string>{"icl", "icl-2", "zen3"}));
+
+  // A job's fabric telemetry is mirrored into the fleet: the sharded count
+  // matches the cluster TSDB's.
+  JobRequest request;
+  request.command = "srun ./alltoall";
+  auto job = cluster.submit_job(
+      request, [](core::Daemon&, workload::LiveCounters&) { return 0.01; });
+  ASSERT_TRUE(job.has_value());
+  const std::size_t fabric_points =
+      cluster.fabric_telemetry().point_count("network_link_bytes");
+  EXPECT_EQ(fabric_points, 6u);  // 3 nodes -> 6 directed links
+  EXPECT_EQ(cluster.fleet().point_count(), fabric_points);
+
+  auto count = cluster.fleet_query(
+      query::QueryBuilder("network_link_bytes")
+          .select(query::Aggregate::kCount, "bytes")
+          .build());
+  ASSERT_TRUE(count.has_value()) << count.status().to_string();
+  EXPECT_FALSE(count->degraded());
+  ASSERT_EQ(count->result.rows.size(), 1u);
+  EXPECT_EQ(count->result.rows.front().back(),
+            static_cast<double>(fabric_points));
+}
+
+TEST(ClusterFleetTest, DirectFleetWritesAreQueryable) {
+  ClusterDaemon cluster;
+  ASSERT_TRUE(cluster.add_node("skx").is_ok());
+  ASSERT_TRUE(cluster.add_node("csl").is_ok());
+  ASSERT_TRUE(cluster.enable_fleet().is_ok());
+  std::vector<tsdb::Point> batch;
+  for (int i = 0; i < 10; ++i) {
+    tsdb::Point p;
+    p.measurement = "job_power";
+    p.tags["node"] = (i % 2 == 0) ? "skx" : "csl";
+    p.time = (i + 1) * 1'000;
+    p.fields["watts"] = 100.0 + i;
+    batch.push_back(std::move(p));
+  }
+  ASSERT_TRUE(cluster.fleet_write(std::move(batch)).is_ok());
+  ASSERT_TRUE(cluster.fleet().flush().is_ok());
+  auto max = cluster.fleet_query(query::QueryBuilder("job_power")
+                                     .select(query::Aggregate::kMax, "watts")
+                                     .build());
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(max->result.rows.front().back(), 109.0);
 }
 
 }  // namespace

@@ -697,6 +697,42 @@ TEST(IngestEngineTest, SeriesAggregatesMatchQueriedStats) {
   engine.close();
 }
 
+// ------------------------------------------------ adaptive sink deadlines
+
+TEST(IngestEngineTest, AdaptiveSinkDeadlineTracksDeliveryLatency) {
+  IngestOptions options;
+  options.shard_count = 1;
+  IngestEngine engine(options);
+  // Cold: no delivery observed yet, so the budget's conservative floor.
+  EXPECT_EQ(engine.sink_deadline_ns(0), options.sink_latency_budget.floor_ns);
+  ASSERT_TRUE(engine.open().is_ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        engine.write(make_point("cycles", i * 10, static_cast<double>(i)))
+            .is_ok());
+  }
+  ASSERT_TRUE(engine.flush().is_ok());
+  // Deliveries happened: the EWMA is live, and a fast in-memory sink stays
+  // clamped at the floor (tight budget, no retuning).
+  EXPECT_GT(engine.stats().sink_latency_ewma_ns, 0u);
+  EXPECT_EQ(engine.sink_deadline_ns(0), options.sink_latency_budget.floor_ns);
+  engine.close();
+}
+
+TEST(IngestEngineTest, ExplicitSinkDeadlineWinsOverAdaptive) {
+  IngestOptions options;
+  options.shard_count = 1;
+  options.sink_retry.deadline_ns = 123'000'000;
+  IngestEngine engine(options);
+  EXPECT_EQ(engine.sink_deadline_ns(0), 123'000'000);
+
+  IngestOptions fixed;
+  fixed.shard_count = 1;
+  fixed.adaptive_sink_deadline = false;
+  IngestEngine legacy(fixed);
+  EXPECT_EQ(legacy.sink_deadline_ns(0), 0);  // seed behaviour: no deadline
+}
+
 // ------------------------------------------------- sampler + external mode
 
 TEST(IngestEngineTest, ExternalModeFrontsSharedDb) {

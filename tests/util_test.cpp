@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "util/clock.hpp"
+#include "util/ewma.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 #include "util/strings.hpp"
@@ -191,6 +192,55 @@ TEST(ClockTest, WallClockMonotone) {
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
   const TimeNs b = clock.now();
   EXPECT_GT(b, a);
+}
+
+// ------------------------------------------------------------------ ewma
+
+TEST(EwmaTest, SeedsWithFirstSampleThenSmooths) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.warmed_up());
+  EXPECT_EQ(ewma.value(), 0.0);
+  ewma.update(100.0);
+  EXPECT_TRUE(ewma.warmed_up());
+  EXPECT_DOUBLE_EQ(ewma.value(), 100.0);  // no warm-up bias
+  ewma.update(200.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 150.0);
+  ewma.update(200.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 175.0);
+  EXPECT_EQ(ewma.samples(), 3u);
+  ewma.reset();
+  EXPECT_FALSE(ewma.warmed_up());
+  EXPECT_EQ(ewma.value(), 0.0);
+}
+
+TEST(EwmaTest, OneOutlierBarelyMovesDefaultAlpha) {
+  Ewma ewma;  // alpha 0.2
+  for (int i = 0; i < 20; ++i) ewma.update(50.0);
+  ewma.update(5'000.0);  // one slow fsync
+  EXPECT_LT(ewma.value(), 1'100.0);
+  // ...but a sustained shift is tracked within a few samples.
+  for (int i = 0; i < 10; ++i) ewma.update(5'000.0);
+  EXPECT_GT(ewma.value(), 4'000.0);
+}
+
+TEST(LatencyBudgetTest, DeadlineClampsBetweenFloorAndCap) {
+  const LatencyBudget budget{.multiplier = 8.0,
+                             .floor_ns = 10'000'000,
+                             .cap_ns = 10'000'000'000};
+  Ewma ewma;
+  // Cold: the conservative floor until the downstream shows its pace.
+  EXPECT_EQ(budget.deadline(ewma), 10'000'000);
+  // Healthy 50 us sink: 8x headroom would be 400 us — the floor wins.
+  ewma.update(50'000.0);
+  EXPECT_EQ(budget.deadline(ewma), 10'000'000);
+  // Legitimately slow 20 ms sink gets room without retuning a constant.
+  Ewma slow;
+  slow.update(20'000'000.0);
+  EXPECT_EQ(budget.deadline(slow), 160'000'000);
+  // A pathological estimate cannot exceed the cap.
+  Ewma stuck;
+  stuck.update(1e13);
+  EXPECT_EQ(budget.deadline(stuck), 10'000'000'000);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 //   pmove replay <dir> <host>                reopen a recorded session
 //   pmove ingest-bench [n] [shards] [batch]  per-point DB vs ingest engine
 //   pmove query-bench [panels] [refr] [n] [w]  read-path head-to-head
+//   pmove fleet [nodes] [series] [points]    execution-tier demo + chaos
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +35,7 @@
 #include "core/daemon.hpp"
 #include "dashboard/views.hpp"
 #include "fault/fault.hpp"
+#include "fleet/fleet.hpp"
 #include "ingest/engine.hpp"
 #include "kb/linked_query.hpp"
 #include "kernels/kernels.hpp"
@@ -74,6 +76,8 @@ int usage() {
       "  storage-bench [n] [tagsets] [fields]\n"
       "                                      columnar engine vs seed row "
       "store\n"
+      "  fleet [nodes] [series] [points]     execution-tier demo: sharded\n"
+      "                                      writes, scatter/gather, chaos\n"
       "presets: skx icl csl zen3   kernels: sum stream triad peakflops"
       " ddot daxpy\n"
       "env: PMOVE_FAULT=\"point=mode:arg[;point2=...]\" arms fault "
@@ -882,6 +886,112 @@ int cmd_storage_bench(int argc, char** argv) {
   return result.parity_ok ? 0 : 1;
 }
 
+// Fleet execution tier end to end: N in-process nodes behind the
+// consistent-hash router, synthetic series sharded across them, an exact
+// gather and a pushdown gather, then chaos — kill one node, show the
+// degraded result with nodes_missing, and let gossip age the silence into
+// fleet-wide suspicion.  PMOVE_FLEET_* knobs set the defaults.
+int cmd_fleet(int argc, char** argv) {
+  auto options = fleet::FleetOptions::from_env();
+  int node_count = options.default_nodes;
+  std::size_t series = 64;
+  std::size_t per_series = 40;
+  if (argc > 2) node_count = std::atoi(argv[2]);
+  if (argc > 3) series = static_cast<std::size_t>(std::atoll(argv[3]));
+  if (argc > 4) per_series = static_cast<std::size_t>(std::atoll(argv[4]));
+  if (node_count < 1 || series == 0 || per_series == 0) return usage();
+
+  fleet::Fleet f(options);
+  for (int i = 0; i < node_count; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "node-%02d", i + 1);
+    if (Status s = f.add_node(name); !s.is_ok()) {
+      std::fprintf(stderr, "add_node: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<tsdb::Point> batch;
+  batch.reserve(series * per_series);
+  for (std::size_t t = 0; t < per_series; ++t) {
+    for (std::size_t s = 0; s < series; ++s) {
+      tsdb::Point point;
+      point.measurement = "fleet_demo";
+      char id[24];
+      std::snprintf(id, sizeof(id), "s-%04zu", s);
+      point.tags["series"] = id;
+      point.time = static_cast<TimeNs>(t + 1) * 1'000'000;
+      point.fields["value"] =
+          static_cast<double>(s) + static_cast<double>(t) * 0.01;
+      batch.push_back(std::move(point));
+    }
+  }
+  if (Status s = f.write_batch(std::move(batch)); !s.is_ok()) {
+    std::fprintf(stderr, "write_batch: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  if (Status s = f.flush(); !s.is_ok()) {
+    std::fprintf(stderr, "flush: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("fleet: %d nodes, %zu series x %zu points, %zu stored\n",
+              node_count, series, per_series, f.point_count());
+  for (const auto& name : f.nodes()) {
+    auto node = f.node(name);
+    if (node) std::printf("  %-10s %8zu points\n", name.c_str(),
+                          (*node)->point_count());
+  }
+
+  TimeNs now = from_seconds(1.0);
+  for (int round = 0; round < 3; ++round) {
+    now += from_seconds(1.0);
+    f.tick(now);
+  }
+
+  const auto show = [](const char* label,
+                       const Expected<fleet::FleetQueryResult>& r) {
+    if (!r) {
+      std::printf("%-18s error: %s\n", label, r.status().to_string().c_str());
+      return;
+    }
+    std::printf("%-18s", label);
+    const auto& qr = r->result;
+    for (std::size_t c = 1; c < qr.columns.size(); ++c) {
+      std::printf(" %s=%.4f", qr.columns[c].c_str(),
+                  qr.rows.empty() ? 0.0 : qr.rows.front()[c]);
+    }
+    std::printf("  [%zu rows, %zu/%zu nodes%s]", qr.rows.size(),
+                r->nodes_with_data, r->nodes_queried,
+                r->pushdown ? ", pushdown" : "");
+    if (r->degraded()) {
+      std::printf("  MISSING:");
+      for (const auto& n : r->nodes_missing) std::printf(" %s", n.c_str());
+    }
+    std::printf("\n");
+  };
+
+  show("exact gather", f.query("SELECT mean(\"value\"), stddev(\"value\") "
+                               "FROM \"fleet_demo\""));
+  show("pushdown gather",
+       f.query("SELECT min(\"value\"), max(\"value\"), count(\"value\") "
+               "FROM \"fleet_demo\""));
+
+  // Chaos: the first node goes dark.  Queries keep answering — degraded,
+  // and saying so — and gossip ages the silence into suspicion.
+  const std::string victim = f.nodes().front();
+  f.transport().set_node_down(victim, true);
+  std::printf("\nchaos: %s down\n", victim.c_str());
+  show("degraded gather",
+       f.query("SELECT count(\"value\") FROM \"fleet_demo\""));
+
+  now += from_seconds(to_seconds(f.gossip().suspect_after_ns()) + 1.0);
+  f.tick(now);
+  f.publish_self_telemetry(now);
+  std::printf("\n%s", f.render_health(now).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -906,5 +1016,6 @@ int main(int argc, char** argv) {
   if (command == "ingest-bench") return cmd_ingest_bench(argc, argv);
   if (command == "query-bench") return cmd_query_bench(argc, argv);
   if (command == "storage-bench") return cmd_storage_bench(argc, argv);
+  if (command == "fleet") return cmd_fleet(argc, argv);
   return usage();
 }
