@@ -10,6 +10,7 @@
 
 #include "sampler/session.hpp"
 #include "topology/machine.hpp"
+#include "query/plan.hpp"
 #include "tsdb/db.hpp"
 
 using namespace pmove;
@@ -35,8 +36,9 @@ int main() {
     // Span still visible to dashboards after enforcement.
     double span_s = 0.0;
     for (const auto& measurement : db.measurements()) {
-      auto result = db.query("SELECT first(\"_cpu0\"), last(\"_cpu0\") FROM \"" +
-                             measurement + "\"");
+      auto result = query::run(
+          db, "SELECT first(\"_cpu0\"), last(\"_cpu0\") FROM \"" +
+                  measurement + "\"");
       if (result.has_value() && !result->rows.empty()) {
         span_s = 120.0 - to_seconds(static_cast<TimeNs>(
                              result->rows[0][0]));  // last row time ~ end

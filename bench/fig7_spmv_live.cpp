@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/daemon.hpp"
+#include "query/plan.hpp"
 #include "spmv/algorithms.hpp"
 #include "spmv/generators.hpp"
 #include "spmv/reorder.hpp"
@@ -107,7 +108,8 @@ int main() {
         // Sampled rows: evidence the live stream is replayable.
         auto queries = obs->generate_queries();
         if (!queries.empty()) {
-          auto rows = daemon.timeseries().query(queries.front());
+          auto rows =
+              query::run(daemon.timeseries(), queries.front());
           phase.sampled_rows =
               rows.has_value() ? rows->rows.size() : 0u;
         }

@@ -8,6 +8,7 @@
 #include "spmv/generators.hpp"
 #include "spmv/reorder.hpp"
 #include "topology/machine.hpp"
+#include "query/plan.hpp"
 #include "tsdb/db.hpp"
 
 using namespace pmove;
@@ -62,7 +63,8 @@ void BM_TsdbQuery(benchmark::State& state) {
     (void)db.write(std::move(point));
   }
   for (auto _ : state) {
-    auto result = db.query("SELECT \"_cpu0\" FROM \"m\" WHERE tag=\"a\"");
+    auto result =
+        query::run(db, "SELECT \"_cpu0\" FROM \"m\" WHERE tag=\"a\"");
     benchmark::DoNotOptimize(result);
   }
 }

@@ -10,6 +10,7 @@
 
 #include "cluster/cluster.hpp"
 #include "kernels/kernels.hpp"
+#include "query/plan.hpp"
 
 using namespace pmove;
 
@@ -77,7 +78,8 @@ int main() {
   }
 
   // Communication telemetry captured for the job window.
-  auto links = cluster.fabric_telemetry().query(
+  auto links = query::run(
+      cluster.fabric_telemetry(),
       "SELECT \"bytes\" FROM \"network_link_bytes\" WHERE from=\"skx\"");
   if (links.has_value() && !links->rows.empty()) {
     std::printf("\nfabric: skx sent %.1f MB during the job window\n",

@@ -126,23 +126,47 @@ Status Fleet::migrate_after_change() {
   std::vector<tsdb::Point> moved;
   for (auto& [name, node] : nodes_) {
     for (const std::string& m : node->db().measurements()) {
-      auto rows = node->db().collect(m, kTimeMin, kTimeMax, {});
-      std::vector<tsdb::Point> stay;
-      std::vector<tsdb::Point> move;
-      stay.reserve(rows.size());
-      for (tsdb::Point& p : rows) {
-        auto owner = router_.route(p);
-        if (!owner) return owner.status();
-        (*owner == name ? stay : move).push_back(std::move(p));
+      // Placement is per series, so one scan routes each tag set once and
+      // materializes only the series whose ring position moved — staying
+      // series are never copied or rewritten.  Moving rows are emitted in
+      // merged (time, seq) order across the moving series, the same order
+      // the old collect-everything path produced.
+      Status route_status = Status::ok();
+      std::vector<std::map<std::string, std::string>> moving_tags;
+      node->db().scan(
+          m, kTimeMin, kTimeMax, {},
+          [&](std::span<const tsdb::SeriesView> views) {
+            std::vector<tsdb::SeriesView> moving;
+            for (const tsdb::SeriesView& view : views) {
+              auto tags = view.decode_tags();
+              auto owner = router_.route_series(m, tags);
+              if (!owner) {
+                route_status = owner.status();
+                return;
+              }
+              if (*owner == name) continue;
+              moving.push_back(view);
+              moving_tags.push_back(std::move(tags));
+            }
+            for (const tsdb::ViewRow& ref : tsdb::merged_view_rows(moving)) {
+              const tsdb::SeriesView& view = moving[ref.view];
+              tsdb::Point p;
+              p.measurement = m;
+              p.tags = moving_tags[ref.view];
+              p.time = ref.time;
+              for (std::size_t f = 0; f < view.field_count(); ++f) {
+                if (!view.has_value(f, ref.loc)) continue;
+                p.fields.emplace_hint(p.fields.end(),
+                                      std::string(view.field_name(f)),
+                                      view.value_at(f, ref.loc));
+              }
+              moved.push_back(std::move(p));
+            }
+          });
+      if (!route_status.is_ok()) return route_status;
+      for (const auto& tags : moving_tags) {
+        node->db().drop_series(m, tags);
       }
-      if (move.empty()) continue;
-      node->db().drop_measurement(m);
-      if (!stay.empty()) {
-        if (Status s = node->db().write_batch(std::move(stay)); !s.is_ok()) {
-          return s;
-        }
-      }
-      for (tsdb::Point& p : move) moved.push_back(std::move(p));
     }
   }
   if (moved.empty()) return Status::ok();

@@ -6,6 +6,7 @@
 
 #include "fault/fault.hpp"
 #include "metrics/names.hpp"
+#include "query/plan.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -756,11 +757,11 @@ std::map<std::string, FieldAggregate> IngestEngine::series_aggregates(
 
 Expected<tsdb::QueryResult> IngestEngine::query(
     std::string_view text) const {
-  if (external_ != nullptr) return external_->query(text);
+  if (external_ != nullptr) return query::run(*external_, text);
   std::vector<const tsdb::TimeSeriesDb*> shards;
   shards.reserve(shards_.size());
   for (const auto& shard : shards_) shards.push_back(shard->storage.get());
-  return tsdb::query_sharded(shards, text);
+  return query::run_sharded(shards, text);
 }
 
 std::size_t IngestEngine::point_count() const {

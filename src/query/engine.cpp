@@ -170,20 +170,30 @@ Status QueryEngine::materialize_downsamples() {
 }
 
 Status QueryEngine::materialize(const DownsampleRule& rule) {
-  // One columnar scan: each slice IS a tag-set group in time order — the
-  // grouping the old path rebuilt by hashing every point's tag map — so
+  // One columnar scan: each view IS a tag-set group in (time, seq) order —
+  // the grouping the old path rebuilt by hashing every point's tag map — so
   // values are gathered in the same order and the reduced doubles are
   // bit-for-bit identical.
   std::vector<tsdb::Point> out;
   db_.scan(
       rule.source_measurement, std::numeric_limits<TimeNs>::min(),
       std::numeric_limits<TimeNs>::max(), {},
-      [&](std::span<const tsdb::SeriesSlice> slices) {
+      [&](std::span<const tsdb::SeriesView> views) {
         std::vector<double> values;
         std::vector<TimeNs> value_times;
-        for (const tsdb::SeriesSlice& slice : slices) {
-          const auto tags = slice.decode_tags();
-          const auto times = slice.times();
+        std::vector<tsdb::SeriesView::Loc> locs;
+        std::vector<TimeNs> times;
+        for (const tsdb::SeriesView& view : views) {
+          const auto tags = view.decode_tags();
+          locs.clear();
+          times.clear();
+          locs.reserve(view.rows());
+          times.reserve(view.rows());
+          view.for_each_row([&](tsdb::SeriesView::Loc loc, TimeNs time,
+                                std::uint64_t) {
+            locs.push_back(loc);
+            times.push_back(time);
+          });
           std::size_t i = 0;
           while (i < times.size()) {
             const auto floor_bucket = [&rule](TimeNs t) {
@@ -200,18 +210,16 @@ Status QueryEngine::materialize(const DownsampleRule& rule) {
             target.measurement = rule.target_measurement;
             target.tags = tags;
             target.time = bucket;
-            for (std::size_t f = 0; f < slice.field_count(); ++f) {
-              const std::uint8_t* present = slice.present(f);
-              const auto column = slice.values(f);
+            for (std::size_t f = 0; f < view.field_count(); ++f) {
               values.clear();
               value_times.clear();
               for (std::size_t r = i; r < j; ++r) {
-                if (present != nullptr && present[r] == 0) continue;
-                values.push_back(column[r]);
+                if (!view.has_value(f, locs[r])) continue;
+                values.push_back(view.value_at(f, locs[r]));
                 value_times.push_back(times[r]);
               }
               if (values.empty()) continue;  // field absent in this bucket
-              target.fields[std::string(slice.field_name(f))] =
+              target.fields[std::string(view.field_name(f))] =
                   aggregate(rule.aggregate, values, value_times);
             }
             out.push_back(std::move(target));
@@ -247,30 +255,22 @@ std::optional<tsdb::QueryResult> QueryEngine::run_pushdown(
   std::optional<tsdb::QueryResult> out;
   db_.scan(
       rule.target_measurement, q.time_min, q.time_max, q.tag_filters,
-      [&](std::span<const tsdb::SeriesSlice> slices) {
-        if (slices.empty()) return;  // absent/empty target: fall back
+      [&](std::span<const tsdb::SeriesView> views) {
+        if (views.empty()) return;  // absent/empty target: fall back
         // Raw evaluation merges every matching tag set into one bucket row;
         // the target holds one point per (window, tag set).  Two target
         // rows with the same timestamp therefore mean the raw scan would
         // have combined values the downsample already reduced separately —
         // fall back.
-        std::vector<tsdb::MergedRowRef> refs;
-        if (slices.size() > 1) {
-          refs = tsdb::merged_rows(slices);
-          for (std::size_t i = 1; i < refs.size(); ++i) {
-            if (refs[i].time == refs[i - 1].time) return;
-          }
-        } else {
-          const auto times = slices[0].times();
-          for (std::size_t i = 1; i < times.size(); ++i) {
-            if (times[i] == times[i - 1]) return;
-          }
+        const std::vector<tsdb::ViewRow> refs = tsdb::merged_view_rows(views);
+        for (std::size_t i = 1; i < refs.size(); ++i) {
+          if (refs[i].time == refs[i - 1].time) return;
         }
-        std::vector<std::vector<std::size_t>> field_of(slices.size());
-        for (std::size_t si = 0; si < slices.size(); ++si) {
-          field_of[si].reserve(q.selectors.size());
+        std::vector<std::vector<std::size_t>> field_of(views.size());
+        for (std::size_t vi = 0; vi < views.size(); ++vi) {
+          field_of[vi].reserve(q.selectors.size());
           for (const Selector& sel : q.selectors) {
-            field_of[si].push_back(slices[si].field_index(sel.field));
+            field_of[vi].push_back(views[vi].field_index(sel.field));
           }
         }
         tsdb::QueryResult result;
@@ -278,35 +278,22 @@ std::optional<tsdb::QueryResult> QueryEngine::run_pushdown(
         for (const Selector& sel : q.selectors) {
           result.columns.push_back(sel.label());
         }
-        const auto emit = [&](std::size_t si, std::size_t row, TimeNs time) {
-          const tsdb::SeriesSlice& slice = slices[si];
+        result.rows.reserve(refs.size());
+        for (const tsdb::ViewRow& ref : refs) {
+          const tsdb::SeriesView& view = views[ref.view];
           std::vector<double> values;
           values.reserve(q.selectors.size() + 1);
-          values.push_back(static_cast<double>(time));
+          values.push_back(static_cast<double>(ref.time));
           for (std::size_t s = 0; s < q.selectors.size(); ++s) {
-            const std::size_t field = field_of[si][s];
-            if (field >= slice.field_count()) {
+            const std::size_t field = field_of[ref.view][s];
+            if (field >= view.field_count() ||
+                !view.has_value(field, ref.loc)) {
               values.push_back(std::nan(""));
               continue;
             }
-            const std::uint8_t* present = slice.present(field);
-            values.push_back(present != nullptr && present[row] == 0
-                                 ? std::nan("")
-                                 : slice.values(field)[row]);
+            values.push_back(view.value_at(field, ref.loc));
           }
           result.rows.push_back(std::move(values));
-        };
-        if (slices.size() > 1) {
-          result.rows.reserve(refs.size());
-          for (const tsdb::MergedRowRef& ref : refs) {
-            emit(ref.slice, ref.row, ref.time);
-          }
-        } else {
-          const auto times = slices[0].times();
-          result.rows.reserve(times.size());
-          for (std::size_t r = 0; r < times.size(); ++r) {
-            emit(0, r, times[r]);
-          }
         }
         out = std::move(result);
       });

@@ -170,18 +170,18 @@ TimeNs bucket_start(TimeNs time, TimeNs interval) {
   return bucket;
 }
 
-// Resolves SELECT * against the slices: the union of fields present in at
+// Resolves SELECT * against the views: the union of fields present in at
 // least one matched row, sorted — the same set (and final order) the
 // point-based path derives from the materialized matches.
 std::vector<Selector> resolve_selectors(
-    const Query& q, std::span<const tsdb::SeriesSlice> slices) {
+    const Query& q, std::span<const tsdb::SeriesView> views) {
   std::vector<Selector> selectors = q.selectors;
   if (q.select_all) {
     std::vector<std::string> fields;
-    for (const tsdb::SeriesSlice& slice : slices) {
-      for (std::size_t f = 0; f < slice.field_count(); ++f) {
-        if (!slice.any_present(f)) continue;
-        std::string name(slice.field_name(f));
+    for (const tsdb::SeriesView& view : views) {
+      for (std::size_t f = 0; f < view.field_count(); ++f) {
+        if (!view.any_present(f)) continue;
+        std::string name(view.field_name(f));
         if (std::find(fields.begin(), fields.end(), name) == fields.end()) {
           fields.push_back(std::move(name));
         }
@@ -196,26 +196,26 @@ std::vector<Selector> resolve_selectors(
 }
 
 // Present values (and their times) of one selector within rows
-// [begin, end) of a single slice.  Fully-present columns come back as spans
-// aliasing the columns directly — zero copy, zero gather; ragged columns
-// gather into the scratch vectors.
-void gather_slice_field(const tsdb::SeriesSlice& slice, std::size_t field,
-                        std::size_t begin, std::size_t end,
-                        std::vector<double>& value_scratch,
-                        std::vector<TimeNs>& time_scratch,
-                        std::span<const double>& values,
-                        std::span<const TimeNs>& times) {
-  if (field >= slice.field_count()) {
+// [begin, end) of a single contiguous view.  Fully-present columns come
+// back as spans aliasing the columns directly — zero copy, zero gather;
+// ragged columns gather into the scratch vectors.
+void gather_view_field(const tsdb::SeriesView& view, std::size_t field,
+                       std::size_t begin, std::size_t end,
+                       std::vector<double>& value_scratch,
+                       std::vector<TimeNs>& time_scratch,
+                       std::span<const double>& values,
+                       std::span<const TimeNs>& times) {
+  if (field >= view.field_count()) {
     values = {};
     times = {};
     return;
   }
-  const auto column = slice.values(field);
-  const auto slice_times = slice.times();
-  const std::uint8_t* present = slice.present(field);
+  const auto column = view.values(field);
+  const auto view_times = view.times();
+  const std::uint8_t* present = view.present(field);
   if (present == nullptr) {
     values = column.subspan(begin, end - begin);
-    times = slice_times.subspan(begin, end - begin);
+    times = view_times.subspan(begin, end - begin);
     return;
   }
   value_scratch.clear();
@@ -223,7 +223,7 @@ void gather_slice_field(const tsdb::SeriesSlice& slice, std::size_t field,
   for (std::size_t r = begin; r < end; ++r) {
     if (present[r] == 0) continue;
     value_scratch.push_back(column[r]);
-    time_scratch.push_back(slice_times[r]);
+    time_scratch.push_back(view_times[r]);
   }
   values = value_scratch;
   times = time_scratch;
@@ -232,9 +232,9 @@ void gather_slice_field(const tsdb::SeriesSlice& slice, std::size_t field,
 }  // namespace
 
 Expected<tsdb::QueryResult> execute_columnar(
-    const Plan& plan, std::span<const tsdb::SeriesSlice> slices) {
+    const Plan& plan, std::span<const tsdb::SeriesView> views) {
   const Query& q = plan.query;
-  const std::vector<Selector> selectors = resolve_selectors(q, slices);
+  const std::vector<Selector> selectors = resolve_selectors(q, views);
 
   tsdb::QueryResult result;
   result.columns.emplace_back("time");
@@ -255,25 +255,26 @@ Expected<tsdb::QueryResult> execute_columnar(
     }
   }
 
-  // Per-slice, per-selector field indices, resolved once.
-  std::vector<std::vector<std::size_t>> field_of(slices.size());
-  for (std::size_t si = 0; si < slices.size(); ++si) {
-    field_of[si].reserve(selectors.size());
+  // Per-view, per-selector field indices, resolved once.
+  std::vector<std::vector<std::size_t>> field_of(views.size());
+  for (std::size_t vi = 0; vi < views.size(); ++vi) {
+    field_of[vi].reserve(selectors.size());
     for (const auto& sel : selectors) {
-      field_of[si].push_back(slices[si].field_index(sel.field));
+      field_of[vi].push_back(views[vi].field_index(sel.field));
     }
   }
 
   std::vector<double> value_scratch;
   std::vector<TimeNs> time_scratch;
 
-  if (slices.size() == 1) {
-    // Fast path: one matching series.  Rows are already in (time, seq)
-    // order; aggregates run directly over the contiguous column slices.
-    const tsdb::SeriesSlice& slice = slices[0];
-    const std::size_t rows = slice.rows();
+  if (views.size() == 1 && views[0].contiguous()) {
+    // Fast path: one matching series, fully compacted.  Rows are already
+    // in (time, seq) order; aggregates run directly over the contiguous
+    // column spans.
+    const tsdb::SeriesView& view = views[0];
+    const std::size_t rows = view.rows();
     if (q.group_interval > 0) {
-      const auto times = slice.times();
+      const auto times = view.times();
       std::size_t i = 0;
       while (i < rows) {
         const TimeNs bucket = bucket_start(times[i], q.group_interval);
@@ -288,8 +289,8 @@ Expected<tsdb::QueryResult> execute_columnar(
         for (std::size_t s = 0; s < selectors.size(); ++s) {
           std::span<const double> values;
           std::span<const TimeNs> value_times;
-          gather_slice_field(slice, field_of[0][s], i, j, value_scratch,
-                             time_scratch, values, value_times);
+          gather_view_field(view, field_of[0][s], i, j, value_scratch,
+                            time_scratch, values, value_times);
           row.push_back(
               aggregate(selectors[s].aggregate, values, value_times));
         }
@@ -302,18 +303,18 @@ Expected<tsdb::QueryResult> execute_columnar(
       std::vector<double> row;
       row.reserve(selectors.size() + 1);
       row.push_back(rows == 0 ? 0.0
-                              : static_cast<double>(slice.times()[rows - 1]));
+                              : static_cast<double>(view.times()[rows - 1]));
       for (std::size_t s = 0; s < selectors.size(); ++s) {
         std::span<const double> values;
         std::span<const TimeNs> value_times;
-        gather_slice_field(slice, field_of[0][s], 0, rows, value_scratch,
-                           time_scratch, values, value_times);
+        gather_view_field(view, field_of[0][s], 0, rows, value_scratch,
+                          time_scratch, values, value_times);
         row.push_back(aggregate(selectors[s].aggregate, values, value_times));
       }
       result.rows.push_back(std::move(row));
       return result;
     }
-    const auto times = slice.times();
+    const auto times = view.times();
     result.rows.reserve(rows);
     for (std::size_t r = 0; r < rows; ++r) {
       std::vector<double> row;
@@ -321,23 +322,23 @@ Expected<tsdb::QueryResult> execute_columnar(
       row.push_back(static_cast<double>(times[r]));
       for (std::size_t s = 0; s < selectors.size(); ++s) {
         const std::size_t field = field_of[0][s];
-        if (field >= slice.field_count()) {
+        if (field >= view.field_count()) {
           row.push_back(std::nan(""));
           continue;
         }
-        const std::uint8_t* present = slice.present(field);
+        const std::uint8_t* present = view.present(field);
         row.push_back(present != nullptr && present[r] == 0
                           ? std::nan("")
-                          : slice.values(field)[r]);
+                          : view.values(field)[r]);
       }
       result.rows.push_back(std::move(row));
     }
     return result;
   }
 
-  // General path: several matching series, merged into the seed row
-  // store's (time, seq) point order before evaluation.
-  const std::vector<tsdb::MergedRowRef> refs = tsdb::merged_rows(slices);
+  // General path: several matching series (or one with live runs), merged
+  // into the seed row store's (time, seq) point order before evaluation.
+  const std::vector<tsdb::ViewRow> refs = tsdb::merged_view_rows(views);
   // Gathers one selector's present values across refs [begin, end).
   auto gather_refs = [&](std::size_t selector, std::size_t begin,
                          std::size_t end, std::span<const double>& values,
@@ -345,13 +346,12 @@ Expected<tsdb::QueryResult> execute_columnar(
     value_scratch.clear();
     time_scratch.clear();
     for (std::size_t i = begin; i < end; ++i) {
-      const tsdb::MergedRowRef& ref = refs[i];
-      const std::size_t field = field_of[ref.slice][selector];
-      const tsdb::SeriesSlice& slice = slices[ref.slice];
-      if (field >= slice.field_count()) continue;
-      const std::uint8_t* present = slice.present(field);
-      if (present != nullptr && present[ref.row] == 0) continue;
-      value_scratch.push_back(slice.values(field)[ref.row]);
+      const tsdb::ViewRow& ref = refs[i];
+      const std::size_t field = field_of[ref.view][selector];
+      const tsdb::SeriesView& view = views[ref.view];
+      if (field >= view.field_count()) continue;
+      if (!view.has_value(field, ref.loc)) continue;
+      value_scratch.push_back(view.value_at(field, ref.loc));
       time_scratch.push_back(ref.time);
     }
     values = value_scratch;
@@ -396,21 +396,18 @@ Expected<tsdb::QueryResult> execute_columnar(
     return result;
   }
   result.rows.reserve(refs.size());
-  for (const tsdb::MergedRowRef& ref : refs) {
-    const tsdb::SeriesSlice& slice = slices[ref.slice];
+  for (const tsdb::ViewRow& ref : refs) {
+    const tsdb::SeriesView& view = views[ref.view];
     std::vector<double> row;
     row.reserve(selectors.size() + 1);
     row.push_back(static_cast<double>(ref.time));
     for (std::size_t s = 0; s < selectors.size(); ++s) {
-      const std::size_t field = field_of[ref.slice][s];
-      if (field >= slice.field_count()) {
+      const std::size_t field = field_of[ref.view][s];
+      if (field >= view.field_count() || !view.has_value(field, ref.loc)) {
         row.push_back(std::nan(""));
         continue;
       }
-      const std::uint8_t* present = slice.present(field);
-      row.push_back(present != nullptr && present[ref.row] == 0
-                        ? std::nan("")
-                        : slice.values(field)[ref.row]);
+      row.push_back(view.value_at(field, ref.loc));
     }
     result.rows.push_back(std::move(row));
   }
@@ -424,12 +421,12 @@ Expected<tsdb::QueryResult> run(const tsdb::TimeSeriesDb& db,
   }
   const Plan plan = make_plan(q);
   // Evaluate inside the scan callback: aggregates fold directly over the
-  // column slices, no Point materialization.  A measurement dropped between
+  // series views, no Point materialization.  A measurement dropped between
   // the check above and the scan behaves like the seed (empty result).
   Expected<tsdb::QueryResult> out = tsdb::QueryResult{};
   db.scan(q.measurement, q.time_min, q.time_max, q.tag_filters,
-          [&](std::span<const tsdb::SeriesSlice> slices) {
-            out = execute_columnar(plan, slices);
+          [&](std::span<const tsdb::SeriesView> views) {
+            out = execute_columnar(plan, views);
           });
   return out;
 }

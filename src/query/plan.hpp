@@ -53,13 +53,13 @@ double aggregate(Aggregate agg, std::span<const double> values,
 Expected<tsdb::QueryResult> execute(const Plan& plan,
                                     const std::vector<tsdb::Point>& matches);
 
-/// Evaluates a plan directly over zero-copy column slices, inside a
-/// TimeSeriesDb::scan() callback.  Aggregates run over the contiguous
-/// columns (no Point materialization); results are bit-for-bit identical
-/// to execute() over the same rows collected as points, including the
-/// order floating-point folds happen in.
+/// Evaluates a plan directly over zero-copy SeriesView cursors, inside a
+/// TimeSeriesDb::scan() callback.  Aggregates run over the views' rows in
+/// merged (time, seq) order (no Point materialization); results are
+/// bit-for-bit identical to execute() over the same rows collected as
+/// points, including the order floating-point folds happen in.
 Expected<tsdb::QueryResult> execute_columnar(
-    const Plan& plan, std::span<const tsdb::SeriesSlice> slices);
+    const Plan& plan, std::span<const tsdb::SeriesView> views);
 
 /// Parse-free typed execution against one DB: collect + execute.  This is
 /// the uncached read path the deprecated TimeSeriesDb::query() wraps.

@@ -1,7 +1,9 @@
 #include "query/storage_bench.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -25,15 +27,43 @@ double seconds_since(Clock::time_point start) {
 /// The seed storage model: one time-sorted vector of Points per
 /// measurement, reads answered by copying every match out and handing the
 /// copies to the shared evaluator — exactly the collect + execute shape
-/// TimeSeriesDb::query() had before the columnar engine.
+/// TimeSeriesDb::query() had before the columnar engine.  insert() mirrors
+/// the seed write path faithfully: batch validation, line-protocol
+/// wire-byte accounting per point, and stable tail sort + merge to restore
+/// time order after out-of-order arrivals (an in-order append keeps both
+/// steps at a linear scan).
 class RowStore {
  public:
-  void insert(std::vector<tsdb::Point> batch) {
-    for (tsdb::Point& p : batch) {
-      rows_[p.measurement].push_back(std::move(p));
+  Status insert(std::vector<tsdb::Point> batch) {
+    for (const tsdb::Point& p : batch) {
+      if (p.measurement.empty()) {
+        return Status::invalid_argument("point missing measurement");
+      }
+      if (p.fields.empty()) {
+        return Status::invalid_argument("point has no fields");
+      }
     }
-    // The generator emits in time order; the seed kept insertion order and
-    // sorted on demand, so an already-sorted append costs nothing extra.
+    std::map<std::string, std::size_t> old_sizes;
+    for (tsdb::Point& p : batch) {
+      auto& points = rows_[p.measurement];
+      old_sizes.emplace(p.measurement, points.size());
+      bytes_written_ += p.wire_size();
+      points.push_back(std::move(p));
+    }
+    const auto by_time = [](const tsdb::Point& a, const tsdb::Point& b) {
+      return a.time < b.time;
+    };
+    for (const auto& [measurement, old_size] : old_sizes) {
+      auto& points = rows_[measurement];
+      const auto tail = points.begin() + static_cast<std::ptrdiff_t>(old_size);
+      if (!std::is_sorted(tail, points.end(), by_time)) {
+        std::stable_sort(tail, points.end(), by_time);
+      }
+      if (old_size > 0 && tail->time < points[old_size - 1].time) {
+        std::inplace_merge(points.begin(), tail, points.end(), by_time);
+      }
+    }
+    return Status::ok();
   }
 
   [[nodiscard]] Expected<tsdb::QueryResult> query(const Query& q) const {
@@ -86,6 +116,7 @@ class RowStore {
 
  private:
   std::map<std::string, std::vector<tsdb::Point>> rows_;
+  std::size_t bytes_written_ = 0;
 };
 
 std::vector<tsdb::Point> make_workload(const StorageBenchConfig& config) {
@@ -166,7 +197,8 @@ StorageBenchResult run_storage_bench(const StorageBenchConfig& config) {
   RowStore rows;
   {
     const auto start = Clock::now();
-    batches_of([&](std::vector<tsdb::Point> b) { rows.insert(std::move(b)); });
+    batches_of(
+        [&](std::vector<tsdb::Point> b) { (void)rows.insert(std::move(b)); });
     result.row_write_mps =
         static_cast<double>(config.points) / seconds_since(start) / 1e6;
   }
@@ -228,11 +260,88 @@ StorageBenchResult run_storage_bench(const StorageBenchConfig& config) {
       static_cast<double>(config.points);
   result.row_bytes_per_point = static_cast<double>(rows.resident_bytes()) /
                                static_cast<double>(config.points);
+
+  // ------------------------------------------------- mixed read/write phase
+  // Same values, but arrival order shuffled within fixed-size blocks — the
+  // stream is out of order within a few batches' distance, so the row store
+  // pays its tail sort + merge per batch and the columnar engine exercises
+  // the arrival-order active run.  One aggregate read runs on both stores
+  // every `mixed_read_every` batches; every read pair must match
+  // bit-for-bit (same lazily-restored (time, seq) order on both sides).
+  std::vector<tsdb::Point> shuffled = workload;
+  std::uint64_t rng = 0x2545F4914F6CDD1DULL;
+  constexpr std::size_t kShuffleBlock = 16384;
+  for (std::size_t base = 0; base < shuffled.size(); base += kShuffleBlock) {
+    const std::size_t n = std::min(kShuffleBlock, shuffled.size() - base);
+    for (std::size_t i = n - 1; i > 0; --i) {
+      rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+      std::swap(shuffled[base + i], shuffled[base + (rng >> 33) % (i + 1)]);
+    }
+  }
+  tsdb::TimeSeriesDb mixed_columnar;
+  RowStore mixed_rows;
+  double columnar_write_s = 0.0;
+  double row_write_s = 0.0;
+  double columnar_read_s = 0.0;
+  double row_read_s = 0.0;
+  std::size_t scanned = 0;
+  std::size_t written = 0;
+  std::size_t batch_index = 0;
+  result.mixed_parity_ok = true;
+  const std::size_t read_every = std::max<std::size_t>(
+      1, config.mixed_read_every);
+  for (std::size_t i = 0; i < shuffled.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, shuffled.size() - i);
+    std::vector<tsdb::Point> a(shuffled.begin() + i,
+                               shuffled.begin() + i + n);
+    std::vector<tsdb::Point> b(shuffled.begin() + i,
+                               shuffled.begin() + i + n);
+    auto start = Clock::now();
+    (void)mixed_columnar.write_batch(std::move(a));
+    columnar_write_s += seconds_since(start);
+    start = Clock::now();
+    (void)mixed_rows.insert(std::move(b));
+    row_write_s += seconds_since(start);
+    written += n;
+    ++batch_index;
+    if (batch_index % read_every == 0 || written == shuffled.size()) {
+      start = Clock::now();
+      const auto columnar_result = run(mixed_columnar, agg_query);
+      columnar_read_s += seconds_since(start);
+      start = Clock::now();
+      const auto row_result = mixed_rows.query(agg_query);
+      row_read_s += seconds_since(start);
+      scanned += written;
+      if (!columnar_result.has_value() || !row_result.has_value() ||
+          !same_result(columnar_result.value(), row_result.value())) {
+        result.mixed_parity_ok = false;
+      }
+    }
+  }
+  // Final sweep over every query shape — the stores must agree after the
+  // whole out-of-order stream has landed, however rows are distributed
+  // across runs.
+  for (const Query* q : {&agg_query, &grouped_query, &filtered_query}) {
+    const auto columnar_result = run(mixed_columnar, *q);
+    const auto row_result = mixed_rows.query(*q);
+    if (!columnar_result.has_value() || !row_result.has_value() ||
+        !same_result(columnar_result.value(), row_result.value())) {
+      result.mixed_parity_ok = false;
+    }
+  }
+  result.mixed_columnar_write_mps =
+      static_cast<double>(config.points) / columnar_write_s / 1e6;
+  result.mixed_row_write_mps =
+      static_cast<double>(config.points) / row_write_s / 1e6;
+  result.mixed_columnar_aggregate_mps =
+      static_cast<double>(scanned) / columnar_read_s / 1e6;
+  result.mixed_row_aggregate_mps =
+      static_cast<double>(scanned) / row_read_s / 1e6;
   return result;
 }
 
 std::string to_json(const StorageBenchResult& r) {
-  char buffer[1536];
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\n"
@@ -250,15 +359,26 @@ std::string to_json(const StorageBenchResult& r) {
       "  \"columnar_bytes_per_point\": %.1f,\n"
       "  \"row_bytes_per_point\": %.1f,\n"
       "  \"aggregate_speedup\": %.2f,\n"
+      "  \"write_ratio\": %.2f,\n"
       "  \"memory_ratio\": %.2f,\n"
-      "  \"parity_ok\": %s\n"
+      "  \"parity_ok\": %s,\n"
+      "  \"mixed_columnar_write_mps\": %.3f,\n"
+      "  \"mixed_row_write_mps\": %.3f,\n"
+      "  \"mixed_columnar_aggregate_mps\": %.3f,\n"
+      "  \"mixed_row_aggregate_mps\": %.3f,\n"
+      "  \"mixed_write_ratio\": %.2f,\n"
+      "  \"mixed_parity_ok\": %s\n"
       "}\n",
       r.config.points, r.config.tagsets, r.config.fields,
       r.columnar_write_mps, r.row_write_mps, r.columnar_aggregate_mps,
       r.row_aggregate_mps, r.columnar_grouped_mps, r.row_grouped_mps,
       r.columnar_filtered_mps, r.row_filtered_mps,
       r.columnar_bytes_per_point, r.row_bytes_per_point,
-      r.aggregate_speedup(), r.memory_ratio(), r.parity_ok ? "true" : "false");
+      r.aggregate_speedup(), r.write_ratio(), r.memory_ratio(),
+      r.parity_ok ? "true" : "false", r.mixed_columnar_write_mps,
+      r.mixed_row_write_mps, r.mixed_columnar_aggregate_mps,
+      r.mixed_row_aggregate_mps, r.mixed_write_ratio(),
+      r.mixed_parity_ok ? "true" : "false");
   return buffer;
 }
 
@@ -280,11 +400,17 @@ void print_report(const StorageBenchResult& r) {
   line("grouped (1s buckets)", r.columnar_grouped_mps, r.row_grouped_mps,
        "Mp/s");
   line("tag-filtered", r.columnar_filtered_mps, r.row_filtered_mps, "Mp/s");
+  line("mixed write (o-o-o)", r.mixed_columnar_write_mps,
+       r.mixed_row_write_mps, "Mp/s");
+  line("mixed aggregate", r.mixed_columnar_aggregate_mps,
+       r.mixed_row_aggregate_mps, "Mp/s");
   std::printf("%-24s %11.1f B/pt %11.1f B/pt %8.1fx\n", "resident memory",
               r.columnar_bytes_per_point, r.row_bytes_per_point,
               r.memory_ratio());
   std::printf("\nresult parity: %s\n",
               r.parity_ok ? "bit-for-bit identical" : "MISMATCH");
+  std::printf("mixed-phase parity: %s\n",
+              r.mixed_parity_ok ? "bit-for-bit identical" : "MISMATCH");
 }
 
 }  // namespace pmove::query

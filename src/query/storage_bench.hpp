@@ -2,9 +2,12 @@
 //
 // Drives the same multi-tag-set workload through the columnar
 // TimeSeriesDb and through an in-harness reimplementation of the seed's
-// row store (one time-sorted std::vector<Point> per measurement, queries
-// answered by collect-copy + query::execute), then reports write/scan/
-// aggregate throughput and estimated resident bytes per point for both.
+// row store (one time-sorted std::vector<Point> per measurement with the
+// seed's validation, wire-byte accounting and tail-sort order restore;
+// queries answered by collect-copy + query::execute), then reports
+// write/scan/aggregate throughput and estimated resident bytes per point
+// for both — plus a mixed phase that interleaves aggregate reads with an
+// out-of-order write stream, the LSM write path's worst case.
 // Shared by `pmove storage-bench` and bench/ablation_storage so the CLI
 // spot check and the committed BENCH_storage.json numbers come from one
 // code path.
@@ -20,6 +23,9 @@ struct StorageBenchConfig {
   std::size_t tagsets = 64;   ///< distinct (host, core) tag combinations
   std::size_t fields = 4;     ///< fields per point (f0..f<n-1>)
   int scan_repeats = 5;       ///< timed repetitions per query, best-of
+  /// Mixed phase: run one aggregate read (on both stores) every this many
+  /// written batches, over an out-of-order arrival stream.
+  std::size_t mixed_read_every = 8;
 };
 
 /// Throughputs are million points scanned (or written) per second; bytes
@@ -39,8 +45,26 @@ struct StorageBenchResult {
   double row_bytes_per_point = 0.0;
   bool parity_ok = false;  ///< columnar results matched the row store's
 
+  // Mixed read/write phase: out-of-order arrival stream with aggregate
+  // reads interleaved between write batches (fresh stores, same workload
+  // values).  Write throughput counts write time only; aggregate
+  // throughput counts the interleaved reads only.
+  double mixed_columnar_write_mps = 0.0;
+  double mixed_row_write_mps = 0.0;
+  double mixed_columnar_aggregate_mps = 0.0;
+  double mixed_row_aggregate_mps = 0.0;
+  /// Every interleaved read pair (and the final full sweep) matched
+  /// bit-for-bit between the stores.
+  bool mixed_parity_ok = false;
+
   [[nodiscard]] double aggregate_speedup() const {
     return columnar_aggregate_mps / row_aggregate_mps;
+  }
+  [[nodiscard]] double write_ratio() const {
+    return columnar_write_mps / row_write_mps;
+  }
+  [[nodiscard]] double mixed_write_ratio() const {
+    return mixed_columnar_write_mps / mixed_row_write_mps;
   }
   [[nodiscard]] double memory_ratio() const {
     return row_bytes_per_point / columnar_bytes_per_point;

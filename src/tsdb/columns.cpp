@@ -1,6 +1,7 @@
 #include "tsdb/columns.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace pmove::tsdb {
 
@@ -14,50 +15,263 @@ auto find_field(Fields& fields, std::string_view name) {
       [](const FieldColumn& col, std::string_view n) { return col.name < n; });
 }
 
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  return (end == raw || v <= 0) ? fallback : static_cast<std::size_t>(v);
+}
+
+double env_ratio(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end == raw || v <= 0.0) ? fallback : v;
+}
+
 }  // namespace
 
-const FieldColumn* Series::field(std::string_view name) const {
+const FieldColumn* Run::field(std::string_view name) const {
   auto it = find_field(fields, name);
   return it != fields.end() && it->name == name ? &*it : nullptr;
 }
 
-FieldColumn* Series::field(std::string_view name) {
+FieldColumn* Run::field(std::string_view name) {
   auto it = find_field(fields, name);
   return it != fields.end() && it->name == name ? &*it : nullptr;
 }
 
-std::size_t SeriesSlice::field_index(std::string_view name) const {
-  auto it = find_field(series_->fields, name);
-  if (it == series_->fields.end() || it->name != name) {
-    return series_->fields.size();
-  }
-  return static_cast<std::size_t>(it - series_->fields.begin());
+RunConfig RunConfig::from_env() {
+  RunConfig c;
+  c.seal_rows = env_size("PMOVE_TSDB_RUN_ROWS", c.seal_rows);
+  c.max_sealed = env_size("PMOVE_TSDB_RUN_MAX_SEALED", c.max_sealed);
+  c.fold_ratio = env_ratio("PMOVE_TSDB_RUN_FOLD_RATIO", c.fold_ratio);
+  return c;
 }
 
-bool SeriesSlice::any_present(std::size_t i) const {
-  const std::uint8_t* map = present(i);
-  if (map == nullptr) return rows() > 0;
-  return std::find(map, map + rows(), std::uint8_t{1}) != map + rows();
+bool SeriesView::contiguous() const {
+  return segments_.size() == 1 && segments_[0].index.empty();
 }
 
-std::vector<MergedRowRef> merged_rows(std::span<const SeriesSlice> slices) {
-  std::size_t total = 0;
-  for (const SeriesSlice& s : slices) total += s.rows();
-  std::vector<MergedRowRef> refs;
-  refs.reserve(total);
-  for (std::size_t si = 0; si < slices.size(); ++si) {
-    const auto times = slices[si].times();
-    const auto seqs = slices[si].seqs();
-    for (std::size_t r = 0; r < times.size(); ++r) {
-      refs.push_back({times[r], seqs[r], static_cast<std::uint32_t>(si),
-                      static_cast<std::uint32_t>(r)});
+std::span<const TimeNs> SeriesView::times() const {
+  const Segment& seg = segments_[0];
+  return {seg.run->times.data() + seg.begin, seg.end - seg.begin};
+}
+
+std::span<const std::uint64_t> SeriesView::seqs() const {
+  const Segment& seg = segments_[0];
+  return {seg.run->seqs.data() + seg.begin, seg.end - seg.begin};
+}
+
+std::span<const double> SeriesView::values(std::size_t i) const {
+  const Segment& seg = segments_[0];
+  const FieldColumn* col = column(i, 0);
+  if (col == nullptr) return {};
+  return {col->values.data() + seg.begin, seg.end - seg.begin};
+}
+
+const std::uint8_t* SeriesView::present(std::size_t i) const {
+  const Segment& seg = segments_[0];
+  const FieldColumn* col = column(i, 0);
+  if (col == nullptr || col->present.empty()) return nullptr;
+  return col->present.data() + seg.begin;
+}
+
+std::size_t SeriesView::field_index(std::string_view name) const {
+  auto it = std::lower_bound(fields_.begin(), fields_.end(), name);
+  if (it == fields_.end() || *it != name) return fields_.size();
+  return static_cast<std::size_t>(it - fields_.begin());
+}
+
+bool SeriesView::any_present(std::size_t i) const {
+  for (std::uint32_t s = 0; s < segments_.size(); ++s) {
+    const FieldColumn* col = column(i, s);
+    if (col == nullptr) continue;
+    const Segment& seg = segments_[s];
+    if (col->present.empty()) {
+      if (seg.rows() > 0) return true;
+      continue;
+    }
+    for (std::size_t r = 0; r < seg.rows(); ++r) {
+      if (col->present[seg.physical(r)] != 0) return true;
     }
   }
-  std::sort(refs.begin(), refs.end(),
-            [](const MergedRowRef& a, const MergedRowRef& b) {
-              if (a.time != b.time) return a.time < b.time;
-              return a.seq < b.seq;
-            });
+  return false;
+}
+
+SeriesView SeriesViewBuilder::build(const Series& series,
+                                    const TagDictionary& dict, TimeNs time_min,
+                                    TimeNs time_max) {
+  SeriesView view;
+  view.tagset_id_ = series.tagset_id;
+  view.dict_ = &dict;
+
+  // Clip each non-empty run to the time range.  Sorted runs binary-search;
+  // an unsorted active run gets an explicit (time, seq)-ordered index of
+  // its in-range rows (bounded by the seal threshold, so always small).
+  const auto add_run = [&](const Run& run) {
+    if (run.empty()) return;
+    SeriesView::Segment seg;
+    seg.run = &run;
+    if (run.sorted) {
+      const auto live_begin =
+          run.times.begin() + static_cast<std::ptrdiff_t>(run.head);
+      auto begin = std::lower_bound(live_begin, run.times.end(), time_min);
+      auto end = std::upper_bound(begin, run.times.end(), time_max);
+      if (begin == end) return;
+      seg.begin = static_cast<std::size_t>(begin - run.times.begin());
+      seg.end = static_cast<std::size_t>(end - run.times.begin());
+    } else {
+      for (std::size_t r = run.head; r < run.times.size(); ++r) {
+        if (run.times[r] < time_min || run.times[r] > time_max) continue;
+        seg.index.push_back(static_cast<std::uint32_t>(r));
+      }
+      if (seg.index.empty()) return;
+      // Rows were appended in seq order, so a stable time sort yields
+      // (time, seq) order.
+      std::stable_sort(seg.index.begin(), seg.index.end(),
+                       [&run](std::uint32_t a, std::uint32_t b) {
+                         return run.times[a] < run.times[b];
+                       });
+      seg.begin = seg.index.front();
+      seg.end = seg.index.back() + 1;  // informational; index governs
+    }
+    view.segments_.push_back(std::move(seg));
+  };
+  add_run(series.base);
+  for (const Run& run : series.sealed) add_run(run);
+  add_run(series.active);
+  if (view.segments_.empty()) return view;
+
+  for (const SeriesView::Segment& seg : view.segments_) {
+    view.rows_ += seg.rows();
+  }
+
+  // Order segments by their first (time, seq) key, then test whether the
+  // concatenation is already globally sorted — true whenever runs cover
+  // disjoint time windows (the in-order ingest steady state), which makes
+  // enumeration allocation-free.
+  const auto first_key = [](const SeriesView::Segment& seg) {
+    const std::size_t r = seg.physical(0);
+    return std::pair<TimeNs, std::uint64_t>(seg.run->times[r],
+                                            seg.run->seqs[r]);
+  };
+  const auto last_key = [](const SeriesView::Segment& seg) {
+    const std::size_t r = seg.physical(seg.rows() - 1);
+    return std::pair<TimeNs, std::uint64_t>(seg.run->times[r],
+                                            seg.run->seqs[r]);
+  };
+  std::stable_sort(view.segments_.begin(), view.segments_.end(),
+                   [&](const SeriesView::Segment& a,
+                       const SeriesView::Segment& b) {
+                     return first_key(a) < first_key(b);
+                   });
+  bool ordered = true;
+  for (std::size_t s = 0; s + 1 < view.segments_.size(); ++s) {
+    if (last_key(view.segments_[s]) > first_key(view.segments_[s + 1])) {
+      ordered = false;
+      break;
+    }
+  }
+
+  // Unified field schema: union of the segment runs' (sorted) field lists.
+  for (const SeriesView::Segment& seg : view.segments_) {
+    for (const FieldColumn& col : seg.run->fields) {
+      auto it = std::lower_bound(view.fields_.begin(), view.fields_.end(),
+                                 std::string_view(col.name));
+      if (it == view.fields_.end() || *it != col.name) {
+        view.fields_.insert(it, std::string_view(col.name));
+      }
+    }
+  }
+  view.cols_.assign(view.fields_.size() * view.segments_.size(), nullptr);
+  for (std::size_t f = 0; f < view.fields_.size(); ++f) {
+    for (std::size_t s = 0; s < view.segments_.size(); ++s) {
+      view.cols_[f * view.segments_.size() + s] =
+          view.segments_[s].run->field(view.fields_[f]);
+    }
+  }
+
+  if (!ordered) {
+    // Interleaved runs (out-of-order arrivals): materialize the merged
+    // order once.  Keyed sort over (time, seq) copies, then strip to Locs.
+    struct Keyed {
+      TimeNs time;
+      std::uint64_t seq;
+      SeriesView::Loc loc;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(view.rows_);
+    for (std::uint32_t s = 0; s < view.segments_.size(); ++s) {
+      const SeriesView::Segment& seg = view.segments_[s];
+      for (std::size_t i = 0; i < seg.rows(); ++i) {
+        const auto row = static_cast<std::uint32_t>(seg.physical(i));
+        keyed.push_back({seg.run->times[row], seg.run->seqs[row],
+                         SeriesView::Loc{s, row}});
+      }
+    }
+    std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
+    });
+    view.order_.reserve(keyed.size());
+    for (const Keyed& k : keyed) view.order_.push_back(k.loc);
+  }
+  return view;
+}
+
+std::vector<ViewRow> merged_view_rows(std::span<const SeriesView> views) {
+  std::size_t total = 0;
+  for (const SeriesView& v : views) total += v.rows();
+  std::vector<ViewRow> refs;
+  refs.reserve(total);
+  if (views.size() <= 1) {
+    for (std::uint32_t vi = 0; vi < views.size(); ++vi) {
+      views[vi].for_each_row(
+          [&](SeriesView::Loc loc, TimeNs time, std::uint64_t seq) {
+            refs.push_back({time, seq, vi, loc});
+          });
+    }
+    return refs;
+  }
+
+  // Each view is already in (time, seq) order, so merging K views is a
+  // k-way heap merge: N·log K key comparisons instead of the N·log N of
+  // sorting the concatenation.
+  struct Head {
+    TimeNs time;
+    std::uint64_t seq;
+    std::uint32_t view;
+  };
+  const auto later = [](const Head& a, const Head& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  };
+  std::vector<SeriesView::RowCursor> cursors;
+  cursors.reserve(views.size());
+  std::vector<Head> heap;
+  heap.reserve(views.size());
+  for (std::uint32_t vi = 0; vi < views.size(); ++vi) {
+    cursors.emplace_back(views[vi]);
+    if (cursors.back().valid()) {
+      heap.push_back({cursors.back().time(), cursors.back().seq(), vi});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Head head = heap.back();
+    heap.pop_back();
+    SeriesView::RowCursor& cur = cursors[head.view];
+    refs.push_back({head.time, head.seq, head.view, cur.loc()});
+    cur.advance();
+    if (cur.valid()) {
+      heap.push_back({cur.time(), cur.seq(), head.view});
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
   return refs;
 }
 

@@ -1,18 +1,28 @@
-// Columnar series storage for the TSDB (InfluxDB-TSM-style layout).
+// Columnar series storage for the TSDB (InfluxDB-TSM-style layout) with an
+// LSM-style write path.
 //
-// One Series per (measurement, tag set): a sorted timestamp column, a
-// parallel arrival-sequence column (which makes per-measurement ordering a
-// total order — see below), and one contiguous double column per field.
-// Aggregate scans run as tight loops over the double columns; time-range
-// pruning is a binary search on the timestamp column; retention trims move
-// a head offset instead of erasing (O(1) per series, amortized compaction).
+// One Series per (measurement, tag set).  A series is a small LSM tree of
+// *runs*: a sorted `base` run (the bulk of the data), a bounded list of
+// `sealed` runs (each individually (time, seq)-sorted), and an `active` run
+// that appends in arrival order — so a batch write is a pure column append,
+// never an insertion sort.  The active run is sealed (sorted once) when it
+// reaches a size threshold, and sealed runs are folded into the base by an
+// amortized compactor, so ordering cost is paid O(log n) times per row in
+// sort-sized chunks instead of once per batch over the whole series.
 //
-// Ordering invariant: rows are sorted by (time, seq) where seq is the
-// per-DB arrival counter.  The seed row store kept each measurement's
-// points stably time-sorted in arrival order, which is exactly the
-// (time, seq) total order — merging series by (time, seq) therefore
-// reproduces the seed's point order bit-for-bit, including the order
-// floating-point aggregation folds values in.
+// Ordering invariant: every run except the active one is sorted by
+// (time, seq) where seq is the per-DB arrival counter.  The seed row store
+// kept each measurement's points stably time-sorted in arrival order, which
+// is exactly the (time, seq) total order — merging runs (and series) by
+// (time, seq) therefore reproduces the seed's point order bit-for-bit,
+// including the order floating-point aggregation folds values in.
+//
+// Read side: scans hand out SeriesView cursors.  A view hides the run
+// structure entirely — callers see one logical sequence of rows in
+// (time, seq) order plus a unified field schema, whether the series is one
+// contiguous compacted run or a pile of interleaved live runs.  Query,
+// fleet, and bench code consume views only; runs are an implementation
+// detail the compactor is free to rearrange.
 //
 // Missing fields: a row missing a field stores NaN in that field's value
 // column.  Because a *stored* NaN field value must stay distinguishable
@@ -35,7 +45,7 @@ namespace pmove::tsdb {
 
 struct FieldColumn {
   std::string name;
-  /// Parallel to Series::times; NaN where the row lacks the field.
+  /// Parallel to Run::times; NaN where the row lacks the field.
   std::vector<double> values;
   /// Empty = present in every row; else one byte per row (1 = present).
   std::vector<std::uint8_t> present;
@@ -43,17 +53,22 @@ struct FieldColumn {
   [[nodiscard]] bool all_present() const { return present.empty(); }
 };
 
-/// All points of one (measurement, tag set), columnar.
-struct Series {
-  TagDictionary::TagSetId tagset_id = 0;
+/// One run of rows: parallel time/seq/field columns.  Runs are the unit of
+/// ordering — sorted runs keep (time, seq) order; the active run keeps
+/// arrival order and tracks whether that happens to be sorted.
+struct Run {
   /// Logical first row: rows [0, head) were trimmed by retention and await
   /// compaction.  All column vectors keep physical length == times.size().
   std::size_t head = 0;
-  std::vector<TimeNs> times;  ///< sorted (ties broken by seqs, also sorted)
+  /// True while times[head..] is non-decreasing.  Appends maintain it; a
+  /// freshly sealed or folded run always has it set.
+  bool sorted = true;
+  std::vector<TimeNs> times;
   std::vector<std::uint64_t> seqs;
   std::vector<FieldColumn> fields;  ///< sorted by name
 
   [[nodiscard]] std::size_t row_count() const { return times.size() - head; }
+  [[nodiscard]] bool empty() const { return head == times.size(); }
 
   /// Field column by name, or nullptr.  Binary search over the sorted
   /// field vector.
@@ -61,80 +76,230 @@ struct Series {
   [[nodiscard]] FieldColumn* field(std::string_view name);
 };
 
-/// Zero-copy view of one series' rows inside a scanned time range.  Valid
-/// only inside the TimeSeriesDb::scan() callback (the DB's shared lock is
-/// held; the spans alias live column storage).
-class SeriesSlice {
+/// All points of one (measurement, tag set): an LSM tree of runs.
+struct Series {
+  TagDictionary::TagSetId tagset_id = 0;
+  Run base;                 ///< sorted; where sealed runs are folded into
+  std::vector<Run> sealed;  ///< sorted runs awaiting compaction
+  Run active;               ///< arrival-order append target
+  /// Cached line-protocol size of "measurement,tags... " — the per-point
+  /// invariant part of wire-byte accounting, computed once at creation.
+  std::size_t wire_prefix = 0;
+  /// write_batch generation stamp: equality with the batch's id means the
+  /// series is already in this batch's touched list (O(1) dedup).
+  std::uint64_t touch_batch = 0;
+
+  [[nodiscard]] std::size_t row_count() const {
+    std::size_t n = base.row_count() + active.row_count();
+    for (const Run& r : sealed) n += r.row_count();
+    return n;
+  }
+  [[nodiscard]] std::size_t sealed_rows() const {
+    std::size_t n = 0;
+    for (const Run& r : sealed) n += r.row_count();
+    return n;
+  }
+};
+
+/// LSM write-path tuning (the PMOVE_TSDB_RUN_* knobs).
+struct RunConfig {
+  /// Active run is sealed (sorted) once it holds this many rows.
+  std::size_t seal_rows = 4096;
+  /// Fold sealed runs into the base when more than this many accumulate…
+  std::size_t max_sealed = 8;
+  /// …or when their rows reach this fraction of the base (geometric
+  /// amortization: each fold at least grows the base by the ratio).
+  double fold_ratio = 0.5;
+
+  /// Reads PMOVE_TSDB_RUN_ROWS / PMOVE_TSDB_RUN_MAX_SEALED /
+  /// PMOVE_TSDB_RUN_FOLD_RATIO, clamping unusable values to the defaults.
+  static RunConfig from_env();
+};
+
+/// Zero-copy cursor over one series' rows inside a scanned time range, in
+/// (time, seq) order.  Valid only inside the TimeSeriesDb::scan() callback
+/// (the DB's shared lock is held; the view aliases live column storage).
+///
+/// The view hides the run structure behind two access styles:
+///   * contiguous() views expose direct column spans (times/values/…) —
+///     the fully-compacted fast path;
+///   * every view supports Loc-based access: for_each_row() enumerates
+///     (Loc, time, seq) in logical order, and value/has_value/time read a
+///     cell by Loc.  A Loc is an opaque physical position; callers must
+///     not fabricate one.
+/// Field indices refer to the view's unified schema: the union of the
+/// fields of every run in range, name-sorted.
+class SeriesView {
  public:
-  SeriesSlice(const Series* series, const TagDictionary* dict,
-              std::size_t begin, std::size_t end)
-      : series_(series), dict_(dict), begin_(begin), end_(end) {}
+  /// Opaque physical row position (segment + row within it).
+  struct Loc {
+    std::uint32_t seg;
+    std::uint32_t row;
+  };
 
-  [[nodiscard]] std::size_t rows() const { return end_ - begin_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
 
-  [[nodiscard]] std::span<const TimeNs> times() const {
-    return {series_->times.data() + begin_, end_ - begin_};
-  }
-  [[nodiscard]] std::span<const std::uint64_t> seqs() const {
-    return {series_->seqs.data() + begin_, end_ - begin_};
-  }
+  /// True when the rows are one physically contiguous sorted range — the
+  /// span accessors below are only valid then.
+  [[nodiscard]] bool contiguous() const;
 
-  [[nodiscard]] std::size_t field_count() const {
-    return series_->fields.size();
-  }
+  [[nodiscard]] std::span<const TimeNs> times() const;
+  [[nodiscard]] std::span<const std::uint64_t> seqs() const;
+  /// Value span of field `i`, restricted to the view (contiguous only);
+  /// empty when the run lacks the field.
+  [[nodiscard]] std::span<const double> values(std::size_t i) const;
+  /// Presence bytes of field `i` (contiguous only), or nullptr when the
+  /// field is present in every row.
+  [[nodiscard]] const std::uint8_t* present(std::size_t i) const;
+
+  [[nodiscard]] std::size_t field_count() const { return fields_.size(); }
   [[nodiscard]] std::string_view field_name(std::size_t i) const {
-    return series_->fields[i].name;
+    return fields_[i];
   }
-
-  /// Value span of field `i`, restricted to the slice.
-  [[nodiscard]] std::span<const double> values(std::size_t i) const {
-    return {series_->fields[i].values.data() + begin_, end_ - begin_};
-  }
-  /// Presence bytes of field `i` for the slice, or nullptr when the field
-  /// is present in every row.
-  [[nodiscard]] const std::uint8_t* present(std::size_t i) const {
-    const FieldColumn& col = series_->fields[i];
-    return col.present.empty() ? nullptr : col.present.data() + begin_;
-  }
-
   /// Index of the named field, or field_count() when the series lacks it.
   [[nodiscard]] std::size_t field_index(std::string_view name) const;
-
-  /// True when field `i` is present in at least one row of the slice.
+  /// True when field `i` is present in at least one row of the view.
   [[nodiscard]] bool any_present(std::size_t i) const;
 
+  // Loc-based access — valid for every view.  Inline: the merged-row
+  // evaluation paths call these once per row per field.
+  [[nodiscard]] TimeNs time_at(Loc loc) const {
+    return segments_[loc.seg].run->times[loc.row];
+  }
+  [[nodiscard]] std::uint64_t seq_at(Loc loc) const {
+    return segments_[loc.seg].run->seqs[loc.row];
+  }
+  [[nodiscard]] bool has_value(std::size_t field, Loc loc) const {
+    const FieldColumn* col = column(field, loc.seg);
+    if (col == nullptr) return false;
+    return col->present.empty() || col->present[loc.row] != 0;
+  }
+  [[nodiscard]] double value_at(std::size_t field, Loc loc) const {
+    return column(field, loc.seg)->values[loc.row];
+  }
+
+  /// Incremental iterator over the view's rows in (time, seq) order —
+  /// O(1) advance, no per-row allocation.  merged_view_rows uses one per
+  /// view for its k-way heap merge.
+  class RowCursor {
+   public:
+    explicit RowCursor(const SeriesView& view) : view_(&view) {}
+    [[nodiscard]] bool valid() const { return i_ < view_->rows_; }
+    [[nodiscard]] Loc loc() const {
+      if (!view_->order_.empty()) return view_->order_[i_];
+      const Segment& seg = view_->segments_[seg_];
+      return Loc{seg_, static_cast<std::uint32_t>(seg.physical(pos_))};
+    }
+    [[nodiscard]] TimeNs time() const { return view_->time_at(loc()); }
+    [[nodiscard]] std::uint64_t seq() const { return view_->seq_at(loc()); }
+    void advance() {
+      ++i_;
+      if (!view_->order_.empty()) return;
+      if (++pos_ >= view_->segments_[seg_].rows()) {
+        pos_ = 0;
+        ++seg_;
+      }
+    }
+
+   private:
+    const SeriesView* view_;
+    std::size_t i_ = 0;
+    std::uint32_t seg_ = 0;  ///< segment walk, unused when order_ is set
+    std::size_t pos_ = 0;
+  };
+
+  /// Visits every row in (time, seq) order: fn(Loc, time, seq).
+  template <class Fn>
+  void for_each_row(Fn&& fn) const {
+    if (!order_.empty()) {
+      for (const Loc& loc : order_) fn(loc, time_at(loc), seq_at(loc));
+      return;
+    }
+    for (std::uint32_t s = 0; s < segments_.size(); ++s) {
+      const Segment& seg = segments_[s];
+      for (std::size_t i = 0; i < seg.rows(); ++i) {
+        const auto row = static_cast<std::uint32_t>(seg.physical(i));
+        fn(Loc{s, row}, seg.run->times[row], seg.run->seqs[row]);
+      }
+    }
+  }
+
   [[nodiscard]] TagDictionary::TagSetId tagset_id() const {
-    return series_->tagset_id;
+    return tagset_id_;
   }
   /// Materializes the tag map (dictionary decode) — for callers that need
   /// real strings, e.g. collect() rebuilding Points.
   [[nodiscard]] std::map<std::string, std::string> decode_tags() const {
-    return dict_->decode(series_->tagset_id);
+    return dict_->decode(tagset_id_);
   }
   [[nodiscard]] const TagDictionary::TagSet& tagset() const {
-    return dict_->set(series_->tagset_id);
+    return dict_->set(tagset_id_);
   }
   [[nodiscard]] const TagDictionary& dict() const { return *dict_; }
 
  private:
-  const Series* series_;
-  const TagDictionary* dict_;
-  std::size_t begin_;  ///< absolute row index into the series columns
-  std::size_t end_;
+  friend class SeriesViewBuilder;
+
+  /// One clipped run: rows [begin, end), optionally indirected through
+  /// `index` (used for an unsorted active run, where the in-range rows are
+  /// scattered; index lists them in (time, seq) order).
+  struct Segment {
+    const Run* run = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<std::uint32_t> index;
+
+    [[nodiscard]] std::size_t rows() const {
+      return index.empty() ? end - begin : index.size();
+    }
+    [[nodiscard]] std::size_t physical(std::size_t i) const {
+      return index.empty() ? begin + i : index[i];
+    }
+  };
+
+  [[nodiscard]] const FieldColumn* column(std::size_t field,
+                                          std::uint32_t seg) const {
+    return cols_[field * segments_.size() + seg];
+  }
+
+  TagDictionary::TagSetId tagset_id_ = 0;
+  const TagDictionary* dict_ = nullptr;
+  std::vector<Segment> segments_;
+  std::size_t rows_ = 0;
+  /// Unified field schema (union over segments, name-sorted).  The
+  /// string_views alias the runs' FieldColumn names, which outlive the
+  /// view (the scan's shared lock is held).
+  std::vector<std::string_view> fields_;
+  /// Column pointer table, [field * segment_count + segment]; nullptr when
+  /// that segment's run lacks the field.
+  std::vector<const FieldColumn*> cols_;
+  /// Empty when concatenating the segments already yields (time, seq)
+  /// order; else every row in order.
+  std::vector<Loc> order_;
 };
 
-/// One row of a multi-slice scan in merged order: which slice, which
-/// slice-relative row, and the (time, seq) key it sorted by.
-struct MergedRowRef {
+/// Builds SeriesViews from series + clip ranges — used by the DB's scan
+/// path and by tests that construct views directly.
+class SeriesViewBuilder {
+ public:
+  /// View of `series` clipped to [time_min, time_max].  Returns a view with
+  /// rows() == 0 when nothing is in range.
+  static SeriesView build(const Series& series, const TagDictionary& dict,
+                          TimeNs time_min, TimeNs time_max);
+};
+
+/// One row of a multi-view scan in merged order: the (time, seq) key it
+/// sorted by, which view, and the opaque position within it.
+struct ViewRow {
   TimeNs time;
   std::uint64_t seq;
-  std::uint32_t slice;
-  std::uint32_t row;
+  std::uint32_t view;
+  SeriesView::Loc loc;
 };
 
-/// Rows of all slices merged into (time, seq) order — the per-measurement
-/// point order of the row store this engine replaced, which keeps merged
-/// evaluation (and its floating-point fold order) bit-for-bit identical.
-std::vector<MergedRowRef> merged_rows(std::span<const SeriesSlice> slices);
+/// Rows of all views merged into (time, seq) order — the per-measurement
+/// point order of the seed row store, which keeps merged evaluation (and
+/// its floating-point fold order) bit-for-bit identical.
+std::vector<ViewRow> merged_view_rows(std::span<const SeriesView> views);
 
 }  // namespace pmove::tsdb

@@ -1,6 +1,7 @@
 #include "tsdb/db.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -45,34 +46,94 @@ void apply_perm(std::vector<T>& v, std::size_t first,
   std::copy(tmp.begin(), tmp.end(), v.begin() + first);
 }
 
-// Reclaims trimmed rows once they dominate the series: retention only
+// Sorts run rows [head, end) into (time, seq) order via one permutation.
+void sort_run(Run& run) {
+  const std::size_t first = run.head;
+  const std::size_t n = run.times.size() - first;
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const TimeNs* times = run.times.data() + first;
+  const std::uint64_t* seqs = run.seqs.data() + first;
+  std::sort(perm.begin(), perm.end(),
+            [times, seqs](std::uint32_t a, std::uint32_t b) {
+              if (times[a] != times[b]) return times[a] < times[b];
+              return seqs[a] < seqs[b];
+            });
+  apply_perm(run.times, first, perm);
+  apply_perm(run.seqs, first, perm);
+  for (FieldColumn& col : run.fields) {
+    apply_perm(col.values, first, perm);
+    if (!col.present.empty()) apply_perm(col.present, first, perm);
+  }
+  run.sorted = true;
+}
+
+// Reclaims trimmed rows once they dominate the run: retention only
 // advances `head`, so the dead prefix is erased lazily when it is both big
 // enough to matter and at least half the physical storage (amortized O(1)
 // per trimmed row).
-void maybe_compact(Series& s) {
-  if (s.head < 1024 || s.head * 2 < s.times.size()) return;
-  const auto n = static_cast<std::ptrdiff_t>(s.head);
-  s.times.erase(s.times.begin(), s.times.begin() + n);
-  s.seqs.erase(s.seqs.begin(), s.seqs.begin() + n);
-  for (FieldColumn& col : s.fields) {
+void maybe_compact(Run& run) {
+  if (run.head < 1024 || run.head * 2 < run.times.size()) return;
+  const auto n = static_cast<std::ptrdiff_t>(run.head);
+  run.times.erase(run.times.begin(), run.times.begin() + n);
+  run.seqs.erase(run.seqs.begin(), run.seqs.begin() + n);
+  for (FieldColumn& col : run.fields) {
     col.values.erase(col.values.begin(), col.values.begin() + n);
     if (!col.present.empty()) {
       col.present.erase(col.present.begin(), col.present.begin() + n);
     }
   }
-  s.head = 0;
+  run.head = 0;
 }
 
-// Visits every row of `slices` in merged (time, seq) order — the seed row
-// store's per-measurement point order.  fn(slice_index, slice_relative_row).
-template <class Fn>
-void for_each_merged_row(std::span<const SeriesSlice> slices, Fn&& fn) {
-  if (slices.empty()) return;
-  if (slices.size() == 1) {  // one series: rows are already in order
-    for (std::size_t r = 0; r < slices[0].rows(); ++r) fn(0, r);
-    return;
+// Drops the trimmed prefix unconditionally (used when a run is about to be
+// moved or merged, where keeping dead rows would just copy them around).
+void drop_trimmed(Run& run) {
+  if (run.head == 0) return;
+  const auto n = static_cast<std::ptrdiff_t>(run.head);
+  run.times.erase(run.times.begin(), run.times.begin() + n);
+  run.seqs.erase(run.seqs.begin(), run.seqs.begin() + n);
+  for (FieldColumn& col : run.fields) {
+    col.values.erase(col.values.begin(), col.values.begin() + n);
+    if (!col.present.empty()) {
+      col.present.erase(col.present.begin(), col.present.begin() + n);
+    }
   }
-  for (const MergedRowRef& ref : merged_rows(slices)) fn(ref.slice, ref.row);
+  run.head = 0;
+}
+
+// Line-protocol byte cost of one point given its series' cached prefix
+// width — the same arithmetic as Point::wire_size() with the invariant
+// measurement+tags part precomputed.
+std::size_t wire_cost(const Series& series, const Point& point) {
+  std::size_t n = series.wire_prefix;
+  bool first = true;
+  for (const auto& [k, v] : point.fields) {
+    if (!first) ++n;  // ','
+    first = false;
+    n += lp::escaped_size(k) + 1 + lp::value_width(v);
+  }
+  return n + 1 + lp::decimal_width(point.time);
+}
+
+// FNV-1a over the series key (measurement + tag strings) for the per-batch
+// series memo.
+std::uint64_t series_key_hash(const Point& point) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ull;
+  };
+  mix(point.measurement);
+  for (const auto& [k, v] : point.tags) {
+    mix(k);
+    mix(v);
+  }
+  return h;
 }
 
 }  // namespace
@@ -89,30 +150,34 @@ void TimeSeriesDb::bump_epoch_locked(const std::string& measurement) {
 }
 
 void TimeSeriesDb::append_row_locked(Series& series, const Point& point) {
-  series.times.push_back(point.time);
-  series.seqs.push_back(seq_counter_++);
-  const std::size_t rows = series.times.size();
+  Run& run = series.active;
+  if (run.sorted && !run.times.empty() && point.time < run.times.back()) {
+    run.sorted = false;
+  }
+  run.times.push_back(point.time);
+  run.seqs.push_back(seq_counter_++);
+  const std::size_t rows = run.times.size();
   // Merge the point's (sorted) field map into the (sorted) column vector:
   // matched columns take the value, unmatched columns take an absent NaN,
   // unseen fields open a new column backfilled with absent rows.
   std::size_t ci = 0;
   auto fit = point.fields.begin();
-  while (ci < series.fields.size() || fit != point.fields.end()) {
+  while (ci < run.fields.size() || fit != point.fields.end()) {
     int cmp;
-    if (ci == series.fields.size()) {
+    if (ci == run.fields.size()) {
       cmp = 1;
     } else if (fit == point.fields.end()) {
       cmp = -1;
     } else {
-      cmp = series.fields[ci].name.compare(fit->first);
+      cmp = run.fields[ci].name.compare(fit->first);
     }
     if (cmp < 0) {  // column the point does not carry
-      FieldColumn& col = series.fields[ci];
+      FieldColumn& col = run.fields[ci];
       if (col.present.empty()) col.present.assign(rows - 1, 1);
       col.present.push_back(0);
       col.values.push_back(std::nan(""));
       ++ci;
-    } else if (cmp > 0) {  // field the series has not seen
+    } else if (cmp > 0) {  // field this run has not seen
       FieldColumn col;
       col.name = fit->first;
       col.values.assign(rows - 1, std::nan(""));
@@ -121,13 +186,13 @@ void TimeSeriesDb::append_row_locked(Series& series, const Point& point) {
         col.present.assign(rows - 1, 0);
         col.present.push_back(1);
       }
-      series.fields.insert(
-          series.fields.begin() + static_cast<std::ptrdiff_t>(ci),
+      run.fields.insert(
+          run.fields.begin() + static_cast<std::ptrdiff_t>(ci),
           std::move(col));
       ++ci;
       ++fit;
     } else {
-      FieldColumn& col = series.fields[ci];
+      FieldColumn& col = run.fields[ci];
       col.values.push_back(fit->second);
       if (!col.present.empty()) col.present.push_back(1);
       ++ci;
@@ -137,50 +202,191 @@ void TimeSeriesDb::append_row_locked(Series& series, const Point& point) {
   ++live_points_;
 }
 
-void TimeSeriesDb::restore_order(Series& series, std::size_t old_size) {
-  const std::size_t n = series.times.size();
-  if (old_size == n) return;
-  // Rows were appended in seq order, so the tail is (time, seq)-sorted iff
-  // its times are non-decreasing, and the prefix/tail boundary only needs a
-  // time comparison (every tail seq exceeds every prefix seq).
-  const bool tail_sorted =
-      std::is_sorted(series.times.begin() + static_cast<std::ptrdiff_t>(old_size),
-                     series.times.end());
-  const bool boundary_ok =
-      old_size <= series.head ||
-      series.times[old_size - 1] <= series.times[old_size];
-  if (tail_sorted && boundary_ok) return;
-  // Out-of-order tail: permutation-sort the smallest suffix of the *live*
-  // region that covers every new row's destination.  Rows before `head` are
-  // trimmed and must not move.
-  const TimeNs min_tail = *std::min_element(
-      series.times.begin() + static_cast<std::ptrdiff_t>(old_size),
-      series.times.end());
-  const std::size_t first = static_cast<std::size_t>(
-      std::upper_bound(
-          series.times.begin() + static_cast<std::ptrdiff_t>(series.head),
-          series.times.begin() + static_cast<std::ptrdiff_t>(old_size),
-          min_tail) -
-      series.times.begin());
-  std::vector<std::uint32_t> perm(n - first);
-  std::iota(perm.begin(), perm.end(), 0u);
-  const TimeNs* times = series.times.data() + first;
-  const std::uint64_t* seqs = series.seqs.data() + first;
-  std::sort(perm.begin(), perm.end(),
-            [times, seqs](std::uint32_t a, std::uint32_t b) {
-              if (times[a] != times[b]) return times[a] < times[b];
-              return seqs[a] < seqs[b];
-            });
-  apply_perm(series.times, first, perm);
-  apply_perm(series.seqs, first, perm);
-  for (FieldColumn& col : series.fields) {
-    apply_perm(col.values, first, perm);
-    if (!col.present.empty()) apply_perm(col.present, first, perm);
+void TimeSeriesDb::seal_active_locked(Series& series) {
+  Run& run = series.active;
+  if (run.empty()) return;
+  drop_trimmed(run);
+  if (!run.sorted) sort_run(run);
+  series.sealed.push_back(std::move(run));
+  series.active = Run{};
+  ++run_seals_;
+  // Amortized compaction: fold once sealed runs pile up or reach the
+  // configured fraction of the base (each fold then grows the base
+  // geometrically, bounding total copy work per row).
+  const std::size_t floor = std::max(series.base.row_count(),
+                                     run_config_.seal_rows);
+  if (series.sealed.size() > run_config_.max_sealed ||
+      static_cast<double>(series.sealed_rows()) >=
+          run_config_.fold_ratio * static_cast<double>(floor)) {
+    fold_series_locked(series, /*include_active=*/false);
   }
 }
 
+void TimeSeriesDb::fold_series_locked(Series& series, bool include_active) {
+  std::vector<Run*> runs;
+  if (!series.base.empty()) runs.push_back(&series.base);
+  for (Run& r : series.sealed) {
+    if (!r.empty()) runs.push_back(&r);
+  }
+  if (include_active && !series.active.empty()) {
+    runs.push_back(&series.active);
+  }
+  if (runs.size() <= 1 && series.sealed.empty() &&
+      (!include_active || series.active.empty())) {
+    return;  // nothing to fold
+  }
+  for (Run* r : runs) {
+    drop_trimmed(*r);
+    if (!r->sorted) sort_run(*r);
+  }
+  ++run_folds_;
+  if (runs.empty()) {
+    series.base = Run{};
+    series.sealed.clear();
+    if (include_active) series.active = Run{};
+    return;
+  }
+
+  // Order runs by first (time, seq); if they cover disjoint windows the
+  // fold is a straight column concatenation (memcpy-shaped).
+  std::stable_sort(runs.begin(), runs.end(), [](const Run* a, const Run* b) {
+    if (a->times.front() != b->times.front()) {
+      return a->times.front() < b->times.front();
+    }
+    return a->seqs.front() < b->seqs.front();
+  });
+  bool disjoint = true;
+  for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+    const Run* a = runs[i];
+    const Run* b = runs[i + 1];
+    if (a->times.back() > b->times.front() ||
+        (a->times.back() == b->times.front() &&
+         a->seqs.back() > b->seqs.front())) {
+      disjoint = false;
+      break;
+    }
+  }
+
+  std::size_t total = 0;
+  for (const Run* r : runs) total += r->times.size();
+
+  // Unified field schema (union, name-sorted) and per-run column table.
+  std::vector<std::string_view> names;
+  for (const Run* r : runs) {
+    for (const FieldColumn& col : r->fields) {
+      auto it = std::lower_bound(names.begin(), names.end(),
+                                 std::string_view(col.name));
+      if (it == names.end() || *it != col.name) {
+        names.insert(it, std::string_view(col.name));
+      }
+    }
+  }
+  std::vector<const FieldColumn*> table(names.size() * runs.size(), nullptr);
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      table[f * runs.size() + r] = runs[r]->field(names[f]);
+    }
+  }
+
+  Run out;
+  out.sorted = true;
+  out.times.reserve(total);
+  out.seqs.reserve(total);
+  out.fields.resize(names.size());
+
+  if (disjoint) {
+    for (const Run* r : runs) {
+      out.times.insert(out.times.end(), r->times.begin(), r->times.end());
+      out.seqs.insert(out.seqs.end(), r->seqs.begin(), r->seqs.end());
+    }
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      FieldColumn& col = out.fields[f];
+      col.name = std::string(names[f]);
+      col.values.reserve(total);
+      const bool everywhere = [&] {
+        for (std::size_t r = 0; r < runs.size(); ++r) {
+          const FieldColumn* src = table[f * runs.size() + r];
+          if (src == nullptr || !src->all_present()) return false;
+        }
+        return true;
+      }();
+      if (!everywhere) col.present.reserve(total);
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        const FieldColumn* src = table[f * runs.size() + r];
+        const std::size_t rows = runs[r]->times.size();
+        if (src == nullptr) {
+          col.values.insert(col.values.end(), rows, std::nan(""));
+          if (!everywhere) col.present.insert(col.present.end(), rows, 0);
+          continue;
+        }
+        col.values.insert(col.values.end(), src->values.begin(),
+                          src->values.end());
+        if (everywhere) continue;
+        if (src->all_present()) {
+          col.present.insert(col.present.end(), rows, 1);
+        } else {
+          col.present.insert(col.present.end(), src->present.begin(),
+                             src->present.end());
+        }
+      }
+    }
+  } else {
+    // Interleaved runs: k-way merge via one (time, seq) sort of row refs.
+    struct Ref {
+      TimeNs time;
+      std::uint64_t seq;
+      std::uint32_t run;
+      std::uint32_t row;
+    };
+    std::vector<Ref> refs;
+    refs.reserve(total);
+    for (std::uint32_t r = 0; r < runs.size(); ++r) {
+      const Run* run = runs[r];
+      for (std::size_t i = 0; i < run->times.size(); ++i) {
+        refs.push_back({run->times[i], run->seqs[i], r,
+                        static_cast<std::uint32_t>(i)});
+      }
+    }
+    std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
+    });
+    for (const Ref& ref : refs) {
+      out.times.push_back(ref.time);
+      out.seqs.push_back(ref.seq);
+    }
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      FieldColumn& col = out.fields[f];
+      col.name = std::string(names[f]);
+      col.values.reserve(total);
+      bool everywhere = true;
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        const FieldColumn* src = table[f * runs.size() + r];
+        if (src == nullptr || !src->all_present()) {
+          everywhere = false;
+          break;
+        }
+      }
+      if (!everywhere) col.present.reserve(total);
+      for (const Ref& ref : refs) {
+        const FieldColumn* src = table[f * runs.size() + ref.run];
+        const bool present =
+            src != nullptr &&
+            (src->all_present() || src->present[ref.row] != 0);
+        col.values.push_back(present ? src->values[ref.row] : std::nan(""));
+        if (!everywhere) col.present.push_back(present ? 1 : 0);
+      }
+    }
+  }
+
+  series.base = std::move(out);
+  series.sealed.clear();
+  if (include_active) series.active = Run{};
+}
+
 Series* TimeSeriesDb::resolve_series_locked(
-    MeasurementStore& store, const std::map<std::string, std::string>& tags) {
+    MeasurementStore& store, const std::string& measurement,
+    const std::map<std::string, std::string>& tags) {
   const TagDictionary::TagSetId ts = dict_.intern_set(tags);
   if (auto it = store.by_tagset.find(ts); it != store.by_tagset.end()) {
     return store.series[it->second].get();
@@ -188,6 +394,11 @@ Series* TimeSeriesDb::resolve_series_locked(
   const auto idx = static_cast<std::uint32_t>(store.series.size());
   auto series = std::make_unique<Series>();
   series->tagset_id = ts;
+  std::size_t prefix = lp::escaped_size(measurement);
+  for (const auto& [k, v] : tags) {
+    prefix += 2 + lp::escaped_size(k) + lp::escaped_size(v);  // ',' k '=' v
+  }
+  series->wire_prefix = prefix + 1;  // trailing space before fields
   Series* raw = series.get();
   store.series.push_back(std::move(series));
   store.by_tagset.emplace(ts, idx);
@@ -211,46 +422,55 @@ Status TimeSeriesDb::write_batch(std::vector<Point> points) {
     }
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  // Cache the measurement and series lookups: batches overwhelmingly carry
-  // runs of points for the same measurement (and often the same tag set),
-  // so most points skip the map walks entirely.  Track the pre-append size
-  // of every touched series so ordering is restored once per series with a
-  // permutation sort instead of per-point binary inserts.
-  auto hint = series_.end();
-  Series* series_hint = nullptr;
-  const std::map<std::string, std::string>* hint_tags = nullptr;
-  std::vector<std::pair<Series*, std::size_t>> touched;
+  ++batch_counter_;
+  // Per-batch series memo: a direct-mapped hash table keyed by the point's
+  // (measurement, tags) that skips the dictionary interning walk for
+  // repeated tag sets — batches overwhelmingly cycle through a bounded set
+  // of series.  Misses (and collisions) fall back to the full resolve.
+  struct MemoSlot {
+    std::uint64_t hash = 0;
+    const Point* key = nullptr;
+    Series* series = nullptr;
+  };
+  constexpr std::size_t kMemoSlots = 1024;  // power of two
+  std::array<MemoSlot, kMemoSlots> memo{};
+  const std::string* cur_measurement = nullptr;
+  MeasurementStore* cur_store = nullptr;
+  std::vector<Series*> touched;
   for (const Point& point : points) {
-    bytes_written_ += point.wire_size();
-    if (hint == series_.end() || hint->first != point.measurement) {
-      hint = series_.find(point.measurement);
-      if (hint == series_.end()) {
-        hint = series_.emplace(point.measurement, MeasurementStore{}).first;
+    if (cur_measurement == nullptr || *cur_measurement != point.measurement) {
+      auto it = series_.find(point.measurement);
+      if (it == series_.end()) {
+        it = series_.emplace(point.measurement, MeasurementStore{}).first;
       }
-      bump_epoch_locked(hint->first);
-      series_hint = nullptr;
-      hint_tags = nullptr;
+      bump_epoch_locked(it->first);
+      cur_measurement = &it->first;
+      cur_store = &it->second;
     }
+    const std::uint64_t hash = series_key_hash(point);
+    MemoSlot& slot = memo[hash & (kMemoSlots - 1)];
     Series* series;
-    if (series_hint != nullptr && *hint_tags == point.tags) {
-      series = series_hint;
+    if (slot.series != nullptr && slot.hash == hash &&
+        slot.key->measurement == point.measurement &&
+        slot.key->tags == point.tags) {
+      series = slot.series;
     } else {
-      series = resolve_series_locked(hint->second, point.tags);
-      series_hint = series;
-      hint_tags = &point.tags;
+      series = resolve_series_locked(*cur_store, *cur_measurement, point.tags);
+      slot = {hash, &point, series};
     }
-    bool seen = false;
-    for (const auto& [ptr, size] : touched) {
-      if (ptr == series) {
-        seen = true;
-        break;
-      }
+    // O(1) touched dedup: a generation stamp instead of scanning the
+    // touched list per point (which was quadratic in distinct series).
+    if (series->touch_batch != batch_counter_) {
+      series->touch_batch = batch_counter_;
+      touched.push_back(series);
     }
-    if (!seen) touched.emplace_back(series, series->times.size());
+    bytes_written_ += wire_cost(*series, point);
     append_row_locked(*series, point);
   }
-  for (const auto& [series, old_size] : touched) {
-    restore_order(*series, old_size);
+  for (Series* series : touched) {
+    if (series->active.row_count() >= run_config_.seal_rows) {
+      seal_active_locked(*series);
+    }
   }
   refresh_gauges_locked();
   return Status::ok();
@@ -265,14 +485,26 @@ std::size_t TimeSeriesDb::enforce_retention(TimeNs now) {
     std::size_t trimmed = 0;
     for (auto& entry : store.series) {
       Series& s = *entry;
-      const auto live_begin =
-          s.times.begin() + static_cast<std::ptrdiff_t>(s.head);
-      auto pos = std::lower_bound(live_begin, s.times.end(), cutoff);
-      const auto new_head = static_cast<std::size_t>(pos - s.times.begin());
-      if (new_head == s.head) continue;
-      trimmed += new_head - s.head;
-      s.head = new_head;
-      maybe_compact(s);
+      const auto trim_run = [&](Run& run) {
+        if (run.empty()) return;
+        if (!run.sorted) sort_run(run);
+        const auto live_begin =
+            run.times.begin() + static_cast<std::ptrdiff_t>(run.head);
+        auto pos = std::lower_bound(live_begin, run.times.end(), cutoff);
+        const auto new_head = static_cast<std::size_t>(pos -
+                                                       run.times.begin());
+        if (new_head == run.head) return;
+        trimmed += new_head - run.head;
+        run.head = new_head;
+        maybe_compact(run);
+      };
+      trim_run(s.base);
+      for (Run& run : s.sealed) trim_run(run);
+      trim_run(s.active);
+      // Fully-trimmed sealed runs are dead weight; drop them now.
+      s.sealed.erase(std::remove_if(s.sealed.begin(), s.sealed.end(),
+                                    [](const Run& r) { return r.empty(); }),
+                     s.sealed.end());
     }
     if (trimmed != 0) {
       dropped += trimmed;
@@ -282,6 +514,23 @@ std::size_t TimeSeriesDb::enforce_retention(TimeNs now) {
   live_points_ -= dropped;
   if (dropped != 0) refresh_gauges_locked();
   return dropped;
+}
+
+std::size_t TimeSeriesDb::compact() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::size_t folded = 0;
+  for (auto& [name, store] : series_) {
+    for (auto& entry : store.series) {
+      Series& s = *entry;
+      const std::size_t loose =
+          s.sealed.size() + (s.active.empty() ? 0 : 1);
+      if (loose == 0) continue;
+      fold_series_locked(s, /*include_active=*/true);
+      folded += loose;
+    }
+  }
+  if (folded != 0) refresh_gauges_locked();
+  return folded;
 }
 
 std::vector<std::string> TimeSeriesDb::measurements() const {
@@ -322,10 +571,10 @@ std::uint64_t TimeSeriesDb::write_epoch(std::string_view measurement) const {
   return it == epochs_.end() ? 0 : it->second;
 }
 
-bool TimeSeriesDb::gather_slices_locked(
+bool TimeSeriesDb::gather_views_locked(
     std::string_view measurement, TimeNs time_min, TimeNs time_max,
     const std::map<std::string, std::string>& filters,
-    std::vector<SeriesSlice>& out) const {
+    std::vector<SeriesView>& out) const {
   auto it = series_.find(measurement);
   if (it == series_.end()) return false;
   // Resolve filter strings to dictionary ids once; a string the dictionary
@@ -349,14 +598,9 @@ bool TimeSeriesDb::gather_slices_locked(
       }
     }
     if (!ok) continue;
-    const auto live_begin =
-        s.times.begin() + static_cast<std::ptrdiff_t>(s.head);
-    auto begin = std::lower_bound(live_begin, s.times.end(), time_min);
-    auto end = std::upper_bound(begin, s.times.end(), time_max);
-    if (begin == end) continue;
-    out.emplace_back(&s, &dict_,
-                     static_cast<std::size_t>(begin - s.times.begin()),
-                     static_cast<std::size_t>(end - s.times.begin()));
+    SeriesView view = SeriesViewBuilder::build(s, dict_, time_min, time_max);
+    if (view.rows() == 0) continue;
+    out.push_back(std::move(view));
   }
   return true;
 }
@@ -366,11 +610,11 @@ bool TimeSeriesDb::scan(std::string_view measurement, TimeNs time_min,
                         const std::map<std::string, std::string>& tag_filters,
                         const ScanCallback& visit) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  std::vector<SeriesSlice> slices;
+  std::vector<SeriesView> views;
   const bool found =
-      gather_slices_locked(measurement, time_min, time_max, tag_filters,
-                           slices);
-  visit(std::span<const SeriesSlice>(slices));
+      gather_views_locked(measurement, time_min, time_max, tag_filters,
+                          views);
+  visit(std::span<const SeriesView>(views));
   return found;
 }
 
@@ -379,36 +623,32 @@ std::vector<Point> TimeSeriesDb::collect(
     const std::map<std::string, std::string>& tag_filters) const {
   std::vector<Point> out;
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  std::vector<SeriesSlice> slices;
-  if (!gather_slices_locked(measurement, time_min, time_max, tag_filters,
-                            slices)) {
+  std::vector<SeriesView> views;
+  if (!gather_views_locked(measurement, time_min, time_max, tag_filters,
+                           views)) {
     return out;
   }
   std::size_t total = 0;
-  for (const SeriesSlice& s : slices) total += s.rows();
+  for (const SeriesView& v : views) total += v.rows();
   out.reserve(total);
   // Decode each tag set once per series, not once per point.
   std::vector<std::map<std::string, std::string>> tag_maps;
-  tag_maps.reserve(slices.size());
-  for (const SeriesSlice& s : slices) tag_maps.push_back(s.decode_tags());
-  for_each_merged_row(
-      std::span<const SeriesSlice>(slices), [&](std::size_t si,
-                                                std::size_t row) {
-        const SeriesSlice& slice = slices[si];
-        Point p;
-        p.measurement = std::string(measurement);
-        p.tags = tag_maps[si];
-        p.time = slice.times()[row];
-        for (std::size_t f = 0; f < slice.field_count(); ++f) {
-          const std::uint8_t* present = slice.present(f);
-          if (present != nullptr && present[row] == 0) continue;
-          // Columns are name-sorted, so insertion at the map's end is O(1).
-          p.fields.emplace_hint(p.fields.end(),
-                                std::string(slice.field_name(f)),
-                                slice.values(f)[row]);
-        }
-        out.push_back(std::move(p));
-      });
+  tag_maps.reserve(views.size());
+  for (const SeriesView& v : views) tag_maps.push_back(v.decode_tags());
+  for (const ViewRow& ref : merged_view_rows(views)) {
+    const SeriesView& view = views[ref.view];
+    Point p;
+    p.measurement = std::string(measurement);
+    p.tags = tag_maps[ref.view];
+    p.time = ref.time;
+    for (std::size_t f = 0; f < view.field_count(); ++f) {
+      if (!view.has_value(f, ref.loc)) continue;
+      // Fields are name-sorted, so insertion at the map's end is O(1).
+      p.fields.emplace_hint(p.fields.end(), std::string(view.field_name(f)),
+                            view.value_at(f, ref.loc));
+    }
+    out.push_back(std::move(p));
+  }
   return out;
 }
 
@@ -420,54 +660,51 @@ Status TimeSeriesDb::dump_to_file(const std::string& path) const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     char value_buf[48];
     for (const auto& [name, store] : series_) {
-      std::vector<SeriesSlice> slices;
-      (void)gather_slices_locked(name, std::numeric_limits<TimeNs>::min(),
-                                 std::numeric_limits<TimeNs>::max(), {},
-                                 slices);
+      std::vector<SeriesView> views;
+      (void)gather_views_locked(name, std::numeric_limits<TimeNs>::min(),
+                                std::numeric_limits<TimeNs>::max(), {},
+                                views);
       // Per-series constants: the escaped "measurement,tag=v,..." prefix and
       // the escaped field names, rendered once instead of once per row.
       std::vector<std::string> prefixes;
       std::vector<std::vector<std::string>> field_names;
-      prefixes.reserve(slices.size());
-      field_names.reserve(slices.size());
-      for (const SeriesSlice& slice : slices) {
+      prefixes.reserve(views.size());
+      field_names.reserve(views.size());
+      for (const SeriesView& view : views) {
         std::string prefix = lp::escape(name);
-        for (const auto& [key_id, value_id] : slice.tagset()) {
+        for (const auto& [key_id, value_id] : view.tagset()) {
           prefix += ',';
-          prefix += lp::escape(slice.dict().string(key_id));
+          prefix += lp::escape(view.dict().string(key_id));
           prefix += '=';
-          prefix += lp::escape(slice.dict().string(value_id));
+          prefix += lp::escape(view.dict().string(value_id));
         }
         prefixes.push_back(std::move(prefix));
         std::vector<std::string> names;
-        names.reserve(slice.field_count());
-        for (std::size_t f = 0; f < slice.field_count(); ++f) {
-          names.push_back(lp::escape(std::string(slice.field_name(f))));
+        names.reserve(view.field_count());
+        for (std::size_t f = 0; f < view.field_count(); ++f) {
+          names.push_back(lp::escape(std::string(view.field_name(f))));
         }
         field_names.push_back(std::move(names));
       }
-      for_each_merged_row(
-          std::span<const SeriesSlice>(slices), [&](std::size_t si,
-                                                    std::size_t row) {
-            const SeriesSlice& slice = slices[si];
-            buffer += prefixes[si];
-            buffer += ' ';
-            bool first = true;
-            for (std::size_t f = 0; f < slice.field_count(); ++f) {
-              const std::uint8_t* present = slice.present(f);
-              if (present != nullptr && present[row] == 0) continue;
-              if (!first) buffer += ',';
-              first = false;
-              buffer += field_names[si][f];
-              buffer += '=';
-              const int n =
-                  lp::format_value(value_buf, slice.values(f)[row]);
-              buffer.append(value_buf, static_cast<std::size_t>(n));
-            }
-            buffer += ' ';
-            buffer += std::to_string(slice.times()[row]);
-            buffer += '\n';
-          });
+      for (const ViewRow& ref : merged_view_rows(views)) {
+        const SeriesView& view = views[ref.view];
+        buffer += prefixes[ref.view];
+        buffer += ' ';
+        bool first = true;
+        for (std::size_t f = 0; f < view.field_count(); ++f) {
+          if (!view.has_value(f, ref.loc)) continue;
+          if (!first) buffer += ',';
+          first = false;
+          buffer += field_names[ref.view][f];
+          buffer += '=';
+          const int n =
+              lp::format_value(value_buf, view.value_at(f, ref.loc));
+          buffer.append(value_buf, static_cast<std::size_t>(n));
+        }
+        buffer += ' ';
+        buffer += std::to_string(ref.time);
+        buffer += '\n';
+      }
     }
   }
   std::ofstream out(path);
@@ -541,28 +778,103 @@ std::size_t TimeSeriesDb::drop_measurement(std::string_view name) {
   return dropped;
 }
 
+std::size_t TimeSeriesDb::drop_series(
+    std::string_view measurement,
+    const std::map<std::string, std::string>& tags) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = series_.find(measurement);
+  if (it == series_.end()) return 0;
+  MeasurementStore& store = it->second;
+  std::size_t victim = store.series.size();
+  for (std::size_t i = 0; i < store.series.size(); ++i) {
+    const TagDictionary::TagSet& set = dict_.set(store.series[i]->tagset_id);
+    if (set.size() != tags.size()) continue;
+    bool match = true;
+    auto tag = tags.begin();
+    for (const auto& [key_id, value_id] : set) {
+      if (dict_.string(key_id) != tag->first ||
+          dict_.string(value_id) != tag->second) {
+        match = false;
+        break;
+      }
+      ++tag;
+    }
+    if (match) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim == store.series.size()) return 0;
+  const std::size_t dropped = store.series[victim]->row_count();
+  store.series.erase(store.series.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+  // Indices past the victim shifted down; rebuild both index structures.
+  store.by_tagset.clear();
+  store.sorted.clear();
+  for (std::uint32_t i = 0; i < store.series.size(); ++i) {
+    store.by_tagset.emplace(store.series[i]->tagset_id, i);
+    store.sorted.push_back(i);
+  }
+  std::sort(store.sorted.begin(), store.sorted.end(),
+            [this, &store](std::uint32_t a, std::uint32_t b) {
+              return tagset_less(dict_, dict_.set(store.series[a]->tagset_id),
+                                 dict_.set(store.series[b]->tagset_id));
+            });
+  bump_epoch_locked(it->first);
+  live_points_ -= dropped;
+  refresh_gauges_locked();
+  return dropped;
+}
+
 TsdbStats TimeSeriesDb::stats() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   TsdbStats st;
   st.measurements = series_.size();
-  for (const auto& [name, store] : series_) st.series += store.series.size();
+  for (const auto& [name, store] : series_) {
+    st.series += store.series.size();
+    for (const auto& entry : store.series) {
+      st.sealed_runs += entry->sealed.size();
+      st.active_rows += entry->active.row_count();
+    }
+  }
   st.points = live_points_;
   st.dict_strings = dict_.string_count();
   st.dict_tagsets = dict_.set_count();
   st.dict_bytes = dict_.memory_bytes();
   st.column_bytes = stats_column_bytes_locked();
+  st.run_seals = run_seals_;
+  st.run_folds = run_folds_;
   return st;
+}
+
+RunConfig TimeSeriesDb::run_config() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return run_config_;
+}
+
+void TimeSeriesDb::set_run_config(const RunConfig& config) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  run_config_ = config;
+  if (run_config_.seal_rows == 0) run_config_.seal_rows = 1;
+  if (run_config_.max_sealed == 0) run_config_.max_sealed = 1;
+  if (run_config_.fold_ratio <= 0.0) run_config_.fold_ratio = 0.5;
 }
 
 std::size_t TimeSeriesDb::stats_column_bytes_locked() const {
   std::size_t bytes = 0;
+  const auto run_bytes = [](const Run& run) {
+    std::size_t n =
+        run.times.size() * (sizeof(TimeNs) + sizeof(std::uint64_t));
+    for (const FieldColumn& col : run.fields) {
+      n += col.values.size() * sizeof(double) + col.present.size();
+    }
+    return n;
+  };
   for (const auto& [name, store] : series_) {
     for (const auto& entry : store.series) {
       const Series& s = *entry;
-      bytes += s.times.size() * (sizeof(TimeNs) + sizeof(std::uint64_t));
-      for (const FieldColumn& col : s.fields) {
-        bytes += col.values.size() * sizeof(double) + col.present.size();
-      }
+      bytes += run_bytes(s.base) + run_bytes(s.active);
+      for (const Run& run : s.sealed) bytes += run_bytes(run);
     }
   }
   return bytes;
@@ -578,18 +890,29 @@ void TimeSeriesDb::set_telemetry_instance(const std::string& instance) {
   m_dict_bytes_ = &reg.gauge(metrics::kMeasurementTsdb, instance, "dict_bytes");
   m_column_bytes_ =
       &reg.gauge(metrics::kMeasurementTsdb, instance, "column_bytes");
+  m_sealed_runs_ =
+      &reg.gauge(metrics::kMeasurementTsdb, instance, "sealed_runs");
+  m_run_seals_ = &reg.gauge(metrics::kMeasurementTsdb, instance, "run_seals");
+  m_run_folds_ = &reg.gauge(metrics::kMeasurementTsdb, instance, "run_folds");
   refresh_gauges_locked();
 }
 
 void TimeSeriesDb::refresh_gauges_locked() {
   if (m_series_ == nullptr) return;
   std::size_t series = 0;
-  for (const auto& [name, store] : series_) series += store.series.size();
+  std::size_t sealed_runs = 0;
+  for (const auto& [name, store] : series_) {
+    series += store.series.size();
+    for (const auto& entry : store.series) sealed_runs += entry->sealed.size();
+  }
   m_series_->set(static_cast<double>(series));
   m_points_->set(static_cast<double>(live_points_));
   m_dict_strings_->set(static_cast<double>(dict_.string_count()));
   m_dict_bytes_->set(static_cast<double>(dict_.memory_bytes()));
   m_column_bytes_->set(static_cast<double>(stats_column_bytes_locked()));
+  m_sealed_runs_->set(static_cast<double>(sealed_runs));
+  m_run_seals_->set(static_cast<double>(run_seals_));
+  m_run_folds_->set(static_cast<double>(run_folds_));
 }
 
 }  // namespace pmove::tsdb

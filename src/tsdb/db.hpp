@@ -1,35 +1,42 @@
-// In-memory time-series database (InfluxDB 1.x substrate) — columnar engine.
+// In-memory time-series database (InfluxDB 1.x substrate) — columnar engine
+// with an LSM-style write path.
 //
-// Stores points per (measurement, interned tag set) in columnar form: a
-// sorted timestamp column, an arrival-sequence column, and one contiguous
-// double column per field (tsdb/columns.hpp).  Tag strings live once in a
-// per-DB dictionary (tsdb/dict.hpp), so tag filtering is integer
-// comparison; time-range pruning is a binary search on the timestamp
-// column; retention trims advance a head offset in O(log n) per series
-// with amortized compaction.
+// Stores points per (measurement, interned tag set) in columnar form: each
+// series is a small LSM tree of runs (tsdb/columns.hpp) — a sorted base, a
+// bounded list of sealed sorted runs, and an arrival-order active run — so
+// a batch write is a pure column append.  Ordering is restored lazily: the
+// active run is sorted once when it is sealed at PMOVE_TSDB_RUN_ROWS rows,
+// and an amortized compactor folds sealed runs into the base (triggered at
+// seal time by run count / size ratio, or explicitly via compact()).  Tag
+// strings live once in a per-DB dictionary (tsdb/dict.hpp), so tag
+// filtering is integer comparison; time-range pruning is a binary search
+// per sorted run; retention trims advance per-run head offsets with
+// amortized compaction.
 //
 // Read paths:
-//   * scan()    — the zero-copy primitive: hands the caller column slices
-//                 (std::span views) of every matching series under the
-//                 shared lock.  The query module's execute stage aggregates
-//                 directly over these slices.
+//   * scan()    — the zero-copy primitive: hands the caller a SeriesView
+//                 cursor per matching series under the shared lock.  Views
+//                 present one logical (time, seq)-ordered row sequence and
+//                 hide the run structure entirely — query, fleet and bench
+//                 code never learn that runs exist.
 //   * collect() — compatibility wrapper that materializes Points from the
-//                 slices for legacy callers (and the sharded merge path).
+//                 views for legacy callers (and the sharded merge path).
 //
-// Ordering: rows are sorted by (time, arrival seq), the same total order
-// the seed row store maintained, so merged scans reproduce the seed's
-// point order — and therefore its floating-point aggregation order —
-// bit for bit.
+// Ordering: rows are merged by (time, arrival seq), the same total order
+// the seed row store maintained, so scans reproduce the seed's point
+// order — and therefore its floating-point aggregation order — bit for
+// bit, regardless of how rows are distributed across runs.
 //
 // Concurrency: storage is guarded by a shared_mutex — any number of panel
 // readers (scan/collect/point_count/...) proceed in parallel and only
-// writers (write_batch, retention, clear) take the lock exclusively.  Every
-// write bumps the touched measurement's *write epoch*, a never-repeating
-// global counter the query engine's result cache keys its invalidation on.
+// writers (write_batch, retention, compact, clear) take the lock
+// exclusively.  Every write bumps the touched measurement's *write epoch*,
+// a never-repeating global counter the query engine's result cache keys
+// its invalidation on.
 //
 // The query front end lives in src/query (parse → plan → execute, result
-// cache, downsample pushdown); this class stores columns and hands out
-// slices (scan) or filtered copies (collect).
+// cache, downsample pushdown); this class stores runs and hands out views
+// (scan) or filtered copies (collect).
 #pragma once
 
 #include <cstdint>
@@ -82,31 +89,43 @@ struct TsdbStats {
   /// maps, including trimmed rows awaiting compaction.  Excludes allocator
   /// slack and per-series fixed overhead.
   std::size_t column_bytes = 0;
+  std::size_t sealed_runs = 0;   ///< sorted runs awaiting compaction
+  std::size_t active_rows = 0;   ///< rows in arrival-order active runs
+  std::uint64_t run_seals = 0;   ///< lifetime active-run seals
+  std::uint64_t run_folds = 0;   ///< lifetime sealed→base compactions
 };
 
 class TimeSeriesDb : public PointSink {
  public:
-  TimeSeriesDb() = default;
+  TimeSeriesDb() : run_config_(RunConfig::from_env()) {}
   explicit TimeSeriesDb(RetentionPolicy retention)
-      : retention_(retention) {}
+      : retention_(retention), run_config_(RunConfig::from_env()) {}
 
-  /// Bulk insert: one lock acquisition and one ordering pass per batch
-  /// instead of per point.  The batch is validated up front and rejected as
-  /// a unit if any point is invalid (no partial insert).  Bumps the write
-  /// epoch of every touched measurement.  (Single points and line protocol
-  /// go through the PointSink write()/write_line() helpers.)
+  /// Bulk insert: one lock acquisition per batch, pure column appends per
+  /// point (ordering is restored lazily at seal/compaction time).  The
+  /// batch is validated up front and rejected as a unit if any point is
+  /// invalid (no partial insert).  Bumps the write epoch of every touched
+  /// measurement.  (Single points and line protocol go through the
+  /// PointSink write()/write_line() helpers.)
   Status write_batch(std::vector<Point> points) override;
 
   /// DEPRECATED: legacy string read path, kept as a thin parse-then-run
-  /// wrapper for line-protocol compatibility.  New callers should build a
-  /// typed query::Query (query/query.hpp) and execute it with query::run()
-  /// or through a query::QueryEngine, which adds result caching and
-  /// downsample pushdown.  Defined in src/query/compat.cpp — callers must
-  /// link pmove_query.
-  [[nodiscard]] Expected<QueryResult> query(std::string_view text) const;
+  /// wrapper for line-protocol compatibility.  Build a typed query::Query
+  /// (query/query.hpp) and execute it with query::run() or through a
+  /// query::QueryEngine, which adds result caching and downsample
+  /// pushdown.  Defined in src/query/compat.cpp — callers must link
+  /// pmove_query.  Scheduled for removal; see DESIGN.md.
+  [[deprecated("parse the text with query::Query::parse and use query::run "
+               "(src/query) instead")]] [[nodiscard]]
+  Expected<QueryResult> query(std::string_view text) const;
 
   /// Drops points older than the retention window; returns #dropped.
   std::size_t enforce_retention(TimeNs now);
+
+  /// Folds every series' sealed + active runs into its sorted base run.
+  /// Writers do this incrementally; an explicit call is useful before a
+  /// read-heavy phase or in tests.  Returns the number of runs folded.
+  std::size_t compact();
 
   [[nodiscard]] std::vector<std::string> measurements() const;
   [[nodiscard]] std::size_t point_count() const;
@@ -130,6 +149,12 @@ class TimeSeriesDb : public PointSink {
   /// targets.
   std::size_t drop_measurement(std::string_view name);
 
+  /// Removes one series (measurement + exact tag set); returns the number
+  /// of dropped points.  The fleet tier uses this to migrate exactly the
+  /// series whose ring placement moved.
+  std::size_t drop_series(std::string_view measurement,
+                          const std::map<std::string, std::string>& tags);
+
   [[nodiscard]] bool has_measurement(std::string_view name) const;
 
   /// Write epoch of a measurement: 0 while absent, otherwise a globally
@@ -141,14 +166,14 @@ class TimeSeriesDb : public PointSink {
 
   // ----------------------------------------------------------- read paths
 
-  /// Zero-copy scan: invoked exactly once with a column slice per matching
+  /// Zero-copy scan: invoked exactly once with a SeriesView per matching
   /// series (tag filters satisfied, rows clipped to [time_min, time_max],
   /// series ordered by decoded tag set so iteration order is
   /// deterministic).  The DB's shared lock is held for the duration of the
-  /// callback; the slices alias live column storage and MUST NOT escape
+  /// callback; the views alias live column storage and MUST NOT escape
   /// it.  Series with no row in range are omitted.  Returns false (with an
   /// empty-span callback) when the measurement does not exist.
-  using ScanCallback = std::function<void(std::span<const SeriesSlice>)>;
+  using ScanCallback = std::function<void(std::span<const SeriesView>)>;
   bool scan(std::string_view measurement, TimeNs time_min, TimeNs time_max,
             const std::map<std::string, std::string>& tag_filters,
             const ScanCallback& visit) const;
@@ -165,10 +190,15 @@ class TimeSeriesDb : public PointSink {
 
   [[nodiscard]] TsdbStats stats() const;
 
+  /// LSM write-path tuning.  set_run_config applies to subsequent writes
+  /// only (existing runs keep their shape until the compactor folds them).
+  [[nodiscard]] RunConfig run_config() const;
+  void set_run_config(const RunConfig& config);
+
   /// Enables pmove_tsdb self-telemetry: after every mutation the storage
-  /// gauges (series/points/dict/column bytes) are refreshed under the
-  /// given instance tag.  Off by default — per-shard ingest DBs stay
-  /// silent; the daemon names its primary DB.
+  /// gauges (series/points/dict/column bytes, run counters) are refreshed
+  /// under the given instance tag.  Off by default — per-shard ingest DBs
+  /// stay silent; the daemon names its primary DB.
   void set_telemetry_instance(const std::string& instance);
 
  private:
@@ -183,23 +213,28 @@ class TimeSeriesDb : public PointSink {
   /// Bumps `measurement`'s epoch; caller holds the exclusive lock.
   void bump_epoch_locked(const std::string& measurement);
 
-  /// Appends one point's row to `series`; caller holds the exclusive lock.
+  /// Appends one point's row to the series' active run, then seals/folds
+  /// if thresholds are crossed; caller holds the exclusive lock.
   void append_row_locked(Series& series, const Point& point);
 
-  /// Restores the (time, seq) ordering invariant after a batch appended
-  /// rows [old_size, ...) possibly out of order.
-  static void restore_order(Series& series, std::size_t old_size);
+  /// Sorts the active run if needed and moves it onto the sealed list.
+  void seal_active_locked(Series& series);
+
+  /// Folds base + sealed (and, when `include_active`, the active run) into
+  /// one sorted base run.
+  void fold_series_locked(Series& series, bool include_active);
 
   /// Finds (or creates) the series of `tags` under `store`.
   Series* resolve_series_locked(MeasurementStore& store,
+                                const std::string& measurement,
                                 const std::map<std::string, std::string>& tags);
 
-  /// Matching slices of `measurement` under the (already held) shared
+  /// Matching views of `measurement` under the (already held) shared
   /// lock; returns false when the measurement is absent.
-  bool gather_slices_locked(std::string_view measurement, TimeNs time_min,
-                            TimeNs time_max,
-                            const std::map<std::string, std::string>& filters,
-                            std::vector<SeriesSlice>& out) const;
+  bool gather_views_locked(std::string_view measurement, TimeNs time_min,
+                           TimeNs time_max,
+                           const std::map<std::string, std::string>& filters,
+                           std::vector<SeriesView>& out) const;
 
   [[nodiscard]] std::size_t stats_column_bytes_locked() const;
   void refresh_gauges_locked();
@@ -210,9 +245,13 @@ class TimeSeriesDb : public PointSink {
   TagDictionary dict_;
   std::uint64_t epoch_counter_ = 0;  ///< never reset, so epochs never repeat
   std::uint64_t seq_counter_ = 0;    ///< per-DB arrival counter (row order)
+  std::uint64_t batch_counter_ = 0;  ///< write_batch touch-dedup generation
   std::size_t live_points_ = 0;
   RetentionPolicy retention_;
+  RunConfig run_config_;
   std::size_t bytes_written_ = 0;
+  std::uint64_t run_seals_ = 0;
+  std::uint64_t run_folds_ = 0;
 
   // pmove_tsdb self-telemetry; null until set_telemetry_instance().
   metrics::Gauge* m_series_ = nullptr;
@@ -220,10 +259,14 @@ class TimeSeriesDb : public PointSink {
   metrics::Gauge* m_dict_strings_ = nullptr;
   metrics::Gauge* m_dict_bytes_ = nullptr;
   metrics::Gauge* m_column_bytes_ = nullptr;
+  metrics::Gauge* m_sealed_runs_ = nullptr;
+  metrics::Gauge* m_run_seals_ = nullptr;
+  metrics::Gauge* m_run_folds_ = nullptr;
 };
 
 /// DEPRECATED alongside TimeSeriesDb::query — use query::run_sharded with a
 /// typed query::Query.  Defined in src/query/compat.cpp (link pmove_query).
+[[deprecated("use query::run_sharded (src/query) instead")]]
 Expected<QueryResult> query_sharded(
     const std::vector<const TimeSeriesDb*>& shards, std::string_view text);
 

@@ -40,9 +40,18 @@ namespace lp {
 /// Escapes commas, spaces, '=' and backslashes in an identifier.
 std::string escape(const std::string& s);
 
-/// Renders a field value (integral values as integers, else %.17g) into
-/// `buf`; returns the length.
+/// Length of escape(s) without building it.
+std::size_t escaped_size(std::string_view s);
+
+/// Renders a field value (integral values as integers, else the shortest
+/// round-trip decimal form) into `buf`; returns the length.
 int format_value(char (&buf)[48], double v);
+
+/// Length of format_value's rendering without writing it anywhere useful.
+std::size_t value_width(double v);
+
+/// Length of the base-10 rendering of a timestamp/integer.
+std::size_t decimal_width(long long value);
 
 }  // namespace lp
 

@@ -4,6 +4,7 @@
 
 #include "cluster/cluster.hpp"
 #include "kernels/kernels.hpp"
+#include "query/plan.hpp"
 
 namespace pmove::cluster {
 namespace {
@@ -138,7 +139,8 @@ TEST_F(ClusterTest, FabricTelemetryRecordedPerJob) {
   // 2 nodes -> 2 directed links sampled once.
   EXPECT_EQ(cluster_.fabric_telemetry().point_count("network_link_bytes"),
             2u);
-  auto result = cluster_.fabric_telemetry().query(
+  auto result = query::run(
+      cluster_.fabric_telemetry(),
       "SELECT \"bytes\" FROM \"network_link_bytes\" WHERE from=\"icl\"");
   ASSERT_TRUE(result.has_value());
   ASSERT_EQ(result->rows.size(), 1u);

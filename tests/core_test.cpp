@@ -4,6 +4,7 @@
 #include "core/pinning.hpp"
 #include "dashboard/views.hpp"
 #include "kernels/kernels.hpp"
+#include "query/plan.hpp"
 
 namespace pmove::core {
 namespace {
@@ -149,8 +150,8 @@ TEST_F(DaemonTest, InternalsObservationAndDashboard) {
   // measurements (the daemon's own DocumentStore registered pmove_docdb
   // handles at construction, so that group always exists).
   ASSERT_TRUE(daemon_.publish_internals(from_seconds(1.0)).is_ok());
-  auto result = daemon_.timeseries().query(
-      "SELECT \"inserts\" FROM \"pmove_docdb\"");
+  auto result = query::run(daemon_.timeseries(),
+                           "SELECT \"inserts\" FROM \"pmove_docdb\"");
   ASSERT_TRUE(result.has_value()) << result.status().to_string();
   EXPECT_FALSE(result->rows.empty());
 }
@@ -188,7 +189,7 @@ TEST_F(DaemonTest, ScenarioBProfilesWorkloadEndToEnd) {
   ASSERT_FALSE(queries.empty());
   int with_rows = 0;
   for (const auto& query : queries) {
-    auto result = daemon_.timeseries().query(query);
+    auto result = pmove::query::run(daemon_.timeseries(), query);
     if (result.has_value() && !result->rows.empty()) ++with_rows;
   }
   EXPECT_GT(with_rows, 0);

@@ -7,6 +7,7 @@
 #include "docdb/store.hpp"
 #include "fault/fault.hpp"
 #include "kb/kb.hpp"
+#include "query/plan.hpp"
 #include "sampler/session.hpp"
 #include "sampler/transport.hpp"
 #include "tsdb/db.hpp"
@@ -105,7 +106,7 @@ TEST(FailureTest, TsdbSurvivesHostileQueries) {
            "select from where and or",
            "SELECT \"v\" FROM",
        }) {
-    auto result = db.query(rejected);
+    auto result = query::run(db, rejected);
     EXPECT_FALSE(result.has_value()) << rejected;  // error, not crash
   }
   // Lenient-by-design inputs (InfluxDB-style): overflowing time literals
@@ -114,7 +115,7 @@ TEST(FailureTest, TsdbSurvivesHostileQueries) {
            "SELECT \"v\" FROM \"m\" WHERE time >= 99999999999999999999",
            "SELECT \"no_such_field\" FROM \"m\"",
        }) {
-    auto result = db.query(lenient);
+    auto result = query::run(db, lenient);
     EXPECT_TRUE(result.has_value()) << lenient;
   }
 }
@@ -131,7 +132,7 @@ TEST(FailureTest, TsdbHandlesExtremeTimestamps) {
   late.time = std::numeric_limits<TimeNs>::max() / 2;
   late.fields["v"] = 2.0;
   ASSERT_TRUE(db.write(std::move(late)).is_ok());
-  auto result = db.query("SELECT \"v\" FROM \"m\"");
+  auto result = query::run(db, "SELECT \"v\" FROM \"m\"");
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->rows.size(), 2u);
 }

@@ -15,6 +15,7 @@
 #include "ingest/engine.hpp"
 #include "ingest/ring_buffer.hpp"
 #include "ingest/wal.hpp"
+#include "query/plan.hpp"
 #include "sampler/session.hpp"
 #include "topology/machine.hpp"
 #include "tsdb/db.hpp"
@@ -149,7 +150,7 @@ TEST(IngestEngineTest, ShardedQueryMatchesSingleDb) {
         "SELECT count(\"value\") FROM \"cycles\" WHERE time >= 500 AND "
         "time <= 1500"}) {
     auto sharded = engine.query(query);
-    auto single = reference.query(query);
+    auto single = pmove::query::run(reference, query);
     ASSERT_TRUE(sharded.has_value()) << query;
     ASSERT_TRUE(single.has_value()) << query;
     EXPECT_EQ(sharded->columns, single->columns) << query;

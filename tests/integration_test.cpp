@@ -11,6 +11,7 @@
 #include "core/daemon.hpp"
 #include "dashboard/views.hpp"
 #include "kernels/kernels.hpp"
+#include "query/plan.hpp"
 #include "spmv/algorithms.hpp"
 #include "spmv/generators.hpp"
 #include "spmv/reorder.hpp"
@@ -103,9 +104,10 @@ TEST(Integration, SpmvLiveMonitoring) {
       kb::hw_measurement("FP_ARITH:512B_PACKED_DOUBLE");
   const std::string scalar_m = kb::hw_measurement("FP_ARITH:SCALAR_DOUBLE");
   auto sum_for = [&](const std::string& measurement, const std::string& tag) {
-    auto result = daemon.timeseries().query(
+    auto result = query::run(
+        daemon.timeseries(),
         "SELECT sum(\"_cpu0\") FROM \"" + measurement + "\" WHERE tag=\"" +
-        tag + "\"");
+            tag + "\"");
     return result.has_value() && !result->rows.empty() &&
                    !std::isnan(result->rows[0][1])
                ? result->rows[0][1]
@@ -214,7 +216,7 @@ TEST(Integration, RecordedSessionReplay) {
   // Queries replay against the restored TSDB.
   int rows = 0;
   for (const auto& query : obs->generate_queries()) {
-    auto result = replayer.timeseries().query(query);
+    auto result = pmove::query::run(replayer.timeseries(), query);
     if (result.has_value()) rows += static_cast<int>(result->rows.size());
   }
   EXPECT_GT(rows, 0);

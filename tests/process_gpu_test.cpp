@@ -11,6 +11,7 @@
 #include "json/jsonld.hpp"
 #include "kb/kb.hpp"
 #include "kb/process.hpp"
+#include "query/plan.hpp"
 #include "tsdb/db.hpp"
 
 namespace pmove {
@@ -195,7 +196,7 @@ TEST(GpuProfilerTest, FullFlowAppendsObservationAndPoints) {
   ASSERT_EQ(kb.observations().size(), 1u);
   int rows = 0;
   for (const auto& query : obs->generate_queries()) {
-    auto result = db.query(query);
+    auto result = pmove::query::run(db, query);
     if (result.has_value()) rows += static_cast<int>(result->rows.size());
   }
   EXPECT_EQ(rows, 4);

@@ -9,6 +9,7 @@
 #include "abstraction/formula.hpp"
 #include "core/pinning.hpp"
 #include "kb/linked_query.hpp"
+#include "query/plan.hpp"
 #include "tsdb/db.hpp"
 #include "carm/model.hpp"
 #include "json/value.hpp"
@@ -349,7 +350,7 @@ TEST_P(GroupByProperty, BucketCountsSumToTotal) {
     ASSERT_TRUE(db.write(std::move(p)).is_ok());
   }
   for (const char* interval : {"100ns", "1000ns", "7000ns", "1us"}) {
-    auto result = db.query(std::string("SELECT count(\"v\"), sum(\"v\") "
+    auto result = query::run(db, std::string("SELECT count(\"v\"), sum(\"v\") "
                                        "FROM \"m\" GROUP BY time(") +
                            interval + ")");
     ASSERT_TRUE(result.has_value()) << interval;

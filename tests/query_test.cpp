@@ -109,7 +109,7 @@ TEST(QueryRun, TypedMatchesLegacyStringPath) {
       "GROUP BY time(250ns)",
   };
   for (const char* text : texts) {
-    auto via_string = db.query(text);
+    auto via_string = run(db, text);
     auto parsed = Query::parse(text);
     ASSERT_TRUE(parsed.has_value()) << text;
     auto via_typed = run(db, *parsed);

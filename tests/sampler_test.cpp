@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kernels/kernels.hpp"
+#include "query/plan.hpp"
 #include "sampler/agents.hpp"
 #include "sampler/live.hpp"
 #include "sampler/resources.hpp"
@@ -274,7 +275,8 @@ TEST(LiveSamplerTest, SamplesRealKernelRun) {
   const double sampled = sampler.accumulated("FP_ARITH:SCALAR_DOUBLE");
   EXPECT_NEAR(sampled, truth, truth * 0.05);
   // Tagged rows landed in the TSDB.
-  auto result = db.query(
+  auto result = query::run(
+      db,
       "SELECT \"_cpu0\" FROM "
       "\"perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE_value\" WHERE "
       "tag=\"test-tag\"");

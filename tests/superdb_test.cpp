@@ -2,6 +2,7 @@
 
 #include "kb/ids.hpp"
 #include "kb/kb.hpp"
+#include "query/plan.hpp"
 #include "superdb/superdb.hpp"
 #include "tsdb/db.hpp"
 
@@ -65,9 +66,10 @@ TEST_F(SuperDbTest, TsObservationCopiesRows) {
   ASSERT_EQ(docs.size(), 1u);
   EXPECT_EQ(docs[0].find("@type")->as_string(), "TSObservationInterface");
   // Global rows carry the host tag for cross-system queries.
-  auto result = super_.timeseries().query(
-      "SELECT \"_cpu0\" FROM \"" + obs.metrics[0].db_name +
-      "\" WHERE host=\"skx\"");
+  auto result = query::run(super_.timeseries(),
+                           "SELECT \"_cpu0\" FROM \"" +
+                               obs.metrics[0].db_name +
+                               "\" WHERE host=\"skx\"");
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->rows.size(), 10u);
 }

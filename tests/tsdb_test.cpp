@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iterator>
@@ -9,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "query/plan.hpp"
 #include "tsdb/db.hpp"
 #include "tsdb/point.hpp"
 
@@ -134,7 +137,7 @@ TEST(LineProtocolTest, OutOfOrderTimestampsParseIndependently) {
   ASSERT_TRUE(db.write_line("m value=3 300").is_ok());
   ASSERT_TRUE(db.write_line("m value=1 100").is_ok());
   ASSERT_TRUE(db.write_line("m value=2 200").is_ok());
-  auto result = db.query("SELECT \"value\" FROM \"m\"");
+  auto result = query::run(db, "SELECT \"value\" FROM \"m\"");
   ASSERT_TRUE(result.has_value());
   ASSERT_EQ(result->rows.size(), 3u);
   EXPECT_DOUBLE_EQ(result->rows[0][1], 1.0);
@@ -177,7 +180,7 @@ TEST(DbTest, OutOfOrderInsertKeepsTimeOrder) {
   ASSERT_TRUE(db.write(make_point("m", 30, 3.0)).is_ok());
   ASSERT_TRUE(db.write(make_point("m", 10, 1.0)).is_ok());
   ASSERT_TRUE(db.write(make_point("m", 20, 2.0)).is_ok());
-  auto result = db.query("SELECT \"value\" FROM \"m\"");
+  auto result = query::run(db, "SELECT \"value\" FROM \"m\"");
   ASSERT_TRUE(result.has_value());
   ASSERT_EQ(result->rows.size(), 3u);
   EXPECT_LT(result->rows[0][0], result->rows[1][0]);
@@ -193,7 +196,7 @@ TEST(DbTest, WriteBatchBulkInsert) {
   ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
   EXPECT_EQ(db.point_count("m"), 100u);
   // Out-of-order batch contents still come back time-sorted.
-  auto result = db.query("SELECT \"value\" FROM \"m\"");
+  auto result = query::run(db, "SELECT \"value\" FROM \"m\"");
   ASSERT_TRUE(result.has_value());
   for (std::size_t r = 1; r < result->rows.size(); ++r) {
     EXPECT_LE(result->rows[r - 1][0], result->rows[r][0]);
@@ -222,24 +225,48 @@ TEST(DbTest, QueryShardedMergesLikeOneDb) {
     ASSERT_TRUE(all.write(p).is_ok());
     ASSERT_TRUE((i % 2 == 0 ? shard_a : shard_b).write(p).is_ok());
   }
-  for (const char* query :
+  for (const char* text :
        {"SELECT * FROM \"m\"", "SELECT mean(\"value\") FROM \"m\"",
         "SELECT count(\"value\") FROM \"m\" WHERE tag=\"odd\""}) {
-    auto merged = query_sharded({&shard_a, &shard_b}, query);
-    auto single = all.query(query);
-    ASSERT_TRUE(merged.has_value()) << query;
-    ASSERT_TRUE(single.has_value()) << query;
-    ASSERT_EQ(merged->rows.size(), single->rows.size()) << query;
+    auto merged = query::run_sharded({&shard_a, &shard_b}, text);
+    auto single = query::run(all, text);
+    ASSERT_TRUE(merged.has_value()) << text;
+    ASSERT_TRUE(single.has_value()) << text;
+    ASSERT_EQ(merged->rows.size(), single->rows.size()) << text;
     for (std::size_t r = 0; r < single->rows.size(); ++r) {
       for (std::size_t c = 0; c < single->rows[r].size(); ++c) {
-        EXPECT_DOUBLE_EQ(merged->rows[r][c], single->rows[r][c]) << query;
+        EXPECT_DOUBLE_EQ(merged->rows[r][c], single->rows[r][c]) << text;
       }
     }
   }
   // Unknown measurements still signal not_found across shards.
   EXPECT_FALSE(
-      query_sharded({&shard_a, &shard_b}, "SELECT * FROM \"nope\"")
+      query::run_sharded({&shard_a, &shard_b}, "SELECT * FROM \"nope\"")
           .has_value());
+}
+
+// The deprecated string entry points survive as parse-only shims over
+// query::run (src/query/compat.cpp) until the removal noted in DESIGN.md.
+// This is the one deliberate caller left in the tree; everything else goes
+// through the typed Query AST.
+TEST(ShardedQueryTest, DeprecatedStringShimMatchesTypedPath) {
+  TimeSeriesDb db;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.write(make_point("m", i * 5, i * 1.5)).is_ok());
+  }
+  const std::string_view text = "SELECT \"value\" FROM \"m\"";
+  auto typed = query::run(db, text);
+  ASSERT_TRUE(typed.has_value());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto via_member = db.query(text);
+  auto via_sharded = query_sharded({&db}, text);
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(via_member.has_value());
+  ASSERT_TRUE(via_sharded.has_value());
+  EXPECT_EQ(via_member->columns, typed->columns);
+  EXPECT_EQ(via_member->rows, typed->rows);
+  EXPECT_EQ(via_sharded->rows, typed->rows);
 }
 
 // ----------------------------------------------------------------- queries
@@ -261,7 +288,7 @@ class QueryTest : public ::testing::Test {
 };
 
 TEST_F(QueryTest, PaperListing3Shape) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT \"_cpu0\", \"_cpu1\" FROM \"kernel_percpu_cpu_idle\" WHERE "
       "tag=\"run-a\"");
   ASSERT_TRUE(result.has_value());
@@ -273,7 +300,7 @@ TEST_F(QueryTest, PaperListing3Shape) {
 }
 
 TEST_F(QueryTest, SelectStarCollectsAllFields) {
-  auto result = db_.query("SELECT * FROM \"kernel_percpu_cpu_idle\"");
+  auto result = query::run(db_, "SELECT * FROM \"kernel_percpu_cpu_idle\"");
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->columns,
             (std::vector<std::string>{"time", "_cpu0", "_cpu1"}));
@@ -281,12 +308,12 @@ TEST_F(QueryTest, SelectStarCollectsAllFields) {
 }
 
 TEST_F(QueryTest, TimeRangeFilters) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\" WHERE time >= 200 "
       "AND time <= 400");
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->rows.size(), 3u);
-  auto strict = db_.query(
+  auto strict = query::run(db_,
       "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\" WHERE time > 200 "
       "AND time < 400");
   EXPECT_EQ(strict->rows.size(), 1u);
@@ -295,7 +322,7 @@ TEST_F(QueryTest, TimeRangeFilters) {
 TEST_F(QueryTest, MissingFieldIsNaN) {
   ASSERT_TRUE(db_.write(make_point("kernel_percpu_cpu_idle", 9999, 1.0))
                   .is_ok());  // only "value" field
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT \"_cpu0\" FROM \"kernel_percpu_cpu_idle\" WHERE time >= 9999");
   ASSERT_TRUE(result.has_value());
   ASSERT_EQ(result->rows.size(), 1u);
@@ -303,7 +330,7 @@ TEST_F(QueryTest, MissingFieldIsNaN) {
 }
 
 TEST_F(QueryTest, Aggregates) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT min(\"_cpu0\"), max(\"_cpu0\"), mean(\"_cpu0\"), "
       "sum(\"_cpu0\"), count(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\"");
   ASSERT_TRUE(result.has_value());
@@ -317,7 +344,7 @@ TEST_F(QueryTest, Aggregates) {
 }
 
 TEST_F(QueryTest, StddevFirstLast) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT stddev(\"_cpu0\"), first(\"_cpu0\"), last(\"_cpu0\") FROM "
       "\"kernel_percpu_cpu_idle\" WHERE tag=\"run-a\"");
   ASSERT_TRUE(result.has_value());
@@ -328,7 +355,7 @@ TEST_F(QueryTest, StddevFirstLast) {
 }
 
 TEST_F(QueryTest, AggregateOfEmptySelectionIsNaN) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT mean(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" WHERE "
       "tag=\"missing\"");
   ASSERT_TRUE(result.has_value());
@@ -336,24 +363,24 @@ TEST_F(QueryTest, AggregateOfEmptySelectionIsNaN) {
 }
 
 TEST_F(QueryTest, ErrorCases) {
-  EXPECT_FALSE(db_.query("").has_value());
-  EXPECT_FALSE(db_.query("DELETE FROM x").has_value());
-  EXPECT_FALSE(db_.query("SELECT \"a\" FROM \"missing_measurement\"")
+  EXPECT_FALSE(query::run(db_, "").has_value());
+  EXPECT_FALSE(query::run(db_, "DELETE FROM x").has_value());
+  EXPECT_FALSE(query::run(db_, "SELECT \"a\" FROM \"missing_measurement\"")
                    .has_value());
-  EXPECT_FALSE(db_.query("SELECT FROM \"kernel_percpu_cpu_idle\"")
+  EXPECT_FALSE(query::run(db_, "SELECT FROM \"kernel_percpu_cpu_idle\"")
                    .has_value());
-  EXPECT_FALSE(db_.query("SELECT bogus(\"x\") FROM \"kernel_percpu_cpu_idle\"")
+  EXPECT_FALSE(query::run(db_, "SELECT bogus(\"x\") FROM \"kernel_percpu_cpu_idle\"")
                    .has_value());
   EXPECT_FALSE(
-      db_.query("SELECT \"a\", mean(\"b\") FROM \"kernel_percpu_cpu_idle\"")
+      query::run(db_, "SELECT \"a\", mean(\"b\") FROM \"kernel_percpu_cpu_idle\"")
           .has_value());
-  EXPECT_FALSE(db_.query("SELECT \"a\" FROM \"kernel_percpu_cpu_idle\" "
+  EXPECT_FALSE(query::run(db_, "SELECT \"a\" FROM \"kernel_percpu_cpu_idle\" "
                          "WHERE time ~ 5")
                    .has_value());
 }
 
 TEST_F(QueryTest, CaseInsensitiveKeywords) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "select \"_cpu0\" from \"kernel_percpu_cpu_idle\" where tag='run-b'");
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->rows.size(), 5u);
@@ -362,7 +389,7 @@ TEST_F(QueryTest, CaseInsensitiveKeywords) {
 
 TEST_F(QueryTest, GroupByTimeDownsamples) {
   // 10 points at t = 0..900; 250ns buckets -> 4 buckets of sizes 3,2,3,2.
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT mean(\"_cpu0\"), count(\"_cpu0\") FROM "
       "\"kernel_percpu_cpu_idle\" GROUP BY time(250ns)");
   ASSERT_TRUE(result.has_value()) << result.status().to_string();
@@ -375,7 +402,7 @@ TEST_F(QueryTest, GroupByTimeDownsamples) {
 }
 
 TEST_F(QueryTest, GroupByTimeWithWhere) {
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT sum(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" WHERE "
       "tag=\"run-a\" GROUP BY time(1s)");
   ASSERT_TRUE(result.has_value());
@@ -385,7 +412,7 @@ TEST_F(QueryTest, GroupByTimeWithWhere) {
 
 TEST_F(QueryTest, GroupByTimeUnits) {
   // 1us = 1000ns covers all points in one bucket.
-  auto result = db_.query(
+  auto result = query::run(db_,
       "SELECT count(\"_cpu0\") FROM \"kernel_percpu_cpu_idle\" "
       "GROUP BY time(1us)");
   ASSERT_TRUE(result.has_value());
@@ -395,16 +422,16 @@ TEST_F(QueryTest, GroupByTimeUnits) {
 
 TEST_F(QueryTest, GroupByTimeErrors) {
   // Raw selectors cannot be grouped.
-  EXPECT_FALSE(db_.query("SELECT \"_cpu0\" FROM "
+  EXPECT_FALSE(query::run(db_, "SELECT \"_cpu0\" FROM "
                          "\"kernel_percpu_cpu_idle\" GROUP BY time(1s)")
                    .has_value());
-  EXPECT_FALSE(db_.query("SELECT mean(\"_cpu0\") FROM "
+  EXPECT_FALSE(query::run(db_, "SELECT mean(\"_cpu0\") FROM "
                          "\"kernel_percpu_cpu_idle\" GROUP BY tag")
                    .has_value());
-  EXPECT_FALSE(db_.query("SELECT mean(\"_cpu0\") FROM "
+  EXPECT_FALSE(query::run(db_, "SELECT mean(\"_cpu0\") FROM "
                          "\"kernel_percpu_cpu_idle\" GROUP BY time(abc)")
                    .has_value());
-  EXPECT_FALSE(db_.query("SELECT mean(\"_cpu0\") FROM "
+  EXPECT_FALSE(query::run(db_, "SELECT mean(\"_cpu0\") FROM "
                          "\"kernel_percpu_cpu_idle\" GROUP BY time(0s)")
                    .has_value());
 }
@@ -450,7 +477,7 @@ TEST(DbConcurrencyTest, ParallelWritersAndReaders) {
   // A reader hammers queries while writes are in flight.
   threads.emplace_back([&db] {
     for (int i = 0; i < 200; ++i) {
-      auto result = db.query("SELECT count(\"v\") FROM \"m0\"");
+      auto result = query::run(db, "SELECT count(\"v\") FROM \"m0\"");
       if (result.has_value()) {
         ASSERT_LE(result->rows[0][1], 2000.0);
       }
@@ -477,8 +504,8 @@ TEST(DbPersistenceTest, DumpLoadRoundTrip) {
   ASSERT_TRUE(restored.load_from_file(path).is_ok());
   EXPECT_EQ(restored.point_count(), db.point_count());
   EXPECT_EQ(restored.measurements(), db.measurements());
-  auto original = db.query("SELECT \"v\" FROM \"m_even\"");
-  auto replayed = restored.query("SELECT \"v\" FROM \"m_even\"");
+  auto original = query::run(db, "SELECT \"v\" FROM \"m_even\"");
+  auto replayed = query::run(restored, "SELECT \"v\" FROM \"m_even\"");
   ASSERT_TRUE(replayed.has_value());
   EXPECT_EQ(replayed->rows, original->rows);
   std::remove(path.c_str());
@@ -589,7 +616,7 @@ TEST(ColumnarTest, EveryAggregateMatchesIndependentEvaluator) {
   const char* names[] = {"mean", "min",    "max",   "sum",
                          "count", "stddev", "first", "last"};
   for (std::size_t i = 0; i < std::size(names); ++i) {
-    auto result = db.query("SELECT " + std::string(names[i]) +
+    auto result = query::run(db, "SELECT " + std::string(names[i]) +
                            "(\"v\") FROM \"agg\"");
     ASSERT_TRUE(result.has_value()) << names[i];
     ASSERT_EQ(result->rows.size(), 1u) << names[i];
@@ -616,7 +643,7 @@ TEST(ColumnarTest, RetentionTrimCompactsAndBumpsOnlyTrimmedEpochs) {
   EXPECT_NE(db.write_epoch("old"), old_epoch);
   EXPECT_EQ(db.write_epoch("fresh"), fresh_epoch);
   // Trimmed data is gone from every read path; survivors are intact.
-  auto result = db.query("SELECT first(\"value\"), count(\"value\") "
+  auto result = query::run(db, "SELECT first(\"value\"), count(\"value\") "
                          "FROM \"old\"");
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->rows[0][1], 1999.0);
@@ -640,48 +667,53 @@ TEST(ColumnarTest, ScanOrdersSeriesAndClipsRows) {
   // Absent measurement: callback still runs (empty), returns false.
   bool visited = false;
   EXPECT_FALSE(db.scan("nope", 0, 10, {},
-                       [&](std::span<const SeriesSlice> slices) {
+                       [&](std::span<const SeriesView> views) {
                          visited = true;
-                         EXPECT_TRUE(slices.empty());
+                         EXPECT_TRUE(views.empty());
                        }));
   EXPECT_TRUE(visited);
   // Series arrive ordered by decoded tag set (alpha before zeta even
   // though zeta was created first), rows clipped to the time range.
   int calls = 0;
   EXPECT_TRUE(db.scan(
-      "m", 2, 7, {}, [&](std::span<const SeriesSlice> slices) {
+      "m", 2, 7, {}, [&](std::span<const SeriesView> views) {
         ++calls;
-        ASSERT_EQ(slices.size(), 2u);
-        EXPECT_EQ(slices[0].decode_tags().at("host"), "alpha");
-        EXPECT_EQ(slices[1].decode_tags().at("host"), "zeta");
-        // alpha holds odd times {3,5,7}, zeta even {2,4,6}.
-        ASSERT_EQ(slices[0].rows(), 3u);
-        EXPECT_EQ(slices[0].times()[0], 3);
-        EXPECT_EQ(slices[0].values(0)[2], 7.0);
-        ASSERT_EQ(slices[1].rows(), 3u);
-        EXPECT_EQ(slices[1].times()[0], 2);
+        ASSERT_EQ(views.size(), 2u);
+        EXPECT_EQ(views[0].decode_tags().at("host"), "alpha");
+        EXPECT_EQ(views[1].decode_tags().at("host"), "zeta");
+        // alpha holds odd times {3,5,7}, zeta even {2,4,6}.  These rows
+        // live in one (active) run, so the views are contiguous and the
+        // span accessors are valid.
+        ASSERT_EQ(views[0].rows(), 3u);
+        ASSERT_TRUE(views[0].contiguous());
+        EXPECT_EQ(views[0].times()[0], 3);
+        EXPECT_EQ(views[0].values(0)[2], 7.0);
+        ASSERT_EQ(views[1].rows(), 3u);
+        EXPECT_EQ(views[1].times()[0], 2);
       }));
   EXPECT_EQ(calls, 1);
-  // A range covering only one series omits the empty slice entirely.
+  // A range covering only one series omits the empty view entirely.
   EXPECT_TRUE(db.scan("m", 2, 2, {},
-                      [&](std::span<const SeriesSlice> slices) {
-                        ASSERT_EQ(slices.size(), 1u);
-                        EXPECT_EQ(slices[0].decode_tags().at("host"),
+                      [&](std::span<const SeriesView> views) {
+                        ASSERT_EQ(views.size(), 1u);
+                        EXPECT_EQ(views[0].decode_tags().at("host"),
                                   "zeta");
                       }));
   // Unknown tag value: found, but zero matching series.
   EXPECT_TRUE(db.scan("m", 0, 10, {{"host", "gamma"}},
-                      [&](std::span<const SeriesSlice> slices) {
-                        EXPECT_TRUE(slices.empty());
+                      [&](std::span<const SeriesView> views) {
+                        EXPECT_TRUE(views.empty());
                       }));
 }
 
 TEST(ColumnarTest, ScanReadersRaceBatchWriters) {
-  // TSan target: scan callbacks read column spans under the shared lock
-  // while writers append/reorder and retention trims under the exclusive
-  // lock.  Any slice escaping the lock or a writer mutating live storage
-  // mid-callback is a data race here.
+  // TSan target: scan callbacks read view rows under the shared lock
+  // while writers append, seal runs, fold them, and retention trims under
+  // the exclusive lock.  Any view escaping the lock or a writer mutating
+  // live storage mid-callback is a data race here.
   TimeSeriesDb db(RetentionPolicy{100'000});
+  // Tiny runs so the race window covers seal + fold, not just appends.
+  db.set_run_config({/*seal_rows=*/64, /*max_sealed=*/2, /*fold_ratio=*/0.5});
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     for (int b = 0; b < 60; ++b) {
@@ -704,18 +736,27 @@ TEST(ColumnarTest, ScanReadersRaceBatchWriters) {
     readers.emplace_back([&] {
       while (!stop.load()) {
         db.scan("race", 0, std::numeric_limits<TimeNs>::max(), {},
-                [](std::span<const SeriesSlice> slices) {
+                [](std::span<const SeriesView> views) {
                   double sum = 0.0;
-                  for (const SeriesSlice& slice : slices) {
-                    const auto times = slice.times();
-                    for (std::size_t f = 0; f < slice.field_count(); ++f) {
-                      const auto column = slice.values(f);
-                      ASSERT_EQ(column.size(), times.size());
-                      for (double v : column) sum += v;
-                    }
+                  for (const SeriesView& view : views) {
+                    std::size_t rows = 0;
+                    view.for_each_row([&](SeriesView::Loc loc, TimeNs,
+                                          std::uint64_t) {
+                      ++rows;
+                      for (std::size_t f = 0; f < view.field_count(); ++f) {
+                        if (view.has_value(f, loc)) {
+                          sum += view.value_at(f, loc);
+                        }
+                      }
+                    });
+                    ASSERT_EQ(rows, view.rows());
                   }
                   ASSERT_GE(sum, 0.0);
                 });
+        // Leave a gap between scans: glibc's rwlock admits readers while
+        // one holds it, so back-to-back scanning from three threads would
+        // starve the writer's exclusive acquisition indefinitely.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     });
   }
@@ -749,6 +790,167 @@ TEST(ColumnarTest, StatsAndTelemetryGauges) {
   auto& gauge = metrics::Registry::global().gauge(
       "pmove_tsdb", "test_db", "points");
   EXPECT_EQ(gauge.value(), 8.0);
+}
+
+// ------------------------------------------------------------- LSM runs
+
+TEST(ColumnarTest, OutOfOrderArrivalsSpanActiveAndSealedRuns) {
+  TimeSeriesDb db;
+  // Tiny seal threshold, folding effectively disabled: the series ends up
+  // as base + several sealed runs + a live active run, and the scan has to
+  // interleave all of them.
+  db.set_run_config({/*seal_rows=*/8, /*max_sealed=*/1000,
+                     /*fold_ratio=*/1e9});
+  // Deterministic shuffle of [0, 60): every batch straddles earlier ones.
+  std::uint64_t lcg = 42;
+  std::vector<TimeNs> times(60);
+  for (int i = 0; i < 60; ++i) times[i] = i;
+  for (int i = 59; i > 0; --i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::swap(times[i], times[(lcg >> 33) % (i + 1)]);
+  }
+  for (int b = 0; b < 20; ++b) {
+    std::vector<Point> batch;
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back(make_point("m", times[b * 3 + i],
+                                 static_cast<double>(times[b * 3 + i])));
+    }
+    ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  }
+  const TsdbStats stats = db.stats();
+  EXPECT_GT(stats.sealed_runs, 1u);
+  EXPECT_GT(stats.active_rows, 0u);
+  EXPECT_GT(stats.run_seals, 0u);
+  EXPECT_EQ(stats.run_folds, 0u);
+  // The view stitches the runs back into (time, seq) order.
+  EXPECT_TRUE(db.scan(
+      "m", 0, 100, {}, [&](std::span<const SeriesView> views) {
+        ASSERT_EQ(views.size(), 1u);
+        ASSERT_EQ(views[0].rows(), 60u);
+        TimeNs prev = -1;
+        views[0].for_each_row(
+            [&](SeriesView::Loc loc, TimeNs t, std::uint64_t) {
+              EXPECT_GT(t, prev);
+              prev = t;
+              const std::size_t v = views[0].field_index("value");
+              ASSERT_TRUE(views[0].has_value(v, loc));
+              EXPECT_EQ(views[0].value_at(v, loc), static_cast<double>(t));
+            });
+      }));
+  auto result = query::run(db, "SELECT \"value\" FROM \"m\"");
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->rows.size(), 60u);
+  for (int i = 0; i < 60; ++i) EXPECT_EQ(result->rows[i][0], i);
+}
+
+TEST(ColumnarTest, RetentionTrimsAcrossRunsAndCompactionPreservesResults) {
+  TimeSeriesDb db(RetentionPolicy{30});
+  db.set_run_config({/*seal_rows=*/8, /*max_sealed=*/1000,
+                     /*fold_ratio=*/1e9});
+  // Writes arrive newest-first so every run holds a slice of the full
+  // range and the retention cutoff lands inside all of them.
+  for (int b = 7; b >= 0; --b) {
+    std::vector<Point> batch;
+    for (int i = 9; i >= 0; --i) {
+      const TimeNs t = b * 10 + i;
+      batch.push_back(make_point("m", t, static_cast<double>(t)));
+    }
+    ASSERT_TRUE(db.write_batch(std::move(batch)).is_ok());
+  }
+  ASSERT_GT(db.stats().sealed_runs, 1u);
+  // cutoff = 79 - 30 = 49: rows 0..48 drop, 49..79 survive.
+  EXPECT_EQ(db.enforce_retention(79), 49u);
+  EXPECT_EQ(db.point_count("m"), 31u);
+  auto before = query::run(
+      db, "SELECT first(\"value\"), last(\"value\"), count(\"value\"), "
+          "sum(\"value\") FROM \"m\"");
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->rows[0][1], 49.0);
+  // Folding every run into the base must not change any answer.
+  EXPECT_GT(db.compact(), 0u);
+  const TsdbStats stats = db.stats();
+  EXPECT_EQ(stats.sealed_runs, 0u);
+  EXPECT_EQ(stats.active_rows, 0u);
+  EXPECT_GT(stats.run_folds, 0u);
+  EXPECT_EQ(db.point_count("m"), 31u);
+  auto after = query::run(
+      db, "SELECT first(\"value\"), last(\"value\"), count(\"value\"), "
+          "sum(\"value\") FROM \"m\"");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(before->rows, after->rows);
+  // A fully folded series reads back as one contiguous view.
+  EXPECT_TRUE(db.scan("m", 0, 100, {},
+                      [](std::span<const SeriesView> views) {
+                        ASSERT_EQ(views.size(), 1u);
+                        EXPECT_TRUE(views[0].contiguous());
+                      }));
+}
+
+TEST(ColumnarTest, AggregatesBitForBitIdenticalAcrossRunConfigs) {
+  // The run layout is an implementation detail: any seal/fold schedule
+  // must fold values in the same (time, seq) order and therefore produce
+  // bit-identical floating-point results.  Workload: out-of-order times,
+  // two tag sets, one field that skips rows (presence maps in play).
+  const RunConfig configs[] = {
+      {/*seal_rows=*/2, /*max_sealed=*/1, /*fold_ratio=*/0.25},
+      {/*seal_rows=*/16, /*max_sealed=*/2, /*fold_ratio=*/0.5},
+      {/*seal_rows=*/4096, /*max_sealed=*/8, /*fold_ratio=*/0.5},
+  };
+  std::vector<TimeSeriesDb> dbs(std::size(configs));
+  std::uint64_t lcg = 7;
+  std::vector<Point> workload;
+  for (int i = 0; i < 333; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    Point p;
+    p.measurement = "m";
+    p.tags["set"] = i % 3 == 0 ? "a" : "b";
+    p.time = static_cast<TimeNs>((lcg >> 33) % 500);
+    p.fields["v"] = std::sin(0.37 * i) * 1e6 + 1.0 / (i + 2);
+    if (i % 5 != 0) p.fields["w"] = std::cos(0.11 * i);
+    workload.push_back(std::move(p));
+  }
+  for (std::size_t d = 0; d < dbs.size(); ++d) {
+    dbs[d].set_run_config(configs[d]);
+    for (std::size_t start = 0; start < workload.size(); start += 16) {
+      std::vector<Point> batch(
+          workload.begin() + start,
+          workload.begin() +
+              std::min(start + 16, workload.size()));
+      ASSERT_TRUE(dbs[d].write_batch(std::move(batch)).is_ok());
+    }
+  }
+  // Mid-stream layouts really differ before queries compare them.
+  EXPECT_GT(dbs[0].stats().run_folds, 0u);
+  EXPECT_EQ(dbs[2].stats().run_seals, 0u);
+  const char* queries[] = {
+      "SELECT \"v\", \"w\" FROM \"m\"",
+      "SELECT mean(\"v\"), sum(\"v\"), stddev(\"v\") FROM \"m\"",
+      "SELECT min(\"v\"), max(\"v\"), count(\"w\") FROM \"m\"",
+      "SELECT first(\"v\"), last(\"w\") FROM \"m\"",
+      "SELECT sum(\"w\") FROM \"m\" WHERE set=\"b\"",
+      "SELECT mean(\"v\") FROM \"m\" GROUP BY time(50ns)",
+      "SELECT stddev(\"w\") FROM \"m\" WHERE time >= 100 AND time <= 400",
+  };
+  for (const char* text : queries) {
+    auto baseline = query::run(dbs[0], text);
+    ASSERT_TRUE(baseline.has_value()) << text;
+    for (std::size_t d = 1; d < dbs.size(); ++d) {
+      auto got = query::run(dbs[d], text);
+      ASSERT_TRUE(got.has_value()) << text;
+      EXPECT_EQ(baseline->columns, got->columns) << text;
+      ASSERT_EQ(baseline->rows.size(), got->rows.size()) << text;
+      for (std::size_t r = 0; r < baseline->rows.size(); ++r) {
+        ASSERT_EQ(baseline->rows[r].size(), got->rows[r].size()) << text;
+        for (std::size_t c = 0; c < baseline->rows[r].size(); ++c) {
+          // Bit-level equality: stricter than ==, and NaN (a missing
+          // field) must reproduce as NaN too.
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(baseline->rows[r][c]),
+                    std::bit_cast<std::uint64_t>(got->rows[r][c]))
+              << text << " row " << r << " col " << c;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -825,7 +825,7 @@ int cmd_query_bench(int argc, char** argv) {
   };
 
   const auto [string_s, string_rows] = run_section([&](std::size_t p) {
-    return db.query(texts[p])
+    return query::run(db, texts[p])
         .map([](const tsdb::QueryResult& r) { return r.rows.size(); })
         .value_or(0);
   });
